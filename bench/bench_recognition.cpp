@@ -1,0 +1,61 @@
+// Lemma B.2: hyperDAG recognition runs in time linear in the number of
+// pins. Google-benchmark throughput of the peel on the densest hyperDAGs
+// (worst-case pin count), random computational-DAG hyperDAGs, and
+// non-hyperDAG inputs (early rejection), plus the Definition 3.2
+// conversion itself.
+
+#include <benchmark/benchmark.h>
+
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace {
+
+void BM_RecognizeRandomDagHyperdag(benchmark::State& state) {
+  const auto n = static_cast<hp::NodeId>(state.range(0));
+  const hp::Dag dag = hp::random_binary_dag(n, 42);
+  const hp::HyperDag h = hp::to_hyperdag(dag);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::recognize_hyperdag(h.graph).is_hyperdag);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.graph.num_pins()));
+}
+BENCHMARK(BM_RecognizeRandomDagHyperdag)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_RecognizeDensestHyperdag(benchmark::State& state) {
+  const auto n = static_cast<hp::NodeId>(state.range(0));
+  const hp::HyperDag h = hp::densest_hyperdag(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::recognize_hyperdag(h.graph).is_hyperdag);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(h.graph.num_pins()));
+}
+BENCHMARK(BM_RecognizeDensestHyperdag)->Arg(100)->Arg(400)->Arg(1000);
+
+void BM_RejectNonHyperdag(benchmark::State& state) {
+  // 2-regular SpMV hypergraphs are generally not hyperDAGs (grids of rows
+  // and columns contain all-degree-2 induced subgraphs).
+  const auto n = static_cast<std::uint32_t>(state.range(0));
+  const hp::Hypergraph g = hp::spmv_hypergraph(n, n, 8ull * n, 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::recognize_hyperdag(g).is_hyperdag);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(g.num_pins()));
+}
+BENCHMARK(BM_RejectNonHyperdag)->Arg(100)->Arg(1000);
+
+void BM_ToHyperdag(benchmark::State& state) {
+  const auto n = static_cast<hp::NodeId>(state.range(0));
+  const hp::Dag dag = hp::random_dag(n, 10.0 / n, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hp::to_hyperdag(dag).graph.num_pins());
+  }
+}
+BENCHMARK(BM_ToHyperdag)->Arg(1000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

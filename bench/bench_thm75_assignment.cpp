@@ -1,0 +1,104 @@
+// Theorem 7.5 / Appendix H: the hierarchy assignment problem.
+//   * b2 = 2: polynomial via maximum-weight perfect matching (Lemma H.1) —
+//     always matches the exact enumeration, at a fraction of the work.
+//   * b2 = 3: NP-hard (Lemma H.2, via 3DM) — the swap local search can get
+//     stuck above the optimum.
+// Also prints f(k), the count of non-equivalent assignments (App. H.1),
+// which grows exponentially and kills brute force for variable k.
+
+#include <iostream>
+
+#include "bench_util.hpp"
+#include "hyperpart/hier/assignment.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/reduction/three_dim_matching.hpp"
+#include "hyperpart/util/timer.hpp"
+
+using namespace hp;
+
+int main() {
+  std::cout << "bench_thm75_assignment — Theorem 7.5 / Appendix H: "
+               "hierarchy assignment\n";
+
+  bench::banner("f(k): non-equivalent assignments (Appendix H.1)");
+  bench::Table fk({"topology", "k", "f(k)"});
+  fk.row("2x2", 4, count_nonequivalent_assignments({{2, 2}, {2.0, 1.0}}));
+  fk.row("3x2", 6, count_nonequivalent_assignments({{3, 2}, {2.0, 1.0}}));
+  fk.row("4x2", 8, count_nonequivalent_assignments({{4, 2}, {2.0, 1.0}}));
+  fk.row("2x2x2", 8,
+         count_nonequivalent_assignments({{2, 2, 2}, {4.0, 2.0, 1.0}}));
+  fk.row("5x2", 10, count_nonequivalent_assignments({{5, 2}, {2.0, 1.0}}));
+  fk.row("3x3", 9, count_nonequivalent_assignments({{3, 3}, {2.0, 1.0}}));
+  fk.print();
+
+  bench::banner(
+      "Lemma H.1 (b2 = 2): matching is exact, enumeration-free (random "
+      "contracted multi-hypergraphs)");
+  bench::Table b2_table({"k", "exact cost", "matching cost", "agree",
+                         "exact ms", "matching ms"});
+  for (const PartId b1 : {2u, 3u, 4u, 5u}) {
+    const HierTopology topo{{b1, 2}, {6.0, 1.0}};
+    const PartId k = topo.num_leaves();
+    const Hypergraph contracted =
+        random_hypergraph(k, 3 * k, 2, std::min<std::uint32_t>(4, k), k);
+    Timer exact_timer;
+    const AssignmentResult exact = exact_assignment(contracted, topo);
+    const double exact_ms = exact_timer.millis();
+    Timer match_timer;
+    const AssignmentResult matched = matching_assignment(contracted, topo);
+    const double match_ms = match_timer.millis();
+    b2_table.row(k, exact.cost, matched.cost,
+                 std::abs(exact.cost - matched.cost) < 1e-9 ? "yes" : "NO",
+                 exact_ms, match_ms);
+  }
+  b2_table.print();
+
+  bench::banner(
+      "Blossom matching scales polynomially where enumeration explodes "
+      "(f(k) ~ k!/2^(k/2))");
+  bench::Table scale({"k", "f(k) assignments", "blossom ms"});
+  for (const PartId b1 : {8u, 16u, 32u, 64u}) {
+    const HierTopology topo{{b1, 2}, {6.0, 1.0}};
+    const PartId k = topo.num_leaves();
+    const Hypergraph contracted = random_hypergraph(k, 4 * k, 2, 4, k + 1);
+    Timer timer;
+    const AssignmentResult matched = matching_assignment(contracted, topo);
+    (void)matched;
+    scale.row(k,
+              k <= 20 ? std::to_string(count_nonequivalent_assignments(topo))
+                      : std::string("> 10^18"),
+              timer.millis());
+  }
+  scale.print();
+
+  bench::banner(
+      "Lemma H.2 (b2 = 3): the 3DM reduction — exact assignment decides "
+      "perfect matchings; local search can miss");
+  bench::Table b3_table({"q", "triples", "perfect 3DM", "exact <= thr",
+                         "agree", "LS gap (best of 3 seeds)", "exact ms"});
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const bool plant = seed % 2 == 0;
+    const ThreeDMInstance inst =
+        plant ? planted_3dm(2, 2, seed) : random_3dm(2, 3, seed + 7);
+    const ThreeDMReduction red = build_3dm_reduction(inst);
+    Timer timer;
+    const AssignmentResult exact =
+        exact_assignment(red.contracted, red.topology);
+    const double exact_ms = timer.millis();
+    double best_ls = 1e18;
+    for (std::uint64_t s = 0; s < 3; ++s) {
+      best_ls = std::min(
+          best_ls,
+          local_search_assignment(red.contracted, red.topology, s).cost);
+    }
+    const bool matching = has_perfect_matching(inst);
+    const bool decided = exact.cost <= red.cost_threshold;
+    b3_table.row(inst.q, inst.triples.size(), matching ? "yes" : "no",
+                 decided ? "yes" : "no", matching == decided ? "yes" : "NO",
+                 best_ls - exact.cost, exact_ms);
+  }
+  b3_table.print();
+  std::cout << "b2 = 2 stays polynomial (Edmonds-style matching); b2 = 3 "
+               "already encodes 3-dimensional matching.\n";
+  return 0;
+}

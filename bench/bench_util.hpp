@@ -1,0 +1,75 @@
+#pragma once
+// Shared helpers for the experiment harnesses: simple aligned table output
+// so every bench prints the rows/series of the paper artifact it
+// regenerates.
+
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace hp::bench {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  template <typename... Ts>
+  void row(const Ts&... cells) {
+    std::vector<std::string> r;
+    (r.push_back(to_cell(cells)), ...);
+    rows_.push_back(std::move(r));
+  }
+
+  void print(std::ostream& os = std::cout) const {
+    std::vector<std::size_t> width(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+      for (const auto& r : rows_) {
+        if (c < r.size()) width[c] = std::max(width[c], r[c].size());
+      }
+    }
+    const auto line = [&](const std::vector<std::string>& cells) {
+      os << '|';
+      for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << ' ' << std::setw(static_cast<int>(width[c])) << std::left
+           << (c < cells.size() ? cells[c] : "") << " |";
+      }
+      os << '\n';
+    };
+    line(headers_);
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      os << std::string(width[c] + 2, '-') << '|';
+    }
+    os << '\n';
+    for (const auto& r : rows_) line(r);
+  }
+
+ private:
+  template <typename T>
+  static std::string to_cell(const T& value) {
+    if constexpr (std::is_same_v<T, std::string>) {
+      return value;
+    } else if constexpr (std::is_convertible_v<T, const char*>) {
+      return std::string(value);
+    } else if constexpr (std::is_floating_point_v<T>) {
+      std::ostringstream os;
+      os << std::fixed << std::setprecision(3) << value;
+      return os.str();
+    } else {
+      return std::to_string(value);
+    }
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline void banner(const std::string& title) {
+  std::cout << "\n=== " << title << " ===\n";
+}
+
+}  // namespace hp::bench

@@ -1,0 +1,62 @@
+// Hierarchical NUMA partitioning (Section 7).
+//
+// Models a machine with b1 sockets × b2 cores (transfer cost g1 across
+// sockets, 1 within) and compares:
+//   * the hierarchy-agnostic two-step method (Section 7.2),
+//   * recursive splitting along the hierarchy (Section 7.1),
+//   * direct k-way + optimal assignment + hierarchical refinement.
+//
+//   ./numa_hierarchy [b1] [b2] [g1]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hyperpart/hier/hier_cost.hpp"
+#include "hyperpart/hier/hier_partitioner.hpp"
+#include "hyperpart/hier/two_step.hpp"
+#include "hyperpart/io/generators.hpp"
+
+int main(int argc, char** argv) {
+  const hp::PartId b1 = argc > 1 ? static_cast<hp::PartId>(std::atoi(argv[1]))
+                                 : 2;
+  const hp::PartId b2 = argc > 2 ? static_cast<hp::PartId>(std::atoi(argv[2]))
+                                 : 4;
+  const double g1 = argc > 3 ? std::atof(argv[3]) : 8.0;
+  const double epsilon = 0.05;
+
+  const hp::HierTopology machine{{b1, b2}, {g1, 1.0}};
+  std::cout << "machine: " << b1 << " sockets x " << b2
+            << " cores, cross-socket cost g1 = " << g1 << "\n";
+
+  const hp::Hypergraph workload = hp::spmv_hypergraph(300, 300, 4000, 21);
+  std::cout << "workload: " << workload.summary() << "\n\n";
+
+  hp::MultilevelConfig config;
+  config.seed = 4;
+
+  const auto two_step =
+      hp::two_step_multilevel(workload, machine, epsilon, config);
+  if (two_step) {
+    std::cout << "two-step (hierarchy-agnostic):\n"
+              << "  standard cut = " << two_step->standard_cost
+              << ", hierarchical cost = " << two_step->hierarchical_cost
+              << "\n";
+  }
+
+  const auto recursive =
+      hp::hier_recursive_partition(workload, machine, epsilon, config);
+  if (recursive) {
+    std::cout << "recursive along the hierarchy:\n"
+              << "  hierarchical cost = "
+              << hp::hier_cost(workload, *recursive, machine) << "\n";
+  }
+
+  const auto direct =
+      hp::hier_direct_partition(workload, machine, epsilon, config);
+  if (direct) {
+    std::cout << "direct k-way + assignment + hierarchical refinement:\n"
+              << "  hierarchical cost = "
+              << hp::hier_cost(workload, *direct, machine) << "\n";
+  }
+  return 0;
+}

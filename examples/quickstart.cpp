@@ -1,0 +1,49 @@
+// Quickstart: build a hypergraph, partition it k ways, inspect both cost
+// metrics (Section 3.1 of the paper).
+//
+//   ./quickstart [k] [epsilon]
+
+#include <cstdlib>
+#include <iostream>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+
+int main(int argc, char** argv) {
+  const hp::PartId k = argc > 1 ? static_cast<hp::PartId>(std::atoi(argv[1]))
+                                : 4;
+  const double epsilon = argc > 2 ? std::atof(argv[2]) : 0.05;
+
+  // A random hypergraph standing in for e.g. a circuit netlist.
+  const hp::Hypergraph graph = hp::random_hypergraph(
+      /*n=*/2000, /*m=*/3000, /*min_edge_size=*/2, /*max_edge_size=*/6,
+      /*seed=*/42);
+  std::cout << graph.summary() << "\n";
+
+  const auto balance =
+      hp::BalanceConstraint::for_graph(graph, k, epsilon, /*relaxed=*/true);
+  std::cout << "k = " << k << ", epsilon = " << epsilon
+            << ", per-part capacity = " << balance.capacity() << "\n";
+
+  hp::MultilevelConfig config;
+  config.seed = 1;
+  const auto partition = hp::multilevel_partition(graph, balance, config);
+  if (!partition) {
+    std::cerr << "no feasible partition found\n";
+    return 1;
+  }
+
+  std::cout << "cut-net cost      = "
+            << hp::cost(graph, *partition, hp::CostMetric::kCutNet) << "\n";
+  std::cout << "connectivity cost = "
+            << hp::cost(graph, *partition, hp::CostMetric::kConnectivity)
+            << "\n";
+  std::cout << "part weights      =";
+  for (const hp::Weight w : partition->part_weights(graph)) {
+    std::cout << ' ' << w;
+  }
+  std::cout << "\nbalanced          = "
+            << (balance.satisfied(graph, *partition) ? "yes" : "no") << "\n";
+  return 0;
+}

@@ -1,0 +1,118 @@
+#include "hyperpart/algo/coarsening.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
+                         std::uint64_t seed,
+                         const Partition* restrict_parts) {
+  const NodeId n = g.num_nodes();
+  Rng rng{seed};
+  std::vector<NodeId> order(n);
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+
+  std::vector<NodeId> match(n, kInvalidNode);
+  // Scratch ratings, reset sparsely between nodes.
+  std::vector<double> rating(n, 0.0);
+  std::vector<NodeId> touched;
+  for (const NodeId v : order) {
+    if (match[v] != kInvalidNode) continue;
+    touched.clear();
+    for (const EdgeId e : g.incident_edges(v)) {
+      const auto pins = g.pins(e);
+      if (pins.size() < 2) continue;
+      // Heavy-edge rating w(e)/(|e|−1), the standard multilevel score.
+      const double score = static_cast<double>(g.edge_weight(e)) /
+                           static_cast<double>(pins.size() - 1);
+      for (const NodeId u : pins) {
+        if (u == v || match[u] != kInvalidNode) continue;
+        if (g.node_weight(u) + g.node_weight(v) > max_cluster_weight) continue;
+        if (restrict_parts != nullptr &&
+            (*restrict_parts)[u] != (*restrict_parts)[v]) {
+          continue;
+        }
+        if (rating[u] == 0.0) touched.push_back(u);
+        rating[u] += score;
+      }
+    }
+    NodeId best = kInvalidNode;
+    double best_rating = 0.0;
+    for (const NodeId u : touched) {
+      if (rating[u] > best_rating) {
+        best_rating = rating[u];
+        best = u;
+      }
+      rating[u] = 0.0;
+    }
+    if (best != kInvalidNode) {
+      match[v] = best;
+      match[best] = v;
+    }
+  }
+
+  // Assign cluster ids.
+  CoarseLevel level;
+  level.fine_to_coarse.assign(n, kInvalidNode);
+  NodeId clusters = 0;
+  for (NodeId v = 0; v < n; ++v) {
+    if (level.fine_to_coarse[v] != kInvalidNode) continue;
+    level.fine_to_coarse[v] = clusters;
+    if (match[v] != kInvalidNode) level.fine_to_coarse[match[v]] = clusters;
+    ++clusters;
+  }
+
+  // Build coarse edges; merge duplicates by hashing the sorted pin list.
+  std::vector<Weight> coarse_node_weight(clusters, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    coarse_node_weight[level.fine_to_coarse[v]] += g.node_weight(v);
+  }
+  struct VectorHash {
+    std::size_t operator()(const std::vector<NodeId>& v) const noexcept {
+      std::size_t h = v.size();
+      for (const NodeId x : v) {
+        h ^= x + 0x9e3779b9 + (h << 6) + (h >> 2);
+      }
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<NodeId>, Weight, VectorHash> merged;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::vector<NodeId> pins;
+    pins.reserve(g.edge_size(e));
+    for (const NodeId v : g.pins(e)) {
+      pins.push_back(level.fine_to_coarse[v]);
+    }
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() < 2) continue;
+    merged[std::move(pins)] += g.edge_weight(e);
+  }
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> weights;
+  edges.reserve(merged.size());
+  for (auto& [pins, w] : merged) {
+    edges.push_back(pins);
+    weights.push_back(w);
+  }
+  level.graph = Hypergraph::from_edges(clusters, std::move(edges));
+  level.graph.set_edge_weights(std::move(weights));
+  level.graph.set_node_weights(std::move(coarse_node_weight));
+  return level;
+}
+
+Partition project_partition(const Partition& coarse,
+                            const std::vector<NodeId>& fine_to_coarse) {
+  Partition fine(static_cast<NodeId>(fine_to_coarse.size()), coarse.k());
+  for (NodeId v = 0; v < fine.num_nodes(); ++v) {
+    fine.assign(v, coarse[fine_to_coarse[v]]);
+  }
+  return fine;
+}
+
+}  // namespace hp

@@ -1,0 +1,167 @@
+#include "hyperpart/algo/fm_refiner.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include "hyperpart/core/connectivity_tracker.hpp"
+
+namespace hp {
+
+namespace {
+
+struct MoveCandidate {
+  Weight gain;
+  NodeId node;
+  PartId to;
+  bool operator<(const MoveCandidate& o) const noexcept {
+    return gain < o.gain;  // max-heap by gain
+  }
+};
+
+/// Per-group per-part weights for the extra constraints, kept
+/// incrementally. A node may belong to several (overlapping) groups.
+class GroupWeights {
+ public:
+  GroupWeights(const Hypergraph& g, const Partition& p,
+               const ConstraintSet* cs)
+      : cs_(cs) {
+    if (cs_ == nullptr) return;
+    const PartId k = p.k();
+    groups_of_.assign(g.num_nodes(), {});
+    weights_.assign(cs_->num_constraints() * k, 0);
+    k_ = k;
+    for (std::size_t j = 0; j < cs_->num_constraints(); ++j) {
+      for (const NodeId v : cs_->group(j).nodes) {
+        groups_of_[v].push_back(static_cast<std::uint32_t>(j));
+        weights_[j * k + p[v]] += g.node_weight(v);
+      }
+    }
+  }
+
+  [[nodiscard]] bool move_feasible(const Hypergraph& g, NodeId v,
+                                   PartId to) const {
+    if (cs_ == nullptr) return true;
+    for (const std::uint32_t j : groups_of_[v]) {
+      if (weights_[j * k_ + to] + g.node_weight(v) >
+          cs_->group(j).capacity) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  void apply_move(const Hypergraph& g, NodeId v, PartId from, PartId to) {
+    if (cs_ == nullptr) return;
+    for (const std::uint32_t j : groups_of_[v]) {
+      weights_[j * k_ + from] -= g.node_weight(v);
+      weights_[j * k_ + to] += g.node_weight(v);
+    }
+  }
+
+ private:
+  const ConstraintSet* cs_;
+  PartId k_ = 0;
+  std::vector<std::vector<std::uint32_t>> groups_of_;
+  std::vector<Weight> weights_;
+};
+
+struct AppliedMove {
+  NodeId node;
+  PartId from;
+  PartId to;
+};
+
+}  // namespace
+
+Weight fm_refine(const Hypergraph& g, Partition& p,
+                 const BalanceConstraint& balance, const FmConfig& cfg) {
+  const PartId k = p.k();
+  ConnectivityTracker tracker(g, p);
+
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    GroupWeights groups(g, tracker.to_partition(), cfg.extra_constraints);
+    std::vector<bool> locked(g.num_nodes(), false);
+    std::priority_queue<MoveCandidate> heap;
+    const auto push_moves = [&](NodeId v) {
+      const PartId from = tracker.part_of(v);
+      for (PartId q = 0; q < k; ++q) {
+        if (q == from) continue;
+        heap.push({tracker.gain(v, q, cfg.metric), v, q});
+      }
+    };
+    for (NodeId v = 0; v < g.num_nodes(); ++v) push_moves(v);
+
+    const Weight start_cost = tracker.cost(cfg.metric);
+    Weight running = start_cost;
+    Weight best = start_cost;
+    std::vector<AppliedMove> moves;
+    std::size_t best_prefix = 0;
+    std::uint32_t since_improvement = 0;
+
+    // Classic FM tolerates a transient one-node imbalance during a pass —
+    // otherwise no single move is feasible from an exactly balanced
+    // bisection. Only balanced prefixes are eligible as the rollback
+    // target, so the result is always feasible.
+    Weight max_node_weight = 1;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      max_node_weight = std::max(max_node_weight, g.node_weight(v));
+    }
+    const Weight slack_capacity = balance.capacity() + max_node_weight;
+    const auto all_balanced = [&]() {
+      for (PartId q = 0; q < k; ++q) {
+        if (tracker.part_weight(q) > balance.capacity()) return false;
+      }
+      return true;
+    };
+
+    while (!heap.empty() && since_improvement < cfg.patience) {
+      const MoveCandidate cand = heap.top();
+      heap.pop();
+      if (locked[cand.node]) continue;
+      const PartId from = tracker.part_of(cand.node);
+      if (from == cand.to) continue;
+      const Weight fresh = tracker.gain(cand.node, cand.to, cfg.metric);
+      if (fresh != cand.gain) {
+        heap.push({fresh, cand.node, cand.to});  // stale; reinsert
+        continue;
+      }
+      if (tracker.part_weight(cand.to) + g.node_weight(cand.node) >
+              slack_capacity ||
+          !groups.move_feasible(g, cand.node, cand.to)) {
+        continue;  // infeasible now; dropped for this pass
+      }
+
+      tracker.move(cand.node, cand.to);
+      groups.apply_move(g, cand.node, from, cand.to);
+      locked[cand.node] = true;
+      moves.push_back({cand.node, from, cand.to});
+      running -= fresh;
+      if (running < best && all_balanced()) {
+        best = running;
+        best_prefix = moves.size();
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+      }
+      // Gains of neighbors changed; push fresh candidates (lazy heap).
+      for (const EdgeId e : g.incident_edges(cand.node)) {
+        for (const NodeId u : g.pins(e)) {
+          if (!locked[u]) push_moves(u);
+        }
+      }
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t i = moves.size(); i > best_prefix; --i) {
+      const auto& m = moves[i - 1];
+      tracker.move(m.node, m.from);
+    }
+    if (best >= start_cost) break;  // pass brought no improvement
+  }
+
+  p = tracker.to_partition();
+  return tracker.cost(cfg.metric);
+}
+
+}  // namespace hp

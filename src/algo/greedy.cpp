@@ -1,0 +1,123 @@
+#include "hyperpart/algo/greedy.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::optional<Partition> random_balanced_partition(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    std::uint64_t seed) {
+  const PartId k = balance.k();
+  Rng rng{seed};
+  std::vector<NodeId> order(g.num_nodes());
+  std::iota(order.begin(), order.end(), NodeId{0});
+  rng.shuffle(order);
+
+  Partition p(g.num_nodes(), k);
+  std::vector<Weight> load(k, 0);
+  for (const NodeId v : order) {
+    PartId best = kInvalidPart;
+    for (PartId q = 0; q < k; ++q) {
+      if (load[q] + g.node_weight(v) > balance.capacity()) continue;
+      if (best == kInvalidPart || load[q] < load[best]) best = q;
+    }
+    if (best == kInvalidPart) return std::nullopt;
+    p.assign(v, best);
+    load[best] += g.node_weight(v);
+  }
+  return p;
+}
+
+std::optional<Partition> greedy_growing_partition(
+    const Hypergraph& g, const BalanceConstraint& balance, CostMetric metric,
+    std::uint64_t seed) {
+  (void)metric;  // gain below is the cut-oriented growing score for both
+  const PartId k = balance.k();
+  const NodeId n = g.num_nodes();
+  Rng rng{seed};
+
+  Partition p(n, k);
+  std::vector<bool> taken(n, false);
+  NodeId assigned = 0;
+
+  for (PartId q = 0; q + 1 < k; ++q) {
+    // Target: an even share of the remaining weight across remaining parts.
+    Weight remaining_weight = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      if (!taken[v]) remaining_weight += g.node_weight(v);
+    }
+    const Weight target =
+        std::min(balance.capacity(),
+                 remaining_weight / static_cast<Weight>(k - q));
+
+    // Affinity of each unassigned node to the growing part: number of pins
+    // it shares with already-absorbed nodes, weighted by edge weight.
+    std::vector<Weight> affinity(n, 0);
+    Weight grown = 0;
+    while (grown < target && assigned < n) {
+      NodeId pick = kInvalidNode;
+      // Prefer the highest-affinity frontier node; fall back to a random
+      // unassigned node (fresh seed for a disconnected region).
+      Weight best_aff = 0;
+      for (NodeId v = 0; v < n; ++v) {
+        if (taken[v] || grown + g.node_weight(v) > balance.capacity()) {
+          continue;
+        }
+        if (affinity[v] > best_aff ||
+            (pick == kInvalidNode && affinity[v] == best_aff)) {
+          best_aff = affinity[v];
+          pick = v;
+        }
+      }
+      if (pick == kInvalidNode) break;
+      if (best_aff == 0) {
+        // No frontier: pick a random untaken node that fits.
+        std::vector<NodeId> candidates;
+        for (NodeId v = 0; v < n; ++v) {
+          if (!taken[v] && grown + g.node_weight(v) <= balance.capacity()) {
+            candidates.push_back(v);
+          }
+        }
+        if (candidates.empty()) break;
+        pick = candidates[rng.next_below(candidates.size())];
+      }
+      taken[pick] = true;
+      p.assign(pick, q);
+      grown += g.node_weight(pick);
+      ++assigned;
+      for (const EdgeId e : g.incident_edges(pick)) {
+        for (const NodeId u : g.pins(e)) {
+          if (!taken[u]) affinity[u] += g.edge_weight(e);
+        }
+      }
+    }
+  }
+
+  // Everything left goes to the last part, capacity permitting; overflow to
+  // the lightest feasible part.
+  std::vector<Weight> load(k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    if (taken[v]) load[p[v]] += g.node_weight(v);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (taken[v]) continue;
+    PartId best = kInvalidPart;
+    if (load[k - 1] + g.node_weight(v) <= balance.capacity()) {
+      best = k - 1;
+    } else {
+      for (PartId q = 0; q < k; ++q) {
+        if (load[q] + g.node_weight(v) > balance.capacity()) continue;
+        if (best == kInvalidPart || load[q] < load[best]) best = q;
+      }
+    }
+    if (best == kInvalidPart) return std::nullopt;
+    p.assign(v, best);
+    load[best] += g.node_weight(v);
+  }
+  return p;
+}
+
+}  // namespace hp

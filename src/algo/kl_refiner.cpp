@@ -1,0 +1,107 @@
+#include "hyperpart/algo/kl_refiner.hpp"
+
+#include <utility>
+#include <vector>
+
+#include "hyperpart/core/connectivity_tracker.hpp"
+
+namespace hp {
+
+namespace {
+
+/// Exact cost decrease of swapping u and v (different parts). Evaluated by
+/// performing both moves on the tracker and undoing them.
+[[nodiscard]] Weight swap_gain(ConnectivityTracker& t, NodeId u, NodeId v,
+                               CostMetric metric) {
+  const PartId pu = t.part_of(u);
+  const PartId pv = t.part_of(v);
+  const Weight before = t.cost(metric);
+  t.move(u, pv);
+  t.move(v, pu);
+  const Weight after = t.cost(metric);
+  t.move(v, pv);
+  t.move(u, pu);
+  return before - after;
+}
+
+}  // namespace
+
+Weight kl_refine(const Hypergraph& g, Partition& p, const KlConfig& cfg) {
+  ConnectivityTracker tracker(g, p);
+  const NodeId n = g.num_nodes();
+
+  // Candidate pairs: nodes sharing a cut hyperedge (swapping unrelated
+  // nodes never helps the cut).
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    std::vector<bool> locked(n, false);
+    const Weight start_cost = tracker.cost(cfg.metric);
+    Weight running = start_cost;
+    Weight best = start_cost;
+    std::vector<std::pair<NodeId, NodeId>> swaps;
+    std::size_t best_prefix = 0;
+    std::uint32_t since_improvement = 0;
+
+    while (since_improvement < cfg.patience) {
+      // Boundary nodes: incident to at least one cut hyperedge. Swapping
+      // two interior nodes can never reduce the cut, but a boundary node's
+      // best partner may sit anywhere across the boundary.
+      std::vector<NodeId> boundary;
+      for (NodeId v = 0; v < n; ++v) {
+        if (locked[v]) continue;
+        for (const EdgeId e : g.incident_edges(v)) {
+          if (tracker.lambda(e) > 1) {
+            boundary.push_back(v);
+            break;
+          }
+        }
+      }
+      Weight best_gain = 0;
+      NodeId bu = kInvalidNode;
+      NodeId bv = kInvalidNode;
+      for (std::size_t i = 0; i < boundary.size(); ++i) {
+        for (std::size_t j = i + 1; j < boundary.size(); ++j) {
+          const NodeId u = boundary[i];
+          const NodeId v = boundary[j];
+          if (tracker.part_of(u) == tracker.part_of(v)) continue;
+          if (g.node_weight(u) != g.node_weight(v)) continue;
+          const Weight gain = swap_gain(tracker, u, v, cfg.metric);
+          if (bu == kInvalidNode || gain > best_gain) {
+            best_gain = gain;
+            bu = u;
+            bv = v;
+          }
+        }
+      }
+      if (bu == kInvalidNode) break;
+      const PartId pu = tracker.part_of(bu);
+      const PartId pv = tracker.part_of(bv);
+      tracker.move(bu, pv);
+      tracker.move(bv, pu);
+      locked[bu] = locked[bv] = true;
+      swaps.emplace_back(bu, bv);
+      running -= best_gain;
+      if (running < best) {
+        best = running;
+        best_prefix = swaps.size();
+        since_improvement = 0;
+      } else {
+        ++since_improvement;
+      }
+    }
+
+    // Roll back past the best prefix.
+    for (std::size_t i = swaps.size(); i > best_prefix; --i) {
+      const auto& [u, v] = swaps[i - 1];
+      const PartId pu = tracker.part_of(u);
+      const PartId pv = tracker.part_of(v);
+      tracker.move(u, pv);
+      tracker.move(v, pu);
+    }
+    if (best >= start_cost) break;
+  }
+
+  p = tracker.to_partition();
+  return tracker.cost(cfg.metric);
+}
+
+}  // namespace hp

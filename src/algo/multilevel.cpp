@@ -1,0 +1,68 @@
+#include "hyperpart/algo/multilevel.hpp"
+
+#include <algorithm>
+#include <vector>
+
+#include "hyperpart/algo/coarsening.hpp"
+#include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::optional<Partition> multilevel_partition(const Hypergraph& g,
+                                              const BalanceConstraint& balance,
+                                              const MultilevelConfig& cfg) {
+  const PartId k = balance.k();
+  Rng rng{cfg.seed};
+  FmConfig fm = cfg.fm;
+  fm.metric = cfg.metric;
+
+  // --- Coarsening phase ---------------------------------------------------
+  // Clusters are capped so the coarsest level still admits a balanced
+  // partition: never above a third of the per-part capacity.
+  const Weight max_cluster =
+      std::max<Weight>(1, balance.capacity() / 3);
+  std::vector<CoarseLevel> levels;
+  const Hypergraph* current = &g;
+  const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
+  while (current->num_nodes() > stop_at) {
+    CoarseLevel next = coarsen_once(*current, max_cluster, rng());
+    // Insufficient shrinkage means matching is saturated; stop.
+    if (next.graph.num_nodes() >
+        static_cast<NodeId>(0.95 * current->num_nodes())) {
+      break;
+    }
+    levels.push_back(std::move(next));
+    current = &levels.back().graph;
+  }
+
+  // --- Initial partitioning on the coarsest level --------------------------
+  const Hypergraph& coarsest = *current;
+  std::optional<Partition> best;
+  Weight best_cost = 0;
+  for (int attempt = 0; attempt < cfg.initial_tries; ++attempt) {
+    std::optional<Partition> candidate =
+        attempt % 2 == 0
+            ? greedy_growing_partition(coarsest, balance, cfg.metric, rng())
+            : random_balanced_partition(coarsest, balance, rng());
+    if (!candidate) continue;
+    const Weight c = fm_refine(coarsest, *candidate, balance, fm);
+    if (!best || c < best_cost) {
+      best = std::move(candidate);
+      best_cost = c;
+    }
+  }
+  if (!best) return std::nullopt;
+
+  // --- Uncoarsening + refinement -------------------------------------------
+  Partition p = std::move(*best);
+  for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    p = project_partition(p, it->fine_to_coarse);
+    const Hypergraph& fine =
+        (it + 1 == levels.rend()) ? g : (it + 1)->graph;
+    fm_refine(fine, p, balance, fm);
+  }
+  return p;
+}
+
+}  // namespace hp

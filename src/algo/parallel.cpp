@@ -1,0 +1,61 @@
+#include "hyperpart/algo/parallel.hpp"
+
+#include <atomic>
+#include <vector>
+
+#include "hyperpart/util/thread_pool.hpp"
+
+namespace hp {
+
+Weight parallel_cost(const Hypergraph& g, const Partition& p,
+                     CostMetric metric, unsigned threads) {
+  std::atomic<Weight> total{0};
+  parallel_for_chunks(
+      g.num_edges(), threads,
+      [&](std::uint64_t begin, std::uint64_t end) {
+        Weight local = 0;
+        for (EdgeId e = static_cast<EdgeId>(begin);
+             e < static_cast<EdgeId>(end); ++e) {
+          const PartId l = lambda(g, p, e);
+          if (l <= 1) continue;
+          local += metric == CostMetric::kCutNet
+                       ? g.edge_weight(e)
+                       : g.edge_weight(e) * static_cast<Weight>(l - 1);
+        }
+        total.fetch_add(local, std::memory_order_relaxed);
+      });
+  return total.load();
+}
+
+std::optional<Partition> multilevel_partition_multistart(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const MultilevelConfig& cfg, int starts, unsigned threads) {
+  if (starts < 1) return std::nullopt;
+  std::vector<std::optional<Partition>> results(
+      static_cast<std::size_t>(starts));
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(static_cast<std::size_t>(starts));
+  for (int i = 0; i < starts; ++i) {
+    tasks.push_back([&, i]() {
+      MultilevelConfig local = cfg;
+      local.seed = cfg.seed + static_cast<std::uint64_t>(i);
+      results[static_cast<std::size_t>(i)] =
+          multilevel_partition(g, balance, local);
+    });
+  }
+  run_parallel(tasks, threads);
+
+  std::optional<Partition> best;
+  Weight best_cost = 0;
+  for (auto& candidate : results) {
+    if (!candidate) continue;
+    const Weight c = cost(g, *candidate, cfg.metric);
+    if (!best || c < best_cost) {
+      best = std::move(candidate);
+      best_cost = c;
+    }
+  }
+  return best;
+}
+
+}  // namespace hp

@@ -1,0 +1,87 @@
+#include "hyperpart/algo/recursive_bisection.hpp"
+
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "hyperpart/core/subhypergraph.hpp"
+
+namespace hp {
+
+namespace {
+
+/// Recursively split the sub-hypergraph induced by `nodes`; assign leaves
+/// consecutive part ids starting at `first_part` into `out`.
+/// Returns false when any split fails.
+bool split(const Hypergraph& g, const std::vector<NodeId>& nodes,
+           std::span<const PartId> arities, double epsilon,
+           const MultilevelConfig& cfg, PartId first_part, PartId leaves_each,
+           Partition& out, std::uint64_t seed) {
+  if (arities.empty()) {
+    for (const NodeId v : nodes) out.assign(v, first_part);
+    return true;
+  }
+  const PartId b = arities.front();
+  const SubHypergraph sub = induced_subhypergraph(g, nodes);
+  const auto balance =
+      BalanceConstraint::for_graph(sub.graph, b, epsilon, /*relaxed=*/true);
+  MultilevelConfig local = cfg;
+  local.seed = seed;
+  const auto p = multilevel_partition(sub.graph, balance, local);
+  if (!p) return false;
+
+  const PartId child_leaves = leaves_each / b;
+  std::vector<std::vector<NodeId>> groups(b);
+  for (NodeId i = 0; i < sub.graph.num_nodes(); ++i) {
+    groups[(*p)[i]].push_back(sub.original_node[i]);
+  }
+  for (PartId i = 0; i < b; ++i) {
+    if (!split(g, groups[i], arities.subspan(1), epsilon, cfg,
+               first_part + i * child_leaves, child_leaves, out,
+               seed * 0x9e3779b97f4a7c15ULL + i + 1)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::optional<Partition> recursive_partition(const Hypergraph& g,
+                                             const std::vector<PartId>& arities,
+                                             double epsilon,
+                                             const MultilevelConfig& cfg) {
+  PartId k = 1;
+  std::size_t levels = 0;
+  for (const PartId b : arities) {
+    if (b < 1) throw std::invalid_argument("recursive_partition: arity < 1");
+    k *= b;
+    if (b > 1) ++levels;
+  }
+  // Imbalance compounds multiplicatively across levels; split each level's
+  // budget so the product of per-level factors is (1+ε).
+  const double level_epsilon =
+      levels <= 1 ? epsilon
+                  : std::pow(1.0 + epsilon, 1.0 / static_cast<double>(levels)) -
+                        1.0;
+  Partition out(g.num_nodes(), k);
+  std::vector<NodeId> all(g.num_nodes());
+  std::iota(all.begin(), all.end(), NodeId{0});
+  if (!split(g, all, arities, level_epsilon, cfg, 0, k, out, cfg.seed)) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+std::optional<Partition> recursive_bisection(const Hypergraph& g, PartId k,
+                                             double epsilon,
+                                             const MultilevelConfig& cfg) {
+  if (k == 0 || (k & (k - 1)) != 0) {
+    throw std::invalid_argument("recursive_bisection: k must be a power of 2");
+  }
+  std::vector<PartId> arities;
+  for (PartId x = k; x > 1; x /= 2) arities.push_back(2);
+  return recursive_partition(g, arities, epsilon, cfg);
+}
+
+}  // namespace hp

@@ -1,0 +1,73 @@
+#include "hyperpart/algo/vcycle.hpp"
+
+#include <vector>
+
+#include "hyperpart/algo/coarsening.hpp"
+#include "hyperpart/algo/fm_refiner.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+namespace {
+
+/// Coarse partition induced by a fine one under within-part clustering.
+[[nodiscard]] Partition induce_coarse(const Partition& fine,
+                                      const CoarseLevel& level) {
+  Partition coarse(level.graph.num_nodes(), fine.k());
+  for (NodeId v = 0; v < fine.num_nodes(); ++v) {
+    coarse.assign(level.fine_to_coarse[v], fine[v]);
+  }
+  return coarse;
+}
+
+}  // namespace
+
+Weight vcycle_refine(const Hypergraph& g, Partition& p,
+                     const BalanceConstraint& balance,
+                     const MultilevelConfig& cfg, int cycles) {
+  Rng rng{cfg.seed ^ 0x5ec7c1e5ULL};
+  FmConfig fm = cfg.fm;
+  fm.metric = cfg.metric;
+  Weight result = fm_refine(g, p, balance, fm);
+
+  for (int cycle = 0; cycle < cycles; ++cycle) {
+    // Partition-aware coarsening hierarchy.
+    const Weight max_cluster = std::max<Weight>(1, balance.capacity() / 3);
+    std::vector<CoarseLevel> levels;
+    std::vector<Partition> partitions;  // per coarse level
+    const Hypergraph* current = &g;
+    const Partition* current_p = &p;
+    const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * p.k());
+    while (current->num_nodes() > stop_at) {
+      CoarseLevel next = coarsen_once(*current, max_cluster, rng(),
+                                      current_p);
+      if (next.graph.num_nodes() >
+          static_cast<NodeId>(0.95 * current->num_nodes())) {
+        break;
+      }
+      partitions.push_back(induce_coarse(*current_p, next));
+      levels.push_back(std::move(next));
+      current = &levels.back().graph;
+      current_p = &partitions.back();
+    }
+    if (levels.empty()) break;
+
+    // Refine bottom-up.
+    Partition coarse = partitions.back();
+    fm_refine(levels.back().graph, coarse, balance, fm);
+    for (std::size_t i = levels.size(); i-- > 0;) {
+      Partition fine = project_partition(coarse, levels[i].fine_to_coarse);
+      const Hypergraph& fine_graph = i == 0 ? g : levels[i - 1].graph;
+      fm_refine(fine_graph, fine, balance, fm);
+      coarse = std::move(fine);
+    }
+    const Weight refined = cost(g, coarse, cfg.metric);
+    if (refined < result) {
+      result = refined;
+      p = std::move(coarse);
+    }
+  }
+  return result;
+}
+
+}  // namespace hp

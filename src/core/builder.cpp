@@ -1,0 +1,40 @@
+#include "hyperpart/core/builder.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hp {
+
+EdgeId HypergraphBuilder::add_edge(std::vector<NodeId> pins) {
+  for (const NodeId v : pins) {
+    if (v >= num_nodes_) {
+      throw std::invalid_argument("HypergraphBuilder::add_edge: unknown node");
+    }
+  }
+  edges_.push_back(std::move(pins));
+  edge_weights_.push_back(1);
+  return static_cast<EdgeId>(edges_.size() - 1);
+}
+
+void HypergraphBuilder::set_last_edge_weight(Weight w) {
+  if (edges_.empty()) {
+    throw std::logic_error("set_last_edge_weight: no edges yet");
+  }
+  if (w < 0) {
+    throw std::invalid_argument("set_last_edge_weight: negative weight");
+  }
+  edge_weights_.back() = w;
+  any_weighted_ = any_weighted_ || w != 1;
+}
+
+Hypergraph HypergraphBuilder::build() {
+  Hypergraph g = Hypergraph::from_edges(num_nodes_, std::move(edges_));
+  if (any_weighted_) g.set_edge_weights(std::move(edge_weights_));
+  num_nodes_ = 0;
+  edges_.clear();
+  edge_weights_.clear();
+  any_weighted_ = false;
+  return g;
+}
+
+}  // namespace hp

@@ -1,0 +1,87 @@
+#include "hyperpart/core/connectivity_tracker.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace hp {
+
+ConnectivityTracker::ConnectivityTracker(const Hypergraph& g,
+                                         const Partition& p)
+    : g_(g), k_(p.k()) {
+  if (!p.complete()) {
+    throw std::invalid_argument("ConnectivityTracker: incomplete partition");
+  }
+  part_.assign(p.raw().begin(), p.raw().end());
+  counts_.assign(static_cast<std::size_t>(g.num_edges()) * k_, 0);
+  lambda_.assign(g.num_edges(), 0);
+  part_weight_.assign(k_, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    part_weight_[part_[v]] += g.node_weight(v);
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const NodeId v : g.pins(e)) {
+      auto& c = counts_[static_cast<std::size_t>(e) * k_ + part_[v]];
+      if (c == 0) ++lambda_[e];
+      ++c;
+    }
+    if (lambda_[e] > 1) {
+      cut_net_ += g.edge_weight(e);
+      connectivity_ += g.edge_weight(e) * static_cast<Weight>(lambda_[e] - 1);
+    }
+  }
+}
+
+Weight ConnectivityTracker::gain(NodeId v, PartId to, CostMetric m) const {
+  const PartId from = part_[v];
+  if (from == to) return 0;
+  Weight gain = 0;
+  for (const EdgeId e : g_.incident_edges(v)) {
+    const std::uint32_t in_from = pins_in_part(e, from);
+    const std::uint32_t in_to = pins_in_part(e, to);
+    const Weight w = g_.edge_weight(e);
+    if (m == CostMetric::kConnectivity) {
+      if (in_from == 1) gain += w;  // from-part disappears from e
+      if (in_to == 0) gain -= w;    // to-part newly appears in e
+    } else {
+      const PartId l = lambda_[e];
+      const PartId l_after =
+          l - static_cast<PartId>(in_from == 1) + static_cast<PartId>(in_to == 0);
+      gain += w * (static_cast<Weight>(l > 1) - static_cast<Weight>(l_after > 1));
+    }
+  }
+  return gain;
+}
+
+void ConnectivityTracker::move(NodeId v, PartId to) {
+  const PartId from = part_[v];
+  if (from == to) return;
+  for (const EdgeId e : g_.incident_edges(v)) {
+    const Weight w = g_.edge_weight(e);
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    const PartId l_before = lambda_[e];
+    auto& cf = counts_[base + from];
+    auto& ct = counts_[base + to];
+    assert(cf > 0);
+    --cf;
+    PartId l = l_before;
+    if (cf == 0) --l;
+    if (ct == 0) ++l;
+    ++ct;
+    lambda_[e] = l;
+    if (l != l_before) {
+      connectivity_ +=
+          w * (static_cast<Weight>(l) - static_cast<Weight>(l_before));
+      cut_net_ +=
+          w * (static_cast<Weight>(l > 1) - static_cast<Weight>(l_before > 1));
+    }
+  }
+  part_weight_[from] -= g_.node_weight(v);
+  part_weight_[to] += g_.node_weight(v);
+  part_[v] = to;
+}
+
+Partition ConnectivityTracker::to_partition() const {
+  return Partition{std::vector<PartId>(part_.begin(), part_.end()), k_};
+}
+
+}  // namespace hp

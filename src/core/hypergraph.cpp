@@ -1,0 +1,129 @@
+#include "hyperpart/core/hypergraph.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp {
+
+Hypergraph Hypergraph::from_edges(NodeId num_nodes,
+                                  std::vector<std::vector<NodeId>> edges) {
+  Hypergraph g;
+  g.edge_offsets_.assign(1, 0);
+  g.edge_offsets_.reserve(edges.size() + 1);
+  std::uint64_t total_pins = 0;
+  for (auto& e : edges) {
+    std::sort(e.begin(), e.end());
+    e.erase(std::unique(e.begin(), e.end()), e.end());
+    for (const NodeId v : e) {
+      if (v >= num_nodes) {
+        throw std::invalid_argument("Hypergraph::from_edges: pin out of range");
+      }
+    }
+    total_pins += e.size();
+  }
+  g.pins_.reserve(total_pins);
+  for (const auto& e : edges) {
+    g.pins_.insert(g.pins_.end(), e.begin(), e.end());
+    g.edge_offsets_.push_back(g.pins_.size());
+  }
+
+  // Mirror: node -> incident edges, via counting sort over pins.
+  g.node_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const NodeId v : g.pins_) ++g.node_offsets_[v + 1];
+  std::partial_sum(g.node_offsets_.begin(), g.node_offsets_.end(),
+                   g.node_offsets_.begin());
+  g.incident_.resize(g.pins_.size());
+  std::vector<std::uint64_t> cursor(g.node_offsets_.begin(),
+                                    g.node_offsets_.end() - 1);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const NodeId v : g.pins(e)) g.incident_[cursor[v]++] = e;
+  }
+  return g;
+}
+
+std::uint32_t Hypergraph::max_degree() const noexcept {
+  std::uint32_t best = 0;
+  for (NodeId v = 0; v < num_nodes(); ++v) best = std::max(best, degree(v));
+  return best;
+}
+
+std::uint32_t Hypergraph::max_edge_size() const noexcept {
+  std::uint32_t best = 0;
+  for (EdgeId e = 0; e < num_edges(); ++e) best = std::max(best, edge_size(e));
+  return best;
+}
+
+Weight Hypergraph::total_node_weight() const noexcept {
+  if (node_weights_.empty()) return static_cast<Weight>(num_nodes());
+  return std::accumulate(node_weights_.begin(), node_weights_.end(),
+                         Weight{0});
+}
+
+void Hypergraph::set_node_weights(std::vector<Weight> w) {
+  if (w.size() != num_nodes()) {
+    throw std::invalid_argument("set_node_weights: size mismatch");
+  }
+  for (const Weight x : w) {
+    if (x < 0) throw std::invalid_argument("set_node_weights: negative weight");
+  }
+  node_weights_ = std::move(w);
+}
+
+void Hypergraph::set_edge_weights(std::vector<Weight> w) {
+  if (w.size() != num_edges()) {
+    throw std::invalid_argument("set_edge_weights: size mismatch");
+  }
+  for (const Weight x : w) {
+    if (x < 0) throw std::invalid_argument("set_edge_weights: negative weight");
+  }
+  edge_weights_ = std::move(w);
+}
+
+bool Hypergraph::validate() const noexcept {
+  if (edge_offsets_.empty() || node_offsets_.empty()) return false;
+  if (edge_offsets_.front() != 0 || node_offsets_.front() != 0) return false;
+  if (edge_offsets_.back() != pins_.size()) return false;
+  if (node_offsets_.back() != incident_.size()) return false;
+  if (pins_.size() != incident_.size()) return false;
+  if (!std::is_sorted(edge_offsets_.begin(), edge_offsets_.end())) return false;
+  if (!std::is_sorted(node_offsets_.begin(), node_offsets_.end())) return false;
+  const NodeId n = num_nodes();
+  for (const NodeId v : pins_) {
+    if (v >= n) return false;
+  }
+  // Pins within an edge must be sorted and distinct.
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    const auto p = pins(e);
+    for (std::size_t i = 1; i < p.size(); ++i) {
+      if (p[i - 1] >= p[i]) return false;
+    }
+  }
+  // The incidence mirror must contain exactly the same (v, e) pairs.
+  std::vector<std::uint64_t> expect_deg(n, 0);
+  for (EdgeId e = 0; e < num_edges(); ++e) {
+    for (const NodeId v : pins(e)) ++expect_deg[v];
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (expect_deg[v] != degree(v)) return false;
+    for (const EdgeId e : incident_edges(v)) {
+      const auto p = pins(e);
+      if (!std::binary_search(p.begin(), p.end(), v)) return false;
+    }
+  }
+  if (!node_weights_.empty() && node_weights_.size() != n) return false;
+  if (!edge_weights_.empty() && edge_weights_.size() != num_edges()) {
+    return false;
+  }
+  return true;
+}
+
+std::string Hypergraph::summary() const {
+  std::ostringstream os;
+  os << "Hypergraph(n=" << num_nodes() << ", m=" << num_edges()
+     << ", pins=" << num_pins() << ", max_degree=" << max_degree() << ")";
+  return os.str();
+}
+
+}  // namespace hp

@@ -1,0 +1,90 @@
+#include "hyperpart/core/metrics.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+const char* to_string(CostMetric m) noexcept {
+  switch (m) {
+    case CostMetric::kCutNet:
+      return "cut-net";
+    case CostMetric::kConnectivity:
+      return "connectivity";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Collect the distinct parts appearing in e into a small stack buffer; λ_e
+/// is rarely large, so a linear scan over distinct parts beats hashing.
+[[nodiscard]] PartId count_distinct_parts(const Hypergraph& g,
+                                          const Partition& p, EdgeId e) {
+  PartId distinct[64];
+  PartId count = 0;
+  std::vector<PartId> overflow;
+  for (const NodeId v : g.pins(e)) {
+    const PartId q = p[v];
+    if (q >= p.k()) continue;  // unassigned
+    bool seen = false;
+    for (PartId i = 0; i < std::min<PartId>(count, 64); ++i) {
+      if (distinct[i] == q) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen && count >= 64) {
+      seen = std::find(overflow.begin(), overflow.end(), q) != overflow.end();
+    }
+    if (!seen) {
+      if (count < 64) {
+        distinct[count] = q;
+      } else {
+        overflow.push_back(q);
+      }
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace
+
+PartId lambda(const Hypergraph& g, const Partition& p, EdgeId e) {
+  return count_distinct_parts(g, p, e);
+}
+
+bool is_cut(const Hypergraph& g, const Partition& p, EdgeId e) {
+  return lambda(g, p, e) > 1;
+}
+
+Weight cost(const Hypergraph& g, const Partition& p, CostMetric metric) {
+  Weight total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const PartId l = lambda(g, p, e);
+    if (l <= 1) continue;
+    total += metric == CostMetric::kCutNet
+                 ? g.edge_weight(e)
+                 : g.edge_weight(e) * static_cast<Weight>(l - 1);
+  }
+  return total;
+}
+
+std::vector<EdgeId> cut_edges(const Hypergraph& g, const Partition& p) {
+  std::vector<EdgeId> out;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (is_cut(g, p, e)) out.push_back(e);
+  }
+  return out;
+}
+
+Weight sum_external_degrees(const Hypergraph& g, const Partition& p) {
+  Weight total = 0;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const PartId l = lambda(g, p, e);
+    if (l > 1) total += g.edge_weight(e) * static_cast<Weight>(l);
+  }
+  return total;
+}
+
+}  // namespace hp

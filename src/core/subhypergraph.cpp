@@ -1,0 +1,44 @@
+#include "hyperpart/core/subhypergraph.hpp"
+
+#include <stdexcept>
+
+namespace hp {
+
+SubHypergraph induced_subhypergraph(const Hypergraph& g,
+                                    const std::vector<NodeId>& nodes) {
+  std::vector<NodeId> to_sub(g.num_nodes(), kInvalidNode);
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    if (to_sub[nodes[i]] != kInvalidNode) {
+      throw std::invalid_argument("induced_subhypergraph: duplicate node");
+    }
+    to_sub[nodes[i]] = static_cast<NodeId>(i);
+  }
+
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> edge_weights;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::vector<NodeId> pins;
+    for (const NodeId v : g.pins(e)) {
+      if (to_sub[v] != kInvalidNode) pins.push_back(to_sub[v]);
+    }
+    if (pins.size() < 2) continue;
+    edges.push_back(std::move(pins));
+    edge_weights.push_back(g.edge_weight(e));
+  }
+
+  SubHypergraph sub;
+  sub.original_node = nodes;
+  sub.graph = Hypergraph::from_edges(static_cast<NodeId>(nodes.size()),
+                                     std::move(edges));
+  if (g.has_edge_weights()) sub.graph.set_edge_weights(std::move(edge_weights));
+  if (g.has_node_weights()) {
+    std::vector<Weight> nw(nodes.size());
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+      nw[i] = g.node_weight(nodes[i]);
+    }
+    sub.graph.set_node_weights(std::move(nw));
+  }
+  return sub;
+}
+
+}  // namespace hp

@@ -1,0 +1,123 @@
+#include "hyperpart/dag/dag.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+
+namespace hp {
+
+Dag Dag::from_edges(NodeId num_nodes,
+                    std::vector<std::pair<NodeId, NodeId>> edges) {
+  for (const auto& [u, v] : edges) {
+    if (u >= num_nodes || v >= num_nodes) {
+      throw std::invalid_argument("Dag::from_edges: endpoint out of range");
+    }
+    if (u == v) throw std::invalid_argument("Dag::from_edges: self loop");
+  }
+  std::sort(edges.begin(), edges.end());
+  edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+
+  Dag d;
+  d.succ_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  d.pred_offsets_.assign(static_cast<std::size_t>(num_nodes) + 1, 0);
+  for (const auto& [u, v] : edges) {
+    ++d.succ_offsets_[u + 1];
+    ++d.pred_offsets_[v + 1];
+  }
+  std::partial_sum(d.succ_offsets_.begin(), d.succ_offsets_.end(),
+                   d.succ_offsets_.begin());
+  std::partial_sum(d.pred_offsets_.begin(), d.pred_offsets_.end(),
+                   d.pred_offsets_.begin());
+  d.succ_.resize(edges.size());
+  d.pred_.resize(edges.size());
+  std::vector<std::uint64_t> sc(d.succ_offsets_.begin(),
+                                d.succ_offsets_.end() - 1);
+  std::vector<std::uint64_t> pc(d.pred_offsets_.begin(),
+                                d.pred_offsets_.end() - 1);
+  for (const auto& [u, v] : edges) {
+    d.succ_[sc[u]++] = v;
+    d.pred_[pc[v]++] = u;
+  }
+
+  if (d.topological_order().size() != num_nodes) {
+    throw std::invalid_argument("Dag::from_edges: graph contains a cycle");
+  }
+  return d;
+}
+
+std::vector<NodeId> Dag::sources() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (in_degree(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::sinks() const {
+  std::vector<NodeId> out;
+  for (NodeId v = 0; v < num_nodes(); ++v) {
+    if (out_degree(v) == 0) out.push_back(v);
+  }
+  return out;
+}
+
+std::vector<NodeId> Dag::topological_order() const {
+  const NodeId n = num_nodes();
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<NodeId> order;
+  order.reserve(n);
+  std::vector<NodeId> frontier;
+  for (NodeId v = 0; v < n; ++v) {
+    remaining[v] = in_degree(v);
+    if (remaining[v] == 0) frontier.push_back(v);
+  }
+  while (!frontier.empty()) {
+    const NodeId v = frontier.back();
+    frontier.pop_back();
+    order.push_back(v);
+    for (const NodeId w : successors(v)) {
+      if (--remaining[w] == 0) frontier.push_back(w);
+    }
+  }
+  return order;  // shorter than n iff cyclic
+}
+
+std::uint32_t Dag::longest_path_nodes() const {
+  if (num_nodes() == 0) return 0;
+  const auto layers = earliest_layers();
+  return *std::max_element(layers.begin(), layers.end()) + 1;
+}
+
+std::vector<std::uint32_t> Dag::earliest_layers() const {
+  std::vector<std::uint32_t> layer(num_nodes(), 0);
+  for (const NodeId v : topological_order()) {
+    for (const NodeId u : predecessors(v)) {
+      layer[v] = std::max(layer[v], layer[u] + 1);
+    }
+  }
+  return layer;
+}
+
+std::vector<std::uint32_t> Dag::latest_layers() const {
+  const std::uint32_t ell = longest_path_nodes();
+  std::vector<std::uint32_t> layer(num_nodes(), ell == 0 ? 0 : ell - 1);
+  const auto order = topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    const NodeId v = *it;
+    for (const NodeId w : successors(v)) {
+      layer[v] = std::min(layer[v], layer[w] - 1);
+    }
+  }
+  return layer;
+}
+
+std::vector<std::pair<NodeId, NodeId>> Dag::edge_list() const {
+  std::vector<std::pair<NodeId, NodeId>> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; u < num_nodes(); ++u) {
+    for (const NodeId v : successors(u)) out.emplace_back(u, v);
+  }
+  return out;
+}
+
+}  // namespace hp

@@ -1,0 +1,94 @@
+#include "hyperpart/dag/hyperdag.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace hp {
+
+Dag HyperDag::to_dag() const {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < graph.num_edges(); ++e) {
+    const NodeId gen = generator[e];
+    for (const NodeId v : graph.pins(e)) {
+      if (v != gen) edges.emplace_back(gen, v);
+    }
+  }
+  return Dag::from_edges(graph.num_nodes(), std::move(edges));
+}
+
+HyperDag to_hyperdag(const Dag& dag) {
+  HyperDag h;
+  std::vector<std::vector<NodeId>> edges;
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    const auto succ = dag.successors(u);
+    if (succ.empty()) continue;  // sinks generate no hyperedge
+    std::vector<NodeId> pins;
+    pins.reserve(succ.size() + 1);
+    pins.push_back(u);
+    pins.insert(pins.end(), succ.begin(), succ.end());
+    edges.push_back(std::move(pins));
+    h.generator.push_back(u);
+  }
+  h.graph = Hypergraph::from_edges(dag.num_nodes(), std::move(edges));
+  return h;
+}
+
+Hypergraph hendrickson_kolda_hypergraph(const Dag& dag) {
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(dag.num_nodes());
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    std::vector<NodeId> pins;
+    pins.push_back(u);
+    const auto pred = dag.predecessors(u);
+    const auto succ = dag.successors(u);
+    pins.insert(pins.end(), pred.begin(), pred.end());
+    pins.insert(pins.end(), succ.begin(), succ.end());
+    edges.push_back(std::move(pins));
+  }
+  return Hypergraph::from_edges(dag.num_nodes(), std::move(edges));
+}
+
+HyperDag densest_hyperdag(NodeId n) {
+  if (n < 2) throw std::invalid_argument("densest_hyperdag: need n >= 2");
+  HyperDag h;
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(n - 1);
+  for (NodeId i = 0; i + 1 < n; ++i) {
+    std::vector<NodeId> pins;
+    pins.reserve(n - i);
+    for (NodeId v = i; v < n; ++v) pins.push_back(v);
+    edges.push_back(std::move(pins));
+    h.generator.push_back(i);
+  }
+  h.graph = Hypergraph::from_edges(n, std::move(edges));
+  return h;
+}
+
+bool valid_generator_assignment(const Hypergraph& g,
+                                const std::vector<NodeId>& generator) {
+  if (generator.size() != g.num_edges()) return false;
+  std::vector<bool> used(g.num_nodes(), false);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const NodeId gen = generator[e];
+    if (gen >= g.num_nodes() || used[gen]) return false;
+    used[gen] = true;
+    const auto p = g.pins(e);
+    if (!std::binary_search(p.begin(), p.end(), gen)) return false;
+  }
+  // Acyclicity of the induced directed graph.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    for (const NodeId v : g.pins(e)) {
+      if (v != generator[e]) edges.emplace_back(generator[e], v);
+    }
+  }
+  try {
+    (void)Dag::from_edges(g.num_nodes(), std::move(edges));
+  } catch (const std::invalid_argument&) {
+    return false;
+  }
+  return true;
+}
+
+}  // namespace hp

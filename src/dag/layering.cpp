@@ -1,0 +1,71 @@
+#include "hyperpart/dag/layering.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+bool valid_layering(const Dag& dag, const Layering& layers) {
+  if (layers.size() != dag.num_nodes()) return false;
+  const std::uint32_t ell = dag.longest_path_nodes();
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (layers[v] >= ell) return false;
+    for (const NodeId w : dag.successors(v)) {
+      if (layers[v] >= layers[w]) return false;
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<NodeId>> layer_sets(const Dag& dag,
+                                            const Layering& layers) {
+  std::vector<std::vector<NodeId>> sets(dag.longest_path_nodes());
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) sets[layers[v]].push_back(v);
+  return sets;
+}
+
+ConstraintSet layerwise_constraints(const Hypergraph& g, const Dag& dag,
+                                    const Layering& layers, PartId k,
+                                    double epsilon, bool relaxed) {
+  return ConstraintSet::for_subsets(g, layer_sets(dag, layers), k, epsilon,
+                                    relaxed);
+}
+
+std::size_t num_flexible_nodes(const Dag& dag) {
+  const auto lo = dag.earliest_layers();
+  const auto hi = dag.latest_layers();
+  std::size_t count = 0;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (lo[v] < hi[v]) ++count;
+  }
+  return count;
+}
+
+std::vector<Layering> enumerate_layerings(const Dag& dag,
+                                          std::size_t max_results) {
+  const auto lo = dag.earliest_layers();
+  const auto hi = dag.latest_layers();
+  std::vector<NodeId> flexible;
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (lo[v] < hi[v]) flexible.push_back(v);
+  }
+  std::vector<Layering> results;
+  Layering current = lo;
+  // Depth-first over flexible nodes; pinned nodes stay at their only layer.
+  const auto recurse = [&](auto&& self, std::size_t idx) -> void {
+    if (results.size() >= max_results) return;
+    if (idx == flexible.size()) {
+      if (valid_layering(dag, current)) results.push_back(current);
+      return;
+    }
+    const NodeId v = flexible[idx];
+    for (std::uint32_t layer = lo[v]; layer <= hi[v]; ++layer) {
+      current[v] = layer;
+      self(self, idx + 1);
+    }
+    current[v] = lo[v];
+  };
+  recurse(recurse, 0);
+  return results;
+}
+
+}  // namespace hp

@@ -1,0 +1,112 @@
+#include "hyperpart/dag/recognition.hpp"
+
+#include <algorithm>
+
+namespace hp {
+
+RecognitionResult recognize_hyperdag(const Hypergraph& g) {
+  RecognitionResult res;
+  res.generator.assign(g.num_edges(), kInvalidNode);
+
+  const NodeId n = g.num_nodes();
+  std::vector<std::uint32_t> degree(n);
+  std::vector<bool> node_alive(n, true);
+  std::vector<bool> edge_alive(g.num_edges(), true);
+
+  // Degree buckets with intrusive positions: buckets[d] lists nodes of
+  // current degree d; pos[v] is v's index inside its bucket. This realizes
+  // the O(ρ) bound of Lemma B.2.
+  std::vector<std::vector<NodeId>> buckets(
+      static_cast<std::size_t>(g.max_degree()) + 1);
+  std::vector<std::uint32_t> pos(n);
+  for (NodeId v = 0; v < n; ++v) {
+    degree[v] = g.degree(v);
+    pos[v] = static_cast<std::uint32_t>(buckets[degree[v]].size());
+    buckets[degree[v]].push_back(v);
+  }
+  const auto bucket_erase = [&](NodeId v) {
+    auto& b = buckets[degree[v]];
+    const NodeId last = b.back();
+    b[pos[v]] = last;
+    pos[last] = pos[v];
+    b.pop_back();
+  };
+  const auto decrement_degree = [&](NodeId v) {
+    bucket_erase(v);
+    --degree[v];
+    pos[v] = static_cast<std::uint32_t>(buckets[degree[v]].size());
+    buckets[degree[v]].push_back(v);
+  };
+
+  EdgeId edges_left = g.num_edges();
+  while (true) {
+    // Drop isolated nodes first, then take a degree-1 node if any.
+    while (!buckets[0].empty()) {
+      const NodeId v = buckets[0].back();
+      buckets[0].pop_back();
+      node_alive[v] = false;
+    }
+    if (edges_left == 0) {
+      res.is_hyperdag = true;
+      return res;
+    }
+    if (buckets.size() < 2 || buckets[1].empty()) break;  // stuck
+
+    const NodeId v = buckets[1].back();
+    bucket_erase(v);
+    node_alive[v] = false;
+    // v's single remaining incident edge: v becomes its generator.
+    EdgeId mine = kInvalidEdge;
+    for (const EdgeId e : g.incident_edges(v)) {
+      if (edge_alive[e]) {
+        mine = e;
+        break;
+      }
+    }
+    res.generator[mine] = v;
+    edge_alive[mine] = false;
+    --edges_left;
+    for (const NodeId u : g.pins(mine)) {
+      if (u != v && node_alive[u]) decrement_degree(u);
+    }
+  }
+
+  // Failure: the alive nodes all have degree >= 2; the alive edges are fully
+  // contained in them, so they witness a violating induced subgraph.
+  res.generator.clear();
+  for (NodeId v = 0; v < n; ++v) {
+    if (node_alive[v]) res.violating_subset.push_back(v);
+  }
+  return res;
+}
+
+bool is_hyperdag(const Hypergraph& g) {
+  return recognize_hyperdag(g).is_hyperdag;
+}
+
+bool characterization_holds_bruteforce(const Hypergraph& g) {
+  const NodeId n = g.num_nodes();
+  // Enumerate all non-empty node subsets; only sensible for n <= ~20.
+  for (std::uint64_t mask = 1; mask < (std::uint64_t{1} << n); ++mask) {
+    bool has_low_degree_node = false;
+    for (NodeId v = 0; v < n && !has_low_degree_node; ++v) {
+      if (!((mask >> v) & 1)) continue;
+      std::uint32_t deg = 0;
+      for (const EdgeId e : g.incident_edges(v)) {
+        bool inside = true;
+        for (const NodeId u : g.pins(e)) {
+          if (!((mask >> u) & 1)) {
+            inside = false;
+            break;
+          }
+        }
+        if (inside) ++deg;
+      }
+      if (deg <= 1) has_low_degree_node = true;
+    }
+    if (!has_low_degree_node) return false;
+  }
+  return true;
+}
+
+}  // namespace hp

@@ -1,0 +1,375 @@
+#include "hyperpart/hier/blossom.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <limits>
+#include <stdexcept>
+#include <utility>
+
+namespace hp {
+
+namespace {
+
+// Dense O(n³) maximum-weight matching (Edmonds' blossoms, primal-dual),
+// the classical formulation with explicit flower (blossom) lists and
+// per-blossom slack edges. Internally 1-based; blossom ids occupy
+// n+1 … 2n. Duals stay integral because edge deltas use 2·w.
+class Blossom {
+ public:
+  explicit Blossom(const std::vector<std::vector<Weight>>& w)
+      : n_(static_cast<int>(w.size())), n_x_(n_) {
+    const int size = 2 * n_ + 1;
+    weight_.assign(size, std::vector<Weight>(size, 0));
+    edge_u_.assign(size, std::vector<int>(size, 0));
+    edge_v_.assign(size, std::vector<int>(size, 0));
+    lab_.assign(size, 0);
+    match_.assign(size, 0);
+    slack_.assign(size, 0);
+    st_.assign(size, 0);
+    pa_.assign(size, 0);
+    s_.assign(size, -1);
+    vis_.assign(size, 0);
+    flower_.assign(size, {});
+    flower_from_.assign(size, std::vector<int>(n_ + 1, 0));
+    for (int u = 1; u <= 2 * n_; ++u) {
+      for (int v = 1; v <= 2 * n_; ++v) {
+        edge_u_[u][v] = u;
+        edge_v_[u][v] = v;
+      }
+    }
+    for (int u = 1; u <= n_; ++u) {
+      for (int v = 1; v <= n_; ++v) {
+        weight_[u][v] = u == v ? 0 : w[u - 1][v - 1];
+      }
+    }
+  }
+
+  /// Runs the algorithm; match_[u] afterwards (1-based, 0 = unmatched).
+  void solve() {
+    for (int u = 0; u <= n_; ++u) {
+      st_[u] = u;
+      flower_[u].clear();
+    }
+    Weight w_max = 0;
+    for (int u = 1; u <= n_; ++u) {
+      for (int v = 1; v <= n_; ++v) {
+        flower_from_[u][v] = u == v ? u : 0;
+        w_max = std::max(w_max, weight_[u][v]);
+      }
+    }
+    for (int u = 1; u <= n_; ++u) lab_[u] = w_max;
+    while (phase()) {
+    }
+  }
+
+  [[nodiscard]] int mate(int u) const { return match_[u]; }
+  [[nodiscard]] Weight edge_weight(int u, int v) const {
+    return weight_[u][v];
+  }
+
+ private:
+  [[nodiscard]] Weight delta(int u, int v) const {
+    return lab_[edge_u_[u][v]] + lab_[edge_v_[u][v]] - 2 * weight_[u][v];
+  }
+
+  void update_slack(int u, int x) {
+    if (slack_[x] == 0 || delta(u, x) < delta(slack_[x], x)) slack_[x] = u;
+  }
+
+  void set_slack(int x) {
+    slack_[x] = 0;
+    for (int u = 1; u <= n_; ++u) {
+      if (weight_[u][x] > 0 && st_[u] != x && s_[st_[u]] == 0) {
+        update_slack(u, x);
+      }
+    }
+  }
+
+  void q_push(int x) {
+    if (x <= n_) {
+      queue_.push_back(x);
+      return;
+    }
+    for (const int y : flower_[x]) q_push(y);
+  }
+
+  void set_st(int x, int b) {
+    st_[x] = b;
+    if (x > n_) {
+      for (const int y : flower_[x]) set_st(y, b);
+    }
+  }
+
+  int get_pr(int b, int xr) {
+    auto& f = flower_[b];
+    const int pr = static_cast<int>(
+        std::find(f.begin(), f.end(), xr) - f.begin());
+    if (pr % 2 == 1) {
+      std::reverse(f.begin() + 1, f.end());
+      return static_cast<int>(f.size()) - pr;
+    }
+    return pr;
+  }
+
+  void set_match(int u, int v) {
+    match_[u] = edge_v_[u][v];
+    if (u <= n_) return;
+    const int xr = flower_from_[u][edge_u_[u][v]];
+    const int pr = get_pr(u, xr);
+    for (int i = 0; i < pr; ++i) {
+      set_match(flower_[u][i], flower_[u][i ^ 1]);
+    }
+    set_match(xr, v);
+    std::rotate(flower_[u].begin(), flower_[u].begin() + pr,
+                flower_[u].end());
+  }
+
+  void augment(int u, int v) {
+    for (;;) {
+      const int xnv = st_[match_[u]];
+      set_match(u, v);
+      if (xnv == 0) return;
+      set_match(xnv, st_[pa_[xnv]]);
+      u = st_[pa_[xnv]];
+      v = xnv;
+    }
+  }
+
+  int get_lca(int u, int v) {
+    ++timer_;
+    while (u != 0 || v != 0) {
+      if (u != 0) {
+        if (vis_[u] == timer_) return u;
+        vis_[u] = timer_;
+        u = st_[match_[u]];
+        if (u != 0) u = st_[pa_[u]];
+      }
+      std::swap(u, v);
+    }
+    return 0;
+  }
+
+  void add_blossom(int u, int lca, int v) {
+    int b = n_ + 1;
+    while (b <= n_x_ && st_[b] != 0) ++b;
+    if (b > n_x_) ++n_x_;
+    lab_[b] = 0;
+    s_[b] = 0;
+    match_[b] = match_[lca];
+    flower_[b].clear();
+    flower_[b].push_back(lca);
+    for (int x = u, y; x != lca; x = st_[pa_[y]]) {
+      flower_[b].push_back(x);
+      y = st_[match_[x]];
+      flower_[b].push_back(y);
+      q_push(y);
+    }
+    std::reverse(flower_[b].begin() + 1, flower_[b].end());
+    for (int x = v, y; x != lca; x = st_[pa_[y]]) {
+      flower_[b].push_back(x);
+      y = st_[match_[x]];
+      flower_[b].push_back(y);
+      q_push(y);
+    }
+    set_st(b, b);
+    for (int x = 1; x <= n_x_; ++x) {
+      weight_[b][x] = weight_[x][b] = 0;
+    }
+    for (int x = 1; x <= n_; ++x) flower_from_[b][x] = 0;
+    for (const int xs : flower_[b]) {
+      for (int x = 1; x <= n_x_; ++x) {
+        if (weight_[b][x] == 0 || delta(xs, x) < delta(b, x)) {
+          edge_u_[b][x] = edge_u_[xs][x];
+          edge_v_[b][x] = edge_v_[xs][x];
+          weight_[b][x] = weight_[xs][x];
+          edge_u_[x][b] = edge_u_[x][xs];
+          edge_v_[x][b] = edge_v_[x][xs];
+          weight_[x][b] = weight_[x][xs];
+        }
+      }
+      for (int x = 1; x <= n_; ++x) {
+        if (flower_from_[xs][x] != 0) flower_from_[b][x] = xs;
+      }
+    }
+    set_slack(b);
+  }
+
+  void expand_blossom(int b) {
+    for (const int xs : flower_[b]) set_st(xs, xs);
+    const int xr = flower_from_[b][edge_u_[b][pa_[b]]];
+    const int pr = get_pr(b, xr);
+    for (int i = 0; i < pr; i += 2) {
+      const int xs = flower_[b][i];
+      const int xns = flower_[b][i + 1];
+      pa_[xs] = edge_u_[xns][xs];
+      s_[xs] = 1;
+      s_[xns] = 0;
+      slack_[xs] = 0;
+      set_slack(xns);
+      q_push(xns);
+    }
+    s_[xr] = 1;
+    pa_[xr] = pa_[b];
+    for (std::size_t i = pr + 1; i < flower_[b].size(); ++i) {
+      const int xs = flower_[b][i];
+      s_[xs] = -1;
+      set_slack(xs);
+    }
+    st_[b] = 0;
+  }
+
+  bool on_found_edge(int eu, int ev) {
+    const int u = st_[eu];
+    const int v = st_[ev];
+    if (s_[v] == -1) {
+      pa_[v] = eu;
+      s_[v] = 1;
+      const int nu = st_[match_[v]];
+      slack_[v] = slack_[nu] = 0;
+      s_[nu] = 0;
+      q_push(nu);
+    } else if (s_[v] == 0) {
+      const int lca = get_lca(u, v);
+      if (lca == 0) {
+        augment(u, v);
+        augment(v, u);
+        return true;
+      }
+      add_blossom(u, lca, v);
+    }
+    return false;
+  }
+
+  bool phase() {
+    std::fill(s_.begin(), s_.begin() + n_x_ + 1, -1);
+    std::fill(slack_.begin(), slack_.begin() + n_x_ + 1, 0);
+    queue_.clear();
+    for (int x = 1; x <= n_x_; ++x) {
+      if (st_[x] == x && match_[x] == 0) {
+        pa_[x] = 0;
+        s_[x] = 0;
+        q_push(x);
+      }
+    }
+    if (queue_.empty()) return false;
+    for (;;) {
+      while (!queue_.empty()) {
+        const int u = queue_.front();
+        queue_.pop_front();
+        if (s_[st_[u]] == 1) continue;
+        for (int v = 1; v <= n_; ++v) {
+          if (weight_[u][v] > 0 && st_[u] != st_[v]) {
+            if (delta(u, v) == 0) {
+              if (on_found_edge(u, v)) return true;
+            } else {
+              update_slack(u, st_[v]);
+            }
+          }
+        }
+      }
+      Weight d = std::numeric_limits<Weight>::max();
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1) d = std::min(d, lab_[b] / 2);
+      }
+      for (int x = 1; x <= n_x_; ++x) {
+        if (st_[x] == x && slack_[x] != 0) {
+          if (s_[x] == -1) {
+            d = std::min(d, delta(slack_[x], x));
+          } else if (s_[x] == 0) {
+            d = std::min(d, delta(slack_[x], x) / 2);
+          }
+        }
+      }
+      for (int u = 1; u <= n_; ++u) {
+        if (s_[st_[u]] == 0) {
+          if (lab_[u] <= d) return false;
+          lab_[u] -= d;
+        } else if (s_[st_[u]] == 1) {
+          lab_[u] += d;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] >= 0) {
+          if (s_[b] == 0) {
+            lab_[b] += 2 * d;
+          } else {
+            lab_[b] -= 2 * d;
+          }
+        }
+      }
+      queue_.clear();
+      for (int x = 1; x <= n_x_; ++x) {
+        if (st_[x] == x && slack_[x] != 0 && st_[slack_[x]] != x &&
+            delta(slack_[x], x) == 0) {
+          if (on_found_edge(slack_[x], x)) return true;
+        }
+      }
+      for (int b = n_ + 1; b <= n_x_; ++b) {
+        if (st_[b] == b && s_[b] == 1 && lab_[b] == 0) expand_blossom(b);
+      }
+    }
+  }
+
+  int n_;
+  int n_x_;
+  std::vector<std::vector<Weight>> weight_;
+  std::vector<std::vector<int>> edge_u_;
+  std::vector<std::vector<int>> edge_v_;
+  std::vector<Weight> lab_;
+  std::vector<int> match_;
+  std::vector<int> slack_;
+  std::vector<int> st_;
+  std::vector<int> pa_;
+  std::vector<int> s_;
+  std::vector<int> vis_;
+  std::vector<std::vector<int>> flower_;
+  std::vector<std::vector<int>> flower_from_;
+  std::deque<int> queue_;
+  int timer_ = 0;
+};
+
+}  // namespace
+
+BlossomResult blossom_max_weight_perfect_matching(
+    const std::vector<std::vector<Weight>>& weight) {
+  const auto n = static_cast<std::uint32_t>(weight.size());
+  if (n % 2 != 0) {
+    throw std::invalid_argument("blossom: odd number of vertices");
+  }
+  BlossomResult res;
+  res.mate.assign(n, 0);
+  if (n == 0) return res;
+  Weight max_w = 0;
+  for (const auto& row : weight) {
+    for (const Weight w : row) {
+      if (w < 0) throw std::invalid_argument("blossom: negative weight");
+      max_w = std::max(max_w, w);
+    }
+  }
+  // Offset forces maximum cardinality (= perfect on a complete even
+  // graph): every edge gains `offset`, so any perfect matching outweighs
+  // any non-perfect one.
+  const Weight offset = static_cast<Weight>(n) * (max_w + 1) + 1;
+  std::vector<std::vector<Weight>> shifted(
+      n, std::vector<Weight>(n, 0));
+  for (std::uint32_t u = 0; u < n; ++u) {
+    for (std::uint32_t v = 0; v < n; ++v) {
+      if (u != v) shifted[u][v] = weight[u][v] + offset;
+    }
+  }
+  Blossom solver(shifted);
+  solver.solve();
+  for (std::uint32_t u = 0; u < n; ++u) {
+    const int m = solver.mate(static_cast<int>(u) + 1);
+    if (m == 0) {
+      throw std::logic_error("blossom: matching is not perfect");
+    }
+    res.mate[u] = static_cast<std::uint32_t>(m - 1);
+  }
+  for (std::uint32_t u = 0; u < n; ++u) {
+    if (res.mate[u] > u) res.weight += weight[u][res.mate[u]];
+  }
+  return res;
+}
+
+}  // namespace hp

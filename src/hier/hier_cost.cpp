@@ -1,0 +1,108 @@
+#include "hyperpart/hier/hier_cost.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace hp {
+
+std::vector<PartId> lambda_profile(const HierTopology& topo,
+                                   const std::vector<PartId>& leaf_parts) {
+  std::vector<PartId> parts = leaf_parts;
+  std::sort(parts.begin(), parts.end());
+  parts.erase(std::unique(parts.begin(), parts.end()), parts.end());
+  const std::uint32_t d = topo.depth();
+  std::vector<PartId> profile(d + 1, 1);
+  if (parts.empty()) {
+    profile.assign(d + 1, 0);
+    return profile;
+  }
+  std::vector<PartId> groups;
+  for (std::uint32_t level = 1; level <= d; ++level) {
+    groups.clear();
+    for (const PartId leaf : parts) {
+      groups.push_back(topo.level_group(leaf, level));
+    }
+    std::sort(groups.begin(), groups.end());
+    groups.erase(std::unique(groups.begin(), groups.end()), groups.end());
+    profile[level] = static_cast<PartId>(groups.size());
+  }
+  return profile;
+}
+
+double hier_set_cost(const HierTopology& topo,
+                     const std::vector<PartId>& leaf_parts) {
+  const auto profile = lambda_profile(topo, leaf_parts);
+  if (profile[0] == 0) return 0.0;  // empty set
+  double total = 0.0;
+  for (std::uint32_t level = 1; level <= topo.depth(); ++level) {
+    total += topo.level_cost(level) *
+             static_cast<double>(profile[level] - profile[level - 1]);
+  }
+  return total;
+}
+
+double hier_mask_cost(const HierTopology& topo, std::uint32_t leaf_mask) {
+  std::vector<PartId> parts;
+  for (PartId q = 0; q < topo.num_leaves(); ++q) {
+    if ((leaf_mask >> q) & 1) parts.push_back(q);
+  }
+  return hier_set_cost(topo, parts);
+}
+
+double hier_cost(const Hypergraph& g, const Partition& p,
+                 const HierTopology& topo) {
+  double total = 0.0;
+  std::vector<PartId> parts;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    parts.clear();
+    for (const NodeId v : g.pins(e)) {
+      if (p[v] < p.k()) parts.push_back(p[v]);
+    }
+    total += static_cast<double>(g.edge_weight(e)) * hier_set_cost(topo, parts);
+  }
+  return total;
+}
+
+double general_topology_cost(const Hypergraph& g, const Partition& p,
+                             const GeneralTopology& topo) {
+  double total = 0.0;
+  std::vector<PartId> parts;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    parts.clear();
+    for (const NodeId v : g.pins(e)) {
+      if (p[v] < p.k()) parts.push_back(p[v]);
+    }
+    total += static_cast<double>(g.edge_weight(e)) * topo.mst_cost(parts);
+  }
+  return total;
+}
+
+Hypergraph contract_partition(const Hypergraph& g, const Partition& p) {
+  struct VectorHash {
+    std::size_t operator()(const std::vector<NodeId>& v) const noexcept {
+      std::size_t h = v.size();
+      for (const NodeId x : v) h ^= x + 0x9e3779b9 + (h << 6) + (h >> 2);
+      return h;
+    }
+  };
+  std::unordered_map<std::vector<NodeId>, Weight, VectorHash> merged;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    std::vector<NodeId> pins;
+    for (const NodeId v : g.pins(e)) pins.push_back(p[v]);
+    std::sort(pins.begin(), pins.end());
+    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+    if (pins.size() < 2) continue;
+    merged[std::move(pins)] += g.edge_weight(e);
+  }
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> weights;
+  for (auto& [pins, w] : merged) {
+    edges.push_back(pins);
+    weights.push_back(w);
+  }
+  Hypergraph out = Hypergraph::from_edges(p.k(), std::move(edges));
+  out.set_edge_weights(std::move(weights));
+  return out;
+}
+
+}  // namespace hp

@@ -1,0 +1,120 @@
+#include "hyperpart/hier/matching.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <limits>
+#include <stdexcept>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+MatchingResult max_weight_perfect_matching(
+    const std::vector<std::vector<double>>& weight) {
+  const std::uint32_t n = static_cast<std::uint32_t>(weight.size());
+  if (n % 2 != 0) {
+    throw std::invalid_argument("max_weight_perfect_matching: odd n");
+  }
+  if (n > 24) {
+    throw std::invalid_argument("max_weight_perfect_matching: n > 24");
+  }
+  MatchingResult res;
+  res.mate.assign(n, 0);
+  if (n == 0) return res;
+
+  const std::uint32_t full = (n == 32) ? ~0u : ((1u << n) - 1);
+  constexpr double kNegInf = -std::numeric_limits<double>::infinity();
+  // best[mask]: best weight matching the vertices in mask perfectly.
+  std::vector<double> best(full + 1, kNegInf);
+  std::vector<std::uint32_t> choice(full + 1, 0);
+  best[0] = 0.0;
+  for (std::uint32_t mask = 0; mask <= full; ++mask) {
+    if (best[mask] == kNegInf) continue;
+    if (mask == full) break;
+    // Match the lowest unmatched vertex with every candidate partner —
+    // canonical, so each perfect matching is built exactly once.
+    const std::uint32_t v = static_cast<std::uint32_t>(
+        std::countr_one(mask));
+    for (std::uint32_t u = v + 1; u < n; ++u) {
+      if ((mask >> u) & 1) continue;
+      const std::uint32_t next = mask | (1u << v) | (1u << u);
+      const double w = best[mask] + weight[v][u];
+      if (w > best[next]) {
+        best[next] = w;
+        choice[next] = (v << 8) | u;
+      }
+    }
+  }
+  res.weight = best[full];
+  std::uint32_t mask = full;
+  while (mask != 0) {
+    const std::uint32_t v = choice[mask] >> 8;
+    const std::uint32_t u = choice[mask] & 0xff;
+    res.mate[v] = u;
+    res.mate[u] = v;
+    mask &= ~((1u << v) | (1u << u));
+  }
+  return res;
+}
+
+MatchingResult matching_local_search(
+    const std::vector<std::vector<double>>& weight, std::uint64_t seed) {
+  const std::uint32_t n = static_cast<std::uint32_t>(weight.size());
+  if (n % 2 != 0) {
+    throw std::invalid_argument("matching_local_search: odd n");
+  }
+  MatchingResult res;
+  res.mate.assign(n, 0);
+  if (n == 0) return res;
+
+  // Random initial pairing.
+  Rng rng{seed};
+  std::vector<std::uint32_t> order(n);
+  for (std::uint32_t i = 0; i < n; ++i) order[i] = i;
+  rng.shuffle(order);
+  for (std::uint32_t i = 0; i < n; i += 2) {
+    res.mate[order[i]] = order[i + 1];
+    res.mate[order[i + 1]] = order[i];
+  }
+
+  // 2-opt: re-pair two pairs {a,b}, {c,d} as {a,c},{b,d} or {a,d},{b,c}.
+  // First-improvement strategy; restart the scan after every swap so pair
+  // pointers are never stale.
+  const auto try_improve = [&]() -> bool {
+    for (std::uint32_t a = 0; a < n; ++a) {
+      const std::uint32_t b = res.mate[a];
+      if (b < a) continue;
+      for (std::uint32_t c = a + 1; c < n; ++c) {
+        const std::uint32_t d = res.mate[c];
+        if (d < c || c == b) continue;
+        const double current = weight[a][b] + weight[c][d];
+        const double swap1 = weight[a][c] + weight[b][d];
+        const double swap2 = weight[a][d] + weight[b][c];
+        if (swap1 > current && swap1 >= swap2) {
+          res.mate[a] = c;
+          res.mate[c] = a;
+          res.mate[b] = d;
+          res.mate[d] = b;
+          return true;
+        }
+        if (swap2 > current) {
+          res.mate[a] = d;
+          res.mate[d] = a;
+          res.mate[b] = c;
+          res.mate[c] = b;
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+  while (try_improve()) {
+  }
+  res.weight = 0.0;
+  for (std::uint32_t v = 0; v < n; ++v) {
+    if (res.mate[v] > v) res.weight += weight[v][res.mate[v]];
+  }
+  return res;
+}
+
+}  // namespace hp

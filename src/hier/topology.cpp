@@ -1,0 +1,105 @@
+#include "hyperpart/hier/topology.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace hp {
+
+HierTopology::HierTopology(std::vector<PartId> branching,
+                           std::vector<double> costs)
+    : branching_(std::move(branching)), costs_(std::move(costs)) {
+  if (branching_.empty() || branching_.size() != costs_.size()) {
+    throw std::invalid_argument("HierTopology: bad branching/costs sizes");
+  }
+  for (const PartId b : branching_) {
+    if (b < 1) throw std::invalid_argument("HierTopology: branching < 1");
+  }
+  for (std::size_t i = 0; i < costs_.size(); ++i) {
+    if (costs_[i] <= 0) throw std::invalid_argument("HierTopology: g <= 0");
+    if (i > 0 && costs_[i] > costs_[i - 1]) {
+      throw std::invalid_argument("HierTopology: costs must be decreasing");
+    }
+  }
+  for (const PartId b : branching_) k_ *= b;
+  // leaves_below_[level] for level in [0, d]: product of branching below.
+  leaves_below_.assign(branching_.size() + 1, 1);
+  for (std::size_t i = branching_.size(); i-- > 0;) {
+    leaves_below_[i] = leaves_below_[i + 1] * branching_[i];
+  }
+}
+
+HierTopology HierTopology::flat(PartId k) {
+  return HierTopology{{k}, {1.0}};
+}
+
+std::uint32_t HierTopology::lca_level(PartId a, PartId b) const noexcept {
+  // Groups agree at level 0 (the root) and diverge at some level ≥ 1; the
+  // LCA is one level above the first divergence.
+  for (std::uint32_t level = 1; level <= depth(); ++level) {
+    if (level_group(a, level) != level_group(b, level)) return level - 1;
+  }
+  return depth();
+}
+
+double HierTopology::transfer_cost(PartId a, PartId b) const noexcept {
+  if (a == b) return 0.0;
+  // LCA at level ℓ means the data crosses a level-(ℓ+1) boundary.
+  return costs_[lca_level(a, b)];
+}
+
+GeneralTopology::GeneralTopology(std::vector<std::vector<double>> cost)
+    : cost_(std::move(cost)) {
+  const std::size_t k = cost_.size();
+  if (k == 0) throw std::invalid_argument("GeneralTopology: empty matrix");
+  for (std::size_t i = 0; i < k; ++i) {
+    if (cost_[i].size() != k) {
+      throw std::invalid_argument("GeneralTopology: non-square matrix");
+    }
+    if (cost_[i][i] != 0.0) {
+      throw std::invalid_argument("GeneralTopology: nonzero diagonal");
+    }
+    for (std::size_t j = 0; j < k; ++j) {
+      if (cost_[i][j] != cost_[j][i] || (i != j && cost_[i][j] <= 0)) {
+        throw std::invalid_argument("GeneralTopology: invalid costs");
+      }
+    }
+  }
+}
+
+GeneralTopology GeneralTopology::from_tree(const HierTopology& tree) {
+  const PartId k = tree.num_leaves();
+  std::vector<std::vector<double>> cost(k, std::vector<double>(k, 0.0));
+  for (PartId a = 0; a < k; ++a) {
+    for (PartId b = 0; b < k; ++b) {
+      if (a != b) cost[a][b] = tree.transfer_cost(a, b);
+    }
+  }
+  return GeneralTopology{std::move(cost)};
+}
+
+double GeneralTopology::mst_cost(const std::vector<PartId>& terminals) const {
+  std::vector<PartId> t = terminals;
+  std::sort(t.begin(), t.end());
+  t.erase(std::unique(t.begin(), t.end()), t.end());
+  if (t.size() <= 1) return 0.0;
+  // Prim's algorithm on the induced complete graph.
+  std::vector<double> dist(t.size(), std::numeric_limits<double>::infinity());
+  std::vector<bool> in_tree(t.size(), false);
+  dist[0] = 0.0;
+  double total = 0.0;
+  for (std::size_t round = 0; round < t.size(); ++round) {
+    std::size_t best = t.size();
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!in_tree[i] && (best == t.size() || dist[i] < dist[best])) best = i;
+    }
+    in_tree[best] = true;
+    total += dist[best];
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (!in_tree[i]) dist[i] = std::min(dist[i], cost_[t[best]][t[i]]);
+    }
+  }
+  return total;
+}
+
+}  // namespace hp

@@ -1,0 +1,65 @@
+#include "hyperpart/hier/two_step.hpp"
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/hier/assignment.hpp"
+#include "hyperpart/hier/hier_cost.hpp"
+
+namespace hp {
+
+TwoStepResult assign_optimally(const Hypergraph& g, const Partition& p,
+                               const HierTopology& topo) {
+  const Hypergraph contracted = contract_partition(g, p);
+  const AssignmentResult a = exact_assignment(contracted, topo);
+  TwoStepResult res;
+  res.partition = apply_assignment(p, a.leaf_of_part);
+  res.standard_cost = cost(g, p, CostMetric::kConnectivity);
+  res.hierarchical_cost = hier_cost(g, res.partition, topo);
+  return res;
+}
+
+std::optional<TwoStepResult> two_step_multilevel(const Hypergraph& g,
+                                                 const HierTopology& topo,
+                                                 double epsilon,
+                                                 const MultilevelConfig& cfg) {
+  const auto balance =
+      BalanceConstraint::for_graph(g, topo.num_leaves(), epsilon,
+                                   /*relaxed=*/true);
+  const auto p = multilevel_partition(g, balance, cfg);
+  if (!p) return std::nullopt;
+  return assign_optimally(g, *p, topo);
+}
+
+std::optional<TwoStepResult> two_step_exact(const Hypergraph& g,
+                                            const HierTopology& topo,
+                                            double epsilon, CostMetric metric) {
+  const auto balance =
+      BalanceConstraint::for_graph(g, topo.num_leaves(), epsilon,
+                                   /*relaxed=*/true);
+  BruteForceOptions opts;
+  opts.metric = metric;
+  const auto exact = brute_force_partition(g, balance, opts);
+  if (!exact) return std::nullopt;
+  return assign_optimally(g, exact->partition, topo);
+}
+
+std::optional<TwoStepResult> exact_hierarchical_optimum(
+    const Hypergraph& g, const HierTopology& topo, double epsilon) {
+  const auto balance =
+      BalanceConstraint::for_graph(g, topo.num_leaves(), epsilon,
+                                   /*relaxed=*/true);
+  BruteForceOptions opts;
+  // Part position matters under hierarchical costs: no symmetry breaking
+  // across arbitrary parts. (Assignments within the same tree shape are
+  // still enumerated redundantly; acceptable at brute-force sizes.)
+  opts.break_symmetry = false;
+  opts.custom_cost = [&](const Partition& p) { return hier_cost(g, p, topo); };
+  const auto exact = brute_force_partition(g, balance, opts);
+  if (!exact) return std::nullopt;
+  TwoStepResult res;
+  res.partition = exact->partition;
+  res.standard_cost = cost(g, res.partition, CostMetric::kConnectivity);
+  res.hierarchical_cost = exact->cost_value;
+  return res;
+}
+
+}  // namespace hp

@@ -1,0 +1,47 @@
+#pragma once
+// Exact partitioning by exhaustive enumeration.
+//
+// Ground truth for tests and small-instance experiments. Enumerates all
+// assignments with capacity pruning and optional part-symmetry breaking
+// (valid whenever parts are interchangeable — i.e. not for hierarchical
+// costs, where part position matters).
+
+#include <functional>
+#include <optional>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct ExactResult {
+  /// Integer cost under the chosen metric (rounded when custom_cost is set).
+  Weight cost = 0;
+  /// Exact (possibly fractional) cost value; equals `cost` for the two
+  /// standard metrics, meaningful for custom hierarchical costs.
+  double cost_value = 0.0;
+  Partition partition;
+  std::uint64_t leaves_evaluated = 0;
+};
+
+struct BruteForceOptions {
+  CostMetric metric = CostMetric::kConnectivity;
+  /// Extra constraint groups checked at every leaf (multi-constraint /
+  /// layer-wise instances).
+  const ConstraintSet* extra_constraints = nullptr;
+  /// Break part-permutation symmetry (node 0 pinned to part 0, new part ids
+  /// introduced in order). Disable for position-sensitive costs.
+  bool break_symmetry = true;
+  /// Custom leaf cost; overrides `metric` when set (used for hierarchical
+  /// costs). Signature: cost(partition).
+  std::function<double(const Partition&)> custom_cost;
+};
+
+/// Minimal-cost balanced partition, or nullopt if no feasible assignment
+/// exists. Intended for n ≤ ~18 (k=2) / smaller for larger k.
+[[nodiscard]] std::optional<ExactResult> brute_force_partition(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const BruteForceOptions& opts = {});
+
+}  // namespace hp

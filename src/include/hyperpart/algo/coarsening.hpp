@@ -1,0 +1,36 @@
+#pragma once
+// Heavy-edge coarsening for multilevel partitioning [28, 45].
+//
+// Pairs of nodes with the strongest hyperedge affinity are contracted; the
+// coarse hypergraph aggregates node weights, restricts pins to clusters,
+// and merges identical hyperedges by summing weights. Single-pin coarse
+// edges are dropped (they can never be cut).
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct CoarseLevel {
+  Hypergraph graph;
+  /// fine_to_coarse[v] is the coarse node containing fine node v.
+  std::vector<NodeId> fine_to_coarse;
+};
+
+/// One round of heavy-edge pair matching. Clusters never exceed
+/// `max_cluster_weight`. Deterministic for a fixed seed. When
+/// `restrict_parts` is given, only nodes of the same part are matched
+/// (the partition-aware coarsening of V-cycles).
+[[nodiscard]] CoarseLevel coarsen_once(const Hypergraph& g,
+                                       Weight max_cluster_weight,
+                                       std::uint64_t seed,
+                                       const Partition* restrict_parts =
+                                           nullptr);
+
+/// Project a coarse partition to the fine level.
+[[nodiscard]] Partition project_partition(const Partition& coarse,
+                                          const std::vector<NodeId>& fine_to_coarse);
+
+}  // namespace hp

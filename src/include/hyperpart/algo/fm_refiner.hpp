@@ -1,0 +1,34 @@
+#pragma once
+// k-way Fiduccia–Mattheyses refinement.
+//
+// Classic pass-based local search: repeatedly apply the best-gain feasible
+// single-node move, lock the node, and at the end of a pass roll back to
+// the best prefix seen. Balance is enforced against the single ε-balance
+// capacity, and optionally against extra constraint groups (Definition 6.1
+// multi-constraint / Definition 5.1 layer-wise), which is what makes the
+// refiner usable for the paper's multi-constraint experiments.
+
+#include <cstdint>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct FmConfig {
+  CostMetric metric = CostMetric::kConnectivity;
+  /// Maximum number of passes; each pass is O(pins · log) amortized.
+  int max_passes = 8;
+  /// A pass aborts after this many consecutive non-improving moves.
+  std::uint32_t patience = 64;
+  /// Optional extra balance groups that every move must respect.
+  const ConstraintSet* extra_constraints = nullptr;
+};
+
+/// Refine `p` in place; returns the final cost under cfg.metric.
+/// `p` must be complete and balanced on entry.
+Weight fm_refine(const Hypergraph& g, Partition& p,
+                 const BalanceConstraint& balance, const FmConfig& cfg = {});
+
+}  // namespace hp

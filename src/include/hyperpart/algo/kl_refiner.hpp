@@ -1,0 +1,29 @@
+#pragma once
+// Kernighan–Lin pair-swap refinement.
+//
+// Swaps exchange two equal-weight nodes between parts, so every move
+// preserves part weights exactly — the natural refiner for the strict
+// k-section / bisection setting (ε = 0), where single-node FM moves are
+// infeasible without transient imbalance. Pass-based with best-prefix
+// rollback, like classic KL.
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct KlConfig {
+  CostMetric metric = CostMetric::kConnectivity;
+  int max_passes = 8;
+  /// A pass aborts after this many consecutive non-improving swaps.
+  std::uint32_t patience = 32;
+};
+
+/// Refine p in place by pairwise swaps (only between equal-weight nodes);
+/// returns the final cost. Balance is preserved exactly, so p keeps
+/// whatever balance it had on entry.
+Weight kl_refine(const Hypergraph& g, Partition& p,
+                 const KlConfig& cfg = {});
+
+}  // namespace hp

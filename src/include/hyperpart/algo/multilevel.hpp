@@ -1,0 +1,31 @@
+#pragma once
+// Multilevel hypergraph partitioning (coarsen → initial → uncoarsen+refine),
+// the algorithmic skeleton of hMETIS/KaHyPar-style tools [28, 45]. Serves as
+// the practical heuristic the paper's hardness results motivate.
+
+#include <optional>
+
+#include "hyperpart/algo/fm_refiner.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct MultilevelConfig {
+  CostMetric metric = CostMetric::kConnectivity;
+  /// Stop coarsening below this many nodes (scaled by k internally).
+  NodeId coarsen_limit = 120;
+  /// Independent initial-partitioning attempts on the coarsest level.
+  int initial_tries = 8;
+  FmConfig fm{};
+  std::uint64_t seed = 1;
+};
+
+/// Partition g into balance.k() parts. Returns nullopt when no feasible
+/// partition is found (capacity too tight for the node weights).
+[[nodiscard]] std::optional<Partition> multilevel_partition(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const MultilevelConfig& cfg = {});
+
+}  // namespace hp

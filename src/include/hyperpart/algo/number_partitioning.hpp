@@ -1,0 +1,36 @@
+#pragma once
+// Multiway number partitioning — the packing core of the paper's XP
+// dynamic program (Lemma 4.3 cites Korf's k-way number partitioning [31]):
+// place integers into k capacitated bins, optionally with per-integer
+// color restrictions (the contracted-component placement problem).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"  // PartId, Weight
+
+namespace hp {
+
+struct PackingItem {
+  Weight size = 0;
+  /// Bitmask of allowed bins (bit i = bin i allowed); 0 = unrestricted.
+  std::uint32_t allowed = 0;
+};
+
+/// Decide whether the items fit into k bins of the given capacity, each
+/// item in an allowed bin. Returns the bin of each item, or nullopt.
+/// Memoized backtracking (largest-first), exact.
+[[nodiscard]] std::optional<std::vector<PartId>> pack_items(
+    std::vector<PackingItem> items, PartId k, Weight capacity);
+
+/// Minimal achievable makespan (largest bin sum) of a k-way partition of
+/// the numbers: binary search over pack_items capacities.
+[[nodiscard]] Weight multiway_partition_makespan(
+    const std::vector<Weight>& numbers, PartId k);
+
+/// Greedy LPT (longest processing time) upper bound on the makespan.
+[[nodiscard]] Weight lpt_makespan(const std::vector<Weight>& numbers,
+                                  PartId k);
+
+}  // namespace hp

@@ -1,0 +1,25 @@
+#pragma once
+// Shared-memory parallel entry points: parallel cost evaluation (edges
+// chunked across threads) and embarrassingly-parallel multi-start
+// multilevel partitioning. Deterministic for fixed seeds regardless of the
+// thread count.
+
+#include <optional>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/metrics.hpp"
+
+namespace hp {
+
+/// cost(g, p, metric) computed with edge ranges split across `threads`.
+[[nodiscard]] Weight parallel_cost(const Hypergraph& g, const Partition& p,
+                                   CostMetric metric, unsigned threads);
+
+/// Run `starts` independent multilevel searches (seeds cfg.seed + i) on up
+/// to `threads` threads; return the best-cost feasible result. The outcome
+/// is the same as running the starts sequentially.
+[[nodiscard]] std::optional<Partition> multilevel_partition_multistart(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const MultilevelConfig& cfg, int starts, unsigned threads);
+
+}  // namespace hp

@@ -1,0 +1,32 @@
+#pragma once
+// Recursive partitioning (Section 7.1).
+//
+// Splits the node set according to a sequence of arities: arities {k} is
+// direct k-way partitioning, {2, 2, …} is classic recursive bisection, and
+// {b_1, …, b_d} follows a hierarchy tree level by level — the "natural
+// solution idea" whose worst case Lemma 7.2 exhibits. Part ids are assigned
+// in depth-first leaf order, so for a hierarchy with branching factors
+// b_1..b_d the resulting part index is exactly the leaf position in the
+// tree (as the hierarchical cost function expects).
+
+#include <optional>
+#include <vector>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+/// Partition g into Π arities[i] parts by recursive multilevel splits, each
+/// split ε-balanced. Returns nullopt when any split fails.
+[[nodiscard]] std::optional<Partition> recursive_partition(
+    const Hypergraph& g, const std::vector<PartId>& arities, double epsilon,
+    const MultilevelConfig& cfg = {});
+
+/// Classic recursive bisection into k parts (k must be a power of two).
+[[nodiscard]] std::optional<Partition> recursive_bisection(
+    const Hypergraph& g, PartId k, double epsilon,
+    const MultilevelConfig& cfg = {});
+
+}  // namespace hp

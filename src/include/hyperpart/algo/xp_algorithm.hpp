@@ -1,0 +1,62 @@
+#pragma once
+// The paper's XP algorithm for the partitioning problem (Lemma 4.3,
+// Appendix C.6), including the multi-constraint variant (Appendix D.2) and
+// hooks for the hierarchical cost variant (Lemma G.1).
+//
+// Given a cost budget L, at most L hyperedges can be cut, so the algorithm
+// enumerates *configurations*: a subset E₀ of cut hyperedges together with
+// an allowed color set C_e (|C_e| ≥ 2) for each e ∈ E₀. Removing E₀ leaves
+// connected components that must be monochromatic; each component's allowed
+// colors are the intersection of the C_e of the removed edges touching it.
+// Feasibility of placing the contracted components into the k capacitated
+// parts is decided by (memoized) dynamic programming over accumulated part
+// weights — exactly the table τ(s₁, …, s_k, i) of the paper, with the
+// multi-constraint table τ(s₁⁽¹⁾, …, s_k⁽ᶜ⁾, i) when constraint groups are
+// present. Total work is n^f(L): polynomial for every fixed L.
+
+#include <cstdint>
+#include <functional>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+enum class XpStatus : std::uint8_t {
+  kSolved,          ///< optimal solution with cost ≤ L found
+  kNoSolution,      ///< proven: no feasible partition of cost ≤ L exists
+  kBudgetExceeded,  ///< configuration budget exhausted before a proof
+};
+
+struct XpResult {
+  XpStatus status = XpStatus::kNoSolution;
+  double cost = 0.0;
+  Partition partition;
+  std::uint64_t configurations_checked = 0;
+};
+
+struct XpOptions {
+  CostMetric metric = CostMetric::kConnectivity;
+  /// Extra balance groups (multi-constraint variant, Appendix D.2).
+  const ConstraintSet* extra_constraints = nullptr;
+  /// Cost charged to a configuration for edge e with allowed color-set mask
+  /// (bit i = color i allowed). Defaults to the metric cost: w(e) for
+  /// cut-net, w(e)·(|C_e|−1) for connectivity. Overridden by the
+  /// hierarchical variant to charge the hierarchical cost of the color set.
+  std::function<double(EdgeId, std::uint32_t)> config_edge_cost;
+  /// Cost of a concrete solution; defaults to the metric cost. Overridden
+  /// for hierarchical costs.
+  std::function<double(const Partition&)> solution_cost;
+  /// Safety valve on the configuration enumeration.
+  std::uint64_t max_configurations = 50'000'000;
+};
+
+/// Find a minimum-cost ε-balanced partition of cost at most `budget`, by the
+/// Lemma 4.3 configuration enumeration. Requires every edge weight ≥ 1
+/// (throws otherwise), which bounds |E₀| ≤ budget.
+[[nodiscard]] XpResult xp_partition(const Hypergraph& g,
+                                    const BalanceConstraint& balance,
+                                    double budget, const XpOptions& opts = {});
+
+}  // namespace hp

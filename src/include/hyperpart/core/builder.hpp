@@ -1,0 +1,55 @@
+#pragma once
+// Incremental construction of hypergraphs.
+//
+// The gadget constructions in the paper (blocks, grids, the SpES/OVP/coloring
+// reductions) are built edge by edge; HypergraphBuilder collects nodes and
+// hyperedges and finalizes into the immutable CSR Hypergraph.
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+class HypergraphBuilder {
+ public:
+  HypergraphBuilder() = default;
+  explicit HypergraphBuilder(NodeId initial_nodes)
+      : num_nodes_(initial_nodes) {}
+
+  /// Add a fresh node and return its id.
+  NodeId add_node() { return num_nodes_++; }
+
+  /// Add `count` fresh nodes; returns the id of the first.
+  NodeId add_nodes(NodeId count) {
+    const NodeId first = num_nodes_;
+    num_nodes_ += count;
+    return first;
+  }
+
+  /// Add a hyperedge over the given pins; returns its id. Pins may be given
+  /// in any order; duplicates are removed at finalization.
+  EdgeId add_edge(std::vector<NodeId> pins);
+
+  /// Add a size-2 hyperedge (a plain graph edge).
+  EdgeId add_edge2(NodeId u, NodeId v) { return add_edge({u, v}); }
+
+  /// Weight attached to the edge added last (defaults to 1).
+  void set_last_edge_weight(Weight w);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept { return num_nodes_; }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edges_.size());
+  }
+
+  /// Finalize. The builder is left empty afterwards.
+  [[nodiscard]] Hypergraph build();
+
+ private:
+  NodeId num_nodes_ = 0;
+  std::vector<std::vector<NodeId>> edges_;
+  std::vector<Weight> edge_weights_;
+  bool any_weighted_ = false;
+};
+
+}  // namespace hp

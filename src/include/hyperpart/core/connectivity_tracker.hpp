@@ -1,0 +1,67 @@
+#pragma once
+// Incremental λ_e bookkeeping for local-search refinement.
+//
+// Maintains, for every hyperedge e and part i, the number of pins of e in
+// part i, plus running totals of both cost metrics. Moving one node updates
+// all incident edges in O(Σ incident edges) and answers move gains exactly,
+// which is the engine behind the FM refiner (src/algo/fm_refiner).
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+class ConnectivityTracker {
+ public:
+  /// The partition must be complete (every node assigned).
+  ConnectivityTracker(const Hypergraph& g, const Partition& p);
+
+  [[nodiscard]] PartId k() const noexcept { return k_; }
+
+  /// Pins of edge e currently in part q.
+  [[nodiscard]] std::uint32_t pins_in_part(EdgeId e, PartId q) const noexcept {
+    return counts_[static_cast<std::size_t>(e) * k_ + q];
+  }
+  /// λ_e under the current assignment.
+  [[nodiscard]] PartId lambda(EdgeId e) const noexcept { return lambda_[e]; }
+
+  [[nodiscard]] Weight cut_net_cost() const noexcept { return cut_net_; }
+  [[nodiscard]] Weight connectivity_cost() const noexcept {
+    return connectivity_;
+  }
+  [[nodiscard]] Weight cost(CostMetric m) const noexcept {
+    return m == CostMetric::kCutNet ? cut_net_ : connectivity_;
+  }
+
+  [[nodiscard]] PartId part_of(NodeId v) const noexcept { return part_[v]; }
+  [[nodiscard]] Weight part_weight(PartId q) const noexcept {
+    return part_weight_[q];
+  }
+  [[nodiscard]] const std::vector<Weight>& part_weights() const noexcept {
+    return part_weight_;
+  }
+
+  /// Exact decrease in cost if v moved to part `to` (negative = cost rises).
+  [[nodiscard]] Weight gain(NodeId v, PartId to, CostMetric m) const;
+
+  /// Move v to part `to`, updating counts, λ, costs and part weights.
+  void move(NodeId v, PartId to);
+
+  /// Export the current assignment.
+  [[nodiscard]] Partition to_partition() const;
+
+ private:
+  const Hypergraph& g_;
+  PartId k_;
+  std::vector<PartId> part_;
+  std::vector<std::uint32_t> counts_;  // m × k pin counts
+  std::vector<PartId> lambda_;
+  std::vector<Weight> part_weight_;
+  Weight cut_net_ = 0;
+  Weight connectivity_ = 0;
+};
+
+}  // namespace hp

@@ -1,0 +1,103 @@
+#pragma once
+// Hypergraph data structure (Section 3.1 of the paper).
+//
+// A hypergraph G(V, E) over n nodes with hyperedges e ⊆ V. Stored in a
+// compressed (CSR-like) layout in both directions: edge → pins and
+// node → incident edges, so that iterating pins of an edge and edges of a
+// node are both contiguous scans. Nodes and edges carry optional positive
+// integer weights (unit weights by default); the paper's hardness results
+// carry over to the weighted setting (Section 2), and the weighted form is
+// needed for multilevel coarsening and for the contracted multi-hypergraphs
+// of the hierarchy assignment problem (Appendix H.1).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace hp {
+
+using NodeId = std::uint32_t;
+using EdgeId = std::uint32_t;
+using PartId = std::uint32_t;
+using Weight = std::int64_t;
+
+inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
+inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
+inline constexpr PartId kInvalidPart = static_cast<PartId>(-1);
+
+class Hypergraph {
+ public:
+  Hypergraph() = default;
+
+  /// Build from an explicit pin list. Pins within an edge must be distinct
+  /// (duplicates are removed); empty edges are kept (they are never cut).
+  /// Throws std::invalid_argument on out-of-range pins.
+  static Hypergraph from_edges(NodeId num_nodes,
+                               std::vector<std::vector<NodeId>> edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(node_offsets_.size() - 1);
+  }
+  [[nodiscard]] EdgeId num_edges() const noexcept {
+    return static_cast<EdgeId>(edge_offsets_.size() - 1);
+  }
+  /// Total number of pins ρ = Σ_e |e|.
+  [[nodiscard]] std::uint64_t num_pins() const noexcept { return pins_.size(); }
+
+  [[nodiscard]] std::span<const NodeId> pins(EdgeId e) const noexcept {
+    return {pins_.data() + edge_offsets_[e],
+            pins_.data() + edge_offsets_[e + 1]};
+  }
+  [[nodiscard]] std::span<const EdgeId> incident_edges(NodeId v) const noexcept {
+    return {incident_.data() + node_offsets_[v],
+            incident_.data() + node_offsets_[v + 1]};
+  }
+
+  [[nodiscard]] std::uint32_t edge_size(EdgeId e) const noexcept {
+    return static_cast<std::uint32_t>(edge_offsets_[e + 1] - edge_offsets_[e]);
+  }
+  [[nodiscard]] std::uint32_t degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(node_offsets_[v + 1] - node_offsets_[v]);
+  }
+  /// Maximal node degree Δ.
+  [[nodiscard]] std::uint32_t max_degree() const noexcept;
+  /// Maximal hyperedge size.
+  [[nodiscard]] std::uint32_t max_edge_size() const noexcept;
+
+  [[nodiscard]] Weight node_weight(NodeId v) const noexcept {
+    return node_weights_.empty() ? 1 : node_weights_[v];
+  }
+  [[nodiscard]] Weight edge_weight(EdgeId e) const noexcept {
+    return edge_weights_.empty() ? 1 : edge_weights_[e];
+  }
+  [[nodiscard]] Weight total_node_weight() const noexcept;
+  [[nodiscard]] bool has_node_weights() const noexcept {
+    return !node_weights_.empty();
+  }
+  [[nodiscard]] bool has_edge_weights() const noexcept {
+    return !edge_weights_.empty();
+  }
+
+  /// Attach node weights (size must equal num_nodes(); all weights >= 0).
+  void set_node_weights(std::vector<Weight> w);
+  /// Attach edge weights (size must equal num_edges(); all weights >= 0).
+  void set_edge_weights(std::vector<Weight> w);
+
+  /// Internal consistency check (offsets sorted, pins in range, mirror
+  /// structure matches). Used by tests and after deserialization.
+  [[nodiscard]] bool validate() const noexcept;
+
+  /// Human-readable one-line summary: n, m, ρ, Δ.
+  [[nodiscard]] std::string summary() const;
+
+ private:
+  std::vector<std::uint64_t> edge_offsets_{0};
+  std::vector<NodeId> pins_;
+  std::vector<std::uint64_t> node_offsets_{0};
+  std::vector<EdgeId> incident_;
+  std::vector<Weight> node_weights_;
+  std::vector<Weight> edge_weights_;
+};
+
+}  // namespace hp

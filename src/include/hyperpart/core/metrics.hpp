@@ -1,0 +1,46 @@
+#pragma once
+// Partitioning cost metrics (Section 3.1).
+//
+// For a hyperedge e, λ_e is the number of parts intersecting e. The two
+// standard costs are:
+//   cut-net:       Σ_{e : λ_e > 1} w(e)
+//   connectivity:  Σ_e w(e) · (λ_e − 1)
+// For k = 2 the two metrics coincide. All hardness results in the paper
+// apply to both; algorithms here accept either.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+enum class CostMetric : std::uint8_t {
+  kCutNet,
+  kConnectivity,
+};
+
+[[nodiscard]] const char* to_string(CostMetric m) noexcept;
+
+/// Number of distinct parts intersecting hyperedge e (λ_e). Unassigned pins
+/// are ignored.
+[[nodiscard]] PartId lambda(const Hypergraph& g, const Partition& p, EdgeId e);
+
+/// True when λ_e > 1.
+[[nodiscard]] bool is_cut(const Hypergraph& g, const Partition& p, EdgeId e);
+
+/// Total cost of the partitioning under the chosen metric.
+[[nodiscard]] Weight cost(const Hypergraph& g, const Partition& p,
+                          CostMetric metric);
+
+/// Ids of all cut hyperedges.
+[[nodiscard]] std::vector<EdgeId> cut_edges(const Hypergraph& g,
+                                            const Partition& p);
+
+/// Sum over cut edges of w(e)·λ_e ("sum of external degrees"); reported by
+/// some partitioners, provided for completeness.
+[[nodiscard]] Weight sum_external_degrees(const Hypergraph& g,
+                                          const Partition& p);
+
+}  // namespace hp

@@ -1,0 +1,55 @@
+#pragma once
+// k-way partitions of a hypergraph's node set (Section 3.1).
+//
+// A Partition assigns every node a part id in [0, k). The paper phrases
+// 2-way partitions as red/blue colorings; here part 0 plays "red" and part 1
+// "blue" wherever the constructions speak of colors.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+class Partition {
+ public:
+  Partition() = default;
+  /// All nodes initially unassigned (kInvalidPart).
+  Partition(NodeId num_nodes, PartId k)
+      : part_(num_nodes, kInvalidPart), k_(k) {}
+  /// From an explicit assignment vector.
+  Partition(std::vector<PartId> assignment, PartId k)
+      : part_(std::move(assignment)), k_(k) {}
+
+  [[nodiscard]] PartId k() const noexcept { return k_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(part_.size());
+  }
+
+  [[nodiscard]] PartId operator[](NodeId v) const noexcept { return part_[v]; }
+  void assign(NodeId v, PartId p) noexcept { part_[v] = p; }
+
+  [[nodiscard]] std::span<const PartId> raw() const noexcept { return part_; }
+
+  /// True when every node has a valid part id in [0, k).
+  [[nodiscard]] bool complete() const noexcept;
+
+  /// Weight of each part under the graph's node weights.
+  [[nodiscard]] std::vector<Weight> part_weights(const Hypergraph& g) const;
+
+  /// Number of non-empty parts (cf. Lemma A.3: an optimal solution needs
+  /// fewer than 2k/(1+eps) non-empty parts).
+  [[nodiscard]] PartId num_nonempty_parts() const noexcept;
+
+  /// Restriction to the first `prefix` nodes (used by reductions that pad a
+  /// graph with auxiliary nodes, e.g. Lemma A.1's isolated-node padding).
+  [[nodiscard]] Partition prefix(NodeId prefix_size) const;
+
+ private:
+  std::vector<PartId> part_;
+  PartId k_ = 0;
+};
+
+}  // namespace hp

@@ -1,0 +1,26 @@
+#pragma once
+// Induced sub-hypergraph extraction.
+//
+// Used by recursive bisection (Section 7.1) and by tests of the Lemma B.1
+// characterization. Edges are restricted to the kept node set; restricted
+// edges with fewer than 2 pins are dropped (they can never be cut).
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+struct SubHypergraph {
+  Hypergraph graph;
+  /// original_node[i] is the id in the parent graph of the sub-graph's node i.
+  std::vector<NodeId> original_node;
+};
+
+/// Extract the sub-hypergraph induced by `nodes` (need not be sorted;
+/// duplicates are an error). Node weights carry over; edge weights carry
+/// over for every edge that keeps ≥ 2 pins.
+[[nodiscard]] SubHypergraph induced_subhypergraph(
+    const Hypergraph& g, const std::vector<NodeId>& nodes);
+
+}  // namespace hp

@@ -1,0 +1,77 @@
+#pragma once
+// Computational DAGs (Section 3.2).
+//
+// Nodes are computation steps; a directed edge (u, v) means the output of u
+// is an input of v. Stored CSR-style in both directions. Construction from
+// an edge list verifies acyclicity on demand.
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"  // NodeId
+
+namespace hp {
+
+class Dag {
+ public:
+  Dag() = default;
+
+  /// Build from a directed edge list. Duplicate edges are removed.
+  /// Throws std::invalid_argument if an endpoint is out of range or the
+  /// graph contains a directed cycle.
+  static Dag from_edges(NodeId num_nodes,
+                        std::vector<std::pair<NodeId, NodeId>> edges);
+
+  [[nodiscard]] NodeId num_nodes() const noexcept {
+    return static_cast<NodeId>(succ_offsets_.size() - 1);
+  }
+  [[nodiscard]] std::uint64_t num_edges() const noexcept {
+    return succ_.size();
+  }
+
+  [[nodiscard]] std::span<const NodeId> successors(NodeId v) const noexcept {
+    return {succ_.data() + succ_offsets_[v],
+            succ_.data() + succ_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::span<const NodeId> predecessors(NodeId v) const noexcept {
+    return {pred_.data() + pred_offsets_[v],
+            pred_.data() + pred_offsets_[v + 1]};
+  }
+  [[nodiscard]] std::uint32_t out_degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(succ_offsets_[v + 1] - succ_offsets_[v]);
+  }
+  [[nodiscard]] std::uint32_t in_degree(NodeId v) const noexcept {
+    return static_cast<std::uint32_t>(pred_offsets_[v + 1] - pred_offsets_[v]);
+  }
+
+  [[nodiscard]] std::vector<NodeId> sources() const;
+  [[nodiscard]] std::vector<NodeId> sinks() const;
+
+  /// A topological order of the nodes (sources first).
+  [[nodiscard]] std::vector<NodeId> topological_order() const;
+
+  /// Number of nodes on a longest directed path (= number of layers ℓ).
+  [[nodiscard]] std::uint32_t longest_path_nodes() const;
+
+  /// Earliest layer of each node, 0-based: sources in layer 0, and every
+  /// node in the lowest layer above all its predecessors (Section 5.1).
+  [[nodiscard]] std::vector<std::uint32_t> earliest_layers() const;
+
+  /// Latest layer of each node, 0-based, with ℓ−1 for nodes that end
+  /// maximal paths. Together with earliest_layers() this bounds the layers
+  /// a node may take in a flexible layering.
+  [[nodiscard]] std::vector<std::uint32_t> latest_layers() const;
+
+  /// Directed edge list (u, v) in unspecified order.
+  [[nodiscard]] std::vector<std::pair<NodeId, NodeId>> edge_list() const;
+
+ private:
+  std::vector<std::uint64_t> succ_offsets_{0};
+  std::vector<NodeId> succ_;
+  std::vector<std::uint64_t> pred_offsets_{0};
+  std::vector<NodeId> pred_;
+};
+
+}  // namespace hp

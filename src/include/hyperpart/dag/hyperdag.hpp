@@ -1,0 +1,49 @@
+#pragma once
+// HyperDAGs (Definition 3.2, Appendix B).
+//
+// The hyperDAG of a computational DAG G has the same node set, and one
+// hyperedge {u} ∪ S_u per non-sink node u, where S_u are u's immediate
+// successors: the hyperedge stands for the unit of data u produces, and
+// λ_e − 1 is the exact number of transfers needed to deliver it (Sec. 3.2).
+// Size-1 hyperedges (sinks) are dropped as in Appendix B, so the hyperDAG
+// has exactly n − |V_sink| hyperedges.
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+/// A hypergraph together with its generator assignment: generator[e] is the
+/// DAG node whose output hyperedge e represents.
+struct HyperDag {
+  Hypergraph graph;
+  std::vector<NodeId> generator;
+
+  /// Reconstruct the computational DAG (generator → other pins).
+  [[nodiscard]] Dag to_dag() const;
+};
+
+/// Definition 3.2: convert a computational DAG into its hyperDAG.
+[[nodiscard]] HyperDag to_hyperdag(const Dag& dag);
+
+/// The Hendrickson–Kolda hyperization discussed at the start of Appendix B:
+/// one hyperedge per node u containing u, its immediate predecessors and its
+/// immediate successors. Kept as the strawman model whose cut count can
+/// overestimate true communication by a Θ(m) factor.
+[[nodiscard]] Hypergraph hendrickson_kolda_hypergraph(const Dag& dag);
+
+/// The densest possible hyperDAG on n nodes (Appendix B.1): hyperedges
+/// {v_i, …, v_{n−1}} for i = 0..n−2, giving degree sequence
+/// (1, 2, …, n−2, n−1, n−1). These serve as the "hyperDAG blocks" of
+/// Lemma B.3 and of the hierarchical constructions (Appendix I.1).
+[[nodiscard]] HyperDag densest_hyperdag(NodeId n);
+
+/// Check that `generator` is a valid generator assignment for `g`:
+/// one distinct generator per hyperedge, each a pin of its edge, and the
+/// induced directed graph acyclic.
+[[nodiscard]] bool valid_generator_assignment(
+    const Hypergraph& g, const std::vector<NodeId>& generator);
+
+}  // namespace hp

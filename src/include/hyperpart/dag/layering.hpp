@@ -1,0 +1,44 @@
+#pragma once
+// Layerings and layer-wise balance constraints (Section 5.1).
+//
+// A layering assigns each DAG node a layer in [0, ℓ) with ℓ the longest-path
+// length, such that every edge goes strictly forward. Nodes on maximal paths
+// are pinned (earliest = latest layer); the rest are flexible, which defines
+// the flexible-layering variant of the partitioning problem.
+
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+using Layering = std::vector<std::uint32_t>;
+
+/// True when `layers` is a valid layering of `dag` (Definition in Sec. 5.1):
+/// layers in [0, ℓ), strictly increasing along every edge.
+[[nodiscard]] bool valid_layering(const Dag& dag, const Layering& layers);
+
+/// Group nodes by layer: result[j] lists the nodes of layer j.
+[[nodiscard]] std::vector<std::vector<NodeId>> layer_sets(
+    const Dag& dag, const Layering& layers);
+
+/// Layer-wise constraints (Definition 5.1) for a given layering: one balance
+/// group per layer, cap (1+eps)·|V_j|/k each. `relaxed` uses ceilings, which
+/// Appendix A recommends for degenerate (tiny) layers.
+[[nodiscard]] ConstraintSet layerwise_constraints(const Hypergraph& g,
+                                                  const Dag& dag,
+                                                  const Layering& layers,
+                                                  PartId k, double epsilon,
+                                                  bool relaxed = true);
+
+/// Number of flexible nodes (earliest < latest layer).
+[[nodiscard]] std::size_t num_flexible_nodes(const Dag& dag);
+
+/// Enumerate all valid layerings of `dag` by ranging every flexible node
+/// over [earliest, latest] and keeping edge-valid combinations. Exponential;
+/// guarded by `max_results`. Used for the flexible-layering experiments.
+[[nodiscard]] std::vector<Layering> enumerate_layerings(
+    const Dag& dag, std::size_t max_results = 100000);
+
+}  // namespace hp

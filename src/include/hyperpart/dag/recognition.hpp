@@ -1,0 +1,38 @@
+#pragma once
+// Linear-time hyperDAG recognition (Lemmas B.1 and B.2).
+//
+// Characterization (Lemma B.1): a hypergraph is a hyperDAG iff every induced
+// subgraph has a node of degree ≤ 1. Algorithm (Lemma B.2): greedily peel
+// degree-≤1 nodes — a degree-1 node becomes the generator of its single
+// remaining hyperedge, which is removed with it; the hypergraph is a
+// hyperDAG iff all hyperedges get removed. Runs in O(ρ) with degree buckets.
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/dag/hyperdag.hpp"
+
+namespace hp {
+
+struct RecognitionResult {
+  bool is_hyperdag = false;
+  /// On success: generator node of every hyperedge, in peel order semantics
+  /// (the peel order is a reverse topological order of the recovered DAG).
+  std::vector<NodeId> generator;
+  /// On failure: a node set inducing a subgraph with all degrees ≥ 2
+  /// (a witness violating the Lemma B.1 characterization).
+  std::vector<NodeId> violating_subset;
+};
+
+/// Decide whether g is the hyperDAG of some computational DAG, recovering a
+/// generator assignment (success) or a violating induced subgraph (failure).
+[[nodiscard]] RecognitionResult recognize_hyperdag(const Hypergraph& g);
+
+/// Convenience wrapper.
+[[nodiscard]] bool is_hyperdag(const Hypergraph& g);
+
+/// Slow reference check of the Lemma B.1 characterization by explicit
+/// enumeration of induced subgraphs; exponential, for tests on tiny inputs.
+[[nodiscard]] bool characterization_holds_bruteforce(const Hypergraph& g);
+
+}  // namespace hp

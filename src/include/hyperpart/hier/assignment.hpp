@@ -1,0 +1,61 @@
+#pragma once
+// The hierarchy assignment problem (Section 7.3, Appendix H).
+//
+// Given an already-fixed k-way partitioning (contracted to a
+// multi-hypergraph on k nodes, see contract_partition), assign the k parts
+// to the k leaf positions of the hierarchy so the hierarchical cost is
+// minimized. Exact enumeration visits only the f(k) = k! / Π (b_i!)^(…)
+// non-equivalent assignments (Appendix H.1). For d = 2, b₂ = 2 the problem
+// reduces to maximum-weight perfect matching (Lemma H.1); for b₂ = 3 it is
+// NP-hard (Lemma H.2), so a swap-based local search is provided.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+struct AssignmentResult {
+  /// leaf_of_part[q] = leaf slot assigned to part q.
+  std::vector<PartId> leaf_of_part;
+  /// Hierarchical cost of the contracted hypergraph under this assignment.
+  double cost = 0.0;
+  /// Assignments evaluated (exact enumeration only).
+  std::uint64_t assignments_checked = 0;
+};
+
+/// Number of non-equivalent assignments f(k) for a topology (App. H.1).
+[[nodiscard]] std::uint64_t count_nonequivalent_assignments(
+    const HierTopology& topo);
+
+/// Hierarchical cost of `contracted` (a hypergraph on k nodes, node q =
+/// part q) when part q sits at leaf_of_part[q].
+[[nodiscard]] double assignment_cost(const Hypergraph& contracted,
+                                     const HierTopology& topo,
+                                     const std::vector<PartId>& leaf_of_part);
+
+/// Exact optimum by enumerating the f(k) non-equivalent assignments
+/// (sibling subtrees in canonical order).
+[[nodiscard]] AssignmentResult exact_assignment(const Hypergraph& contracted,
+                                                const HierTopology& topo);
+
+/// Lemma H.1: optimal assignment for d = 2, b₂ = 2 via maximum-weight
+/// perfect matching over pair affinities. Throws for other topologies.
+[[nodiscard]] AssignmentResult matching_assignment(const Hypergraph& contracted,
+                                                   const HierTopology& topo);
+
+/// Leaf-swap local search (general topologies; the practical heuristic for
+/// the NP-hard b₂ ≥ 3 case).
+[[nodiscard]] AssignmentResult local_search_assignment(
+    const Hypergraph& contracted, const HierTopology& topo,
+    std::uint64_t seed);
+
+/// Relabel a partition by an assignment: node with part q gets part
+/// leaf_of_part[q].
+[[nodiscard]] Partition apply_assignment(
+    const Partition& p, const std::vector<PartId>& leaf_of_part);
+
+}  // namespace hp

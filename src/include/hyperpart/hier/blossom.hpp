@@ -1,0 +1,28 @@
+#pragma once
+// Maximum-weight perfect matching in general graphs — Edmonds' blossom
+// algorithm, O(n³) primal-dual over a dense weight matrix.
+//
+// This is the polynomial algorithm behind Lemma H.1 (hierarchy assignment
+// with b₂ = 2 reduces to maximum-weight perfect matching); the subset DP in
+// matching.hpp is exponential and serves as small-instance ground truth,
+// while this scales to hundreds of units. Integer weights.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"  // Weight
+
+namespace hp {
+
+struct BlossomResult {
+  /// mate[v] is v's partner.
+  std::vector<std::uint32_t> mate;
+  Weight weight = 0;
+};
+
+/// Maximum-weight perfect matching of the complete graph with the given
+/// symmetric integer weight matrix (n even, weights ≥ 0). O(n³).
+[[nodiscard]] BlossomResult blossom_max_weight_perfect_matching(
+    const std::vector<std::vector<Weight>>& weight);
+
+}  // namespace hp

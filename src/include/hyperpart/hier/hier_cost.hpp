@@ -1,0 +1,48 @@
+#pragma once
+// Hierarchical cost function (Definition 7.1).
+//
+// For hyperedge e, λ_e^(i) is the number of level-i tree groups that e's
+// parts touch (λ_e^(0) := 1). The cost of e is Σ_i g_i · (λ^(i) − λ^(i−1)):
+// each additional group entered at level i costs one transfer across that
+// level. The standard connectivity metric is the d = 1 special case.
+
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+/// λ^(i) profile (i = 0..d) of a set of leaf parts.
+[[nodiscard]] std::vector<PartId> lambda_profile(
+    const HierTopology& topo, const std::vector<PartId>& leaf_parts);
+
+/// Hierarchical cost of a single set of leaf parts (the cost a hyperedge
+/// touching exactly these parts induces).
+[[nodiscard]] double hier_set_cost(const HierTopology& topo,
+                                   const std::vector<PartId>& leaf_parts);
+
+/// Same, for a bitmask of leaf parts (k ≤ 32); used by the XP variant.
+[[nodiscard]] double hier_mask_cost(const HierTopology& topo,
+                                    std::uint32_t leaf_mask);
+
+/// Total hierarchical cost of a partitioning (Definition 7.1). Part ids are
+/// interpreted as leaf positions of the hierarchy.
+[[nodiscard]] double hier_cost(const Hypergraph& g, const Partition& p,
+                               const HierTopology& topo);
+
+/// Hierarchical cost under a general topology (Appendix I.2): every cut
+/// hyperedge pays the MST cost over its terminal units.
+[[nodiscard]] double general_topology_cost(const Hypergraph& g,
+                                           const Partition& p,
+                                           const GeneralTopology& topo);
+
+/// Contract each part of p into one node (Appendix H.1): the resulting
+/// multi-hypergraph (represented with merged duplicate edges and weights)
+/// on k nodes is the input of the hierarchy assignment problem. Uncut edges
+/// (single pin after contraction) are dropped.
+[[nodiscard]] Hypergraph contract_partition(const Hypergraph& g,
+                                            const Partition& p);
+
+}  // namespace hp

@@ -1,0 +1,35 @@
+#pragma once
+// Hierarchy-aware partitioning heuristics (Section 7).
+//
+// Two construction strategies plus a refinement pass that optimizes the
+// hierarchical cost function directly:
+//   * recursive level-by-level splitting (Section 7.1 — the approach whose
+//     worst case Lemma 7.2 exhibits),
+//   * direct k-way + optimal assignment + hierarchical local refinement
+//     (the hierarchy-aware alternative to the two-step method).
+
+#include <optional>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+/// Recursive partitioning along the hierarchy: split into b₁ parts, each
+/// into b₂, … Part ids come out as leaf positions.
+[[nodiscard]] std::optional<Partition> hier_recursive_partition(
+    const Hypergraph& g, const HierTopology& topo, double epsilon,
+    const MultilevelConfig& cfg = {});
+
+/// Single-node steepest-descent refinement of the hierarchical cost.
+/// Returns the final cost; p is modified in place and stays balanced.
+double hier_refine(const Hypergraph& g, Partition& p, const HierTopology& topo,
+                   const BalanceConstraint& balance, int max_rounds = 16);
+
+/// Direct k-way multilevel + exact assignment + hierarchical refinement.
+[[nodiscard]] std::optional<Partition> hier_direct_partition(
+    const Hypergraph& g, const HierTopology& topo, double epsilon,
+    const MultilevelConfig& cfg = {});
+
+}  // namespace hp

@@ -1,0 +1,32 @@
+#pragma once
+// Maximum-weight perfect matching on small complete graphs.
+//
+// Lemma H.1 reduces two-level hierarchy assignment with b₂ = 2 to
+// maximum-weight perfect matching, solvable in polynomial time by Edmonds'
+// blossom algorithm. At the instance sizes of the hierarchy assignment
+// problem (k units, k ≤ ~20) an exact Held–Karp-style subset DP in
+// O(2^k · k) is simpler and exact; a 2-opt pair-swap local search covers
+// larger k heuristically. Both operate on a dense weight matrix.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hp {
+
+struct MatchingResult {
+  /// mate[v] is v's partner.
+  std::vector<std::uint32_t> mate;
+  double weight = 0.0;
+};
+
+/// Exact maximum-weight perfect matching via subset DP. `weight` must be a
+/// symmetric n×n matrix with n even, n ≤ 24.
+[[nodiscard]] MatchingResult max_weight_perfect_matching(
+    const std::vector<std::vector<double>>& weight);
+
+/// 2-opt local search from a greedy matching; weight ≤ optimum, any even n.
+[[nodiscard]] MatchingResult matching_local_search(
+    const std::vector<std::vector<double>>& weight, std::uint64_t seed);
+
+}  // namespace hp

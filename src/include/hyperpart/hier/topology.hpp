@@ -1,0 +1,105 @@
+#pragma once
+// Hierarchical processor topologies (Section 7).
+//
+// A rooted tree of depth d with fixed branching factor b_i at level i (from
+// the top) and monotonically decreasing transfer costs g_1 ≥ … ≥ g_d
+// (normalized so g_d = 1 in the paper; not enforced here). The k = Π b_i
+// leaves are compute units, numbered left to right; two leaves whose lowest
+// common ancestor sits at level i pay g_i per transferred value.
+//
+// Appendix I.2's generalization — an arbitrary processor topology given by
+// a metric on the k units — is provided as GeneralTopology.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"  // PartId
+
+namespace hp {
+
+class HierTopology {
+ public:
+  /// Trivial single-leaf topology (placeholder; replace before use).
+  HierTopology() : HierTopology({1}, {1.0}) {}
+
+  /// branching[i] = b_{i+1}, costs[i] = g_{i+1} (level i+1 from the top).
+  /// Requires equal sizes, branching ≥ 1, costs monotonically
+  /// non-increasing and positive.
+  HierTopology(std::vector<PartId> branching, std::vector<double> costs);
+
+  /// Flat topology: a single level with k children of the root, cost 1 —
+  /// the standard partitioning problem as the d=1 special case.
+  static HierTopology flat(PartId k);
+
+  [[nodiscard]] std::uint32_t depth() const noexcept {
+    return static_cast<std::uint32_t>(branching_.size());
+  }
+  [[nodiscard]] PartId num_leaves() const noexcept { return k_; }
+  /// b_level, level in [1, d].
+  [[nodiscard]] PartId branching(std::uint32_t level) const noexcept {
+    return branching_[level - 1];
+  }
+  /// g_level, level in [1, d].
+  [[nodiscard]] double level_cost(std::uint32_t level) const noexcept {
+    return costs_[level - 1];
+  }
+  [[nodiscard]] double g1() const noexcept { return costs_.front(); }
+
+  /// Index of the level-`level` ancestor group of a leaf; level 0 is the
+  /// root (always group 0), level d is the leaf itself.
+  [[nodiscard]] PartId level_group(PartId leaf,
+                                   std::uint32_t level) const noexcept {
+    return leaf / leaves_below_[level];
+  }
+  /// Number of leaves under one level-`level` tree node.
+  [[nodiscard]] PartId leaves_below(std::uint32_t level) const noexcept {
+    return leaves_below_[level];
+  }
+  /// Number of groups at a level (Π_{i≤level} b_i).
+  [[nodiscard]] PartId groups_at(std::uint32_t level) const noexcept {
+    return k_ / leaves_below_[level];
+  }
+
+  /// Level of the lowest common ancestor of two leaves (0 = root). Equal
+  /// leaves return depth().
+  [[nodiscard]] std::uint32_t lca_level(PartId a, PartId b) const noexcept;
+
+  /// Transfer cost between two distinct leaves: g_{lca_level+1}.
+  [[nodiscard]] double transfer_cost(PartId a, PartId b) const noexcept;
+
+ private:
+  std::vector<PartId> branching_;
+  std::vector<double> costs_;
+  std::vector<PartId> leaves_below_;  // leaves under a node at each level
+  PartId k_ = 1;
+};
+
+/// Arbitrary processor topology (Appendix I.2): a symmetric metric on k
+/// units. Hyperedge costs are approximated by the minimum spanning tree
+/// over the edge's terminals — exact for ultrametrics (in particular, for
+/// metrics induced by a HierTopology the MST cost coincides with the
+/// hierarchical cost function), and a 2-approximation of the Steiner cost
+/// in general (computing exact Steiner trees is itself NP-hard).
+class GeneralTopology {
+ public:
+  /// k×k symmetric cost matrix with zero diagonal.
+  explicit GeneralTopology(std::vector<std::vector<double>> cost);
+
+  /// The ultrametric induced by a hierarchy tree.
+  static GeneralTopology from_tree(const HierTopology& tree);
+
+  [[nodiscard]] PartId num_units() const noexcept {
+    return static_cast<PartId>(cost_.size());
+  }
+  [[nodiscard]] double transfer_cost(PartId a, PartId b) const noexcept {
+    return cost_[a][b];
+  }
+
+  /// MST cost over the given terminal units (duplicates ignored).
+  [[nodiscard]] double mst_cost(const std::vector<PartId>& terminals) const;
+
+ private:
+  std::vector<std::vector<double>> cost_;
+};
+
+}  // namespace hp

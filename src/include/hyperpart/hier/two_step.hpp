@@ -1,0 +1,50 @@
+#pragma once
+// The two-step method (Section 7.2) and hierarchy-aware alternatives.
+//
+// Two-step: (i) find a good *standard* k-way partitioning ignoring the
+// hierarchy, (ii) assign the k parts to the hierarchy's leaves optimally.
+// Lemma 7.3: when both steps are optimal, this is a g₁-approximation of the
+// hierarchical optimum; Theorem 7.4: it can really be ≈ (b₁−1)/b₁ · g₁
+// worse, which the Figure 9 benchmark measures.
+
+#include <optional>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+struct TwoStepResult {
+  /// Final partition with part ids = leaf positions.
+  Partition partition;
+  /// Standard (connectivity) cost of the step-1 partition.
+  Weight standard_cost = 0;
+  /// Hierarchical cost after the optimal step-2 assignment.
+  double hierarchical_cost = 0.0;
+};
+
+/// Optimal step-2 for a given step-1 partition: contract, enumerate the
+/// f(k) assignments exactly, relabel.
+[[nodiscard]] TwoStepResult assign_optimally(const Hypergraph& g,
+                                             const Partition& p,
+                                             const HierTopology& topo);
+
+/// Full two-step method with a multilevel step 1.
+[[nodiscard]] std::optional<TwoStepResult> two_step_multilevel(
+    const Hypergraph& g, const HierTopology& topo, double epsilon,
+    const MultilevelConfig& cfg = {});
+
+/// Full two-step method with an exact (brute force) step 1 — the "both
+/// steps optimal" setting analyzed by Lemma 7.3 / Theorem 7.4. Small n only.
+[[nodiscard]] std::optional<TwoStepResult> two_step_exact(
+    const Hypergraph& g, const HierTopology& topo, double epsilon,
+    CostMetric metric = CostMetric::kConnectivity);
+
+/// Exact hierarchical optimum by brute force over positioned partitions
+/// (no part symmetry). Small n only.
+[[nodiscard]] std::optional<TwoStepResult> exact_hierarchical_optimum(
+    const Hypergraph& g, const HierTopology& topo, double epsilon);
+
+}  // namespace hp

@@ -1,0 +1,34 @@
+#pragma once
+// Lemma G.1: the partitioning problem stays in XP (w.r.t. the allowed cost
+// L) under the hierarchical cost function. This wires the Lemma 4.3
+// configuration enumeration to Definition 7.1: a configuration charges
+// each cut edge the hierarchical cost of its allowed leaf set, and
+// solutions are evaluated with the true hierarchical cost.
+//
+// Also the Appendix I.2 analogue for general topologies (MST-approximated
+// Steiner costs) and a local-search refiner for general topologies.
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+/// Exact minimum hierarchical-cost balanced partition with cost ≤ budget
+/// (XP in the budget). Part ids are hierarchy leaves. k = topo.num_leaves()
+/// must equal balance.k() and be ≤ 32.
+[[nodiscard]] XpResult xp_hier_partition(const Hypergraph& g,
+                                         const HierTopology& topo,
+                                         const BalanceConstraint& balance,
+                                         double budget,
+                                         const XpOptions& base_opts = {});
+
+/// Single-node steepest-descent refinement of the general-topology cost
+/// (Appendix I.2). Returns the final cost; p stays balanced.
+double general_topology_refine(const Hypergraph& g, Partition& p,
+                               const GeneralTopology& topo,
+                               const BalanceConstraint& balance,
+                               int max_rounds = 16);
+
+}  // namespace hp

@@ -1,0 +1,34 @@
+#pragma once
+// Structured computational-DAG families — the "steps of a complex
+// algorithm" workloads that motivate hyperDAG partitioning (Sections 1 and
+// 3.2). All are classic kernels from parallel scientific computing:
+//
+//   * 2D stencil (iterated Jacobi sweep): node (t, x, y) depends on the
+//     previous iteration's 5-point neighbourhood,
+//   * FFT butterfly: stage s node i depends on i and i ^ 2^s of stage s−1,
+//   * dense triangular solve: x_i depends on every x_j, j < i (via its
+//     row's accumulation chain),
+//   * wavefront / diagonal sweep over a 2D grid (dynamic-programming
+//     dependence (i−1,j), (i,j−1)).
+
+#include <cstdint>
+
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+/// `iterations` Jacobi sweeps over a width×height grid, 5-point stencil.
+[[nodiscard]] Dag stencil2d_dag(std::uint32_t width, std::uint32_t height,
+                                std::uint32_t iterations);
+
+/// Radix-2 FFT butterfly on 2^log_size points (log_size stages).
+[[nodiscard]] Dag butterfly_dag(std::uint32_t log_size);
+
+/// Forward substitution on a dense lower-triangular n×n system: one node
+/// per (row, column) update plus one per solved unknown.
+[[nodiscard]] Dag triangular_solve_dag(std::uint32_t n);
+
+/// Wavefront over a width×height grid: (i,j) depends on (i−1,j), (i,j−1).
+[[nodiscard]] Dag wavefront_dag(std::uint32_t width, std::uint32_t height);
+
+}  // namespace hp

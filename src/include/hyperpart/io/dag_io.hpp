@@ -1,0 +1,20 @@
+#pragma once
+// Computational DAG edge-list I/O.
+//
+// Format: first line "<num_nodes> <num_edges>", then one "u v" pair per
+// line (0-based). '%' starts a comment line.
+
+#include <iosfwd>
+#include <string>
+
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+[[nodiscard]] Dag read_dag(std::istream& in);
+[[nodiscard]] Dag read_dag_file(const std::string& path);
+
+void write_dag(std::ostream& out, const Dag& dag);
+void write_dag_file(const std::string& path, const Dag& dag);
+
+}  // namespace hp

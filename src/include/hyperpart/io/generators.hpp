@@ -1,0 +1,59 @@
+#pragma once
+// Random instance generators for tests, benchmarks and examples.
+//
+// Includes the 2-regular "SpMV hypergraphs" of Knigge–Bisseling [30]
+// (Sections 3.2 / 4: each node is a matrix nonzero, hyperedges are rows and
+// columns; degree exactly 2 with the bipartite property), plus standard
+// random hypergraphs and several DAG families used throughout the paper's
+// constructions.
+
+#include <cstdint>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+/// Random hypergraph: m hyperedges with sizes uniform in
+/// [min_edge_size, max_edge_size], pins uniform without replacement.
+[[nodiscard]] Hypergraph random_hypergraph(NodeId n, EdgeId m,
+                                           std::uint32_t min_edge_size,
+                                           std::uint32_t max_edge_size,
+                                           std::uint64_t seed);
+
+/// SpMV (sparse-matrix) hypergraph of an r×c random matrix with `nnz`
+/// nonzeros: one node per nonzero, one hyperedge per non-empty row and per
+/// non-empty column. Every node has degree exactly 2, and row hyperedges /
+/// column hyperedges each form a class of pairwise disjoint edges (the
+/// bipartite property of [30]).
+[[nodiscard]] Hypergraph spmv_hypergraph(std::uint32_t rows,
+                                         std::uint32_t cols, std::uint64_t nnz,
+                                         std::uint64_t seed);
+
+/// Random DAG: nodes ordered 0..n−1, each forward pair (u, v) is an edge
+/// with probability p.
+[[nodiscard]] Dag random_dag(NodeId n, double p, std::uint64_t seed);
+
+/// Layered DAG: `layers` layers of `width` nodes; every consecutive-layer
+/// pair is connected with probability p (each node guaranteed ≥ 1
+/// predecessor in the previous layer so layers are exact).
+[[nodiscard]] Dag layered_dag(std::uint32_t layers, std::uint32_t width,
+                              double p, std::uint64_t seed);
+
+/// Random out-tree: node i > 0 gets a uniformly random parent among
+/// 0..i−1 (in-degree 1 everywhere except the root).
+[[nodiscard]] Dag random_out_tree(NodeId n, std::uint64_t seed);
+
+/// Directed path 0 → 1 → … → n−1.
+[[nodiscard]] Dag chain_dag(NodeId n);
+
+/// Fork-join: a source fanning out to `width` parallel chains of length
+/// `depth`, joined into one sink.
+[[nodiscard]] Dag fork_join_dag(std::uint32_t width, std::uint32_t depth);
+
+/// Random binary-operation DAG (in-degree ≤ 2, the bounded-indegree setting
+/// of Section 3.2 that yields hyperDAGs with Δ ≤ 3): node i > 1 picks two
+/// distinct random predecessors among 0..i−1.
+[[nodiscard]] Dag random_binary_dag(NodeId n, std::uint64_t seed);
+
+}  // namespace hp

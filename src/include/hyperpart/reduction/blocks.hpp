@@ -1,0 +1,81 @@
+#pragma once
+// Block gadgets and shared construction machinery (Appendices A and D.3).
+//
+// * Block (Lemma A.5): b nodes and b hyperedges of size b−1 each (edge i
+//   omits node i); splitting it across parts costs at least b−1, so blocks
+//   act as unsplittable super-nodes in the constructions.
+// * Single-edge block: b nodes in one hyperedge — enough when only
+//   cost-0 feasibility is asked (any cut already costs ≥ 1).
+// * Two-level hyperDAG block (Lemma B.3 / Appendix I.1): the densest
+//   hyperDAG on m nodes, whose last m₀ nodes are effectively unsplittable.
+// * FixedColorPool (Appendix D.3 + Lemma D.2): two balanced single-edge
+//   blocks forced to take different colors (red = part 0, blue = part 1 by
+//   convention), used as a supply of fixed-color nodes to build balance
+//   groups of the form "at most / at least / exactly h red nodes in S".
+//
+// * Isolated-node padding (Lemma A.1): reduces ε-balanced partitioning to
+//   the k-section problem by appending ε·n isolated nodes.
+
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+/// Lemma A.5 block: adds b nodes and b hyperedges of size (b−1).
+/// Returns the node ids. Requires b ≥ 3 (at b = 2 the edges have size 1
+/// and can never be cut, so the Lemma A.5 bound degenerates).
+std::vector<NodeId> add_block(HypergraphBuilder& builder, NodeId b);
+
+/// One hyperedge over b fresh nodes. Monochromatic in every cost-0
+/// solution. Returns the node ids.
+std::vector<NodeId> add_single_edge_block(HypergraphBuilder& builder,
+                                          NodeId b);
+
+/// Lemma A.1: append `count` isolated nodes to a hypergraph (same edges).
+[[nodiscard]] Hypergraph pad_with_isolated_nodes(const Hypergraph& g,
+                                                 NodeId count);
+
+/// How a fixed-node balance group constrains the red (part 0) count in S.
+enum class RedCount : std::uint8_t { kExactly, kAtMost, kAtLeast };
+
+/// Supply of fixed-color nodes for k = 2 constructions (Appendix D.3).
+/// Usage: create the pool, register constraint groups over node sets via
+/// constrain_red_count(), then finalize() once — finalize adds the two
+/// color blocks, sized to cover every request, plus the balance group that
+/// forces them apart. The pool's convention: part 0 = red, part 1 = blue
+/// (up to global color swap, which all constructions tolerate).
+class FixedColorPool {
+ public:
+  explicit FixedColorPool(HypergraphBuilder& builder) : builder_(&builder) {}
+
+  /// A fresh node that any cost-0, constraint-feasible solution colors
+  /// `color` (0 = red, 1 = blue).
+  NodeId make_fixed(PartId color);
+
+  /// Add a balance group enforcing that the number of red nodes in S is
+  /// exactly / at most / at least h (Lemma D.2, ε = 0 thresholds; the
+  /// at-most/at-least variants pad S with fresh isolated nodes as in
+  /// Appendix D.3).
+  void constrain_red_count(ConstraintSet& cs, std::vector<NodeId> s,
+                           NodeId h, RedCount mode);
+
+  /// Emit the two color blocks (padded to equal size ≥ 2) and the pairing
+  /// balance group that forces them to different colors. Call exactly once,
+  /// after all make_fixed / constrain_red_count calls.
+  void finalize(ConstraintSet& cs);
+
+  /// Nodes fixed to the given color so far (for tests).
+  [[nodiscard]] const std::vector<NodeId>& fixed_nodes(PartId color) const {
+    return fixed_[color];
+  }
+
+ private:
+  HypergraphBuilder* builder_;
+  std::vector<NodeId> fixed_[2];
+  bool finalized_ = false;
+};
+
+}  // namespace hp

@@ -1,0 +1,55 @@
+#pragma once
+// Graph 3-coloring and the Lemma 6.3 reduction: with c ≥ n^δ balance
+// groups, multi-constraint partitioning admits no finite-factor
+// approximation (deciding cost 0 vs > 0 is NP-hard).
+//
+// Construction (k = 2): for every vertex v and color i ∈ [3], a gadget of
+// nodes w_{v,e,i} (one per incident edge e) plus ŵ_{v,i,1}, ŵ_{v,i,2},
+// tied together by one hyperedge. Groups force: at most one red ŵ_{v,i,1}
+// over i (≤ 1 color chosen), at least one red ŵ_{v,i,2} over i (≥ 1
+// chosen), and per edge (u,v) and color i at most one red among
+// w_{u,e,i}, w_{v,e,i} (endpoints differ). A cost-0 feasible partitioning
+// exists iff the graph is 3-colorable.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+struct ColoringInstance {
+  NodeId num_vertices = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+};
+
+/// Brute-force 3-coloring; returns a coloring if one exists.
+[[nodiscard]] std::optional<std::vector<std::uint8_t>> three_color(
+    const ColoringInstance& inst);
+
+/// Random graph for coloring experiments.
+[[nodiscard]] ColoringInstance random_coloring_instance(NodeId vertices,
+                                                        std::uint32_t edges,
+                                                        std::uint64_t seed);
+
+/// A graph that is guaranteed 3-colorable (random edges between distinct
+/// planted color classes).
+[[nodiscard]] ColoringInstance planted_3colorable(NodeId vertices,
+                                                  std::uint32_t edges,
+                                                  std::uint64_t seed);
+
+struct ColoringReduction {
+  Hypergraph graph;
+  ConstraintSet constraints;
+  BalanceConstraint balance;  // loose single constraint, k = 2
+  /// selector[v][i] = the ŵ_{v,i,2} node: red iff vertex v has color i.
+  std::vector<std::vector<NodeId>> selector;
+};
+
+[[nodiscard]] ColoringReduction build_coloring_reduction(
+    const ColoringInstance& inst);
+
+}  // namespace hp

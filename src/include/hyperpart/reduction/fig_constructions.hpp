@@ -1,0 +1,92 @@
+#pragma once
+// The paper's example constructions:
+//   * Figure 4: serial concatenation of two equal DAGs — perfectly balanced
+//     partition with zero parallelism (Section 5).
+//   * Figure 6: two-branch DAG with widened layers — layer-wise constraints
+//     force cost Θ(b) while a branch-per-processor coloring costs 2
+//     (Section 5.2).
+//   * Figure 8 / Lemma 7.2: block chains where recursive partitioning is a
+//     Θ(n) factor worse than direct k-way (Section 7.1, Appendix G.1).
+//   * Figure 9 / Theorem 7.4: star of blocks where the two-step method is a
+//     (b₁−1)/b₁ · g₁ factor worse than the hierarchical optimum
+//     (Section 7.2, Appendix G.2).
+//   * Appendix B intro: (k−1) sources × m sinks bipartite DAG where the
+//     Hendrickson–Kolda model overestimates the true I/O cost by a factor m.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+// ---------------------------------------------------------------- Figure 4
+/// Two equal random-layered DAGs concatenated serially (every sink of the
+/// first feeds every source of the second).
+[[nodiscard]] Dag fig4_serial_concatenation(std::uint32_t half_layers,
+                                            std::uint32_t width,
+                                            std::uint64_t seed);
+
+/// The balanced-but-serial partition: first half part 0, second half 1.
+[[nodiscard]] Partition fig4_half_split(const Dag& dag);
+
+// ---------------------------------------------------------------- Figure 6
+struct Fig6Construction {
+  Dag dag;
+  /// Coloring with near-perfect parallelization and cut cost 2: upper
+  /// branch part 0, lower branch part 1.
+  Partition branch_partition;
+  std::vector<NodeId> upper_set;  // the b-node set in the upper branch
+  std::vector<NodeId> lower_set;  // the b-node set in the lower branch
+};
+
+/// Source → two length-3 branches → sink, with the first node of the upper
+/// and the second node of the lower branch widened to b nodes each.
+[[nodiscard]] Fig6Construction build_fig6(std::uint32_t b);
+
+// ------------------------------------------------- Figure 8 (Lemma 7.2)
+struct Fig8Construction {
+  Hypergraph graph;
+  HierTopology topology;  // branching b1, b2, costs g1, g2
+  /// The direct k-way solution of cost O(1) (blocks grouped as in the
+  /// right side of Figure 8), part ids = hierarchy leaves.
+  Partition direct_solution;
+  /// Total nodes n and the block size that a forced split cuts (≥ cost).
+  NodeId block_cost_floor = 0;
+};
+
+/// Appendix G.1 generalization: (b′+1) large blocks of n/(b₁(b′+1)) in one
+/// chain plus (b₁−1) chains of b′(b′+1) small blocks, b′ = b₂…b_d. The
+/// `scale` parameter multiplies all block sizes (n grows linearly).
+[[nodiscard]] Fig8Construction build_fig8(PartId b1, PartId b2, double g1,
+                                          std::uint32_t scale);
+
+// ------------------------------------------------ Figure 9 (Theorem 7.4)
+struct Fig9Construction {
+  Hypergraph graph;
+  HierTopology topology;
+  std::uint32_t m = 0;  // A↔B_i edge multiplicity
+  /// Hierarchical optimum: A alone; all B_i together as A's sibling;
+  /// C_i+E_i fill the rest (cost ≈ (k−1)·m·g_d).
+  Partition hier_optimal;
+  /// Standard-cut optimum: B_i with C_i (cost (k−1)·m but scattered).
+  Partition standard_optimal;
+};
+
+/// Theorem 7.4 star construction for k = b1·b2 parts (ε = 0 sizing).
+/// Block size per unit is `unit` (all block sizes are multiples of
+/// unit/(k−1); unit must be divisible by k−1).
+[[nodiscard]] Fig9Construction build_fig9(PartId b1, PartId b2, double g1,
+                                          std::uint32_t unit,
+                                          std::uint32_t m);
+
+// ------------------------------------------------------- Appendix B intro
+/// (k−1) source nodes each feeding all m sinks.
+[[nodiscard]] Dag sources_to_sinks_dag(std::uint32_t sources,
+                                       std::uint32_t sinks);
+
+}  // namespace hp

@@ -1,0 +1,55 @@
+#pragma once
+// Grid gadgets (Definition C.2, Lemmas C.3–C.5).
+//
+// An ℓ×ℓ grid of nodes where every row and every column is one hyperedge.
+// Each node has degree exactly 2, yet splitting off t₀ minority-colored
+// nodes cuts at least √t₀ hyperedges (Lemma C.3) — grids are the degree-2
+// replacement for blocks in the Δ=2 form of the main inapproximability
+// construction. Extended grids add outsider nodes to the first rows
+// (Lemma C.5): recoloring an extended grid to its majority color never
+// increases the cost.
+
+#include <vector>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct GridGadget {
+  std::uint32_t side = 0;  // ℓ
+  /// Row-major node ids of the ℓ×ℓ body.
+  std::vector<NodeId> body;
+  /// Outsider nodes; outsider i < ℓ belongs to the row-i hyperedge, and
+  /// outsider i ≥ ℓ to the column-(i−ℓ) hyperedge (the size-padding trick
+  /// of Appendix C.2 allows up to 2ℓ outsiders).
+  std::vector<NodeId> outsiders;
+  /// Row hyperedge ids (body row + optional outsider), then columns.
+  std::vector<EdgeId> row_edges;
+  std::vector<EdgeId> col_edges;
+
+  [[nodiscard]] NodeId at(std::uint32_t r, std::uint32_t c) const {
+    return body[r * side + c];
+  }
+  [[nodiscard]] std::size_t num_nodes() const {
+    return body.size() + outsiders.size();
+  }
+};
+
+/// Add an ℓ×ℓ grid gadget with `num_outsiders` ≤ 2ℓ outsider nodes.
+GridGadget add_grid_gadget(HypergraphBuilder& builder, std::uint32_t side,
+                           std::uint32_t num_outsiders = 0);
+
+/// Number of body nodes of the gadget's minority color in a 2-way
+/// partition (the t₀ of Lemma C.3).
+[[nodiscard]] std::uint32_t grid_minority_count(const GridGadget& grid,
+                                                const Hypergraph& g,
+                                                const Partition& p);
+
+/// Cut hyperedges among the gadget's own row/column edges.
+[[nodiscard]] std::uint32_t grid_cut_edges(const GridGadget& grid,
+                                           const Hypergraph& g,
+                                           const Partition& p);
+
+}  // namespace hp

@@ -1,0 +1,46 @@
+#pragma once
+// Lemma B.3: partitioning stays NP-hard when inputs are restricted to
+// hyperDAGs (independent of ETH, unlike Theorem 4.1).
+//
+// Every node v of a general hypergraph instance is replaced by a "hyperDAG
+// block" — the densest hyperDAG on m nodes — whose last m₀ nodes are
+// effectively unsplittable; each original hyperedge keeps one port (the
+// last node) per member block plus one fresh *light node*, which serves as
+// the hyperedge's generator. The balance constraint is rescaled so exactly
+// ⌊(1+ε)|V|/k⌋ blocks fit per part while light nodes travel freely.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct HyperdagHardnessReduction {
+  Hypergraph graph;  // a hyperDAG
+  BalanceConstraint balance;
+  NodeId block_size = 0;  // m
+  /// blocks[v] = the hyperDAG block replacing original node v.
+  std::vector<std::vector<NodeId>> blocks;
+  /// light[e] = the light (generator) node of original hyperedge e.
+  std::vector<NodeId> light;
+
+  /// Lift a partition of the original hypergraph: block v follows v's
+  /// part, light nodes join an arbitrary part intersecting their edge.
+  [[nodiscard]] Partition lift(const Hypergraph& original,
+                               const Partition& p) const;
+
+  /// Project a partition of the hyperDAG back to the original nodes (each
+  /// original node takes the part of its block's last node).
+  [[nodiscard]] Partition project(const Partition& p) const;
+};
+
+/// Build the Lemma B.3 instance from a general hypergraph with parameters
+/// k and ε = eps_num/eps_den (ε > 0).
+[[nodiscard]] HyperdagHardnessReduction build_hyperdag_hardness(
+    const Hypergraph& original, PartId k, std::uint32_t eps_num = 1,
+    std::uint32_t eps_den = 4);
+
+}  // namespace hp

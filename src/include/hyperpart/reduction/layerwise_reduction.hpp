@@ -1,0 +1,74 @@
+#pragma once
+// Theorem 5.2: layer-wise balanced hyperDAG partitioning is inapproximable
+// to any finite factor — via a reduction from graph 3-coloring.
+//
+// The DAG consists of parallel path "units", all spanning every layer (so
+// the layering is unique and the fixed/flexible variants coincide):
+//   * three choice units per original vertex (unit (v,i) red ⇔ v gets
+//     color i; red = part 0),
+//   * two control units R / B forced to different colors,
+//   * per-layer pad units and global filler units (the proof's control and
+//     filler paths) that absorb the exact ε = 0 per-layer balance.
+// Constraint layers widen selected units by extra nodes so that the exact
+// half/half layer balance encodes "≤ 1 color chosen", "≥ 1 color chosen"
+// and "endpoints of an edge differ" — a cost-0 layer-wise balanced
+// partitioning exists iff the input graph is 3-colorable.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/dag/layering.hpp"
+#include "hyperpart/reduction/coloring_reduction.hpp"
+
+namespace hp {
+
+struct LayerwiseReduction {
+  Dag dag;
+  HyperDag hyperdag;
+  /// One exact-balance group per layer (capacity = layer size / 2, k = 2).
+  ConstraintSet layer_constraints;
+  Layering layers;
+  std::uint32_t num_layers = 0;
+
+  /// All node ids of each unit, and unit bookkeeping.
+  std::vector<std::vector<NodeId>> unit_nodes;
+  std::vector<std::array<std::uint32_t, 3>> choice_unit;  // [vertex][color]
+  std::uint32_t control_red = 0;  // unit index of R
+  std::uint32_t control_blue = 0;
+  std::vector<std::uint32_t> filler_units;
+  /// pads[t] = pad units whose extra node sits in layer t.
+  std::vector<std::vector<std::uint32_t>> pads;
+  /// Forced number of red pads per constraint layer given the choice units'
+  /// red count s (pr = target − s); targets/slacks per layer.
+  struct LayerSpec {
+    std::vector<std::uint32_t> s_units;  // constrained units
+    std::uint32_t target = 0;            // T: s_red + pads_red == T
+    std::uint32_t slack = 0;             // p_t = number of pads
+  };
+  std::vector<std::optional<LayerSpec>> layer_spec;  // per layer
+
+  ColoringInstance instance;
+
+  /// Build the full cost-0 partition realizing a 3-coloring (colors in
+  /// {0,1,2} per vertex). Throws if the coloring is invalid for the
+  /// construction's constraints.
+  [[nodiscard]] Partition partition_from_coloring(
+      const std::vector<std::uint8_t>& coloring) const;
+
+  /// Decide whether a cost-0, layer-wise feasible partitioning exists, by
+  /// enumerating colorings of the choice/control units and resolving the
+  /// pad/filler units exactly (their red counts are forced per layer).
+  /// Exponential in 3·|V| — small instances only.
+  [[nodiscard]] bool cost0_feasible() const;
+};
+
+[[nodiscard]] LayerwiseReduction build_layerwise_reduction(
+    const ColoringInstance& inst);
+
+}  // namespace hp

@@ -1,0 +1,64 @@
+#pragma once
+// Minimum p-Union (Appendix C.5): the hypergraph generalization of SpES.
+//
+// Given a ground set and a family of sets, pick p sets whose union is as
+// small as possible. Under the stronger assumptions of [3] and [12], MpU is
+// n^δ- resp. n^(1/4−δ)-inapproximable; the Lemma C.1 reduction extends
+// verbatim (each block B_e now has up to n incident main hyperedges),
+// transferring those bounds to the partitioning problem (Corollary 4.2).
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+
+namespace hp {
+
+struct MpuInstance {
+  NodeId num_elements = 0;
+  std::vector<std::vector<NodeId>> sets;
+  std::uint32_t p = 0;
+};
+
+/// Union size of the chosen sets.
+[[nodiscard]] std::uint32_t union_size(const MpuInstance& inst,
+                                       const std::vector<std::uint32_t>& chosen);
+
+/// Exact optimum by enumerating p-subsets of the family.
+[[nodiscard]] std::optional<std::uint32_t> mpu_optimum(const MpuInstance& inst);
+
+/// Best p-subset (exact).
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> mpu_optimal_sets(
+    const MpuInstance& inst);
+
+/// Random family with sets of size in [min_size, max_size].
+[[nodiscard]] MpuInstance random_mpu(NodeId elements, std::uint32_t sets,
+                                     std::uint32_t min_size,
+                                     std::uint32_t max_size, std::uint32_t p,
+                                     std::uint64_t seed);
+
+struct MpuReduction {
+  Hypergraph graph;
+  BalanceConstraint balance;  // k = 2
+  MpuInstance instance;
+  NodeId block_size = 0;
+  std::vector<std::vector<NodeId>> set_blocks;  // B_e per set
+  std::vector<NodeId> element_nodes;            // b_v per element
+  std::vector<NodeId> block_a;
+  std::vector<NodeId> block_a_prime;
+  Weight min_part_weight = 0;
+
+  /// Canonical partition for a choice of exactly p sets; cost = union size.
+  [[nodiscard]] Partition partition_from_sets(
+      const std::vector<std::uint32_t>& red_sets) const;
+};
+
+/// Lemma C.1 extended to MpU (Appendix C.5).
+[[nodiscard]] MpuReduction build_mpu_reduction(const MpuInstance& inst,
+                                               std::uint32_t eps_num = 1,
+                                               std::uint32_t eps_den = 10);
+
+}  // namespace hp

@@ -1,0 +1,49 @@
+#pragma once
+// Orthogonal Vectors and the Theorem 6.4 reduction to multi-constraint
+// partitioning.
+//
+// OVP: given m binary vectors of dimension D, decide whether two are
+// orthogonal. Under SETH this needs ~quadratic time for D = ω(log m). The
+// reduction builds one gadget per vector (an anchor u_i plus a node per
+// coordinate) with a hyperedge {u_i} ∪ {v_i^(j) : a_i^(j) = 1}; balance
+// groups force ≥ 2 red anchors and ≤ 1 red node per dimension, so a
+// multi-constraint partitioning of cost 0 exists iff an orthogonal pair
+// exists.
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+
+namespace hp {
+
+struct OvpInstance {
+  std::uint32_t dimensions = 0;
+  /// vectors[i] is a D-bit row; bit j = coordinate j.
+  std::vector<std::vector<bool>> vectors;
+};
+
+/// Naive O(m²·D) check; returns an orthogonal pair if one exists.
+[[nodiscard]] std::optional<std::pair<std::uint32_t, std::uint32_t>>
+find_orthogonal_pair(const OvpInstance& inst);
+
+/// Random instance; each coordinate is 1 with probability `density`.
+[[nodiscard]] OvpInstance random_ovp(std::uint32_t m, std::uint32_t dims,
+                                     double density, std::uint64_t seed);
+
+struct OvpReduction {
+  Hypergraph graph;
+  ConstraintSet constraints;
+  BalanceConstraint balance;  // loose single constraint, k = 2
+  std::vector<NodeId> anchors;                 // u_i
+  std::vector<std::vector<NodeId>> dim_nodes;  // v_i^(j), [i][j]
+};
+
+/// Build the Theorem 6.4 construction (k = 2). The number of balance
+/// groups is D + O(1).
+[[nodiscard]] OvpReduction build_ovp_reduction(const OvpInstance& inst);
+
+}  // namespace hp

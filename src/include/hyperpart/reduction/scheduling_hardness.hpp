@@ -1,0 +1,50 @@
+#pragma once
+// Theorem 5.5 constructions: computing μ_p (the optimal makespan of a FIXED
+// partition) is NP-hard for k = 2 even on out-trees, level-order DAGs and
+// bounded-height DAGs — exactly the families where μ itself is polynomial.
+//
+// * Chain/level-order/out-tree family: from a 3-partition instance — a main
+//   path of 2tb nodes in alternating blocks of b blue / b red, plus one
+//   path of a_i red then a_i blue nodes per number. μ_p = n/2 (flawless
+//   parallelization) iff the 3-partition instance is solvable; adding a
+//   common source turns the DAG into an out-tree with target n/2 + 1.
+// * Bounded-height family: from the clique problem — blue vertex nodes,
+//   red edge nodes with incidence arcs, plus a serial 4-layer component C
+//   of sizes (L red | C(L,2) blue | |V|−L red | |E|−C(L,2) blue). Makespan
+//   |V|+|E| is achievable iff the graph has an L-clique.
+
+#include <cstdint>
+
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/reduction/coloring_reduction.hpp"  // graph type
+#include "hyperpart/reduction/three_partition.hpp"
+
+namespace hp {
+
+struct MuPInstance {
+  Dag dag;
+  Partition partition;  // the fixed processor assignment p (k = 2)
+  std::uint32_t target_makespan = 0;
+};
+
+/// Chain-graph / level-order construction from 3-partition. μ_p equals
+/// target_makespan (= n/2) iff the instance is solvable.
+[[nodiscard]] MuPInstance level_order_mu_p_instance(
+    const ThreePartitionInstance& inst);
+
+/// The same construction with a common source node (an out-tree);
+/// target = n/2 + 1, source on the blue processor.
+[[nodiscard]] MuPInstance out_tree_mu_p_instance(
+    const ThreePartitionInstance& inst);
+
+/// Bounded-height (height 4) construction from the clique problem.
+/// Requires clique_size ≤ |V| and C(clique_size, 2) ≤ |E|.
+[[nodiscard]] MuPInstance bounded_height_mu_p_instance(
+    const ColoringInstance& graph, std::uint32_t clique_size);
+
+/// Brute-force clique check (ground truth for the construction).
+[[nodiscard]] bool has_clique(const ColoringInstance& graph,
+                              std::uint32_t size);
+
+}  // namespace hp

@@ -1,0 +1,49 @@
+#pragma once
+// The Smallest p-Edge Subgraph problem (SpES), the hardness source of the
+// main theorem (Theorem 4.1 / Lemma C.1).
+//
+// Given a graph G(V, E) and an integer p, find V₀ ⊆ V minimizing |V₀| such
+// that the subgraph induced by V₀ has at least p edges. Equivalently (and
+// the form the reduction uses): choose (at least) p edges covering as few
+// vertices as possible. Assuming ETH, SpES admits no polynomial-time
+// n^(1/(log log n)^δ)-approximation [Manurangsi 2017].
+
+#include <cstdint>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"  // NodeId
+
+namespace hp {
+
+struct SpesInstance {
+  NodeId num_vertices = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::uint32_t p = 0;
+};
+
+/// Vertices covered by the given edge subset.
+[[nodiscard]] std::uint32_t vertices_covered(
+    const SpesInstance& inst, const std::vector<std::uint32_t>& edge_subset);
+
+/// Exact optimum: the minimum number of vertices covered by any p edges
+/// (enumerates edge subsets of size p; |E| choose p must be small).
+/// Returns nullopt when the instance has fewer than p edges.
+[[nodiscard]] std::optional<std::uint32_t> spes_optimum(
+    const SpesInstance& inst);
+
+/// Exact optimum with the chosen edge subset.
+[[nodiscard]] std::optional<std::vector<std::uint32_t>> spes_optimal_edges(
+    const SpesInstance& inst);
+
+/// Greedy heuristic: repeatedly add the edge covering the fewest new
+/// vertices. Upper-bounds the optimum.
+[[nodiscard]] std::optional<std::uint32_t> spes_greedy(
+    const SpesInstance& inst);
+
+/// Random SpES instance (simple graph, no duplicate edges).
+[[nodiscard]] SpesInstance random_spes(NodeId vertices, std::uint32_t edges,
+                                       std::uint32_t p, std::uint64_t seed);
+
+}  // namespace hp

@@ -1,0 +1,53 @@
+#pragma once
+// The Δ = 2 / hyperDAG form of the main reduction (Appendix C.2–C.3,
+// Lemma C.6).
+//
+// Every block of the Lemma C.1 construction is replaced by a grid gadget:
+//   * each B_e by an (2n)×(2n) extended grid with two outsider nodes (the
+//     ports of e's endpoints),
+//   * A by an extended grid whose outsiders are the vertex nodes b_v plus
+//     one extra outsider (the Appendix C.3 hyperDAG fix),
+//   * A′ by a grid with one extra outsider, padded with further outsider
+//     nodes to hit the exact red-side size (the non-square-size trick).
+// Main hyperedges contain b_v and v's port outsiders. Every node has
+// degree ≤ 2, the hyperedges split into two classes of pairwise disjoint
+// edges (the SpMV bipartite property of [30]), and the whole hypergraph is
+// a hyperDAG.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/reduction/grid_gadget.hpp"
+#include "hyperpart/reduction/spes.hpp"
+
+namespace hp {
+
+struct SpesDelta2Reduction {
+  Hypergraph graph;
+  BalanceConstraint balance;  // k = 2
+  SpesInstance instance;
+
+  std::vector<GridGadget> edge_grids;  // one per SpES edge (2 outsiders)
+  GridGadget grid_a;                   // outsiders: b_v …, then 1 extra
+  GridGadget grid_a_prime;             // outsiders: 1 extra + padding
+  std::vector<NodeId> vertex_nodes;    // b_v (= grid_a outsiders 0..n−1)
+  std::vector<EdgeId> main_edges;
+
+  Weight min_part_weight = 0;  // exact red-side size, (1−ε)·n′/2
+
+  /// Canonical partition for a chosen set of exactly p SpES edges: A′
+  /// (incl. its outsiders/padding) and the chosen edge grids red, rest
+  /// blue. Cost = number of vertices covered by the chosen edges.
+  [[nodiscard]] Partition partition_from_edges(
+      const std::vector<std::uint32_t>& red_edges) const;
+};
+
+/// Build the Δ=2 hyperDAG construction; eps = eps_num/eps_den ∈ [0, 1).
+[[nodiscard]] SpesDelta2Reduction build_spes_delta2(const SpesInstance& inst,
+                                                    std::uint32_t eps_num = 1,
+                                                    std::uint32_t eps_den = 10);
+
+}  // namespace hp

@@ -1,0 +1,47 @@
+#pragma once
+// Appendix C.4: the main reduction generalized to k ≥ 3 colors.
+//
+// As in Lemma C.1, blocks B_e per SpES edge, nodes b_v tied to the blue
+// anchor A; the balance constraint now allows exactly |A| + (|E|−p)·m + n
+// nodes in A's part, so at least p edge blocks must leave it. When
+// 2·(1+ε)/k > 1 two colors can cover everything; otherwise k₀ = ⌈k/(1+ε)⌉
+// equally-sized extra components (A′ + p·m being the first) absorb the
+// remaining colors. Any reasonable solution recolors to the canonical
+// two-or-k₀-color shape without cost increase, so OPT still equals the
+// SpES optimum.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/reduction/spes.hpp"
+
+namespace hp {
+
+struct SpesKwayReduction {
+  Hypergraph graph;
+  BalanceConstraint balance;  // k parts
+  SpesInstance instance;
+  PartId k = 2;
+  NodeId block_size = 0;  // m
+  std::vector<std::vector<NodeId>> edge_blocks;
+  std::vector<NodeId> vertex_nodes;           // b_v
+  std::vector<NodeId> block_a;                // blue anchor
+  std::vector<NodeId> block_a_prime;          // first red component core
+  std::vector<std::vector<NodeId>> extra_blocks;  // colors 3..k₀
+
+  /// Canonical partition for exactly p chosen edges: A, b_v and the
+  /// unchosen blocks blue (part 0); A′ and chosen blocks red (part 1);
+  /// extra block i on part i+2. Cost = number of covered vertices.
+  [[nodiscard]] Partition partition_from_edges(
+      const std::vector<std::uint32_t>& red_edges) const;
+};
+
+/// Build the Appendix C.4 construction for k ≥ 2 (ε = eps_num/eps_den).
+[[nodiscard]] SpesKwayReduction build_spes_kway_reduction(
+    const SpesInstance& inst, PartId k, std::uint32_t eps_num = 1,
+    std::uint32_t eps_den = 10);
+
+}  // namespace hp

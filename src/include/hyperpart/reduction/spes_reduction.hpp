@@ -1,0 +1,60 @@
+#pragma once
+// The main inapproximability reduction (Theorem 4.1 / Lemma C.1): SpES →
+// ε-balanced 2-way hypergraph partitioning.
+//
+// Blocks B_e (one per SpES edge), nodes b_v with main hyperedges tying them
+// to the incident edge blocks, and two anchor blocks A (blue) and A′ (red)
+// sized so that (i) A and A′ must take different colors, and (ii) at least
+// p edge blocks must go red to satisfy the balance constraint. The optimal
+// partition cost then equals the SpES optimum: the number of vertices
+// covered by the p chosen (red) edges.
+//
+// ε is handled as an exact rational ε = eps_num / eps_den and the total
+// size n′ is padded to a multiple of 2·eps_den so every threshold in the
+// proof is an exact integer (cf. Appendix A, "Non-integer thresholds").
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/reduction/spes.hpp"
+
+namespace hp {
+
+struct SpesReduction {
+  Hypergraph graph;
+  BalanceConstraint balance;  // k = 2, capacity (1+ε)·n′/2
+  SpesInstance instance;
+
+  NodeId block_size = 0;  // m, the B_e block size (m ≥ n+1)
+  std::vector<std::vector<NodeId>> edge_blocks;  // B_e node lists
+  std::vector<NodeId> vertex_nodes;              // b_v
+  std::vector<NodeId> block_a;                   // A (blue side)
+  std::vector<NodeId> block_a_prime;             // A′ (red side)
+  std::vector<EdgeId> main_edges;                // hyperedge of each vertex v
+
+  /// Required number of red nodes, (1−ε)·n′/2 (both sides are exact).
+  Weight min_part_weight = 0;
+
+  /// The canonical partition for a chosen set of exactly p SpES edges:
+  /// A′ and the chosen blocks red, everything else blue. Its cost equals
+  /// the number of vertices the chosen edges cover.
+  [[nodiscard]] Partition partition_from_edges(
+      const std::vector<std::uint32_t>& red_edges) const;
+
+  /// Recover a ≥p-edge subset from any "reasonable" partition (one that
+  /// keeps all blocks monochromatic): the SpES edges whose block has the
+  /// opposite majority color from A.
+  [[nodiscard]] std::vector<std::uint32_t> edges_from_partition(
+      const Partition& p) const;
+};
+
+/// Build the Lemma C.1 construction. eps = eps_num/eps_den must satisfy
+/// 0 ≤ eps < 1.
+[[nodiscard]] SpesReduction build_spes_reduction(const SpesInstance& inst,
+                                                 std::uint32_t eps_num = 1,
+                                                 std::uint32_t eps_den = 10);
+
+}  // namespace hp

@@ -1,0 +1,56 @@
+#pragma once
+// 3-dimensional matching and the Lemma H.2 reduction: hierarchy assignment
+// with b₂ = 3 is NP-hard.
+//
+// Given a 3-partite, 3-regular hypergraph over X ∪ Y ∪ Z (|X|=|Y|=|Z|=q),
+// the reduction builds a contracted multi-hypergraph on k = 3q nodes:
+//   * each original triple (x,y,z) becomes three weight-1 pair edges,
+//   * every non-triple (x′,y′,z′) triple of nodes gets one weight-1
+//     size-3 edge,
+//   * every tripartite triple gets one weight-w₀ size-3 edge.
+// Grouping the nodes into k/3 leaf-triples then has gain ≥ G(q) iff a
+// perfect 3D matching exists.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/hier/topology.hpp"
+
+namespace hp {
+
+struct ThreeDMInstance {
+  std::uint32_t q = 0;  // |X| = |Y| = |Z|
+  /// Triples as (x, y, z) indices in [0, q) each.
+  std::vector<std::array<std::uint32_t, 3>> triples;
+};
+
+/// Brute-force: does a perfect 3D matching (q disjoint triples) exist?
+[[nodiscard]] bool has_perfect_matching(const ThreeDMInstance& inst);
+
+/// Random instance containing a planted perfect matching plus extra noise
+/// triples.
+[[nodiscard]] ThreeDMInstance planted_3dm(std::uint32_t q,
+                                          std::uint32_t extra_triples,
+                                          std::uint64_t seed);
+
+/// Random instance without planting (may or may not have a matching).
+[[nodiscard]] ThreeDMInstance random_3dm(std::uint32_t q,
+                                         std::uint32_t num_triples,
+                                         std::uint64_t seed);
+
+struct ThreeDMReduction {
+  Hypergraph contracted;   // on k = 3q nodes: X = 0..q−1, Y = q.., Z = 2q..
+  HierTopology topology;   // d = 2, b₂ = 3
+  Weight w0 = 0;           // tripartite-enforcement weight
+  /// Hierarchy-assignment cost threshold: a perfect matching exists iff
+  /// the optimal assignment cost is ≤ this value.
+  double cost_threshold = 0.0;
+};
+
+[[nodiscard]] ThreeDMReduction build_3dm_reduction(const ThreeDMInstance& inst,
+                                                   double g1 = 2.0);
+
+}  // namespace hp

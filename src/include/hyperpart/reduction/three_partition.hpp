@@ -1,0 +1,33 @@
+#pragma once
+// The 3-partition problem, hardness source for Theorem 5.5 and
+// Theorem E.1: partition 3t integers (each in (b/4, b/2), total t·b) into t
+// triplets of sum b each. Strongly NP-hard.
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace hp {
+
+struct ThreePartitionInstance {
+  std::vector<std::uint32_t> numbers;  // 3t values
+  std::uint32_t target = 0;            // b
+
+  [[nodiscard]] std::uint32_t t() const {
+    return static_cast<std::uint32_t>(numbers.size() / 3);
+  }
+  /// b/4 < a_i < b/2 and Σ a_i = t·b.
+  [[nodiscard]] bool well_formed() const;
+};
+
+/// Exact solver: returns the triplet grouping (index triples) if one
+/// exists. Backtracking; small t only.
+[[nodiscard]] std::optional<std::vector<std::array<std::uint32_t, 3>>>
+solve_three_partition(const ThreePartitionInstance& inst);
+
+/// A solvable instance: t random triplets summing to b each.
+[[nodiscard]] ThreePartitionInstance random_solvable_three_partition(
+    std::uint32_t t, std::uint32_t b, std::uint64_t seed);
+
+}  // namespace hp

@@ -1,0 +1,41 @@
+#pragma once
+// BSP-style cost model for a scheduled, partitioned computational DAG —
+// the manycore-scheduling application that motivates the paper
+// (Section 1; cf. Bisseling [5] and Multi-BSP [48]).
+//
+// Given a DAG, a schedule (processor + time step per node) and the DAG's
+// hyperDAG, the execution decomposes into supersteps; the value a node
+// produces must be communicated to every other processor that computes one
+// of its successors (exactly the λ_e − 1 transfers the hyperDAG counts).
+// The BSP cost of a superstep is w + g·h + l, where w is the maximal work,
+// h the maximal number of values a processor sends or receives in the
+// communication phase entering the superstep, g the gap and l the latency.
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+struct BspParams {
+  double g = 1.0;  // per-value communication gap
+  double l = 0.0;  // per-superstep latency
+};
+
+struct BspCostBreakdown {
+  std::uint32_t supersteps = 0;
+  std::uint64_t total_work = 0;        // Σ per-superstep max work
+  std::uint64_t total_h_relation = 0;  // Σ per-superstep max send/recv
+  std::uint64_t total_values_moved = 0;  // Σ_e (λ_e − 1) over cut values
+  double total_cost = 0.0;             // Σ (w + g·h + l)
+};
+
+/// Evaluate the BSP cost of a valid schedule on k processors. Each time
+/// step is one superstep; a produced value is sent (once per consumer
+/// processor) in the communication phase before its first remote use.
+[[nodiscard]] BspCostBreakdown bsp_cost(const Dag& dag, const Schedule& s,
+                                        PartId k, const BspParams& params);
+
+}  // namespace hp

@@ -1,0 +1,24 @@
+#pragma once
+// Coffman–Graham two-processor scheduling [13].
+//
+// For k = 2 and unit tasks, Coffman–Graham labeling followed by
+// highest-label-first list scheduling achieves the optimal makespan μ.
+// This is one of the special cases where computing μ is polynomial although
+// computing μ_p is NP-hard (Theorem 5.5).
+
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+/// Coffman–Graham labels: label[v] in [1, n], computed bottom-up with the
+/// lexicographic rule over successor label sets.
+[[nodiscard]] std::vector<std::uint32_t> coffman_graham_labels(const Dag& dag);
+
+/// Optimal 2-processor schedule of `dag` (unit tasks).
+[[nodiscard]] Schedule coffman_graham_schedule(const Dag& dag);
+
+/// Optimal two-processor makespan μ.
+[[nodiscard]] std::uint32_t optimal_makespan_two_processors(const Dag& dag);
+
+}  // namespace hp

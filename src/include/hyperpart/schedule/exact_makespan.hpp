@@ -1,0 +1,29 @@
+#pragma once
+// Exact optimal makespan μ by state-space search.
+//
+// For unit tasks, greedy schedules (no processor idles while a ready task
+// exists) are dominant, so an optimal schedule runs min(k, |ready|) tasks
+// per step. We BFS over bitmask states of completed nodes; limited to
+// n ≤ 62 nodes. Used as ground truth for Coffman–Graham / Hu in tests and
+// for small instances of the schedule-based balance constraint (Def. 5.4).
+
+#include <cstdint>
+#include <optional>
+
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+struct ExactMakespanResult {
+  std::uint32_t makespan = 0;
+  /// Number of BFS states expanded; a proxy for search difficulty
+  /// (compared against μ_p search in the Theorem 5.5 benchmark).
+  std::uint64_t states_expanded = 0;
+};
+
+/// Optimal makespan of `dag` on k processors, or nullopt when the search
+/// exceeds `max_states`. Requires n ≤ 62.
+[[nodiscard]] std::optional<ExactMakespanResult> exact_makespan(
+    const Dag& dag, PartId k, std::uint64_t max_states = 50'000'000);
+
+}  // namespace hp

@@ -1,0 +1,34 @@
+#pragma once
+// Exact μ_p: optimal makespan with a fixed processor assignment.
+//
+// Theorem 5.5 shows computing μ_p is NP-hard already for k = 2, even for
+// out-trees, level-order or bounded-height DAGs — so exponential search is
+// expected. The same greedy dominance as for μ holds per processor (a
+// processor never idles while one of its own nodes is ready), so we BFS
+// over completion bitmasks, branching over one ready node per non-idle
+// processor. Provides the feasibility check for the schedule-based balance
+// constraint (Definition 5.4).
+
+#include <cstdint>
+#include <optional>
+
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/schedule/exact_makespan.hpp"
+
+namespace hp {
+
+/// Optimal makespan for the fixed assignment p, or nullopt when the search
+/// exceeds `max_states`. Requires n ≤ 62.
+[[nodiscard]] std::optional<ExactMakespanResult> exact_fixed_makespan(
+    const Dag& dag, const Partition& p,
+    std::uint64_t max_states = 50'000'000);
+
+/// Schedule-based balance feasibility (Definition 5.4): μ_p ≤ (1+ε)·μ.
+/// Uses exact search for both quantities; nullopt when either search
+/// exceeds its budget.
+[[nodiscard]] std::optional<bool> schedule_based_feasible(
+    const Dag& dag, const Partition& p, double epsilon,
+    std::uint64_t max_states = 50'000'000);
+
+}  // namespace hp

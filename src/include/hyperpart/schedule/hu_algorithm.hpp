@@ -1,0 +1,26 @@
+#pragma once
+// Hu's algorithm for unit-time forests [22].
+//
+// Highest-level-first list scheduling is optimal for in-forests (every node
+// has out-degree ≤ 1). Out-forests — the "out-trees" of Theorem 5.5, where
+// every node has in-degree ≤ 1 — are handled by reversing the DAG,
+// scheduling the resulting in-forest, and reversing time. Together with
+// Coffman–Graham this covers the special cases where μ is polynomial while
+// μ_p stays NP-hard.
+
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+[[nodiscard]] bool is_in_forest(const Dag& dag);   // out-degree ≤ 1 everywhere
+[[nodiscard]] bool is_out_forest(const Dag& dag);  // in-degree ≤ 1 everywhere
+
+/// Optimal schedule of an in-forest or out-forest on k processors.
+/// Throws std::invalid_argument when the DAG is neither.
+[[nodiscard]] Schedule hu_schedule(const Dag& dag, PartId k);
+
+/// Optimal makespan of a forest DAG on k processors.
+[[nodiscard]] std::uint32_t hu_makespan(const Dag& dag, PartId k);
+
+}  // namespace hp

@@ -1,0 +1,38 @@
+#pragma once
+// List scheduling (Graham) for unit-time precedence-constrained tasks.
+//
+// Greedy schedules are dominant for unit execution times: if a processor
+// would idle while a ready task exists, running the task earlier never
+// increases the makespan. List scheduling therefore gives an optimal number
+// of busy steps when priorities are chosen well, and in general a
+// (2 − 1/k)-approximation of μ. With a fixed processor assignment it yields
+// an upper bound on μ_p.
+
+#include <vector>
+
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+/// Priority used to order ready tasks: highest level first breaks ties well
+/// on tree-like DAGs, kTopological keeps input order.
+enum class ListPriority : std::uint8_t {
+  kHighestLevelFirst,
+  kTopological,
+};
+
+/// List-schedule `dag` on k processors. Returns a valid schedule; its
+/// makespan upper-bounds μ.
+[[nodiscard]] Schedule list_schedule(const Dag& dag, PartId k,
+                                     ListPriority prio =
+                                         ListPriority::kHighestLevelFirst);
+
+/// List-schedule with a fixed processor assignment p: each step, every
+/// processor runs at most one ready node of its own part. Upper-bounds μ_p.
+[[nodiscard]] Schedule list_schedule_fixed(const Dag& dag, const Partition& p,
+                                           ListPriority prio =
+                                               ListPriority::kHighestLevelFirst);
+
+}  // namespace hp

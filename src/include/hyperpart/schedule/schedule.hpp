@@ -1,0 +1,39 @@
+#pragma once
+// Schedules of computational DAGs (Definition 5.3).
+//
+// A scheduling assigns every node a processor p(v) ∈ [k] and a time step
+// t(v) ∈ Z+ such that no two nodes share a (processor, time) slot and every
+// edge satisfies t(u) < t(v). All tasks are unit time. The makespan is
+// max_v t(v); μ denotes the optimal makespan over all schedules and μ_p the
+// optimal makespan when the processor assignment p is fixed (Section 5.2).
+
+#include <cstdint>
+#include <vector>
+
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp {
+
+struct Schedule {
+  std::vector<PartId> proc;          // processor of each node
+  std::vector<std::uint32_t> time;   // 1-based time step of each node
+
+  [[nodiscard]] std::uint32_t makespan() const;
+};
+
+/// Check Definition 5.3: correct (slots unique) + precedence-respecting.
+[[nodiscard]] bool valid_schedule(const Dag& dag, const Schedule& s, PartId k);
+
+/// True when schedule s realizes partition p (s.proc == p).
+[[nodiscard]] bool realizes_partition(const Schedule& s, const Partition& p);
+
+/// Trivial lower bounds on μ: max(⌈n/k⌉, longest path length).
+[[nodiscard]] std::uint32_t makespan_lower_bound(const Dag& dag, PartId k);
+
+/// Lower bound on μ_p for a fixed partition: max(per-processor load,
+/// longest path length).
+[[nodiscard]] std::uint32_t fixed_partition_lower_bound(const Dag& dag,
+                                                        const Partition& p);
+
+}  // namespace hp

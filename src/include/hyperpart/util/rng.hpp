@@ -1,0 +1,59 @@
+#pragma once
+// Deterministic pseudo-random number generation for all randomized components.
+//
+// Every randomized algorithm in hyperpart takes an explicit 64-bit seed, so runs
+// are reproducible across machines and build modes. The generator is
+// xoshiro256** (Blackman & Vigna), seeded via SplitMix64 as its authors
+// recommend; both are tiny, fast, and have no global state.
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace hp {
+
+/// SplitMix64 step; used to expand a single seed into generator state.
+[[nodiscard]] std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// xoshiro256** generator. Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept;
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept { return ~result_type{0}; }
+
+  result_type operator()() noexcept;
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  [[nodiscard]] std::uint64_t next_below(std::uint64_t bound) noexcept;
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  [[nodiscard]] std::int64_t next_in(std::int64_t lo, std::int64_t hi) noexcept;
+
+  /// Uniform double in [0, 1).
+  [[nodiscard]] double next_double() noexcept;
+
+  /// Bernoulli trial with success probability p.
+  [[nodiscard]] bool next_bool(double p) noexcept;
+
+  /// Derive an independent child generator (for parallel streams).
+  [[nodiscard]] Rng fork() noexcept;
+
+  /// Fisher–Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) noexcept {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      const std::size_t j = static_cast<std::size_t>(next_below(i));
+      using std::swap;
+      swap(v[i - 1], v[j]);
+    }
+  }
+
+ private:
+  std::array<std::uint64_t, 4> s_;
+};
+
+}  // namespace hp

@@ -1,0 +1,26 @@
+#pragma once
+// Minimal fixed-size thread pool for the library's coarse-grained
+// parallelism: parallel cost evaluation and multi-start search. Tasks are
+// submitted as a batch and joined; no work stealing, no global state.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace hp {
+
+/// Run tasks[0..n) across at most `threads` std::threads (1 = inline).
+/// Blocks until all tasks complete. Exceptions in tasks terminate — tasks
+/// must be noexcept in spirit.
+void run_parallel(const std::vector<std::function<void()>>& tasks,
+                  unsigned threads);
+
+/// Chunked parallel for over [0, count): fn(begin, end) per chunk.
+void parallel_for_chunks(std::uint64_t count, unsigned threads,
+                         const std::function<void(std::uint64_t,
+                                                  std::uint64_t)>& fn);
+
+/// A sensible default thread count (hardware concurrency, at least 1).
+[[nodiscard]] unsigned default_threads() noexcept;
+
+}  // namespace hp

@@ -1,0 +1,25 @@
+#pragma once
+// Simple wall-clock timer used by benchmarks and examples.
+
+#include <chrono>
+
+namespace hp {
+
+class Timer {
+ public:
+  Timer() noexcept : start_(clock::now()) {}
+
+  void reset() noexcept { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or last reset().
+  [[nodiscard]] double seconds() const noexcept;
+
+  /// Milliseconds elapsed since construction or last reset().
+  [[nodiscard]] double millis() const noexcept { return seconds() * 1e3; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace hp

@@ -1,0 +1,90 @@
+#include "hyperpart/io/dag_families.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hp {
+
+Dag stencil2d_dag(std::uint32_t width, std::uint32_t height,
+                  std::uint32_t iterations) {
+  if (width == 0 || height == 0 || iterations == 0) {
+    throw std::invalid_argument("stencil2d_dag: empty dimensions");
+  }
+  const auto cell = [&](std::uint32_t t, std::uint32_t x, std::uint32_t y) {
+    return static_cast<NodeId>((t * height + y) * width + x);
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::uint32_t t = 1; t < iterations; ++t) {
+    for (std::uint32_t y = 0; y < height; ++y) {
+      for (std::uint32_t x = 0; x < width; ++x) {
+        const NodeId v = cell(t, x, y);
+        edges.emplace_back(cell(t - 1, x, y), v);
+        if (x > 0) edges.emplace_back(cell(t - 1, x - 1, y), v);
+        if (x + 1 < width) edges.emplace_back(cell(t - 1, x + 1, y), v);
+        if (y > 0) edges.emplace_back(cell(t - 1, x, y - 1), v);
+        if (y + 1 < height) edges.emplace_back(cell(t - 1, x, y + 1), v);
+      }
+    }
+  }
+  return Dag::from_edges(iterations * width * height, std::move(edges));
+}
+
+Dag butterfly_dag(std::uint32_t log_size) {
+  if (log_size == 0 || log_size > 20) {
+    throw std::invalid_argument("butterfly_dag: log_size in [1, 20]");
+  }
+  const std::uint32_t points = 1u << log_size;
+  const auto node = [&](std::uint32_t stage, std::uint32_t i) {
+    return static_cast<NodeId>(stage * points + i);
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::uint32_t stage = 1; stage <= log_size; ++stage) {
+    const std::uint32_t stride = 1u << (stage - 1);
+    for (std::uint32_t i = 0; i < points; ++i) {
+      edges.emplace_back(node(stage - 1, i), node(stage, i));
+      edges.emplace_back(node(stage - 1, i ^ stride), node(stage, i));
+    }
+  }
+  return Dag::from_edges((log_size + 1) * points, std::move(edges));
+}
+
+Dag triangular_solve_dag(std::uint32_t n) {
+  if (n == 0) throw std::invalid_argument("triangular_solve_dag: n >= 1");
+  // Node layout: solve[i] = i; update(i, j) for j < i accumulates
+  // L(i,j)·x_j into row i, chained so each row is a serial reduction.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId next = n;  // update nodes start after the n solve nodes
+  for (std::uint32_t i = 1; i < n; ++i) {
+    NodeId previous = kInvalidNode;
+    for (std::uint32_t j = 0; j < i; ++j) {
+      const NodeId update = next++;
+      edges.emplace_back(j, update);  // needs x_j
+      if (previous != kInvalidNode) {
+        edges.emplace_back(previous, update);  // accumulation chain
+      }
+      previous = update;
+    }
+    edges.emplace_back(previous, i);  // row done → solve x_i
+  }
+  return Dag::from_edges(next, std::move(edges));
+}
+
+Dag wavefront_dag(std::uint32_t width, std::uint32_t height) {
+  if (width == 0 || height == 0) {
+    throw std::invalid_argument("wavefront_dag: empty grid");
+  }
+  const auto cell = [&](std::uint32_t x, std::uint32_t y) {
+    return static_cast<NodeId>(y * width + x);
+  };
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::uint32_t y = 0; y < height; ++y) {
+    for (std::uint32_t x = 0; x < width; ++x) {
+      if (x > 0) edges.emplace_back(cell(x - 1, y), cell(x, y));
+      if (y > 0) edges.emplace_back(cell(x, y - 1), cell(x, y));
+    }
+  }
+  return Dag::from_edges(width * height, std::move(edges));
+}
+
+}  // namespace hp

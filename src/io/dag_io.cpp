@@ -1,0 +1,73 @@
+#include "hyperpart/io/dag_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hp {
+
+namespace {
+
+[[nodiscard]] bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Dag read_dag(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) throw std::runtime_error("read_dag: empty input");
+  std::istringstream header(line);
+  std::uint64_t num_nodes = 0;
+  std::uint64_t num_edges = 0;
+  header >> num_nodes >> num_edges;
+  if (!header) throw std::runtime_error("read_dag: bad header");
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  edges.reserve(num_edges);
+  for (std::uint64_t i = 0; i < num_edges; ++i) {
+    if (!next_line(in, line)) {
+      throw std::runtime_error("read_dag: truncated edge list");
+    }
+    std::istringstream ls(line);
+    std::uint64_t u = 0;
+    std::uint64_t v = 0;
+    ls >> u >> v;
+    if (!ls) throw std::runtime_error("read_dag: bad edge line");
+    edges.emplace_back(static_cast<NodeId>(u), static_cast<NodeId>(v));
+  }
+  return Dag::from_edges(static_cast<NodeId>(num_nodes), std::move(edges));
+}
+
+Dag read_dag_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_dag_file: cannot open " + path);
+  return read_dag(in);
+}
+
+void write_dag(std::ostream& out, const Dag& dag) {
+  out << dag.num_nodes() << ' ' << dag.num_edges() << '\n';
+  for (NodeId u = 0; u < dag.num_nodes(); ++u) {
+    for (const NodeId v : dag.successors(u)) {
+      out << u << ' ' << v << '\n';
+    }
+  }
+}
+
+void write_dag_file(const std::string& path, const Dag& dag) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_dag_file: cannot open " + path);
+  write_dag(out, dag);
+}
+
+}  // namespace hp

@@ -1,0 +1,152 @@
+#include "hyperpart/io/generators.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+Hypergraph random_hypergraph(NodeId n, EdgeId m, std::uint32_t min_edge_size,
+                             std::uint32_t max_edge_size, std::uint64_t seed) {
+  if (min_edge_size < 1 || min_edge_size > max_edge_size ||
+      max_edge_size > n) {
+    throw std::invalid_argument("random_hypergraph: bad edge sizes");
+  }
+  Rng rng{seed};
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(m);
+  std::unordered_set<NodeId> pins;
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto size = static_cast<std::uint32_t>(
+        rng.next_in(min_edge_size, max_edge_size));
+    pins.clear();
+    while (pins.size() < size) {
+      pins.insert(static_cast<NodeId>(rng.next_below(n)));
+    }
+    edges.emplace_back(pins.begin(), pins.end());
+  }
+  return Hypergraph::from_edges(n, std::move(edges));
+}
+
+Hypergraph spmv_hypergraph(std::uint32_t rows, std::uint32_t cols,
+                           std::uint64_t nnz, std::uint64_t seed) {
+  if (nnz > static_cast<std::uint64_t>(rows) * cols) {
+    throw std::invalid_argument("spmv_hypergraph: nnz too large");
+  }
+  Rng rng{seed};
+  // Sample distinct (row, col) positions.
+  std::unordered_set<std::uint64_t> taken;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> entries;
+  entries.reserve(nnz);
+  while (entries.size() < nnz) {
+    const auto r = static_cast<std::uint32_t>(rng.next_below(rows));
+    const auto c = static_cast<std::uint32_t>(rng.next_below(cols));
+    if (taken.insert(static_cast<std::uint64_t>(r) * cols + c).second) {
+      entries.emplace_back(r, c);
+    }
+  }
+  // One node per nonzero; hyperedge per non-empty row and column.
+  std::vector<std::vector<NodeId>> row_edges(rows);
+  std::vector<std::vector<NodeId>> col_edges(cols);
+  for (NodeId v = 0; v < entries.size(); ++v) {
+    row_edges[entries[v].first].push_back(v);
+    col_edges[entries[v].second].push_back(v);
+  }
+  std::vector<std::vector<NodeId>> edges;
+  for (auto& e : row_edges) {
+    if (!e.empty()) edges.push_back(std::move(e));
+  }
+  for (auto& e : col_edges) {
+    if (!e.empty()) edges.push_back(std::move(e));
+  }
+  return Hypergraph::from_edges(static_cast<NodeId>(entries.size()),
+                                std::move(edges));
+}
+
+Dag random_dag(NodeId n, double p, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId u = 0; u < n; ++u) {
+    for (NodeId v = u + 1; v < n; ++v) {
+      if (rng.next_bool(p)) edges.emplace_back(u, v);
+    }
+  }
+  return Dag::from_edges(n, std::move(edges));
+}
+
+Dag layered_dag(std::uint32_t layers, std::uint32_t width, double p,
+                std::uint64_t seed) {
+  Rng rng{seed};
+  const NodeId n = layers * width;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::uint32_t layer = 1; layer < layers; ++layer) {
+    for (std::uint32_t j = 0; j < width; ++j) {
+      const NodeId v = layer * width + j;
+      bool any = false;
+      for (std::uint32_t i = 0; i < width; ++i) {
+        const NodeId u = (layer - 1) * width + i;
+        if (rng.next_bool(p)) {
+          edges.emplace_back(u, v);
+          any = true;
+        }
+      }
+      if (!any) {
+        const NodeId u =
+            (layer - 1) * width + static_cast<NodeId>(rng.next_below(width));
+        edges.emplace_back(u, v);
+      }
+    }
+  }
+  return Dag::from_edges(n, std::move(edges));
+}
+
+Dag random_out_tree(NodeId n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < n; ++v) {
+    edges.emplace_back(static_cast<NodeId>(rng.next_below(v)), v);
+  }
+  return Dag::from_edges(n, std::move(edges));
+}
+
+Dag chain_dag(NodeId n) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 1; v < n; ++v) edges.emplace_back(v - 1, v);
+  return Dag::from_edges(n, std::move(edges));
+}
+
+Dag fork_join_dag(std::uint32_t width, std::uint32_t depth) {
+  // Node 0 = source; chains follow; last node = sink.
+  const NodeId n = 2 + width * depth;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const NodeId sink = n - 1;
+  for (std::uint32_t c = 0; c < width; ++c) {
+    const NodeId first = 1 + c * depth;
+    edges.emplace_back(0, first);
+    for (std::uint32_t i = 1; i < depth; ++i) {
+      edges.emplace_back(first + i - 1, first + i);
+    }
+    edges.emplace_back(first + depth - 1, sink);
+  }
+  return Dag::from_edges(n, std::move(edges));
+}
+
+Dag random_binary_dag(NodeId n, std::uint64_t seed) {
+  Rng rng{seed};
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId v = 2; v < n; ++v) {
+    const auto a = static_cast<NodeId>(rng.next_below(v));
+    NodeId b = a;
+    while (b == a) b = static_cast<NodeId>(rng.next_below(v));
+    edges.emplace_back(a, v);
+    edges.emplace_back(b, v);
+  }
+  if (n >= 2) edges.emplace_back(0, 1);
+  return Dag::from_edges(n, std::move(edges));
+}
+
+}  // namespace hp

@@ -1,0 +1,122 @@
+#include "hyperpart/io/hmetis_io.hpp"
+
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+namespace hp {
+
+namespace {
+
+/// Next non-comment, non-empty line.
+[[nodiscard]] bool next_line(std::istream& in, std::string& line) {
+  while (std::getline(in, line)) {
+    std::size_t i = 0;
+    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
+      ++i;
+    }
+    if (i == line.size() || line[i] == '%') continue;
+    return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Hypergraph read_hmetis(std::istream& in) {
+  std::string line;
+  if (!next_line(in, line)) {
+    throw std::runtime_error("read_hmetis: empty input");
+  }
+  std::istringstream header(line);
+  std::uint64_t num_edges = 0;
+  std::uint64_t num_nodes = 0;
+  int fmt = 0;
+  header >> num_edges >> num_nodes;
+  if (!header) throw std::runtime_error("read_hmetis: bad header");
+  header >> fmt;  // optional
+  const bool edge_weights = fmt == 1 || fmt == 11;
+  const bool node_weights = fmt == 10 || fmt == 11;
+
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> ew;
+  edges.reserve(num_edges);
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    if (!next_line(in, line)) {
+      throw std::runtime_error("read_hmetis: truncated edge list");
+    }
+    std::istringstream ls(line);
+    if (edge_weights) {
+      Weight w = 1;
+      ls >> w;
+      ew.push_back(w);
+    }
+    std::vector<NodeId> pins;
+    std::uint64_t v = 0;
+    while (ls >> v) {
+      if (v == 0 || v > num_nodes) {
+        throw std::runtime_error("read_hmetis: pin out of range");
+      }
+      pins.push_back(static_cast<NodeId>(v - 1));
+    }
+    edges.push_back(std::move(pins));
+  }
+
+  Hypergraph g = Hypergraph::from_edges(static_cast<NodeId>(num_nodes),
+                                        std::move(edges));
+  if (edge_weights) g.set_edge_weights(std::move(ew));
+  if (node_weights) {
+    std::vector<Weight> nw(num_nodes, 1);
+    for (std::uint64_t v = 0; v < num_nodes; ++v) {
+      if (!next_line(in, line)) {
+        throw std::runtime_error("read_hmetis: truncated node weights");
+      }
+      nw[v] = std::stoll(line);
+    }
+    g.set_node_weights(std::move(nw));
+  }
+  return g;
+}
+
+Hypergraph read_hmetis_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("read_hmetis_file: cannot open " + path);
+  return read_hmetis(in);
+}
+
+void write_hmetis(std::ostream& out, const Hypergraph& g) {
+  int fmt = 0;
+  if (g.has_edge_weights()) fmt += 1;
+  if (g.has_node_weights()) fmt += 10;
+  out << g.num_edges() << ' ' << g.num_nodes();
+  if (fmt != 0) out << ' ' << (fmt < 10 ? "1" : (fmt == 10 ? "10" : "11"));
+  out << '\n';
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    bool first = true;
+    if (g.has_edge_weights()) {
+      out << g.edge_weight(e);
+      first = false;
+    }
+    for (const NodeId v : g.pins(e)) {
+      if (!first) out << ' ';
+      out << (v + 1);
+      first = false;
+    }
+    out << '\n';
+  }
+  if (g.has_node_weights()) {
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      out << g.node_weight(v) << '\n';
+    }
+  }
+}
+
+void write_hmetis_file(const std::string& path, const Hypergraph& g) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("write_hmetis_file: cannot open " + path);
+  write_hmetis(out, g);
+}
+
+}  // namespace hp

@@ -1,0 +1,122 @@
+#include "hyperpart/reduction/blocks.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hp {
+
+std::vector<NodeId> add_block(HypergraphBuilder& builder, NodeId b) {
+  if (b < 3) throw std::invalid_argument("add_block: need b >= 3");
+  const NodeId first = builder.add_nodes(b);
+  std::vector<NodeId> nodes(b);
+  for (NodeId i = 0; i < b; ++i) nodes[i] = first + i;
+  for (NodeId skip = 0; skip < b; ++skip) {
+    std::vector<NodeId> pins;
+    pins.reserve(b - 1);
+    for (NodeId i = 0; i < b; ++i) {
+      if (i != skip) pins.push_back(nodes[i]);
+    }
+    builder.add_edge(std::move(pins));
+  }
+  return nodes;
+}
+
+std::vector<NodeId> add_single_edge_block(HypergraphBuilder& builder,
+                                          NodeId b) {
+  if (b < 2) throw std::invalid_argument("add_single_edge_block: b >= 2");
+  const NodeId first = builder.add_nodes(b);
+  std::vector<NodeId> nodes(b);
+  for (NodeId i = 0; i < b; ++i) nodes[i] = first + i;
+  builder.add_edge(std::vector<NodeId>(nodes));
+  return nodes;
+}
+
+Hypergraph pad_with_isolated_nodes(const Hypergraph& g, NodeId count) {
+  std::vector<std::vector<NodeId>> edges;
+  edges.reserve(g.num_edges());
+  std::vector<Weight> ew;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto p = g.pins(e);
+    edges.emplace_back(p.begin(), p.end());
+    ew.push_back(g.edge_weight(e));
+  }
+  Hypergraph out =
+      Hypergraph::from_edges(g.num_nodes() + count, std::move(edges));
+  if (g.has_edge_weights()) out.set_edge_weights(std::move(ew));
+  if (g.has_node_weights()) {
+    std::vector<Weight> nw(g.num_nodes() + count, 1);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) nw[v] = g.node_weight(v);
+    out.set_node_weights(std::move(nw));
+  }
+  return out;
+}
+
+NodeId FixedColorPool::make_fixed(PartId color) {
+  if (finalized_) throw std::logic_error("FixedColorPool: already finalized");
+  const NodeId v = builder_->add_node();
+  fixed_[color].push_back(v);
+  return v;
+}
+
+void FixedColorPool::constrain_red_count(ConstraintSet& cs,
+                                         std::vector<NodeId> s, NodeId h,
+                                         RedCount mode) {
+  if (h > s.size()) {
+    throw std::invalid_argument("constrain_red_count: h > |S|");
+  }
+  if (mode == RedCount::kAtMost) {
+    // Pad with h free nodes, then require exactly h red (Appendix D.3).
+    for (NodeId i = 0; i < h; ++i) s.push_back(builder_->add_node());
+    mode = RedCount::kExactly;
+  } else if (mode == RedCount::kAtLeast) {
+    // red(S) ≥ h  ⇔  blue(S) ≤ |S|−h: pad with |S|−h free nodes and
+    // require exactly |S| red over the padded set.
+    const auto pads = static_cast<NodeId>(s.size()) - h;
+    const auto target = static_cast<NodeId>(s.size());
+    for (NodeId i = 0; i < pads; ++i) s.push_back(builder_->add_node());
+    h = target;
+    mode = RedCount::kExactly;
+  }
+  if (h > s.size()) {
+    throw std::invalid_argument("constrain_red_count: h > |S|");
+  }
+  // Exactly h red in S: group S ∪ R0 ∪ B0 with |R0| = C − h,
+  // |B0| = C − (|S| − h) and per-part capacity C = |S| + 1 (ε = 0 style
+  // thresholds: red ≤ C ⇔ red(S) ≤ h, blue ≤ C ⇔ red(S) ≥ h).
+  const auto size = static_cast<NodeId>(s.size());
+  const NodeId capacity = size + 1;
+  ConstraintGroup group;
+  group.capacity = capacity;
+  group.nodes = std::move(s);
+  for (NodeId i = 0; i < capacity - h; ++i) {
+    group.nodes.push_back(make_fixed(0));
+  }
+  for (NodeId i = 0; i < capacity - (size - h); ++i) {
+    group.nodes.push_back(make_fixed(1));
+  }
+  cs.add_group(std::move(group));
+}
+
+void FixedColorPool::finalize(ConstraintSet& cs) {
+  if (finalized_) throw std::logic_error("FixedColorPool: double finalize");
+  finalized_ = true;
+  // Pad both colors to a common size ≥ 2 and wrap each in one hyperedge.
+  const NodeId size = std::max<NodeId>(
+      2, static_cast<NodeId>(
+             std::max(fixed_[0].size(), fixed_[1].size())));
+  for (PartId color = 0; color < 2; ++color) {
+    while (fixed_[color].size() < size) {
+      fixed_[color].push_back(builder_->add_node());
+    }
+    builder_->add_edge(std::vector<NodeId>(fixed_[color]));
+  }
+  // Pairing group: the two blocks together, per-part capacity = one block —
+  // so in any feasible cost-0 solution they take different colors.
+  ConstraintGroup pair;
+  pair.capacity = size;
+  pair.nodes = fixed_[0];
+  pair.nodes.insert(pair.nodes.end(), fixed_[1].begin(), fixed_[1].end());
+  cs.add_group(std::move(pair));
+}
+
+}  // namespace hp

@@ -1,0 +1,165 @@
+#include "hyperpart/reduction/coloring_reduction.hpp"
+
+#include <array>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::optional<std::vector<std::uint8_t>> three_color(
+    const ColoringInstance& inst) {
+  std::vector<std::vector<NodeId>> adj(inst.num_vertices);
+  for (const auto& [u, v] : inst.edges) {
+    adj[u].push_back(v);
+    adj[v].push_back(u);
+  }
+  std::vector<std::uint8_t> color(inst.num_vertices, 3);
+  const auto recurse = [&](auto&& self, NodeId v) -> bool {
+    if (v == inst.num_vertices) return true;
+    // Symmetry breaking: vertex 0 may only take color 0, vertex 1 colors
+    // {0, 1}; harmless and prunes the search.
+    const std::uint8_t limit = v == 0 ? 1 : (v == 1 ? 2 : 3);
+    for (std::uint8_t c = 0; c < limit; ++c) {
+      bool ok = true;
+      for (const NodeId u : adj[v]) {
+        if (u < v && color[u] == c) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      color[v] = c;
+      if (self(self, v + 1)) return true;
+    }
+    color[v] = 3;
+    return false;
+  };
+  if (!recurse(recurse, 0)) return std::nullopt;
+  return color;
+}
+
+ColoringInstance random_coloring_instance(NodeId vertices,
+                                          std::uint32_t edges,
+                                          std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(edges) * 2 >
+      static_cast<std::uint64_t>(vertices) * (vertices - 1)) {
+    throw std::invalid_argument(
+        "random_coloring_instance: more edges than C(n,2)");
+  }
+  Rng rng{seed};
+  ColoringInstance inst;
+  inst.num_vertices = vertices;
+  std::unordered_set<std::uint64_t> taken;
+  while (inst.edges.size() < edges) {
+    auto u = static_cast<NodeId>(rng.next_below(vertices));
+    auto v = static_cast<NodeId>(rng.next_below(vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (taken.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      inst.edges.emplace_back(u, v);
+    }
+  }
+  return inst;
+}
+
+ColoringInstance planted_3colorable(NodeId vertices, std::uint32_t edges,
+                                    std::uint64_t seed) {
+  Rng rng{seed};
+  ColoringInstance inst;
+  inst.num_vertices = vertices;
+  std::vector<std::uint8_t> plant(vertices);
+  for (NodeId v = 0; v < vertices; ++v) {
+    plant[v] = static_cast<std::uint8_t>(rng.next_below(3));
+  }
+  std::unordered_set<std::uint64_t> taken;
+  std::uint32_t attempts = 0;
+  while (inst.edges.size() < edges && attempts < 100 * edges + 100) {
+    ++attempts;
+    auto u = static_cast<NodeId>(rng.next_below(vertices));
+    auto v = static_cast<NodeId>(rng.next_below(vertices));
+    if (u == v || plant[u] == plant[v]) continue;
+    if (u > v) std::swap(u, v);
+    if (taken.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      inst.edges.emplace_back(u, v);
+    }
+  }
+  return inst;
+}
+
+ColoringReduction build_coloring_reduction(const ColoringInstance& inst) {
+  ColoringReduction red;
+  HypergraphBuilder b;
+  FixedColorPool pool(b);
+
+  const NodeId n = inst.num_vertices;
+  // w_nodes[v][i][slot]: one node per incident edge slot of v for color i.
+  std::vector<std::vector<NodeId>> incident(n);
+  for (std::uint32_t e = 0; e < inst.edges.size(); ++e) {
+    incident[inst.edges[e].first].push_back(e);
+    incident[inst.edges[e].second].push_back(e);
+  }
+  // w_of[v][i] maps edge-slot index to node id.
+  std::vector<std::array<std::vector<NodeId>, 3>> w_of(n);
+  std::vector<std::array<NodeId, 3>> w_hat1(n);
+  red.selector.assign(n, std::vector<NodeId>(3));
+
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < 3; ++i) {
+      for (std::size_t s = 0; s < incident[v].size(); ++s) {
+        w_of[v][i].push_back(b.add_node());
+      }
+      w_hat1[v][i] = b.add_node();
+      red.selector[v][i] = b.add_node();  // ŵ_{v,i,2}
+    }
+  }
+  // Gadget hyperedge per (v, i).
+  for (NodeId v = 0; v < n; ++v) {
+    for (int i = 0; i < 3; ++i) {
+      std::vector<NodeId> pins = w_of[v][i];
+      pins.push_back(w_hat1[v][i]);
+      pins.push_back(red.selector[v][i]);
+      b.add_edge(std::move(pins));
+    }
+  }
+
+  // Per vertex: ≤ 1 chosen color, ≥ 1 chosen color.
+  for (NodeId v = 0; v < n; ++v) {
+    pool.constrain_red_count(
+        red.constraints, {w_hat1[v][0], w_hat1[v][1], w_hat1[v][2]}, 1,
+        RedCount::kAtMost);
+    pool.constrain_red_count(
+        red.constraints,
+        {red.selector[v][0], red.selector[v][1], red.selector[v][2]}, 1,
+        RedCount::kAtLeast);
+  }
+  // Per edge and color: endpoints cannot both pick color i.
+  for (std::uint32_t e = 0; e < inst.edges.size(); ++e) {
+    const auto [u, v] = inst.edges[e];
+    // Slot of e within each endpoint's incident list.
+    const auto slot = [&](NodeId vertex) {
+      for (std::size_t s = 0; s < incident[vertex].size(); ++s) {
+        if (incident[vertex][s] == e) return s;
+      }
+      return incident[vertex].size();
+    };
+    const std::size_t su = slot(u);
+    const std::size_t sv = slot(v);
+    for (int i = 0; i < 3; ++i) {
+      pool.constrain_red_count(red.constraints,
+                               {w_of[u][i][su], w_of[v][i][sv]}, 1,
+                               RedCount::kAtMost);
+    }
+  }
+  pool.finalize(red.constraints);
+
+  red.graph = b.build();
+  red.balance = BalanceConstraint::with_capacity(
+      2, static_cast<Weight>(red.graph.num_nodes()));
+  return red;
+}
+
+}  // namespace hp

@@ -1,0 +1,223 @@
+#include "hyperpart/reduction/fig_constructions.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+
+namespace hp {
+
+// ---------------------------------------------------------------- Figure 4
+
+Dag fig4_serial_concatenation(std::uint32_t half_layers, std::uint32_t width,
+                              std::uint64_t seed) {
+  const Dag g1 = layered_dag(half_layers, width, 0.4, seed);
+  const Dag g2 = layered_dag(half_layers, width, 0.4, seed + 1);
+  const NodeId half = g1.num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> edges = g1.edge_list();
+  for (const auto& [u, v] : g2.edge_list()) {
+    edges.emplace_back(half + u, half + v);
+  }
+  // Every sink of G1 feeds every source of G2: strict serialization.
+  for (const NodeId s : g1.sinks()) {
+    for (const NodeId t : g2.sources()) edges.emplace_back(s, half + t);
+  }
+  return Dag::from_edges(half + g2.num_nodes(), std::move(edges));
+}
+
+Partition fig4_half_split(const Dag& dag) {
+  const NodeId n = dag.num_nodes();
+  Partition p(n, 2);
+  for (NodeId v = 0; v < n; ++v) p.assign(v, v < n / 2 ? 0 : 1);
+  return p;
+}
+
+// ---------------------------------------------------------------- Figure 6
+
+Fig6Construction build_fig6(std::uint32_t b) {
+  Fig6Construction fig;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId next = 0;
+  const NodeId source = next++;
+  // Upper branch: source → U (b nodes) → u2 → u3.
+  for (std::uint32_t i = 0; i < b; ++i) fig.upper_set.push_back(next++);
+  const NodeId u2 = next++;
+  const NodeId u3 = next++;
+  for (const NodeId u : fig.upper_set) {
+    edges.emplace_back(source, u);
+    edges.emplace_back(u, u2);
+  }
+  edges.emplace_back(u2, u3);
+  // Lower branch: source → l1 → L (b nodes) → l3.
+  const NodeId l1 = next++;
+  edges.emplace_back(source, l1);
+  for (std::uint32_t i = 0; i < b; ++i) fig.lower_set.push_back(next++);
+  const NodeId l3 = next++;
+  for (const NodeId l : fig.lower_set) {
+    edges.emplace_back(l1, l);
+    edges.emplace_back(l, l3);
+  }
+  const NodeId sink = next++;
+  edges.emplace_back(u3, sink);
+  edges.emplace_back(l3, sink);
+
+  fig.dag = Dag::from_edges(next, std::move(edges));
+  fig.branch_partition = Partition(next, 2);
+  for (NodeId v = 0; v < next; ++v) fig.branch_partition.assign(v, 1);
+  fig.branch_partition.assign(source, 0);
+  for (const NodeId u : fig.upper_set) fig.branch_partition.assign(u, 0);
+  fig.branch_partition.assign(u2, 0);
+  fig.branch_partition.assign(u3, 0);
+  return fig;
+}
+
+// ------------------------------------------------- Figure 8 (Lemma 7.2)
+
+Fig8Construction build_fig8(PartId b1, PartId b2, double g1,
+                            std::uint32_t scale) {
+  if (b1 < 2 || b2 < 2 || scale < 3) {
+    throw std::invalid_argument("build_fig8: need b1,b2 >= 2, scale >= 3");
+  }
+  const PartId bp = b2;  // b′ (d = 2)
+  const NodeId small_size = scale;
+  const NodeId large_size = bp * scale;
+
+  Fig8Construction fig;
+  fig.topology = HierTopology{{b1, b2}, {g1, 1.0}};
+  fig.block_cost_floor = large_size - 1;
+
+  HypergraphBuilder b;
+  std::vector<std::vector<NodeId>> large_blocks;   // chain 0
+  std::vector<std::vector<std::vector<NodeId>>> small_chains(b1 - 1);
+
+  for (PartId i = 0; i < bp + 1; ++i) {
+    large_blocks.push_back(add_block(b, large_size));
+    if (i > 0) b.add_edge2(large_blocks[i - 1][0], large_blocks[i][0]);
+  }
+  for (PartId c = 0; c + 1 < b1; ++c) {
+    for (PartId i = 0; i < bp * (bp + 1); ++i) {
+      small_chains[c].push_back(add_block(b, small_size));
+      if (i > 0) {
+        b.add_edge2(small_chains[c][i - 1][0], small_chains[c][i][0]);
+      }
+    }
+  }
+  fig.graph = b.build();
+
+  // Direct solution (right side of Figure 8): pair every large block with
+  // one small block; group the remaining small blocks into (b′+1)-tuples.
+  const PartId k = b1 * b2;
+  fig.direct_solution = Partition(fig.graph.num_nodes(), k);
+  PartId part = 0;
+  std::size_t next_small_chain = 0;
+  std::size_t next_small_index = 0;
+  const auto take_small = [&]() -> const std::vector<NodeId>& {
+    if (next_small_index == small_chains[next_small_chain].size()) {
+      ++next_small_chain;
+      next_small_index = 0;
+    }
+    return small_chains[next_small_chain][next_small_index++];
+  };
+  for (PartId i = 0; i < bp + 1; ++i) {
+    for (const NodeId v : large_blocks[i]) fig.direct_solution.assign(v, part);
+    for (const NodeId v : take_small()) fig.direct_solution.assign(v, part);
+    ++part;
+  }
+  while (part < k) {
+    for (PartId j = 0; j < bp + 1; ++j) {
+      for (const NodeId v : take_small()) fig.direct_solution.assign(v, part);
+    }
+    ++part;
+  }
+  return fig;
+}
+
+// ------------------------------------------------ Figure 9 (Theorem 7.4)
+
+Fig9Construction build_fig9(PartId b1, PartId b2, double g1,
+                            std::uint32_t unit, std::uint32_t m) {
+  const PartId k = b1 * b2;
+  if (k < 4) throw std::invalid_argument("build_fig9: need k >= 4");
+  if (unit % (k - 1) != 0 || unit / (k - 1) < 3) {
+    throw std::invalid_argument(
+        "build_fig9: unit must be a multiple of k-1, with unit/(k-1) >= 3");
+  }
+  const NodeId small = unit / (k - 1);          // |B_i| = |D| = |E_i|
+  const NodeId c_size = unit - small;           // |C_i|
+
+  Fig9Construction fig;
+  fig.topology = HierTopology{{b1, b2}, {g1, 1.0}};
+  fig.m = m;
+
+  HypergraphBuilder b;
+  const auto block_a = add_block(b, unit);
+  std::vector<std::vector<NodeId>> blocks_b;
+  for (PartId i = 0; i + 1 < k; ++i) blocks_b.push_back(add_block(b, small));
+  std::vector<std::vector<NodeId>> blocks_c;
+  for (PartId i = 0; i + 2 < k; ++i) blocks_c.push_back(add_block(b, c_size));
+  const auto block_d = add_block(b, small);
+  std::vector<std::vector<NodeId>> blocks_e;
+  for (PartId i = 0; i + 3 < k; ++i) blocks_e.push_back(add_block(b, small));
+
+  // m edges A ↔ B_i each; single edges B_i ↔ C_i and B_{k−1} ↔ D.
+  for (PartId i = 0; i + 1 < k; ++i) {
+    for (std::uint32_t j = 0; j < m; ++j) {
+      b.add_edge2(block_a[j % block_a.size()],
+                  blocks_b[i][j % blocks_b[i].size()]);
+    }
+  }
+  for (PartId i = 0; i + 2 < k; ++i) {
+    b.add_edge2(blocks_b[i][0], blocks_c[i][0]);
+  }
+  b.add_edge2(blocks_b[k - 2][0], block_d[0]);
+  fig.graph = b.build();
+
+  const auto assign_block = [&](Partition& p, const std::vector<NodeId>& blk,
+                                PartId part) {
+    for (const NodeId v : blk) p.assign(v, part);
+  };
+
+  // Hierarchical optimum: A at leaf 0, all B_i at leaf 1 (A's sibling for
+  // b2 ≥ 2), then C_i/E_i pairs and C_{k−2}/D.
+  fig.hier_optimal = Partition(fig.graph.num_nodes(), k);
+  assign_block(fig.hier_optimal, block_a, 0);
+  for (const auto& blk : blocks_b) assign_block(fig.hier_optimal, blk, 1);
+  PartId part = 2;
+  for (PartId i = 0; i + 3 < k; ++i) {
+    assign_block(fig.hier_optimal, blocks_c[i], part);
+    assign_block(fig.hier_optimal, blocks_e[i], part);
+    ++part;
+  }
+  assign_block(fig.hier_optimal, blocks_c[k - 3], part);
+  assign_block(fig.hier_optimal, block_d, part);
+
+  // Standard-cut optimum: B_i travels with C_i; the last part collects
+  // B_{k−1}, D and all E_i.
+  fig.standard_optimal = Partition(fig.graph.num_nodes(), k);
+  assign_block(fig.standard_optimal, block_a, 0);
+  for (PartId i = 0; i + 2 < k; ++i) {
+    assign_block(fig.standard_optimal, blocks_b[i], i + 1);
+    assign_block(fig.standard_optimal, blocks_c[i], i + 1);
+  }
+  assign_block(fig.standard_optimal, blocks_b[k - 2], k - 1);
+  assign_block(fig.standard_optimal, block_d, k - 1);
+  for (const auto& blk : blocks_e) assign_block(fig.standard_optimal, blk,
+                                                k - 1);
+  return fig;
+}
+
+// ------------------------------------------------------- Appendix B intro
+
+Dag sources_to_sinks_dag(std::uint32_t sources, std::uint32_t sinks) {
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (std::uint32_t s = 0; s < sources; ++s) {
+    for (std::uint32_t t = 0; t < sinks; ++t) {
+      edges.emplace_back(s, sources + t);
+    }
+  }
+  return Dag::from_edges(sources + sinks, std::move(edges));
+}
+
+}  // namespace hp

@@ -1,0 +1,64 @@
+#include "hyperpart/reduction/grid_gadget.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hyperpart/core/metrics.hpp"
+
+namespace hp {
+
+GridGadget add_grid_gadget(HypergraphBuilder& builder, std::uint32_t side,
+                           std::uint32_t num_outsiders) {
+  if (side < 2) throw std::invalid_argument("add_grid_gadget: side >= 2");
+  if (num_outsiders > 2 * side) {
+    throw std::invalid_argument("add_grid_gadget: > 2*side outsiders");
+  }
+  GridGadget grid;
+  grid.side = side;
+  const NodeId first = builder.add_nodes(side * side);
+  grid.body.resize(static_cast<std::size_t>(side) * side);
+  for (std::uint32_t i = 0; i < side * side; ++i) grid.body[i] = first + i;
+  for (std::uint32_t i = 0; i < num_outsiders; ++i) {
+    grid.outsiders.push_back(builder.add_node());
+  }
+  for (std::uint32_t r = 0; r < side; ++r) {
+    std::vector<NodeId> pins;
+    pins.reserve(side + 1);
+    for (std::uint32_t c = 0; c < side; ++c) pins.push_back(grid.at(r, c));
+    if (r < num_outsiders) pins.push_back(grid.outsiders[r]);
+    grid.row_edges.push_back(builder.add_edge(std::move(pins)));
+  }
+  for (std::uint32_t c = 0; c < side; ++c) {
+    std::vector<NodeId> pins;
+    pins.reserve(side + 1);
+    for (std::uint32_t r = 0; r < side; ++r) pins.push_back(grid.at(r, c));
+    if (side + c < num_outsiders) pins.push_back(grid.outsiders[side + c]);
+    grid.col_edges.push_back(builder.add_edge(std::move(pins)));
+  }
+  return grid;
+}
+
+std::uint32_t grid_minority_count(const GridGadget& grid, const Hypergraph& g,
+                                  const Partition& p) {
+  (void)g;
+  std::uint32_t red = 0;
+  for (const NodeId v : grid.body) {
+    if (p[v] == 0) ++red;
+  }
+  const auto total = static_cast<std::uint32_t>(grid.body.size());
+  return std::min(red, total - red);
+}
+
+std::uint32_t grid_cut_edges(const GridGadget& grid, const Hypergraph& g,
+                             const Partition& p) {
+  std::uint32_t cut = 0;
+  for (const EdgeId e : grid.row_edges) {
+    if (is_cut(g, p, e)) ++cut;
+  }
+  for (const EdgeId e : grid.col_edges) {
+    if (is_cut(g, p, e)) ++cut;
+  }
+  return cut;
+}
+
+}  // namespace hp

@@ -1,0 +1,90 @@
+#include "hyperpart/reduction/hyperdag_hardness.hpp"
+
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+
+namespace hp {
+
+HyperdagHardnessReduction build_hyperdag_hardness(const Hypergraph& original,
+                                                  PartId k,
+                                                  std::uint32_t eps_num,
+                                                  std::uint32_t eps_den) {
+  if (eps_num == 0 || eps_den == 0) {
+    throw std::invalid_argument("hyperdag_hardness: need eps > 0");
+  }
+  const std::uint64_t nv = original.num_nodes();
+  const std::uint64_t ne = original.num_edges();
+  if (nv == 0) throw std::invalid_argument("hyperdag_hardness: empty input");
+
+  HyperdagHardnessReduction red;
+  // m = m0 + L with m0 > L·|V| + |E| and L ≤ (k−1)·|E| (any larger cost is
+  // trivial): splitting the last m0 nodes of a block costs > L.
+  const std::uint64_t l_max = static_cast<std::uint64_t>(k - 1) * ne + 1;
+  const std::uint64_t m = l_max * (nv + 1) + ne + l_max + 1;
+  red.block_size = static_cast<NodeId>(m);
+
+  HypergraphBuilder b;
+  red.blocks.resize(nv);
+  for (std::uint64_t v = 0; v < nv; ++v) {
+    // Densest hyperDAG block: node i generates hyperedge {i, …, m−1}.
+    const NodeId first = b.add_nodes(red.block_size);
+    auto& block = red.blocks[v];
+    block.resize(m);
+    for (std::uint64_t i = 0; i < m; ++i) {
+      block[i] = first + static_cast<NodeId>(i);
+    }
+    for (std::uint64_t i = 0; i + 1 < m; ++i) {
+      std::vector<NodeId> pins(block.begin() +
+                                   static_cast<std::ptrdiff_t>(i),
+                               block.end());
+      b.add_edge(std::move(pins));
+    }
+  }
+  // Original hyperedges: last node of each member block + a light node
+  // (the hyperedge's generator — keeps the whole graph a hyperDAG).
+  for (EdgeId e = 0; e < ne; ++e) {
+    std::vector<NodeId> pins;
+    for (const NodeId v : original.pins(e)) {
+      pins.push_back(red.blocks[v].back());
+    }
+    red.light.push_back(b.add_node());
+    pins.push_back(red.light.back());
+    b.add_edge(std::move(pins));
+  }
+  red.graph = b.build();
+
+  // Capacity (1+ε′)·n′/k = m·⌊(1+ε)|V|/k⌋ + |E|: a part holds at most the
+  // allowed number of blocks plus all light nodes.
+  const auto original_cap =
+      BalanceConstraint::for_total_weight(static_cast<Weight>(nv), k,
+                                          static_cast<double>(eps_num) /
+                                              eps_den)
+          .capacity();
+  red.balance = BalanceConstraint::with_capacity(
+      k, static_cast<Weight>(m) * original_cap + static_cast<Weight>(ne));
+  return red;
+}
+
+Partition HyperdagHardnessReduction::lift(const Hypergraph& original,
+                                          const Partition& p) const {
+  Partition out(graph.num_nodes(), p.k());
+  for (NodeId v = 0; v < original.num_nodes(); ++v) {
+    for (const NodeId x : blocks[v]) out.assign(x, p[v]);
+  }
+  for (EdgeId e = 0; e < original.num_edges(); ++e) {
+    const auto pins = original.pins(e);
+    out.assign(light[e], pins.empty() ? 0 : p[pins[0]]);
+  }
+  return out;
+}
+
+Partition HyperdagHardnessReduction::project(const Partition& p) const {
+  Partition out(static_cast<NodeId>(blocks.size()), p.k());
+  for (NodeId v = 0; v < blocks.size(); ++v) {
+    out.assign(v, p[blocks[v].back()]);
+  }
+  return out;
+}
+
+}  // namespace hp

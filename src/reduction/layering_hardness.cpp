@@ -1,0 +1,127 @@
+#include "hyperpart/reduction/layering_hardness.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <utility>
+
+namespace hp {
+
+LayeringHardnessReduction build_layering_hardness(
+    const ThreePartitionInstance& inst, std::uint32_t multiplier) {
+  const std::uint32_t b = inst.target;
+  std::uint64_t sum = 0;
+  for (const std::uint32_t a : inst.numbers) sum += a;
+  if (b == 0 || sum % b != 0) {
+    throw std::invalid_argument(
+        "build_layering_hardness: number sum must be a multiple of b");
+  }
+  const auto t = static_cast<std::uint32_t>(sum / b);
+  if (multiplier == 0) multiplier = static_cast<std::uint32_t>(t * b + 1);
+  if (multiplier <= t * b) {
+    throw std::invalid_argument("build_layering_hardness: m must be > t·b");
+  }
+
+  LayeringHardnessReduction red;
+  red.instance = inst;
+  red.phases = t;
+  red.num_layers = 2 * t + 2;
+  red.multiplier = multiplier;
+  red.odd_capacity = b;
+  red.even_demand = b * multiplier;
+
+  // The red component's spine: one node per layer; layer 2p+1 (odd) holds
+  // the phase-p first-level groups, layer 2p+2 the second-level groups.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  NodeId next = 0;
+  std::vector<NodeId> spine(red.num_layers);
+  for (std::uint32_t layer = 0; layer < red.num_layers; ++layer) {
+    spine[layer] = next++;
+    if (layer > 0) edges.emplace_back(spine[layer - 1], spine[layer]);
+  }
+  // Group gadgets. First-level nodes hang off the spine entry node (so
+  // their earliest layer is 1) and feed every node of their second-level
+  // group; second-level nodes feed the spine exit node (latest layer
+  // 2t+1), so a first-level group placed in layer j puts its second-level
+  // group anywhere in (j, 2t+1] — the flexible layering choice.
+  for (const std::uint32_t a : inst.numbers) {
+    std::vector<NodeId> first;
+    std::vector<NodeId> second;
+    for (std::uint32_t i = 0; i < a; ++i) {
+      first.push_back(next++);
+      edges.emplace_back(spine[0], first.back());
+    }
+    for (std::uint32_t i = 0; i < a * multiplier; ++i) {
+      second.push_back(next++);
+      for (const NodeId f : first) edges.emplace_back(f, second.back());
+      edges.emplace_back(second.back(), spine[red.num_layers - 1]);
+    }
+    red.first_level.push_back(std::move(first));
+    red.second_level.push_back(std::move(second));
+  }
+  red.dag = Dag::from_edges(next, std::move(edges));
+  red.hyperdag = to_hyperdag(red.dag);
+  return red;
+}
+
+bool LayeringHardnessReduction::valid_phase_assignment(
+    const std::vector<std::uint32_t>& phase_of_number) const {
+  if (phase_of_number.size() != instance.numbers.size()) return false;
+  std::vector<std::uint64_t> load(phases, 0);
+  for (std::size_t i = 0; i < instance.numbers.size(); ++i) {
+    if (phase_of_number[i] >= phases) return false;
+    load[phase_of_number[i]] += instance.numbers[i];
+  }
+  for (const std::uint64_t l : load) {
+    if (l != instance.target) return false;
+  }
+  return true;
+}
+
+bool LayeringHardnessReduction::feasible_layering_exists() const {
+  // Backtracking over the assignment of numbers to phases: each phase must
+  // receive total first-level size exactly b. Numbers sorted descending
+  // for pruning; phases filled greedily (first open phase anchors the
+  // largest unassigned number to break symmetry).
+  const auto n = static_cast<std::uint32_t>(instance.numbers.size());
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](std::uint32_t x, std::uint32_t y) {
+    return instance.numbers[x] > instance.numbers[y];
+  });
+  std::vector<std::uint64_t> load(phases, 0);
+  const auto recurse = [&](auto&& self, std::uint32_t idx) -> bool {
+    if (idx == n) return true;
+    const std::uint32_t a = instance.numbers[order[idx]];
+    bool tried_empty = false;
+    for (std::uint32_t p = 0; p < phases; ++p) {
+      if (load[p] + a > instance.target) continue;
+      if (load[p] == 0) {
+        if (tried_empty) continue;  // empty phases are interchangeable
+        tried_empty = true;
+      }
+      load[p] += a;
+      if (self(self, idx + 1)) return true;
+      load[p] -= a;
+    }
+    return false;
+  };
+  return recurse(recurse, 0);
+}
+
+std::vector<std::uint32_t> LayeringHardnessReduction::phases_from_solution(
+    const std::vector<std::array<std::uint32_t, 3>>& triplets) const {
+  std::vector<std::uint32_t> phase_of(instance.numbers.size(),
+                                      static_cast<std::uint32_t>(-1));
+  for (std::size_t p = 0; p < triplets.size(); ++p) {
+    for (const std::uint32_t i : triplets[p]) {
+      phase_of[i] = static_cast<std::uint32_t>(p);
+    }
+  }
+  if (!valid_phase_assignment(phase_of)) {
+    throw std::invalid_argument("phases_from_solution: invalid triplets");
+  }
+  return phase_of;
+}
+
+}  // namespace hp

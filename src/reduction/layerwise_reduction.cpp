@@ -1,0 +1,241 @@
+#include "hyperpart/reduction/layerwise_reduction.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace hp {
+
+namespace {
+
+/// Builder for the parallel-path DAG: units with a base node per layer and
+/// optional widened layers (extra nodes between the neighbouring base
+/// nodes).
+struct UnitBuilder {
+  std::uint32_t num_layers;
+  NodeId next_node = 0;
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<std::vector<NodeId>> unit_nodes;   // all nodes per unit
+  std::vector<std::vector<NodeId>> base;         // base[unit][layer]
+  std::vector<std::vector<NodeId>> layer_nodes;  // nodes per layer
+
+  explicit UnitBuilder(std::uint32_t layers) : num_layers(layers) {
+    layer_nodes.resize(layers);
+  }
+
+  std::uint32_t add_unit() {
+    const auto unit = static_cast<std::uint32_t>(base.size());
+    base.emplace_back();
+    unit_nodes.emplace_back();
+    for (std::uint32_t t = 0; t < num_layers; ++t) {
+      const NodeId v = next_node++;
+      base[unit].push_back(v);
+      unit_nodes[unit].push_back(v);
+      layer_nodes[t].push_back(v);
+      if (t > 0) edges.emplace_back(base[unit][t - 1], v);
+    }
+    return unit;
+  }
+
+  /// Widen `unit` at layer t (1 ≤ t ≤ ℓ−2) by one extra node.
+  void add_extra(std::uint32_t unit, std::uint32_t t) {
+    const NodeId x = next_node++;
+    unit_nodes[unit].push_back(x);
+    layer_nodes[t].push_back(x);
+    edges.emplace_back(base[unit][t - 1], x);
+    edges.emplace_back(x, base[unit][t + 1]);
+  }
+};
+
+}  // namespace
+
+LayerwiseReduction build_layerwise_reduction(const ColoringInstance& inst) {
+  LayerwiseReduction red;
+  red.instance = inst;
+  const NodeId nv = inst.num_vertices;
+  const auto ne = static_cast<std::uint32_t>(inst.edges.size());
+
+  // Layers: 0 plain | 1 R≠B | 2 .. 2+C−1 constraints | final plain.
+  const std::uint32_t num_constraints = 2 * nv + 3 * ne;
+  const std::uint32_t ell = num_constraints + 3;
+  red.num_layers = ell;
+  UnitBuilder ub(ell);
+
+  // Choice units and controls.
+  red.choice_unit.resize(nv);
+  for (NodeId v = 0; v < nv; ++v) {
+    for (int i = 0; i < 3; ++i) red.choice_unit[v][i] = ub.add_unit();
+  }
+  red.control_red = ub.add_unit();
+  red.control_blue = ub.add_unit();
+
+  // Layer 1: R and B widened by one extra each (forces R ≠ B).
+  ub.add_extra(red.control_red, 1);
+  ub.add_extra(red.control_blue, 1);
+
+  // Constraint layers. Each gets its own pad units (extra in that layer
+  // only) and control extras sized so the exact half/half balance encodes
+  // the desired red-count window on the constrained units.
+  red.layer_spec.assign(ell, std::nullopt);
+  red.pads.assign(ell, {});
+  std::uint32_t t = 2;
+  const auto add_constraint_layer =
+      [&](std::vector<std::uint32_t> s_units, std::uint32_t target,
+          std::uint32_t slack, std::uint32_t r_extras,
+          std::uint32_t b_extras) {
+        for (const std::uint32_t u : s_units) ub.add_extra(u, t);
+        for (std::uint32_t i = 0; i < slack; ++i) {
+          const std::uint32_t pad = ub.add_unit();
+          ub.add_extra(pad, t);
+          red.pads[t].push_back(pad);
+        }
+        for (std::uint32_t i = 0; i < r_extras; ++i) {
+          ub.add_extra(red.control_red, t);
+        }
+        for (std::uint32_t i = 0; i < b_extras; ++i) {
+          ub.add_extra(red.control_blue, t);
+        }
+        LayerwiseReduction::LayerSpec spec;
+        spec.s_units = std::move(s_units);
+        spec.target = target;
+        spec.slack = slack;
+        red.layer_spec[t] = std::move(spec);
+        ++t;
+      };
+
+  for (NodeId v = 0; v < nv; ++v) {
+    const auto& cu = red.choice_unit[v];
+    // ≤ 1 color chosen: s_red + pads_red = 1 with 1 pad (r=2, b=0).
+    add_constraint_layer({cu[0], cu[1], cu[2]}, 1, 1, 2, 0);
+    // ≥ 1 color chosen: s_red + pads_red = 3 with 2 pads (r=0, b=1).
+    add_constraint_layer({cu[0], cu[1], cu[2]}, 3, 2, 0, 1);
+  }
+  for (std::uint32_t e = 0; e < ne; ++e) {
+    const auto [u, v] = inst.edges[e];
+    for (int i = 0; i < 3; ++i) {
+      // Endpoints cannot both pick color i: s_red + pads_red = 1, 1 pad
+      // (r=1, b=0).
+      add_constraint_layer({red.choice_unit[u][i], red.choice_unit[v][i]}, 1,
+                           1, 1, 0);
+    }
+  }
+
+  // Fillers: enough to absorb any red count of the other units, with an
+  // even total unit count.
+  const auto meaningful = static_cast<std::uint32_t>(3 * nv + 2);
+  std::uint32_t total_pads = 0;
+  for (const auto& pads : red.pads) {
+    total_pads += static_cast<std::uint32_t>(pads.size());
+  }
+  std::uint32_t fillers = meaningful + total_pads;
+  if ((meaningful + total_pads + fillers) % 2 != 0) ++fillers;
+  for (std::uint32_t i = 0; i < fillers; ++i) {
+    red.filler_units.push_back(ub.add_unit());
+  }
+
+  // Materialize.
+  red.dag = Dag::from_edges(ub.next_node, std::move(ub.edges));
+  red.hyperdag = to_hyperdag(red.dag);
+  red.unit_nodes = std::move(ub.unit_nodes);
+  red.layers = red.dag.earliest_layers();
+  for (std::uint32_t layer = 0; layer < ell; ++layer) {
+    ConstraintGroup group;
+    group.nodes = ub.layer_nodes[layer];
+    if (group.nodes.size() % 2 != 0) {
+      throw std::logic_error("layerwise reduction: odd layer size");
+    }
+    group.capacity = static_cast<Weight>(group.nodes.size() / 2);
+    red.layer_constraints.add_group(std::move(group));
+  }
+  return red;
+}
+
+Partition LayerwiseReduction::partition_from_coloring(
+    const std::vector<std::uint8_t>& coloring) const {
+  const auto num_units = static_cast<std::uint32_t>(unit_nodes.size());
+  std::vector<PartId> unit_color(num_units, 1);  // blue default
+  unit_color[control_red] = 0;
+  std::uint32_t red_units = 1;  // R
+  for (NodeId v = 0; v < instance.num_vertices; ++v) {
+    if (coloring[v] > 2) {
+      throw std::invalid_argument("partition_from_coloring: bad color");
+    }
+    unit_color[choice_unit[v][coloring[v]]] = 0;
+    ++red_units;
+  }
+  // Pads: red count forced per layer.
+  for (std::uint32_t t = 0; t < num_layers; ++t) {
+    if (!layer_spec[t]) continue;
+    const auto& spec = *layer_spec[t];
+    std::uint32_t s_red = 0;
+    for (const std::uint32_t u : spec.s_units) s_red += unit_color[u] == 0;
+    if (s_red > spec.target || spec.target - s_red > spec.slack) {
+      throw std::invalid_argument(
+          "partition_from_coloring: coloring violates a constraint layer");
+    }
+    const std::uint32_t pad_red = spec.target - s_red;
+    for (std::uint32_t i = 0; i < pad_red; ++i) {
+      unit_color[pads[t][i]] = 0;
+      ++red_units;
+    }
+  }
+  // Fillers: fix the global half/half unit balance.
+  const std::uint32_t half = num_units / 2;
+  if (red_units > half || half - red_units > filler_units.size()) {
+    throw std::invalid_argument(
+        "partition_from_coloring: filler range exceeded");
+  }
+  for (std::uint32_t i = 0; i < half - red_units; ++i) {
+    unit_color[filler_units[i]] = 0;
+  }
+
+  Partition p(dag.num_nodes(), 2);
+  for (std::uint32_t u = 0; u < num_units; ++u) {
+    for (const NodeId v : unit_nodes[u]) p.assign(v, unit_color[u]);
+  }
+  return p;
+}
+
+bool LayerwiseReduction::cost0_feasible() const {
+  const NodeId nv = instance.num_vertices;
+  const std::uint32_t bits = 3 * nv;
+  if (bits > 24) {
+    throw std::invalid_argument("cost0_feasible: instance too large");
+  }
+  const auto num_units = static_cast<std::uint32_t>(unit_nodes.size());
+  const std::uint32_t half = num_units / 2;
+
+  // WLOG R is red (the layer-exact constraints are color-symmetric, so a
+  // feasible solution with R blue maps to the complemented choice pattern).
+  std::vector<PartId> unit_color(num_units);
+  for (std::uint64_t mask = 0; mask < (std::uint64_t{1} << bits); ++mask) {
+    std::uint32_t red_units = 1;  // R
+    bool ok = true;
+    std::vector<std::uint8_t> choice_red(bits);
+    for (std::uint32_t b = 0; b < bits; ++b) {
+      choice_red[b] = (mask >> b) & 1;
+      red_units += choice_red[b];
+    }
+    // Per constraint layer: the forced pad count must be within range.
+    for (std::uint32_t t = 0; t < num_layers && ok; ++t) {
+      if (!layer_spec[t]) continue;
+      const auto& spec = *layer_spec[t];
+      std::uint32_t s_red = 0;
+      for (const std::uint32_t u : spec.s_units) {
+        s_red += choice_red[u];  // choice units have indices 0..3nv−1
+      }
+      if (s_red > spec.target || spec.target - s_red > spec.slack) {
+        ok = false;
+        break;
+      }
+      red_units += spec.target - s_red;
+    }
+    if (!ok) continue;
+    // Fillers must be able to absorb the remainder.
+    if (red_units <= half && half - red_units <= filler_units.size()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace hp

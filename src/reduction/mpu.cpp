@@ -1,0 +1,183 @@
+#include "hyperpart/reduction/mpu.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+#include <unordered_set>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::uint32_t union_size(const MpuInstance& inst,
+                         const std::vector<std::uint32_t>& chosen) {
+  std::vector<bool> seen(inst.num_elements, false);
+  std::uint32_t count = 0;
+  for (const std::uint32_t s : chosen) {
+    for (const NodeId v : inst.sets[s]) {
+      if (!seen[v]) {
+        seen[v] = true;
+        ++count;
+      }
+    }
+  }
+  return count;
+}
+
+namespace {
+
+std::optional<std::uint32_t> enumerate(const MpuInstance& inst,
+                                       std::vector<std::uint32_t>* collect) {
+  const auto m = static_cast<std::uint32_t>(inst.sets.size());
+  if (inst.p > m) return std::nullopt;
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> chosen;
+  const auto recurse = [&](auto&& self, std::uint32_t next) -> void {
+    if (chosen.size() == inst.p) {
+      const std::uint32_t u = union_size(inst, chosen);
+      if (u < best) {
+        best = u;
+        if (collect != nullptr) *collect = chosen;
+      }
+      return;
+    }
+    const auto need = inst.p - static_cast<std::uint32_t>(chosen.size());
+    for (std::uint32_t s = next; s < m && m - s >= need; ++s) {
+      chosen.push_back(s);
+      self(self, s + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> mpu_optimum(const MpuInstance& inst) {
+  return enumerate(inst, nullptr);
+}
+
+std::optional<std::vector<std::uint32_t>> mpu_optimal_sets(
+    const MpuInstance& inst) {
+  std::vector<std::uint32_t> chosen;
+  if (!enumerate(inst, &chosen)) return std::nullopt;
+  return chosen;
+}
+
+MpuInstance random_mpu(NodeId elements, std::uint32_t sets,
+                       std::uint32_t min_size, std::uint32_t max_size,
+                       std::uint32_t p, std::uint64_t seed) {
+  if (min_size < 1 || min_size > max_size || max_size > elements) {
+    throw std::invalid_argument("random_mpu: bad set sizes");
+  }
+  Rng rng{seed};
+  MpuInstance inst;
+  inst.num_elements = elements;
+  inst.p = p;
+  for (std::uint32_t s = 0; s < sets; ++s) {
+    const auto size =
+        static_cast<std::uint32_t>(rng.next_in(min_size, max_size));
+    std::unordered_set<NodeId> members;
+    while (members.size() < size) {
+      members.insert(static_cast<NodeId>(rng.next_below(elements)));
+    }
+    inst.sets.emplace_back(members.begin(), members.end());
+  }
+  return inst;
+}
+
+MpuReduction build_mpu_reduction(const MpuInstance& inst,
+                                 std::uint32_t eps_num,
+                                 std::uint32_t eps_den) {
+  if (eps_den == 0 || eps_num >= eps_den) {
+    throw std::invalid_argument("build_mpu_reduction: need 0 <= eps < 1");
+  }
+  const auto n = static_cast<std::uint64_t>(inst.num_elements);
+  const auto num_sets = static_cast<std::uint64_t>(inst.sets.size());
+  if (inst.p > num_sets) {
+    throw std::invalid_argument("build_mpu_reduction: p > number of sets");
+  }
+
+  MpuReduction red;
+  red.instance = inst;
+  // Blocks must dominate every reasonable cut (≤ n main hyperedges cut).
+  red.block_size = static_cast<NodeId>(std::max<std::uint64_t>(n + 1, 3));
+  const std::uint64_t m = red.block_size;
+  const std::uint64_t s = num_sets * m + n;
+
+  const std::uint64_t unit = 2ull * eps_den;
+  const auto lower = [&](std::uint64_t total) {
+    return total / 2 - total / 2 * eps_num / eps_den;
+  };
+  std::uint64_t n_prime =
+      ((2 * (s + 4 + inst.p * m) * eps_den / (eps_den - eps_num)) / unit + 1) *
+      unit;
+  while (lower(n_prime) < s + 4 + inst.p * m) n_prime += unit;
+  const std::uint64_t min_side = lower(n_prime);
+  const std::uint64_t capacity = n_prime - min_side;
+  const std::uint64_t a_prime_size = min_side - inst.p * m;
+  const std::uint64_t a_size = n_prime - s - a_prime_size;
+  if (a_prime_size < 3 || a_size < 3) {
+    throw std::logic_error("build_mpu_reduction: anchor sizing failed");
+  }
+
+  HypergraphBuilder b;
+  red.element_nodes.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) red.element_nodes[v] = b.add_node();
+  for (std::uint64_t e = 0; e < num_sets; ++e) {
+    red.set_blocks.push_back(add_block(b, red.block_size));
+  }
+  red.block_a = add_block(b, static_cast<NodeId>(a_size));
+  red.block_a_prime = add_block(b, static_cast<NodeId>(a_prime_size));
+
+  // Main hyperedge per element v: b_v plus a distinct port in every
+  // incident set block (up to n ports per block — Appendix C.5's remark).
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::vector<NodeId> pins{red.element_nodes[v]};
+    for (std::uint64_t e = 0; e < num_sets; ++e) {
+      const auto& members = inst.sets[e];
+      const auto it =
+          std::find(members.begin(), members.end(), static_cast<NodeId>(v));
+      if (it != members.end()) {
+        const auto port = static_cast<std::size_t>(it - members.begin()) %
+                          red.set_blocks[e].size();
+        pins.push_back(red.set_blocks[e][port]);
+      }
+    }
+    b.add_edge(std::move(pins));
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < m; ++i) {
+      b.add_edge2(red.block_a[i % a_size], red.element_nodes[v]);
+    }
+  }
+
+  red.graph = b.build();
+  if (red.graph.num_nodes() != n_prime) {
+    throw std::logic_error("build_mpu_reduction: size accounting failed");
+  }
+  red.balance = BalanceConstraint::with_capacity(
+      2, static_cast<Weight>(capacity),
+      static_cast<double>(eps_num) / eps_den);
+  red.min_part_weight = static_cast<Weight>(min_side);
+  return red;
+}
+
+Partition MpuReduction::partition_from_sets(
+    const std::vector<std::uint32_t>& red_sets) const {
+  if (red_sets.size() != instance.p) {
+    throw std::invalid_argument("partition_from_sets: need exactly p sets");
+  }
+  Partition p(graph.num_nodes(), 2);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) p.assign(v, 1);
+  for (const NodeId v : block_a_prime) p.assign(v, 0);
+  for (const std::uint32_t s : red_sets) {
+    for (const NodeId v : set_blocks[s]) p.assign(v, 0);
+  }
+  return p;
+}
+
+}  // namespace hp

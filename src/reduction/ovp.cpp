@@ -1,0 +1,87 @@
+#include "hyperpart/reduction/ovp.hpp"
+
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::optional<std::pair<std::uint32_t, std::uint32_t>> find_orthogonal_pair(
+    const OvpInstance& inst) {
+  const auto m = static_cast<std::uint32_t>(inst.vectors.size());
+  for (std::uint32_t i = 0; i < m; ++i) {
+    for (std::uint32_t j = i + 1; j < m; ++j) {
+      bool orthogonal = true;
+      for (std::uint32_t d = 0; d < inst.dimensions; ++d) {
+        if (inst.vectors[i][d] && inst.vectors[j][d]) {
+          orthogonal = false;
+          break;
+        }
+      }
+      if (orthogonal) return std::make_pair(i, j);
+    }
+  }
+  return std::nullopt;
+}
+
+OvpInstance random_ovp(std::uint32_t m, std::uint32_t dims, double density,
+                       std::uint64_t seed) {
+  Rng rng{seed};
+  OvpInstance inst;
+  inst.dimensions = dims;
+  inst.vectors.assign(m, std::vector<bool>(dims, false));
+  for (auto& vec : inst.vectors) {
+    for (std::uint32_t d = 0; d < dims; ++d) vec[d] = rng.next_bool(density);
+  }
+  return inst;
+}
+
+OvpReduction build_ovp_reduction(const OvpInstance& inst) {
+  const auto m = static_cast<std::uint32_t>(inst.vectors.size());
+  const std::uint32_t dims = inst.dimensions;
+  if (m < 2) throw std::invalid_argument("build_ovp_reduction: need m >= 2");
+
+  OvpReduction red;
+  HypergraphBuilder b;
+  FixedColorPool pool(b);
+
+  red.anchors.resize(m);
+  red.dim_nodes.assign(m, {});
+  for (std::uint32_t i = 0; i < m; ++i) {
+    red.anchors[i] = b.add_node();
+    red.dim_nodes[i].resize(dims);
+    for (std::uint32_t j = 0; j < dims; ++j) {
+      red.dim_nodes[i][j] = b.add_node();
+    }
+  }
+  // Vector hyperedge: anchor plus the 1-coordinates' nodes.
+  for (std::uint32_t i = 0; i < m; ++i) {
+    std::vector<NodeId> pins{red.anchors[i]};
+    for (std::uint32_t j = 0; j < dims; ++j) {
+      if (inst.vectors[i][j]) pins.push_back(red.dim_nodes[i][j]);
+    }
+    b.add_edge(std::move(pins));
+  }
+
+  // Balance groups: at least 2 red anchors; per dimension j, at most 1 red
+  // among the v_i^(j).
+  pool.constrain_red_count(red.constraints, red.anchors, 2,
+                           RedCount::kAtLeast);
+  for (std::uint32_t j = 0; j < dims; ++j) {
+    std::vector<NodeId> column(m);
+    for (std::uint32_t i = 0; i < m; ++i) column[i] = red.dim_nodes[i][j];
+    pool.constrain_red_count(red.constraints, std::move(column), 1,
+                             RedCount::kAtMost);
+  }
+  pool.finalize(red.constraints);
+
+  red.graph = b.build();
+  // Loose single constraint: nothing beyond the groups.
+  red.balance = BalanceConstraint::with_capacity(
+      2, static_cast<Weight>(red.graph.num_nodes()));
+  return red;
+}
+
+}  // namespace hp

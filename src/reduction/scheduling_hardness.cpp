@@ -1,0 +1,148 @@
+#include "hyperpart/reduction/scheduling_hardness.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace hp {
+
+namespace {
+
+constexpr PartId kRed = 0;
+constexpr PartId kBlue = 1;
+
+}  // namespace
+
+MuPInstance level_order_mu_p_instance(const ThreePartitionInstance& inst) {
+  const std::uint32_t b = inst.target;
+  std::uint64_t sum = 0;
+  for (const std::uint32_t a : inst.numbers) sum += a;
+  if (b == 0 || sum % b != 0) {
+    throw std::invalid_argument(
+        "level_order_mu_p_instance: sum of numbers must be a multiple of b");
+  }
+  const auto t = static_cast<std::uint32_t>(sum / b);
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<PartId> color;
+
+  // Main path: alternating blocks of b blue then b red, 2t·b nodes.
+  NodeId next = 0;
+  for (std::uint32_t block = 0; block < 2 * t; ++block) {
+    for (std::uint32_t i = 0; i < b; ++i) {
+      if (next > 0) edges.emplace_back(next - 1, next);
+      color.push_back(block % 2 == 0 ? kBlue : kRed);
+      ++next;
+    }
+  }
+  // One path per number: a_i red then a_i blue.
+  for (const std::uint32_t a : inst.numbers) {
+    const NodeId first = next;
+    for (std::uint32_t i = 0; i < 2 * a; ++i) {
+      if (next > first) edges.emplace_back(next - 1, next);
+      color.push_back(i < a ? kRed : kBlue);
+      ++next;
+    }
+  }
+
+  MuPInstance out;
+  out.dag = Dag::from_edges(next, std::move(edges));
+  out.partition = Partition{std::move(color), 2};
+  out.target_makespan = 2 * t * b;  // n / 2
+  return out;
+}
+
+MuPInstance out_tree_mu_p_instance(const ThreePartitionInstance& inst) {
+  MuPInstance base = level_order_mu_p_instance(inst);
+  // Prepend a common source (node ids shift by 1).
+  const NodeId n = base.dag.num_nodes();
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (const auto& [u, v] : base.dag.edge_list()) {
+    edges.emplace_back(u + 1, v + 1);
+  }
+  for (NodeId v = 0; v < n; ++v) {
+    if (base.dag.in_degree(v) == 0) edges.emplace_back(0, v + 1);
+  }
+  std::vector<PartId> color(n + 1);
+  color[0] = kBlue;
+  for (NodeId v = 0; v < n; ++v) color[v + 1] = base.partition[v];
+
+  MuPInstance out;
+  out.dag = Dag::from_edges(n + 1, std::move(edges));
+  out.partition = Partition{std::move(color), 2};
+  out.target_makespan = base.target_makespan + 1;
+  return out;
+}
+
+MuPInstance bounded_height_mu_p_instance(const ColoringInstance& graph,
+                                         std::uint32_t clique_size) {
+  const NodeId nv = graph.num_vertices;
+  const auto ne = static_cast<std::uint32_t>(graph.edges.size());
+  const std::uint32_t pairs = clique_size * (clique_size - 1) / 2;
+  if (clique_size > nv || pairs > ne) {
+    throw std::invalid_argument(
+        "bounded_height_mu_p_instance: clique size out of range");
+  }
+
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  std::vector<PartId> color;
+  // Vertex nodes (blue), then edge nodes (red) with incidence arcs.
+  for (NodeId v = 0; v < nv; ++v) color.push_back(kBlue);
+  for (std::uint32_t e = 0; e < ne; ++e) {
+    const NodeId edge_node = nv + e;
+    color.push_back(kRed);
+    edges.emplace_back(graph.edges[e].first, edge_node);
+    edges.emplace_back(graph.edges[e].second, edge_node);
+  }
+  // Serial component C: four fully-connected layers
+  // (L red | C(L,2) blue | |V|−L red | |E|−C(L,2) blue).
+  const std::uint32_t sizes[4] = {clique_size, pairs, nv - clique_size,
+                                  ne - pairs};
+  const PartId layer_color[4] = {kRed, kBlue, kRed, kBlue};
+  std::vector<NodeId> prev_layer;
+  NodeId next = nv + ne;
+  for (int layer = 0; layer < 4; ++layer) {
+    std::vector<NodeId> current;
+    for (std::uint32_t i = 0; i < sizes[layer]; ++i) {
+      color.push_back(layer_color[layer]);
+      for (const NodeId u : prev_layer) edges.emplace_back(u, next);
+      current.push_back(next++);
+    }
+    if (!current.empty()) prev_layer = std::move(current);
+  }
+
+  MuPInstance out;
+  out.dag = Dag::from_edges(next, std::move(edges));
+  out.partition = Partition{std::move(color), 2};
+  out.target_makespan = nv + ne;
+  return out;
+}
+
+bool has_clique(const ColoringInstance& graph, std::uint32_t size) {
+  const NodeId n = graph.num_vertices;
+  std::vector<std::vector<bool>> adj(n, std::vector<bool>(n, false));
+  for (const auto& [u, v] : graph.edges) {
+    adj[u][v] = true;
+    adj[v][u] = true;
+  }
+  std::vector<NodeId> chosen;
+  const auto recurse = [&](auto&& self, NodeId start) -> bool {
+    if (chosen.size() == size) return true;
+    for (NodeId v = start; v < n; ++v) {
+      bool ok = true;
+      for (const NodeId u : chosen) {
+        if (!adj[u][v]) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      chosen.push_back(v);
+      if (self(self, v + 1)) return true;
+      chosen.pop_back();
+    }
+    return false;
+  };
+  return recurse(recurse, 0);
+}
+
+}  // namespace hp

@@ -1,0 +1,124 @@
+#include "hyperpart/reduction/spes.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <limits>
+#include <unordered_set>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+std::uint32_t vertices_covered(const SpesInstance& inst,
+                               const std::vector<std::uint32_t>& edge_subset) {
+  std::vector<bool> seen(inst.num_vertices, false);
+  std::uint32_t count = 0;
+  for (const std::uint32_t e : edge_subset) {
+    const auto& [u, v] = inst.edges[e];
+    if (!seen[u]) {
+      seen[u] = true;
+      ++count;
+    }
+    if (!seen[v]) {
+      seen[v] = true;
+      ++count;
+    }
+  }
+  return count;
+}
+
+namespace {
+
+/// Enumerate all p-subsets of edges, tracking the best cover count; also
+/// returns the best subset when `collect` is set.
+std::optional<std::uint32_t> enumerate(const SpesInstance& inst,
+                                       std::vector<std::uint32_t>* collect) {
+  const auto m = static_cast<std::uint32_t>(inst.edges.size());
+  if (inst.p > m) return std::nullopt;
+  std::uint32_t best = std::numeric_limits<std::uint32_t>::max();
+  std::vector<std::uint32_t> chosen;
+  const auto recurse = [&](auto&& self, std::uint32_t next) -> void {
+    if (chosen.size() == inst.p) {
+      const std::uint32_t covered = vertices_covered(inst, chosen);
+      if (covered < best) {
+        best = covered;
+        if (collect != nullptr) *collect = chosen;
+      }
+      return;
+    }
+    const auto need = inst.p - static_cast<std::uint32_t>(chosen.size());
+    for (std::uint32_t e = next; e < m && m - e >= need; ++e) {
+      chosen.push_back(e);
+      self(self, e + 1);
+      chosen.pop_back();
+    }
+  };
+  recurse(recurse, 0);
+  return best;
+}
+
+}  // namespace
+
+std::optional<std::uint32_t> spes_optimum(const SpesInstance& inst) {
+  return enumerate(inst, nullptr);
+}
+
+std::optional<std::vector<std::uint32_t>> spes_optimal_edges(
+    const SpesInstance& inst) {
+  std::vector<std::uint32_t> chosen;
+  if (!enumerate(inst, &chosen)) return std::nullopt;
+  return chosen;
+}
+
+std::optional<std::uint32_t> spes_greedy(const SpesInstance& inst) {
+  const auto m = static_cast<std::uint32_t>(inst.edges.size());
+  if (inst.p > m) return std::nullopt;
+  std::vector<bool> covered(inst.num_vertices, false);
+  std::vector<bool> used(m, false);
+  std::uint32_t total = 0;
+  for (std::uint32_t round = 0; round < inst.p; ++round) {
+    std::uint32_t best_edge = m;
+    std::uint32_t best_new = 3;
+    for (std::uint32_t e = 0; e < m; ++e) {
+      if (used[e]) continue;
+      const auto& [u, v] = inst.edges[e];
+      const std::uint32_t fresh =
+          static_cast<std::uint32_t>(!covered[u]) +
+          static_cast<std::uint32_t>(!covered[v]);
+      if (fresh < best_new) {
+        best_new = fresh;
+        best_edge = e;
+      }
+    }
+    used[best_edge] = true;
+    covered[inst.edges[best_edge].first] = true;
+    covered[inst.edges[best_edge].second] = true;
+    total += best_new;
+  }
+  return total;
+}
+
+SpesInstance random_spes(NodeId vertices, std::uint32_t edges, std::uint32_t p,
+                         std::uint64_t seed) {
+  if (static_cast<std::uint64_t>(edges) * 2 >
+      static_cast<std::uint64_t>(vertices) * (vertices - 1)) {
+    throw std::invalid_argument("random_spes: more edges than C(n,2)");
+  }
+  Rng rng{seed};
+  SpesInstance inst;
+  inst.num_vertices = vertices;
+  inst.p = p;
+  std::unordered_set<std::uint64_t> taken;
+  while (inst.edges.size() < edges) {
+    auto u = static_cast<NodeId>(rng.next_below(vertices));
+    auto v = static_cast<NodeId>(rng.next_below(vertices));
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (taken.insert((static_cast<std::uint64_t>(u) << 32) | v).second) {
+      inst.edges.emplace_back(u, v);
+    }
+  }
+  return inst;
+}
+
+}  // namespace hp

@@ -1,0 +1,132 @@
+#include "hyperpart/reduction/spes_delta2.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+
+namespace hp {
+
+namespace {
+
+[[nodiscard]] std::uint64_t isqrt(std::uint64_t x) {
+  auto r = static_cast<std::uint64_t>(std::sqrt(static_cast<double>(x)));
+  while (r * r > x) --r;
+  while ((r + 1) * (r + 1) <= x) ++r;
+  return r;
+}
+
+}  // namespace
+
+SpesDelta2Reduction build_spes_delta2(const SpesInstance& inst,
+                                      std::uint32_t eps_num,
+                                      std::uint32_t eps_den) {
+  if (eps_den == 0 || eps_num >= eps_den) {
+    throw std::invalid_argument("build_spes_delta2: need 0 <= eps < 1");
+  }
+  const std::uint64_t n = inst.num_vertices;
+  const std::uint64_t num_edges = inst.edges.size();
+  if (inst.p > num_edges || n < 1) {
+    throw std::invalid_argument("build_spes_delta2: bad instance");
+  }
+
+  const std::uint64_t ell = 2 * n < 2 ? 2 : 2 * n;  // ℓ = 2n
+  const std::uint64_t q = ell * ell + 2;            // |B_e| incl. outsiders
+  const std::uint64_t base = num_edges * q + n;     // all but A, A′ material
+
+  const std::uint64_t unit = 2ull * eps_den;
+  const auto lower_side = [&](std::uint64_t total) {
+    return total / 2 - total / 2 * eps_num / eps_den;  // (1−ε)·total/2
+  };
+
+  // Search for a feasible n′ (multiple of 2·eps_den): red side must fit A′
+  // plus p edge grids; A's grid must be large enough for its outsiders;
+  // both pad counts must fit in 2ℓ outsider slots.
+  std::uint64_t n_prime =
+      ((4 * (base + inst.p * q + (n + 3) * (n + 3) + 16)) / unit + 1) * unit;
+  std::uint64_t ell_a = 0;
+  std::uint64_t pad_a = 0;
+  std::uint64_t ell_ap = 0;
+  std::uint64_t pad_ap = 0;
+  bool found = false;
+  for (int tries = 0; tries < 100000; ++tries, n_prime += unit) {
+    const std::uint64_t min_side = lower_side(n_prime);
+    if (min_side < inst.p * q + 6) continue;
+    const std::uint64_t ap_total = min_side - inst.p * q;  // A′ incl. extras
+    ell_ap = isqrt(ap_total - 1);
+    if (ell_ap < 2) continue;
+    pad_ap = ap_total - 1 - ell_ap * ell_ap;
+    if (pad_ap > 2 * ell_ap) continue;
+    const std::uint64_t rest = num_edges * q + n + ap_total;
+    if (n_prime < rest + (n + 3) * (n + 3)) continue;
+    const std::uint64_t a_total = n_prime - rest;  // A body + extra + pads
+    ell_a = isqrt(a_total - 1);
+    pad_a = a_total - 1 - ell_a * ell_a;
+    if (ell_a < n + 2) continue;
+    if (n + 1 + pad_a > 2 * ell_a) continue;
+    found = true;
+    break;
+  }
+  if (!found) {
+    throw std::logic_error("build_spes_delta2: sizing search failed");
+  }
+
+  SpesDelta2Reduction red;
+  red.instance = inst;
+  HypergraphBuilder b;
+
+  // Edge grids with two outsider ports each.
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    red.edge_grids.push_back(
+        add_grid_gadget(b, static_cast<std::uint32_t>(ell), 2));
+  }
+  // A: b_v outsiders first, then the hyperDAG extra, then pads.
+  red.grid_a = add_grid_gadget(b, static_cast<std::uint32_t>(ell_a),
+                               static_cast<std::uint32_t>(n + 1 + pad_a));
+  red.vertex_nodes.assign(red.grid_a.outsiders.begin(),
+                          red.grid_a.outsiders.begin() +
+                              static_cast<std::ptrdiff_t>(n));
+  // A′: the hyperDAG extra plus pads.
+  red.grid_a_prime = add_grid_gadget(b, static_cast<std::uint32_t>(ell_ap),
+                                     static_cast<std::uint32_t>(1 + pad_ap));
+
+  // Main hyperedges: b_v plus v's port outsiders in incident edge grids.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::vector<NodeId> pins{red.vertex_nodes[v]};
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+      const auto& [x, y] = inst.edges[e];
+      if (x == v) pins.push_back(red.edge_grids[e].outsiders[0]);
+      if (y == v) pins.push_back(red.edge_grids[e].outsiders[1]);
+    }
+    red.main_edges.push_back(b.add_edge(std::move(pins)));
+  }
+
+  red.graph = b.build();
+  if (red.graph.num_nodes() != n_prime) {
+    throw std::logic_error("build_spes_delta2: size accounting failed");
+  }
+  const std::uint64_t min_side = lower_side(n_prime);
+  red.balance = BalanceConstraint::with_capacity(
+      2, static_cast<Weight>(n_prime - min_side),
+      static_cast<double>(eps_num) / eps_den);
+  red.min_part_weight = static_cast<Weight>(min_side);
+  return red;
+}
+
+Partition SpesDelta2Reduction::partition_from_edges(
+    const std::vector<std::uint32_t>& red_edges) const {
+  if (red_edges.size() != instance.p) {
+    throw std::invalid_argument("partition_from_edges: need exactly p edges");
+  }
+  Partition p(graph.num_nodes(), 2);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) p.assign(v, 1);  // blue
+  for (const NodeId v : grid_a_prime.body) p.assign(v, 0);
+  for (const NodeId v : grid_a_prime.outsiders) p.assign(v, 0);
+  for (const std::uint32_t e : red_edges) {
+    for (const NodeId v : edge_grids[e].body) p.assign(v, 0);
+    for (const NodeId v : edge_grids[e].outsiders) p.assign(v, 0);
+  }
+  return p;
+}
+
+}  // namespace hp

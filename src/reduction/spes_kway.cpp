@@ -1,0 +1,111 @@
+#include "hyperpart/reduction/spes_kway.hpp"
+
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+
+namespace hp {
+
+SpesKwayReduction build_spes_kway_reduction(const SpesInstance& inst,
+                                            PartId k, std::uint32_t eps_num,
+                                            std::uint32_t eps_den) {
+  if (k < 2) throw std::invalid_argument("spes_kway: k >= 2");
+  if (eps_den == 0 || eps_num >= eps_den) {
+    throw std::invalid_argument("spes_kway: need 0 <= eps < 1");
+  }
+  const auto n = static_cast<std::uint64_t>(inst.num_vertices);
+  const auto num_edges = static_cast<std::uint64_t>(inst.edges.size());
+  if (inst.p > num_edges) throw std::invalid_argument("spes_kway: p > |E|");
+
+  SpesKwayReduction red;
+  red.instance = inst;
+  red.k = k;
+  red.block_size = static_cast<NodeId>(n + 1);
+  const std::uint64_t m = red.block_size;
+  const std::uint64_t core = num_edges * m + n;  // B_e blocks + b_v nodes
+
+  // k₀ = ⌈k·den / (den+num)⌉ parts suffice to cover everything.
+  const std::uint64_t k0 =
+      (static_cast<std::uint64_t>(k) * eps_den + eps_den + eps_num - 1) /
+      (eps_den + eps_num);
+  const std::uint64_t components = k0 - 1;  // non-A top-level components
+
+  // n′ a multiple of k·den·(k₀−1) keeps the capacity and the component
+  // size T₀ integral.
+  const std::uint64_t unit =
+      static_cast<std::uint64_t>(k) * eps_den * components;
+  const auto capacity_of = [&](std::uint64_t total) {
+    return total / (static_cast<std::uint64_t>(k) * eps_den) *
+           (eps_den + eps_num);
+  };
+  std::uint64_t n_prime = ((2 * k * (core + inst.p * m + 8)) / unit + 1) * unit;
+  std::uint64_t cap = 0;
+  std::uint64_t t0 = 0;
+  for (;; n_prime += unit) {
+    cap = capacity_of(n_prime);
+    t0 = (n_prime - cap) / components;
+    if (cap < (num_edges - inst.p) * m + n + 3) continue;
+    if (t0 < inst.p * m + 3) continue;
+    break;
+  }
+  const std::uint64_t a_size = cap - (num_edges - inst.p) * m - n;
+  const std::uint64_t a_prime_size = t0 - inst.p * m;
+
+  HypergraphBuilder b;
+  red.vertex_nodes.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) red.vertex_nodes[v] = b.add_node();
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    red.edge_blocks.push_back(add_block(b, red.block_size));
+  }
+  red.block_a = add_block(b, static_cast<NodeId>(a_size));
+  red.block_a_prime = add_block(b, static_cast<NodeId>(a_prime_size));
+  for (std::uint64_t c = 0; c + 2 < k0; ++c) {
+    red.extra_blocks.push_back(add_block(b, static_cast<NodeId>(t0)));
+  }
+
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::vector<NodeId> pins{red.vertex_nodes[v]};
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+      const auto& [x, y] = inst.edges[e];
+      if (x == v) pins.push_back(red.edge_blocks[e][0]);
+      if (y == v) pins.push_back(red.edge_blocks[e][1]);
+    }
+    b.add_edge(std::move(pins));
+  }
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < m; ++i) {
+      b.add_edge2(red.block_a[i % a_size], red.vertex_nodes[v]);
+    }
+  }
+
+  red.graph = b.build();
+  if (red.graph.num_nodes() != n_prime) {
+    throw std::logic_error("spes_kway: size accounting failed");
+  }
+  red.balance = BalanceConstraint::with_capacity(
+      k, static_cast<Weight>(cap),
+      static_cast<double>(eps_num) / eps_den);
+  return red;
+}
+
+Partition SpesKwayReduction::partition_from_edges(
+    const std::vector<std::uint32_t>& red_edges) const {
+  if (red_edges.size() != instance.p) {
+    throw std::invalid_argument("spes_kway: need exactly p edges");
+  }
+  Partition p(graph.num_nodes(), k);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) p.assign(v, 0);  // blue
+  for (const NodeId v : block_a_prime) p.assign(v, 1);
+  for (const std::uint32_t e : red_edges) {
+    for (const NodeId v : edge_blocks[e]) p.assign(v, 1);
+  }
+  for (std::size_t c = 0; c < extra_blocks.size(); ++c) {
+    for (const NodeId v : extra_blocks[c]) {
+      p.assign(v, static_cast<PartId>(c + 2));
+    }
+  }
+  return p;
+}
+
+}  // namespace hp

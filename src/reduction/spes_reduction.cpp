@@ -1,0 +1,120 @@
+#include "hyperpart/reduction/spes_reduction.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/reduction/blocks.hpp"
+
+namespace hp {
+
+SpesReduction build_spes_reduction(const SpesInstance& inst,
+                                   std::uint32_t eps_num,
+                                   std::uint32_t eps_den) {
+  if (eps_den == 0 || eps_num >= eps_den) {
+    throw std::invalid_argument("build_spes_reduction: need 0 <= eps < 1");
+  }
+  const auto n = static_cast<std::uint64_t>(inst.num_vertices);
+  const auto num_edges = static_cast<std::uint64_t>(inst.edges.size());
+  if (inst.p > num_edges) {
+    throw std::invalid_argument("build_spes_reduction: p > |E|");
+  }
+
+  SpesReduction red;
+  red.instance = inst;
+  red.block_size = static_cast<NodeId>(n + 1);  // m ≥ n + 1
+  const std::uint64_t m = red.block_size;
+  const std::uint64_t s = num_edges * m + n;  // everything except A, A′
+
+  // Pick n′ ≡ 0 (mod 2·eps_den) minimal with (1−ε)·n′/2 ≥ s + 4 — the
+  // slack keeps |A|, |A′| ≥ 2. Thresholds are exact integers by choice of
+  // the modulus.
+  const std::uint64_t unit = 2ull * eps_den;
+  std::uint64_t n_prime =
+      ((2 * (s + 4 + inst.p * m) * eps_den / (eps_den - eps_num)) / unit + 1) *
+      unit;
+  const auto lower = [&](std::uint64_t total) {
+    return total / 2 - total / 2 * eps_num / eps_den;  // (1−ε)·total/2
+  };
+  while (lower(n_prime) < s + 4 + inst.p * m) n_prime += unit;
+  const std::uint64_t min_side = lower(n_prime);
+  const std::uint64_t capacity = n_prime - min_side;  // (1+ε)·n′/2
+
+  const std::uint64_t a_prime_size = min_side - inst.p * m;
+  const std::uint64_t a_size = n_prime - s - a_prime_size;
+  if (a_prime_size < 3 || a_size < 3) {
+    throw std::logic_error("build_spes_reduction: anchor sizing failed");
+  }
+
+  HypergraphBuilder b;
+  // Vertex nodes b_v first, so tests can address them easily.
+  red.vertex_nodes.resize(n);
+  for (std::uint64_t v = 0; v < n; ++v) {
+    red.vertex_nodes[v] = b.add_node();
+  }
+  for (std::uint64_t e = 0; e < num_edges; ++e) {
+    red.edge_blocks.push_back(add_block(b, red.block_size));
+  }
+  red.block_a = add_block(b, static_cast<NodeId>(a_size));
+  red.block_a_prime = add_block(b, static_cast<NodeId>(a_prime_size));
+
+  // Main hyperedge of v: b_v plus one port node in every incident B_e
+  // (the port is v's index within e, so ports are distinct per block).
+  for (std::uint64_t v = 0; v < n; ++v) {
+    std::vector<NodeId> pins{red.vertex_nodes[v]};
+    for (std::uint64_t e = 0; e < num_edges; ++e) {
+      const auto& [x, y] = inst.edges[e];
+      if (x == v) pins.push_back(red.edge_blocks[e][0]);
+      if (y == v) pins.push_back(red.edge_blocks[e][1]);
+    }
+    red.main_edges.push_back(b.add_edge(std::move(pins)));
+  }
+  // m distinct {A-node, b_v} edges tie every b_v to A's color.
+  for (std::uint64_t v = 0; v < n; ++v) {
+    for (std::uint64_t i = 0; i < m; ++i) {
+      b.add_edge2(red.block_a[i % a_size], red.vertex_nodes[v]);
+    }
+  }
+
+  red.graph = b.build();
+  if (red.graph.num_nodes() != n_prime) {
+    throw std::logic_error("build_spes_reduction: size accounting failed");
+  }
+  red.balance = BalanceConstraint::with_capacity(
+      2, static_cast<Weight>(capacity),
+      static_cast<double>(eps_num) / eps_den);
+  red.min_part_weight = static_cast<Weight>(min_side);
+  return red;
+}
+
+Partition SpesReduction::partition_from_edges(
+    const std::vector<std::uint32_t>& red_edges) const {
+  if (red_edges.size() != instance.p) {
+    throw std::invalid_argument("partition_from_edges: need exactly p edges");
+  }
+  Partition p(graph.num_nodes(), 2);
+  for (NodeId v = 0; v < graph.num_nodes(); ++v) p.assign(v, 1);  // blue
+  for (const NodeId v : block_a_prime) p.assign(v, 0);            // red
+  for (const std::uint32_t e : red_edges) {
+    for (const NodeId v : edge_blocks[e]) p.assign(v, 0);
+  }
+  return p;
+}
+
+std::vector<std::uint32_t> SpesReduction::edges_from_partition(
+    const Partition& p) const {
+  // Majority color of A defines "blue"; blocks of the opposite majority are
+  // the chosen edges.
+  std::uint32_t a_red = 0;
+  for (const NodeId v : block_a) a_red += p[v] == 0 ? 1 : 0;
+  const PartId blue = 2 * a_red >= block_a.size() ? 0 : 1;
+  std::vector<std::uint32_t> chosen;
+  for (std::uint32_t e = 0; e < edge_blocks.size(); ++e) {
+    std::uint32_t votes = 0;
+    for (const NodeId v : edge_blocks[e]) votes += p[v] != blue ? 1 : 0;
+    if (2 * votes >= edge_blocks[e].size()) chosen.push_back(e);
+  }
+  return chosen;
+}
+
+}  // namespace hp

@@ -1,0 +1,147 @@
+#include "hyperpart/reduction/three_dim_matching.hpp"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+bool has_perfect_matching(const ThreeDMInstance& inst) {
+  const std::uint32_t q = inst.q;
+  std::vector<bool> used_y(q, false);
+  std::vector<bool> used_z(q, false);
+  // Match X elements 0..q−1 in order.
+  const auto recurse = [&](auto&& self, std::uint32_t x) -> bool {
+    if (x == q) return true;
+    for (const auto& [tx, ty, tz] : inst.triples) {
+      if (tx != x || used_y[ty] || used_z[tz]) continue;
+      used_y[ty] = true;
+      used_z[tz] = true;
+      if (self(self, x + 1)) return true;
+      used_y[ty] = false;
+      used_z[tz] = false;
+    }
+    return false;
+  };
+  return recurse(recurse, 0);
+}
+
+ThreeDMInstance planted_3dm(std::uint32_t q, std::uint32_t extra_triples,
+                            std::uint64_t seed) {
+  Rng rng{seed};
+  ThreeDMInstance inst;
+  inst.q = q;
+  std::vector<std::uint32_t> perm_y(q);
+  std::vector<std::uint32_t> perm_z(q);
+  for (std::uint32_t i = 0; i < q; ++i) perm_y[i] = perm_z[i] = i;
+  rng.shuffle(perm_y);
+  rng.shuffle(perm_z);
+  for (std::uint32_t x = 0; x < q; ++x) {
+    inst.triples.push_back({x, perm_y[x], perm_z[x]});
+  }
+  std::uint32_t added = 0;
+  std::uint32_t attempts = 0;
+  while (added < extra_triples && attempts < 100 * extra_triples + 100) {
+    ++attempts;
+    const std::array<std::uint32_t, 3> t{
+        static_cast<std::uint32_t>(rng.next_below(q)),
+        static_cast<std::uint32_t>(rng.next_below(q)),
+        static_cast<std::uint32_t>(rng.next_below(q))};
+    if (std::find(inst.triples.begin(), inst.triples.end(), t) ==
+        inst.triples.end()) {
+      inst.triples.push_back(t);
+      ++added;
+    }
+  }
+  return inst;
+}
+
+ThreeDMInstance random_3dm(std::uint32_t q, std::uint32_t num_triples,
+                           std::uint64_t seed) {
+  Rng rng{seed};
+  ThreeDMInstance inst;
+  inst.q = q;
+  std::uint32_t attempts = 0;
+  while (inst.triples.size() < num_triples &&
+         attempts < 100 * num_triples + 100) {
+    ++attempts;
+    const std::array<std::uint32_t, 3> t{
+        static_cast<std::uint32_t>(rng.next_below(q)),
+        static_cast<std::uint32_t>(rng.next_below(q)),
+        static_cast<std::uint32_t>(rng.next_below(q))};
+    if (std::find(inst.triples.begin(), inst.triples.end(), t) ==
+        inst.triples.end()) {
+      inst.triples.push_back(t);
+    }
+  }
+  return inst;
+}
+
+ThreeDMReduction build_3dm_reduction(const ThreeDMInstance& inst, double g1) {
+  const std::uint32_t q = inst.q;
+  if (q < 2) throw std::invalid_argument("build_3dm_reduction: q >= 2");
+  const PartId k = 3 * q;
+  // Node layout: X = 0..q−1, Y = q..2q−1, Z = 2q..3q−1.
+  const auto xn = [&](std::uint32_t x) { return static_cast<NodeId>(x); };
+  const auto yn = [&](std::uint32_t y) { return static_cast<NodeId>(q + y); };
+  const auto zn = [&](std::uint32_t z) {
+    return static_cast<NodeId>(2 * q + z);
+  };
+
+  ThreeDMReduction red;
+  red.topology = HierTopology{{q, 3}, {g1, 1.0}};
+  red.w0 = static_cast<Weight>(10) * k * k;
+
+  // Weighted edge map: pairs and triples with accumulated weights.
+  std::map<std::vector<NodeId>, Weight> edges;
+  std::vector<bool> original(static_cast<std::size_t>(q) * q * q, false);
+  for (const auto& [x, y, z] : inst.triples) {
+    original[(static_cast<std::size_t>(x) * q + y) * q + z] = true;
+    // (i) three pair edges per original triple.
+    edges[{std::min(xn(x), yn(y)), std::max(xn(x), yn(y))}] += 1;
+    edges[{std::min(xn(x), zn(z)), std::max(xn(x), zn(z))}] += 1;
+    edges[{std::min(yn(y), zn(z)), std::max(yn(y), zn(z))}] += 1;
+  }
+  // (ii) every node triple that is not an original hyperedge gets weight 1;
+  // (iii) every tripartite triple additionally gets weight w0.
+  for (NodeId a = 0; a < k; ++a) {
+    for (NodeId b = a + 1; b < k; ++b) {
+      for (NodeId c = b + 1; c < k; ++c) {
+        Weight w = 0;
+        const bool tripartite = a < q && b >= q && b < 2 * q && c >= 2 * q;
+        bool orig = false;
+        if (tripartite) {
+          orig = original[(static_cast<std::size_t>(a) * q + (b - q)) * q +
+                          (c - 2 * q)];
+          w += red.w0;
+        }
+        if (!orig) w += 1;
+        if (w > 0) edges[{a, b, c}] += w;
+      }
+    }
+  }
+
+  std::vector<std::vector<NodeId>> pin_lists;
+  std::vector<Weight> weights;
+  Weight worst = 0;  // Σ w_e (|e|−1)
+  for (const auto& [pins, w] : edges) {
+    pin_lists.push_back(pins);
+    weights.push_back(w);
+    worst += w * static_cast<Weight>(pins.size() - 1);
+  }
+  red.contracted = Hypergraph::from_edges(k, std::move(pin_lists));
+  red.contracted.set_edge_weights(std::move(weights));
+
+  // Perfect matching ⟺ gain ≥ G_max ⟺ optimal hierarchical cost ≤
+  // g1·W − (g1−1)·G_max, with per-triplet gain 3(k−3) + 3 + (k−1)·w0.
+  const double g_max =
+      static_cast<double>(q) *
+      (3.0 * (k - 3) + 3.0 + static_cast<double>(k - 1) * red.w0);
+  red.cost_threshold =
+      g1 * static_cast<double>(worst) - (g1 - 1.0) * g_max + 1e-6;
+  return red;
+}
+
+}  // namespace hp

@@ -1,0 +1,90 @@
+#include "hyperpart/reduction/three_partition.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+
+bool ThreePartitionInstance::well_formed() const {
+  if (numbers.size() % 3 != 0 || numbers.empty()) return false;
+  std::uint64_t sum = 0;
+  for (const std::uint32_t a : numbers) {
+    if (4 * a <= target || 2 * a >= target) return false;
+    sum += a;
+  }
+  return sum == static_cast<std::uint64_t>(t()) * target;
+}
+
+std::optional<std::vector<std::array<std::uint32_t, 3>>> solve_three_partition(
+    const ThreePartitionInstance& inst) {
+  const auto n = static_cast<std::uint32_t>(inst.numbers.size());
+  if (n % 3 != 0) return std::nullopt;
+  std::vector<bool> used(n, false);
+  std::vector<std::array<std::uint32_t, 3>> triplets;
+
+  // Always anchor on the first unused index — canonical, prunes symmetry.
+  const auto recurse = [&](auto&& self) -> bool {
+    std::uint32_t first = n;
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!used[i]) {
+        first = i;
+        break;
+      }
+    }
+    if (first == n) return true;
+    used[first] = true;
+    for (std::uint32_t j = first + 1; j < n; ++j) {
+      if (used[j] || inst.numbers[first] + inst.numbers[j] >= inst.target) {
+        continue;
+      }
+      used[j] = true;
+      const std::uint32_t need =
+          inst.target - inst.numbers[first] - inst.numbers[j];
+      for (std::uint32_t l = j + 1; l < n; ++l) {
+        if (used[l] || inst.numbers[l] != need) continue;
+        used[l] = true;
+        triplets.push_back({first, j, l});
+        if (self(self)) return true;
+        triplets.pop_back();
+        used[l] = false;
+      }
+      used[j] = false;
+    }
+    used[first] = false;
+    return false;
+  };
+  if (!recurse(recurse)) return std::nullopt;
+  return triplets;
+}
+
+ThreePartitionInstance random_solvable_three_partition(std::uint32_t t,
+                                                       std::uint32_t b,
+                                                       std::uint64_t seed) {
+  Rng rng{seed};
+  ThreePartitionInstance inst;
+  inst.target = b;
+  for (std::uint32_t i = 0; i < t; ++i) {
+    // a1, a2, a3 with a1+a2+a3 = b and each in (b/4, b/2): draw a1, a2
+    // around b/3 until the remainder also fits the window.
+    for (;;) {
+      const auto lo = b / 4 + 1;
+      const auto hi = (b - 1) / 2;
+      const auto a1 = static_cast<std::uint32_t>(rng.next_in(lo, hi));
+      const auto a2 = static_cast<std::uint32_t>(rng.next_in(lo, hi));
+      if (a1 + a2 >= b) continue;
+      const std::uint32_t a3 = b - a1 - a2;
+      if (4 * a3 <= b || 2 * a3 >= b) continue;
+      inst.numbers.push_back(a1);
+      inst.numbers.push_back(a2);
+      inst.numbers.push_back(a3);
+      break;
+    }
+  }
+  rng.shuffle(inst.numbers);
+  return inst;
+}
+
+}  // namespace hp

@@ -1,0 +1,66 @@
+#include "hyperpart/schedule/bsp.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+namespace hp {
+
+BspCostBreakdown bsp_cost(const Dag& dag, const Schedule& s, PartId k,
+                          const BspParams& params) {
+  if (!valid_schedule(dag, s, k)) {
+    throw std::invalid_argument("bsp_cost: invalid schedule");
+  }
+  const NodeId n = dag.num_nodes();
+  BspCostBreakdown out;
+  out.supersteps = s.makespan();
+
+  // Work per (processor, step).
+  std::vector<std::uint32_t> work(
+      static_cast<std::size_t>(out.supersteps) * k, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    ++work[static_cast<std::size_t>(s.time[v] - 1) * k + s.proc[v]];
+  }
+
+  // Communication: the value of u goes from proc(u) to every other
+  // processor q computing a successor of u, in the phase entering the
+  // superstep of q's earliest such successor.
+  std::vector<std::uint64_t> sent(
+      static_cast<std::size_t>(out.supersteps) * k, 0);
+  std::vector<std::uint64_t> received(
+      static_cast<std::size_t>(out.supersteps) * k, 0);
+  std::vector<std::uint32_t> first_use(k);
+  for (NodeId u = 0; u < n; ++u) {
+    std::fill(first_use.begin(), first_use.end(), 0u);
+    for (const NodeId v : dag.successors(u)) {
+      if (s.proc[v] == s.proc[u]) continue;
+      auto& t = first_use[s.proc[v]];
+      t = t == 0 ? s.time[v] : std::min(t, s.time[v]);
+    }
+    for (PartId q = 0; q < k; ++q) {
+      if (first_use[q] == 0) continue;
+      ++out.total_values_moved;
+      const std::size_t phase =
+          static_cast<std::size_t>(first_use[q] - 1) * k;
+      ++sent[phase + s.proc[u]];
+      ++received[phase + q];
+    }
+  }
+
+  for (std::uint32_t step = 0; step < out.supersteps; ++step) {
+    std::uint32_t max_work = 0;
+    std::uint64_t max_h = 0;
+    for (PartId q = 0; q < k; ++q) {
+      const std::size_t idx = static_cast<std::size_t>(step) * k + q;
+      max_work = std::max(max_work, work[idx]);
+      max_h = std::max(max_h, std::max(sent[idx], received[idx]));
+    }
+    out.total_work += max_work;
+    out.total_h_relation += max_h;
+    out.total_cost += static_cast<double>(max_work) +
+                      params.g * static_cast<double>(max_h) + params.l;
+  }
+  return out;
+}
+
+}  // namespace hp

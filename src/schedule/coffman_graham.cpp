@@ -1,0 +1,90 @@
+#include "hyperpart/schedule/coffman_graham.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hp {
+
+std::vector<std::uint32_t> coffman_graham_labels(const Dag& dag) {
+  const NodeId n = dag.num_nodes();
+  std::vector<std::uint32_t> label(n, 0);
+  std::vector<std::uint32_t> unlabeled_succs(n);
+  std::vector<NodeId> eligible;
+  for (NodeId v = 0; v < n; ++v) {
+    unlabeled_succs[v] = dag.out_degree(v);
+    if (unlabeled_succs[v] == 0) eligible.push_back(v);
+  }
+
+  // Decreasing successor-label sequence of a node; recomputed on demand
+  // (only labeled successors exist when a node is eligible).
+  const auto succ_labels = [&](NodeId v) {
+    std::vector<std::uint32_t> ls;
+    for (const NodeId w : dag.successors(v)) ls.push_back(label[w]);
+    std::sort(ls.rbegin(), ls.rend());
+    return ls;
+  };
+
+  for (std::uint32_t next = 1; next <= n; ++next) {
+    // Pick the eligible node whose successor-label sequence is
+    // lexicographically smallest.
+    std::size_t best = 0;
+    std::vector<std::uint32_t> best_seq = succ_labels(eligible[0]);
+    for (std::size_t i = 1; i < eligible.size(); ++i) {
+      auto seq = succ_labels(eligible[i]);
+      if (std::lexicographical_compare(seq.begin(), seq.end(),
+                                       best_seq.begin(), best_seq.end())) {
+        best = i;
+        best_seq = std::move(seq);
+      }
+    }
+    const NodeId v = eligible[best];
+    eligible.erase(eligible.begin() + static_cast<std::ptrdiff_t>(best));
+    label[v] = next;
+    for (const NodeId u : dag.predecessors(v)) {
+      if (--unlabeled_succs[u] == 0) eligible.push_back(u);
+    }
+  }
+  return label;
+}
+
+Schedule coffman_graham_schedule(const Dag& dag) {
+  const NodeId n = dag.num_nodes();
+  const auto label = coffman_graham_labels(dag);
+  Schedule s;
+  s.proc.assign(n, 0);
+  s.time.assign(n, 0);
+  std::vector<std::uint32_t> remaining(n);
+  std::priority_queue<std::pair<std::uint32_t, NodeId>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    remaining[v] = dag.in_degree(v);
+    if (remaining[v] == 0) ready.emplace(label[v], v);
+  }
+  std::uint32_t t = 0;
+  NodeId done = 0;
+  while (done < n) {
+    ++t;
+    NodeId step[2];
+    PartId used = 0;
+    for (PartId q = 0; q < 2 && !ready.empty(); ++q) {
+      const NodeId v = ready.top().second;
+      ready.pop();
+      s.proc[v] = q;
+      s.time[v] = t;
+      step[used++] = v;
+    }
+    done += used;
+    for (PartId i = 0; i < used; ++i) {
+      for (const NodeId w : dag.successors(step[i])) {
+        if (--remaining[w] == 0) ready.emplace(label[w], w);
+      }
+    }
+  }
+  return s;
+}
+
+std::uint32_t optimal_makespan_two_processors(const Dag& dag) {
+  if (dag.num_nodes() == 0) return 0;
+  return coffman_graham_schedule(dag).makespan();
+}
+
+}  // namespace hp

@@ -1,0 +1,88 @@
+#include "hyperpart/schedule/exact_makespan.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "hyperpart/schedule/list_scheduler.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+/// Ready nodes for a completion mask: not yet done, all predecessors done.
+[[nodiscard]] std::vector<NodeId> ready_nodes(
+    const std::vector<Mask>& pred_mask, Mask done, NodeId n) {
+  std::vector<NodeId> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    if (!((done >> v) & 1) && (pred_mask[v] & ~done) == 0) ready.push_back(v);
+  }
+  return ready;
+}
+
+}  // namespace
+
+std::optional<ExactMakespanResult> exact_makespan(const Dag& dag, PartId k,
+                                                  std::uint64_t max_states) {
+  const NodeId n = dag.num_nodes();
+  if (n > 62) throw std::invalid_argument("exact_makespan: n > 62");
+  if (n == 0) return ExactMakespanResult{0, 0};
+
+  // Fast path: when a list schedule meets the trivial lower bound it is
+  // optimal and no search is needed.
+  const std::uint32_t lb = makespan_lower_bound(dag, k);
+  const std::uint32_t ub = list_schedule(dag, k).makespan();
+  if (ub == lb) return ExactMakespanResult{ub, 0};
+
+  std::vector<Mask> pred_mask(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : dag.predecessors(v)) pred_mask[v] |= Mask{1} << u;
+  }
+  const Mask all = (Mask{1} << n) - 1;
+
+  std::unordered_set<Mask> frontier{0};
+  std::unordered_set<Mask> next;
+  std::unordered_set<Mask> visited{0};
+  std::uint64_t expanded = 0;
+  std::uint32_t steps = 0;
+
+  std::vector<NodeId> chosen;
+  while (!frontier.empty()) {
+    ++steps;
+    if (steps > ub) break;  // cannot improve on the list schedule
+    next.clear();
+    for (const Mask done : frontier) {
+      if (++expanded > max_states) return std::nullopt;
+      const auto ready = ready_nodes(pred_mask, done, n);
+      const std::size_t take = std::min<std::size_t>(k, ready.size());
+      // Enumerate all subsets of `ready` of size `take` (greedy dominance).
+      chosen.clear();
+      const auto recurse = [&](auto&& self, std::size_t start) -> void {
+        if (chosen.size() == take) {
+          Mask m = done;
+          for (const NodeId v : chosen) m |= Mask{1} << v;
+          if (visited.insert(m).second) next.insert(m);
+          return;
+        }
+        const std::size_t need = take - chosen.size();
+        for (std::size_t i = start; i < ready.size() && ready.size() - i >= need;
+             ++i) {
+          chosen.push_back(ready[i]);
+          self(self, i + 1);
+          chosen.pop_back();
+        }
+      };
+      recurse(recurse, 0);
+      if (visited.count(all) != 0) {
+        return ExactMakespanResult{steps, expanded};
+      }
+    }
+    frontier.swap(next);
+  }
+  return ExactMakespanResult{ub, expanded};
+}
+
+}  // namespace hp

@@ -1,0 +1,92 @@
+#include "hyperpart/schedule/fixed_partition_makespan.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "hyperpart/schedule/list_scheduler.hpp"
+#include "hyperpart/schedule/schedule.hpp"
+
+namespace hp {
+
+namespace {
+
+using Mask = std::uint64_t;
+
+}  // namespace
+
+std::optional<ExactMakespanResult> exact_fixed_makespan(
+    const Dag& dag, const Partition& p, std::uint64_t max_states) {
+  const NodeId n = dag.num_nodes();
+  if (n > 62) throw std::invalid_argument("exact_fixed_makespan: n > 62");
+  if (n == 0) return ExactMakespanResult{0, 0};
+  const PartId k = p.k();
+
+  const std::uint32_t lb = fixed_partition_lower_bound(dag, p);
+  const std::uint32_t ub = list_schedule_fixed(dag, p).makespan();
+  if (ub == lb) return ExactMakespanResult{ub, 0};
+
+  std::vector<Mask> pred_mask(n, 0);
+  for (NodeId v = 0; v < n; ++v) {
+    for (const NodeId u : dag.predecessors(v)) pred_mask[v] |= Mask{1} << u;
+  }
+  const Mask all = (Mask{1} << n) - 1;
+
+  std::unordered_set<Mask> frontier{0};
+  std::unordered_set<Mask> next;
+  std::unordered_set<Mask> visited{0};
+  std::uint64_t expanded = 0;
+  std::uint32_t steps = 0;
+
+  std::vector<std::vector<NodeId>> ready_by_proc(k);
+  std::vector<PartId> active;  // processors with at least one ready node
+  while (!frontier.empty()) {
+    ++steps;
+    if (steps > ub) break;
+    next.clear();
+    for (const Mask done : frontier) {
+      if (++expanded > max_states) return std::nullopt;
+      for (auto& r : ready_by_proc) r.clear();
+      for (NodeId v = 0; v < n; ++v) {
+        if (!((done >> v) & 1) && (pred_mask[v] & ~done) == 0) {
+          ready_by_proc[p[v]].push_back(v);
+        }
+      }
+      active.clear();
+      for (PartId q = 0; q < k; ++q) {
+        if (!ready_by_proc[q].empty()) active.push_back(q);
+      }
+      // One ready node per active processor (per-processor greedy
+      // dominance); branch over the cartesian product of choices.
+      const auto recurse = [&](auto&& self, std::size_t idx,
+                               Mask m) -> void {
+        if (idx == active.size()) {
+          if (visited.insert(m).second) next.insert(m);
+          return;
+        }
+        for (const NodeId v : ready_by_proc[active[idx]]) {
+          self(self, idx + 1, m | (Mask{1} << v));
+        }
+      };
+      recurse(recurse, 0, done);
+      if (visited.count(all) != 0) {
+        return ExactMakespanResult{steps, expanded};
+      }
+    }
+    frontier.swap(next);
+  }
+  return ExactMakespanResult{ub, expanded};
+}
+
+std::optional<bool> schedule_based_feasible(const Dag& dag, const Partition& p,
+                                            double epsilon,
+                                            std::uint64_t max_states) {
+  const auto mu = exact_makespan(dag, p.k(), max_states);
+  if (!mu) return std::nullopt;
+  const auto mu_p = exact_fixed_makespan(dag, p, max_states);
+  if (!mu_p) return std::nullopt;
+  return static_cast<double>(mu_p->makespan) <=
+         (1.0 + epsilon) * static_cast<double>(mu->makespan) + 1e-9;
+}
+
+}  // namespace hp

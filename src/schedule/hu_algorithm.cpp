@@ -1,0 +1,55 @@
+#include "hyperpart/schedule/hu_algorithm.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "hyperpart/schedule/list_scheduler.hpp"
+
+namespace hp {
+
+bool is_in_forest(const Dag& dag) {
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.out_degree(v) > 1) return false;
+  }
+  return true;
+}
+
+bool is_out_forest(const Dag& dag) {
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) {
+    if (dag.in_degree(v) > 1) return false;
+  }
+  return true;
+}
+
+namespace {
+
+[[nodiscard]] Dag reversed(const Dag& dag) {
+  auto edges = dag.edge_list();
+  for (auto& e : edges) std::swap(e.first, e.second);
+  return Dag::from_edges(dag.num_nodes(), std::move(edges));
+}
+
+}  // namespace
+
+Schedule hu_schedule(const Dag& dag, PartId k) {
+  if (is_in_forest(dag)) {
+    // Hu's theorem: highest-level-first is optimal on in-forests.
+    return list_schedule(dag, k, ListPriority::kHighestLevelFirst);
+  }
+  if (is_out_forest(dag)) {
+    // Schedule the reversed in-forest and mirror the time axis.
+    const Dag rev = reversed(dag);
+    Schedule s = list_schedule(rev, k, ListPriority::kHighestLevelFirst);
+    const std::uint32_t span = s.makespan();
+    for (auto& t : s.time) t = span + 1 - t;
+    return s;
+  }
+  throw std::invalid_argument("hu_schedule: DAG is not a forest");
+}
+
+std::uint32_t hu_makespan(const Dag& dag, PartId k) {
+  if (dag.num_nodes() == 0) return 0;
+  return hu_schedule(dag, k).makespan();
+}
+
+}  // namespace hp

@@ -1,0 +1,111 @@
+#include "hyperpart/schedule/list_scheduler.hpp"
+
+#include <algorithm>
+#include <queue>
+
+namespace hp {
+
+namespace {
+
+/// Level of a node = number of nodes on the longest path starting at it.
+[[nodiscard]] std::vector<std::uint32_t> levels(const Dag& dag) {
+  std::vector<std::uint32_t> level(dag.num_nodes(), 1);
+  const auto order = dag.topological_order();
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    for (const NodeId w : dag.successors(*it)) {
+      level[*it] = std::max(level[*it], level[w] + 1);
+    }
+  }
+  return level;
+}
+
+[[nodiscard]] std::vector<std::uint32_t> priorities(const Dag& dag,
+                                                    ListPriority prio) {
+  if (prio == ListPriority::kHighestLevelFirst) return levels(dag);
+  std::vector<std::uint32_t> p(dag.num_nodes());
+  const auto order = dag.topological_order();
+  for (std::uint32_t i = 0; i < order.size(); ++i) {
+    p[order[i]] = static_cast<std::uint32_t>(order.size()) - i;
+  }
+  return p;
+}
+
+}  // namespace
+
+Schedule list_schedule(const Dag& dag, PartId k, ListPriority prio) {
+  const NodeId n = dag.num_nodes();
+  const auto prio_of = priorities(dag, prio);
+  Schedule s;
+  s.proc.assign(n, 0);
+  s.time.assign(n, 0);
+
+  std::vector<std::uint32_t> remaining(n);
+  // Max-heap of (priority, node).
+  std::priority_queue<std::pair<std::uint32_t, NodeId>> ready;
+  for (NodeId v = 0; v < n; ++v) {
+    remaining[v] = dag.in_degree(v);
+    if (remaining[v] == 0) ready.emplace(prio_of[v], v);
+  }
+  std::uint32_t t = 0;
+  NodeId done = 0;
+  std::vector<NodeId> step;
+  while (done < n) {
+    ++t;
+    step.clear();
+    for (PartId q = 0; q < k && !ready.empty(); ++q) {
+      const NodeId v = ready.top().second;
+      ready.pop();
+      s.proc[v] = q;
+      s.time[v] = t;
+      step.push_back(v);
+    }
+    done += static_cast<NodeId>(step.size());
+    for (const NodeId v : step) {
+      for (const NodeId w : dag.successors(v)) {
+        if (--remaining[w] == 0) ready.emplace(prio_of[w], w);
+      }
+    }
+  }
+  return s;
+}
+
+Schedule list_schedule_fixed(const Dag& dag, const Partition& p,
+                             ListPriority prio) {
+  const NodeId n = dag.num_nodes();
+  const PartId k = p.k();
+  const auto prio_of = priorities(dag, prio);
+  Schedule s;
+  s.proc.assign(n, 0);
+  s.time.assign(n, 0);
+
+  std::vector<std::uint32_t> remaining(n);
+  std::vector<std::priority_queue<std::pair<std::uint32_t, NodeId>>> ready(k);
+  for (NodeId v = 0; v < n; ++v) {
+    s.proc[v] = p[v];
+    remaining[v] = dag.in_degree(v);
+    if (remaining[v] == 0) ready[p[v]].emplace(prio_of[v], v);
+  }
+  std::uint32_t t = 0;
+  NodeId done = 0;
+  std::vector<NodeId> step;
+  while (done < n) {
+    ++t;
+    step.clear();
+    for (PartId q = 0; q < k; ++q) {
+      if (ready[q].empty()) continue;
+      const NodeId v = ready[q].top().second;
+      ready[q].pop();
+      s.time[v] = t;
+      step.push_back(v);
+    }
+    done += static_cast<NodeId>(step.size());
+    for (const NodeId v : step) {
+      for (const NodeId w : dag.successors(v)) {
+        if (--remaining[w] == 0) ready[p[w]].emplace(prio_of[w], w);
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace hp

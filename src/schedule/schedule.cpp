@@ -1,0 +1,51 @@
+#include "hyperpart/schedule/schedule.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace hp {
+
+std::uint32_t Schedule::makespan() const {
+  std::uint32_t best = 0;
+  for (const std::uint32_t t : time) best = std::max(best, t);
+  return best;
+}
+
+bool valid_schedule(const Dag& dag, const Schedule& s, PartId k) {
+  const NodeId n = dag.num_nodes();
+  if (s.proc.size() != n || s.time.size() != n) return false;
+  std::set<std::pair<PartId, std::uint32_t>> slots;
+  for (NodeId v = 0; v < n; ++v) {
+    if (s.proc[v] >= k || s.time[v] == 0) return false;
+    if (!slots.emplace(s.proc[v], s.time[v]).second) return false;
+  }
+  for (NodeId u = 0; u < n; ++u) {
+    for (const NodeId v : dag.successors(u)) {
+      if (s.time[u] >= s.time[v]) return false;
+    }
+  }
+  return true;
+}
+
+bool realizes_partition(const Schedule& s, const Partition& p) {
+  if (s.proc.size() != p.num_nodes()) return false;
+  for (NodeId v = 0; v < p.num_nodes(); ++v) {
+    if (s.proc[v] != p[v]) return false;
+  }
+  return true;
+}
+
+std::uint32_t makespan_lower_bound(const Dag& dag, PartId k) {
+  const NodeId n = dag.num_nodes();
+  const std::uint32_t load = (n + k - 1) / k;
+  return std::max(load, dag.longest_path_nodes());
+}
+
+std::uint32_t fixed_partition_lower_bound(const Dag& dag, const Partition& p) {
+  std::vector<std::uint32_t> load(p.k(), 0);
+  for (NodeId v = 0; v < dag.num_nodes(); ++v) ++load[p[v]];
+  const std::uint32_t max_load = *std::max_element(load.begin(), load.end());
+  return std::max(max_load, dag.longest_path_nodes());
+}
+
+}  // namespace hp

@@ -1,0 +1,56 @@
+#include "hyperpart/util/thread_pool.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+
+namespace hp {
+
+void run_parallel(const std::vector<std::function<void()>>& tasks,
+                  unsigned threads) {
+  if (tasks.empty()) return;
+  const unsigned workers = std::max(1u, std::min<unsigned>(
+                                             threads,
+                                             static_cast<unsigned>(
+                                                 tasks.size())));
+  if (workers == 1) {
+    for (const auto& task : tasks) task();
+    return;
+  }
+  std::atomic<std::size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (unsigned w = 0; w < workers; ++w) {
+    pool.emplace_back([&]() {
+      for (;;) {
+        const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+        if (i >= tasks.size()) return;
+        tasks[i]();
+      }
+    });
+  }
+  for (auto& t : pool) t.join();
+}
+
+void parallel_for_chunks(
+    std::uint64_t count, unsigned threads,
+    const std::function<void(std::uint64_t, std::uint64_t)>& fn) {
+  if (count == 0) return;
+  const unsigned workers = std::max<unsigned>(
+      1, static_cast<unsigned>(
+             std::min<std::uint64_t>(threads == 0 ? 1 : threads, count)));
+  std::vector<std::function<void()>> tasks;
+  const std::uint64_t chunk = (count + workers - 1) / workers;
+  for (std::uint64_t begin = 0; begin < count; begin += chunk) {
+    const std::uint64_t end = std::min(count, begin + chunk);
+    tasks.push_back([begin, end, &fn]() { fn(begin, end); });
+  }
+  run_parallel(tasks, workers);
+}
+
+unsigned default_threads() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+}  // namespace hp

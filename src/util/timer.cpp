@@ -1,0 +1,9 @@
+#include "hyperpart/util/timer.hpp"
+
+namespace hp {
+
+double Timer::seconds() const noexcept {
+  return std::chrono::duration<double>(clock::now() - start_).count();
+}
+
+}  // namespace hp

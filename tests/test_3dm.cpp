@@ -1,0 +1,64 @@
+// Lemma H.2: hierarchy assignment with b2 = 3 is NP-hard, via 3-dimensional
+// matching. The reduction is exercised end to end against the exact
+// assignment enumerator.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/hier/assignment.hpp"
+#include "hyperpart/reduction/three_dim_matching.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ThreeDM, BruteForceSolver) {
+  ThreeDMInstance yes;
+  yes.q = 2;
+  yes.triples = {{0, 0, 0}, {1, 1, 1}, {0, 1, 0}};
+  EXPECT_TRUE(has_perfect_matching(yes));
+
+  ThreeDMInstance no;
+  no.q = 2;
+  no.triples = {{0, 0, 0}, {1, 0, 1}};  // y = 1 never covered
+  EXPECT_FALSE(has_perfect_matching(no));
+}
+
+TEST(ThreeDM, PlantedInstancesMatch) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ThreeDMInstance inst = planted_3dm(3, 4, seed);
+    EXPECT_TRUE(has_perfect_matching(inst)) << "seed " << seed;
+  }
+}
+
+TEST(ThreeDMReduction, YesInstanceMeetsThreshold) {
+  const ThreeDMInstance inst = planted_3dm(2, 1, 3);
+  ASSERT_TRUE(has_perfect_matching(inst));
+  const ThreeDMReduction red = build_3dm_reduction(inst);
+  EXPECT_EQ(red.contracted.num_nodes(), 6u);
+  EXPECT_EQ(red.topology.branching(2), 3u);
+  const AssignmentResult res = exact_assignment(red.contracted, red.topology);
+  EXPECT_LE(res.cost, red.cost_threshold);
+}
+
+TEST(ThreeDMReduction, NoInstanceMissesThreshold) {
+  ThreeDMInstance inst;
+  inst.q = 2;
+  inst.triples = {{0, 0, 0}, {1, 0, 1}};
+  ASSERT_FALSE(has_perfect_matching(inst));
+  const ThreeDMReduction red = build_3dm_reduction(inst);
+  const AssignmentResult res = exact_assignment(red.contracted, red.topology);
+  EXPECT_GT(res.cost, red.cost_threshold);
+}
+
+TEST(ThreeDMReduction, MatchesSolverOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const ThreeDMInstance inst = random_3dm(2, 3, seed + 10);
+    const ThreeDMReduction red = build_3dm_reduction(inst);
+    const AssignmentResult res =
+        exact_assignment(red.contracted, red.topology);
+    EXPECT_EQ(res.cost <= red.cost_threshold, has_perfect_matching(inst))
+        << "seed " << seed;
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,55 @@
+#include "hyperpart/algo/annealing.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Annealing, ProducesBalancedPartitions) {
+  const Hypergraph g = random_hypergraph(60, 90, 2, 4, 7);
+  for (const PartId k : {2u, 4u}) {
+    const auto balance = BalanceConstraint::for_graph(g, k, 0.1, true);
+    const auto p = annealing_partition(g, balance, {});
+    ASSERT_TRUE(p.has_value());
+    EXPECT_TRUE(p->complete());
+    EXPECT_TRUE(balance.satisfied(g, *p));
+  }
+}
+
+TEST(Annealing, ImprovesOnRandomStart) {
+  const Hypergraph g = spmv_hypergraph(20, 20, 200, 5);
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.1, true);
+  AnnealingConfig cfg;
+  cfg.seed = 3;
+  const auto annealed = annealing_partition(g, balance, cfg);
+  const auto random = random_balanced_partition(g, balance, 3);
+  ASSERT_TRUE(annealed && random);
+  EXPECT_LT(cost(g, *annealed, CostMetric::kConnectivity),
+            cost(g, *random, CostMetric::kConnectivity));
+}
+
+TEST(Annealing, DeterministicForSeed) {
+  const Hypergraph g = random_hypergraph(40, 60, 2, 4, 9);
+  const auto balance = BalanceConstraint::for_graph(g, 3, 0.2, true);
+  AnnealingConfig cfg;
+  cfg.seed = 11;
+  cfg.temperature_steps = 20;
+  const auto a = annealing_partition(g, balance, cfg);
+  const auto b = annealing_partition(g, balance, cfg);
+  ASSERT_TRUE(a && b);
+  EXPECT_EQ(cost(g, *a, CostMetric::kConnectivity),
+            cost(g, *b, CostMetric::kConnectivity));
+}
+
+TEST(Annealing, InfeasibleCapacityReturnsNullopt) {
+  Hypergraph g = random_hypergraph(4, 3, 2, 3, 2);
+  g.set_node_weights({5, 5, 5, 5});
+  const auto balance = BalanceConstraint::with_capacity(2, 5);
+  EXPECT_FALSE(annealing_partition(g, balance, {}).has_value());
+}
+
+}  // namespace
+}  // namespace hp

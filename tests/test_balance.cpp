@@ -1,0 +1,104 @@
+#include "hyperpart/core/balance.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Balance, ExactThresholds) {
+  // (1+0.1)·100/2 = 55 exactly.
+  const auto b = BalanceConstraint::for_total_weight(100, 2, 0.1);
+  EXPECT_EQ(b.capacity(), 55);
+  // ε = 0, k = 3, W = 10: floor(10/3) = 3, relaxed ⌈⌉ = 4.
+  EXPECT_EQ(BalanceConstraint::for_total_weight(10, 3, 0.0).capacity(), 3);
+  EXPECT_EQ(
+      BalanceConstraint::for_total_weight(10, 3, 0.0, true).capacity(), 4);
+}
+
+TEST(Balance, FloatingPointGuard) {
+  // (1+1/3)·9/4 = 3 exactly; naive floating point may produce 2.999…
+  const auto b = BalanceConstraint::for_total_weight(9, 4, 1.0 / 3.0);
+  EXPECT_EQ(b.capacity(), 3);
+}
+
+TEST(Balance, SatisfiedChecksAllParts) {
+  const Hypergraph g = random_hypergraph(10, 5, 2, 3, 1);
+  const auto b = BalanceConstraint::for_graph(g, 2, 0.0);
+  EXPECT_EQ(b.capacity(), 5);
+  Partition ok({0, 0, 0, 0, 0, 1, 1, 1, 1, 1}, 2);
+  Partition bad({0, 0, 0, 0, 0, 0, 1, 1, 1, 1}, 2);
+  EXPECT_TRUE(b.satisfied(g, ok));
+  EXPECT_FALSE(b.satisfied(g, bad));
+}
+
+TEST(Balance, InvalidArgumentsThrow) {
+  EXPECT_THROW(BalanceConstraint::for_total_weight(10, 0, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(BalanceConstraint::for_total_weight(10, 2, -0.5),
+               std::invalid_argument);
+}
+
+TEST(ConstraintSet, GroupsCheckedSeparately) {
+  const Hypergraph g = random_hypergraph(8, 4, 2, 3, 2);
+  ConstraintSet cs = ConstraintSet::for_subsets(
+      g, {{0, 1, 2, 3}, {4, 5, 6, 7}}, 2, 0.0);
+  EXPECT_EQ(cs.num_constraints(), 2u);
+  EXPECT_EQ(cs.group(0).capacity, 2);
+  Partition ok({0, 0, 1, 1, 0, 1, 0, 1}, 2);
+  EXPECT_TRUE(cs.satisfied(g, ok));
+  Partition bad({0, 0, 0, 1, 0, 1, 0, 1}, 2);  // 3 of group 0 in part 0
+  EXPECT_FALSE(cs.satisfied(g, bad));
+  EXPECT_EQ(cs.first_violated(g, bad), 0u);
+}
+
+TEST(ConstraintSet, RespectsNodeWeights) {
+  Hypergraph g = random_hypergraph(4, 2, 2, 2, 3);
+  g.set_node_weights({3, 1, 1, 1});
+  ConstraintSet cs =
+      ConstraintSet::for_subsets(g, {{0, 1, 2, 3}}, 2, 0.0);
+  EXPECT_EQ(cs.group(0).capacity, 3);
+  Partition p({0, 1, 1, 1}, 2);
+  EXPECT_TRUE(cs.satisfied(g, p));
+  Partition q({0, 0, 1, 1}, 2);  // part 0 weight 4 > 3
+  EXPECT_FALSE(cs.satisfied(g, q));
+}
+
+// Lemma A.4: ε < 1/(k−1) forces every part non-empty. We verify on every
+// balanced partition produced by exhaustive search.
+TEST(Balance, LemmaA4EveryPartNonempty) {
+  const Hypergraph g = random_hypergraph(9, 6, 2, 3, 5);
+  const PartId k = 3;
+  const double eps = 0.4;  // < 1/(k−1) = 0.5
+  const auto balance = BalanceConstraint::for_graph(g, k, eps);
+  BruteForceOptions opts;
+  opts.break_symmetry = false;
+  const auto best = brute_force_partition(g, balance, opts);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->partition.num_nonempty_parts(), k);
+}
+
+// Lemma A.3: merging the two smallest of ≥ 2k/(1+ε) non-empty parts keeps
+// the balance constraint satisfied.
+TEST(Balance, LemmaA3MergeStaysBalanced) {
+  const NodeId n = 24;
+  const Hypergraph g = random_hypergraph(n, 10, 2, 4, 8);
+  const PartId k = 8;
+  const double eps = 1.0;
+  const auto balance = BalanceConstraint::for_graph(g, k, eps);
+  // Round-robin: all 8 parts non-empty; 8 ≥ 2k/(1+ε) = 8.
+  std::vector<PartId> assign(n);
+  for (NodeId v = 0; v < n; ++v) assign[v] = v % k;
+  Partition p(std::move(assign), k);
+  ASSERT_TRUE(balance.satisfied(g, p));
+  // Merge parts 0 and 1 (the two smallest, all equal here).
+  for (NodeId v = 0; v < n; ++v) {
+    if (p[v] == 1) p.assign(v, 0);
+  }
+  EXPECT_TRUE(balance.satisfied(g, p));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,153 @@
+#include "hyperpart/reduction/blocks.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/metrics.hpp"
+
+namespace hp {
+namespace {
+
+// Lemma A.5: any 2-coloring that splits a block of size b costs ≥ b−1.
+// Verified exhaustively for small b.
+TEST(Blocks, LemmaA5SplitCostsAtLeastBMinus1) {
+  for (NodeId b = 3; b <= 6; ++b) {
+    HypergraphBuilder builder;
+    const auto nodes = add_block(builder, b);
+    const Hypergraph g = builder.build();
+    EXPECT_EQ(g.num_edges(), b);
+    for (std::uint32_t mask = 1; mask + 1 < (1u << b); ++mask) {
+      Partition p(b, 2);
+      for (NodeId i = 0; i < b; ++i) {
+        p.assign(nodes[i], (mask >> i) & 1);
+      }
+      EXPECT_GE(cost(g, p, CostMetric::kCutNet), static_cast<Weight>(b - 1))
+          << "b=" << b << " mask=" << mask;
+    }
+    // Monochromatic colorings cost 0.
+    Partition mono(b, 2);
+    for (NodeId i = 0; i < b; ++i) mono.assign(nodes[i], 0);
+    EXPECT_EQ(cost(g, mono, CostMetric::kCutNet), 0);
+  }
+}
+
+TEST(Blocks, SingleEdgeBlockMonochromaticOrCut) {
+  HypergraphBuilder builder;
+  const auto nodes = add_single_edge_block(builder, 4);
+  const Hypergraph g = builder.build();
+  Partition split(4, 2);
+  for (NodeId i = 0; i < 4; ++i) split.assign(nodes[i], i == 0 ? 0 : 1);
+  EXPECT_EQ(cost(g, split, CostMetric::kCutNet), 1);
+}
+
+// Lemma A.1: padding with ε·n isolated nodes turns ε-balanced partitioning
+// into the k-section problem with the same optimum.
+TEST(Blocks, LemmaA1IsolatedPaddingPreservesOptimum) {
+  const Hypergraph g =
+      Hypergraph::from_edges(6, {{0, 1, 2}, {2, 3}, {3, 4, 5}, {0, 5}});
+  const double eps = 1.0 / 3.0;  // ε·n = 2 extra nodes
+  const auto eps_balance = BalanceConstraint::for_graph(g, 2, eps);
+  BruteForceOptions opts;
+  const auto orig = brute_force_partition(g, eps_balance, opts);
+  ASSERT_TRUE(orig.has_value());
+
+  const Hypergraph padded = pad_with_isolated_nodes(g, 2);
+  const auto section_balance = BalanceConstraint::for_graph(padded, 2, 0.0);
+  EXPECT_EQ(section_balance.capacity(), 4);
+  const auto sec = brute_force_partition(padded, section_balance, opts);
+  ASSERT_TRUE(sec.has_value());
+  EXPECT_EQ(orig->cost, sec->cost);
+}
+
+// FixedColorPool semantics, end to end through the XP cost-0 feasibility
+// check: "exactly/at most/at least h red in S".
+Hypergraph pool_instance(RedCount mode, NodeId h, ConstraintSet& cs,
+                         std::vector<NodeId>& s_nodes) {
+  HypergraphBuilder b;
+  FixedColorPool pool(b);
+  // S: 3 plain nodes wired into one hyperedge with a fixed red node, so
+  // cost-0 forces them all red — then feasibility depends on h and mode.
+  s_nodes = {b.add_node(), b.add_node(), b.add_node()};
+  std::vector<NodeId> edge = s_nodes;
+  edge.push_back(pool.make_fixed(0));
+  b.add_edge(std::move(edge));
+  pool.constrain_red_count(cs, s_nodes, h, mode);
+  pool.finalize(cs);
+  return b.build();
+}
+
+bool cost0_feasible(const Hypergraph& g, const ConstraintSet& cs) {
+  const auto balance =
+      BalanceConstraint::with_capacity(2, static_cast<Weight>(g.num_nodes()));
+  XpOptions opts;
+  opts.extra_constraints = &cs;
+  return xp_partition(g, balance, 0.0, opts).status == XpStatus::kSolved;
+}
+
+TEST(FixedColorPool, AtMostBlocksOverfullRedSets) {
+  // All 3 nodes of S forced red; "at most 2 red" must be infeasible,
+  // "at most 3" feasible.
+  {
+    ConstraintSet cs;
+    std::vector<NodeId> s;
+    const Hypergraph g = pool_instance(RedCount::kAtMost, 2, cs, s);
+    EXPECT_FALSE(cost0_feasible(g, cs));
+  }
+  {
+    ConstraintSet cs;
+    std::vector<NodeId> s;
+    const Hypergraph g = pool_instance(RedCount::kAtMost, 3, cs, s);
+    EXPECT_TRUE(cost0_feasible(g, cs));
+  }
+}
+
+TEST(FixedColorPool, AtLeastSatisfiedByForcedReds) {
+  ConstraintSet cs;
+  std::vector<NodeId> s;
+  const Hypergraph g = pool_instance(RedCount::kAtLeast, 2, cs, s);
+  EXPECT_TRUE(cost0_feasible(g, cs));
+}
+
+TEST(FixedColorPool, ExactlyRequiresPreciseCount) {
+  {
+    ConstraintSet cs;
+    std::vector<NodeId> s;
+    const Hypergraph g = pool_instance(RedCount::kExactly, 3, cs, s);
+    EXPECT_TRUE(cost0_feasible(g, cs));
+  }
+  {
+    ConstraintSet cs;
+    std::vector<NodeId> s;
+    const Hypergraph g = pool_instance(RedCount::kExactly, 1, cs, s);
+    EXPECT_FALSE(cost0_feasible(g, cs));
+  }
+}
+
+TEST(FixedColorPool, BlueSideWorksToo) {
+  // A free S with "at most 0 red" forces all of S blue; combined with a
+  // hyperedge tying S to a fixed blue node this stays feasible.
+  HypergraphBuilder b;
+  FixedColorPool pool(b);
+  ConstraintSet cs;
+  std::vector<NodeId> s{b.add_node(), b.add_node()};
+  std::vector<NodeId> edge = s;
+  edge.push_back(pool.make_fixed(1));
+  b.add_edge(std::move(edge));
+  pool.constrain_red_count(cs, s, 0, RedCount::kAtMost);
+  pool.finalize(cs);
+  const Hypergraph g = b.build();
+  EXPECT_TRUE(cost0_feasible(g, cs));
+}
+
+TEST(FixedColorPool, DoubleFinalizeThrows) {
+  HypergraphBuilder b;
+  FixedColorPool pool(b);
+  ConstraintSet cs;
+  pool.make_fixed(0);
+  pool.finalize(cs);
+  EXPECT_THROW(pool.finalize(cs), std::logic_error);
+}
+
+}  // namespace
+}  // namespace hp

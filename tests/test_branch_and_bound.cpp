@@ -1,0 +1,79 @@
+#include "hyperpart/algo/branch_and_bound.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+class BnbVsBrute
+    : public ::testing::TestWithParam<std::tuple<int, int, CostMetric>> {};
+
+TEST_P(BnbVsBrute, OptimaAgree) {
+  const auto [seed, k, metric] = GetParam();
+  const Hypergraph g =
+      random_hypergraph(11, 12, 2, 4, static_cast<std::uint64_t>(seed) + 80);
+  const auto balance =
+      BalanceConstraint::for_graph(g, static_cast<PartId>(k), 0.2, true);
+  BruteForceOptions bopts;
+  bopts.metric = metric;
+  const auto brute = brute_force_partition(g, balance, bopts);
+  BnbOptions opts;
+  opts.metric = metric;
+  const auto bnb = branch_and_bound_partition(g, balance, opts);
+  ASSERT_EQ(brute.has_value(), bnb.has_value());
+  if (!brute) return;
+  EXPECT_TRUE(bnb->proven_optimal);
+  EXPECT_EQ(bnb->cost, brute->cost) << "seed " << seed << " k " << k;
+  EXPECT_EQ(cost(g, bnb->partition, metric), bnb->cost);
+  EXPECT_TRUE(balance.satisfied(g, bnb->partition));
+  // The bound should prune at least as hard as plain enumeration.
+  EXPECT_LE(bnb->nodes_explored, 4 * brute->leaves_evaluated + 1000);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, BnbVsBrute,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(CostMetric::kCutNet,
+                                         CostMetric::kConnectivity)));
+
+TEST(Bnb, WarmStartUpperBoundPrunes) {
+  const Hypergraph g = random_hypergraph(12, 14, 2, 4, 99);
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.2, true);
+  const auto cold = branch_and_bound_partition(g, balance, {});
+  ASSERT_TRUE(cold.has_value());
+  BnbOptions warm;
+  warm.initial_upper_bound = cold->cost;
+  const auto warmed = branch_and_bound_partition(g, balance, warm);
+  ASSERT_TRUE(warmed.has_value());
+  EXPECT_EQ(warmed->cost, cold->cost);
+  EXPECT_LE(warmed->nodes_explored, cold->nodes_explored);
+}
+
+TEST(Bnb, NodeBudgetFlagsNonOptimal) {
+  const Hypergraph g = random_hypergraph(16, 20, 2, 4, 7);
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.2, true);
+  BnbOptions opts;
+  opts.max_nodes = 50;
+  const auto res = branch_and_bound_partition(g, balance, opts);
+  if (res) EXPECT_FALSE(res->proven_optimal);
+}
+
+TEST(Bnb, WeightedNodesRespectCapacity) {
+  Hypergraph g = random_hypergraph(8, 8, 2, 3, 5);
+  g.set_node_weights({4, 1, 1, 1, 1, 1, 1, 2});
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+  const auto res = branch_and_bound_partition(g, balance, {});
+  ASSERT_TRUE(res.has_value());
+  const auto w = res->partition.part_weights(g);
+  EXPECT_LE(w[0], balance.capacity());
+  EXPECT_LE(w[1], balance.capacity());
+}
+
+}  // namespace
+}  // namespace hp

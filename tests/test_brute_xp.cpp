@@ -1,0 +1,130 @@
+// Lemma 4.3: the XP configuration-enumeration algorithm is exact. These
+// tests pit it against brute-force enumeration on random instances, for
+// both metrics, several k, and the multi-constraint variant (App. D.2).
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(BruteForce, FindsZeroCutWhenDisconnected) {
+  // Two disjoint edges: a balanced 2-way partition of cost 0 exists.
+  const Hypergraph g = Hypergraph::from_edges(4, {{0, 1}, {2, 3}});
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+  const auto res = brute_force_partition(g, balance, {});
+  ASSERT_TRUE(res.has_value());
+  EXPECT_EQ(res->cost, 0);
+}
+
+TEST(BruteForce, InfeasibleReturnsNullopt) {
+  Hypergraph g = Hypergraph::from_edges(2, {{0, 1}});
+  g.set_node_weights({3, 3});
+  const auto balance = BalanceConstraint::with_capacity(2, 2);
+  EXPECT_FALSE(brute_force_partition(g, balance, {}).has_value());
+}
+
+TEST(Xp, StatusDistinguishesNoSolution) {
+  // A triangle of size-2 edges: any 2-way bisection cuts ≥ 2 edges.
+  const Hypergraph g = Hypergraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto balance = BalanceConstraint::for_total_weight(3, 2, 0.0, true);
+  EXPECT_EQ(xp_partition(g, balance, 1.0).status, XpStatus::kNoSolution);
+  const auto solved = xp_partition(g, balance, 2.0);
+  EXPECT_EQ(solved.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(solved.cost, 2.0);
+}
+
+TEST(Xp, RejectsZeroWeightEdges) {
+  Hypergraph g = Hypergraph::from_edges(2, {{0, 1}});
+  g.set_edge_weights({0});
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+  EXPECT_THROW(xp_partition(g, balance, 1.0), std::invalid_argument);
+}
+
+class XpVsBrute
+    : public ::testing::TestWithParam<std::tuple<int, int, CostMetric>> {};
+
+TEST_P(XpVsBrute, OptimaAgree) {
+  const auto [seed, k, metric] = GetParam();
+  const Hypergraph g =
+      random_hypergraph(8, 7, 2, 4, static_cast<std::uint64_t>(seed));
+  const auto balance =
+      BalanceConstraint::for_graph(g, static_cast<PartId>(k), 0.3, true);
+  BruteForceOptions bopts;
+  bopts.metric = metric;
+  const auto brute = brute_force_partition(g, balance, bopts);
+  ASSERT_TRUE(brute.has_value());
+
+  XpOptions xopts;
+  xopts.metric = metric;
+  const auto xp = xp_partition(g, balance, 100.0, xopts);
+  ASSERT_EQ(xp.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(xp.cost, static_cast<double>(brute->cost))
+      << "seed " << seed << " k " << k;
+  // The XP partition must itself be feasible and realize the cost.
+  EXPECT_TRUE(balance.satisfied(g, xp.partition));
+  EXPECT_EQ(cost(g, xp.partition, metric), brute->cost);
+  // Tight budget: exactly OPT is solvable, OPT−1 is not.
+  const auto tight =
+      xp_partition(g, balance, static_cast<double>(brute->cost), xopts);
+  EXPECT_EQ(tight.status, XpStatus::kSolved);
+  if (brute->cost > 0) {
+    const auto below = xp_partition(
+        g, balance, static_cast<double>(brute->cost) - 1.0, xopts);
+    EXPECT_EQ(below.status, XpStatus::kNoSolution);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, XpVsBrute,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 6),
+                       ::testing::Values(2, 3),
+                       ::testing::Values(CostMetric::kCutNet,
+                                         CostMetric::kConnectivity)));
+
+TEST(Xp, MultiConstraintMatchesBrute) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph g = random_hypergraph(8, 6, 2, 3, seed + 20);
+    const auto balance = BalanceConstraint::for_graph(g, 2, 0.6, true);
+    const ConstraintSet cs = ConstraintSet::for_subsets(
+        g, {{0, 1, 2, 3}, {4, 5, 6, 7}}, 2, 0.0);
+    BruteForceOptions bopts;
+    bopts.extra_constraints = &cs;
+    const auto brute = brute_force_partition(g, balance, bopts);
+    XpOptions xopts;
+    xopts.extra_constraints = &cs;
+    const auto xp = xp_partition(g, balance, 100.0, xopts);
+    if (!brute) {
+      EXPECT_EQ(xp.status, XpStatus::kNoSolution);
+      continue;
+    }
+    ASSERT_EQ(xp.status, XpStatus::kSolved) << "seed " << seed;
+    EXPECT_DOUBLE_EQ(xp.cost, static_cast<double>(brute->cost));
+    EXPECT_TRUE(cs.satisfied(g, xp.partition));
+  }
+}
+
+TEST(Xp, WeightedEdgesHandled) {
+  Hypergraph g = Hypergraph::from_edges(4, {{0, 1}, {1, 2}, {2, 3}, {0, 3}});
+  g.set_edge_weights({5, 1, 5, 1});
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+  const auto res = xp_partition(g, balance, 100.0);
+  ASSERT_EQ(res.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(res.cost, 2.0);  // cut the two weight-1 edges
+}
+
+TEST(Xp, ConfigurationCountGrowsWithBudget) {
+  const Hypergraph g = random_hypergraph(10, 9, 2, 3, 77);
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.2, true);
+  const auto small = xp_partition(g, balance, 0.0);
+  const auto large = xp_partition(g, balance, 3.0);
+  EXPECT_LE(small.configurations_checked, large.configurations_checked);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,81 @@
+#include "hyperpart/schedule/bsp.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/schedule/list_scheduler.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Bsp, ChainOnOneProcessorHasNoCommunication) {
+  const Dag d = chain_dag(6);
+  Schedule s;
+  s.proc.assign(6, 0);
+  for (NodeId v = 0; v < 6; ++v) s.time.push_back(v + 1);
+  const BspCostBreakdown c = bsp_cost(d, s, 2, {2.0, 5.0});
+  EXPECT_EQ(c.supersteps, 6u);
+  EXPECT_EQ(c.total_values_moved, 0u);
+  EXPECT_EQ(c.total_work, 6u);
+  EXPECT_DOUBLE_EQ(c.total_cost, 6.0 + 6 * 5.0);
+}
+
+TEST(Bsp, CrossProcessorEdgeMovesOneValue) {
+  const Dag d = Dag::from_edges(2, {{0, 1}});
+  Schedule s{{0, 1}, {1, 2}};
+  const BspCostBreakdown c = bsp_cost(d, s, 2, {3.0, 0.0});
+  EXPECT_EQ(c.total_values_moved, 1u);
+  EXPECT_EQ(c.total_h_relation, 1u);
+  EXPECT_DOUBLE_EQ(c.total_cost, 2.0 + 3.0);
+}
+
+TEST(Bsp, FanOutSendsValueOncePerConsumerProcessor) {
+  // One source, 4 sinks on the other processor: one transfer, not four —
+  // the hyperDAG accounting (Section 3.2).
+  const Dag d =
+      Dag::from_edges(5, {{0, 1}, {0, 2}, {0, 3}, {0, 4}});
+  Schedule s;
+  s.proc = {0, 1, 1, 1, 1};
+  s.time = {1, 2, 3, 4, 5};
+  const BspCostBreakdown c = bsp_cost(d, s, 2, {1.0, 0.0});
+  EXPECT_EQ(c.total_values_moved, 1u);
+  // Matches the hyperDAG connectivity cost of the same placement.
+  const Partition p({0, 1, 1, 1, 1}, 2);
+  EXPECT_EQ(static_cast<Weight>(c.total_values_moved),
+            cost(to_hyperdag(d).graph, p, CostMetric::kConnectivity));
+}
+
+TEST(Bsp, TotalValuesEqualConnectivityCost) {
+  // Property: values moved == hyperDAG connectivity cost of proc
+  // assignment, independent of timing.
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Dag d = random_dag(25, 0.15, seed);
+    for (PartId k : {2u, 3u}) {
+      const Schedule s = list_schedule(d, k);
+      const BspCostBreakdown c = bsp_cost(d, s, k, {});
+      const Partition p(std::vector<PartId>(s.proc), k);
+      EXPECT_EQ(static_cast<Weight>(c.total_values_moved),
+                cost(to_hyperdag(d).graph, p, CostMetric::kConnectivity))
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Bsp, InvalidScheduleRejected) {
+  const Dag d = chain_dag(3);
+  Schedule bad{{0, 0, 0}, {1, 1, 2}};
+  EXPECT_THROW(bsp_cost(d, bad, 2, {}), std::invalid_argument);
+}
+
+TEST(Bsp, LatencyCountsSupersteps) {
+  const Dag d = chain_dag(4);
+  Schedule s{{0, 0, 0, 0}, {1, 2, 3, 4}};
+  const BspCostBreakdown a = bsp_cost(d, s, 1, {1.0, 0.0});
+  const BspCostBreakdown b = bsp_cost(d, s, 1, {1.0, 10.0});
+  EXPECT_DOUBLE_EQ(b.total_cost - a.total_cost, 40.0);
+}
+
+}  // namespace
+}  // namespace hp

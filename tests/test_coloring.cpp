@@ -1,0 +1,82 @@
+// Lemma 6.3: 3-coloring reduces to cost-0 multi-constraint partitioning.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/reduction/coloring_reduction.hpp"
+
+namespace hp {
+namespace {
+
+ColoringInstance triangle() {
+  ColoringInstance g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  return g;
+}
+
+ColoringInstance k4() {
+  ColoringInstance g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  return g;
+}
+
+TEST(Coloring, SolverBasics) {
+  EXPECT_TRUE(three_color(triangle()).has_value());
+  EXPECT_FALSE(three_color(k4()).has_value());
+  // Odd cycle C5 is 3-chromatic.
+  ColoringInstance c5;
+  c5.num_vertices = 5;
+  c5.edges = {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 0}};
+  const auto coloring = three_color(c5);
+  ASSERT_TRUE(coloring.has_value());
+  for (const auto& [u, v] : c5.edges) {
+    EXPECT_NE((*coloring)[u], (*coloring)[v]);
+  }
+}
+
+TEST(Coloring, PlantedInstancesAreColorable) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const ColoringInstance g = planted_3colorable(8, 12, seed);
+    EXPECT_TRUE(three_color(g).has_value()) << "seed " << seed;
+  }
+}
+
+bool cost0_feasible(const ColoringReduction& red,
+                    std::uint64_t max_configs = 50'000'000) {
+  XpOptions opts;
+  opts.extra_constraints = &red.constraints;
+  opts.max_configurations = max_configs;
+  return xp_partition(red.graph, red.balance, 0.0, opts).status ==
+         XpStatus::kSolved;
+}
+
+TEST(ColoringReduction, TriangleFeasible) {
+  const ColoringReduction red = build_coloring_reduction(triangle());
+  EXPECT_TRUE(cost0_feasible(red));
+}
+
+TEST(ColoringReduction, K4Infeasible) {
+  const ColoringReduction red = build_coloring_reduction(k4());
+  EXPECT_FALSE(cost0_feasible(red));
+}
+
+TEST(ColoringReduction, MatchesSolverOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const ColoringInstance g = random_coloring_instance(4, 5, seed);
+    const bool colorable = three_color(g).has_value();
+    const ColoringReduction red = build_coloring_reduction(g);
+    EXPECT_EQ(cost0_feasible(red), colorable) << "seed " << seed;
+  }
+}
+
+TEST(ColoringReduction, ConstraintCountMatchesLemma63) {
+  // 2 per vertex + 3 per edge + 1 pool pairing group.
+  const ColoringInstance g = triangle();
+  const ColoringReduction red = build_coloring_reduction(g);
+  EXPECT_EQ(red.constraints.num_constraints(), 2u * 3 + 3u * 3 + 1);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,81 @@
+#include "hyperpart/core/connectivity_tracker.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ConnectivityTracker, InitialCostsMatchMetrics) {
+  const Hypergraph g = random_hypergraph(20, 25, 2, 5, 1);
+  Rng rng{2};
+  std::vector<PartId> assign(20);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(3));
+  const Partition p(std::move(assign), 3);
+  const ConnectivityTracker t(g, p);
+  EXPECT_EQ(t.cut_net_cost(), cost(g, p, CostMetric::kCutNet));
+  EXPECT_EQ(t.connectivity_cost(), cost(g, p, CostMetric::kConnectivity));
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(t.lambda(e), lambda(g, p, e));
+  }
+}
+
+TEST(ConnectivityTracker, IncompletePartitionThrows) {
+  const Hypergraph g = random_hypergraph(5, 3, 2, 3, 3);
+  const Partition p(5, 2);
+  EXPECT_THROW(ConnectivityTracker(g, p), std::invalid_argument);
+}
+
+TEST(ConnectivityTracker, PartWeightsTracked) {
+  Hypergraph g = random_hypergraph(4, 2, 2, 2, 4);
+  g.set_node_weights({5, 1, 1, 1});
+  ConnectivityTracker t(g, Partition({0, 0, 1, 1}, 2));
+  EXPECT_EQ(t.part_weight(0), 6);
+  t.move(0, 1);
+  EXPECT_EQ(t.part_weight(0), 1);
+  EXPECT_EQ(t.part_weight(1), 7);
+}
+
+// Property sweep: random move sequences keep tracker state equal to a
+// from-scratch recomputation, and reported gains are exact.
+class TrackerProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, CostMetric>> {};
+
+TEST_P(TrackerProperty, MovesAndGainsAreExact) {
+  const auto [seed, k, metric] = GetParam();
+  const Hypergraph g =
+      random_hypergraph(15, 20, 2, 5, static_cast<std::uint64_t>(seed));
+  Rng rng{static_cast<std::uint64_t>(seed) + 99};
+  std::vector<PartId> assign(15);
+  for (auto& a : assign) {
+    a = static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(k)));
+  }
+  ConnectivityTracker t(g, Partition(std::move(assign), static_cast<PartId>(k)));
+
+  for (int step = 0; step < 60; ++step) {
+    const auto v = static_cast<NodeId>(rng.next_below(15));
+    const auto to =
+        static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(k)));
+    const Weight before = t.cost(metric);
+    const Weight predicted = t.gain(v, to, metric);
+    t.move(v, to);
+    const Partition now = t.to_partition();
+    EXPECT_EQ(t.cost(metric), cost(g, now, metric));
+    EXPECT_EQ(before - t.cost(metric), predicted);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrackerProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5),
+                       ::testing::Values(2, 3, 4),
+                       ::testing::Values(CostMetric::kCutNet,
+                                         CostMetric::kConnectivity)));
+
+}  // namespace
+}  // namespace hp

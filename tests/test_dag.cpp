@@ -1,0 +1,108 @@
+#include "hyperpart/dag/dag.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Dag, BasicStructure) {
+  const Dag d = Dag::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  EXPECT_EQ(d.num_nodes(), 5u);
+  EXPECT_EQ(d.num_edges(), 5u);
+  EXPECT_EQ(d.out_degree(0), 2u);
+  EXPECT_EQ(d.in_degree(3), 2u);
+  EXPECT_EQ(d.sources(), std::vector<NodeId>{0});
+  EXPECT_EQ(d.sinks(), std::vector<NodeId>{4});
+}
+
+TEST(Dag, CycleDetection) {
+  EXPECT_THROW(Dag::from_edges(3, {{0, 1}, {1, 2}, {2, 0}}),
+               std::invalid_argument);
+  EXPECT_THROW(Dag::from_edges(2, {{0, 0}}), std::invalid_argument);
+}
+
+TEST(Dag, DuplicateEdgesRemoved) {
+  const Dag d = Dag::from_edges(2, {{0, 1}, {0, 1}});
+  EXPECT_EQ(d.num_edges(), 1u);
+}
+
+TEST(Dag, TopologicalOrderRespectsEdges) {
+  const Dag d = random_dag(40, 0.15, 7);
+  const auto order = d.topological_order();
+  ASSERT_EQ(order.size(), 40u);
+  std::vector<std::uint32_t> position(40);
+  for (std::uint32_t i = 0; i < order.size(); ++i) position[order[i]] = i;
+  for (const auto& [u, v] : d.edge_list()) {
+    EXPECT_LT(position[u], position[v]);
+  }
+}
+
+TEST(Dag, LayersOfDiamond) {
+  const Dag d = Dag::from_edges(5, {{0, 1}, {0, 2}, {1, 3}, {2, 3}, {3, 4}});
+  EXPECT_EQ(d.longest_path_nodes(), 4u);
+  const auto lo = d.earliest_layers();
+  EXPECT_EQ(lo[0], 0u);
+  EXPECT_EQ(lo[1], 1u);
+  EXPECT_EQ(lo[3], 2u);
+  EXPECT_EQ(lo[4], 3u);
+  const auto hi = d.latest_layers();
+  EXPECT_EQ(hi[0], 0u);
+  EXPECT_EQ(hi[4], 3u);
+}
+
+TEST(Dag, LatestBoundsEarliest) {
+  const Dag d = random_dag(30, 0.1, 3);
+  const auto lo = d.earliest_layers();
+  const auto hi = d.latest_layers();
+  for (NodeId v = 0; v < 30; ++v) EXPECT_LE(lo[v], hi[v]);
+}
+
+TEST(Dag, ChainGenerator) {
+  const Dag d = chain_dag(6);
+  EXPECT_EQ(d.longest_path_nodes(), 6u);
+  EXPECT_EQ(d.num_edges(), 5u);
+}
+
+TEST(Dag, ForkJoinGenerator) {
+  const Dag d = fork_join_dag(3, 4);
+  EXPECT_EQ(d.num_nodes(), 14u);
+  EXPECT_EQ(d.longest_path_nodes(), 6u);
+  EXPECT_EQ(d.sources().size(), 1u);
+  EXPECT_EQ(d.sinks().size(), 1u);
+}
+
+TEST(Dag, OutTreeGeneratorHasInDegreeOne) {
+  const Dag d = random_out_tree(25, 9);
+  for (NodeId v = 1; v < 25; ++v) EXPECT_EQ(d.in_degree(v), 1u);
+  EXPECT_EQ(d.in_degree(0), 0u);
+  EXPECT_EQ(d.num_edges(), 24u);
+}
+
+TEST(Dag, LayeredGeneratorLayersExact) {
+  const Dag d = layered_dag(5, 4, 0.5, 11);
+  const auto lo = d.earliest_layers();
+  for (NodeId v = 0; v < d.num_nodes(); ++v) {
+    EXPECT_EQ(lo[v], v / 4) << "node " << v;
+  }
+}
+
+TEST(Dag, BinaryDagInDegreeAtMostTwo) {
+  const Dag d = random_binary_dag(30, 13);
+  for (NodeId v = 0; v < 30; ++v) EXPECT_LE(d.in_degree(v), 2u);
+}
+
+TEST(Dag, EdgeListRoundTrip) {
+  const Dag d = random_dag(20, 0.2, 5);
+  const Dag d2 = Dag::from_edges(20, d.edge_list());
+  EXPECT_EQ(d2.num_edges(), d.num_edges());
+  for (NodeId v = 0; v < 20; ++v) {
+    EXPECT_EQ(d2.out_degree(v), d.out_degree(v));
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,75 @@
+#include "hyperpart/io/dag_families.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/schedule/list_scheduler.hpp"
+
+namespace hp {
+namespace {
+
+TEST(DagFamilies, StencilShape) {
+  const Dag d = stencil2d_dag(4, 3, 5);
+  EXPECT_EQ(d.num_nodes(), 60u);
+  EXPECT_EQ(d.longest_path_nodes(), 5u);  // one layer per iteration
+  // Interior cell depends on 5 previous-iteration cells.
+  EXPECT_EQ(d.in_degree(4 * 3 * 1 + 4 * 1 + 1), 5u);
+  // First iteration cells are sources.
+  EXPECT_EQ(d.sources().size(), 12u);
+}
+
+TEST(DagFamilies, ButterflyShape) {
+  const std::uint32_t logn = 4;
+  const Dag d = butterfly_dag(logn);
+  EXPECT_EQ(d.num_nodes(), (logn + 1) * 16u);
+  EXPECT_EQ(d.longest_path_nodes(), logn + 1);
+  for (NodeId v = 16; v < d.num_nodes(); ++v) {
+    EXPECT_EQ(d.in_degree(v), 2u);  // binary butterflies
+  }
+}
+
+TEST(DagFamilies, ButterflyHyperDagHasSmallDelta) {
+  // Out-degree 2 per stage node → hyperedges of size 3, Δ ≤ 3.
+  const HyperDag h = to_hyperdag(butterfly_dag(5));
+  EXPECT_LE(h.graph.max_degree(), 3u);
+  EXPECT_TRUE(is_hyperdag(h.graph));
+}
+
+TEST(DagFamilies, TriangularSolveCriticalPath) {
+  const std::uint32_t n = 6;
+  const Dag d = triangular_solve_dag(n);
+  // x_{n−1} is the last unknown; the accumulation chains make the longest
+  // path grow ~2n.
+  EXPECT_EQ(d.num_nodes(), n + n * (n - 1) / 2);
+  EXPECT_GE(d.longest_path_nodes(), n);
+  EXPECT_EQ(d.sources().size(), 1u);  // only x_0 is free
+}
+
+TEST(DagFamilies, WavefrontDiagonalParallelism) {
+  const Dag d = wavefront_dag(6, 6);
+  EXPECT_EQ(d.num_nodes(), 36u);
+  EXPECT_EQ(d.longest_path_nodes(), 11u);  // 2·6 − 1 diagonals
+  // With enough processors the makespan equals the diagonal count.
+  EXPECT_EQ(list_schedule(d, 6).makespan(), 11u);
+}
+
+TEST(DagFamilies, AllFamiliesYieldValidHyperDags) {
+  for (const Dag& d :
+       {stencil2d_dag(3, 3, 3), butterfly_dag(3), triangular_solve_dag(5),
+        wavefront_dag(4, 5)}) {
+    const HyperDag h = to_hyperdag(d);
+    EXPECT_TRUE(valid_generator_assignment(h.graph, h.generator));
+    EXPECT_TRUE(is_hyperdag(h.graph));
+  }
+}
+
+TEST(DagFamilies, InvalidParametersThrow) {
+  EXPECT_THROW(stencil2d_dag(0, 3, 3), std::invalid_argument);
+  EXPECT_THROW(butterfly_dag(0), std::invalid_argument);
+  EXPECT_THROW(triangular_solve_dag(0), std::invalid_argument);
+  EXPECT_THROW(wavefront_dag(3, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp

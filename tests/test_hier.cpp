@@ -1,0 +1,121 @@
+#include "hyperpart/hier/hier_cost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Topology, TreeBasics) {
+  const HierTopology t{{2, 3}, {4.0, 1.0}};
+  EXPECT_EQ(t.depth(), 2u);
+  EXPECT_EQ(t.num_leaves(), 6u);
+  EXPECT_EQ(t.branching(1), 2u);
+  EXPECT_EQ(t.leaves_below(1), 3u);
+  EXPECT_EQ(t.groups_at(1), 2u);
+  EXPECT_EQ(t.level_group(4, 1), 1u);
+  EXPECT_EQ(t.level_group(4, 2), 4u);
+}
+
+TEST(Topology, LcaAndTransferCosts) {
+  const HierTopology t{{2, 2}, {3.0, 1.0}};
+  // Leaves 0,1 siblings → cost g2 = 1; 0,2 cross the top → g1 = 3.
+  EXPECT_EQ(t.lca_level(0, 1), 1u);
+  EXPECT_DOUBLE_EQ(t.transfer_cost(0, 1), 1.0);
+  EXPECT_EQ(t.lca_level(0, 2), 0u);
+  EXPECT_DOUBLE_EQ(t.transfer_cost(0, 3), 3.0);
+  EXPECT_DOUBLE_EQ(t.transfer_cost(2, 2), 0.0);
+  EXPECT_EQ(t.lca_level(1, 1), 2u);
+}
+
+TEST(Topology, ValidationRejectsBadInput) {
+  EXPECT_THROW(HierTopology({2}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(HierTopology({2, 2}, {1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(HierTopology({0}, {1.0}), std::invalid_argument);
+  EXPECT_THROW(HierTopology({2}, {-1.0}), std::invalid_argument);
+}
+
+TEST(HierCost, PaperExampleG1Plus2) {
+  // Definition 7.1's worked example: e intersecting all k = 4 parts of a
+  // b1 = b2 = 2 hierarchy costs g1 + 2·g2.
+  const HierTopology t{{2, 2}, {5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hier_set_cost(t, {0, 1, 2, 3}), 5.0 + 2.0);
+  // Profile: λ(0)=1, λ(1)=2, λ(2)=4.
+  const auto profile = lambda_profile(t, {0, 1, 2, 3});
+  EXPECT_EQ(profile[1], 2u);
+  EXPECT_EQ(profile[2], 4u);
+}
+
+TEST(HierCost, SubsetsOfLeaves) {
+  const HierTopology t{{2, 2}, {5.0, 1.0}};
+  EXPECT_DOUBLE_EQ(hier_set_cost(t, {0}), 0.0);
+  EXPECT_DOUBLE_EQ(hier_set_cost(t, {0, 1}), 1.0);  // siblings
+  EXPECT_DOUBLE_EQ(hier_set_cost(t, {0, 2}), 5.0);  // across the top
+  EXPECT_DOUBLE_EQ(hier_set_cost(t, {0, 1, 2}), 6.0);
+  EXPECT_DOUBLE_EQ(hier_mask_cost(t, 0b0101), 5.0);
+}
+
+TEST(HierCost, FlatTopologyEqualsConnectivity) {
+  const Hypergraph g = random_hypergraph(20, 30, 2, 5, 3);
+  const HierTopology flat = HierTopology::flat(4);
+  Rng rng{5};
+  std::vector<PartId> assign(20);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  const Partition p(std::move(assign), 4);
+  EXPECT_DOUBLE_EQ(
+      hier_cost(g, p, flat),
+      static_cast<double>(cost(g, p, CostMetric::kConnectivity)));
+}
+
+// The ultrametric MST property: for tree-induced distances, the MST cost
+// over any terminal set equals the hierarchical cost formula.
+TEST(HierCost, MstEqualsHierCostOnTreeMetric) {
+  const HierTopology tree{{2, 2, 2}, {9.0, 3.0, 1.0}};
+  const GeneralTopology metric = GeneralTopology::from_tree(tree);
+  Rng rng{7};
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<PartId> terminals;
+    const auto count = 1 + rng.next_below(8);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      terminals.push_back(static_cast<PartId>(rng.next_below(8)));
+    }
+    EXPECT_NEAR(metric.mst_cost(terminals), hier_set_cost(tree, terminals),
+                1e-9);
+  }
+}
+
+TEST(HierCost, GeneralTopologyCostMatchesHier) {
+  const HierTopology tree{{2, 2}, {4.0, 1.0}};
+  const GeneralTopology metric = GeneralTopology::from_tree(tree);
+  const Hypergraph g = random_hypergraph(16, 24, 2, 4, 9);
+  Rng rng{11};
+  std::vector<PartId> assign(16);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  const Partition p(std::move(assign), 4);
+  EXPECT_NEAR(general_topology_cost(g, p, metric), hier_cost(g, p, tree),
+              1e-9);
+}
+
+TEST(HierCost, ContractPartitionMergesDuplicates) {
+  // Two identical edges across parts merge with weight 2; uncut edges drop.
+  const Hypergraph g =
+      Hypergraph::from_edges(4, {{0, 2}, {1, 3}, {0, 1}, {2, 3}});
+  const Partition p({0, 0, 1, 1}, 2);
+  const Hypergraph c = contract_partition(g, p);
+  EXPECT_EQ(c.num_nodes(), 2u);
+  ASSERT_EQ(c.num_edges(), 1u);
+  EXPECT_EQ(c.edge_weight(0), 2);
+}
+
+TEST(HierCost, GeneralTopologyValidation) {
+  EXPECT_THROW(GeneralTopology({{0.0, 1.0}, {2.0, 0.0}}),
+               std::invalid_argument);
+  const std::vector<std::vector<double>> nonzero_diag{{1.0}};
+  EXPECT_THROW(GeneralTopology{nonzero_diag}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,72 @@
+// Lemma B.3: the partitioning problem restricted to hyperDAG inputs.
+
+#include "hyperpart/reduction/hyperdag_hardness.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/dag/recognition.hpp"
+
+namespace hp {
+namespace {
+
+Hypergraph tiny_original() {
+  return Hypergraph::from_edges(3, {{0, 1}, {1, 2}});
+}
+
+TEST(HyperdagHardness, ConstructionIsAHyperDag) {
+  const auto red = build_hyperdag_hardness(tiny_original(), 2, 1, 3);
+  EXPECT_TRUE(is_hyperdag(red.graph));
+}
+
+TEST(HyperdagHardness, LiftPreservesCostAndBalance) {
+  const Hypergraph original = tiny_original();
+  const auto red = build_hyperdag_hardness(original, 2, 1, 3);
+  const auto balance = BalanceConstraint::for_graph(original, 2, 1.0 / 3.0);
+  BruteForceOptions opts;
+  opts.metric = CostMetric::kCutNet;
+  const auto best = brute_force_partition(original, balance, opts);
+  ASSERT_TRUE(best.has_value());
+  const Partition lifted = red.lift(original, best->partition);
+  EXPECT_EQ(cost(red.graph, lifted, CostMetric::kCutNet), best->cost);
+  EXPECT_TRUE(red.balance.satisfied(red.graph, lifted));
+  // Projection round-trips.
+  const Partition back = red.project(lifted);
+  for (NodeId v = 0; v < 3; ++v) EXPECT_EQ(back[v], best->partition[v]);
+}
+
+TEST(HyperdagHardness, OptimaAgreeViaXp) {
+  const Hypergraph original = tiny_original();
+  const auto red = build_hyperdag_hardness(original, 2, 1, 3);
+  const auto balance = BalanceConstraint::for_graph(original, 2, 1.0 / 3.0);
+  const auto best = brute_force_partition(original, balance, {});
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->cost, 1);
+
+  XpOptions opts;
+  opts.metric = CostMetric::kCutNet;
+  const auto solved = xp_partition(red.graph, red.balance,
+                                   static_cast<double>(best->cost), opts);
+  EXPECT_EQ(solved.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(solved.cost, static_cast<double>(best->cost));
+  const auto below = xp_partition(red.graph, red.balance,
+                                  static_cast<double>(best->cost) - 1.0,
+                                  opts);
+  EXPECT_EQ(below.status, XpStatus::kNoSolution);
+}
+
+TEST(HyperdagHardness, BlocksDominateAnyReasonableCut) {
+  const auto red = build_hyperdag_hardness(tiny_original(), 2, 1, 3);
+  // Splitting the last two nodes of a block cuts ≥ m−2 hyperedges, far
+  // above any reasonable solution cost.
+  Partition p(red.graph.num_nodes(), 2);
+  for (NodeId v = 0; v < red.graph.num_nodes(); ++v) p.assign(v, 0);
+  p.assign(red.blocks[0].back(), 1);
+  EXPECT_GE(cost(red.graph, p, CostMetric::kCutNet),
+            static_cast<Weight>(red.block_size - 2));
+}
+
+}  // namespace
+}  // namespace hp

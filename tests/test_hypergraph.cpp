@@ -1,0 +1,141 @@
+#include "hyperpart/core/hypergraph.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/core/subhypergraph.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+Hypergraph small_example() {
+  // 5 nodes, edges {0,1,2}, {2,3}, {3,4}, {0,4}.
+  return Hypergraph::from_edges(5, {{0, 1, 2}, {2, 3}, {3, 4}, {0, 4}});
+}
+
+TEST(Hypergraph, BasicCounts) {
+  const Hypergraph g = small_example();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.num_pins(), 9u);
+  EXPECT_EQ(g.max_degree(), 2u);
+  EXPECT_EQ(g.max_edge_size(), 3u);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Hypergraph, PinsAreSortedAndDeduplicated) {
+  const Hypergraph g = Hypergraph::from_edges(4, {{3, 1, 1, 2}});
+  ASSERT_EQ(g.edge_size(0), 3u);
+  const auto p = g.pins(0);
+  EXPECT_EQ(p[0], 1u);
+  EXPECT_EQ(p[1], 2u);
+  EXPECT_EQ(p[2], 3u);
+}
+
+TEST(Hypergraph, IncidenceMirrorsPins) {
+  const Hypergraph g = small_example();
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    for (const EdgeId e : g.incident_edges(v)) {
+      const auto pins = g.pins(e);
+      EXPECT_TRUE(std::binary_search(pins.begin(), pins.end(), v));
+    }
+  }
+  // Degrees: node 0 in edges 0 and 3; node 2 in edges 0 and 1.
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(1), 1u);
+  EXPECT_EQ(g.degree(2), 2u);
+}
+
+TEST(Hypergraph, OutOfRangePinThrows) {
+  EXPECT_THROW(Hypergraph::from_edges(3, {{0, 3}}), std::invalid_argument);
+}
+
+TEST(Hypergraph, WeightsDefaultToUnit) {
+  const Hypergraph g = small_example();
+  EXPECT_FALSE(g.has_node_weights());
+  EXPECT_EQ(g.node_weight(0), 1);
+  EXPECT_EQ(g.edge_weight(0), 1);
+  EXPECT_EQ(g.total_node_weight(), 5);
+}
+
+TEST(Hypergraph, SetWeights) {
+  Hypergraph g = small_example();
+  g.set_node_weights({2, 1, 1, 1, 3});
+  g.set_edge_weights({1, 5, 1, 1});
+  EXPECT_EQ(g.total_node_weight(), 8);
+  EXPECT_EQ(g.node_weight(4), 3);
+  EXPECT_EQ(g.edge_weight(1), 5);
+  EXPECT_TRUE(g.validate());
+  EXPECT_THROW(g.set_node_weights({1, 2}), std::invalid_argument);
+  EXPECT_THROW(g.set_edge_weights({1, -2, 1, 1}), std::invalid_argument);
+}
+
+TEST(Hypergraph, BuilderProducesSameGraph) {
+  HypergraphBuilder b;
+  const NodeId first = b.add_nodes(5);
+  EXPECT_EQ(first, 0u);
+  b.add_edge({0, 1, 2});
+  b.add_edge2(2, 3);
+  b.add_edge({3, 4});
+  b.add_edge({0, 4});
+  b.set_last_edge_weight(7);
+  const Hypergraph g = b.build();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.num_edges(), 4u);
+  EXPECT_EQ(g.edge_weight(3), 7);
+  EXPECT_EQ(g.edge_weight(0), 1);
+  EXPECT_TRUE(g.validate());
+}
+
+TEST(Hypergraph, BuilderRejectsUnknownNode) {
+  HypergraphBuilder b(2);
+  EXPECT_THROW(b.add_edge({0, 2}), std::invalid_argument);
+}
+
+TEST(Subhypergraph, RestrictsEdgesAndRemapsIds) {
+  const Hypergraph g = small_example();
+  const SubHypergraph sub = induced_subhypergraph(g, {0, 2, 3});
+  // Edge {0,1,2} restricts to {0,2}; {2,3} stays; {3,4} and {0,4} drop to
+  // single pins and disappear.
+  EXPECT_EQ(sub.graph.num_nodes(), 3u);
+  EXPECT_EQ(sub.graph.num_edges(), 2u);
+  EXPECT_EQ(sub.original_node[1], 2u);
+  EXPECT_TRUE(sub.graph.validate());
+}
+
+TEST(Subhypergraph, CarriesWeights) {
+  Hypergraph g = small_example();
+  g.set_node_weights({2, 1, 1, 4, 3});
+  g.set_edge_weights({1, 5, 1, 1});
+  const SubHypergraph sub = induced_subhypergraph(g, {2, 3});
+  ASSERT_EQ(sub.graph.num_edges(), 1u);
+  EXPECT_EQ(sub.graph.edge_weight(0), 5);
+  EXPECT_EQ(sub.graph.node_weight(0), 1);
+  EXPECT_EQ(sub.graph.node_weight(1), 4);
+}
+
+TEST(Subhypergraph, DuplicateNodeThrows) {
+  const Hypergraph g = small_example();
+  EXPECT_THROW(induced_subhypergraph(g, {0, 0}), std::invalid_argument);
+}
+
+TEST(Hypergraph, RandomGeneratorIsValidAndDeterministic) {
+  const Hypergraph a = random_hypergraph(50, 80, 2, 6, 123);
+  const Hypergraph b = random_hypergraph(50, 80, 2, 6, 123);
+  EXPECT_TRUE(a.validate());
+  EXPECT_EQ(a.num_pins(), b.num_pins());
+  EXPECT_EQ(a.num_edges(), 80u);
+}
+
+TEST(Hypergraph, SpmvGeneratorIsTwoRegular) {
+  const Hypergraph g = spmv_hypergraph(8, 10, 30, 7);
+  EXPECT_EQ(g.num_nodes(), 30u);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(g.validate());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,121 @@
+// Cross-module integration and consistency tests: the three exact solvers
+// agree pairwise, pipelines compose end to end, and constructions survive
+// serialization.
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <tuple>
+
+#include "hyperpart/algo/branch_and_bound.hpp"
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/dag/layerwise_partitioner.hpp"
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/io/dag_families.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/reduction/fig_constructions.hpp"
+#include "hyperpart/reduction/spes_delta2.hpp"
+#include "hyperpart/schedule/bsp.hpp"
+#include "hyperpart/schedule/fixed_partition_makespan.hpp"
+#include "hyperpart/schedule/list_scheduler.hpp"
+
+namespace hp {
+namespace {
+
+// Three-way agreement of the exact solvers on random instances.
+class ExactSolverAgreement
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(ExactSolverAgreement, BruteBnbXpAgree) {
+  const auto [seed, k] = GetParam();
+  const Hypergraph g =
+      random_hypergraph(9, 8, 2, 4, static_cast<std::uint64_t>(seed) + 900);
+  const auto balance =
+      BalanceConstraint::for_graph(g, static_cast<PartId>(k), 0.3, true);
+  const auto brute = brute_force_partition(g, balance, {});
+  ASSERT_TRUE(brute.has_value());
+  const auto bnb = branch_and_bound_partition(g, balance, {});
+  ASSERT_TRUE(bnb.has_value());
+  EXPECT_EQ(bnb->cost, brute->cost);
+  const auto xp = xp_partition(g, balance, 100.0);
+  ASSERT_EQ(xp.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(xp.cost, static_cast<double>(brute->cost));
+  // Every heuristic sits at or above the exact optimum.
+  const auto ml = multilevel_partition(g, balance, {});
+  ASSERT_TRUE(ml.has_value());
+  EXPECT_GE(cost(g, *ml, CostMetric::kConnectivity), brute->cost);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ExactSolverAgreement,
+                         ::testing::Combine(::testing::Range(0, 6),
+                                            ::testing::Values(2, 3)));
+
+// Full application pipeline: kernel DAG → hyperDAG → layer-wise partition
+// → fixed schedule → BSP cost; every stage's invariants hold.
+TEST(Integration, StencilPipelineEndToEnd) {
+  const Dag dag = stencil2d_dag(5, 5, 6);
+  const HyperDag h = to_hyperdag(dag);
+  ASSERT_TRUE(is_hyperdag(h.graph));
+
+  const auto layers = dag.earliest_layers();
+  LayerwiseConfig cfg;
+  cfg.epsilon = 0.2;
+  const auto res = layerwise_partition(h.graph, dag, layers, 2, cfg);
+  ASSERT_TRUE(res.has_value());
+
+  const Schedule schedule = list_schedule_fixed(dag, res->partition);
+  ASSERT_TRUE(valid_schedule(dag, schedule, 2));
+  const BspCostBreakdown bsp = bsp_cost(dag, schedule, 2, {1.0, 1.0});
+  // The BSP values-moved equals the hyperDAG connectivity cost of the
+  // partition — the paper's central modeling identity.
+  EXPECT_EQ(static_cast<Weight>(bsp.total_values_moved),
+            cost(h.graph, res->partition, CostMetric::kConnectivity));
+}
+
+// Schedule-based constraint (Definition 5.4) on the Figure 6 construction:
+// the branch coloring is feasible for small ε while the half-splitting
+// layer-wise shape is not needed — the constructive side of Section 5.2.
+TEST(Integration, Fig6BranchColoringScheduleFeasible) {
+  const Fig6Construction fig = build_fig6(8);
+  const auto feasible =
+      schedule_based_feasible(fig.dag, fig.branch_partition, 0.25);
+  ASSERT_TRUE(feasible.has_value());
+  EXPECT_TRUE(*feasible);
+}
+
+// Construction graphs round-trip through the hMETIS format unchanged.
+TEST(Integration, Delta2ConstructionSerializes) {
+  SpesInstance inst;
+  inst.num_vertices = 3;
+  inst.edges = {{0, 1}, {1, 2}};
+  inst.p = 1;
+  const SpesDelta2Reduction red = build_spes_delta2(inst);
+  std::stringstream ss;
+  write_hmetis(ss, red.graph);
+  const Hypergraph back = read_hmetis(ss);
+  EXPECT_EQ(back.num_pins(), red.graph.num_pins());
+  EXPECT_TRUE(is_hyperdag(back));
+  EXPECT_LE(back.max_degree(), 2u);
+}
+
+// Weighted instances flow through the whole heuristic stack.
+TEST(Integration, WeightedGraphThroughMultilevel) {
+  Hypergraph g = random_hypergraph(80, 120, 2, 5, 33);
+  std::vector<Weight> nw(80);
+  for (NodeId v = 0; v < 80; ++v) nw[v] = 1 + v % 5;
+  g.set_node_weights(std::move(nw));
+  std::vector<Weight> ew(120);
+  for (EdgeId e = 0; e < 120; ++e) ew[e] = 1 + e % 3;
+  g.set_edge_weights(std::move(ew));
+  const auto balance = BalanceConstraint::for_graph(g, 3, 0.1, true);
+  const auto p = multilevel_partition(g, balance, {});
+  ASSERT_TRUE(p.has_value());
+  EXPECT_TRUE(balance.satisfied(g, *p));
+}
+
+}  // namespace
+}  // namespace hp

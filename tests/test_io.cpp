@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "hyperpart/io/dag_io.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/io/hmetis_io.hpp"
+
+namespace hp {
+namespace {
+
+TEST(HmetisIo, RoundTripUnweighted) {
+  const Hypergraph g = random_hypergraph(20, 15, 2, 5, 1);
+  std::stringstream ss;
+  write_hmetis(ss, g);
+  const Hypergraph back = read_hmetis(ss);
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_EQ(back.num_pins(), g.num_pins());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto a = g.pins(e);
+    const auto b = back.pins(e);
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+  }
+}
+
+TEST(HmetisIo, RoundTripWithWeights) {
+  Hypergraph g = random_hypergraph(10, 8, 2, 4, 2);
+  std::vector<Weight> nw(10);
+  for (NodeId v = 0; v < 10; ++v) nw[v] = 1 + v;
+  g.set_node_weights(std::move(nw));
+  std::vector<Weight> ew(8);
+  for (EdgeId e = 0; e < 8; ++e) ew[e] = 10 + e;
+  g.set_edge_weights(std::move(ew));
+
+  std::stringstream ss;
+  write_hmetis(ss, g);
+  const Hypergraph back = read_hmetis(ss);
+  EXPECT_TRUE(back.has_node_weights());
+  EXPECT_TRUE(back.has_edge_weights());
+  for (NodeId v = 0; v < 10; ++v) {
+    EXPECT_EQ(back.node_weight(v), g.node_weight(v));
+  }
+  for (EdgeId e = 0; e < 8; ++e) {
+    EXPECT_EQ(back.edge_weight(e), g.edge_weight(e));
+  }
+}
+
+TEST(HmetisIo, ParsesCommentsAndFormatCodes) {
+  std::stringstream ss(
+      "% a comment\n"
+      "2 4 1\n"
+      "5 1 2\n"
+      "% another\n"
+      "1 3 4\n");
+  const Hypergraph g = read_hmetis(ss);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(0), 5);
+  EXPECT_EQ(g.edge_weight(1), 1);
+  // 1-based in the file.
+  EXPECT_EQ(g.pins(0)[0], 0u);
+}
+
+TEST(HmetisIo, MalformedInputThrows) {
+  std::stringstream empty("");
+  EXPECT_THROW(read_hmetis(empty), std::runtime_error);
+  std::stringstream truncated("3 4\n1 2\n");
+  EXPECT_THROW(read_hmetis(truncated), std::runtime_error);
+  std::stringstream out_of_range("1 2\n1 3\n");
+  EXPECT_THROW(read_hmetis(out_of_range), std::runtime_error);
+}
+
+TEST(DagIo, RoundTrip) {
+  const Dag d = random_dag(15, 0.2, 3);
+  std::stringstream ss;
+  write_dag(ss, d);
+  const Dag back = read_dag(ss);
+  EXPECT_EQ(back.num_nodes(), d.num_nodes());
+  EXPECT_EQ(back.num_edges(), d.num_edges());
+  for (NodeId v = 0; v < 15; ++v) {
+    EXPECT_EQ(back.out_degree(v), d.out_degree(v));
+  }
+}
+
+TEST(DagIo, FileRoundTrip) {
+  const Dag d = random_out_tree(12, 5);
+  const std::string path = ::testing::TempDir() + "/hyperpart_dag.txt";
+  write_dag_file(path, d);
+  const Dag back = read_dag_file(path);
+  EXPECT_EQ(back.num_edges(), d.num_edges());
+}
+
+TEST(HmetisIo, FileRoundTrip) {
+  const Hypergraph g = spmv_hypergraph(5, 5, 12, 9);
+  const std::string path = ::testing::TempDir() + "/hyperpart_graph.hgr";
+  write_hmetis_file(path, g);
+  const Hypergraph back = read_hmetis_file(path);
+  EXPECT_EQ(back.num_pins(), g.num_pins());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,74 @@
+#include "hyperpart/algo/kl_refiner.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/core/builder.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Kl, NeverIncreasesCostAndPreservesWeightsExactly) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph g = random_hypergraph(30, 45, 2, 4, seed + 700);
+    const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+    auto p = random_balanced_partition(g, balance, seed);
+    ASSERT_TRUE(p.has_value());
+    const auto weights_before = p->part_weights(g);
+    const Weight before = cost(g, *p, CostMetric::kConnectivity);
+    const Weight after = kl_refine(g, *p, {});
+    EXPECT_LE(after, before);
+    EXPECT_EQ(after, cost(g, *p, CostMetric::kConnectivity));
+    EXPECT_EQ(p->part_weights(g), weights_before);  // swaps are exact
+  }
+}
+
+TEST(Kl, SolvesPlantedBisectionAtEpsilonZero) {
+  // Two 4-cliques of hyperedges joined by one bridge; start from the
+  // alternating partition. ε = 0: FM would need transient imbalance — KL
+  // swaps work natively.
+  HypergraphBuilder b;
+  b.add_nodes(8);
+  for (NodeId base : {0u, 4u}) {
+    for (NodeId i = 0; i < 4; ++i) {
+      for (NodeId j = i + 1; j < 4; ++j) {
+        b.add_edge2(base + i, base + j);
+      }
+    }
+  }
+  b.add_edge2(3, 4);
+  const Hypergraph g = b.build();
+  Partition p({0, 1, 0, 1, 0, 1, 0, 1}, 2);
+  const Weight after = kl_refine(g, p, {});
+  EXPECT_EQ(after, 1);
+}
+
+TEST(Kl, RespectsNodeWeights) {
+  Hypergraph g = random_hypergraph(12, 16, 2, 3, 3);
+  std::vector<Weight> nw(12, 1);
+  nw[0] = 5;
+  nw[6] = 5;
+  g.set_node_weights(std::move(nw));
+  Partition p(12, 2);
+  for (NodeId v = 0; v < 12; ++v) p.assign(v, v < 6 ? 0 : 1);
+  const auto before = p.part_weights(g);
+  kl_refine(g, p, {});
+  EXPECT_EQ(p.part_weights(g), before);
+}
+
+TEST(Kl, CutNetMetricSupported) {
+  const Hypergraph g = spmv_hypergraph(10, 10, 50, 4);
+  const auto balance = BalanceConstraint::for_graph(g, 2, 0.0);
+  auto p = random_balanced_partition(g, balance, 2);
+  ASSERT_TRUE(p.has_value());
+  KlConfig cfg;
+  cfg.metric = CostMetric::kCutNet;
+  const Weight before = cost(g, *p, CostMetric::kCutNet);
+  const Weight after = kl_refine(g, *p, cfg);
+  EXPECT_LE(after, before);
+  EXPECT_EQ(after, cost(g, *p, CostMetric::kCutNet));
+}
+
+}  // namespace
+}  // namespace hp

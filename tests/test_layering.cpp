@@ -1,0 +1,75 @@
+#include "hyperpart/dag/layering.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Layering, EarliestLayeringIsValid) {
+  const Dag d = random_dag(25, 0.15, 2);
+  EXPECT_TRUE(valid_layering(d, d.earliest_layers()));
+}
+
+TEST(Layering, LatestLayeringIsValid) {
+  const Dag d = random_dag(25, 0.15, 4);
+  EXPECT_TRUE(valid_layering(d, d.latest_layers()));
+}
+
+TEST(Layering, InvalidLayeringsRejected) {
+  const Dag d = Dag::from_edges(3, {{0, 1}, {1, 2}});
+  EXPECT_FALSE(valid_layering(d, {0, 0, 1}));  // edge within a layer
+  EXPECT_FALSE(valid_layering(d, {0, 1, 3}));  // layer ≥ ℓ
+  EXPECT_FALSE(valid_layering(d, {0, 1}));     // wrong size
+  EXPECT_TRUE(valid_layering(d, {0, 1, 2}));
+}
+
+TEST(Layering, LayerSetsPartitionNodes) {
+  const Dag d = random_dag(30, 0.1, 6);
+  const auto layers = d.earliest_layers();
+  const auto sets = layer_sets(d, layers);
+  std::size_t total = 0;
+  for (const auto& s : sets) total += s.size();
+  EXPECT_EQ(total, 30u);
+}
+
+TEST(Layering, FlexibleNodeCount) {
+  // Figure 5 style: the diamond's middle nodes are pinned; a dangling node
+  // off the source is flexible.
+  const Dag d = Dag::from_edges(5, {{0, 1}, {1, 2}, {2, 3}, {0, 4}});
+  EXPECT_EQ(num_flexible_nodes(d), 1u);  // node 4 can sit in layers 1..3
+  const auto all = enumerate_layerings(d);
+  EXPECT_EQ(all.size(), 3u);
+  for (const auto& layering : all) EXPECT_TRUE(valid_layering(d, layering));
+}
+
+TEST(Layering, ChainHasUniqueLayering) {
+  const Dag d = chain_dag(8);
+  EXPECT_EQ(num_flexible_nodes(d), 0u);
+  EXPECT_EQ(enumerate_layerings(d).size(), 1u);
+}
+
+TEST(Layering, LayerwiseConstraintsPerLayer) {
+  const Dag d = layered_dag(4, 6, 0.5, 3);
+  const HyperDag h = to_hyperdag(d);
+  const auto layers = d.earliest_layers();
+  const ConstraintSet cs =
+      layerwise_constraints(h.graph, d, layers, 2, 0.0, /*relaxed=*/true);
+  EXPECT_EQ(cs.num_constraints(), 4u);
+  for (std::size_t j = 0; j < 4; ++j) {
+    EXPECT_EQ(cs.group(j).nodes.size(), 6u);
+    EXPECT_EQ(cs.group(j).capacity, 3);
+  }
+}
+
+TEST(Layering, EnumerationRespectsEdgeValidity) {
+  const Dag d = random_dag(10, 0.25, 9);
+  for (const auto& layering : enumerate_layerings(d, 5000)) {
+    EXPECT_TRUE(valid_layering(d, layering));
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,90 @@
+// Theorem E.1: finding the best (flexible) layering is itself hard — the
+// 3-partition group-gadget construction.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/dag/layering.hpp"
+#include "hyperpart/reduction/layering_hardness.hpp"
+
+namespace hp {
+namespace {
+
+ThreePartitionInstance solvable() {
+  ThreePartitionInstance inst;
+  inst.target = 10;
+  inst.numbers = {3, 3, 4, 3, 3, 4};  // t = 2
+  return inst;
+}
+
+ThreePartitionInstance unsolvable() {
+  ThreePartitionInstance inst;
+  inst.target = 13;
+  inst.numbers = {4, 4, 4, 4, 4, 6};  // triples sum 12 or 14, never 13
+  return inst;
+}
+
+TEST(LayeringHardness, ConstructionShape) {
+  const LayeringHardnessReduction red = build_layering_hardness(solvable());
+  EXPECT_EQ(red.phases, 2u);
+  EXPECT_EQ(red.num_layers, 6u);
+  EXPECT_EQ(red.dag.longest_path_nodes(), red.num_layers);
+  // Every first-level group is flexible (several possible layers).
+  EXPECT_GT(num_flexible_nodes(red.dag), 0u);
+  // The second-level groups dominate: m > t·b.
+  EXPECT_GT(red.multiplier, 2u * 10u);
+}
+
+TEST(LayeringHardness, GroupLayerWindows) {
+  const LayeringHardnessReduction red = build_layering_hardness(solvable());
+  const auto lo = red.dag.earliest_layers();
+  const auto hi = red.dag.latest_layers();
+  for (std::size_t i = 0; i < red.first_level.size(); ++i) {
+    for (const NodeId v : red.first_level[i]) {
+      EXPECT_EQ(lo[v], 1u);
+      EXPECT_EQ(hi[v], red.num_layers - 3);
+    }
+    for (const NodeId v : red.second_level[i]) {
+      EXPECT_EQ(lo[v], 2u);
+      EXPECT_EQ(hi[v], red.num_layers - 2);
+    }
+  }
+}
+
+TEST(LayeringHardness, FeasibleIffThreePartition) {
+  EXPECT_TRUE(build_layering_hardness(solvable()).feasible_layering_exists());
+  EXPECT_FALSE(
+      build_layering_hardness(unsolvable()).feasible_layering_exists());
+}
+
+TEST(LayeringHardness, SolutionYieldsValidPhases) {
+  const auto inst = solvable();
+  const LayeringHardnessReduction red = build_layering_hardness(inst);
+  const auto triplets = solve_three_partition(inst);
+  ASSERT_TRUE(triplets.has_value());
+  const auto phases = red.phases_from_solution(*triplets);
+  EXPECT_TRUE(red.valid_phase_assignment(phases));
+}
+
+TEST(LayeringHardness, InvalidPhasesRejected) {
+  const LayeringHardnessReduction red = build_layering_hardness(solvable());
+  // All numbers in phase 0 overloads it.
+  EXPECT_FALSE(red.valid_phase_assignment({0, 0, 0, 0, 0, 0}));
+  EXPECT_FALSE(red.valid_phase_assignment({0, 0, 0}));
+}
+
+TEST(LayeringHardness, RandomSolvableInstancesFeasible) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const auto inst = random_solvable_three_partition(3, 16, seed);
+    EXPECT_TRUE(build_layering_hardness(inst).feasible_layering_exists())
+        << "seed " << seed;
+  }
+}
+
+TEST(LayeringHardness, ConstructionIsAHyperDag) {
+  const LayeringHardnessReduction red = build_layering_hardness(solvable());
+  EXPECT_TRUE(valid_generator_assignment(red.hyperdag.graph,
+                                         red.hyperdag.generator));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,92 @@
+// Theorem 5.2: layer-wise balanced hyperDAG partitioning — cost 0 is
+// achievable iff the encoded graph is 3-colorable.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/dag/layering.hpp"
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/reduction/layerwise_reduction.hpp"
+
+namespace hp {
+namespace {
+
+ColoringInstance triangle() {
+  ColoringInstance g;
+  g.num_vertices = 3;
+  g.edges = {{0, 1}, {1, 2}, {0, 2}};
+  return g;
+}
+
+ColoringInstance k4() {
+  ColoringInstance g;
+  g.num_vertices = 4;
+  g.edges = {{0, 1}, {0, 2}, {0, 3}, {1, 2}, {1, 3}, {2, 3}};
+  return g;
+}
+
+TEST(Layerwise, ConstructionIsHyperDagWithUniqueLayering) {
+  const LayerwiseReduction red = build_layerwise_reduction(triangle());
+  EXPECT_TRUE(valid_generator_assignment(red.hyperdag.graph,
+                                         red.hyperdag.generator));
+  EXPECT_TRUE(is_hyperdag(red.hyperdag.graph));
+  // Every node pinned: the flexible/fixed layering variants coincide.
+  EXPECT_EQ(num_flexible_nodes(red.dag), 0u);
+  EXPECT_TRUE(valid_layering(red.dag, red.layers));
+}
+
+TEST(Layerwise, LayerGroupsAreEvenAndExact) {
+  const LayerwiseReduction red = build_layerwise_reduction(triangle());
+  EXPECT_EQ(red.layer_constraints.num_constraints(), red.num_layers);
+  for (std::size_t t = 0; t < red.num_layers; ++t) {
+    const auto& group = red.layer_constraints.group(t);
+    EXPECT_EQ(group.nodes.size() % 2, 0u);
+    EXPECT_EQ(group.capacity,
+              static_cast<Weight>(group.nodes.size() / 2));
+  }
+}
+
+TEST(Layerwise, ColoringRealizesCostZero) {
+  const ColoringInstance g = triangle();
+  const LayerwiseReduction red = build_layerwise_reduction(g);
+  const auto coloring = three_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  const Partition p = red.partition_from_coloring(*coloring);
+  EXPECT_TRUE(p.complete());
+  EXPECT_EQ(cost(red.hyperdag.graph, p, CostMetric::kCutNet), 0);
+  EXPECT_TRUE(red.layer_constraints.satisfied(red.hyperdag.graph, p));
+}
+
+TEST(Layerwise, InvalidColoringRejected) {
+  const ColoringInstance g = triangle();
+  const LayerwiseReduction red = build_layerwise_reduction(g);
+  // Monochromatic "coloring" violates the edge constraint layers.
+  EXPECT_THROW(red.partition_from_coloring({0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Layerwise, FeasibleIffThreeColorable) {
+  EXPECT_TRUE(build_layerwise_reduction(triangle()).cost0_feasible());
+  EXPECT_FALSE(build_layerwise_reduction(k4()).cost0_feasible());
+}
+
+TEST(Layerwise, MatchesSolverOnRandomGraphs) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const ColoringInstance g = random_coloring_instance(4, 5, seed + 3);
+    const LayerwiseReduction red = build_layerwise_reduction(g);
+    EXPECT_EQ(red.cost0_feasible(), three_color(g).has_value())
+        << "seed " << seed;
+  }
+}
+
+TEST(Layerwise, PlantedColorableAlwaysFeasible) {
+  const ColoringInstance g = planted_3colorable(4, 4, 11);
+  const LayerwiseReduction red = build_layerwise_reduction(g);
+  EXPECT_TRUE(red.cost0_feasible());
+  const auto coloring = three_color(g);
+  ASSERT_TRUE(coloring.has_value());
+  const Partition p = red.partition_from_coloring(*coloring);
+  EXPECT_EQ(cost(red.hyperdag.graph, p, CostMetric::kConnectivity), 0);
+}
+
+}  // namespace
+}  // namespace hp

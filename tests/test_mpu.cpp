@@ -1,0 +1,84 @@
+// Appendix C.5: Minimum p-Union and its reduction to partitioning.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/reduction/mpu.hpp"
+
+namespace hp {
+namespace {
+
+MpuInstance small_instance() {
+  MpuInstance inst;
+  inst.num_elements = 5;
+  inst.sets = {{0, 1}, {1, 2}, {0, 1, 2}, {3, 4}};
+  inst.p = 2;
+  return inst;
+}
+
+TEST(Mpu, ExactSolver) {
+  // Best pair: {0,1} and {1,2} (or either with {0,1,2}) → union 3.
+  EXPECT_EQ(mpu_optimum(small_instance()).value(), 3u);
+  MpuInstance one = small_instance();
+  one.p = 1;
+  EXPECT_EQ(mpu_optimum(one).value(), 2u);
+}
+
+TEST(Mpu, UnionSizeHelper) {
+  const MpuInstance inst = small_instance();
+  EXPECT_EQ(union_size(inst, {0, 3}), 4u);
+  EXPECT_EQ(union_size(inst, {0, 2}), 3u);
+}
+
+TEST(Mpu, TooFewSets) {
+  MpuInstance inst = small_instance();
+  inst.p = 5;
+  EXPECT_FALSE(mpu_optimum(inst).has_value());
+}
+
+TEST(Mpu, RandomGeneratorShapes) {
+  const MpuInstance inst = random_mpu(10, 8, 2, 4, 3, 3);
+  EXPECT_EQ(inst.sets.size(), 8u);
+  for (const auto& s : inst.sets) {
+    EXPECT_GE(s.size(), 2u);
+    EXPECT_LE(s.size(), 4u);
+  }
+}
+
+TEST(MpuReduction, CanonicalPartitionCostEqualsUnion) {
+  const MpuInstance inst = small_instance();
+  const MpuReduction red = build_mpu_reduction(inst);
+  const std::vector<std::vector<std::uint32_t>> choices{
+      {0, 1}, {0, 2}, {2, 3}, {1, 3}};
+  for (const auto& chosen : choices) {
+    const Partition p = red.partition_from_sets(chosen);
+    EXPECT_TRUE(red.balance.satisfied(red.graph, p));
+    EXPECT_EQ(cost(red.graph, p, CostMetric::kCutNet),
+              static_cast<Weight>(union_size(inst, chosen)));
+    const auto w = p.part_weights(red.graph);
+    EXPECT_EQ(w[0], red.min_part_weight);
+  }
+}
+
+TEST(MpuReduction, OptimaAgreeViaXp) {
+  MpuInstance inst;
+  inst.num_elements = 3;
+  inst.sets = {{0, 1}, {1, 2}};
+  inst.p = 1;
+  const auto opt = mpu_optimum(inst);
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 2u);
+  const MpuReduction red = build_mpu_reduction(inst);
+  XpOptions opts;
+  opts.metric = CostMetric::kCutNet;
+  const auto solved = xp_partition(red.graph, red.balance,
+                                   static_cast<double>(*opt), opts);
+  EXPECT_EQ(solved.status, XpStatus::kSolved);
+  const auto below = xp_partition(red.graph, red.balance,
+                                  static_cast<double>(*opt) - 1.0, opts);
+  EXPECT_EQ(below.status, XpStatus::kNoSolution);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,75 @@
+// Lemma D.1: multi-constraint k-section reduces to standard (weighted)
+// k-section with identical optimum.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/reduction/multiconstraint_reduction.hpp"
+
+namespace hp {
+namespace {
+
+TEST(LemmaD1, OptimaAgreeOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph g = random_hypergraph(8, 7, 2, 3, seed + 200);
+    const std::vector<std::vector<NodeId>> classes{{0, 1, 2, 3},
+                                                   {4, 5, 6, 7}};
+    const PartId k = 2;
+
+    // Ground truth: brute force with explicit class constraints (exact
+    // k-section per class).
+    const auto single =
+        BalanceConstraint::for_graph(g, k, 10.0, true);  // no global cap
+    const ConstraintSet cs = ConstraintSet::for_subsets(g, classes, k, 0.0);
+    BruteForceOptions opts;
+    opts.extra_constraints = &cs;
+    const auto direct = brute_force_partition(g, single, opts);
+
+    // Reduced instance: single weighted k-section.
+    const MulticonstraintReduction red =
+        reduce_multiconstraint_to_section(g, classes, k);
+    const auto reduced = brute_force_partition(red.graph, red.balance, {});
+
+    ASSERT_EQ(direct.has_value(), reduced.has_value()) << "seed " << seed;
+    if (!direct) continue;
+    EXPECT_EQ(direct->cost, reduced->cost) << "seed " << seed;
+
+    // The restricted solution satisfies the original class constraints.
+    const Partition back = red.restrict_to_original(reduced->partition);
+    EXPECT_TRUE(cs.satisfied(g, back));
+    EXPECT_EQ(cost(g, back, CostMetric::kConnectivity), reduced->cost);
+  }
+}
+
+TEST(LemmaD1, UnconstrainedNodesAreFree) {
+  // Two class nodes per class, two free nodes: fillers let the free nodes
+  // sit anywhere.
+  const Hypergraph g = Hypergraph::from_edges(6, {{0, 2}, {1, 3}, {4, 5}});
+  const std::vector<std::vector<NodeId>> classes{{0, 1}, {2, 3}};
+  const MulticonstraintReduction red =
+      reduce_multiconstraint_to_section(g, classes, 2);
+  EXPECT_EQ(red.original_nodes, 6u);
+  EXPECT_GT(red.graph.num_nodes(), 6u);  // fillers appended
+  const auto res = brute_force_partition(red.graph, red.balance, {});
+  ASSERT_TRUE(res.has_value());
+  // Optimal: {0,2} one part, {1,3} the other, {4,5} together → cost 0.
+  EXPECT_EQ(res->cost, 0);
+}
+
+TEST(LemmaD1, RejectsIndivisibleClasses) {
+  const Hypergraph g = random_hypergraph(5, 3, 2, 3, 1);
+  EXPECT_THROW(
+      reduce_multiconstraint_to_section(g, {{0, 1, 2}}, 2),
+      std::invalid_argument);
+}
+
+TEST(LemmaD1, RejectsOverlappingClasses) {
+  const Hypergraph g = random_hypergraph(6, 3, 2, 3, 2);
+  EXPECT_THROW(
+      reduce_multiconstraint_to_section(g, {{0, 1}, {1, 2}}, 2),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,89 @@
+#include "hyperpart/algo/number_partitioning.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Packing, SimpleFit) {
+  std::vector<PackingItem> items{{4, 0}, {3, 0}, {3, 0}, {2, 0}};
+  const auto bins = pack_items(items, 2, 6);
+  ASSERT_TRUE(bins.has_value());
+  std::vector<Weight> load(2, 0);
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    load[(*bins)[i]] += items[i].size;
+  }
+  EXPECT_LE(load[0], 6);
+  EXPECT_LE(load[1], 6);
+}
+
+TEST(Packing, InfeasibleCapacity) {
+  std::vector<PackingItem> items{{4, 0}, {4, 0}, {4, 0}};
+  EXPECT_FALSE(pack_items(items, 2, 5).has_value());
+  EXPECT_TRUE(pack_items(items, 2, 8).has_value());
+}
+
+TEST(Packing, AllowedMasksRespected) {
+  // Item 0 only bin 1; item 1 only bin 0.
+  std::vector<PackingItem> items{{3, 0b10}, {3, 0b01}, {2, 0}};
+  const auto bins = pack_items(items, 2, 5);
+  ASSERT_TRUE(bins.has_value());
+  EXPECT_EQ((*bins)[0], 1u);
+  EXPECT_EQ((*bins)[1], 0u);
+  // Forcing both heavy items into one bin is infeasible at capacity 5.
+  std::vector<PackingItem> clash{{3, 0b01}, {3, 0b01}, {2, 0}};
+  EXPECT_FALSE(pack_items(clash, 2, 5).has_value());
+}
+
+TEST(Packing, MakespanKnownValues) {
+  EXPECT_EQ(multiway_partition_makespan({5, 5, 4, 3, 3}, 2), 10);
+  EXPECT_EQ(multiway_partition_makespan({7, 1, 1, 1}, 2), 7);
+  EXPECT_EQ(multiway_partition_makespan({3, 3, 3}, 3), 3);
+  EXPECT_EQ(multiway_partition_makespan({}, 4), 0);
+}
+
+TEST(Packing, LptUpperBoundsOptimum) {
+  Rng rng{5};
+  for (int trial = 0; trial < 12; ++trial) {
+    std::vector<Weight> numbers;
+    const auto count = 4 + rng.next_below(6);
+    for (std::uint64_t i = 0; i < count; ++i) {
+      numbers.push_back(static_cast<Weight>(1 + rng.next_below(20)));
+    }
+    const PartId k = 2 + static_cast<PartId>(rng.next_below(2));
+    const Weight opt = multiway_partition_makespan(numbers, k);
+    const Weight lpt = lpt_makespan(numbers, k);
+    EXPECT_GE(lpt, opt);
+    // Graham's bound: LPT ≤ (4/3 − 1/(3k))·OPT.
+    EXPECT_LE(3 * k * lpt, (4 * k - 1) * opt);
+  }
+}
+
+TEST(Packing, MakespanMatchesBruteForce) {
+  Rng rng{11};
+  for (int trial = 0; trial < 8; ++trial) {
+    std::vector<Weight> numbers;
+    for (int i = 0; i < 7; ++i) {
+      numbers.push_back(static_cast<Weight>(1 + rng.next_below(12)));
+    }
+    const PartId k = 3;
+    // Brute force over 3^7 assignments.
+    Weight best = 1'000'000;
+    for (int mask = 0; mask < 2187; ++mask) {
+      int m = mask;
+      Weight load[3] = {0, 0, 0};
+      for (int i = 0; i < 7; ++i) {
+        load[m % 3] += numbers[i];
+        m /= 3;
+      }
+      best = std::min(best, std::max({load[0], load[1], load[2]}));
+    }
+    EXPECT_EQ(multiway_partition_makespan(numbers, k), best)
+        << "trial " << trial;
+  }
+}
+
+}  // namespace
+}  // namespace hp

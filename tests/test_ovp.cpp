@@ -1,0 +1,78 @@
+// Theorem 6.4: OVP reduces to multi-constraint partitioning — a cost-0
+// feasible partitioning exists iff an orthogonal pair exists.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/reduction/ovp.hpp"
+
+namespace hp {
+namespace {
+
+bool cost0_feasible(const OvpReduction& red) {
+  XpOptions opts;
+  opts.extra_constraints = &red.constraints;
+  return xp_partition(red.graph, red.balance, 0.0, opts).status ==
+         XpStatus::kSolved;
+}
+
+TEST(Ovp, FindOrthogonalPairBasics) {
+  OvpInstance inst;
+  inst.dimensions = 3;
+  inst.vectors = {{true, false, true}, {false, true, false}};
+  const auto pair = find_orthogonal_pair(inst);
+  ASSERT_TRUE(pair.has_value());
+  EXPECT_EQ(pair->first, 0u);
+  EXPECT_EQ(pair->second, 1u);
+
+  inst.vectors = {{true, false, true}, {true, true, false}};
+  EXPECT_FALSE(find_orthogonal_pair(inst).has_value());
+}
+
+TEST(Ovp, ReductionYesInstance) {
+  OvpInstance inst;
+  inst.dimensions = 3;
+  inst.vectors = {{true, true, false}, {true, false, true},
+                  {false, false, true}};
+  ASSERT_TRUE(find_orthogonal_pair(inst).has_value());  // v0 ⊥ v2
+  const OvpReduction red = build_ovp_reduction(inst);
+  EXPECT_TRUE(cost0_feasible(red));
+}
+
+TEST(Ovp, ReductionNoInstance) {
+  // All pairs share coordinate 0.
+  OvpInstance inst;
+  inst.dimensions = 3;
+  inst.vectors = {{true, true, false}, {true, false, true},
+                  {true, false, false}};
+  ASSERT_FALSE(find_orthogonal_pair(inst).has_value());
+  const OvpReduction red = build_ovp_reduction(inst);
+  EXPECT_FALSE(cost0_feasible(red));
+}
+
+TEST(Ovp, ReductionMatchesSolverOnRandomInstances) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const OvpInstance inst = random_ovp(4, 4, 0.5, seed);
+    const bool has_pair = find_orthogonal_pair(inst).has_value();
+    const OvpReduction red = build_ovp_reduction(inst);
+    EXPECT_EQ(cost0_feasible(red), has_pair) << "seed " << seed;
+  }
+}
+
+TEST(Ovp, ConstraintCountIsDimensionPlusConstant) {
+  const OvpInstance inst = random_ovp(5, 6, 0.4, 1);
+  const OvpReduction red = build_ovp_reduction(inst);
+  // D dimension groups + 1 anchor group + 1 pool pairing group.
+  EXPECT_EQ(red.constraints.num_constraints(), 6u + 2u);
+}
+
+TEST(Ovp, AllZeroVectorsAreOrthogonal) {
+  OvpInstance inst;
+  inst.dimensions = 2;
+  inst.vectors = {{false, false}, {false, false}};
+  const OvpReduction red = build_ovp_reduction(inst);
+  EXPECT_TRUE(cost0_feasible(red));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,107 @@
+#include "hyperpart/algo/parallel.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/dag/layerwise_partitioner.hpp"
+#include "hyperpart/dag/hyperdag.hpp"
+#include "hyperpart/io/dag_families.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/thread_pool.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ThreadPool, RunsEveryTaskOnce) {
+  std::vector<int> hits(100, 0);
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 100; ++i) {
+    tasks.push_back([&hits, i]() { hits[i] += 1; });
+  }
+  run_parallel(tasks, 4);
+  for (const int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, ChunksCoverRangeExactly) {
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for_chunks(1000, 7, [&](std::uint64_t b, std::uint64_t e) {
+    for (std::uint64_t i = b; i < e; ++i) {
+      hits[i].fetch_add(1);
+    }
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, SingleThreadInline) {
+  int counter = 0;
+  std::vector<std::function<void()>> tasks{[&]() { ++counter; },
+                                           [&]() { ++counter; }};
+  run_parallel(tasks, 1);
+  EXPECT_EQ(counter, 2);
+}
+
+TEST(Parallel, CostMatchesSequentialAcrossThreadCounts) {
+  const Hypergraph g = random_hypergraph(200, 400, 2, 6, 3);
+  Rng rng{4};
+  std::vector<PartId> assign(200);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  const Partition p(std::move(assign), 4);
+  for (const CostMetric metric :
+       {CostMetric::kCutNet, CostMetric::kConnectivity}) {
+    const Weight expected = cost(g, p, metric);
+    for (const unsigned threads : {1u, 2u, 4u, 16u}) {
+      EXPECT_EQ(parallel_cost(g, p, metric, threads), expected)
+          << "threads " << threads;
+    }
+  }
+}
+
+TEST(Parallel, MultistartDeterministicAcrossThreadCounts) {
+  const Hypergraph g = random_hypergraph(120, 180, 2, 5, 7);
+  const auto balance = BalanceConstraint::for_graph(g, 3, 0.1, true);
+  MultilevelConfig cfg;
+  cfg.seed = 5;
+  const auto serial = multilevel_partition_multistart(g, balance, cfg, 4, 1);
+  const auto threaded =
+      multilevel_partition_multistart(g, balance, cfg, 4, 4);
+  ASSERT_TRUE(serial && threaded);
+  EXPECT_EQ(cost(g, *serial, CostMetric::kConnectivity),
+            cost(g, *threaded, CostMetric::kConnectivity));
+}
+
+TEST(Parallel, MultistartNeverWorseThanSingle) {
+  const Hypergraph g = spmv_hypergraph(40, 40, 400, 9);
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.1, true);
+  MultilevelConfig cfg;
+  cfg.seed = 2;
+  const auto single = multilevel_partition(g, balance, cfg);
+  const auto multi = multilevel_partition_multistart(g, balance, cfg, 6, 2);
+  ASSERT_TRUE(single && multi);
+  EXPECT_LE(cost(g, *multi, CostMetric::kConnectivity),
+            cost(g, *single, CostMetric::kConnectivity));
+}
+
+TEST(LayerwisePartitioner, ProducesLayerFeasiblePartitions) {
+  const Dag dag = stencil2d_dag(6, 6, 6);
+  const HyperDag h = to_hyperdag(dag);
+  const auto layers = dag.earliest_layers();
+  LayerwiseConfig cfg;
+  cfg.epsilon = 0.1;
+  const auto res = layerwise_partition(h.graph, dag, layers, 2, cfg);
+  ASSERT_TRUE(res.has_value());
+  const ConstraintSet groups =
+      layerwise_constraints(h.graph, dag, layers, 2, 0.1, true);
+  EXPECT_TRUE(groups.satisfied(h.graph, res->partition));
+  EXPECT_EQ(res->cost,
+            cost(h.graph, res->partition, CostMetric::kConnectivity));
+}
+
+TEST(LayerwisePartitioner, RejectsInvalidLayering) {
+  const Dag dag = chain_dag(5);
+  const HyperDag h = to_hyperdag(dag);
+  EXPECT_FALSE(
+      layerwise_partition(h.graph, dag, {0, 0, 1, 2, 3}, 2, {}).has_value());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,110 @@
+#include "hyperpart/dag/recognition.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Recognition, TriangleIsNotHyperDag) {
+  // Figure 2: three size-2 hyperedges forming a triangle.
+  const Hypergraph g = Hypergraph::from_edges(3, {{0, 1}, {1, 2}, {0, 2}});
+  const auto res = recognize_hyperdag(g);
+  EXPECT_FALSE(res.is_hyperdag);
+  // The witness induces a subgraph with all degrees ≥ 2: here all of V.
+  EXPECT_EQ(res.violating_subset.size(), 3u);
+}
+
+TEST(Recognition, EveryDagConversionIsRecognized) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Dag d = random_dag(25, 0.15, seed);
+    const HyperDag h = to_hyperdag(d);
+    const auto res = recognize_hyperdag(h.graph);
+    EXPECT_TRUE(res.is_hyperdag) << "seed " << seed;
+    EXPECT_TRUE(valid_generator_assignment(h.graph, res.generator));
+  }
+}
+
+TEST(Recognition, DensestHyperDagRecognized) {
+  const HyperDag h = densest_hyperdag(10);
+  EXPECT_TRUE(is_hyperdag(h.graph));
+}
+
+TEST(Recognition, EdgeCountNecessaryCondition) {
+  // |E| ≤ n−1 is necessary (Appendix B.1); n disjoint-ish edges on n nodes
+  // with a cyclic pattern must be rejected.
+  std::vector<std::vector<NodeId>> edges;
+  const NodeId n = 6;
+  for (NodeId v = 0; v < n; ++v) {
+    edges.push_back({v, static_cast<NodeId>((v + 1) % n)});
+  }
+  EXPECT_FALSE(is_hyperdag(Hypergraph::from_edges(n, std::move(edges))));
+}
+
+TEST(Recognition, ViolatingSubsetHasMinDegreeTwo) {
+  const Hypergraph g = Hypergraph::from_edges(
+      6, {{0, 1}, {1, 2}, {0, 2}, {3, 4}, {0, 5}});
+  const auto res = recognize_hyperdag(g);
+  ASSERT_FALSE(res.is_hyperdag);
+  // Count degrees inside the induced witness.
+  for (const NodeId v : res.violating_subset) {
+    std::uint32_t deg = 0;
+    for (const EdgeId e : g.incident_edges(v)) {
+      bool inside = true;
+      for (const NodeId u : g.pins(e)) {
+        bool found = false;
+        for (const NodeId w : res.violating_subset) found |= (w == u);
+        if (!found) {
+          inside = false;
+          break;
+        }
+      }
+      if (inside) ++deg;
+    }
+    EXPECT_GE(deg, 2u);
+  }
+}
+
+// Property: the linear-time peel agrees with the explicit Lemma B.1
+// characterization on small random hypergraphs.
+class RecognitionProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecognitionProperty, PeelMatchesCharacterization) {
+  const auto seed = static_cast<std::uint64_t>(GetParam());
+  Rng rng{seed};
+  const NodeId n = 3 + static_cast<NodeId>(rng.next_below(7));
+  const EdgeId m = 1 + static_cast<EdgeId>(rng.next_below(n));
+  const Hypergraph g = random_hypergraph(
+      n, m, 2, std::min<std::uint32_t>(4, n), seed + 1000);
+  EXPECT_EQ(is_hyperdag(g), characterization_holds_bruteforce(g))
+      << g.summary();
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, RecognitionProperty,
+                         ::testing::Range(0, 40));
+
+TEST(Recognition, RecoveredGeneratorsAlwaysValid) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Dag d = random_binary_dag(20, seed);
+    const HyperDag h = to_hyperdag(d);
+    const auto res = recognize_hyperdag(h.graph);
+    ASSERT_TRUE(res.is_hyperdag);
+    EXPECT_TRUE(valid_generator_assignment(h.graph, res.generator));
+  }
+}
+
+TEST(Recognition, SameHypergraphDifferentDags) {
+  // Appendix B.1: a path of length 2 and a 2-source/1-sink DAG give the
+  // same hyperDAG; recognition accepts it and returns *a* valid assignment.
+  const Hypergraph g = Hypergraph::from_edges(3, {{0, 1}, {1, 2}});
+  const auto res = recognize_hyperdag(g);
+  EXPECT_TRUE(res.is_hyperdag);
+  EXPECT_TRUE(valid_generator_assignment(g, res.generator));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,83 @@
+#include "hyperpart/util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+namespace hp {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a{42};
+  Rng b{42};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a{1};
+  Rng b{2};
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == b();
+  EXPECT_LT(equal, 4);
+}
+
+TEST(Rng, NextBelowStaysInBounds) {
+  Rng rng{7};
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.next_below(bound), bound);
+  }
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng{11};
+  std::vector<int> hits(5, 0);
+  for (int i = 0; i < 2000; ++i) ++hits[rng.next_below(5)];
+  for (const int h : hits) EXPECT_GT(h, 200);
+}
+
+TEST(Rng, NextInInclusiveRange) {
+  Rng rng{3};
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 500; ++i) {
+    const auto x = rng.next_in(-2, 2);
+    EXPECT_GE(x, -2);
+    EXPECT_LE(x, 2);
+    saw_lo |= x == -2;
+    saw_hi |= x == 2;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng{5};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.next_double();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng{9};
+  std::vector<int> v(50);
+  std::iota(v.begin(), v.end(), 0);
+  rng.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng a{13};
+  Rng child = a.fork();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) equal += a() == child();
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,152 @@
+#include "hyperpart/schedule/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/reduction/fig_constructions.hpp"
+#include "hyperpart/schedule/coffman_graham.hpp"
+#include "hyperpart/schedule/exact_makespan.hpp"
+#include "hyperpart/schedule/fixed_partition_makespan.hpp"
+#include "hyperpart/schedule/hu_algorithm.hpp"
+#include "hyperpart/schedule/list_scheduler.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Schedule, ValidityChecks) {
+  const Dag d = Dag::from_edges(3, {{0, 1}, {1, 2}});
+  Schedule s{{0, 0, 0}, {1, 2, 3}};
+  EXPECT_TRUE(valid_schedule(d, s, 2));
+  Schedule bad_slot{{0, 0, 0}, {1, 1, 2}};
+  EXPECT_FALSE(valid_schedule(d, bad_slot, 2));
+  Schedule bad_prec{{0, 1, 0}, {2, 1, 3}};
+  EXPECT_FALSE(valid_schedule(d, bad_prec, 2));
+  EXPECT_EQ(s.makespan(), 3u);
+}
+
+TEST(Schedule, LowerBounds) {
+  const Dag d = chain_dag(6);
+  EXPECT_EQ(makespan_lower_bound(d, 3), 6u);
+  const Dag wide = sources_to_sinks_dag(1, 9);
+  EXPECT_EQ(makespan_lower_bound(wide, 2), 5u);
+}
+
+TEST(ListScheduler, ProducesValidSchedules) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const Dag d = random_dag(20, 0.15, seed);
+    for (PartId k : {2u, 3u, 4u}) {
+      const Schedule s = list_schedule(d, k);
+      EXPECT_TRUE(valid_schedule(d, s, k));
+      EXPECT_GE(s.makespan(), makespan_lower_bound(d, k));
+    }
+  }
+}
+
+TEST(ListScheduler, PerfectlyParallelWork) {
+  // k disjoint chains of equal length: makespan n/k.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  const PartId k = 3;
+  const NodeId len = 5;
+  for (PartId c = 0; c < k; ++c) {
+    for (NodeId i = 1; i < len; ++i) {
+      edges.emplace_back(c * len + i - 1, c * len + i);
+    }
+  }
+  const Dag d = Dag::from_edges(k * len, std::move(edges));
+  EXPECT_EQ(list_schedule(d, k).makespan(), len);
+}
+
+TEST(CoffmanGraham, OptimalOnRandomDags) {
+  for (std::uint64_t seed = 0; seed < 12; ++seed) {
+    const Dag d = random_dag(14, 0.2, seed);
+    const auto exact = exact_makespan(d, 2);
+    ASSERT_TRUE(exact.has_value());
+    const Schedule s = coffman_graham_schedule(d);
+    EXPECT_TRUE(valid_schedule(d, s, 2));
+    EXPECT_EQ(s.makespan(), exact->makespan) << "seed " << seed;
+  }
+}
+
+TEST(Hu, OptimalOnOutTrees) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const Dag d = random_out_tree(14, seed);
+    ASSERT_TRUE(is_out_forest(d));
+    for (PartId k : {2u, 3u}) {
+      const auto exact = exact_makespan(d, k);
+      ASSERT_TRUE(exact.has_value());
+      const Schedule s = hu_schedule(d, k);
+      EXPECT_TRUE(valid_schedule(d, s, k));
+      EXPECT_EQ(hu_makespan(d, k), exact->makespan)
+          << "seed " << seed << " k " << k;
+    }
+  }
+}
+
+TEST(Hu, RejectsGeneralDags) {
+  const Dag d = Dag::from_edges(4, {{0, 2}, {1, 2}, {2, 3}, {0, 3}});
+  EXPECT_THROW(hu_schedule(d, 2), std::invalid_argument);
+}
+
+TEST(ExactMakespan, KnownValues) {
+  EXPECT_EQ(exact_makespan(chain_dag(7), 4)->makespan, 7u);
+  const Dag wide = sources_to_sinks_dag(2, 6);
+  // 2 sources then 6 sinks on 2 processors: 1 + 3 = 4 steps.
+  EXPECT_EQ(exact_makespan(wide, 2)->makespan, 4u);
+}
+
+TEST(FixedMakespan, ListFixedValidAndRealizes) {
+  const Dag d = random_dag(16, 0.2, 3);
+  Partition p(16, 2);
+  for (NodeId v = 0; v < 16; ++v) p.assign(v, v % 2);
+  const Schedule s = list_schedule_fixed(d, p);
+  EXPECT_TRUE(valid_schedule(d, s, 2));
+  EXPECT_TRUE(realizes_partition(s, p));
+}
+
+TEST(FixedMakespan, NeverBelowUnrestricted) {
+  for (std::uint64_t seed = 0; seed < 8; ++seed) {
+    const Dag d = random_dag(13, 0.25, seed);
+    Partition p(13, 2);
+    for (NodeId v = 0; v < 13; ++v) {
+      p.assign(v, static_cast<PartId>((v + seed) % 2));
+    }
+    const auto mu = exact_makespan(d, 2);
+    const auto mu_p = exact_fixed_makespan(d, p);
+    ASSERT_TRUE(mu && mu_p);
+    EXPECT_GE(mu_p->makespan, mu->makespan);
+    EXPECT_LE(mu_p->makespan, list_schedule_fixed(d, p).makespan());
+  }
+}
+
+// Figure 4: a perfectly balanced half/half split of a serial concatenation
+// has μ_p ≈ n (no parallelism), although μ ≈ n/2.
+TEST(FixedMakespan, Fig4BalancedButSerial) {
+  const Dag d = fig4_serial_concatenation(3, 4, 1);
+  const Partition p = fig4_half_split(d);
+  const auto mu_p = exact_fixed_makespan(d, p);
+  ASSERT_TRUE(mu_p.has_value());
+  // The blue half cannot start before the red half finishes.
+  EXPECT_GE(mu_p->makespan, d.num_nodes() / 2 + 3);
+  const std::uint32_t mu = list_schedule(d, 2).makespan();
+  EXPECT_LT(mu, mu_p->makespan);
+}
+
+TEST(FixedMakespan, ScheduleBasedFeasibility) {
+  // Two disjoint chains, k = 2: assigning one chain per processor is
+  // feasible for any ε; putting both on one processor is not.
+  std::vector<std::pair<NodeId, NodeId>> edges;
+  for (NodeId i = 1; i < 5; ++i) {
+    edges.emplace_back(i - 1, i);
+    edges.emplace_back(5 + i - 1, 5 + i);
+  }
+  const Dag d = Dag::from_edges(10, std::move(edges));
+  Partition good(10, 2);
+  for (NodeId v = 0; v < 10; ++v) good.assign(v, v < 5 ? 0 : 1);
+  Partition bad(10, 2);
+  for (NodeId v = 0; v < 10; ++v) bad.assign(v, v % 2 == 0 && v < 5 ? 0 : 1);
+  EXPECT_TRUE(schedule_based_feasible(d, good, 0.0).value());
+  EXPECT_FALSE(schedule_based_feasible(d, bad, 0.2).value());
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,120 @@
+// Theorem 4.1 / Lemma C.1: the SpES → balanced-partitioning reduction.
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/reduction/spes.hpp"
+#include "hyperpart/reduction/spes_reduction.hpp"
+
+namespace hp {
+namespace {
+
+SpesInstance path_instance() {
+  // Path on 4 vertices, p = 2: two adjacent edges cover 3 vertices (OPT=3).
+  SpesInstance inst;
+  inst.num_vertices = 4;
+  inst.edges = {{0, 1}, {1, 2}, {2, 3}};
+  inst.p = 2;
+  return inst;
+}
+
+TEST(Spes, ExactSolverOnPath) {
+  const auto opt = spes_optimum(path_instance());
+  ASSERT_TRUE(opt.has_value());
+  EXPECT_EQ(*opt, 3u);
+}
+
+TEST(Spes, TriangleIsBest) {
+  // Triangle + pendant, p = 3: the triangle covers 3 vertices.
+  SpesInstance inst;
+  inst.num_vertices = 5;
+  inst.edges = {{0, 1}, {1, 2}, {0, 2}, {2, 3}, {3, 4}};
+  inst.p = 3;
+  EXPECT_EQ(spes_optimum(inst).value(), 3u);
+}
+
+TEST(Spes, GreedyUpperBoundsOptimum) {
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    const SpesInstance inst = random_spes(7, 10, 3, seed);
+    const auto opt = spes_optimum(inst);
+    const auto greedy = spes_greedy(inst);
+    ASSERT_TRUE(opt && greedy);
+    EXPECT_GE(*greedy, *opt);
+  }
+}
+
+TEST(Spes, TooFewEdgesReturnsNullopt) {
+  SpesInstance inst;
+  inst.num_vertices = 3;
+  inst.edges = {{0, 1}};
+  inst.p = 2;
+  EXPECT_FALSE(spes_optimum(inst).has_value());
+  EXPECT_FALSE(spes_greedy(inst).has_value());
+}
+
+TEST(SpesReduction, CanonicalPartitionBalancedWithMatchingCost) {
+  const SpesInstance inst = path_instance();
+  const SpesReduction red = build_spes_reduction(inst);
+  const auto chosen = spes_optimal_edges(inst);
+  ASSERT_TRUE(chosen.has_value());
+  const Partition p = red.partition_from_edges(*chosen);
+  EXPECT_TRUE(red.balance.satisfied(red.graph, p));
+  // Cost equals the number of covered vertices (the SpES objective).
+  EXPECT_EQ(cost(red.graph, p, CostMetric::kCutNet),
+            static_cast<Weight>(vertices_covered(inst, *chosen)));
+  // Exact red side: the canonical solution sits at the minimum part size.
+  const auto weights = p.part_weights(red.graph);
+  EXPECT_EQ(weights[0], red.min_part_weight);
+}
+
+TEST(SpesReduction, EdgesFromPartitionRoundTrip) {
+  const SpesInstance inst = path_instance();
+  const SpesReduction red = build_spes_reduction(inst);
+  const std::vector<std::uint32_t> chosen{0, 2};
+  const Partition p = red.partition_from_edges(chosen);
+  EXPECT_EQ(red.edges_from_partition(p), chosen);
+}
+
+TEST(SpesReduction, AllSubsetCostsMatchCoverage) {
+  // Every canonical partition's cost equals its subset's vertex coverage —
+  // the reduction's cost correspondence over the whole solution space.
+  const SpesInstance inst = path_instance();
+  const SpesReduction red = build_spes_reduction(inst);
+  const std::vector<std::vector<std::uint32_t>> subsets{
+      {0, 1}, {0, 2}, {1, 2}};
+  for (const auto& subset : subsets) {
+    const Partition p = red.partition_from_edges(subset);
+    EXPECT_TRUE(red.balance.satisfied(red.graph, p));
+    EXPECT_EQ(cost(red.graph, p, CostMetric::kCutNet),
+              static_cast<Weight>(vertices_covered(inst, subset)));
+  }
+}
+
+// End-to-end optimality: OPT_partitioning == OPT_SpES, certified by the XP
+// algorithm on a tiny instance (budget OPT solvable, OPT−1 not).
+TEST(SpesReduction, OptimaAgreeViaXp) {
+  SpesInstance inst;
+  inst.num_vertices = 3;
+  inst.edges = {{0, 1}, {1, 2}};
+  inst.p = 1;
+  const auto spes_opt = spes_optimum(inst);
+  ASSERT_TRUE(spes_opt.has_value());
+  EXPECT_EQ(*spes_opt, 2u);
+
+  const SpesReduction red = build_spes_reduction(inst);
+  XpOptions opts;
+  opts.metric = CostMetric::kCutNet;
+  opts.max_configurations = 5'000'000;
+  const auto solved =
+      xp_partition(red.graph, red.balance, static_cast<double>(*spes_opt),
+                   opts);
+  EXPECT_EQ(solved.status, XpStatus::kSolved);
+  const auto below =
+      xp_partition(red.graph, red.balance,
+                   static_cast<double>(*spes_opt) - 1.0, opts);
+  EXPECT_EQ(below.status, XpStatus::kNoSolution);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,95 @@
+// Appendix C.2–C.3: the Δ = 2 hyperDAG form of the main reduction.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/reduction/spes_delta2.hpp"
+
+namespace hp {
+namespace {
+
+SpesInstance tiny_instance() {
+  SpesInstance inst;
+  inst.num_vertices = 3;
+  inst.edges = {{0, 1}, {1, 2}};
+  inst.p = 1;
+  return inst;
+}
+
+TEST(SpesDelta2, MaxDegreeTwo) {
+  const SpesDelta2Reduction red = build_spes_delta2(tiny_instance());
+  EXPECT_LE(red.graph.max_degree(), 2u);
+}
+
+TEST(SpesDelta2, IsHyperDag) {
+  const SpesDelta2Reduction red = build_spes_delta2(tiny_instance());
+  const auto res = recognize_hyperdag(red.graph);
+  EXPECT_TRUE(res.is_hyperdag);
+  EXPECT_TRUE(valid_generator_assignment(red.graph, res.generator));
+}
+
+TEST(SpesDelta2, BipartitePropertyOfKniggeBisseling) {
+  // Hyperedges split into two classes of pairwise-disjoint edges: all row
+  // edges in one class; columns + main hyperedges in the other.
+  const SpesDelta2Reduction red = build_spes_delta2(tiny_instance());
+  std::vector<int> cls(red.graph.num_edges(), -1);
+  const auto mark = [&](EdgeId e, int c) { cls[e] = c; };
+  for (const auto& grid : red.edge_grids) {
+    for (const EdgeId e : grid.row_edges) mark(e, 0);
+    for (const EdgeId e : grid.col_edges) mark(e, 1);
+  }
+  for (const EdgeId e : red.grid_a.row_edges) mark(e, 0);
+  for (const EdgeId e : red.grid_a.col_edges) mark(e, 1);
+  for (const EdgeId e : red.grid_a_prime.row_edges) mark(e, 0);
+  for (const EdgeId e : red.grid_a_prime.col_edges) mark(e, 1);
+  for (const EdgeId e : red.main_edges) mark(e, 1);
+  // Every edge classified, and same-class edges are pairwise disjoint.
+  std::vector<NodeId> owner[2];
+  owner[0].assign(red.graph.num_nodes(), kInvalidNode);
+  owner[1].assign(red.graph.num_nodes(), kInvalidNode);
+  for (EdgeId e = 0; e < red.graph.num_edges(); ++e) {
+    ASSERT_NE(cls[e], -1) << "edge " << e << " unclassified";
+    for (const NodeId v : red.graph.pins(e)) {
+      EXPECT_EQ(owner[cls[e]][v], kInvalidNode)
+          << "node " << v << " in two class-" << cls[e] << " edges";
+      owner[cls[e]][v] = e;
+    }
+  }
+}
+
+TEST(SpesDelta2, CanonicalPartitionBalancedAndCostEqualsCoverage) {
+  const SpesInstance inst = tiny_instance();
+  const SpesDelta2Reduction red = build_spes_delta2(inst);
+  for (std::uint32_t e = 0; e < inst.edges.size(); ++e) {
+    const std::vector<std::uint32_t> chosen{e};
+    const Partition p = red.partition_from_edges(chosen);
+    EXPECT_TRUE(red.balance.satisfied(red.graph, p));
+    EXPECT_EQ(cost(red.graph, p, CostMetric::kCutNet),
+              static_cast<Weight>(vertices_covered(inst, chosen)));
+    const auto w = p.part_weights(red.graph);
+    EXPECT_EQ(w[0], red.min_part_weight);
+  }
+}
+
+TEST(SpesDelta2, VertexNodesAreGridAOutsiders) {
+  const SpesDelta2Reduction red = build_spes_delta2(tiny_instance());
+  ASSERT_EQ(red.vertex_nodes.size(), 3u);
+  for (std::size_t v = 0; v < 3; ++v) {
+    EXPECT_EQ(red.vertex_nodes[v], red.grid_a.outsiders[v]);
+    EXPECT_EQ(red.graph.degree(red.vertex_nodes[v]), 2u);
+  }
+}
+
+TEST(SpesDelta2, LargerInstanceStillWellFormed) {
+  const SpesInstance inst = random_spes(4, 5, 2, 3);
+  const SpesDelta2Reduction red = build_spes_delta2(inst);
+  EXPECT_LE(red.graph.max_degree(), 2u);
+  EXPECT_TRUE(red.graph.validate());
+  EXPECT_TRUE(is_hyperdag(red.graph));
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,77 @@
+// Appendix C.4: the main reduction for k ≥ 3.
+
+#include "hyperpart/reduction/spes_kway.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/metrics.hpp"
+
+namespace hp {
+namespace {
+
+SpesInstance path_instance() {
+  SpesInstance inst;
+  inst.num_vertices = 3;
+  inst.edges = {{0, 1}, {1, 2}};
+  inst.p = 1;
+  return inst;
+}
+
+TEST(SpesKway, CanonicalPartitionBalancedAndCostEqualsCoverage) {
+  for (const PartId k : {2u, 3u, 4u, 6u}) {
+    const SpesKwayReduction red = build_spes_kway_reduction(path_instance(),
+                                                            k);
+    for (std::uint32_t e = 0; e < 2; ++e) {
+      const Partition p = red.partition_from_edges({e});
+      EXPECT_TRUE(red.balance.satisfied(red.graph, p))
+          << "k=" << k << " e=" << e;
+      EXPECT_EQ(cost(red.graph, p, CostMetric::kConnectivity), 2)
+          << "k=" << k << " e=" << e;
+      EXPECT_EQ(cost(red.graph, p, CostMetric::kCutNet), 2);
+    }
+  }
+}
+
+TEST(SpesKway, KEquals2MatchesBaseConstruction) {
+  const SpesKwayReduction red = build_spes_kway_reduction(path_instance(), 2);
+  EXPECT_EQ(red.extra_blocks.size(), 0u);
+  EXPECT_EQ(red.balance.k(), 2u);
+}
+
+TEST(SpesKway, OptimaCertifiedByXpForK3) {
+  const SpesInstance inst = path_instance();
+  const auto opt = spes_optimum(inst);
+  ASSERT_TRUE(opt.has_value());
+  const SpesKwayReduction red = build_spes_kway_reduction(inst, 3);
+
+  XpOptions opts;
+  opts.metric = CostMetric::kCutNet;
+  opts.max_configurations = 20'000'000;
+  const auto solved = xp_partition(red.graph, red.balance,
+                                   static_cast<double>(*opt), opts);
+  EXPECT_EQ(solved.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(solved.cost, static_cast<double>(*opt));
+  const auto below = xp_partition(red.graph, red.balance,
+                                  static_cast<double>(*opt) - 1.0, opts);
+  EXPECT_EQ(below.status, XpStatus::kNoSolution);
+}
+
+TEST(SpesKway, ExtraComponentCountMatchesK0) {
+  // eps = 0.1 → k₀ = ⌈k/1.1⌉; extra blocks = k₀ − 2.
+  const SpesKwayReduction k6 = build_spes_kway_reduction(path_instance(), 6);
+  EXPECT_EQ(k6.extra_blocks.size(), (6 * 10 + 10) / 11 - 2);
+  const SpesKwayReduction k3 = build_spes_kway_reduction(path_instance(), 3);
+  EXPECT_EQ(k3.extra_blocks.size(), 1u);  // k₀ = ⌈30/11⌉ = 3
+}
+
+TEST(SpesKway, RejectsBadParameters) {
+  EXPECT_THROW(build_spes_kway_reduction(path_instance(), 1),
+               std::invalid_argument);
+  SpesInstance bad = path_instance();
+  bad.p = 5;
+  EXPECT_THROW(build_spes_kway_reduction(bad, 3), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,124 @@
+// Section 7: recursive partitioning (Lemma 7.2 / Figure 8), the two-step
+// method (Lemma 7.3 / Theorem 7.4 / Figure 9).
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/hier/hier_cost.hpp"
+#include "hyperpart/hier/hier_partitioner.hpp"
+#include "hyperpart/hier/two_step.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/reduction/fig_constructions.hpp"
+
+namespace hp {
+namespace {
+
+TEST(Fig8, DirectSolutionIsCheapAndBalanced) {
+  const Fig8Construction fig = build_fig8(2, 2, 4.0, 6);
+  const auto balance = BalanceConstraint::for_graph(
+      fig.graph, fig.topology.num_leaves(), 0.0);
+  EXPECT_TRUE(fig.direct_solution.complete());
+  EXPECT_TRUE(balance.satisfied(fig.graph, fig.direct_solution));
+  // O(1) cost: at most the number of chain edges.
+  const Weight c = cost(fig.graph, fig.direct_solution,
+                        CostMetric::kConnectivity);
+  EXPECT_LE(c, 10);
+  // Far below the cost floor forced on any recursive second step.
+  EXPECT_LT(c, fig.block_cost_floor);
+}
+
+TEST(Fig8, RecursiveSplitForcedToCutABlock) {
+  // Lemma 7.2: after an optimal first split (whole chains), the large-block
+  // chain cannot be halved without splitting a block of size b'·scale, so
+  // the recursive result costs ≥ block_cost_floor — which grows with the
+  // instance while the direct solution stays O(1).
+  const Fig8Construction fig = build_fig8(2, 2, 4.0, 20);
+  MultilevelConfig cfg;
+  cfg.seed = 3;
+  const auto rec = hier_recursive_partition(fig.graph, fig.topology, 0.0, cfg);
+  ASSERT_TRUE(rec.has_value());
+  const Weight rec_cost = cost(fig.graph, *rec, CostMetric::kConnectivity);
+  EXPECT_GE(rec_cost, fig.block_cost_floor);
+  // The gap between recursive and direct grows with the construction size
+  // (Θ(n) vs O(1)).
+  EXPECT_GT(rec_cost,
+            4 * cost(fig.graph, fig.direct_solution,
+                     CostMetric::kConnectivity));
+}
+
+TEST(Fig9, ConstructionCostsMatchTheorem74) {
+  const PartId b1 = 2;
+  const PartId b2 = 2;
+  const double g1 = 6.0;
+  const std::uint32_t m = 30;
+  const Fig9Construction fig = build_fig9(b1, b2, g1, 9, m);
+  const PartId k = b1 * b2;
+  const auto balance =
+      BalanceConstraint::for_graph(fig.graph, k, 0.0);
+  EXPECT_TRUE(balance.satisfied(fig.graph, fig.hier_optimal));
+  EXPECT_TRUE(balance.satisfied(fig.graph, fig.standard_optimal));
+
+  // Standard cut: the A↔B edges are always cut; the standard optimum also
+  // saves the B↔C edges, beating the hierarchical layout on cut count.
+  const Weight std_of_std =
+      cost(fig.graph, fig.standard_optimal, CostMetric::kConnectivity);
+  const Weight std_of_hier =
+      cost(fig.graph, fig.hier_optimal, CostMetric::kConnectivity);
+  EXPECT_EQ(std_of_std, static_cast<Weight>((k - 1) * m));
+  EXPECT_EQ(std_of_hier, static_cast<Weight>((k - 1) * m + (k - 1)));
+  EXPECT_LT(std_of_std, std_of_hier);
+
+  // Hierarchical cost: the hierarchical layout wins by ≈ (b1−1)/b1 · g1.
+  const TwoStepResult standard_assigned =
+      assign_optimally(fig.graph, fig.standard_optimal, fig.topology);
+  const double hier_of_hier = hier_cost(fig.graph, fig.hier_optimal,
+                                        fig.topology);
+  EXPECT_LT(hier_of_hier, standard_assigned.hierarchical_cost);
+  const double ratio = standard_assigned.hierarchical_cost / hier_of_hier;
+  const double predicted =
+      (static_cast<double>(b1 - 1) / b1) * g1;  // = 3 for b1=2, g1=6
+  EXPECT_GT(ratio, 0.8 * predicted);
+  EXPECT_LE(ratio, g1);  // Lemma 7.3 cap
+}
+
+TEST(TwoStep, Lemma73ApproximationBound) {
+  // For random instances: two-step (optimal standard + optimal assignment)
+  // is within a g1 factor of the exact hierarchical optimum.
+  const HierTopology topo{{2, 2}, {3.0, 1.0}};
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const Hypergraph g = random_hypergraph(8, 10, 2, 3, seed + 5);
+    const auto two_step = two_step_exact(g, topo, 0.0);
+    const auto optimum = exact_hierarchical_optimum(g, topo, 0.0);
+    ASSERT_TRUE(two_step && optimum);
+    EXPECT_GE(two_step->hierarchical_cost + 1e-9,
+              optimum->hierarchical_cost);
+    EXPECT_LE(two_step->hierarchical_cost,
+              3.0 * optimum->hierarchical_cost + 1e-9);
+  }
+}
+
+TEST(HierRefine, NeverIncreasesCostAndKeepsBalance) {
+  const HierTopology topo{{2, 2}, {4.0, 1.0}};
+  const Hypergraph g = random_hypergraph(40, 60, 2, 4, 17);
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.2, true);
+  const auto two_step = two_step_multilevel(g, topo, 0.2);
+  ASSERT_TRUE(two_step.has_value());
+  Partition p = two_step->partition;
+  const double before = hier_cost(g, p, topo);
+  const double after = hier_refine(g, p, topo, balance);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_NEAR(after, hier_cost(g, p, topo), 1e-9);
+  EXPECT_TRUE(balance.satisfied(g, p));
+}
+
+TEST(HierDirect, ProducesValidPartitions) {
+  const HierTopology topo{{2, 2}, {4.0, 1.0}};
+  const Hypergraph g = spmv_hypergraph(12, 12, 60, 19);
+  const auto p = hier_direct_partition(g, topo, 0.2);
+  ASSERT_TRUE(p.has_value());
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.2, true);
+  EXPECT_TRUE(balance.satisfied(g, *p));
+}
+
+}  // namespace
+}  // namespace hp

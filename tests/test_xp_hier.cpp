@@ -1,0 +1,98 @@
+// Lemma G.1: the XP algorithm under the hierarchical cost function, and
+// the Appendix I.2 general-topology machinery.
+
+#include "hyperpart/hier/xp_hier.hpp"
+
+#include <gtest/gtest.h>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/hier/hier_cost.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(XpHier, MatchesBruteForceHierOptimum) {
+  const HierTopology topo{{2, 2}, {4.0, 1.0}};
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph g = random_hypergraph(8, 6, 2, 3, seed + 300);
+    const auto balance = BalanceConstraint::for_graph(g, 4, 0.4, true);
+
+    BruteForceOptions bopts;
+    bopts.break_symmetry = false;  // leaf positions matter
+    bopts.custom_cost = [&](const Partition& p) {
+      return hier_cost(g, p, topo);
+    };
+    const auto brute = brute_force_partition(g, balance, bopts);
+    ASSERT_TRUE(brute.has_value());
+
+    // Budget = the known optimum keeps the configuration enumeration
+    // small; the XP search must realize exactly that cost.
+    const XpResult xp =
+        xp_hier_partition(g, topo, balance, brute->cost_value + 1e-6);
+    ASSERT_EQ(xp.status, XpStatus::kSolved) << "seed " << seed;
+    EXPECT_NEAR(xp.cost, brute->cost_value, 1e-9) << "seed " << seed;
+    EXPECT_NEAR(hier_cost(g, xp.partition, topo), xp.cost, 1e-9);
+    EXPECT_TRUE(balance.satisfied(g, xp.partition));
+  }
+}
+
+TEST(XpHier, TightBudgetSeparates) {
+  const HierTopology topo{{2, 2}, {3.0, 1.0}};
+  const Hypergraph g = random_hypergraph(8, 5, 2, 3, 42);
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.4, true);
+  const XpResult opt = xp_hier_partition(g, topo, balance, 1000.0);
+  ASSERT_EQ(opt.status, XpStatus::kSolved);
+  if (opt.cost > 0) {
+    const XpResult below =
+        xp_hier_partition(g, topo, balance, opt.cost - 0.5);
+    EXPECT_EQ(below.status, XpStatus::kNoSolution);
+  }
+  const XpResult at = xp_hier_partition(g, topo, balance, opt.cost);
+  EXPECT_EQ(at.status, XpStatus::kSolved);
+}
+
+TEST(XpHier, FlatTopologyReducesToStandard) {
+  const Hypergraph g = random_hypergraph(9, 7, 2, 3, 17);
+  const auto balance = BalanceConstraint::for_graph(g, 3, 0.4, true);
+  const XpResult flat =
+      xp_hier_partition(g, HierTopology::flat(3), balance, 1000.0);
+  const XpResult standard = xp_partition(g, balance, 1000.0);
+  ASSERT_EQ(flat.status, XpStatus::kSolved);
+  ASSERT_EQ(standard.status, XpStatus::kSolved);
+  EXPECT_DOUBLE_EQ(flat.cost, standard.cost);
+}
+
+TEST(GeneralRefine, NeverIncreasesAndKeepsBalance) {
+  const HierTopology tree{{2, 2}, {5.0, 1.0}};
+  const GeneralTopology topo = GeneralTopology::from_tree(tree);
+  const Hypergraph g = random_hypergraph(30, 40, 2, 4, 23);
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.3, true);
+  Rng rng{9};
+  std::vector<PartId> assign(30);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  Partition p(std::move(assign), 4);
+  const double before = general_topology_cost(g, p, topo);
+  const double after = general_topology_refine(g, p, topo, balance);
+  EXPECT_LE(after, before + 1e-9);
+  EXPECT_NEAR(after, general_topology_cost(g, p, topo), 1e-9);
+  EXPECT_TRUE(balance.satisfied(g, p));
+}
+
+TEST(GeneralRefine, AgreesWithHierRefineOnTreeMetric) {
+  // On a tree-induced metric the MST costs equal hierarchical costs, so
+  // the refiners optimize the same function.
+  const HierTopology tree{{2, 2}, {4.0, 1.0}};
+  const GeneralTopology topo = GeneralTopology::from_tree(tree);
+  const Hypergraph g = random_hypergraph(20, 25, 2, 3, 31);
+  Rng rng{3};
+  std::vector<PartId> assign(20);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  const Partition p(std::move(assign), 4);
+  EXPECT_NEAR(general_topology_cost(g, p, topo), hier_cost(g, p, tree),
+              1e-9);
+}
+
+}  // namespace
+}  // namespace hp
