@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_appendixA_properties.dir/bench_appendixA_properties.cpp.o"
+  "CMakeFiles/bench_appendixA_properties.dir/bench_appendixA_properties.cpp.o.d"
+  "bench_appendixA_properties"
+  "bench_appendixA_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_appendixA_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_layer_limits.dir/bench_fig6_layer_limits.cpp.o"
+  "CMakeFiles/bench_fig6_layer_limits.dir/bench_fig6_layer_limits.cpp.o.d"
+  "bench_fig6_layer_limits"
+  "bench_fig6_layer_limits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_layer_limits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

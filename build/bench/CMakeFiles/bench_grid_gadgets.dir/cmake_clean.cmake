@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_grid_gadgets.dir/bench_grid_gadgets.cpp.o"
+  "CMakeFiles/bench_grid_gadgets.dir/bench_grid_gadgets.cpp.o.d"
+  "bench_grid_gadgets"
+  "bench_grid_gadgets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_grid_gadgets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hyperdag_model.dir/bench_hyperdag_model.cpp.o"
+  "CMakeFiles/bench_hyperdag_model.dir/bench_hyperdag_model.cpp.o.d"
+  "bench_hyperdag_model"
+  "bench_hyperdag_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hyperdag_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_lemma72_recursive.dir/bench_lemma72_recursive.cpp.o"
+  "CMakeFiles/bench_lemma72_recursive.dir/bench_lemma72_recursive.cpp.o.d"
+  "bench_lemma72_recursive"
+  "bench_lemma72_recursive.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_lemma72_recursive.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiconstraint.dir/bench_multiconstraint.cpp.o"
+  "CMakeFiles/bench_multiconstraint.dir/bench_multiconstraint.cpp.o.d"
+  "bench_multiconstraint"
+  "bench_multiconstraint.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiconstraint.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

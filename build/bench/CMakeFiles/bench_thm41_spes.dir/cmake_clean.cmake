@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm41_spes.dir/bench_thm41_spes.cpp.o"
+  "CMakeFiles/bench_thm41_spes.dir/bench_thm41_spes.cpp.o.d"
+  "bench_thm41_spes"
+  "bench_thm41_spes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm41_spes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm52_layerwise.dir/bench_thm52_layerwise.cpp.o"
+  "CMakeFiles/bench_thm52_layerwise.dir/bench_thm52_layerwise.cpp.o.d"
+  "bench_thm52_layerwise"
+  "bench_thm52_layerwise.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm52_layerwise.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm55_mu_p.dir/bench_thm55_mu_p.cpp.o"
+  "CMakeFiles/bench_thm55_mu_p.dir/bench_thm55_mu_p.cpp.o.d"
+  "bench_thm55_mu_p"
+  "bench_thm55_mu_p.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm55_mu_p.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

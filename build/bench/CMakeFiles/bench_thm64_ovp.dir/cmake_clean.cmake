@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm64_ovp.dir/bench_thm64_ovp.cpp.o"
+  "CMakeFiles/bench_thm64_ovp.dir/bench_thm64_ovp.cpp.o.d"
+  "bench_thm64_ovp"
+  "bench_thm64_ovp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm64_ovp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm74_twostep.dir/bench_thm74_twostep.cpp.o"
+  "CMakeFiles/bench_thm74_twostep.dir/bench_thm74_twostep.cpp.o.d"
+  "bench_thm74_twostep"
+  "bench_thm74_twostep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm74_twostep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

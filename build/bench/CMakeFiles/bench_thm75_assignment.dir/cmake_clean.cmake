@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_thm75_assignment.dir/bench_thm75_assignment.cpp.o"
+  "CMakeFiles/bench_thm75_assignment.dir/bench_thm75_assignment.cpp.o.d"
+  "bench_thm75_assignment"
+  "bench_thm75_assignment.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_thm75_assignment.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

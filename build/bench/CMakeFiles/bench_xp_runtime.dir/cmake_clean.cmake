@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xp_runtime.dir/bench_xp_runtime.cpp.o"
+  "CMakeFiles/bench_xp_runtime.dir/bench_xp_runtime.cpp.o.d"
+  "bench_xp_runtime"
+  "bench_xp_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xp_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

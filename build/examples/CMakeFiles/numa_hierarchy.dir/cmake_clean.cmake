@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_hierarchy.dir/numa_hierarchy.cpp.o"
+  "CMakeFiles/numa_hierarchy.dir/numa_hierarchy.cpp.o.d"
+  "numa_hierarchy"
+  "numa_hierarchy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_hierarchy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/spmv_scheduling.dir/spmv_scheduling.cpp.o"
+  "CMakeFiles/spmv_scheduling.dir/spmv_scheduling.cpp.o.d"
+  "spmv_scheduling"
+  "spmv_scheduling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/spmv_scheduling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

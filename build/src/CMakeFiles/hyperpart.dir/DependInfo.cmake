@@ -1,0 +1,82 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/algo/annealing.cpp" "src/CMakeFiles/hyperpart.dir/algo/annealing.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/annealing.cpp.o.d"
+  "/root/repo/src/algo/branch_and_bound.cpp" "src/CMakeFiles/hyperpart.dir/algo/branch_and_bound.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/branch_and_bound.cpp.o.d"
+  "/root/repo/src/algo/brute_force.cpp" "src/CMakeFiles/hyperpart.dir/algo/brute_force.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/brute_force.cpp.o.d"
+  "/root/repo/src/algo/coarsening.cpp" "src/CMakeFiles/hyperpart.dir/algo/coarsening.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/coarsening.cpp.o.d"
+  "/root/repo/src/algo/fm_refiner.cpp" "src/CMakeFiles/hyperpart.dir/algo/fm_refiner.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/fm_refiner.cpp.o.d"
+  "/root/repo/src/algo/greedy.cpp" "src/CMakeFiles/hyperpart.dir/algo/greedy.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/greedy.cpp.o.d"
+  "/root/repo/src/algo/kl_refiner.cpp" "src/CMakeFiles/hyperpart.dir/algo/kl_refiner.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/kl_refiner.cpp.o.d"
+  "/root/repo/src/algo/multilevel.cpp" "src/CMakeFiles/hyperpart.dir/algo/multilevel.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/multilevel.cpp.o.d"
+  "/root/repo/src/algo/number_partitioning.cpp" "src/CMakeFiles/hyperpart.dir/algo/number_partitioning.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/number_partitioning.cpp.o.d"
+  "/root/repo/src/algo/parallel.cpp" "src/CMakeFiles/hyperpart.dir/algo/parallel.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/parallel.cpp.o.d"
+  "/root/repo/src/algo/recursive_bisection.cpp" "src/CMakeFiles/hyperpart.dir/algo/recursive_bisection.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/recursive_bisection.cpp.o.d"
+  "/root/repo/src/algo/vcycle.cpp" "src/CMakeFiles/hyperpart.dir/algo/vcycle.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/vcycle.cpp.o.d"
+  "/root/repo/src/algo/xp_algorithm.cpp" "src/CMakeFiles/hyperpart.dir/algo/xp_algorithm.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/algo/xp_algorithm.cpp.o.d"
+  "/root/repo/src/core/balance.cpp" "src/CMakeFiles/hyperpart.dir/core/balance.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/balance.cpp.o.d"
+  "/root/repo/src/core/builder.cpp" "src/CMakeFiles/hyperpart.dir/core/builder.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/builder.cpp.o.d"
+  "/root/repo/src/core/connectivity_tracker.cpp" "src/CMakeFiles/hyperpart.dir/core/connectivity_tracker.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/connectivity_tracker.cpp.o.d"
+  "/root/repo/src/core/hypergraph.cpp" "src/CMakeFiles/hyperpart.dir/core/hypergraph.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/hypergraph.cpp.o.d"
+  "/root/repo/src/core/metrics.cpp" "src/CMakeFiles/hyperpart.dir/core/metrics.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/metrics.cpp.o.d"
+  "/root/repo/src/core/partition.cpp" "src/CMakeFiles/hyperpart.dir/core/partition.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/partition.cpp.o.d"
+  "/root/repo/src/core/subhypergraph.cpp" "src/CMakeFiles/hyperpart.dir/core/subhypergraph.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/core/subhypergraph.cpp.o.d"
+  "/root/repo/src/dag/dag.cpp" "src/CMakeFiles/hyperpart.dir/dag/dag.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/dag/dag.cpp.o.d"
+  "/root/repo/src/dag/hyperdag.cpp" "src/CMakeFiles/hyperpart.dir/dag/hyperdag.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/dag/hyperdag.cpp.o.d"
+  "/root/repo/src/dag/layering.cpp" "src/CMakeFiles/hyperpart.dir/dag/layering.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/dag/layering.cpp.o.d"
+  "/root/repo/src/dag/layerwise_partitioner.cpp" "src/CMakeFiles/hyperpart.dir/dag/layerwise_partitioner.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/dag/layerwise_partitioner.cpp.o.d"
+  "/root/repo/src/dag/recognition.cpp" "src/CMakeFiles/hyperpart.dir/dag/recognition.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/dag/recognition.cpp.o.d"
+  "/root/repo/src/hier/assignment.cpp" "src/CMakeFiles/hyperpart.dir/hier/assignment.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/assignment.cpp.o.d"
+  "/root/repo/src/hier/blossom.cpp" "src/CMakeFiles/hyperpart.dir/hier/blossom.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/blossom.cpp.o.d"
+  "/root/repo/src/hier/hier_cost.cpp" "src/CMakeFiles/hyperpart.dir/hier/hier_cost.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/hier_cost.cpp.o.d"
+  "/root/repo/src/hier/hier_partitioner.cpp" "src/CMakeFiles/hyperpart.dir/hier/hier_partitioner.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/hier_partitioner.cpp.o.d"
+  "/root/repo/src/hier/matching.cpp" "src/CMakeFiles/hyperpart.dir/hier/matching.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/matching.cpp.o.d"
+  "/root/repo/src/hier/topology.cpp" "src/CMakeFiles/hyperpart.dir/hier/topology.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/topology.cpp.o.d"
+  "/root/repo/src/hier/two_step.cpp" "src/CMakeFiles/hyperpart.dir/hier/two_step.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/two_step.cpp.o.d"
+  "/root/repo/src/hier/xp_hier.cpp" "src/CMakeFiles/hyperpart.dir/hier/xp_hier.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/hier/xp_hier.cpp.o.d"
+  "/root/repo/src/io/dag_families.cpp" "src/CMakeFiles/hyperpart.dir/io/dag_families.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/io/dag_families.cpp.o.d"
+  "/root/repo/src/io/dag_io.cpp" "src/CMakeFiles/hyperpart.dir/io/dag_io.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/io/dag_io.cpp.o.d"
+  "/root/repo/src/io/generators.cpp" "src/CMakeFiles/hyperpart.dir/io/generators.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/io/generators.cpp.o.d"
+  "/root/repo/src/io/hmetis_io.cpp" "src/CMakeFiles/hyperpart.dir/io/hmetis_io.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/io/hmetis_io.cpp.o.d"
+  "/root/repo/src/reduction/blocks.cpp" "src/CMakeFiles/hyperpart.dir/reduction/blocks.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/blocks.cpp.o.d"
+  "/root/repo/src/reduction/coloring_reduction.cpp" "src/CMakeFiles/hyperpart.dir/reduction/coloring_reduction.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/coloring_reduction.cpp.o.d"
+  "/root/repo/src/reduction/fig_constructions.cpp" "src/CMakeFiles/hyperpart.dir/reduction/fig_constructions.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/fig_constructions.cpp.o.d"
+  "/root/repo/src/reduction/grid_gadget.cpp" "src/CMakeFiles/hyperpart.dir/reduction/grid_gadget.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/grid_gadget.cpp.o.d"
+  "/root/repo/src/reduction/hyperdag_hardness.cpp" "src/CMakeFiles/hyperpart.dir/reduction/hyperdag_hardness.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/hyperdag_hardness.cpp.o.d"
+  "/root/repo/src/reduction/layering_hardness.cpp" "src/CMakeFiles/hyperpart.dir/reduction/layering_hardness.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/layering_hardness.cpp.o.d"
+  "/root/repo/src/reduction/layerwise_reduction.cpp" "src/CMakeFiles/hyperpart.dir/reduction/layerwise_reduction.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/layerwise_reduction.cpp.o.d"
+  "/root/repo/src/reduction/mpu.cpp" "src/CMakeFiles/hyperpart.dir/reduction/mpu.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/mpu.cpp.o.d"
+  "/root/repo/src/reduction/multiconstraint_reduction.cpp" "src/CMakeFiles/hyperpart.dir/reduction/multiconstraint_reduction.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/multiconstraint_reduction.cpp.o.d"
+  "/root/repo/src/reduction/ovp.cpp" "src/CMakeFiles/hyperpart.dir/reduction/ovp.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/ovp.cpp.o.d"
+  "/root/repo/src/reduction/scheduling_hardness.cpp" "src/CMakeFiles/hyperpart.dir/reduction/scheduling_hardness.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/scheduling_hardness.cpp.o.d"
+  "/root/repo/src/reduction/spes.cpp" "src/CMakeFiles/hyperpart.dir/reduction/spes.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/spes.cpp.o.d"
+  "/root/repo/src/reduction/spes_delta2.cpp" "src/CMakeFiles/hyperpart.dir/reduction/spes_delta2.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/spes_delta2.cpp.o.d"
+  "/root/repo/src/reduction/spes_kway.cpp" "src/CMakeFiles/hyperpart.dir/reduction/spes_kway.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/spes_kway.cpp.o.d"
+  "/root/repo/src/reduction/spes_reduction.cpp" "src/CMakeFiles/hyperpart.dir/reduction/spes_reduction.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/spes_reduction.cpp.o.d"
+  "/root/repo/src/reduction/three_dim_matching.cpp" "src/CMakeFiles/hyperpart.dir/reduction/three_dim_matching.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/three_dim_matching.cpp.o.d"
+  "/root/repo/src/reduction/three_partition.cpp" "src/CMakeFiles/hyperpart.dir/reduction/three_partition.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/reduction/three_partition.cpp.o.d"
+  "/root/repo/src/schedule/bsp.cpp" "src/CMakeFiles/hyperpart.dir/schedule/bsp.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/bsp.cpp.o.d"
+  "/root/repo/src/schedule/coffman_graham.cpp" "src/CMakeFiles/hyperpart.dir/schedule/coffman_graham.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/coffman_graham.cpp.o.d"
+  "/root/repo/src/schedule/exact_makespan.cpp" "src/CMakeFiles/hyperpart.dir/schedule/exact_makespan.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/exact_makespan.cpp.o.d"
+  "/root/repo/src/schedule/fixed_partition_makespan.cpp" "src/CMakeFiles/hyperpart.dir/schedule/fixed_partition_makespan.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/fixed_partition_makespan.cpp.o.d"
+  "/root/repo/src/schedule/hu_algorithm.cpp" "src/CMakeFiles/hyperpart.dir/schedule/hu_algorithm.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/hu_algorithm.cpp.o.d"
+  "/root/repo/src/schedule/list_scheduler.cpp" "src/CMakeFiles/hyperpart.dir/schedule/list_scheduler.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/list_scheduler.cpp.o.d"
+  "/root/repo/src/schedule/schedule.cpp" "src/CMakeFiles/hyperpart.dir/schedule/schedule.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/schedule/schedule.cpp.o.d"
+  "/root/repo/src/util/rng.cpp" "src/CMakeFiles/hyperpart.dir/util/rng.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/util/rng.cpp.o.d"
+  "/root/repo/src/util/thread_pool.cpp" "src/CMakeFiles/hyperpart.dir/util/thread_pool.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/util/thread_pool.cpp.o.d"
+  "/root/repo/src/util/timer.cpp" "src/CMakeFiles/hyperpart.dir/util/timer.cpp.o" "gcc" "src/CMakeFiles/hyperpart.dir/util/timer.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

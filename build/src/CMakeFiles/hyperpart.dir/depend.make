@@ -1,0 +1,2 @@
+# Empty dependencies file for hyperpart.
+# This may be replaced when dependencies are built.

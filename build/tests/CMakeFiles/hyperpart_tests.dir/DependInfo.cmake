@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_3dm.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_3dm.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_3dm.cpp.o.d"
+  "/root/repo/tests/test_annealing.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_annealing.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_annealing.cpp.o.d"
+  "/root/repo/tests/test_balance.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_balance.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_balance.cpp.o.d"
+  "/root/repo/tests/test_blocks.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_blocks.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_blocks.cpp.o.d"
+  "/root/repo/tests/test_blossom.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_blossom.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_blossom.cpp.o.d"
+  "/root/repo/tests/test_branch_and_bound.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_branch_and_bound.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_branch_and_bound.cpp.o.d"
+  "/root/repo/tests/test_brute_xp.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_brute_xp.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_brute_xp.cpp.o.d"
+  "/root/repo/tests/test_bsp.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_bsp.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_bsp.cpp.o.d"
+  "/root/repo/tests/test_coloring.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_coloring.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_coloring.cpp.o.d"
+  "/root/repo/tests/test_connectivity_tracker.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_connectivity_tracker.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_connectivity_tracker.cpp.o.d"
+  "/root/repo/tests/test_dag.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_dag.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_dag.cpp.o.d"
+  "/root/repo/tests/test_dag_families.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_dag_families.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_dag_families.cpp.o.d"
+  "/root/repo/tests/test_greedy_fm.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_greedy_fm.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_greedy_fm.cpp.o.d"
+  "/root/repo/tests/test_grid.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_grid.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_grid.cpp.o.d"
+  "/root/repo/tests/test_hier.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_hier.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_hier.cpp.o.d"
+  "/root/repo/tests/test_hyperdag.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_hyperdag.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_hyperdag.cpp.o.d"
+  "/root/repo/tests/test_hyperdag_hardness.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_hyperdag_hardness.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_hyperdag_hardness.cpp.o.d"
+  "/root/repo/tests/test_hypergraph.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_hypergraph.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_hypergraph.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_kl_refiner.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_kl_refiner.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_kl_refiner.cpp.o.d"
+  "/root/repo/tests/test_layering.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_layering.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_layering.cpp.o.d"
+  "/root/repo/tests/test_layering_hardness.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_layering_hardness.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_layering_hardness.cpp.o.d"
+  "/root/repo/tests/test_layerwise.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_layerwise.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_layerwise.cpp.o.d"
+  "/root/repo/tests/test_matching_assignment.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_matching_assignment.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_matching_assignment.cpp.o.d"
+  "/root/repo/tests/test_mpu.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_mpu.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_mpu.cpp.o.d"
+  "/root/repo/tests/test_mu_p_hardness.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_mu_p_hardness.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_mu_p_hardness.cpp.o.d"
+  "/root/repo/tests/test_multiconstraint_reduction.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_multiconstraint_reduction.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_multiconstraint_reduction.cpp.o.d"
+  "/root/repo/tests/test_multilevel.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_multilevel.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_multilevel.cpp.o.d"
+  "/root/repo/tests/test_number_partitioning.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_number_partitioning.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_number_partitioning.cpp.o.d"
+  "/root/repo/tests/test_ovp.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_ovp.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_ovp.cpp.o.d"
+  "/root/repo/tests/test_parallel.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_parallel.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_parallel.cpp.o.d"
+  "/root/repo/tests/test_partition_metrics.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_partition_metrics.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_partition_metrics.cpp.o.d"
+  "/root/repo/tests/test_recognition.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_recognition.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_recognition.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_schedule.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_schedule.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_schedule.cpp.o.d"
+  "/root/repo/tests/test_spes.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_spes.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_spes.cpp.o.d"
+  "/root/repo/tests/test_spes_delta2.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_spes_delta2.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_spes_delta2.cpp.o.d"
+  "/root/repo/tests/test_spes_kway.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_spes_kway.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_spes_kway.cpp.o.d"
+  "/root/repo/tests/test_two_step.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_two_step.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_two_step.cpp.o.d"
+  "/root/repo/tests/test_vcycle.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_vcycle.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_vcycle.cpp.o.d"
+  "/root/repo/tests/test_xp_hier.cpp" "tests/CMakeFiles/hyperpart_tests.dir/test_xp_hier.cpp.o" "gcc" "tests/CMakeFiles/hyperpart_tests.dir/test_xp_hier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/hyperpart.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

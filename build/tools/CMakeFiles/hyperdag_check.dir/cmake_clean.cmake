@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperdag_check.dir/hyperdag_check.cpp.o"
+  "CMakeFiles/hyperdag_check.dir/hyperdag_check.cpp.o.d"
+  "hyperdag_check"
+  "hyperdag_check.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperdag_check.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for hyperdag_check.
+# This may be replaced when dependencies are built.

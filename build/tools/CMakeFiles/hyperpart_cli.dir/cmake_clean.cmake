@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperpart_cli.dir/hyperpart_cli.cpp.o"
+  "CMakeFiles/hyperpart_cli.dir/hyperpart_cli.cpp.o.d"
+  "hyperpart_cli"
+  "hyperpart_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperpart_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
