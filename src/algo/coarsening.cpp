@@ -5,12 +5,38 @@
 #include <unordered_map>
 
 #include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
 
+namespace {
+
+struct VectorHash {
+  std::size_t operator()(const std::vector<NodeId>& v) const noexcept {
+    std::size_t h = v.size();
+    for (const NodeId x : v) {
+      h ^= x + 0x9e3779b9 + (h << 6) + (h >> 2);
+    }
+    return h;
+  }
+};
+
+/// A coarse pin list awaiting dedup, tagged with its weight.
+struct PendingEdge {
+  std::vector<NodeId> pins;
+  Weight weight;
+};
+
+// Shard count for the parallel dedup. Fixed (not thread-derived) so the
+// coarse edge order — shards concatenated in order, first-occurrence order
+// within each shard — is identical for every thread count.
+constexpr std::size_t kDedupShards = 32;
+
+}  // namespace
+
 CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
                          std::uint64_t seed,
-                         const Partition* restrict_parts) {
+                         const Partition* restrict_parts, unsigned threads) {
   const NodeId n = g.num_nodes();
   Rng rng{seed};
   std::vector<NodeId> order(n);
@@ -67,38 +93,85 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
     ++clusters;
   }
 
-  // Build coarse edges; merge duplicates by hashing the sorted pin list.
   std::vector<Weight> coarse_node_weight(clusters, 0);
   for (NodeId v = 0; v < n; ++v) {
     coarse_node_weight[level.fine_to_coarse[v]] += g.node_weight(v);
   }
-  struct VectorHash {
-    std::size_t operator()(const std::vector<NodeId>& v) const noexcept {
-      std::size_t h = v.size();
-      for (const NodeId x : v) {
-        h ^= x + 0x9e3779b9 + (h << 6) + (h >> 2);
-      }
-      return h;
+
+  // Build coarse edges and merge duplicates with sharded hash maps: edge
+  // chunks project their pin lists and scatter them into per-chunk shard
+  // buckets (by pin-list hash), then each shard merges its buckets
+  // independently. Shards only ever see disjoint key sets, so the merge
+  // phase is embarrassingly parallel.
+  const EdgeId m = g.num_edges();
+  const unsigned workers = std::max<unsigned>(
+      1, static_cast<unsigned>(std::min<std::uint64_t>(
+             threads == 0 ? 1 : threads, m == 0 ? 1 : m)));
+  const EdgeId chunk = m == 0 ? 1 : (m + workers - 1) / workers;
+  std::vector<std::vector<std::vector<PendingEdge>>> buckets(
+      workers, std::vector<std::vector<PendingEdge>>(kDedupShards));
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(workers);
+    for (unsigned c = 0; c < workers; ++c) {
+      const EdgeId begin = std::min<EdgeId>(m, c * chunk);
+      const EdgeId end = std::min<EdgeId>(m, begin + chunk);
+      tasks.push_back([&, c, begin, end]() {
+        VectorHash hasher;
+        for (EdgeId e = begin; e < end; ++e) {
+          std::vector<NodeId> pins;
+          pins.reserve(g.edge_size(e));
+          for (const NodeId v : g.pins(e)) {
+            pins.push_back(level.fine_to_coarse[v]);
+          }
+          std::sort(pins.begin(), pins.end());
+          pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+          if (pins.size() < 2) continue;
+          const std::size_t shard = hasher(pins) % kDedupShards;
+          buckets[c][shard].push_back({std::move(pins), g.edge_weight(e)});
+        }
+      });
     }
-  };
-  std::unordered_map<std::vector<NodeId>, Weight, VectorHash> merged;
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    std::vector<NodeId> pins;
-    pins.reserve(g.edge_size(e));
-    for (const NodeId v : g.pins(e)) {
-      pins.push_back(level.fine_to_coarse[v]);
-    }
-    std::sort(pins.begin(), pins.end());
-    pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
-    if (pins.size() < 2) continue;
-    merged[std::move(pins)] += g.edge_weight(e);
+    run_parallel(tasks, workers);
   }
+
+  std::vector<std::vector<std::vector<NodeId>>> shard_edges(kDedupShards);
+  std::vector<std::vector<Weight>> shard_weights(kDedupShards);
+  {
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(kDedupShards);
+    for (std::size_t s = 0; s < kDedupShards; ++s) {
+      tasks.push_back([&, s]() {
+        std::unordered_map<std::vector<NodeId>, std::size_t, VectorHash> index;
+        auto& edges = shard_edges[s];
+        auto& weights = shard_weights[s];
+        // Chunks visited in order keep items in original edge order, which
+        // fixes the first-occurrence order independent of the chunking.
+        for (unsigned c = 0; c < workers; ++c) {
+          for (auto& item : buckets[c][s]) {
+            const auto [it, inserted] =
+                index.try_emplace(std::move(item.pins), edges.size());
+            if (inserted) {
+              edges.push_back(it->first);
+              weights.push_back(item.weight);
+            } else {
+              weights[it->second] += item.weight;
+            }
+          }
+        }
+      });
+    }
+    run_parallel(tasks, workers);
+  }
+
   std::vector<std::vector<NodeId>> edges;
   std::vector<Weight> weights;
-  edges.reserve(merged.size());
-  for (auto& [pins, w] : merged) {
-    edges.push_back(pins);
-    weights.push_back(w);
+  for (std::size_t s = 0; s < kDedupShards; ++s) {
+    edges.insert(edges.end(),
+                 std::make_move_iterator(shard_edges[s].begin()),
+                 std::make_move_iterator(shard_edges[s].end()));
+    weights.insert(weights.end(), shard_weights[s].begin(),
+                   shard_weights[s].end());
   }
   level.graph = Hypergraph::from_edges(clusters, std::move(edges));
   level.graph.set_edge_weights(std::move(weights));

@@ -1,10 +1,18 @@
 #include "hyperpart/algo/fm_refiner.hpp"
 
 #include <algorithm>
+#include <cassert>
 #include <queue>
 #include <vector>
 
+#ifdef HP_FM_TRACE
+#include <chrono>
+#include <cstdio>
+#endif
+
 #include "hyperpart/core/connectivity_tracker.hpp"
+#include "hyperpart/util/addressable_heap.hpp"
+#include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
 
@@ -76,26 +84,128 @@ struct AppliedMove {
 
 Weight fm_refine(const Hypergraph& g, Partition& p,
                  const BalanceConstraint& balance, const FmConfig& cfg) {
-  const PartId k = p.k();
-  ConnectivityTracker tracker(g, p);
+  const unsigned threads = cfg.threads == 0 ? default_threads() : cfg.threads;
+  ConnectivityTracker tracker(g, p, threads);
+  return fm_refine(g, tracker, p, balance, cfg);
+}
 
-  for (int pass = 0; pass < cfg.max_passes; ++pass) {
-    GroupWeights groups(g, tracker.to_partition(), cfg.extra_constraints);
-    std::vector<bool> locked(g.num_nodes(), false);
-    std::priority_queue<MoveCandidate> heap;
-    const auto push_moves = [&](NodeId v) {
-      const PartId from = tracker.part_of(v);
-      for (PartId q = 0; q < k; ++q) {
-        if (q == from) continue;
-        heap.push({tracker.gain(v, q, cfg.metric), v, q});
+Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
+                 Partition& p, const BalanceConstraint& balance,
+                 const FmConfig& cfg) {
+  const PartId k = p.k();
+  const unsigned threads = cfg.threads == 0 ? default_threads() : cfg.threads;
+  const bool cached = cfg.use_gain_cache;
+  if (cached && (!tracker.gain_cache_enabled() ||
+                 tracker.gain_cache_metric() != cfg.metric)) {
+    tracker.enable_gain_cache(cfg.metric, threads);
+  }
+
+  // Pass-invariant state, hoisted and reused across passes: the heaviest
+  // node weight (for the transient-imbalance slack), the constraint-group
+  // weights (kept exact through moves and rollbacks), and the per-pass
+  // scratch buffers.
+  Weight max_node_weight = 1;
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    max_node_weight = std::max(max_node_weight, g.node_weight(v));
+  }
+  const Weight slack_capacity = balance.capacity() + max_node_weight;
+  GroupWeights groups(g, p, cfg.extra_constraints);
+  std::vector<std::uint8_t> locked(g.num_nodes(), 0);
+  std::vector<AppliedMove> moves;
+  std::priority_queue<MoveCandidate> heap;  // legacy engine: (node, part)
+  // Cached engine: addressable heap with exactly one entry per node, keyed
+  // by the node's best feasible cached gain and updated in place — no
+  // stale duplicates, heap size bounded by the boundary size.
+  AddressableMaxHeap<Weight, NodeId> nheap(cached ? g.num_nodes() : 0);
+
+  const auto push_moves = [&](NodeId v) {
+    const PartId from = tracker.part_of(v);
+    for (PartId q = 0; q < k; ++q) {
+      if (q == from) continue;
+      heap.push({tracker.gain(v, q, cfg.metric), v, q});
+    }
+  };
+  // Equal-gain ties resolve by a deterministic (node, part) hash: unlike
+  // picking the lowest part id, this spreads plateau moves across parts
+  // instead of piling them onto one, without the longer improvement runs a
+  // lighter-part-first rule provokes.
+  const auto tie_rank = [](NodeId v, PartId q) noexcept {
+    std::uint64_t x = (static_cast<std::uint64_t>(v) << 32) |
+                      static_cast<std::uint64_t>(q);
+    x *= 0x9E3779B97F4A7C15ull;
+    x ^= x >> 33;
+    x *= 0xFF51AFD7ED558CCDull;
+    x ^= x >> 33;
+    return x;
+  };
+  // Feasible target of v among the parts attaining its cached best gain
+  // (the popped heap key). The only O(k) row scan of the cached engine —
+  // it runs once per pop, not per seeded/touched node, because the tracker
+  // maintains the best gain itself. Returns k when every best-gain target
+  // is infeasible right now; the node simply rejoins the heap the next
+  // time one of its gains changes.
+  const auto select_target = [&](NodeId v, Weight key) -> PartId {
+    const PartId from = tracker.part_of(v);
+    const Weight vw = g.node_weight(v);
+    PartId best_q = k;
+    std::uint64_t best_r = 0;
+    for (PartId q = 0; q < k; ++q) {
+      if (q == from || tracker.cached_gain(v, q) != key) continue;
+      const std::uint64_t rq = tie_rank(v, q);
+      if (best_q != k && rq >= best_r) continue;
+      if (tracker.part_weight(q) + vw > slack_capacity ||
+          !groups.move_feasible(g, v, q)) {
+        continue;
       }
-    };
-    for (NodeId v = 0; v < g.num_nodes(); ++v) push_moves(v);
+      best_q = q;
+      best_r = rq;
+    }
+    return best_q;
+  };
+  const auto all_balanced = [&]() {
+    for (PartId q = 0; q < k; ++q) {
+      if (tracker.part_weight(q) > balance.capacity()) return false;
+    }
+    return true;
+  };
+
+#ifdef HP_FM_TRACE
+  long long trace_move_ns = 0, trace_touch_ns = 0, trace_seed_ns = 0;
+  unsigned long long trace_touched = 0, trace_pops = 0, trace_fixes = 0;
+#endif
+  for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    heap = {};
+    nheap.clear();
+    std::fill(locked.begin(), locked.end(), std::uint8_t{0});
+    moves.clear();
+    if (cached) {
+      // Only boundary nodes can have positive gain: moving a node with no
+      // cut incident edge can only create cut. Classic FM still explores
+      // zero/negative-gain moves, but only from the cut frontier.
+      if (tracker.boundary_nodes().empty()) break;  // cost is already 0
+#ifdef HP_FM_TRACE
+      const auto t_seed0 = std::chrono::steady_clock::now();
+#endif
+      // Key = the tracker-maintained best cached gain, feasibility checked
+      // at pop: O(1) per boundary node.
+      const auto& boundary = tracker.boundary_nodes();
+      for (std::size_t i = 0; i < boundary.size(); ++i) {
+        if (i + 8 < boundary.size()) tracker.prefetch_gain_row(boundary[i + 8]);
+        const NodeId v = boundary[i];
+        nheap.upsert(v, tracker.cached_best_gain(v));
+      }
+#ifdef HP_FM_TRACE
+      trace_seed_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t_seed0)
+                           .count();
+#endif
+    } else {
+      for (NodeId v = 0; v < g.num_nodes(); ++v) push_moves(v);
+    }
 
     const Weight start_cost = tracker.cost(cfg.metric);
     Weight running = start_cost;
     Weight best = start_cost;
-    std::vector<AppliedMove> moves;
     std::size_t best_prefix = 0;
     std::uint32_t since_improvement = 0;
 
@@ -103,40 +213,76 @@ Weight fm_refine(const Hypergraph& g, Partition& p,
     // otherwise no single move is feasible from an exactly balanced
     // bisection. Only balanced prefixes are eligible as the rollback
     // target, so the result is always feasible.
-    Weight max_node_weight = 1;
-    for (NodeId v = 0; v < g.num_nodes(); ++v) {
-      max_node_weight = std::max(max_node_weight, g.node_weight(v));
-    }
-    const Weight slack_capacity = balance.capacity() + max_node_weight;
-    const auto all_balanced = [&]() {
-      for (PartId q = 0; q < k; ++q) {
-        if (tracker.part_weight(q) > balance.capacity()) return false;
+    while (since_improvement < cfg.patience) {
+      NodeId sel_node = 0;
+      PartId sel_to = 0;
+      Weight sel_gain = 0;
+      bool found = false;
+      if (cached) {
+        // Keys are exact, not lazy: every gain change re-keys its node via
+        // the touched list below, so the top key IS the node's current
+        // best cached gain. Only balance feasibility is checked here.
+        while (!nheap.empty()) {
+#ifdef HP_FM_TRACE
+          ++trace_pops;
+#endif
+          const NodeId v = nheap.top_id();
+          const Weight key = nheap.top_key();
+          assert(key == tracker.cached_best_gain(v));
+          nheap.pop();
+          const PartId to = select_target(v, key);
+          if (to == k) continue;  // best-gain targets infeasible; drop
+          sel_node = v;
+          sel_to = to;
+          sel_gain = key;
+          found = true;
+          break;
+        }
+      } else {
+        while (!heap.empty()) {
+          const MoveCandidate cand = heap.top();
+          heap.pop();
+          if (locked[cand.node]) continue;
+          if (tracker.part_of(cand.node) == cand.to) continue;
+          const Weight fresh = tracker.gain(cand.node, cand.to, cfg.metric);
+          if (fresh != cand.gain) {
+            heap.push({fresh, cand.node, cand.to});  // stale; reinsert
+            continue;
+          }
+          if (tracker.part_weight(cand.to) + g.node_weight(cand.node) >
+                  slack_capacity ||
+              !groups.move_feasible(g, cand.node, cand.to)) {
+            continue;  // infeasible now; dropped for this pass
+          }
+          sel_node = cand.node;
+          sel_to = cand.to;
+          sel_gain = fresh;
+          found = true;
+          break;
+        }
       }
-      return true;
-    };
+      if (!found) break;
 
-    while (!heap.empty() && since_improvement < cfg.patience) {
-      const MoveCandidate cand = heap.top();
-      heap.pop();
-      if (locked[cand.node]) continue;
-      const PartId from = tracker.part_of(cand.node);
-      if (from == cand.to) continue;
-      const Weight fresh = tracker.gain(cand.node, cand.to, cfg.metric);
-      if (fresh != cand.gain) {
-        heap.push({fresh, cand.node, cand.to});  // stale; reinsert
-        continue;
+      const PartId from = tracker.part_of(sel_node);
+#ifdef HP_FM_TRACE
+      const auto t_move0 = std::chrono::steady_clock::now();
+#endif
+      tracker.move(sel_node, sel_to);
+#ifdef HP_FM_TRACE
+      trace_move_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           std::chrono::steady_clock::now() - t_move0)
+                           .count();
+#endif
+      groups.apply_move(g, sel_node, from, sel_to);
+      locked[sel_node] = 1;
+      moves.push_back({sel_node, from, sel_to});
+      running -= sel_gain;
+#ifdef HP_FM_TRACE
+      if (moves.size() % 5000 == 0) {
+        std::fprintf(stderr, "  at %zu moves running=%lld\n", moves.size(),
+                     static_cast<long long>(running));
       }
-      if (tracker.part_weight(cand.to) + g.node_weight(cand.node) >
-              slack_capacity ||
-          !groups.move_feasible(g, cand.node, cand.to)) {
-        continue;  // infeasible now; dropped for this pass
-      }
-
-      tracker.move(cand.node, cand.to);
-      groups.apply_move(g, cand.node, from, cand.to);
-      locked[cand.node] = true;
-      moves.push_back({cand.node, from, cand.to});
-      running -= fresh;
+#endif
       if (running < best && all_balanced()) {
         best = running;
         best_prefix = moves.size();
@@ -144,20 +290,65 @@ Weight fm_refine(const Hypergraph& g, Partition& p,
       } else {
         ++since_improvement;
       }
-      // Gains of neighbors changed; push fresh candidates (lazy heap).
-      for (const EdgeId e : g.incident_edges(cand.node)) {
-        for (const NodeId u : g.pins(e)) {
-          if (!locked[u]) push_moves(u);
+      if (cached) {
+#ifdef HP_FM_TRACE
+        const auto t_touch0 = std::chrono::steady_clock::now();
+        trace_touched += tracker.last_move_touched().size();
+#endif
+        // The tracker recorded exactly the nodes whose cached gains
+        // changed; re-key those (one addressable-heap entry per node,
+        // O(1) each — the tracker already knows the new best gain).
+        const auto& touched = tracker.last_move_touched();
+        for (std::size_t i = 0; i < touched.size(); ++i) {
+          const NodeId u = touched[i];
+          if (locked[u]) continue;
+          if (!tracker.is_boundary(u)) {
+            nheap.erase(u);  // left the cut frontier; all gains ≤ 0
+          } else {
+            nheap.upsert(u, tracker.cached_best_gain(u));
+          }
+        }
+#ifdef HP_FM_TRACE
+        trace_touch_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              std::chrono::steady_clock::now() - t_touch0)
+                              .count();
+#endif
+      } else {
+        // Gains of neighbors changed; push fresh candidates (lazy heap).
+        for (const EdgeId e : g.incident_edges(sel_node)) {
+          for (const NodeId u : g.pins(e)) {
+            if (!locked[u]) push_moves(u);
+          }
         }
       }
     }
 
+#ifdef HP_FM_TRACE
+    std::fprintf(stderr,
+                 "pass %d engine=%s moves=%zu start=%lld best=%lld "
+                 "move_ms=%.1f touch_ms=%.1f seed_ms=%.1f touched=%llu "
+                 "pops=%llu fixes=%llu\n",
+                 pass, cached ? "cached" : "legacy", moves.size(),
+                 static_cast<long long>(start_cost),
+                 static_cast<long long>(best), trace_move_ns * 1e-6,
+                 trace_touch_ns * 1e-6, trace_seed_ns * 1e-6,
+                 static_cast<unsigned long long>(trace_touched),
+                 static_cast<unsigned long long>(trace_pops),
+                 static_cast<unsigned long long>(trace_fixes));
+    trace_move_ns = trace_touch_ns = trace_seed_ns = 0;
+    trace_touched = trace_pops = trace_fixes = 0;
+#endif
     // Roll back past the best prefix.
     for (std::size_t i = moves.size(); i > best_prefix; --i) {
       const auto& m = moves[i - 1];
       tracker.move(m.node, m.from);
+      groups.apply_move(g, m.node, m.to, m.from);
     }
     if (best >= start_cost) break;  // pass brought no improvement
+    if (static_cast<double>(start_cost - best) <
+        cfg.min_pass_improvement * static_cast<double>(start_cost)) {
+      break;  // converged: the next pass would win even less
+    }
   }
 
   p = tracker.to_partition();

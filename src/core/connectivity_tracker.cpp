@@ -1,12 +1,22 @@
 #include "hyperpart/core/connectivity_tracker.hpp"
 
+#include <algorithm>
+#include <atomic>
 #include <cassert>
+#include <limits>
 #include <stdexcept>
+
+#include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
 
+namespace {
+constexpr std::uint32_t kNotInBoundary =
+    std::numeric_limits<std::uint32_t>::max();
+}  // namespace
+
 ConnectivityTracker::ConnectivityTracker(const Hypergraph& g,
-                                         const Partition& p)
+                                         const Partition& p, unsigned threads)
     : g_(g), k_(p.k()) {
   if (!p.complete()) {
     throw std::invalid_argument("ConnectivityTracker: incomplete partition");
@@ -18,17 +28,34 @@ ConnectivityTracker::ConnectivityTracker(const Hypergraph& g,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     part_weight_[part_[v]] += g.node_weight(v);
   }
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    for (const NodeId v : g.pins(e)) {
-      auto& c = counts_[static_cast<std::size_t>(e) * k_ + part_[v]];
-      if (c == 0) ++lambda_[e];
-      ++c;
-    }
-    if (lambda_[e] > 1) {
-      cut_net_ += g.edge_weight(e);
-      connectivity_ += g.edge_weight(e) * static_cast<Weight>(lambda_[e] - 1);
-    }
-  }
+  // Each edge's counts/λ slice is independent, so the edge loop shards
+  // cleanly; the totals are integer sums and therefore identical for every
+  // chunking.
+  std::atomic<Weight> cut{0};
+  std::atomic<Weight> conn{0};
+  parallel_for_chunks(
+      g.num_edges(), threads, [&](std::uint64_t begin, std::uint64_t end) {
+        Weight local_cut = 0;
+        Weight local_conn = 0;
+        for (EdgeId e = static_cast<EdgeId>(begin);
+             e < static_cast<EdgeId>(end); ++e) {
+          PartId l = 0;
+          for (const NodeId v : g_.pins(e)) {
+            auto& c = counts_[static_cast<std::size_t>(e) * k_ + part_[v]];
+            if (c == 0) ++l;
+            ++c;
+          }
+          lambda_[e] = l;
+          if (l > 1) {
+            local_cut += g_.edge_weight(e);
+            local_conn += g_.edge_weight(e) * static_cast<Weight>(l - 1);
+          }
+        }
+        cut.fetch_add(local_cut, std::memory_order_relaxed);
+        conn.fetch_add(local_conn, std::memory_order_relaxed);
+      });
+  cut_net_ = cut.load();
+  connectivity_ = conn.load();
 }
 
 Weight ConnectivityTracker::gain(NodeId v, PartId to, CostMetric m) const {
@@ -55,6 +82,10 @@ Weight ConnectivityTracker::gain(NodeId v, PartId to, CostMetric m) const {
 void ConnectivityTracker::move(NodeId v, PartId to) {
   const PartId from = part_[v];
   if (from == to) return;
+  if (cache_enabled_) {
+    move_with_cache(v, to);
+    return;
+  }
   for (const EdgeId e : g_.incident_edges(v)) {
     const Weight w = g_.edge_weight(e);
     const std::size_t base = static_cast<std::size_t>(e) * k_;
@@ -82,6 +113,385 @@ void ConnectivityTracker::move(NodeId v, PartId to) {
 
 Partition ConnectivityTracker::to_partition() const {
   return Partition{std::vector<PartId>(part_.begin(), part_.end()), k_};
+}
+
+// --- Gain cache ------------------------------------------------------------
+
+void ConnectivityTracker::enable_gain_cache(CostMetric m, unsigned threads) {
+  const NodeId n = g_.num_nodes();
+  cache_metric_ = m;
+  benefit_.assign(static_cast<std::size_t>(n) * k_, 0);
+  penalty_.assign(n, 0);
+  cut_incident_.assign(n, 0);
+  boundary_.clear();
+  boundary_pos_.assign(n, kNotInBoundary);
+  touched_.clear();
+  touched_stamp_.assign(n, 0);
+  epoch_ = 0;
+  if (m == CostMetric::kConnectivity) {
+    weighted_degree_.assign(n, 0);
+  } else {
+    weighted_degree_.clear();
+  }
+
+  // Edge-centric fill: each edge lists its present parts once (O(k)
+  // sequential scan of its count row) and then adds w to exactly the
+  // λ benefit slots of each pin — O(pins·λ) scattered writes instead of
+  // the O(pins·k) scattered count reads a node-centric fill would do.
+  // Both paths compute the same exact integer sums, so the tables are
+  // identical for every thread count.
+  if (threads <= 1) {
+    fill_cache_tables<false>(m, 1);
+  } else {
+    fill_cache_tables<true>(m, threads);
+  }
+
+  // Best-target index over the finished benefit rows; a pure function of
+  // the rows, so the parallel build is deterministic.
+  best_to_.assign(n, 0);
+  parallel_for_chunks(n, threads,
+                      [&](std::uint64_t begin, std::uint64_t end) {
+                        for (NodeId v = static_cast<NodeId>(begin);
+                             v < static_cast<NodeId>(end); ++v) {
+                          rescan_best(v);
+                        }
+                      });
+
+  for (NodeId v = 0; v < n; ++v) {
+    if (cut_incident_[v] > 0) boundary_insert(v);
+  }
+  cache_enabled_ = true;
+}
+
+void ConnectivityTracker::rescan_best(NodeId v) noexcept {
+  // Lowest-id argmax over q ≠ part(v); ties carry equal gain, so any
+  // deterministic choice yields the same cached_best_gain().
+  const Weight* row = benefit_.data() + static_cast<std::size_t>(v) * k_;
+  const PartId from = part_[v];
+  PartId best = (from == 0 && k_ > 1) ? 1 : 0;
+  for (PartId q = best + 1; q < k_; ++q) {
+    if (q != from && row[q] > row[best]) best = q;
+  }
+  best_to_[v] = best;
+}
+
+void ConnectivityTracker::benefit_add(NodeId v, PartId q, Weight w) noexcept {
+  const std::size_t row = static_cast<std::size_t>(v) * k_;
+  benefit_[row + q] += w;
+  // A grown slot can only steal the argmax (strict: keep the incumbent on
+  // ties — the gain is equal either way).
+  const PartId b = best_to_[v];
+  if (q != b && q != part_[v] && benefit_[row + q] > benefit_[row + b]) {
+    best_to_[v] = q;
+  }
+}
+
+void ConnectivityTracker::benefit_sub(NodeId v, PartId q, Weight w) noexcept {
+  benefit_[static_cast<std::size_t>(v) * k_ + q] -= w;
+  // Only a shrink at the argmax invalidates it; the row is cache-hot right
+  // now, so the O(k) rescan is cheap and rare (~1/λ of decreases).
+  if (best_to_[v] == q) rescan_best(v);
+}
+
+template <bool Atomic>
+void ConnectivityTracker::fill_cache_tables(CostMetric m, unsigned threads) {
+  const auto add = [](auto& slot, auto w) {
+    if constexpr (Atomic) {
+      std::atomic_ref(slot).fetch_add(w, std::memory_order_relaxed);
+    } else {
+      slot += w;
+    }
+  };
+  parallel_for_chunks(
+      g_.num_edges(), threads, [&](std::uint64_t begin, std::uint64_t end) {
+        std::vector<PartId> present;
+        present.reserve(k_);
+        for (EdgeId e = static_cast<EdgeId>(begin);
+             e < static_cast<EdgeId>(end); ++e) {
+          const Weight w = g_.edge_weight(e);
+          const std::size_t base = static_cast<std::size_t>(e) * k_;
+          const PartId l = lambda_[e];
+          if (m == CostMetric::kConnectivity) {
+            present.clear();
+            for (PartId q = 0; q < k_; ++q) {
+              if (counts_[base + q] > 0) present.push_back(q);
+            }
+            for (const NodeId u : g_.pins(e)) {
+              add(weighted_degree_[u], w);
+              if (counts_[base + part_[u]] == 1) add(penalty_[u], w);
+              Weight* row = benefit_.data() + static_cast<std::size_t>(u) * k_;
+              for (const PartId q : present) add(row[q], w);
+              if (l > 1) add(cut_incident_[u], std::uint32_t{1});
+            }
+          } else {
+            if (l == 1) {
+              if (g_.edge_size(e) >= 2) {
+                for (const NodeId u : g_.pins(e)) add(penalty_[u], w);
+              }
+            } else if (l == 2) {
+              // Exactly two present parts a < b: a lone pin in one side
+              // benefits toward the other.
+              PartId a = k_, b = k_;
+              for (PartId q = 0; q < k_; ++q) {
+                if (counts_[base + q] > 0) {
+                  if (a == k_) {
+                    a = q;
+                  } else {
+                    b = q;
+                    break;
+                  }
+                }
+              }
+              for (const NodeId u : g_.pins(e)) {
+                const PartId pu = part_[u];
+                if (counts_[base + pu] == 1) {
+                  const PartId other = pu == a ? b : a;
+                  add(benefit_[static_cast<std::size_t>(u) * k_ + other], w);
+                }
+                add(cut_incident_[u], std::uint32_t{1});
+              }
+            } else {
+              for (const NodeId u : g_.pins(e)) {
+                add(cut_incident_[u], std::uint32_t{1});
+              }
+            }
+          }
+        }
+      });
+}
+
+void ConnectivityTracker::touch(NodeId v) {
+  if (touched_stamp_[v] != epoch_) {
+    touched_stamp_[v] = epoch_;
+    touched_.push_back(v);
+  }
+}
+
+void ConnectivityTracker::boundary_insert(NodeId v) {
+  if (boundary_pos_[v] != kNotInBoundary) return;
+  boundary_pos_[v] = static_cast<std::uint32_t>(boundary_.size());
+  boundary_.push_back(v);
+}
+
+void ConnectivityTracker::boundary_erase(NodeId v) {
+  const std::uint32_t pos = boundary_pos_[v];
+  if (pos == kNotInBoundary) return;
+  const NodeId last = boundary_.back();
+  boundary_[pos] = last;
+  boundary_pos_[last] = pos;
+  boundary_.pop_back();
+  boundary_pos_[v] = kNotInBoundary;
+}
+
+void ConnectivityTracker::apply_connectivity_deltas(EdgeId e, NodeId u,
+                                                    PartId from, PartId to) {
+  // Called with pre-move counts. Benefit terms do not depend on the pin's
+  // own part, so those deltas apply to every pin (including u, whose
+  // benefit row stays delta-maintained; only its penalty is rebuilt).
+  const Weight w = g_.edge_weight(e);
+  const std::size_t base = static_cast<std::size_t>(e) * k_;
+  const std::uint32_t in_from = counts_[base + from];
+  const std::uint32_t in_to = counts_[base + to];
+  if (in_to == 0) {  // `to` newly appears in e
+    for (const NodeId x : g_.pins(e)) {
+      benefit_add(x, to, w);
+      touch(x);
+    }
+  }
+  if (in_from == 1) {  // `from` disappears from e
+    for (const NodeId x : g_.pins(e)) {
+      benefit_sub(x, from, w);
+      touch(x);
+    }
+  }
+  if (in_from == 2) {  // the remaining from-pin becomes the lone one
+    for (const NodeId x : g_.pins(e)) {
+      if (x != u && part_[x] == from) {
+        penalty_[x] += w;
+        touch(x);
+        break;
+      }
+    }
+  }
+  if (in_to == 1) {  // the previously lone to-pin gains company
+    for (const NodeId x : g_.pins(e)) {
+      if (x != u && part_[x] == to) {
+        penalty_[x] -= w;
+        touch(x);
+        break;
+      }
+    }
+  }
+}
+
+void ConnectivityTracker::remove_cut_contributions(EdgeId e, NodeId u) {
+  // Pre-move state: strip e's cut-metric contributions from every pin
+  // except the mover (whose row is rebuilt from scratch afterwards).
+  const Weight w = g_.edge_weight(e);
+  const std::size_t base = static_cast<std::size_t>(e) * k_;
+  const PartId l = lambda_[e];
+  if (l == 1) {
+    for (const NodeId x : g_.pins(e)) {
+      if (x == u) continue;
+      penalty_[x] -= w;
+      touch(x);
+    }
+  } else if (l == 2) {
+    PartId a = kInvalidPart;
+    PartId b = kInvalidPart;
+    for (PartId q = 0; q < k_; ++q) {
+      if (counts_[base + q] > 0) {
+        if (a == kInvalidPart) {
+          a = q;
+        } else {
+          b = q;
+          break;
+        }
+      }
+    }
+    for (const NodeId x : g_.pins(e)) {
+      if (x == u) continue;
+      const PartId px = part_[x];
+      if (counts_[base + px] == 1) {
+        benefit_sub(x, px == a ? b : a, w);
+        touch(x);
+      }
+    }
+  }
+}
+
+void ConnectivityTracker::add_cut_contributions(EdgeId e, NodeId u) {
+  // Post-move state: mirror of remove_cut_contributions.
+  const Weight w = g_.edge_weight(e);
+  const std::size_t base = static_cast<std::size_t>(e) * k_;
+  const PartId l = lambda_[e];
+  if (l == 1) {
+    for (const NodeId x : g_.pins(e)) {
+      if (x == u) continue;
+      penalty_[x] += w;
+      touch(x);
+    }
+  } else if (l == 2) {
+    PartId a = kInvalidPart;
+    PartId b = kInvalidPart;
+    for (PartId q = 0; q < k_; ++q) {
+      if (counts_[base + q] > 0) {
+        if (a == kInvalidPart) {
+          a = q;
+        } else {
+          b = q;
+          break;
+        }
+      }
+    }
+    for (const NodeId x : g_.pins(e)) {
+      if (x == u) continue;
+      const PartId px = part_[x];
+      if (counts_[base + px] == 1) {
+        benefit_add(x, px == a ? b : a, w);
+        touch(x);
+      }
+    }
+  }
+}
+
+void ConnectivityTracker::rebuild_mover_cache_row(NodeId u) {
+  // Post-move state; part_[u] is already the destination part.
+  const PartId pu = part_[u];
+  if (cache_metric_ == CostMetric::kConnectivity) {
+    Weight p = 0;
+    for (const EdgeId e : g_.incident_edges(u)) {
+      if (counts_[static_cast<std::size_t>(e) * k_ + pu] == 1) {
+        p += g_.edge_weight(e);
+      }
+    }
+    penalty_[u] = p;
+    // The mover's own part changed, which redraws which slots are targets
+    // (old part becomes one, new part stops being one).
+    rescan_best(u);
+    return;
+  }
+  Weight* row = benefit_.data() + static_cast<std::size_t>(u) * k_;
+  std::fill(row, row + k_, 0);
+  Weight p = 0;
+  for (const EdgeId e : g_.incident_edges(u)) {
+    const Weight w = g_.edge_weight(e);
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    const PartId l = lambda_[e];
+    if (l == 1) {
+      if (g_.edge_size(e) >= 2) p += w;
+    } else if (l == 2 && counts_[base + pu] == 1) {
+      for (PartId q = 0; q < k_; ++q) {
+        if (q != pu && counts_[base + q] > 0) {
+          row[q] += w;
+          break;
+        }
+      }
+    }
+  }
+  penalty_[u] = p;
+  rescan_best(u);  // row rebuilt wholesale; re-derive the argmax
+}
+
+void ConnectivityTracker::update_boundary_after_lambda_change(EdgeId e,
+                                                              PartId l_before,
+                                                              PartId l_after) {
+  if (l_before == 1 && l_after > 1) {
+    for (const NodeId x : g_.pins(e)) {
+      if (cut_incident_[x]++ == 0) boundary_insert(x);
+    }
+  } else if (l_before > 1 && l_after == 1) {
+    for (const NodeId x : g_.pins(e)) {
+      assert(cut_incident_[x] > 0);
+      if (--cut_incident_[x] == 0) boundary_erase(x);
+    }
+  }
+}
+
+void ConnectivityTracker::move_with_cache(NodeId u, PartId to) {
+  const PartId from = part_[u];
+  ++epoch_;
+  touched_.clear();
+  touch(u);
+  const bool conn = cache_metric_ == CostMetric::kConnectivity;
+  // The delta rules below write scattered benefit rows of this move's
+  // neighborhood; start pulling them in before the count updates need them.
+  for (const EdgeId e : g_.incident_edges(u)) {
+    for (const NodeId v : g_.pins(e)) prefetch_gain_row(v);
+  }
+  for (const EdgeId e : g_.incident_edges(u)) {
+    const Weight w = g_.edge_weight(e);
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    const PartId l_before = lambda_[e];
+    auto& cf = counts_[base + from];
+    auto& ct = counts_[base + to];
+    assert(cf > 0);
+    const PartId l_after = l_before - static_cast<PartId>(cf == 1) +
+                           static_cast<PartId>(ct == 0);
+    // λ ≥ 3 before and after means no pin's cut-metric contribution
+    // changes; those edges cost O(1).
+    const bool cut_relevant = !conn && (l_before <= 2 || l_after <= 2);
+    if (conn) {
+      apply_connectivity_deltas(e, u, from, to);
+    } else if (cut_relevant) {
+      remove_cut_contributions(e, u);
+    }
+    --cf;
+    ++ct;
+    lambda_[e] = l_after;
+    if (l_after != l_before) {
+      connectivity_ +=
+          w * (static_cast<Weight>(l_after) - static_cast<Weight>(l_before));
+      cut_net_ += w * (static_cast<Weight>(l_after > 1) -
+                       static_cast<Weight>(l_before > 1));
+    }
+    if (cut_relevant) add_cut_contributions(e, u);
+    update_boundary_after_lambda_change(e, l_before, l_after);
+  }
+  part_weight_[from] -= g_.node_weight(u);
+  part_weight_[to] += g_.node_weight(u);
+  part_[u] = to;
+  rebuild_mover_cache_row(u);
 }
 
 }  // namespace hp

@@ -20,14 +20,18 @@ struct CoarseLevel {
 };
 
 /// One round of heavy-edge pair matching. Clusters never exceed
-/// `max_cluster_weight`. Deterministic for a fixed seed. When
-/// `restrict_parts` is given, only nodes of the same part are matched
-/// (the partition-aware coarsening of V-cycles).
+/// `max_cluster_weight`. When `restrict_parts` is given, only nodes of the
+/// same part are matched (the partition-aware coarsening of V-cycles).
+/// The coarse-edge dedup runs on `threads` executors over sharded hash
+/// maps; the result is deterministic for a fixed seed and identical for
+/// every thread count (items are sharded by pin-list hash and merged in
+/// original edge order within each shard).
 [[nodiscard]] CoarseLevel coarsen_once(const Hypergraph& g,
                                        Weight max_cluster_weight,
                                        std::uint64_t seed,
                                        const Partition* restrict_parts =
-                                           nullptr);
+                                           nullptr,
+                                       unsigned threads = 1);
 
 /// Project a coarse partition to the fine level.
 [[nodiscard]] Partition project_partition(const Partition& coarse,

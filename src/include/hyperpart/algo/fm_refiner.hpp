@@ -7,6 +7,18 @@
 // capacity, and optionally against extra constraint groups (Definition 6.1
 // multi-constraint / Definition 5.1 layer-wise), which is what makes the
 // refiner usable for the paper's multi-constraint experiments.
+//
+// Two engines share the pass structure. The default boundary-driven engine
+// runs off the ConnectivityTracker's incrementally-maintained gain cache
+// and best-move index: passes seed an addressable per-node heap with
+// boundary nodes only (nodes on cut edges — everything else has
+// non-positive gain), keyed by the tracker's O(1) best cached gain. Keys
+// are exact rather than lazy — after each move precisely the nodes whose
+// cached gains changed are re-keyed in place — so a pop needs no
+// revalidation, just one O(k) feasibility scan to pick the target part.
+// The legacy engine (use_gain_cache = false) recomputes gains by
+// rescanning incident edges and seeds all n·(k−1) moves; it is kept as
+// the reference baseline measured by bench_refine_scaling.
 
 #include <cstdint>
 
@@ -16,19 +28,43 @@
 
 namespace hp {
 
+class ConnectivityTracker;
+
 struct FmConfig {
   CostMetric metric = CostMetric::kConnectivity;
   /// Maximum number of passes; each pass is O(pins · log) amortized.
   int max_passes = 8;
   /// A pass aborts after this many consecutive non-improving moves.
   std::uint32_t patience = 64;
+  /// Stop iterating passes once a pass improved the cost by less than this
+  /// fraction of its start cost (0 = keep going until a pass brings no
+  /// improvement at all). Trailing passes re-scan the whole boundary to
+  /// recover a handful of moves; cutting them is almost free in quality.
+  double min_pass_improvement = 0.002;
   /// Optional extra balance groups that every move must respect.
   const ConstraintSet* extra_constraints = nullptr;
+  /// Boundary-driven gain-cache engine (default) vs. the legacy
+  /// recompute-every-gain engine kept for baseline measurements.
+  bool use_gain_cache = true;
+  /// Threads for tracker/gain-cache construction (0 = default_threads()).
+  /// The refined partition is identical for every thread count.
+  unsigned threads = 1;
 };
 
 /// Refine `p` in place; returns the final cost under cfg.metric.
 /// `p` must be complete and balanced on entry.
 Weight fm_refine(const Hypergraph& g, Partition& p,
                  const BalanceConstraint& balance, const FmConfig& cfg = {});
+
+/// Same, but runs on a caller-owned tracker that must already reflect `p`.
+/// Construction (and gain-cache fill) cost is paid by the caller exactly
+/// once, so drivers that already keep a tracker — and benchmarks that time
+/// construction as its own stage — don't rebuild it per refinement call.
+/// Enables the gain cache on the tracker when cfg asks for an engine or
+/// metric it doesn't have yet. On return the tracker reflects the refined
+/// partition written to `p`.
+Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
+                 Partition& p, const BalanceConstraint& balance,
+                 const FmConfig& cfg = {});
 
 }  // namespace hp

@@ -5,6 +5,25 @@
 // part i, plus running totals of both cost metrics. Moving one node updates
 // all incident edges in O(Σ incident edges) and answers move gains exactly,
 // which is the engine behind the FM refiner (src/algo/fm_refiner).
+//
+// On top of the pin counts the tracker can maintain a *gain cache*: a
+// per-node × per-part table of exact move gains for one metric, updated by
+// delta rules inside move() so refinement pops read gains in O(1) instead
+// of rescanning incident edges, plus a boundary-node set (nodes on cut
+// edges) so FM passes seed their priority queue with boundary moves only.
+// The delta rules follow the KaHyPar gain-cache decomposition:
+//
+//   connectivity:  gain(v,q) = p(v) + ben(v,q) − degw(v)
+//     p(v)      = Σ_{e∋v} w(e)·[Φ(e, part(v)) == 1]   (v alone on its side)
+//     ben(v,q)  = Σ_{e∋v} w(e)·[Φ(e, q) ≥ 1]          (q already present)
+//     degw(v)   = Σ_{e∋v} w(e)                        (constant)
+//   cut-net:       gain(v,q) = ben₂(v,q) − int(v)
+//     int(v)    = Σ_{e∋v, |e|≥2} w(e)·[λ_e == 1]      (edges v would cut)
+//     ben₂(v,q) = Σ_{e∋v} w(e)·[λ_e == 2 ∧ Φ(e,part(v)) == 1 ∧ Φ(e,q) ≥ 1]
+//
+// where Φ(e,q) = pins_in_part(e,q). Only edges whose pin counts cross the
+// 0/1/2 thresholds (boundary edges) trigger pin rescans; interior moves on
+// large edges cost O(1) per edge.
 
 #include <vector>
 
@@ -16,8 +35,12 @@ namespace hp {
 
 class ConnectivityTracker {
  public:
-  /// The partition must be complete (every node assigned).
-  ConnectivityTracker(const Hypergraph& g, const Partition& p);
+  /// The partition must be complete (every node assigned). With
+  /// `threads` > 1 the m×k pin-count table is built in parallel over edge
+  /// ranges on the persistent thread pool; the result is identical for
+  /// every thread count.
+  ConnectivityTracker(const Hypergraph& g, const Partition& p,
+                      unsigned threads = 1);
 
   [[nodiscard]] PartId k() const noexcept { return k_; }
 
@@ -45,15 +68,105 @@ class ConnectivityTracker {
   }
 
   /// Exact decrease in cost if v moved to part `to` (negative = cost rises).
+  /// Always recomputed from the pin counts; see cached_gain() for the O(1)
+  /// path.
   [[nodiscard]] Weight gain(NodeId v, PartId to, CostMetric m) const;
 
-  /// Move v to part `to`, updating counts, λ, costs and part weights.
+  /// Move v to part `to`, updating counts, λ, costs, part weights, and —
+  /// when enabled — the gain cache and boundary set.
   void move(NodeId v, PartId to);
 
   /// Export the current assignment.
   [[nodiscard]] Partition to_partition() const;
 
+  // --- Gain cache & boundary set -----------------------------------------
+
+  /// Build the n×k gain table and the boundary set for metric `m`
+  /// (parallel over node ranges with `threads` > 1). May be called again
+  /// to switch metrics; moves made afterwards keep the cache exact.
+  void enable_gain_cache(CostMetric m, unsigned threads = 1);
+
+  [[nodiscard]] bool gain_cache_enabled() const noexcept {
+    return cache_enabled_;
+  }
+  [[nodiscard]] CostMetric gain_cache_metric() const noexcept {
+    return cache_metric_;
+  }
+
+  /// O(1) gain of moving v to `to` under the cached metric. Requires an
+  /// enabled cache; equals gain(v, to, gain_cache_metric()).
+  [[nodiscard]] Weight cached_gain(NodeId v, PartId to) const noexcept {
+    const PartId from = part_[v];
+    if (from == to) return 0;
+    const std::size_t idx = static_cast<std::size_t>(v) * k_ + to;
+    return cache_metric_ == CostMetric::kConnectivity
+               ? penalty_[v] + benefit_[idx] - weighted_degree_[v]
+               : benefit_[idx] - penalty_[v];
+  }
+
+  /// O(1) best cached move of v: the part maximizing cached_gain(v, ·) and
+  /// that gain. The argmax is maintained incrementally — benefit-row writes
+  /// update it in place (the row is cache-hot at that moment) and only a
+  /// decrease at the current argmax triggers an O(k) rescan — so refiners
+  /// key their heaps on it without ever scanning gain rows. The penalty /
+  /// degree terms shift every target's gain equally and therefore never
+  /// move the argmax. Balance-infeasible targets are NOT excluded; callers
+  /// check feasibility when they pop.
+  [[nodiscard]] PartId cached_best_target(NodeId v) const noexcept {
+    return best_to_[v];
+  }
+  [[nodiscard]] Weight cached_best_gain(NodeId v) const noexcept {
+    return cached_gain(v, best_to_[v]);
+  }
+
+  /// True when v has at least one incident edge with λ_e > 1. Only
+  /// maintained while the gain cache is enabled.
+  [[nodiscard]] bool is_boundary(NodeId v) const noexcept {
+    return cut_incident_[v] > 0;
+  }
+  /// Current boundary nodes, in insertion order (deterministic for a fixed
+  /// move sequence). Only maintained while the gain cache is enabled.
+  [[nodiscard]] const std::vector<NodeId>& boundary_nodes() const noexcept {
+    return boundary_;
+  }
+
+  /// Nodes (other than the moved one — it is listed too) whose cached
+  /// gains changed during the last move(); refiners re-push exactly these
+  /// into their priority queues. Cleared at the start of every move.
+  [[nodiscard]] const std::vector<NodeId>& last_move_touched() const noexcept {
+    return touched_;
+  }
+
+  /// Hint the CPU to pull `v`'s cached-gain row into cache. The FM engine
+  /// issues this a few nodes ahead while sweeping boundary/touched lists —
+  /// the rows are scattered across an n×k table, so the walk is otherwise
+  /// latency-bound.
+  void prefetch_gain_row(NodeId v) const noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+    __builtin_prefetch(benefit_.data() + static_cast<std::size_t>(v) * k_);
+    __builtin_prefetch(penalty_.data() + v);
+#else
+    (void)v;
+#endif
+  }
+
  private:
+  template <bool Atomic>
+  void fill_cache_tables(CostMetric m, unsigned threads);
+  void move_with_cache(NodeId v, PartId to);
+  void rescan_best(NodeId v) noexcept;
+  void benefit_add(NodeId v, PartId q, Weight w) noexcept;
+  void benefit_sub(NodeId v, PartId q, Weight w) noexcept;
+  void apply_connectivity_deltas(EdgeId e, NodeId u, PartId from, PartId to);
+  void remove_cut_contributions(EdgeId e, NodeId u);
+  void add_cut_contributions(EdgeId e, NodeId u);
+  void rebuild_mover_cache_row(NodeId u);
+  void update_boundary_after_lambda_change(EdgeId e, PartId l_before,
+                                           PartId l_after);
+  void touch(NodeId v);
+  void boundary_insert(NodeId v);
+  void boundary_erase(NodeId v);
+
   const Hypergraph& g_;
   PartId k_;
   std::vector<PartId> part_;
@@ -62,6 +175,20 @@ class ConnectivityTracker {
   std::vector<Weight> part_weight_;
   Weight cut_net_ = 0;
   Weight connectivity_ = 0;
+
+  // Gain-cache state (empty until enable_gain_cache()).
+  bool cache_enabled_ = false;
+  CostMetric cache_metric_ = CostMetric::kConnectivity;
+  std::vector<Weight> benefit_;          // n × k: ben / ben₂ term
+  std::vector<Weight> penalty_;          // n: p / int term
+  std::vector<Weight> weighted_degree_;  // n: degw (connectivity only)
+  std::vector<PartId> best_to_;          // n: argmax_q≠part cached_gain(·,q)
+  std::vector<std::uint32_t> cut_incident_;  // n: #incident edges with λ>1
+  std::vector<NodeId> boundary_;             // sparse set of boundary nodes
+  std::vector<std::uint32_t> boundary_pos_;  // n: index into boundary_
+  std::vector<NodeId> touched_;              // gains changed by last move
+  std::vector<std::uint64_t> touched_stamp_;  // n: dedup epoch per node
+  std::uint64_t epoch_ = 0;
 };
 
 }  // namespace hp

@@ -1,0 +1,131 @@
+#pragma once
+// Addressable 4-ary max-heap over a dense id universe [0, n).
+//
+// Exactly one entry per id, updatable in place through a position index —
+// the gain-cache FM engine keeps one candidate per boundary node here
+// instead of flooding a lazy binary heap with stale duplicates (the heap
+// stays at boundary size instead of growing with every gain change). The
+// 4-ary layout halves the tree depth of a binary heap and keeps sibling
+// comparisons within one cache line.
+//
+// All operations are deterministic: identical call sequences produce
+// identical pop orders, which the FM determinism guarantees rely on.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace hp {
+
+template <typename Key, typename Id = std::uint32_t>
+class AddressableMaxHeap {
+ public:
+  static constexpr std::uint32_t kNotInHeap = 0xffffffffu;
+
+  explicit AddressableMaxHeap(Id universe = 0) { reset(universe); }
+
+  /// Resize the id universe and drop every entry.
+  void reset(Id universe) {
+    pos_.assign(universe, kNotInHeap);
+    heap_.clear();
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return heap_.size(); }
+  [[nodiscard]] bool contains(Id id) const {
+    return pos_[id] != kNotInHeap;
+  }
+  [[nodiscard]] Id top_id() const { return heap_.front().id; }
+  [[nodiscard]] Key top_key() const { return heap_.front().key; }
+  [[nodiscard]] Key key_of(Id id) const { return heap_[pos_[id]].key; }
+
+  /// Insert a new id, or change the key of a present one.
+  void upsert(Id id, Key key) {
+    if (pos_[id] == kNotInHeap) {
+      pos_[id] = static_cast<std::uint32_t>(heap_.size());
+      heap_.push_back({key, id});
+      sift_up(heap_.size() - 1);
+    } else {
+      const std::size_t i = pos_[id];
+      const Key old = heap_[i].key;
+      heap_[i].key = key;
+      if (key > old) {
+        sift_up(i);
+      } else if (key < old) {
+        sift_down(i);
+      }
+    }
+  }
+
+  void pop() { erase_at(0); }
+
+  /// Remove an id if present (no-op otherwise).
+  void erase(Id id) {
+    if (pos_[id] != kNotInHeap) erase_at(pos_[id]);
+  }
+
+  /// Remove every entry; O(size).
+  void clear() {
+    for (const Entry& e : heap_) pos_[e.id] = kNotInHeap;
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    Id id;
+  };
+
+  void erase_at(std::size_t i) {
+    pos_[heap_[i].id] = kNotInHeap;
+    const Entry last = heap_.back();
+    heap_.pop_back();
+    if (i < heap_.size()) {
+      heap_[i] = last;
+      pos_[last.id] = static_cast<std::uint32_t>(i);
+      if (!sift_up(i)) sift_down(i);
+    }
+  }
+
+  /// Returns true when the entry moved (so erase_at can skip sift_down).
+  bool sift_up(std::size_t i) {
+    const Entry e = heap_[i];
+    bool moved = false;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 4;
+      if (heap_[parent].key >= e.key) break;
+      heap_[i] = heap_[parent];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = parent;
+      moved = true;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+    return moved;
+  }
+
+  void sift_down(std::size_t i) {
+    const Entry e = heap_[i];
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t first = 4 * i + 1;
+      if (first >= n) break;
+      std::size_t best = first;
+      const std::size_t end = std::min(first + 4, n);
+      for (std::size_t c = first + 1; c < end; ++c) {
+        if (heap_[c].key > heap_[best].key) best = c;
+      }
+      if (heap_[best].key <= e.key) break;
+      heap_[i] = heap_[best];
+      pos_[heap_[i].id] = static_cast<std::uint32_t>(i);
+      i = best;
+    }
+    heap_[i] = e;
+    pos_[e.id] = static_cast<std::uint32_t>(i);
+  }
+
+  std::vector<std::uint32_t> pos_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace hp

@@ -1,7 +1,14 @@
 #pragma once
-// Minimal fixed-size thread pool for the library's coarse-grained
-// parallelism: parallel cost evaluation and multi-start search. Tasks are
-// submitted as a batch and joined; no work stealing, no global state.
+// Persistent worker pool for the library's shared-memory parallelism.
+//
+// A single lazily-initialized pool of std::threads serves every parallel
+// region (parallel cost evaluation, multi-start search, coarsening dedup,
+// tracker construction), so hot paths that enter and leave parallel
+// sections thousands of times do not pay thread spawn/join each call.
+// Batches are drained from a condition-variable task queue; the submitting
+// thread participates in its own batch, which both removes one context
+// switch and makes nested submissions (a pool task calling run()) safe:
+// progress never depends on a free worker.
 
 #include <cstdint>
 #include <functional>
@@ -9,9 +16,39 @@
 
 namespace hp {
 
-/// Run tasks[0..n) across at most `threads` std::threads (1 = inline).
-/// Blocks until all tasks complete. Exceptions in tasks terminate — tasks
-/// must be noexcept in spirit.
+class ThreadPool {
+ public:
+  /// The process-wide pool, created on first use with default_threads()−1
+  /// workers (the submitter is the remaining executor).
+  static ThreadPool& instance();
+
+  /// Execute tasks[0..n) and block until all complete. The calling thread
+  /// drains tasks alongside the workers, so this is safe to call from
+  /// inside a pool task. Tasks must not throw.
+  void run(const std::vector<std::function<void()>>& tasks);
+
+  /// Resident worker threads (not counting submitters).
+  [[nodiscard]] unsigned num_workers() const noexcept;
+
+  /// Batches executed since process start; observable evidence that the
+  /// pool persists across calls (used by tests).
+  [[nodiscard]] std::uint64_t batches_executed() const noexcept;
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+ private:
+  ThreadPool();
+  ~ThreadPool();
+
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Run tasks[0..n) across at most `threads` executors (1 = inline on the
+/// calling thread). Blocks until all tasks complete. Exceptions in tasks
+/// terminate — tasks must be noexcept in spirit. Backed by the persistent
+/// ThreadPool; no threads are spawned per call.
 void run_parallel(const std::vector<std::function<void()>>& tasks,
                   unsigned threads);
 

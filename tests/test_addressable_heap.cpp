@@ -1,0 +1,96 @@
+#include "hyperpart/util/addressable_heap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+TEST(AddressableHeap, BasicOrdering) {
+  AddressableMaxHeap<int> h(8);
+  h.upsert(3, 10);
+  h.upsert(1, 30);
+  h.upsert(5, 20);
+  EXPECT_EQ(h.size(), 3u);
+  EXPECT_EQ(h.top_id(), 1u);
+  EXPECT_EQ(h.top_key(), 30);
+  h.pop();
+  EXPECT_EQ(h.top_id(), 5u);
+  h.pop();
+  EXPECT_EQ(h.top_id(), 3u);
+  h.pop();
+  EXPECT_TRUE(h.empty());
+}
+
+TEST(AddressableHeap, UpsertRekeysInPlace) {
+  AddressableMaxHeap<int> h(4);
+  h.upsert(0, 1);
+  h.upsert(1, 2);
+  h.upsert(2, 3);
+  h.upsert(0, 99);  // raise
+  EXPECT_EQ(h.top_id(), 0u);
+  EXPECT_EQ(h.size(), 3u);  // still one entry per id
+  h.upsert(0, -5);  // lower
+  EXPECT_EQ(h.top_id(), 2u);
+  EXPECT_EQ(h.key_of(0), -5);
+}
+
+TEST(AddressableHeap, EraseArbitrary) {
+  AddressableMaxHeap<int> h(8);
+  for (std::uint32_t id = 0; id < 8; ++id) {
+    h.upsert(id, static_cast<int>(id));
+  }
+  h.erase(7);  // current top
+  h.erase(3);  // interior
+  h.erase(3);  // absent: no-op
+  EXPECT_EQ(h.size(), 6u);
+  EXPECT_FALSE(h.contains(7));
+  EXPECT_FALSE(h.contains(3));
+  EXPECT_EQ(h.top_id(), 6u);
+}
+
+// Randomized model check: a mirror std::multimap must agree on size,
+// membership, and maximum key through long upsert/erase/pop sequences.
+TEST(AddressableHeap, MatchesReferenceModelUnderRandomOps) {
+  constexpr std::uint32_t kUniverse = 64;
+  AddressableMaxHeap<long long> h(kUniverse);
+  std::map<std::uint32_t, long long> model;
+  Rng rng{20260805};
+  for (int step = 0; step < 20000; ++step) {
+    const auto op = rng.next_below(10);
+    const auto id = static_cast<std::uint32_t>(rng.next_below(kUniverse));
+    if (op < 6) {
+      const auto key =
+          static_cast<long long>(rng.next_below(2001)) - 1000;
+      h.upsert(id, key);
+      model[id] = key;
+    } else if (op < 8) {
+      h.erase(id);
+      model.erase(id);
+    } else if (!model.empty()) {
+      // Pop must surface a maximum-key entry.
+      long long max_key = model.begin()->second;
+      for (const auto& [mid, mkey] : model) max_key = std::max(max_key, mkey);
+      ASSERT_EQ(h.top_key(), max_key);
+      model.erase(h.top_id());
+      h.pop();
+    }
+    ASSERT_EQ(h.size(), model.size());
+    if (step % 500 == 0) {
+      for (std::uint32_t v = 0; v < kUniverse; ++v) {
+        ASSERT_EQ(h.contains(v), model.count(v) == 1) << "id " << v;
+        if (h.contains(v)) {
+          ASSERT_EQ(h.key_of(v), model[v]);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hp

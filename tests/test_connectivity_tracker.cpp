@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <limits>
 #include <tuple>
 
 #include "hyperpart/algo/greedy.hpp"
@@ -76,6 +78,130 @@ INSTANTIATE_TEST_SUITE_P(
                        ::testing::Values(2, 3, 4),
                        ::testing::Values(CostMetric::kCutNet,
                                          CostMetric::kConnectivity)));
+
+// Gain-cache property sweep: after long random move sequences the cached
+// gains must equal freshly recomputed gains for every (node, part) pair,
+// the tracked costs must match from-scratch metric evaluation, and the
+// boundary set must be exactly the nodes incident to a cut edge.
+class GainCacheProperty
+    : public ::testing::TestWithParam<std::tuple<int, int, CostMetric>> {};
+
+TEST_P(GainCacheProperty, MatchesRecomputationAfterRandomMoves) {
+  const auto [seed, k, metric] = GetParam();
+  const NodeId n = 30;
+  const Hypergraph g =
+      random_hypergraph(n, 45, 2, 6, static_cast<std::uint64_t>(seed) + 7);
+  Rng rng{static_cast<std::uint64_t>(seed) + 1234};
+  std::vector<PartId> assign(n);
+  for (auto& a : assign) {
+    a = static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(k)));
+  }
+  ConnectivityTracker t(g, Partition(std::move(assign), static_cast<PartId>(k)));
+  t.enable_gain_cache(metric);
+  ASSERT_TRUE(t.gain_cache_enabled());
+
+  const auto check_full_state = [&]() {
+    const Partition now = t.to_partition();
+    EXPECT_EQ(t.cost(metric), cost(g, now, metric));
+    for (NodeId v = 0; v < n; ++v) {
+      bool on_cut = false;
+      for (const EdgeId e : g.incident_edges(v)) {
+        if (t.lambda(e) > 1) on_cut = true;
+      }
+      EXPECT_EQ(t.is_boundary(v), on_cut) << "node " << v;
+      Weight best = std::numeric_limits<Weight>::min();
+      for (PartId q = 0; q < static_cast<PartId>(k); ++q) {
+        EXPECT_EQ(t.cached_gain(v, q), t.gain(v, q, metric))
+            << "node " << v << " to " << q;
+        if (q != now[v]) best = std::max(best, t.cached_gain(v, q));
+      }
+      // The incrementally-maintained argmax must always point at a
+      // best-gain target (k == 1 has no targets at all).
+      if (k > 1) {
+        EXPECT_NE(t.cached_best_target(v), now[v]) << "node " << v;
+        EXPECT_EQ(t.cached_best_gain(v), best) << "node " << v;
+      }
+    }
+  };
+
+  check_full_state();
+  for (int step = 0; step < 1000; ++step) {
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    const auto to =
+        static_cast<PartId>(rng.next_below(static_cast<std::uint64_t>(k)));
+    const Weight predicted = t.cached_gain(v, to);
+    EXPECT_EQ(predicted, t.gain(v, to, metric));
+    const Weight before = t.cost(metric);
+    t.move(v, to);
+    EXPECT_EQ(before - t.cost(metric), predicted);
+    if (step % 100 == 99) check_full_state();
+  }
+  check_full_state();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, GainCacheProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(2, 3, 5),
+                       ::testing::Values(CostMetric::kCutNet,
+                                         CostMetric::kConnectivity)));
+
+TEST(GainCache, TouchedNodesCoverEveryGainChange) {
+  // Every node whose cached gain row differs after a move must be listed
+  // in last_move_touched() — the FM engine relies on this for its heap
+  // updates.
+  const NodeId n = 25;
+  const PartId k = 3;
+  const Hypergraph g = random_hypergraph(n, 35, 2, 5, 17);
+  Rng rng{55};
+  std::vector<PartId> assign(n);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(k));
+  ConnectivityTracker t(g, Partition(std::move(assign), k));
+  t.enable_gain_cache(CostMetric::kConnectivity);
+  for (int step = 0; step < 200; ++step) {
+    std::vector<Weight> before(static_cast<std::size_t>(n) * k);
+    for (NodeId v = 0; v < n; ++v) {
+      for (PartId q = 0; q < k; ++q) {
+        before[static_cast<std::size_t>(v) * k + q] = t.cached_gain(v, q);
+      }
+    }
+    const auto v = static_cast<NodeId>(rng.next_below(n));
+    const auto to = static_cast<PartId>(rng.next_below(k));
+    t.move(v, to);
+    const auto& touched = t.last_move_touched();
+    for (NodeId u = 0; u < n; ++u) {
+      bool changed = false;
+      for (PartId q = 0; q < k; ++q) {
+        if (before[static_cast<std::size_t>(u) * k + q] !=
+            t.cached_gain(u, q)) {
+          changed = true;
+        }
+      }
+      if (changed) {
+        EXPECT_NE(std::find(touched.begin(), touched.end(), u), touched.end())
+            << "node " << u << " changed but was not touched";
+      }
+    }
+  }
+}
+
+TEST(GainCache, SwitchingMetricRebuildsExactly) {
+  const Hypergraph g = random_hypergraph(20, 30, 2, 5, 23);
+  Rng rng{88};
+  std::vector<PartId> assign(20);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(4));
+  ConnectivityTracker t(g, Partition(std::move(assign), 4));
+  t.enable_gain_cache(CostMetric::kConnectivity);
+  t.move(3, 1);
+  t.move(7, 2);
+  t.enable_gain_cache(CostMetric::kCutNet);
+  EXPECT_EQ(t.gain_cache_metric(), CostMetric::kCutNet);
+  for (NodeId v = 0; v < 20; ++v) {
+    for (PartId q = 0; q < 4; ++q) {
+      EXPECT_EQ(t.cached_gain(v, q), t.gain(v, q, CostMetric::kCutNet));
+    }
+  }
+}
 
 }  // namespace
 }  // namespace hp

@@ -2,6 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
+
+#include "hyperpart/algo/coarsening.hpp"
+#include "hyperpart/algo/greedy.hpp"
 #include "hyperpart/dag/layerwise_partitioner.hpp"
 #include "hyperpart/dag/hyperdag.hpp"
 #include "hyperpart/io/dag_families.hpp"
@@ -38,6 +43,111 @@ TEST(ThreadPool, SingleThreadInline) {
                                            [&]() { ++counter; }};
   run_parallel(tasks, 1);
   EXPECT_EQ(counter, 2);
+}
+
+TEST(ThreadPool, PersistsAcrossCalls) {
+  // run_parallel is backed by one process-wide worker pool: repeated
+  // parallel regions reuse the same resident workers instead of spawning
+  // threads per call.
+  ThreadPool& pool = ThreadPool::instance();
+  const unsigned workers = pool.num_workers();
+  const std::uint64_t before = pool.batches_executed();
+  for (int round = 0; round < 50; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    parallel_for_chunks(64, 4, [&](std::uint64_t b, std::uint64_t e) {
+      for (std::uint64_t i = b; i < e; ++i) hits[i].fetch_add(1);
+    });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+  EXPECT_EQ(pool.num_workers(), workers);
+  EXPECT_EQ(&pool, &ThreadPool::instance());
+  // On a single-core host every region runs inline on the submitter, which
+  // is still one batch through the pool per multi-chunk call.
+  EXPECT_GE(pool.batches_executed(), before);
+}
+
+TEST(ThreadPool, NestedSubmissionCompletes) {
+  // A pool task submitting its own batch must not deadlock: the submitter
+  // always drains its own batch, so progress never waits on a free worker.
+  std::atomic<int> total{0};
+  std::vector<std::function<void()>> outer;
+  for (int i = 0; i < 4; ++i) {
+    outer.push_back([&]() {
+      parallel_for_chunks(100, 4, [&](std::uint64_t b, std::uint64_t e) {
+        total.fetch_add(static_cast<int>(e - b));
+      });
+    });
+  }
+  run_parallel(outer, 4);
+  EXPECT_EQ(total.load(), 400);
+}
+
+TEST(Coarsening, DedupDeterministicAcrossThreadCounts) {
+  const Hypergraph g = random_hypergraph(300, 500, 2, 8, 13);
+  const CoarseLevel serial = coarsen_once(g, 10, 99, nullptr, 1);
+  for (const unsigned threads : {2u, 4u, 16u}) {
+    const CoarseLevel par = coarsen_once(g, 10, 99, nullptr, threads);
+    ASSERT_EQ(par.graph.num_nodes(), serial.graph.num_nodes());
+    ASSERT_EQ(par.graph.num_edges(), serial.graph.num_edges());
+    EXPECT_EQ(par.fine_to_coarse, serial.fine_to_coarse);
+    for (EdgeId e = 0; e < serial.graph.num_edges(); ++e) {
+      const auto a = serial.graph.pins(e);
+      const auto b = par.graph.pins(e);
+      ASSERT_EQ(a.size(), b.size());
+      EXPECT_TRUE(std::equal(a.begin(), a.end(), b.begin()));
+      EXPECT_EQ(par.graph.edge_weight(e), serial.graph.edge_weight(e));
+    }
+  }
+}
+
+TEST(Fm, DeterministicAcrossThreadCounts) {
+  // The gain-cache engine builds its tracker/cache in parallel, but the
+  // refined partition must be bit-identical for every thread count.
+  const Hypergraph g = random_hypergraph(400, 600, 2, 6, 21);
+  for (const CostMetric metric :
+       {CostMetric::kCutNet, CostMetric::kConnectivity}) {
+    const auto balance = BalanceConstraint::for_graph(g, 4, 0.1, true);
+    const auto start = random_balanced_partition(g, balance, 31);
+    ASSERT_TRUE(start.has_value());
+    FmConfig cfg;
+    cfg.metric = metric;
+    cfg.threads = 1;
+    Partition serial = *start;
+    const Weight serial_cost = fm_refine(g, serial, balance, cfg);
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      cfg.threads = threads;
+      Partition threaded = *start;
+      const Weight threaded_cost = fm_refine(g, threaded, balance, cfg);
+      EXPECT_EQ(threaded_cost, serial_cost);
+      EXPECT_TRUE(std::equal(serial.raw().begin(), serial.raw().end(),
+                             threaded.raw().begin()))
+          << "metric " << to_string(metric) << " threads " << threads;
+    }
+  }
+}
+
+TEST(Fm, GainCacheEngineMatchesLegacyQuality) {
+  // Both engines are valid FM searches; neither may leave an improving
+  // pass unexplored. Check the cached engine never ends worse than the
+  // start and stays within balance, on the same instances the legacy
+  // engine refines.
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Hypergraph g = random_hypergraph(120, 200, 2, 6, seed + 40);
+    const auto balance = BalanceConstraint::for_graph(g, 3, 0.1, true);
+    const auto start = random_balanced_partition(g, balance, seed + 9);
+    ASSERT_TRUE(start.has_value());
+    FmConfig cached;
+    FmConfig legacy;
+    legacy.use_gain_cache = false;
+    Partition a = *start;
+    Partition b = *start;
+    const Weight cached_cost = fm_refine(g, a, balance, cached);
+    const Weight legacy_cost = fm_refine(g, b, balance, legacy);
+    EXPECT_LE(cached_cost, cost(g, *start, CostMetric::kConnectivity));
+    EXPECT_TRUE(balance.satisfied(g, a));
+    EXPECT_EQ(cached_cost, cost(g, a, CostMetric::kConnectivity));
+    EXPECT_EQ(legacy_cost, cost(g, b, CostMetric::kConnectivity));
+  }
 }
 
 TEST(Parallel, CostMatchesSequentialAcrossThreadCounts) {
