@@ -51,7 +51,8 @@ void write_json(const std::vector<Row>& rows, const std::string& path,
                 unsigned threads) {
   std::ofstream out(path);
   out << "{\n  \"bench\": \"refine_scaling\",\n  \"threads\": " << threads
-      << ",\n  \"metric\": \"connectivity\",\n  \"rows\": [\n";
+      << ",\n  \"metric\": \"connectivity\",\n  \"peak_rss_kb\": "
+      << hp::bench::peak_rss_bytes() / 1024 << ",\n  \"rows\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const Row& r = rows[i];
     out << "    {\"n\": " << r.n << ", \"m\": " << r.m
@@ -185,7 +186,8 @@ int main(int argc, char** argv) {
 
   table.print();
   write_json(rows, out_path, threads);
-  std::cout << "\nwrote " << out_path << "\n";
+  std::cout << "\nwrote " << out_path << " (peak RSS "
+            << hp::bench::peak_rss_bytes() / (1024 * 1024) << " MB)\n";
 
   // Acceptance gate: ≥5× FM speedup at n = 100k, k = 8 with
   // equal-or-better cost.

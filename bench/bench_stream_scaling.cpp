@@ -1,0 +1,269 @@
+// Streaming-partitioner scaling: quality, wall time, and peak RSS of the
+// one-pass streaming placer (and its re-streaming refinement) against the
+// in-memory greedy and multilevel partitioners on the same instances.
+// Writes machine-readable BENCH_stream.json.
+//
+// Peak RSS (VmHWM) is a monotone per-process high-water mark, so each
+// algorithm runs in its own forked child (re-exec of this binary with
+// --child); the parent only generates the instance, writes the binary
+// file, and collects the children's result files. The streaming children
+// never materialize the hypergraph — they work off the mmap'd file — which
+// is exactly the footprint gap this bench measures.
+//
+// Usage: bench_stream_scaling [--smoke|--gate] [output.json]
+//   --smoke runs a small n=20k instance (CI-friendly).
+//   --gate runs only the n=1M, k=8 acceptance-gate configuration
+//     (stream/restream/multilevel — the algorithms the gate compares).
+//   default sweeps n in {250k, 1M, 2M}; greedy (O(n²)) stops at 250k and
+//   multilevel at 1M.
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/stream/restream_refiner.hpp"
+#include "hyperpart/stream/stream_partitioner.hpp"
+#include "hyperpart/util/timer.hpp"
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace hp;
+
+constexpr PartId kParts = 8;
+constexpr double kEps = 0.1;
+constexpr int kRestreamPasses = 2;
+
+struct Row {
+  NodeId n;
+  EdgeId m;
+  std::uint64_t pins;
+  PartId k;
+  std::string algo;
+  Weight cost;
+  double ms;
+  std::uint64_t rss_kb;
+};
+
+void write_json(const std::vector<Row>& rows, const std::string& path) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"stream_scaling\",\n  \"metric\": "
+         "\"connectivity\",\n  \"rows\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const Row& r = rows[i];
+    out << "    {\"n\": " << r.n << ", \"m\": " << r.m
+        << ", \"pins\": " << r.pins << ", \"k\": " << r.k << ", \"algo\": \""
+        << r.algo << "\", \"cost\": " << r.cost << ", \"ms\": " << r.ms
+        << ", \"peak_rss_kb\": " << r.rss_kb << "}"
+        << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+}
+
+/// Child mode: run one algorithm on the binary file and report
+/// "cost=<C> ms=<T> rss_kb=<R>" to the result file. Runs in its own
+/// process so VmHWM attributes to this algorithm alone.
+int run_child(const std::string& algo, const std::string& bin_path, PartId k,
+              double eps, int restream_passes,
+              const std::string& result_path) {
+  Weight cost_out = 0;
+  Timer timer;
+  if (algo == "stream" || algo == "restream") {
+    stream::MappedHypergraph mapped(bin_path);
+    const auto balance = BalanceConstraint::for_total_weight(
+        mapped.total_node_weight(), k, eps, true);
+    stream::StreamConfig scfg;
+    const auto streamed = stream::stream_partition(mapped, balance, scfg);
+    if (!streamed) return 1;
+    cost_out = streamed->offline_cost;
+    if (algo == "restream") {
+      stream::RestreamConfig rcfg;
+      rcfg.max_passes = restream_passes;
+      Partition p = streamed->partition;
+      const auto refined = stream::restream_refine(mapped, p, balance, rcfg);
+      cost_out = refined.cost;
+    }
+  } else {
+    // In-memory baselines: materialize, then drop the file's pages so the
+    // footprint is the in-memory algorithm's own, as in a non-mmap run.
+    stream::MappedHypergraph mapped(bin_path);
+    const Hypergraph g = mapped.materialize();
+    mapped.drop_resident_pages();
+    const auto balance = BalanceConstraint::for_graph(g, k, eps, true);
+    std::optional<Partition> p;
+    if (algo == "greedy") {
+      p = greedy_growing_partition(g, balance, CostMetric::kConnectivity, 7);
+    } else if (algo == "multilevel") {
+      MultilevelConfig cfg;
+      p = multilevel_partition(g, balance, cfg);
+    } else {
+      return 2;
+    }
+    if (!p) return 1;
+    cost_out = cost(g, *p, CostMetric::kConnectivity);
+  }
+  const double ms = timer.millis();
+
+  std::ofstream out(result_path);
+  out << "cost=" << cost_out << " ms=" << ms
+      << " rss_kb=" << hp::bench::peak_rss_bytes() / 1024 << "\n";
+  return out ? 0 : 1;
+}
+
+/// Fork + re-exec this binary in --child mode and parse the result file.
+[[nodiscard]] bool run_algo(const std::string& algo,
+                            const std::string& bin_path, Row& row) {
+  const std::string result_path = bin_path + "." + algo + ".result";
+  const std::string k_s = std::to_string(kParts);
+  const std::string eps_s = std::to_string(kEps);
+  const std::string restream_s = std::to_string(kRestreamPasses);
+  const pid_t pid = fork();
+  if (pid < 0) return false;
+  if (pid == 0) {
+    execl("/proc/self/exe", "bench_stream_scaling", "--child", algo.c_str(),
+          bin_path.c_str(), k_s.c_str(), eps_s.c_str(), restream_s.c_str(),
+          result_path.c_str(), static_cast<char*>(nullptr));
+    _exit(127);
+  }
+  int status = 0;
+  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
+      WEXITSTATUS(status) != 0) {
+    std::cerr << "child for algo " << algo << " failed\n";
+    return false;
+  }
+
+  std::ifstream in(result_path);
+  std::string token;
+  bool have_cost = false, have_ms = false, have_rss = false;
+  while (in >> token) {
+    if (token.rfind("cost=", 0) == 0) {
+      row.cost = std::stoll(token.substr(5));
+      have_cost = true;
+    } else if (token.rfind("ms=", 0) == 0) {
+      row.ms = std::stod(token.substr(3));
+      have_ms = true;
+    } else if (token.rfind("rss_kb=", 0) == 0) {
+      row.rss_kb = std::stoull(token.substr(7));
+      have_rss = true;
+    }
+  }
+  std::remove(result_path.c_str());
+  row.algo = algo;
+  return have_cost && have_ms && have_rss;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::strcmp(argv[1], "--child") == 0) {
+    if (argc != 8) return 2;
+    return run_child(argv[2], argv[3],
+                     static_cast<hp::PartId>(std::stoul(argv[4])),
+                     std::stod(argv[5]), std::stoi(argv[6]), argv[7]);
+  }
+
+  bool smoke = false;
+  bool gate = false;
+  std::string out_path = "BENCH_stream.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else if (std::strcmp(argv[i], "--gate") == 0) {
+      gate = true;
+    } else if (std::strncmp(argv[i], "--", 2) == 0) {
+      std::cerr << "usage: bench_stream_scaling [--smoke|--gate] "
+                   "[output.json]\n";
+      return 2;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  std::vector<NodeId> sizes{250000, 1000000, 2000000};
+  if (smoke) sizes = {20000};
+  if (gate) sizes = {1000000};
+
+  hp::bench::banner("Streaming partitioner scaling (k=8, connectivity)");
+  hp::bench::Table table(
+      {"n", "m", "algo", "cost", "ms", "peak RSS MB", "vs multilevel"});
+  std::vector<Row> rows;
+
+  for (const NodeId n : sizes) {
+    // Same instance family as the refinement bench: m = n edges of size
+    // 2..8, ρ ≈ 5n pins.
+    const EdgeId m = n;
+    const std::string bin_path =
+        "stream_bench_" + std::to_string(n) + ".hpb";
+    std::uint64_t pins = 0;
+    {
+      const Hypergraph g = random_hypergraph(n, m, 2, 8, 12345 + n);
+      pins = g.num_pins();
+      hp::stream::write_binary_file(bin_path, g);
+    }  // the parent frees the instance before any child runs
+
+    // The in-memory baselines scale poorly on one core: greedy growing is
+    // O(n²) (hours at n = 1M), and both it and multilevel are hopeless at
+    // n = 2M. Greedy stops at 250k, multilevel at 1M; the gate mode runs
+    // only the algorithms its criteria compare.
+    std::vector<std::string> algos{"stream", "restream"};
+    if (n <= 250000 && !gate) algos.push_back("greedy");
+    if (n <= 1000000) algos.push_back("multilevel");
+
+    double multilevel_cost = 0;
+    for (const std::string& algo : algos) {
+      Row row{};
+      row.n = n;
+      row.m = m;
+      row.pins = pins;
+      row.k = kParts;
+      if (!run_algo(algo, bin_path, row)) continue;
+      if (algo == "multilevel") multilevel_cost = double(row.cost);
+      table.row(row.n, row.m, row.algo, row.cost, row.ms,
+                double(row.rss_kb) / 1024.0,
+                multilevel_cost > 0
+                    ? std::to_string(double(row.cost) / multilevel_cost)
+                    : std::string("-"));
+      rows.push_back(row);
+    }
+    std::remove(bin_path.c_str());
+  }
+
+  table.print();
+  write_json(rows, out_path);
+  std::cout << "\nwrote " << out_path << "\n";
+
+  // Acceptance gate at n = 1M, k = 8: streaming + re-stream must finish
+  // within 25% of multilevel's peak RSS and 2.5× its cost.
+  const Row* restream = nullptr;
+  const Row* multilevel = nullptr;
+  for (const Row& r : rows) {
+    if (r.n != 1000000) continue;
+    if (r.algo == "restream") restream = &r;
+    if (r.algo == "multilevel") multilevel = &r;
+  }
+  if (restream && multilevel) {
+    const double rss_ratio =
+        double(restream->rss_kb) / double(multilevel->rss_kb);
+    const double cost_ratio =
+        double(restream->cost) / double(multilevel->cost);
+    std::cout << "n=1M k=8: restream RSS " << restream->rss_kb / 1024
+              << " MB vs multilevel " << multilevel->rss_kb / 1024
+              << " MB (ratio " << rss_ratio << "), cost ratio " << cost_ratio
+              << " — "
+              << (rss_ratio < 0.25 && cost_ratio <= 2.5 ? "PASS" : "FAIL")
+              << "\n";
+  }
+  return 0;
+}

@@ -1,8 +1,11 @@
 #pragma once
 // Shared helpers for the experiment harnesses: simple aligned table output
 // so every bench prints the rows/series of the paper artifact it
-// regenerates.
+// regenerates, plus a peak-RSS probe so memory-focused benches (stream,
+// refine) can report footprints.
 
+#include <cstdint>
+#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
@@ -10,6 +13,24 @@
 #include <vector>
 
 namespace hp::bench {
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where the proc interface is unavailable.
+/// VmHWM is a monotone high-water mark: per-phase attribution requires
+/// running each phase in its own (forked) process.
+inline std::uint64_t peak_rss_bytes() {
+  std::ifstream status("/proc/self/status");
+  std::string line;
+  while (std::getline(status, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      std::istringstream ls(line.substr(6));
+      std::uint64_t kb = 0;
+      ls >> kb;
+      return kb * 1024;
+    }
+  }
+  return 0;
+}
 
 class Table {
  public:

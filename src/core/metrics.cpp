@@ -15,82 +15,16 @@ const char* to_string(CostMetric m) noexcept {
   return "?";
 }
 
-namespace {
-
-/// Count the distinct parts appearing in e. λ_e is rarely large, so a
-/// linear scan over a small stack buffer beats hashing; once more than 64
-/// distinct parts show up, switch to a dense seen-array over [0, k) (the
-/// ConnectivityTracker counting scheme) so membership tests stay O(1)
-/// instead of the former O(λ) overflow scan.
-[[nodiscard]] PartId count_distinct_parts(const Hypergraph& g,
-                                          const Partition& p, EdgeId e) {
-  constexpr PartId kSmall = 64;
-  PartId distinct[kSmall];
-  PartId count = 0;
-  std::vector<std::uint8_t> seen;  // dense [0, k) marks, large-λ edges only
-  for (const NodeId v : g.pins(e)) {
-    const PartId q = p[v];
-    if (q >= p.k()) continue;  // unassigned
-    if (seen.empty()) {
-      bool found = false;
-      for (PartId i = 0; i < count; ++i) {
-        if (distinct[i] == q) {
-          found = true;
-          break;
-        }
-      }
-      if (found) continue;
-      if (count < kSmall) {
-        distinct[count++] = q;
-        continue;
-      }
-      seen.assign(p.k(), 0);
-      for (PartId i = 0; i < kSmall; ++i) seen[distinct[i]] = 1;
-    }
-    if (!seen[q]) {
-      seen[q] = 1;
-      ++count;
-    }
-  }
-  return count;
-}
-
-}  // namespace
-
 PartId lambda(const Hypergraph& g, const Partition& p, EdgeId e) {
-  return count_distinct_parts(g, p, e);
+  return lambda_of(g, p, e);
 }
 
 bool is_cut(const Hypergraph& g, const Partition& p, EdgeId e) {
-  // Cut queries need only "≥ 2 distinct parts": stop at the first pin whose
-  // part differs from the first assigned pin's, instead of counting λ_e.
-  PartId first = kInvalidPart;
-  for (const NodeId v : g.pins(e)) {
-    const PartId q = p[v];
-    if (q >= p.k()) continue;  // unassigned
-    if (first == kInvalidPart) {
-      first = q;
-    } else if (q != first) {
-      return true;
-    }
-  }
-  return false;
+  return is_cut_of(g, p, e);
 }
 
 Weight cost(const Hypergraph& g, const Partition& p, CostMetric metric) {
-  Weight total = 0;
-  if (metric == CostMetric::kCutNet) {
-    for (EdgeId e = 0; e < g.num_edges(); ++e) {
-      if (is_cut(g, p, e)) total += g.edge_weight(e);
-    }
-    return total;
-  }
-  for (EdgeId e = 0; e < g.num_edges(); ++e) {
-    const PartId l = lambda(g, p, e);
-    if (l <= 1) continue;
-    total += g.edge_weight(e) * static_cast<Weight>(l - 1);
-  }
-  return total;
+  return cost_of(g, p, metric);
 }
 
 std::vector<EdgeId> cut_edges(const Hypergraph& g, const Partition& p) {

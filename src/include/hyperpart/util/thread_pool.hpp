@@ -24,7 +24,8 @@ class ThreadPool {
 
   /// Execute tasks[0..n) and block until all complete. The calling thread
   /// drains tasks alongside the workers, so this is safe to call from
-  /// inside a pool task. Tasks must not throw.
+  /// inside a pool task. If tasks throw, every task still runs and the
+  /// first exception is rethrown on the calling thread afterwards.
   void run(const std::vector<std::function<void()>>& tasks);
 
   /// Resident worker threads (not counting submitters).
@@ -46,9 +47,10 @@ class ThreadPool {
 };
 
 /// Run tasks[0..n) across at most `threads` executors (1 = inline on the
-/// calling thread). Blocks until all tasks complete. Exceptions in tasks
-/// terminate — tasks must be noexcept in spirit. Backed by the persistent
-/// ThreadPool; no threads are spawned per call.
+/// calling thread). Blocks until all tasks complete. A throwing task does
+/// not stop the others; once every task has run, the first exception is
+/// rethrown to the caller. Backed by the persistent ThreadPool; no threads
+/// are spawned per call.
 void run_parallel(const std::vector<std::function<void()>>& tasks,
                   unsigned threads);
 

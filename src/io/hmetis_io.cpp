@@ -10,24 +10,56 @@ namespace hp {
 
 namespace {
 
-/// Next non-comment, non-empty line.
-[[nodiscard]] bool next_line(std::istream& in, std::string& line) {
-  while (std::getline(in, line)) {
-    std::size_t i = 0;
-    while (i < line.size() && std::isspace(static_cast<unsigned char>(line[i]))) {
-      ++i;
+/// Line-by-line reader tracking 1-based line numbers for error messages.
+/// Strips a trailing '\r' (CRLF files) and skips blank and '%'-comment
+/// lines — including trailing blank lines after the last data line.
+class LineReader {
+ public:
+  explicit LineReader(std::istream& in) : in_(in) {}
+
+  /// Advances to the next non-comment, non-blank line.
+  [[nodiscard]] bool next(std::string& line) {
+    while (std::getline(in_, line)) {
+      ++line_no_;
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      std::size_t i = 0;
+      while (i < line.size() &&
+             std::isspace(static_cast<unsigned char>(line[i]))) {
+        ++i;
+      }
+      if (i == line.size() || line[i] == '%') continue;
+      return true;
     }
-    if (i == line.size() || line[i] == '%') continue;
-    return true;
+    return false;
   }
-  return false;
+
+  [[nodiscard]] std::uint64_t line_no() const noexcept { return line_no_; }
+
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::runtime_error("read_hmetis: line " +
+                             std::to_string(line_no_) + ": " + what);
+  }
+
+ private:
+  std::istream& in_;
+  std::uint64_t line_no_ = 0;
+};
+
+/// True when the stream consumed the whole line (trailing whitespace ok).
+[[nodiscard]] bool fully_consumed(std::istringstream& ls) {
+  if (ls.eof()) return true;
+  ls.clear();
+  std::string rest;
+  ls >> rest;
+  return rest.empty();
 }
 
 }  // namespace
 
 Hypergraph read_hmetis(std::istream& in) {
+  LineReader reader(in);
   std::string line;
-  if (!next_line(in, line)) {
+  if (!reader.next(line)) {
     throw std::runtime_error("read_hmetis: empty input");
   }
   std::istringstream header(line);
@@ -35,8 +67,12 @@ Hypergraph read_hmetis(std::istream& in) {
   std::uint64_t num_nodes = 0;
   int fmt = 0;
   header >> num_edges >> num_nodes;
-  if (!header) throw std::runtime_error("read_hmetis: bad header");
+  if (!header) reader.fail("bad header (expected '<edges> <nodes> [fmt]')");
   header >> fmt;  // optional
+  if (!header.eof() && header.fail()) fmt = 0;
+  if (fmt != 0 && fmt != 1 && fmt != 10 && fmt != 11) {
+    reader.fail("unknown fmt code " + std::to_string(fmt));
+  }
   const bool edge_weights = fmt == 1 || fmt == 11;
   const bool node_weights = fmt == 10 || fmt == 11;
 
@@ -44,23 +80,30 @@ Hypergraph read_hmetis(std::istream& in) {
   std::vector<Weight> ew;
   edges.reserve(num_edges);
   for (std::uint64_t e = 0; e < num_edges; ++e) {
-    if (!next_line(in, line)) {
-      throw std::runtime_error("read_hmetis: truncated edge list");
+    if (!reader.next(line)) {
+      throw std::runtime_error(
+          "read_hmetis: truncated edge list (expected " +
+          std::to_string(num_edges) + " edges, got " + std::to_string(e) +
+          ")");
     }
     std::istringstream ls(line);
     if (edge_weights) {
       Weight w = 1;
-      ls >> w;
+      if (!(ls >> w)) reader.fail("missing edge weight");
+      if (w < 0) reader.fail("negative edge weight");
       ew.push_back(w);
     }
     std::vector<NodeId> pins;
     std::uint64_t v = 0;
     while (ls >> v) {
       if (v == 0 || v > num_nodes) {
-        throw std::runtime_error("read_hmetis: pin out of range");
+        reader.fail("pin " + std::to_string(v) + " out of range [1, " +
+                    std::to_string(num_nodes) + "]");
       }
       pins.push_back(static_cast<NodeId>(v - 1));
     }
+    if (!fully_consumed(ls)) reader.fail("invalid token in pin list");
+    if (pins.empty()) reader.fail("edge has no pins");
     edges.push_back(std::move(pins));
   }
 
@@ -70,10 +113,17 @@ Hypergraph read_hmetis(std::istream& in) {
   if (node_weights) {
     std::vector<Weight> nw(num_nodes, 1);
     for (std::uint64_t v = 0; v < num_nodes; ++v) {
-      if (!next_line(in, line)) {
-        throw std::runtime_error("read_hmetis: truncated node weights");
+      if (!reader.next(line)) {
+        throw std::runtime_error(
+            "read_hmetis: truncated node weights (expected " +
+            std::to_string(num_nodes) + ", got " + std::to_string(v) + ")");
       }
-      nw[v] = std::stoll(line);
+      std::istringstream ls(line);
+      Weight w = 0;
+      if (!(ls >> w)) reader.fail("invalid node weight");
+      if (w < 0) reader.fail("negative node weight");
+      if (!fully_consumed(ls)) reader.fail("trailing tokens after node weight");
+      nw[v] = w;
     }
     g.set_node_weights(std::move(nw));
   }

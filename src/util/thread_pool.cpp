@@ -4,6 +4,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <deque>
+#include <exception>
 #include <mutex>
 #include <thread>
 
@@ -19,7 +20,23 @@ struct Batch {
   std::size_t size;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
+  // First exception thrown by any task; claimed once, rethrown by run().
+  std::atomic<bool> error_claimed{false};
+  std::exception_ptr error;
 };
+
+/// Execute one task, capturing the batch's first exception. The remaining
+/// tasks still run; the `done` increment that follows the call publishes
+/// the stored exception_ptr to the submitter.
+void run_task(Batch* b, std::size_t i) {
+  try {
+    (*b->tasks)[i]();
+  } catch (...) {
+    if (!b->error_claimed.exchange(true, std::memory_order_acq_rel)) {
+      b->error = std::current_exception();
+    }
+  }
+}
 
 }  // namespace
 
@@ -46,7 +63,7 @@ struct ThreadPool::Impl {
       }
       const std::size_t bsize = b->size;
       lk.unlock();
-      (*b->tasks)[i]();
+      run_task(b, i);
       // After this increment the submitter may return and destroy *b, so
       // the batch must not be dereferenced again.
       const std::size_t d = b->done.fetch_add(1, std::memory_order_acq_rel) + 1;
@@ -91,7 +108,7 @@ std::uint64_t ThreadPool::batches_executed() const noexcept {
 void ThreadPool::run(const std::vector<std::function<void()>>& tasks) {
   if (tasks.empty()) return;
   impl_->batches.fetch_add(1, std::memory_order_relaxed);
-  Batch batch{&tasks, tasks.size(), {}, {}};
+  Batch batch{&tasks, tasks.size(), {}, {}, {}, {}};
   if (!impl_->workers.empty()) {
     std::lock_guard<std::mutex> lk(impl_->mu);
     impl_->queue.push_back(&batch);
@@ -102,18 +119,21 @@ void ThreadPool::run(const std::vector<std::function<void()>>& tasks) {
   for (;;) {
     const std::size_t i = batch.next.fetch_add(1, std::memory_order_relaxed);
     if (i >= batch.size) break;
-    tasks[i]();
+    run_task(&batch, i);
     batch.done.fetch_add(1, std::memory_order_acq_rel);
   }
-  if (impl_->workers.empty()) return;
-  std::unique_lock<std::mutex> lk(impl_->mu);
-  // The batch may still sit in the queue (no worker happened to touch it);
-  // retire it so workers never see a dangling pointer after we return.
-  auto it = std::find(impl_->queue.begin(), impl_->queue.end(), &batch);
-  if (it != impl_->queue.end()) impl_->queue.erase(it);
-  impl_->done_cv.wait(
-      lk, [&] { return batch.done.load(std::memory_order_acquire) >=
-                       batch.size; });
+  if (!impl_->workers.empty()) {
+    std::unique_lock<std::mutex> lk(impl_->mu);
+    // The batch may still sit in the queue (no worker happened to touch
+    // it); retire it so workers never see a dangling pointer after we
+    // return.
+    auto it = std::find(impl_->queue.begin(), impl_->queue.end(), &batch);
+    if (it != impl_->queue.end()) impl_->queue.erase(it);
+    impl_->done_cv.wait(
+        lk, [&] { return batch.done.load(std::memory_order_acquire) >=
+                         batch.size; });
+  }
+  if (batch.error) std::rethrow_exception(batch.error);
 }
 
 void run_parallel(const std::vector<std::function<void()>>& tasks,
@@ -131,7 +151,12 @@ void run_parallel(const std::vector<std::function<void()>>& tasks,
     return;
   }
   // Honour the concurrency cap: `workers` drivers drain the full list.
+  // Exceptions are trapped per task (not per driver) so a throwing task
+  // never prevents the remaining tasks from running; the first exception
+  // is rethrown to the caller once the batch completes.
   std::atomic<std::size_t> next{0};
+  std::atomic<bool> error_claimed{false};
+  std::exception_ptr error;
   std::vector<std::function<void()>> drivers;
   drivers.reserve(workers);
   for (unsigned w = 0; w < workers; ++w) {
@@ -139,11 +164,18 @@ void run_parallel(const std::vector<std::function<void()>>& tasks,
       for (;;) {
         const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
         if (i >= tasks.size()) return;
-        tasks[i]();
+        try {
+          tasks[i]();
+        } catch (...) {
+          if (!error_claimed.exchange(true, std::memory_order_acq_rel)) {
+            error = std::current_exception();
+          }
+        }
       }
     });
   }
   pool.run(drivers);
+  if (error) std::rethrow_exception(error);
 }
 
 void parallel_for_chunks(

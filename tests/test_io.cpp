@@ -71,6 +71,63 @@ TEST(HmetisIo, MalformedInputThrows) {
   EXPECT_THROW(read_hmetis(out_of_range), std::runtime_error);
 }
 
+// Returns the message read_hmetis throws for this input, or "" on success.
+std::string hmetis_error(const std::string& text) {
+  std::stringstream ss(text);
+  try {
+    (void)read_hmetis(ss);
+  } catch (const std::runtime_error& e) {
+    return e.what();
+  }
+  return "";
+}
+
+TEST(HmetisIo, ErrorsCarryLineNumbers) {
+  // Pin 9 out of range on line 3 (line 1 = header, line 2 = first edge).
+  const std::string out_of_range = hmetis_error("2 4\n1 2\n9 3\n");
+  EXPECT_NE(out_of_range.find("line 3"), std::string::npos) << out_of_range;
+  EXPECT_NE(out_of_range.find("out of range"), std::string::npos);
+
+  // Pin index 0 is invalid (the format is 1-based).
+  EXPECT_NE(hmetis_error("1 4\n0 2\n").find("line 2"), std::string::npos);
+
+  // Non-numeric token inside a pin list.
+  const std::string junk = hmetis_error("2 4\n1 2\n3 x\n");
+  EXPECT_NE(junk.find("line 3"), std::string::npos) << junk;
+  EXPECT_NE(junk.find("invalid token"), std::string::npos);
+
+  // An edge line with no pins at all.
+  EXPECT_NE(hmetis_error("1 4 1\n7\n").find("no pins"), std::string::npos);
+
+  // Truncated edge list reports expected vs actual counts.
+  const std::string trunc = hmetis_error("3 4\n1 2\n");
+  EXPECT_NE(trunc.find("expected 3"), std::string::npos) << trunc;
+
+  // Bad node weight: line 4 (header, two edges, then weights).
+  const std::string bad_w = hmetis_error("2 2 10\n1 2\n1 2\nbogus\n1\n");
+  EXPECT_NE(bad_w.find("line 4"), std::string::npos) << bad_w;
+
+  // Unknown fmt code.
+  EXPECT_NE(hmetis_error("1 2 7\n1 2\n").find("fmt"), std::string::npos);
+}
+
+TEST(HmetisIo, ToleratesCrlfAndTrailingBlankLines) {
+  std::stringstream ss("2 4 1\r\n5 1 2\r\n1 3 4\r\n\r\n\n   \n");
+  const Hypergraph g = read_hmetis(ss);
+  EXPECT_EQ(g.num_nodes(), 4u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_EQ(g.edge_weight(0), 5);
+  EXPECT_EQ(g.pins(1)[0], 2u);
+}
+
+TEST(HmetisIo, CrlfNodeWeights) {
+  std::stringstream ss("1 2 11\n3 1 2\r\n4\r\n5\r\n");
+  const Hypergraph g = read_hmetis(ss);
+  EXPECT_EQ(g.edge_weight(0), 3);
+  EXPECT_EQ(g.node_weight(0), 4);
+  EXPECT_EQ(g.node_weight(1), 5);
+}
+
 TEST(DagIo, RoundTrip) {
   const Dag d = random_dag(15, 0.2, 3);
   std::stringstream ss;

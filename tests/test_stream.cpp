@@ -1,0 +1,319 @@
+// Streaming subsystem: binary format round trips, mmap reader fidelity,
+// one-pass streaming placement, and buffered re-streaming refinement.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <stdexcept>
+#include <string>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/stream/restream_refiner.hpp"
+#include "hyperpart/stream/stream_partitioner.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void expect_same_structure(const Hypergraph& a, const Hypergraph& b) {
+  ASSERT_EQ(a.num_nodes(), b.num_nodes());
+  ASSERT_EQ(a.num_edges(), b.num_edges());
+  ASSERT_EQ(a.num_pins(), b.num_pins());
+  for (EdgeId e = 0; e < a.num_edges(); ++e) {
+    const auto pa = a.pins(e);
+    const auto pb = b.pins(e);
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t i = 0; i < pa.size(); ++i) EXPECT_EQ(pa[i], pb[i]);
+    EXPECT_EQ(a.edge_weight(e), b.edge_weight(e));
+  }
+  for (NodeId v = 0; v < a.num_nodes(); ++v) {
+    EXPECT_EQ(a.node_weight(v), b.node_weight(v));
+    EXPECT_EQ(a.degree(v), b.degree(v));
+  }
+}
+
+TEST(BinaryFormat, RoundTripUnweighted) {
+  const Hypergraph g = random_hypergraph(60, 80, 2, 6, 11);
+  const std::string path = temp_path("stream_rt.hpb");
+  stream::write_binary_file(path, g);
+  EXPECT_TRUE(stream::is_binary_file(path));
+
+  const stream::MappedHypergraph mapped(path);
+  EXPECT_EQ(mapped.num_nodes(), g.num_nodes());
+  EXPECT_EQ(mapped.num_edges(), g.num_edges());
+  EXPECT_EQ(mapped.num_pins(), g.num_pins());
+  EXPECT_FALSE(mapped.has_node_weights());
+  EXPECT_FALSE(mapped.has_edge_weights());
+  EXPECT_EQ(mapped.total_node_weight(), static_cast<Weight>(g.num_nodes()));
+  EXPECT_TRUE(mapped.validate());
+  expect_same_structure(g, mapped.materialize());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, RoundTripWeighted) {
+  Hypergraph g = random_hypergraph(40, 50, 2, 5, 7);
+  std::vector<Weight> nw(40);
+  for (NodeId v = 0; v < 40; ++v) nw[v] = 1 + (v % 7);
+  g.set_node_weights(std::move(nw));
+  std::vector<Weight> ew(50);
+  for (EdgeId e = 0; e < 50; ++e) ew[e] = 1 + (e % 5);
+  g.set_edge_weights(std::move(ew));
+
+  const std::string path = temp_path("stream_rtw.hpb");
+  stream::write_binary_file(path, g);
+  const stream::MappedHypergraph mapped(path);
+  EXPECT_TRUE(mapped.has_node_weights());
+  EXPECT_TRUE(mapped.has_edge_weights());
+  for (NodeId v = 0; v < 40; ++v) {
+    EXPECT_EQ(mapped.node_weight(v), g.node_weight(v));
+  }
+  EXPECT_EQ(mapped.total_node_weight(), g.total_node_weight());
+  expect_same_structure(g, mapped.materialize());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, MappedMetricsMatchInMemory) {
+  // The mmap reader and the in-memory graph must report bit-identical
+  // costs through the shared generic metric templates.
+  const Hypergraph g = random_hypergraph(100, 150, 2, 8, 3);
+  const std::string path = temp_path("stream_metrics.hpb");
+  stream::write_binary_file(path, g);
+  const stream::MappedHypergraph mapped(path);
+
+  Rng rng{17};
+  std::vector<PartId> assign(100);
+  for (auto& a : assign) a = static_cast<PartId>(rng.next_below(5));
+  const Partition p(std::move(assign), 5);
+  for (const CostMetric m : {CostMetric::kCutNet, CostMetric::kConnectivity}) {
+    EXPECT_EQ(cost_of(mapped, p, m), cost(g, p, m));
+  }
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(lambda_of(mapped, p, e), lambda(g, p, e));
+    EXPECT_EQ(is_cut_of(mapped, p, e), is_cut(g, p, e));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryFormat, ConvertHmetisMatchesDirectLoad) {
+  Hypergraph g = random_hypergraph(30, 25, 2, 4, 5);
+  std::vector<Weight> ew(25, 1);
+  for (EdgeId e = 0; e < 25; ++e) ew[e] = 1 + (e % 3);
+  g.set_edge_weights(std::move(ew));
+  const std::string hgr = temp_path("stream_conv.hgr");
+  const std::string hpb = temp_path("stream_conv.hpb");
+  write_hmetis_file(hgr, g);
+  stream::convert_hmetis_file(hgr, hpb);
+  const stream::MappedHypergraph mapped(hpb);
+  expect_same_structure(g, mapped.materialize());
+  std::remove(hgr.c_str());
+  std::remove(hpb.c_str());
+}
+
+TEST(BinaryFormat, RejectsCorruptFiles) {
+  const std::string path = temp_path("stream_bad.hpb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "NOPE garbage that is not a hypergraph";
+  }
+  EXPECT_FALSE(stream::is_binary_file(path));
+  EXPECT_THROW(stream::MappedHypergraph{path}, std::runtime_error);
+
+  // Valid header, truncated payload.
+  const Hypergraph g = random_hypergraph(50, 60, 2, 6, 9);
+  stream::write_binary_file(path, g);
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    bytes.resize(bytes.size() / 2);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << bytes;
+  }
+  EXPECT_TRUE(stream::is_binary_file(path));  // magic survives truncation
+  EXPECT_THROW(stream::MappedHypergraph{path}, std::runtime_error);
+  EXPECT_FALSE(stream::is_binary_file(temp_path("stream_missing.hpb")));
+  std::remove(path.c_str());
+}
+
+class StreamPartitionTest : public ::testing::Test {
+ protected:
+  /// Writes g to a fresh binary file and maps it.
+  stream::MappedHypergraph map_graph(const Hypergraph& g,
+                                     const std::string& name) {
+    const std::string path = temp_path(name);
+    paths_.push_back(path);
+    stream::write_binary_file(path, g);
+    return stream::MappedHypergraph(path);
+  }
+
+  void TearDown() override {
+    for (const auto& p : paths_) std::remove(p.c_str());
+  }
+
+  std::vector<std::string> paths_;
+};
+
+TEST_F(StreamPartitionTest, ProducesValidBalancedPartition) {
+  const Hypergraph g = random_hypergraph(400, 500, 2, 6, 21);
+  const auto mapped = map_graph(g, "stream_valid.hpb");
+  for (const PartId k : {2, 4, 8}) {
+    const auto balance = BalanceConstraint::for_total_weight(
+        mapped.total_node_weight(), k, 0.1, true);
+    const auto res = stream::stream_partition(mapped, balance);
+    ASSERT_TRUE(res.has_value()) << "k=" << k;
+    // Every node placed in range, weights consistent, balance respected.
+    std::vector<Weight> pw(k, 0);
+    for (NodeId v = 0; v < g.num_nodes(); ++v) {
+      ASSERT_LT(res->partition[v], k);
+      pw[res->partition[v]] += g.node_weight(v);
+    }
+    EXPECT_EQ(pw, res->part_weights);
+    EXPECT_TRUE(balance.satisfied(pw));
+  }
+}
+
+TEST_F(StreamPartitionTest, StreamedCostMatchesOfflineExactly) {
+  // The incremental sketch-tracked cost must equal a from-scratch offline
+  // recomputation — on the mapped graph and on the materialized one.
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull}) {
+    const Hypergraph g = random_hypergraph(300, 350, 2, 7, 31 + seed);
+    const auto mapped =
+        map_graph(g, "stream_exact_" + std::to_string(seed) + ".hpb");
+    for (const CostMetric metric :
+         {CostMetric::kCutNet, CostMetric::kConnectivity}) {
+      const auto balance = BalanceConstraint::for_total_weight(
+          mapped.total_node_weight(), 4, 0.1, true);
+      stream::StreamConfig cfg;
+      cfg.metric = metric;
+      cfg.seed = seed;
+      const auto res = stream::stream_partition(mapped, balance, cfg);
+      ASSERT_TRUE(res.has_value());
+      EXPECT_EQ(res->streamed_cost, res->offline_cost)
+          << to_string(metric) << " seed " << seed;
+      EXPECT_EQ(res->offline_cost, cost(g, res->partition, metric));
+    }
+  }
+}
+
+TEST_F(StreamPartitionTest, BufferSizeChangesOrderNotValidity) {
+  const Hypergraph g = random_hypergraph(200, 250, 2, 5, 77);
+  const auto mapped = map_graph(g, "stream_buffer.hpb");
+  const auto balance = BalanceConstraint::for_total_weight(
+      mapped.total_node_weight(), 4, 0.1, true);
+  for (const NodeId buffer : {1u, 7u, 64u, 1000u}) {
+    stream::StreamConfig cfg;
+    cfg.buffer_size = buffer;
+    const auto res = stream::stream_partition(mapped, balance, cfg);
+    ASSERT_TRUE(res.has_value()) << "buffer " << buffer;
+    EXPECT_EQ(res->streamed_cost, res->offline_cost) << "buffer " << buffer;
+    EXPECT_TRUE(balance.satisfied(res->part_weights));
+  }
+  // Same config twice → identical assignment (deterministic).
+  stream::StreamConfig cfg;
+  cfg.buffer_size = 64;
+  const auto a = stream::stream_partition(mapped, balance, cfg);
+  const auto b = stream::stream_partition(mapped, balance, cfg);
+  ASSERT_TRUE(a && b);
+  EXPECT_TRUE(std::equal(a->partition.raw().begin(),
+                         a->partition.raw().end(),
+                         b->partition.raw().begin()));
+}
+
+TEST_F(StreamPartitionTest, HashedSketchBeyond64Parts) {
+  // k > 64 uses the hashed presence sketch: placement stays valid and the
+  // reported offline cost is still exact (recomputed, not sketched).
+  const Hypergraph g = random_hypergraph(700, 600, 2, 5, 13);
+  const auto mapped = map_graph(g, "stream_k70.hpb");
+  const PartId k = 70;
+  const auto balance = BalanceConstraint::for_total_weight(
+      mapped.total_node_weight(), k, 0.2, true);
+  const auto res = stream::stream_partition(mapped, balance);
+  ASSERT_TRUE(res.has_value());
+  std::vector<Weight> pw(k, 0);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_LT(res->partition[v], k);
+    pw[res->partition[v]] += g.node_weight(v);
+  }
+  EXPECT_TRUE(balance.satisfied(pw));
+  EXPECT_EQ(res->offline_cost,
+            cost(g, res->partition, CostMetric::kConnectivity));
+}
+
+TEST_F(StreamPartitionTest, WeightedNodesRespectCapacity) {
+  Hypergraph g = random_hypergraph(150, 200, 2, 5, 41);
+  std::vector<Weight> nw(150);
+  for (NodeId v = 0; v < 150; ++v) nw[v] = 1 + (v % 9);
+  g.set_node_weights(std::move(nw));
+  const auto mapped = map_graph(g, "stream_weighted.hpb");
+  const auto balance = BalanceConstraint::for_total_weight(
+      mapped.total_node_weight(), 3, 0.1, true);
+  const auto res = stream::stream_partition(mapped, balance);
+  ASSERT_TRUE(res.has_value());
+  EXPECT_TRUE(balance.satisfied(res->part_weights));
+  EXPECT_EQ(res->streamed_cost, res->offline_cost);
+}
+
+TEST_F(StreamPartitionTest, RestreamImprovesWithoutBreakingInvariants) {
+  for (const std::uint64_t seed : {5ull, 6ull}) {
+    const Hypergraph g = random_hypergraph(500, 600, 2, 6, seed);
+    const auto mapped =
+        map_graph(g, "restream_" + std::to_string(seed) + ".hpb");
+    for (const CostMetric metric :
+         {CostMetric::kCutNet, CostMetric::kConnectivity}) {
+      const auto balance = BalanceConstraint::for_total_weight(
+          mapped.total_node_weight(), 4, 0.1, true);
+      stream::StreamConfig scfg;
+      scfg.metric = metric;
+      const auto start = stream::stream_partition(mapped, balance, scfg);
+      ASSERT_TRUE(start.has_value());
+
+      Partition p = start->partition;
+      stream::RestreamConfig rcfg;
+      rcfg.metric = metric;
+      rcfg.max_passes = 3;
+      rcfg.chunk_size = 64;  // force many chunks + several waves
+      const auto res = stream::restream_refine(mapped, p, balance, rcfg);
+
+      EXPECT_LE(res.cost, start->offline_cost) << to_string(metric);
+      EXPECT_EQ(res.cost, cost(g, p, metric));
+      EXPECT_TRUE(balance.satisfied(g, p));
+      EXPECT_GE(res.moves_proposed, res.moves_applied);
+    }
+  }
+}
+
+TEST_F(StreamPartitionTest, RestreamDeterministicAcrossThreadCounts) {
+  const Hypergraph g = random_hypergraph(600, 700, 2, 6, 99);
+  const auto mapped = map_graph(g, "restream_det.hpb");
+  const auto balance = BalanceConstraint::for_total_weight(
+      mapped.total_node_weight(), 4, 0.1, true);
+  const auto start = stream::stream_partition(mapped, balance);
+  ASSERT_TRUE(start.has_value());
+
+  stream::RestreamConfig rcfg;
+  rcfg.chunk_size = 64;
+  rcfg.threads = 1;
+  Partition serial = start->partition;
+  const auto serial_res = stream::restream_refine(mapped, serial, balance, rcfg);
+  for (const unsigned threads : {2u, 4u}) {
+    rcfg.threads = threads;
+    Partition threaded = start->partition;
+    const auto res = stream::restream_refine(mapped, threaded, balance, rcfg);
+    EXPECT_EQ(res.cost, serial_res.cost) << "threads " << threads;
+    EXPECT_TRUE(std::equal(serial.raw().begin(), serial.raw().end(),
+                           threaded.raw().begin()))
+        << "threads " << threads;
+  }
+}
+
+}  // namespace
+}  // namespace hp

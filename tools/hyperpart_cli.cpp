@@ -1,11 +1,19 @@
-// Command-line partitioner for hMETIS files.
+// Command-line partitioner for hMETIS and binary (.hpb) hypergraph files.
 //
-//   hyperpart_cli <graph.hgr> [--k K] [--eps E] [--metric cut|conn]
-//                 [--algo multilevel|rb|greedy|random|bnb] [--seed S]
+//   hyperpart_cli <graph.hgr|graph.hpb> [--k K] [--eps E]
+//                 [--metric cut|conn]
+//                 [--algo multilevel|rb|greedy|random|bnb|stream] [--seed S]
+//                 [--restream N] [--buffer B]
 //                 [--hier B1xB2[:G1]] [--out partition.txt]
+//                 [--convert out.hpb]
 //
-// Prints the cost under both metrics and the part weights; with --hier,
-// also evaluates the hierarchical cost (Definition 7.1) after an optimal
+// The input format is sniffed from the file's magic bytes, so .hpb files
+// produced by --convert load zero-copy via mmap regardless of extension.
+// `--algo stream` runs the one-pass streaming placer over the binary file
+// (an hMETIS input is first converted to `<input>.hpb`); `--restream N`
+// follows it with N buffered re-streaming refinement passes. Prints the
+// cost under both metrics and the part weights; with --hier, also
+// evaluates the hierarchical cost (Definition 7.1) after an optimal
 // hierarchy assignment. With --out, writes one part id per line.
 
 #include <cstring>
@@ -21,17 +29,92 @@
 #include "hyperpart/core/metrics.hpp"
 #include "hyperpart/hier/two_step.hpp"
 #include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/stream/restream_refiner.hpp"
+#include "hyperpart/stream/stream_partitioner.hpp"
 #include "hyperpart/util/timer.hpp"
 
 namespace {
 
 [[noreturn]] void usage() {
   std::cerr
-      << "usage: hyperpart_cli <graph.hgr> [--k K] [--eps E]\n"
+      << "usage: hyperpart_cli <graph.hgr|graph.hpb> [--k K] [--eps E]\n"
          "         [--metric cut|conn] "
-         "[--algo multilevel|rb|greedy|random|bnb]\n"
-         "         [--seed S] [--hier B1xB2[:G1]] [--out partition.txt]\n";
+         "[--algo multilevel|rb|greedy|random|bnb|stream]\n"
+         "         [--seed S] [--restream N] [--buffer B]\n"
+         "         [--hier B1xB2[:G1]] [--out partition.txt] "
+         "[--convert out.hpb]\n";
   std::exit(2);
+}
+
+void write_partition(const std::string& out_path, const hp::Partition& p,
+                     hp::NodeId n) {
+  std::ofstream out(out_path);
+  for (hp::NodeId v = 0; v < n; ++v) out << p[v] << '\n';
+  std::cout << "partition written to " << out_path << "\n";
+}
+
+/// Streaming pipeline: map the binary file (converting hMETIS first if
+/// needed), one-pass place, optionally re-stream, report.
+int run_stream(const std::string& path, hp::PartId k, double eps,
+               hp::CostMetric metric, std::uint64_t seed, hp::NodeId buffer,
+               int restream_passes,
+               const std::optional<std::string>& out_path) {
+  std::string bin_path = path;
+  if (!hp::stream::is_binary_file(path)) {
+    bin_path = path + ".hpb";
+    hp::stream::convert_hmetis_file(path, bin_path);
+    std::cout << "converted " << path << " -> " << bin_path << "\n";
+  }
+  hp::stream::MappedHypergraph mapped(bin_path);
+  std::cout << mapped.summary() << "\n";
+
+  const auto balance = hp::BalanceConstraint::for_total_weight(
+      mapped.total_node_weight(), k, eps, /*relaxed=*/true);
+
+  hp::stream::StreamConfig scfg;
+  scfg.metric = metric;
+  scfg.seed = seed;
+  if (buffer > 0) scfg.buffer_size = buffer;
+
+  hp::Timer timer;
+  auto streamed = hp::stream::stream_partition(mapped, balance, scfg);
+  if (!streamed) {
+    std::cerr << "no feasible partition found\n";
+    return 1;
+  }
+  std::cout << "one-pass cost    = " << streamed->offline_cost << "\n";
+  if (restream_passes > 0) {
+    hp::stream::RestreamConfig rcfg;
+    rcfg.metric = metric;
+    rcfg.max_passes = restream_passes;
+    const auto refined =
+        hp::stream::restream_refine(mapped, streamed->partition, balance, rcfg);
+    std::cout << "re-stream        = " << refined.passes_run << " passes, "
+              << refined.moves_applied << "/" << refined.moves_proposed
+              << " moves applied\n";
+  }
+  const double ms = timer.millis();
+
+  const hp::Partition& partition = streamed->partition;
+  std::cout << "algorithm        = stream";
+  if (restream_passes > 0) std::cout << "+restream(" << restream_passes << ")";
+  std::cout << " (" << ms << " ms)\n";
+  std::cout << "cut-net cost     = "
+            << hp::cost_of(mapped, partition, hp::CostMetric::kCutNet) << "\n";
+  std::cout << "connectivity     = "
+            << hp::cost_of(mapped, partition, hp::CostMetric::kConnectivity)
+            << "\n";
+  std::vector<hp::Weight> pw(k, 0);
+  for (hp::NodeId v = 0; v < mapped.num_nodes(); ++v) {
+    pw[partition[v]] += mapped.node_weight(v);
+  }
+  std::cout << "part weights     =";
+  for (const hp::Weight w : pw) std::cout << ' ' << w;
+  std::cout << "\nbalanced         = "
+            << (balance.satisfied(pw) ? "yes" : "no") << "\n";
+  if (out_path) write_partition(*out_path, partition, mapped.num_nodes());
+  return 0;
 }
 
 }  // namespace
@@ -44,7 +127,10 @@ int main(int argc, char** argv) {
   hp::CostMetric metric = hp::CostMetric::kConnectivity;
   std::string algo = "multilevel";
   std::uint64_t seed = 1;
+  int restream_passes = 0;
+  hp::NodeId buffer = 0;
   std::optional<std::string> out_path;
+  std::optional<std::string> convert_path;
   std::optional<hp::HierTopology> hier;
 
   for (int i = 2; i < argc; ++i) {
@@ -65,8 +151,14 @@ int main(int argc, char** argv) {
       algo = value();
     } else if (arg == "--seed") {
       seed = std::stoull(value());
+    } else if (arg == "--restream") {
+      restream_passes = std::stoi(value());
+    } else if (arg == "--buffer") {
+      buffer = static_cast<hp::NodeId>(std::stoul(value()));
     } else if (arg == "--out") {
       out_path = value();
+    } else if (arg == "--convert") {
+      convert_path = value();
     } else if (arg == "--hier") {
       const std::string spec = value();
       const auto x = spec.find('x');
@@ -84,9 +176,38 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (convert_path) {
+    try {
+      if (hp::stream::is_binary_file(path)) {
+        std::cerr << "error: " << path << " is already binary\n";
+        return 1;
+      }
+      hp::stream::convert_hmetis_file(path, *convert_path);
+      const hp::stream::MappedHypergraph mapped(*convert_path);
+      std::cout << mapped.summary() << "\n"
+                << "binary written to " << *convert_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
+  if (algo == "stream") {
+    try {
+      return run_stream(path, k, eps, metric, seed, buffer, restream_passes,
+                        out_path);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+  }
+
   hp::Hypergraph graph;
   try {
-    graph = hp::read_hmetis_file(path);
+    graph = hp::stream::is_binary_file(path)
+                ? hp::stream::MappedHypergraph(path).materialize()
+                : hp::read_hmetis_file(path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -147,12 +268,6 @@ int main(int argc, char** argv) {
     std::cout << "hierarchical cost (after optimal assignment) = "
               << assigned.hierarchical_cost << "\n";
   }
-  if (out_path) {
-    std::ofstream out(*out_path);
-    for (hp::NodeId v = 0; v < graph.num_nodes(); ++v) {
-      out << (*partition)[v] << '\n';
-    }
-    std::cout << "partition written to " << *out_path << "\n";
-  }
+  if (out_path) write_partition(*out_path, *partition, graph.num_nodes());
   return 0;
 }
