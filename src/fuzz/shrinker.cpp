@@ -1,0 +1,246 @@
+#include "hyperpart/fuzz/shrinker.hpp"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/io/hmetis_io.hpp"
+
+namespace hp::fuzz {
+
+namespace {
+
+/// Mutable edge-list view of an instance that the reduction stages edit.
+struct Repr {
+  NodeId n = 0;
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> edge_w;
+  std::vector<Weight> node_w;
+  bool has_edge_w = false;
+  bool has_node_w = false;
+  PartId k = 2;
+  double epsilon = 0.1;
+  CostMetric metric = CostMetric::kConnectivity;
+  std::uint64_t seed = 0;
+};
+
+Repr to_repr(const FuzzInstance& inst) {
+  Repr r;
+  const Hypergraph& g = inst.graph;
+  r.n = g.num_nodes();
+  r.edges.reserve(g.num_edges());
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    r.edges.emplace_back(g.pins(e).begin(), g.pins(e).end());
+    r.edge_w.push_back(g.edge_weight(e));
+  }
+  for (NodeId v = 0; v < r.n; ++v) r.node_w.push_back(g.node_weight(v));
+  r.has_edge_w = g.has_edge_weights();
+  r.has_node_w = g.has_node_weights();
+  r.k = inst.k;
+  r.epsilon = inst.epsilon;
+  r.metric = inst.metric;
+  r.seed = inst.seed;
+  return r;
+}
+
+FuzzInstance to_instance(const Repr& r) {
+  FuzzInstance inst;
+  inst.graph = Hypergraph::from_edges(r.n, r.edges);
+  if (r.has_edge_w) inst.graph.set_edge_weights(r.edge_w);
+  if (r.has_node_w) inst.graph.set_node_weights(r.node_w);
+  inst.k = r.k;
+  inst.epsilon = r.epsilon;
+  inst.metric = r.metric;
+  inst.seed = r.seed;
+  inst.family = "shrunk";
+  return inst;
+}
+
+struct Shrinker {
+  const ShrinkOptions& opts;
+  std::uint64_t runs = 0;
+  std::string last_invariant;
+
+  /// True when the candidate still fails the oracle (within budget; an
+  /// exhausted budget conservatively rejects candidates, freezing the
+  /// current repro rather than accepting an untested one).
+  bool fails(const Repr& r) {
+    if (runs >= opts.max_oracle_runs) return false;
+    if (r.n == 0 || r.k < 2) return false;
+    ++runs;
+    const OracleReport report = run_oracle(to_instance(r), opts.oracle);
+    if (!report.ok()) last_invariant = report.violations.front().invariant;
+    return !report.ok();
+  }
+
+  /// Classic ddmin over the edge list: try dropping chunks at increasing
+  /// granularity while the failure persists.
+  void ddmin_edges(Repr& r) {
+    std::size_t gran = 2;
+    while (r.edges.size() >= 2 && gran <= r.edges.size()) {
+      const std::size_t m = r.edges.size();
+      const std::size_t chunk = (m + gran - 1) / gran;
+      bool reduced = false;
+      for (std::size_t start = 0; start < m; start += chunk) {
+        Repr cand = r;
+        const std::size_t stop = std::min(m, start + chunk);
+        cand.edges.erase(cand.edges.begin() + start,
+                         cand.edges.begin() + stop);
+        cand.edge_w.erase(cand.edge_w.begin() + start,
+                          cand.edge_w.begin() + stop);
+        if (fails(cand)) {
+          r = std::move(cand);
+          gran = std::max<std::size_t>(2, gran - 1);
+          reduced = true;
+          break;
+        }
+      }
+      if (!reduced) {
+        if (gran >= r.edges.size()) break;
+        gran = std::min(r.edges.size(), gran * 2);
+      }
+    }
+  }
+
+  /// Remove one node entirely (from every edge, compacting ids); k is
+  /// clamped so the instance stays well-formed.
+  static Repr without_node(const Repr& r, NodeId victim) {
+    Repr cand = r;
+    cand.n = r.n - 1;
+    cand.node_w.erase(cand.node_w.begin() + victim);
+    for (auto& pins : cand.edges) {
+      std::erase(pins, victim);
+      for (NodeId& v : pins) {
+        if (v > victim) --v;
+      }
+    }
+    cand.k = std::min<PartId>(cand.k, std::max<NodeId>(cand.n, 2));
+    return cand;
+  }
+
+  void drop_nodes(Repr& r) {
+    for (NodeId v = r.n; v-- > 0 && r.n > 2;) {
+      if (v >= r.n) continue;
+      Repr cand = without_node(r, v);
+      if (fails(cand)) r = std::move(cand);
+    }
+  }
+
+  void flatten(Repr& r) {
+    if (r.has_edge_w) {
+      Repr cand = r;
+      cand.has_edge_w = false;
+      std::fill(cand.edge_w.begin(), cand.edge_w.end(), Weight{1});
+      if (fails(cand)) r = std::move(cand);
+    }
+    if (r.has_node_w) {
+      Repr cand = r;
+      cand.has_node_w = false;
+      std::fill(cand.node_w.begin(), cand.node_w.end(), Weight{1});
+      if (fails(cand)) r = std::move(cand);
+    }
+  }
+
+  void reduce_k(Repr& r) {
+    if (r.k > 2) {  // the common case: the failure is not k-specific
+      Repr cand = r;
+      cand.k = 2;
+      if (fails(cand)) {
+        r = std::move(cand);
+        return;
+      }
+    }
+    while (r.k > 2) {
+      Repr cand = r;
+      cand.k = r.k - 1;
+      if (!fails(cand)) break;
+      r = std::move(cand);
+    }
+  }
+};
+
+std::size_t footprint(const Repr& r) {
+  std::size_t pins = 0;
+  for (const auto& e : r.edges) pins += e.size();
+  return static_cast<std::size_t>(r.n) + r.edges.size() + pins + r.k;
+}
+
+}  // namespace
+
+ShrinkResult shrink_instance(const FuzzInstance& failing,
+                             const ShrinkOptions& opts) {
+  Shrinker s{opts, 0, ""};
+  Repr cur = to_repr(failing);
+  if (!s.fails(cur)) {
+    // The input does not fail under this oracle configuration; nothing to
+    // shrink — hand it back so callers notice.
+    return {failing, "", s.runs};
+  }
+
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    const std::size_t before = footprint(cur);
+    s.ddmin_edges(cur);
+    s.drop_nodes(cur);
+    s.flatten(cur);
+    s.reduce_k(cur);
+    if (footprint(cur) >= before) break;  // fixpoint
+  }
+
+  ShrinkResult result{to_instance(cur), "", s.runs};
+  // Re-run once on the final instance so the reported invariant is the
+  // minimized instance's own first violation.
+  const OracleReport final_report = run_oracle(result.instance, opts.oracle);
+  result.violated_invariant =
+      final_report.ok() ? s.last_invariant
+                        : final_report.violations.front().invariant;
+  return result;
+}
+
+std::string dump_repro(const FuzzInstance& inst, const std::string& dir,
+                       const std::string& stem,
+                       const std::string& extra_cli_args) {
+  namespace fs = std::filesystem;
+  fs::create_directories(dir);
+
+  // hMETIS cannot represent empty edges; strip them (no invariant can
+  // depend on an edge that is never cut and carries no pins).
+  const Hypergraph& g = inst.graph;
+  std::vector<std::vector<NodeId>> edges;
+  std::vector<Weight> ew;
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (g.edge_size(e) == 0) continue;
+    edges.emplace_back(g.pins(e).begin(), g.pins(e).end());
+    ew.push_back(g.edge_weight(e));
+  }
+  Hypergraph out = Hypergraph::from_edges(g.num_nodes(), std::move(edges));
+  if (g.has_edge_weights()) out.set_edge_weights(std::move(ew));
+  if (g.has_node_weights()) {
+    std::vector<Weight> nw;
+    for (NodeId v = 0; v < g.num_nodes(); ++v) nw.push_back(g.node_weight(v));
+    out.set_node_weights(std::move(nw));
+  }
+
+  const std::string hgr = (fs::path(dir) / (stem + ".hgr")).string();
+  write_hmetis_file(hgr, out);
+
+  std::ostringstream cmd;
+  cmd << "hyperfuzz --replay " << hgr << " --k " << inst.k << " --eps "
+      << inst.epsilon << " --metric "
+      << (inst.metric == CostMetric::kCutNet ? "cut" : "conn") << " --seed "
+      << inst.seed;
+  if (!extra_cli_args.empty()) cmd << ' ' << extra_cli_args;
+  cmd << '\n';
+  std::ofstream cmd_out((fs::path(dir) / (stem + ".cmd")).string());
+  if (!cmd_out) {
+    throw std::runtime_error("dump_repro: cannot write command file in " +
+                             dir);
+  }
+  cmd_out << cmd.str();
+  return hgr;
+}
+
+}  // namespace hp::fuzz

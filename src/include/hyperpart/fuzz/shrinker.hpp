@@ -1,0 +1,55 @@
+#pragma once
+// ddmin-style reduction of failing fuzz instances to minimal repros.
+//
+// Given an instance the oracle rejects, the shrinker searches for a
+// smallest instance that still fails the same oracle configuration:
+// delta-debugging over the edge list (remove chunks at increasing
+// granularity), node elimination (drop a node from every edge and compact
+// ids), weight flattening (all weights to 1), and k reduction (toward 2).
+// Every candidate is accepted only if the full oracle still reports a
+// violation, so the minimized instance is failing by construction.
+//
+// The minimized repro is dumped as an hMETIS file plus a `.cmd` text file
+// holding the exact `hyperfuzz --replay` invocation that reproduces the
+// failure — the two artifacts CI uploads when a run goes red.
+
+#include <cstdint>
+#include <string>
+
+#include "hyperpart/fuzz/instance_gen.hpp"
+#include "hyperpart/fuzz/oracle.hpp"
+
+namespace hp::fuzz {
+
+struct ShrinkOptions {
+  /// Oracle configuration the repro must keep failing (fault injection and
+  /// all — a repro for an injected bug replays with the same injection).
+  OracleOptions oracle;
+  /// Fixpoint rounds over the reduction stages.
+  int max_rounds = 6;
+  /// Hard cap on oracle evaluations across the whole shrink.
+  std::uint64_t max_oracle_runs = 4000;
+};
+
+struct ShrinkResult {
+  /// Minimized instance (family "shrunk"); still fails the oracle unless
+  /// the input itself passed (then it is returned unchanged).
+  FuzzInstance instance;
+  /// First violated invariant of the minimized instance ("" if none).
+  std::string violated_invariant;
+  std::uint64_t oracle_runs = 0;
+};
+
+/// Reduce `failing` to a (locally) minimal instance that still fails.
+[[nodiscard]] ShrinkResult shrink_instance(const FuzzInstance& failing,
+                                           const ShrinkOptions& opts = {});
+
+/// Write `<dir>/<stem>.hgr` (hMETIS, empty edges stripped — they affect no
+/// invariant) and `<dir>/<stem>.cmd` (the replay CLI line, with
+/// `extra_cli_args` appended, e.g. "--inject-bug gain"). Creates `dir` if
+/// needed; returns the .hgr path.
+std::string dump_repro(const FuzzInstance& inst, const std::string& dir,
+                       const std::string& stem,
+                       const std::string& extra_cli_args = "");
+
+}  // namespace hp::fuzz

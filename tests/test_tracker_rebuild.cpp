@@ -1,0 +1,134 @@
+// Satellite invariant: after 1k random moves, the ConnectivityTracker's
+// incrementally maintained state — per-edge λ and pin counts, running
+// costs, part weights, boundary set, and the per-node best-move index —
+// equals a tracker rebuilt from scratch on the final partition.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "hyperpart/core/connectivity_tracker.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/util/rng.hpp"
+
+namespace hp {
+namespace {
+
+void run_replay(CostMetric metric, std::uint64_t seed) {
+  const Hypergraph g = random_hypergraph(160, 320, 2, 9, seed);
+  const PartId k = 6;
+  Partition p(g.num_nodes(), k);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    p.assign(v, static_cast<PartId>((v * 7 + 3) % k));
+  }
+
+  ConnectivityTracker inc(g, p);
+  inc.enable_gain_cache(metric);
+
+  Rng rng(seed ^ 0x1badULL);
+  for (int step = 0; step < 1000; ++step) {
+    const NodeId v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    PartId to = static_cast<PartId>(rng.next_below(k));
+    if (to == inc.part_of(v)) to = (to + 1) % k;
+    inc.move(v, to);
+  }
+
+  const Partition final_p = inc.to_partition();
+  ConnectivityTracker fresh(g, final_p);
+  fresh.enable_gain_cache(metric);
+
+  // Totals under both metrics, and against a from-scratch recomputation.
+  EXPECT_EQ(inc.cut_net_cost(), fresh.cut_net_cost());
+  EXPECT_EQ(inc.connectivity_cost(), fresh.connectivity_cost());
+  EXPECT_EQ(inc.cost(metric), cost(g, final_p, metric));
+
+  for (PartId q = 0; q < k; ++q) {
+    EXPECT_EQ(inc.part_weight(q), fresh.part_weight(q)) << "part " << q;
+  }
+
+  // Per-edge λ and the full m×k pin-count table.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    ASSERT_EQ(inc.lambda(e), fresh.lambda(e)) << "edge " << e;
+    for (PartId q = 0; q < k; ++q) {
+      ASSERT_EQ(inc.pins_in_part(e, q), fresh.pins_in_part(e, q))
+          << "edge " << e << " part " << q;
+    }
+  }
+
+  // Boundary set (order is maintenance-history dependent; compare as sets)
+  // and the per-node membership flag.
+  std::vector<NodeId> b_inc(inc.boundary_nodes().begin(),
+                            inc.boundary_nodes().end());
+  std::vector<NodeId> b_fresh(fresh.boundary_nodes().begin(),
+                              fresh.boundary_nodes().end());
+  std::sort(b_inc.begin(), b_inc.end());
+  std::sort(b_fresh.begin(), b_fresh.end());
+  EXPECT_EQ(b_inc, b_fresh);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(inc.is_boundary(v), fresh.is_boundary(v)) << "node " << v;
+  }
+
+  // Best-move index: gains must match exactly; the maintained argmax must
+  // be a true argmax (targets may differ on ties).
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(inc.cached_best_gain(v), fresh.cached_best_gain(v))
+        << "node " << v;
+    Weight best = std::numeric_limits<Weight>::lowest();
+    for (PartId q = 0; q < k; ++q) {
+      if (q == inc.part_of(v)) continue;
+      best = std::max(best, inc.cached_gain(v, q));
+      ASSERT_EQ(inc.cached_gain(v, q), fresh.cached_gain(v, q))
+          << "node " << v << " part " << q;
+      ASSERT_EQ(inc.cached_gain(v, q), inc.gain(v, q, metric))
+          << "node " << v << " part " << q;
+    }
+    ASSERT_EQ(inc.cached_best_gain(v), best) << "node " << v;
+  }
+}
+
+TEST(TrackerRebuild, ConnectivityMetricAfter1kMoves) {
+  run_replay(CostMetric::kConnectivity, 11);
+}
+
+TEST(TrackerRebuild, CutNetMetricAfter1kMoves) {
+  run_replay(CostMetric::kCutNet, 12);
+}
+
+TEST(TrackerRebuild, WeightedGraphAfter1kMoves) {
+  Hypergraph g = random_hypergraph(120, 240, 2, 7, 99);
+  std::vector<Weight> nw(g.num_nodes(), 1);
+  std::vector<Weight> ew(g.num_edges(), 1);
+  Rng rng(7);
+  for (auto& w : nw) w = 1 + static_cast<Weight>(rng.next_below(5));
+  for (auto& w : ew) w = 1 + static_cast<Weight>(rng.next_below(5));
+  g.set_node_weights(nw);
+  g.set_edge_weights(ew);
+
+  const PartId k = 4;
+  Partition p(g.num_nodes(), k);
+  for (NodeId v = 0; v < g.num_nodes(); ++v) p.assign(v, v % k);
+  ConnectivityTracker inc(g, p);
+  inc.enable_gain_cache(CostMetric::kConnectivity);
+  for (int step = 0; step < 1000; ++step) {
+    const NodeId v = static_cast<NodeId>(rng.next_below(g.num_nodes()));
+    PartId to = static_cast<PartId>(rng.next_below(k));
+    if (to == inc.part_of(v)) to = (to + 1) % k;
+    inc.move(v, to);
+  }
+  const Partition final_p = inc.to_partition();
+  ConnectivityTracker fresh(g, final_p);
+  fresh.enable_gain_cache(CostMetric::kConnectivity);
+  EXPECT_EQ(inc.connectivity_cost(), fresh.connectivity_cost());
+  EXPECT_EQ(inc.connectivity_cost(),
+            cost(g, final_p, CostMetric::kConnectivity));
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    ASSERT_EQ(inc.cached_best_gain(v), fresh.cached_best_gain(v))
+        << "node " << v;
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,92 @@
+// Satellite invariant: the Lemma 4.3 XP dynamic program agrees with the
+// brute-force optimum on every generated instance up to n = 10, for
+// k ∈ {2, 3, 4} and both cost metrics — solvable exactly at budget OPT,
+// provably unsolvable at budget OPT − 1.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "hyperpart/algo/brute_force.hpp"
+#include "hyperpart/algo/xp_algorithm.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/io/generators.hpp"
+
+namespace hp {
+namespace {
+
+void check_agreement(const Hypergraph& g, PartId k, double eps,
+                     CostMetric metric, const std::string& label) {
+  const auto balance = BalanceConstraint::for_graph(g, k, eps, true);
+
+  BruteForceOptions bopts;
+  bopts.metric = metric;
+  const auto brute = brute_force_partition(g, balance, bopts);
+
+  XpOptions xopts;
+  xopts.metric = metric;
+  xopts.max_configurations = 5'000'000;
+
+  if (!brute) {
+    // Infeasible instance: XP must not find a solution at any budget.
+    const auto xp = xp_partition(g, balance, 50.0, xopts);
+    EXPECT_NE(xp.status, XpStatus::kSolved) << label;
+    return;
+  }
+  const Weight opt = brute->cost;
+  if (opt > 8) return;  // keep the configuration enumeration bounded
+
+  const auto xp =
+      xp_partition(g, balance, static_cast<double>(opt), xopts);
+  if (xp.status == XpStatus::kBudgetExceeded) return;
+  ASSERT_EQ(xp.status, XpStatus::kSolved) << label << " OPT=" << opt;
+  EXPECT_EQ(std::llround(xp.cost), opt) << label;
+  EXPECT_TRUE(xp.partition.complete()) << label;
+  EXPECT_TRUE(balance.satisfied(g, xp.partition)) << label;
+  EXPECT_EQ(cost(g, xp.partition, metric), opt) << label;
+
+  if (opt >= 1) {
+    const auto below =
+        xp_partition(g, balance, static_cast<double>(opt) - 1.0, xopts);
+    EXPECT_NE(below.status, XpStatus::kSolved) << label << " below OPT";
+  }
+}
+
+TEST(XpVsBrute, RandomInstancesUpToN10) {
+  for (NodeId n : {6u, 8u, 10u}) {
+    for (PartId k : {2u, 3u, 4u}) {
+      for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        const Hypergraph g =
+            random_hypergraph(n, n + seed, 2, std::min<NodeId>(n, 5), seed);
+        const CostMetric metric = (seed % 2 == 0) ? CostMetric::kCutNet
+                                                  : CostMetric::kConnectivity;
+        check_agreement(g, k, 0.3, metric,
+                        "n=" + std::to_string(n) + " k=" + std::to_string(k) +
+                            " seed=" + std::to_string(seed));
+      }
+    }
+  }
+}
+
+TEST(XpVsBrute, TightBalanceEpsilonZero) {
+  for (PartId k : {2u, 3u, 4u}) {
+    const Hypergraph g = random_hypergraph(8, 12, 2, 4, 17 + k);
+    check_agreement(g, k, 0.0, CostMetric::kConnectivity,
+                    "eps=0 k=" + std::to_string(k));
+  }
+}
+
+TEST(XpVsBrute, WeightedEdges) {
+  Hypergraph g = random_hypergraph(8, 10, 2, 4, 23);
+  g.set_edge_weights({2, 1, 1, 3, 1, 2, 1, 1, 2, 1});
+  for (PartId k : {2u, 3u}) {
+    check_agreement(g, k, 0.3, CostMetric::kConnectivity,
+                    "weighted k=" + std::to_string(k));
+    check_agreement(g, k, 0.3, CostMetric::kCutNet,
+                    "weighted-cut k=" + std::to_string(k));
+  }
+}
+
+}  // namespace
+}  // namespace hp

@@ -1,0 +1,214 @@
+// Differential fuzzing driver: the standing correctness gate for every
+// solver stack in this repo.
+//
+//   hyperfuzz [--seed S] [--runs N] [--max-nodes N] [--max-edges M]
+//             [--families f1,f2,...] [--exact-limit N] [--threads T]
+//             [--out-dir DIR] [--max-failures F] [--inject-bug gain]
+//             [--no-anneal] [--no-stream] [--quiet]
+//   hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]
+//             [--metric cut|conn] [--seed S] [--inject-bug gain]
+//
+// Fuzz mode generates one seeded instance per run (families: random,
+// skewed, hyperdag, grid, spes, degenerate) and runs the full differential
+// oracle on it — every heuristic, the streaming round trip, and on small
+// instances the three exact solvers — checking the cross-solver invariants
+// documented in fuzz/oracle.hpp. A failing instance is ddmin-shrunk to a
+// minimal repro and dumped into --out-dir as an hMETIS file plus the exact
+// replay invocation; the exit code is the number of failing runs (capped).
+//
+// Replay mode re-runs the oracle on a dumped (or corpus) file, so every CI
+// artifact reproduces with a single command. --inject-bug seeds a
+// deliberate gain-rule fault inside the oracle's own prediction — the
+// self-test proving the harness catches and shrinks real bugs.
+
+#include <cstdint>
+#include <cstdlib>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hyperpart/fuzz/instance_gen.hpp"
+#include "hyperpart/fuzz/oracle.hpp"
+#include "hyperpart/fuzz/shrinker.hpp"
+#include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/timer.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr
+      << "usage: hyperfuzz [--seed S] [--runs N] [--max-nodes N] "
+         "[--max-edges M]\n"
+         "         [--families f1,f2,...] [--exact-limit N] [--threads T]\n"
+         "         [--out-dir DIR] [--max-failures F] [--inject-bug gain]\n"
+         "         [--no-anneal] [--no-stream] [--quiet]\n"
+         "       hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]\n"
+         "         [--metric cut|conn] [--seed S] [--inject-bug gain]\n"
+         "families: random skewed hyperdag grid spes degenerate\n";
+  std::exit(2);
+}
+
+std::vector<hp::fuzz::Family> parse_families(const std::string& csv) {
+  std::vector<hp::fuzz::Family> out;
+  std::istringstream is(csv);
+  std::string name;
+  while (std::getline(is, name, ',')) {
+    if (!name.empty()) out.push_back(hp::fuzz::family_from_string(name));
+  }
+  return out;
+}
+
+int replay(const std::string& path, hp::PartId k, double eps,
+           hp::CostMetric metric, std::uint64_t seed,
+           const hp::fuzz::OracleOptions& oopts) {
+  hp::fuzz::FuzzInstance inst;
+  if (hp::stream::is_binary_file(path)) {
+    inst.graph = hp::stream::MappedHypergraph(path).materialize();
+  } else {
+    inst.graph = hp::read_hmetis_file(path);
+  }
+  inst.k = k;
+  inst.epsilon = eps;
+  inst.metric = metric;
+  inst.seed = seed;
+  inst.family = "replay";
+
+  const auto report = hp::fuzz::run_oracle(inst, oopts);
+  std::cout << hp::fuzz::describe(inst) << "\n" << report.to_string() << "\n";
+  return report.ok() ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::uint64_t seed = 1;
+  std::uint64_t runs = 1000;
+  hp::fuzz::GenOptions gen;
+  hp::fuzz::OracleOptions oopts;
+  std::string out_dir = "hyperfuzz-repros";
+  std::string replay_path;
+  int max_failures = 5;
+  bool quiet = false;
+  hp::PartId replay_k = 2;
+  double replay_eps = 0.1;
+  hp::CostMetric replay_metric = hp::CostMetric::kConnectivity;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) usage();
+      return argv[++i];
+    };
+    if (arg == "--seed") {
+      seed = std::stoull(value());
+    } else if (arg == "--runs") {
+      runs = std::stoull(value());
+    } else if (arg == "--max-nodes") {
+      gen.max_nodes = static_cast<hp::NodeId>(std::stoul(value()));
+    } else if (arg == "--max-edges") {
+      gen.max_edges = static_cast<hp::EdgeId>(std::stoul(value()));
+    } else if (arg == "--families") {
+      gen.families = parse_families(value());
+    } else if (arg == "--exact-limit") {
+      oopts.exact_node_limit = static_cast<hp::NodeId>(std::stoul(value()));
+    } else if (arg == "--threads") {
+      oopts.alt_threads = static_cast<unsigned>(std::stoul(value()));
+    } else if (arg == "--out-dir") {
+      out_dir = value();
+    } else if (arg == "--max-failures") {
+      max_failures = std::stoi(value());
+    } else if (arg == "--inject-bug") {
+      if (value() != "gain") usage();
+      oopts.fault = hp::fuzz::FaultInjection::kGainRule;
+    } else if (arg == "--no-anneal") {
+      oopts.run_annealing = false;
+    } else if (arg == "--no-stream") {
+      oopts.run_stream = false;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--replay") {
+      replay_path = value();
+    } else if (arg == "--k") {
+      replay_k = static_cast<hp::PartId>(std::stoul(value()));
+    } else if (arg == "--eps") {
+      replay_eps = std::stod(value());
+    } else if (arg == "--metric") {
+      const std::string m = value();
+      if (m == "cut") {
+        replay_metric = hp::CostMetric::kCutNet;
+      } else if (m == "conn") {
+        replay_metric = hp::CostMetric::kConnectivity;
+      } else {
+        usage();
+      }
+    } else {
+      usage();
+    }
+  }
+
+  if (!replay_path.empty()) {
+    return replay(replay_path, replay_k, replay_eps, replay_metric, seed,
+                  oopts);
+  }
+
+  hp::Timer timer;
+  std::map<std::string, std::uint64_t> per_family;
+  int failures = 0;
+  std::uint64_t state = seed;
+  for (std::uint64_t i = 0; i < runs; ++i) {
+    const std::uint64_t run_seed = hp::splitmix64(state);
+    hp::fuzz::FuzzInstance inst;
+    try {
+      inst = hp::fuzz::generate_instance(run_seed, gen);
+    } catch (const std::exception& e) {
+      // A generator crash is a harness bug; report it as a failure but
+      // keep fuzzing — later runs are independent.
+      ++failures;
+      std::cout << "FAIL generate_instance(seed=" << run_seed
+                << ") threw: " << e.what() << "\n";
+      if (failures >= max_failures) break;
+      continue;
+    }
+    ++per_family[inst.family];
+    const auto report = hp::fuzz::run_oracle(inst, oopts);
+    if (!quiet && runs >= 200 && (i + 1) % (runs / 10) == 0) {
+      std::cout << "progress " << (i + 1) << "/" << runs << " ("
+                << failures << " failures)\n";
+    }
+    if (report.ok()) continue;
+
+    ++failures;
+    std::cout << "FAIL " << hp::fuzz::describe(inst) << "\n"
+              << report.to_string();
+
+    hp::fuzz::ShrinkOptions sopts;
+    sopts.oracle = oopts;
+    const auto shrunk = hp::fuzz::shrink_instance(inst, sopts);
+    const std::string stem = "repro_seed" + std::to_string(run_seed);
+    const std::string extra =
+        oopts.fault == hp::fuzz::FaultInjection::kGainRule ? "--inject-bug gain"
+                                                           : "";
+    const std::string hgr =
+        hp::fuzz::dump_repro(shrunk.instance, out_dir, stem, extra);
+    std::cout << "shrunk to " << hp::fuzz::describe(shrunk.instance) << " ["
+              << shrunk.violated_invariant << "] after "
+              << shrunk.oracle_runs << " oracle runs\n"
+              << "repro: " << hgr << " (replay line in " << out_dir << "/"
+              << stem << ".cmd)\n";
+    if (failures >= max_failures) {
+      std::cout << "stopping after " << failures << " failures\n";
+      break;
+    }
+  }
+
+  std::cout << "hyperfuzz: " << runs << " runs, " << failures
+            << " failure(s) in " << timer.millis() << " ms\n";
+  for (const auto& [family, count] : per_family) {
+    std::cout << "  " << family << ": " << count << "\n";
+  }
+  return failures == 0 ? 0 : 1;
+}
