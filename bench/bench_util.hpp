@@ -5,32 +5,20 @@
 // refine) can report footprints.
 
 #include <cstdint>
-#include <fstream>
 #include <iomanip>
 #include <iostream>
 #include <sstream>
 #include <string>
 #include <vector>
 
+#include "hyperpart/obs/telemetry.hpp"
+
 namespace hp::bench {
 
-/// Peak resident set size of this process in bytes (VmHWM from
-/// /proc/self/status), or 0 where the proc interface is unavailable.
-/// VmHWM is a monotone high-water mark: per-phase attribution requires
-/// running each phase in its own (forked) process.
-inline std::uint64_t peak_rss_bytes() {
-  std::ifstream status("/proc/self/status");
-  std::string line;
-  while (std::getline(status, line)) {
-    if (line.rfind("VmHWM:", 0) == 0) {
-      std::istringstream ls(line.substr(6));
-      std::uint64_t kb = 0;
-      ls >> kb;
-      return kb * 1024;
-    }
-  }
-  return 0;
-}
+/// Peak resident set size of this process in bytes, or 0 where the proc
+/// interface is unavailable. VmHWM is a monotone high-water mark: per-phase
+/// attribution requires running each phase in its own (forked) process.
+inline std::uint64_t peak_rss_bytes() { return hp::obs::peak_rss_bytes(); }
 
 class Table {
  public:

@@ -4,6 +4,7 @@
 #include <numeric>
 #include <unordered_map>
 
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/util/rng.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 
@@ -44,41 +45,46 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
   rng.shuffle(order);
 
   std::vector<NodeId> match(n, kInvalidNode);
-  // Scratch ratings, reset sparsely between nodes.
-  std::vector<double> rating(n, 0.0);
-  std::vector<NodeId> touched;
-  for (const NodeId v : order) {
-    if (match[v] != kInvalidNode) continue;
-    touched.clear();
-    for (const EdgeId e : g.incident_edges(v)) {
-      const auto pins = g.pins(e);
-      if (pins.size() < 2) continue;
-      // Heavy-edge rating w(e)/(|e|−1), the standard multilevel score.
-      const double score = static_cast<double>(g.edge_weight(e)) /
-                           static_cast<double>(pins.size() - 1);
-      for (const NodeId u : pins) {
-        if (u == v || match[u] != kInvalidNode) continue;
-        if (g.node_weight(u) + g.node_weight(v) > max_cluster_weight) continue;
-        if (restrict_parts != nullptr &&
-            (*restrict_parts)[u] != (*restrict_parts)[v]) {
-          continue;
+  {
+    HP_SPAN("match");
+    // Scratch ratings, reset sparsely between nodes.
+    std::vector<double> rating(n, 0.0);
+    std::vector<NodeId> touched;
+    for (const NodeId v : order) {
+      if (match[v] != kInvalidNode) continue;
+      touched.clear();
+      for (const EdgeId e : g.incident_edges(v)) {
+        const auto pins = g.pins(e);
+        if (pins.size() < 2) continue;
+        // Heavy-edge rating w(e)/(|e|−1), the standard multilevel score.
+        const double score = static_cast<double>(g.edge_weight(e)) /
+                             static_cast<double>(pins.size() - 1);
+        for (const NodeId u : pins) {
+          if (u == v || match[u] != kInvalidNode) continue;
+          if (g.node_weight(u) + g.node_weight(v) > max_cluster_weight) {
+            continue;
+          }
+          if (restrict_parts != nullptr &&
+              (*restrict_parts)[u] != (*restrict_parts)[v]) {
+            continue;
+          }
+          if (rating[u] == 0.0) touched.push_back(u);
+          rating[u] += score;
         }
-        if (rating[u] == 0.0) touched.push_back(u);
-        rating[u] += score;
       }
-    }
-    NodeId best = kInvalidNode;
-    double best_rating = 0.0;
-    for (const NodeId u : touched) {
-      if (rating[u] > best_rating) {
-        best_rating = rating[u];
-        best = u;
+      NodeId best = kInvalidNode;
+      double best_rating = 0.0;
+      for (const NodeId u : touched) {
+        if (rating[u] > best_rating) {
+          best_rating = rating[u];
+          best = u;
+        }
+        rating[u] = 0.0;
       }
-      rating[u] = 0.0;
-    }
-    if (best != kInvalidNode) {
-      match[v] = best;
-      match[best] = v;
+      if (best != kInvalidNode) {
+        match[v] = best;
+        match[best] = v;
+      }
     }
   }
 
@@ -98,6 +104,8 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
     coarse_node_weight[level.fine_to_coarse[v]] += g.node_weight(v);
   }
 
+  HP_SPAN("dedup");
+  HP_COUNTER_ADD("coarsen.rounds", 1);
   // Build coarse edges and merge duplicates with sharded hash maps: edge
   // chunks project their pin lists and scatter them into per-chunk shard
   // buckets (by pin-list hash), then each shard merges its buckets
@@ -176,6 +184,7 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
   level.graph = Hypergraph::from_edges(clusters, std::move(edges));
   level.graph.set_edge_weights(std::move(weights));
   level.graph.set_node_weights(std::move(coarse_node_weight));
+  HP_COUNTER_ADD("coarsen.coarse_edges", level.graph.num_edges());
   return level;
 }
 

@@ -11,7 +11,9 @@
 #endif
 
 #include "hyperpart/core/connectivity_tracker.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/util/addressable_heap.hpp"
+#include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
@@ -51,7 +53,7 @@ class GroupWeights {
                                    PartId to) const {
     if (cs_ == nullptr) return true;
     for (const std::uint32_t j : groups_of_[v]) {
-      if (weights_[j * k_ + to] + g.node_weight(v) >
+      if (sat_add(weights_[j * k_ + to], g.node_weight(v)) >
           cs_->group(j).capacity) {
         return false;
       }
@@ -92,6 +94,7 @@ Weight fm_refine(const Hypergraph& g, Partition& p,
 Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
                  Partition& p, const BalanceConstraint& balance,
                  const FmConfig& cfg) {
+  HP_SPAN("fm");
   const PartId k = p.k();
   const unsigned threads = cfg.threads == 0 ? default_threads() : cfg.threads;
   const bool cached = cfg.use_gain_cache;
@@ -108,7 +111,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
     max_node_weight = std::max(max_node_weight, g.node_weight(v));
   }
-  const Weight slack_capacity = balance.capacity() + max_node_weight;
+  const Weight slack_capacity = sat_add(balance.capacity(), max_node_weight);
   GroupWeights groups(g, p, cfg.extra_constraints);
   std::vector<std::uint8_t> locked(g.num_nodes(), 0);
   std::vector<AppliedMove> moves;
@@ -118,11 +121,15 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
   // stale duplicates, heap size bounded by the boundary size.
   AddressableMaxHeap<Weight, NodeId> nheap(cached ? g.num_nodes() : 0);
 
+  HP_TELEMETRY_ONLY(std::uint64_t obs_pushes = 0; std::uint64_t obs_pops = 0;
+                    std::uint64_t obs_applied = 0;
+                    std::uint64_t obs_rolled_back = 0;)
   const auto push_moves = [&](NodeId v) {
     const PartId from = tracker.part_of(v);
     for (PartId q = 0; q < k; ++q) {
       if (q == from) continue;
       heap.push({tracker.gain(v, q, cfg.metric), v, q});
+      HP_TELEMETRY_ONLY(++obs_pushes;)
     }
   };
   // Equal-gain ties resolve by a deterministic (node, part) hash: unlike
@@ -153,7 +160,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
       if (q == from || tracker.cached_gain(v, q) != key) continue;
       const std::uint64_t rq = tie_rank(v, q);
       if (best_q != k && rq >= best_r) continue;
-      if (tracker.part_weight(q) + vw > slack_capacity ||
+      if (sat_add(tracker.part_weight(q), vw) > slack_capacity ||
           !groups.move_feasible(g, v, q)) {
         continue;
       }
@@ -174,6 +181,10 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
   unsigned long long trace_touched = 0, trace_pops = 0, trace_fixes = 0;
 #endif
   for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    HP_SPAN("pass", pass);
+    HP_COUNTER_ADD("fm.passes", 1);
+    HP_GAUGE_MAX("fm.boundary_peak",
+                 static_cast<std::int64_t>(tracker.boundary_nodes().size()));
     heap = {};
     nheap.clear();
     std::fill(locked.begin(), locked.end(), std::uint8_t{0});
@@ -194,6 +205,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
         const NodeId v = boundary[i];
         nheap.upsert(v, tracker.cached_best_gain(v));
       }
+      HP_TELEMETRY_ONLY(obs_pushes += boundary.size();)
 #ifdef HP_FM_TRACE
       trace_seed_ns += std::chrono::duration_cast<std::chrono::nanoseconds>(
                            std::chrono::steady_clock::now() - t_seed0)
@@ -226,6 +238,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
 #ifdef HP_FM_TRACE
           ++trace_pops;
 #endif
+          HP_TELEMETRY_ONLY(++obs_pops;)
           const NodeId v = nheap.top_id();
           const Weight key = nheap.top_key();
           assert(key == tracker.cached_best_gain(v));
@@ -249,7 +262,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
             heap.push({fresh, cand.node, cand.to});  // stale; reinsert
             continue;
           }
-          if (tracker.part_weight(cand.to) + g.node_weight(cand.node) >
+          if (sat_add(tracker.part_weight(cand.to), g.node_weight(cand.node)) >
                   slack_capacity ||
               !groups.move_feasible(g, cand.node, cand.to)) {
             continue;  // infeasible now; dropped for this pass
@@ -306,6 +319,7 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
             nheap.erase(u);  // left the cut frontier; all gains ≤ 0
           } else {
             nheap.upsert(u, tracker.cached_best_gain(u));
+            HP_TELEMETRY_ONLY(++obs_pushes;)
           }
         }
 #ifdef HP_FM_TRACE
@@ -344,6 +358,8 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
       tracker.move(m.node, m.from);
       groups.apply_move(g, m.node, m.to, m.from);
     }
+    HP_TELEMETRY_ONLY(obs_applied += best_prefix;
+                      obs_rolled_back += moves.size() - best_prefix;)
     if (best >= start_cost) break;  // pass brought no improvement
     if (static_cast<double>(start_cost - best) <
         cfg.min_pass_improvement * static_cast<double>(start_cost)) {
@@ -351,6 +367,11 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
     }
   }
 
+  HP_COUNTER_ADD("fm.heap_pushes", static_cast<std::int64_t>(obs_pushes));
+  HP_COUNTER_ADD("fm.gain_cache_hits", static_cast<std::int64_t>(obs_pops));
+  HP_COUNTER_ADD("fm.moves_applied", static_cast<std::int64_t>(obs_applied));
+  HP_COUNTER_ADD("fm.moves_rolled_back",
+                 static_cast<std::int64_t>(obs_rolled_back));
   p = tracker.to_partition();
   return tracker.cost(cfg.metric);
 }

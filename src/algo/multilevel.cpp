@@ -5,6 +5,7 @@
 
 #include "hyperpart/algo/coarsening.hpp"
 #include "hyperpart/algo/greedy.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/util/rng.hpp"
 
 namespace hp {
@@ -12,6 +13,7 @@ namespace hp {
 std::optional<Partition> multilevel_partition(const Hypergraph& g,
                                               const BalanceConstraint& balance,
                                               const MultilevelConfig& cfg) {
+  HP_SPAN("multilevel");
   const PartId k = balance.k();
   Rng rng{cfg.seed};
   FmConfig fm = cfg.fm;
@@ -26,6 +28,7 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
   const Hypergraph* current = &g;
   const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
   while (current->num_nodes() > stop_at) {
+    HP_SPAN("coarsen", "level", levels.size());
     CoarseLevel next = coarsen_once(*current, max_cluster, rng());
     // Insufficient shrinkage means matching is saturated; stop.
     if (next.graph.num_nodes() >
@@ -35,21 +38,28 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
     levels.push_back(std::move(next));
     current = &levels.back().graph;
   }
+  HP_COUNTER_ADD("multilevel.runs", 1);
+  HP_COUNTER_ADD("multilevel.levels",
+                 static_cast<std::int64_t>(levels.size()));
+  HP_GAUGE_MAX("multilevel.coarsest_nodes", current->num_nodes());
 
   // --- Initial partitioning on the coarsest level --------------------------
   const Hypergraph& coarsest = *current;
   std::optional<Partition> best;
   Weight best_cost = 0;
-  for (int attempt = 0; attempt < cfg.initial_tries; ++attempt) {
-    std::optional<Partition> candidate =
-        attempt % 2 == 0
-            ? greedy_growing_partition(coarsest, balance, cfg.metric, rng())
-            : random_balanced_partition(coarsest, balance, rng());
-    if (!candidate) continue;
-    const Weight c = fm_refine(coarsest, *candidate, balance, fm);
-    if (!best || c < best_cost) {
-      best = std::move(candidate);
-      best_cost = c;
+  {
+    HP_SPAN("initial");
+    for (int attempt = 0; attempt < cfg.initial_tries; ++attempt) {
+      std::optional<Partition> candidate =
+          attempt % 2 == 0
+              ? greedy_growing_partition(coarsest, balance, cfg.metric, rng())
+              : random_balanced_partition(coarsest, balance, rng());
+      if (!candidate) continue;
+      const Weight c = fm_refine(coarsest, *candidate, balance, fm);
+      if (!best || c < best_cost) {
+        best = std::move(candidate);
+        best_cost = c;
+      }
     }
   }
   if (!best) return std::nullopt;
@@ -57,6 +67,7 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
   // --- Uncoarsening + refinement -------------------------------------------
   Partition p = std::move(*best);
   for (auto it = levels.rbegin(); it != levels.rend(); ++it) {
+    HP_SPAN("uncoarsen", "level", levels.rend() - it - 1);
     p = project_partition(p, it->fine_to_coarse);
     const Hypergraph& fine =
         (it + 1 == levels.rend()) ? g : (it + 1)->graph;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "hyperpart/core/subhypergraph.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 
 namespace hp {
 
@@ -22,6 +23,8 @@ bool split(const Hypergraph& g, const std::vector<NodeId>& nodes,
     return true;
   }
   const PartId b = arities.front();
+  HP_SPAN("split", "part", first_part);
+  HP_COUNTER_ADD("rb.splits", 1);
   const SubHypergraph sub = induced_subhypergraph(g, nodes);
   const auto balance =
       BalanceConstraint::for_graph(sub.graph, b, epsilon, /*relaxed=*/true);
@@ -51,6 +54,7 @@ std::optional<Partition> recursive_partition(const Hypergraph& g,
                                              const std::vector<PartId>& arities,
                                              double epsilon,
                                              const MultilevelConfig& cfg) {
+  HP_SPAN("rb");
   PartId k = 1;
   std::size_t levels = 0;
   for (const PartId b : arities) {

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "hyperpart/util/overflow.hpp"
+
 namespace hp {
 
 Hypergraph Hypergraph::from_edges(NodeId num_nodes,
@@ -57,8 +59,9 @@ std::uint32_t Hypergraph::max_edge_size() const noexcept {
 
 Weight Hypergraph::total_node_weight() const noexcept {
   if (node_weights_.empty()) return static_cast<Weight>(num_nodes());
-  return std::accumulate(node_weights_.begin(), node_weights_.end(),
-                         Weight{0});
+  return std::accumulate(
+      node_weights_.begin(), node_weights_.end(), Weight{0},
+      [](Weight a, Weight b) { return sat_add(a, b); });
 }
 
 void Hypergraph::set_node_weights(std::vector<Weight> w) {

@@ -24,6 +24,7 @@
 #include "hyperpart/core/connectivity_tracker.hpp"
 #include "hyperpart/core/metrics.hpp"
 #include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/stream/binary_format.hpp"
 #include "hyperpart/stream/restream_refiner.hpp"
 #include "hyperpart/stream/stream_partitioner.hpp"
@@ -65,6 +66,7 @@ struct Checker {
   template <class Fn>
   void leg(const std::string& name, Fn&& fn) {
     report.legs_run.push_back(name);
+    HP_SPAN("leg", name);
     try {
       fn();
     } catch (const std::exception& e) {
@@ -417,6 +419,8 @@ std::string OracleReport::to_string() const {
 }
 
 OracleReport run_oracle(const FuzzInstance& inst, const OracleOptions& opts) {
+  HP_SPAN("oracle");
+  HP_COUNTER_ADD("oracle.instances", 1);
   Checker c(inst, opts);
   const Hypergraph& g = inst.graph;
   const PartId k = inst.k;

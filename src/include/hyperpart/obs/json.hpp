@@ -1,0 +1,101 @@
+#pragma once
+// Minimal JSON value type shared by the telemetry emitter, the
+// hyperbench_diff gating tool, and the telemetry tests.
+//
+// Deliberately tiny: objects preserve insertion order (so emitted
+// telemetry files are stable and diffable), numbers remember whether they
+// were written as integers (so round-tripping a counters map does not turn
+// 42 into 42.0), and the parser reports line/column on malformed input.
+// This is not a general-purpose JSON library — no unicode escapes beyond
+// pass-through, no streaming — but it round-trips everything this repo
+// writes (BENCH_*.json and telemetry files).
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hp::obs::json {
+
+class Value;
+
+using Array = std::vector<Value>;
+/// Insertion-ordered object; keys are unique (later set() overwrites).
+using Object = std::vector<std::pair<std::string, Value>>;
+
+enum class Type : std::uint8_t { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+  Value(std::nullptr_t) {}  // NOLINT(google-explicit-constructor)
+  Value(bool b) : type_(Type::kBool), bool_(b) {}  // NOLINT
+  Value(double d) : type_(Type::kNumber), num_(d) {}  // NOLINT
+  Value(std::int64_t i)  // NOLINT(google-explicit-constructor)
+      : type_(Type::kNumber), num_(static_cast<double>(i)), int_(i),
+        is_int_(true) {}
+  Value(int i) : Value(static_cast<std::int64_t>(i)) {}  // NOLINT
+  Value(std::uint64_t u)  // NOLINT(google-explicit-constructor)
+      : Value(static_cast<std::int64_t>(u)) {}
+  Value(std::string s) : type_(Type::kString), str_(std::move(s)) {}  // NOLINT
+  Value(const char* s) : Value(std::string(s)) {}  // NOLINT
+  Value(Array a) : type_(Type::kArray), arr_(std::move(a)) {}  // NOLINT
+  Value(Object o) : type_(Type::kObject), obj_(std::move(o)) {}  // NOLINT
+
+  [[nodiscard]] Type type() const noexcept { return type_; }
+  [[nodiscard]] bool is_null() const noexcept { return type_ == Type::kNull; }
+  [[nodiscard]] bool is_number() const noexcept {
+    return type_ == Type::kNumber;
+  }
+  [[nodiscard]] bool is_string() const noexcept {
+    return type_ == Type::kString;
+  }
+  [[nodiscard]] bool is_array() const noexcept { return type_ == Type::kArray; }
+  [[nodiscard]] bool is_object() const noexcept {
+    return type_ == Type::kObject;
+  }
+
+  [[nodiscard]] bool as_bool() const { return bool_; }
+  [[nodiscard]] double as_double() const { return num_; }
+  [[nodiscard]] std::int64_t as_int() const {
+    return is_int_ ? int_ : static_cast<std::int64_t>(num_);
+  }
+  [[nodiscard]] bool is_integral() const noexcept { return is_int_; }
+  [[nodiscard]] const std::string& as_string() const { return str_; }
+  [[nodiscard]] const Array& as_array() const { return arr_; }
+  [[nodiscard]] Array& as_array() { return arr_; }
+  [[nodiscard]] const Object& as_object() const { return obj_; }
+  [[nodiscard]] Object& as_object() { return obj_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  [[nodiscard]] const Value* find(const std::string& key) const;
+  /// Insert-or-overwrite an object member, preserving insertion order.
+  void set(const std::string& key, Value v);
+
+  /// Structural equality (numbers compare by value; 2 == 2.0).
+  [[nodiscard]] bool operator==(const Value& o) const;
+
+ private:
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double num_ = 0.0;
+  std::int64_t int_ = 0;
+  bool is_int_ = false;
+  std::string str_;
+  Array arr_;
+  Object obj_;
+};
+
+/// Parse a complete JSON document; throws std::runtime_error with a
+/// line:column locator on malformed input or trailing garbage.
+[[nodiscard]] Value parse(const std::string& text);
+
+/// Parse the file at `path`; throws std::runtime_error (prefixed with the
+/// path) when unreadable or malformed.
+[[nodiscard]] Value parse_file(const std::string& path);
+
+/// Serialize with 2-space indentation and a trailing newline.
+[[nodiscard]] std::string dump(const Value& v);
+
+}  // namespace hp::obs::json

@@ -1,0 +1,183 @@
+#pragma once
+// Phase-tracing telemetry: scoped spans, named counters/gauges, JSON export.
+//
+// The library's long-running drivers (multilevel V-cycle, FM refiner,
+// streaming partitioner) open RAII spans at their phase boundaries:
+//
+//   multilevel > coarsen[level=i] > {match, contract, dedup}
+//   multilevel > initial
+//   multilevel > uncoarsen[level=i] > fm > pass[i]
+//   stream > window[i]
+//   restream > pass[i]
+//   rb > split[part=p] > multilevel > ...
+//
+// Spans merge by (parent, name): opening "fm" twice under the same parent
+// accumulates into one node (count += 1, ms += elapsed), so the tree stays
+// bounded no matter how many times a phase repeats, and its *shape* — the
+// set of name paths — is a deterministic function of the algorithm's
+// control flow, not of timing or thread count. Spans are only ever opened
+// from orchestrating code (never inside pool tasks), so the tree needs no
+// cross-thread ordering; counters and gauges are mutex-aggregated and may
+// be bumped from any thread, at phase granularity (per pass / per level /
+// per call — never per inner-loop iteration).
+//
+// Cost model:
+//   * HP_TELEMETRY=OFF (CMake option → HP_TELEMETRY_OFF): every macro
+//     below compiles to nothing; release hot loops carry zero telemetry
+//     code.
+//   * Compiled in but disabled (the default at runtime): each macro is one
+//     relaxed atomic load.
+//   * Enabled: span open/close takes a global mutex; fine at phase
+//     granularity.
+//
+// The exported JSON is schema-versioned (kSchemaName/kSchemaVersion); see
+// DESIGN.md "Observability" for the field-by-field contract.
+
+#include <cstdint>
+#include <string>
+
+#include "hyperpart/obs/json.hpp"
+
+namespace hp::obs {
+
+inline constexpr const char* kSchemaName = "hyperpart-telemetry";
+inline constexpr int kSchemaVersion = 1;
+
+/// Runtime master switch (one relaxed atomic load).
+[[nodiscard]] bool enabled() noexcept;
+
+/// Turn collection on/off. Enabling does not clear prior data; call
+/// reset() to start a fresh session. Must not be toggled while spans are
+/// open on other threads.
+void set_enabled(bool on) noexcept;
+
+/// Drop all spans, counters, and gauges and restart the session clock.
+/// Must not be called while any span is open.
+void reset();
+
+/// Add `delta` to the named counter (a monotone sum).
+void counter_add(const std::string& name, std::int64_t delta);
+
+/// Set the named gauge to `value` (last write wins).
+void gauge_set(const std::string& name, std::int64_t value);
+
+/// Raise the named gauge to `value` if larger (high-water mark).
+void gauge_max(const std::string& name, std::int64_t value);
+
+/// Read back a counter (0 when absent). Used by tests.
+[[nodiscard]] std::int64_t counter(const std::string& name);
+
+/// Read back a gauge (0 when absent). Used by tests.
+[[nodiscard]] std::int64_t gauge(const std::string& name);
+
+/// Peak resident set size of this process in bytes (VmHWM from
+/// /proc/self/status), or 0 where unavailable. A monotone high-water mark.
+[[nodiscard]] std::uint64_t peak_rss_bytes();
+
+/// RAII phase span. An empty name constructs an inactive span (this is how
+/// the HP_SPAN macro skips all work when telemetry is disabled).
+class Span {
+ public:
+  explicit Span(std::string name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  void* node_ = nullptr;          // SpanNode*, opaque to keep the header light
+  std::int64_t start_ns_ = 0;
+};
+
+/// Format helpers for span names: span_name("fm") == "fm",
+/// span_name("coarsen", "level", 3) == "coarsen[level=3]".
+[[nodiscard]] inline std::string span_name(const char* base) { return base; }
+[[nodiscard]] inline std::string span_name(std::string base) { return base; }
+/// span_name("leg", "fm") == "leg[fm]".
+[[nodiscard]] inline std::string span_name(const char* base,
+                                           const std::string& tag) {
+  std::string out(base);
+  out += '[';
+  out += tag;
+  out += ']';
+  return out;
+}
+/// span_name("pass", 3) == "pass[3]".
+template <class T>
+[[nodiscard]] std::string span_name(const char* base, T idx) {
+  std::string out(base);
+  out += '[';
+  out += std::to_string(idx);
+  out += ']';
+  return out;
+}
+template <class T>
+[[nodiscard]] std::string span_name(const char* base, const char* key, T idx) {
+  std::string out(base);
+  out += '[';
+  out += key;
+  out += '=';
+  out += std::to_string(idx);
+  out += ']';
+  return out;
+}
+
+/// Session snapshot as a schema-versioned JSON value:
+///   {schema, version, wall_ms, peak_rss_bytes, spans: [...], counters: {},
+///    gauges: {}}
+/// Each span node is {name, ms, count, children: [...]}.
+[[nodiscard]] json::Value to_json();
+
+/// Serialize to_json() to `path`; returns false (and leaves no partial
+/// file behind) when the file cannot be written.
+bool write_json(const std::string& path);
+
+/// Newline-separated "parent/child/..." paths of the span tree with per-
+/// node counts ("multilevel/coarsen[level=0]/dedup x1"), depth-first.
+/// Timing-free, so two sessions with identical control flow compare equal;
+/// used by the determinism tests.
+[[nodiscard]] std::string span_paths();
+
+}  // namespace hp::obs
+
+// --- Instrumentation macros -------------------------------------------------
+
+#if defined(HP_TELEMETRY_OFF)
+
+#define HP_SPAN(...) ((void)0)
+#define HP_COUNTER_ADD(name, delta) ((void)0)
+#define HP_GAUGE_SET(name, value) ((void)0)
+#define HP_GAUGE_MAX(name, value) ((void)0)
+#define HP_TELEMETRY_ONLY(...)
+
+#else
+
+#define HP_OBS_CONCAT2(a, b) a##b
+#define HP_OBS_CONCAT(a, b) HP_OBS_CONCAT2(a, b)
+
+/// Open a scoped span; arguments are forwarded to hp::obs::span_name and
+/// only evaluated when telemetry is enabled.
+#define HP_SPAN(...)                                        \
+  ::hp::obs::Span HP_OBS_CONCAT(hp_obs_span_, __LINE__)(    \
+      ::hp::obs::enabled() ? ::hp::obs::span_name(__VA_ARGS__) \
+                           : ::std::string())
+
+#define HP_COUNTER_ADD(name, delta)                          \
+  do {                                                       \
+    if (::hp::obs::enabled()) ::hp::obs::counter_add((name), (delta)); \
+  } while (0)
+
+#define HP_GAUGE_SET(name, value)                            \
+  do {                                                       \
+    if (::hp::obs::enabled()) ::hp::obs::gauge_set((name), (value)); \
+  } while (0)
+
+#define HP_GAUGE_MAX(name, value)                            \
+  do {                                                       \
+    if (::hp::obs::enabled()) ::hp::obs::gauge_max((name), (value)); \
+  } while (0)
+
+/// Statements that exist only to feed telemetry (cheap per-phase local
+/// bookkeeping); compiled out together with the macros above.
+#define HP_TELEMETRY_ONLY(...) __VA_ARGS__
+
+#endif  // HP_TELEMETRY_OFF

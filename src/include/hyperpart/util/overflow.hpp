@@ -1,0 +1,57 @@
+#pragma once
+// Saturating integer arithmetic for Weight accumulation on adversarial
+// inputs. Node and edge weights are user-controlled int64 values (hMETIS
+// files, binary .hpb files, fuzz instances); summing them with plain `+`
+// is signed-overflow UB the moment a file carries weights near INT64_MAX —
+// the max_weight_node corpus entry is one crank of that handle away.
+// Saturation keeps every comparison made downstream (cost ordering,
+// capacity checks, FENNEL scores) directionally correct: an overflowed sum
+// pins to the extreme instead of wrapping to the other sign.
+
+#include <cstdint>
+#include <limits>
+#include <type_traits>
+
+namespace hp {
+
+/// a + b, clamped to the representable range instead of overflowing.
+template <class T>
+[[nodiscard]] constexpr T sat_add(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  T out{};
+  if (!__builtin_add_overflow(a, b, &out)) return out;
+  if constexpr (std::is_signed_v<T>) {
+    return a < 0 ? std::numeric_limits<T>::min() : std::numeric_limits<T>::max();
+  } else {
+    return std::numeric_limits<T>::max();
+  }
+}
+
+/// a * b, clamped to the representable range instead of overflowing.
+template <class T>
+[[nodiscard]] constexpr T sat_mul(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  T out{};
+  if (!__builtin_mul_overflow(a, b, &out)) return out;
+  if constexpr (std::is_signed_v<T>) {
+    return (a < 0) == (b < 0) ? std::numeric_limits<T>::max()
+                              : std::numeric_limits<T>::min();
+  } else {
+    return std::numeric_limits<T>::max();
+  }
+}
+
+/// a - b, clamped to the representable range instead of overflowing.
+template <class T>
+[[nodiscard]] constexpr T sat_sub(T a, T b) noexcept {
+  static_assert(std::is_integral_v<T>);
+  T out{};
+  if (!__builtin_sub_overflow(a, b, &out)) return out;
+  if constexpr (std::is_signed_v<T>) {
+    return b < 0 ? std::numeric_limits<T>::max() : std::numeric_limits<T>::min();
+  } else {
+    return std::numeric_limits<T>::min();
+  }
+}
+
+}  // namespace hp

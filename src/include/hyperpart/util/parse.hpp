@@ -1,0 +1,34 @@
+#pragma once
+// Checked numeric parsing for user-facing entry points (CLI flags, spec
+// strings). Unlike bare std::stoul/std::stoi these reject garbage and
+// trailing junk instead of throwing, refuse out-of-range values instead of
+// silently truncating, and never accept a negative sign for unsigned
+// targets ("-1" parsed via stoul wraps to 2^64-1 and then truncates).
+
+#include <cstdint>
+#include <optional>
+#include <string_view>
+
+namespace hp {
+
+/// Parse the entire token as an unsigned decimal integer in
+/// [min_value, max_value]. Rejects empty tokens, signs, non-digits,
+/// trailing characters, and overflow. nullopt on any failure.
+[[nodiscard]] std::optional<std::uint64_t> parse_u64(
+    std::string_view token, std::uint64_t min_value = 0,
+    std::uint64_t max_value = UINT64_MAX);
+
+/// Parse the entire token as a signed decimal integer in
+/// [min_value, max_value]. A leading '-' is permitted.
+[[nodiscard]] std::optional<std::int64_t> parse_i64(
+    std::string_view token, std::int64_t min_value = INT64_MIN,
+    std::int64_t max_value = INT64_MAX);
+
+/// Parse the entire token as a finite double in [min_value, max_value].
+/// Rejects partial parses ("1.5x"), NaN, and infinities.
+[[nodiscard]] std::optional<double> parse_f64(
+    std::string_view token,
+    double min_value = -1.7976931348623157e308,
+    double max_value = 1.7976931348623157e308);
+
+}  // namespace hp

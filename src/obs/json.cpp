@@ -1,0 +1,400 @@
+#include "hyperpart/obs/json.hpp"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace hp::obs::json {
+
+const Value* Value::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : obj_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+void Value::set(const std::string& key, Value v) {
+  if (type_ == Type::kNull) type_ = Type::kObject;
+  for (auto& [k, existing] : obj_) {
+    if (k == key) {
+      existing = std::move(v);
+      return;
+    }
+  }
+  obj_.emplace_back(key, std::move(v));
+}
+
+bool Value::operator==(const Value& o) const {
+  if (type_ != o.type_) return false;
+  switch (type_) {
+    case Type::kNull:
+      return true;
+    case Type::kBool:
+      return bool_ == o.bool_;
+    case Type::kNumber:
+      return num_ == o.num_;
+    case Type::kString:
+      return str_ == o.str_;
+    case Type::kArray:
+      return arr_ == o.arr_;
+    case Type::kObject:
+      return obj_ == o.obj_;
+  }
+  return false;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  Value parse_document() {
+    Value v = parse_value();
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    std::size_t line = 1;
+    std::size_t col = 1;
+    for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+      if (text_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw std::runtime_error("json parse error at " + std::to_string(line) +
+                             ":" + std::to_string(col) + ": " + what);
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  bool consume_literal(const char* lit) {
+    std::size_t n = 0;
+    while (lit[n] != '\0') ++n;
+    if (text_.compare(pos_, n, lit) != 0) return false;
+    pos_ += n;
+    return true;
+  }
+
+  Value parse_value() {
+    skip_ws();
+    const char c = peek();
+    switch (c) {
+      case '{':
+        return parse_object();
+      case '[':
+        return parse_array();
+      case '"':
+        return Value(parse_string());
+      case 't':
+        if (!consume_literal("true")) fail("invalid literal");
+        return Value(true);
+      case 'f':
+        if (!consume_literal("false")) fail("invalid literal");
+        return Value(false);
+      case 'n':
+        if (!consume_literal("null")) fail("invalid literal");
+        return Value(nullptr);
+      default:
+        return parse_number();
+    }
+  }
+
+  Value parse_object() {
+    expect('{');
+    Object obj;
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return Value(std::move(obj));
+    }
+    while (true) {
+      skip_ws();
+      std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      obj.emplace_back(std::move(key), parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        return Value(std::move(obj));
+      }
+      fail("expected ',' or '}' in object");
+    }
+  }
+
+  Value parse_array() {
+    expect('[');
+    Array arr;
+    skip_ws();
+    if (peek() == ']') {
+      ++pos_;
+      return Value(std::move(arr));
+    }
+    while (true) {
+      arr.push_back(parse_value());
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == ']') {
+        ++pos_;
+        return Value(std::move(arr));
+      }
+      fail("expected ',' or ']' in array");
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= text_.size()) fail("unterminated string");
+      const char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) fail("unterminated escape");
+      const char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out.push_back('"');
+          break;
+        case '\\':
+          out.push_back('\\');
+          break;
+        case '/':
+          out.push_back('/');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'u': {
+          // Pass \uXXXX through literally; this repo never emits them.
+          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+          out += "\\u";
+          out += text_.substr(pos_, 4);
+          pos_ += 4;
+          break;
+        }
+        default:
+          fail("invalid escape character");
+      }
+    }
+  }
+
+  Value parse_number() {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && (text_[pos_] == '-' || text_[pos_] == '+')) {
+      ++pos_;
+    }
+    bool integral = true;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '.' || c == 'e' || c == 'E' || c == '-' || c == '+') {
+        integral = false;
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    if (pos_ == start) fail("invalid value");
+    const std::string token = text_.substr(start, pos_ - start);
+    if (integral) {
+      std::int64_t i = 0;
+      const auto [p, ec] =
+          std::from_chars(token.data(), token.data() + token.size(), i);
+      if (ec == std::errc() && p == token.data() + token.size()) {
+        return Value(i);
+      }
+      // Overflows int64 (or malformed); fall through to double.
+    }
+    try {
+      std::size_t used = 0;
+      const double d = std::stod(token, &used);
+      if (used != token.size()) fail("malformed number '" + token + "'");
+      return Value(d);
+    } catch (const std::exception&) {
+      fail("malformed number '" + token + "'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+};
+
+void append_escaped(std::string& out, const std::string& s) {
+  out.push_back('"');
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+}
+
+void append_number(std::string& out, const Value& v) {
+  if (v.is_integral()) {
+    out += std::to_string(v.as_int());
+    return;
+  }
+  const double d = v.as_double();
+  if (!std::isfinite(d)) {
+    out += "0";  // JSON has no NaN/Inf; clamp rather than emit garbage
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  out += buf;
+}
+
+void dump_value(std::string& out, const Value& v, int depth) {
+  const auto indent = [&](int d) { out.append(2 * static_cast<std::size_t>(d), ' '); };
+  switch (v.type()) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case Type::kNumber:
+      append_number(out, v);
+      break;
+    case Type::kString:
+      append_escaped(out, v.as_string());
+      break;
+    case Type::kArray: {
+      const Array& arr = v.as_array();
+      if (arr.empty()) {
+        out += "[]";
+        break;
+      }
+      out += "[\n";
+      for (std::size_t i = 0; i < arr.size(); ++i) {
+        indent(depth + 1);
+        dump_value(out, arr[i], depth + 1);
+        if (i + 1 < arr.size()) out += ",";
+        out += "\n";
+      }
+      indent(depth);
+      out += "]";
+      break;
+    }
+    case Type::kObject: {
+      const Object& obj = v.as_object();
+      if (obj.empty()) {
+        out += "{}";
+        break;
+      }
+      out += "{\n";
+      for (std::size_t i = 0; i < obj.size(); ++i) {
+        indent(depth + 1);
+        append_escaped(out, obj[i].first);
+        out += ": ";
+        dump_value(out, obj[i].second, depth + 1);
+        if (i + 1 < obj.size()) out += ",";
+        out += "\n";
+      }
+      indent(depth);
+      out += "}";
+      break;
+    }
+  }
+}
+
+}  // namespace
+
+Value parse(const std::string& text) { return Parser(text).parse_document(); }
+
+Value parse_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(path + ": cannot open");
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  try {
+    return parse(ss.str());
+  } catch (const std::exception& e) {
+    throw std::runtime_error(path + ": " + e.what());
+  }
+}
+
+std::string dump(const Value& v) {
+  std::string out;
+  dump_value(out, v, 0);
+  out += "\n";
+  return out;
+}
+
+}  // namespace hp::obs::json

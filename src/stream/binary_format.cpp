@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/util/overflow.hpp"
 
 namespace hp::stream {
 
@@ -188,6 +190,7 @@ MappedHypergraph::MappedHypergraph(const std::string& path) {
     throw std::runtime_error(
         "MappedHypergraph: file shorter than its header claims: " + path);
   }
+  HP_GAUGE_MAX("stream.bytes_mapped", static_cast<std::int64_t>(map_bytes_));
 }
 
 MappedHypergraph::~MappedHypergraph() { unmap(); }
@@ -230,7 +233,9 @@ Weight MappedHypergraph::total_node_weight() const noexcept {
     total_node_weight_ = static_cast<Weight>(num_nodes_);
   } else {
     Weight total = 0;
-    for (NodeId v = 0; v < num_nodes_; ++v) total += node_weights_[v];
+    for (NodeId v = 0; v < num_nodes_; ++v) {
+      total = sat_add(total, node_weights_[v]);
+    }
     total_node_weight_ = total;
   }
   return total_node_weight_;

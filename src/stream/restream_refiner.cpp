@@ -5,6 +5,8 @@
 #include <vector>
 
 #include "hyperpart/core/connectivity_tracker.hpp"
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 
 namespace hp::stream {
@@ -40,13 +42,13 @@ constexpr unsigned kWaveChunks = 8;
     }
     const Weight w = g.edge_weight(e);
     if (metric == CostMetric::kConnectivity) {
-      if (c_from == 1) gain += w;  // v leaves: λ_e drops by one
-      if (c_to == 0) gain -= w;    // v arrives alone: λ_e grows by one
+      if (c_from == 1) gain = sat_add(gain, w);  // v leaves: λ_e drops by one
+      if (c_to == 0) gain = sat_sub(gain, w);  // v arrives alone: λ_e grows
     } else {
       const bool cut_before = c_from != pins.size();
       const bool cut_after = c_to + 1 != pins.size();
-      gain += w * (static_cast<Weight>(cut_before) -
-                   static_cast<Weight>(cut_after));
+      if (cut_before && !cut_after) gain = sat_add(gain, w);
+      if (!cut_before && cut_after) gain = sat_sub(gain, w);
     }
   }
   return gain;
@@ -135,7 +137,7 @@ constexpr unsigned kWaveChunks = 8;
       PartId best = kInvalidPart;
       Weight best_gain = 0;
       for (PartId q = 0; q < k; ++q) {
-        if (q == from || pw[q] + wv > balance.capacity()) continue;
+        if (q == from || sat_add(pw[q], wv) > balance.capacity()) continue;
         const Weight gain = tracker.gain(v, q, cfg.metric);
         if (gain > best_gain) {
           best = q;
@@ -165,6 +167,7 @@ constexpr unsigned kWaveChunks = 8;
 RestreamResult restream_refine(const MappedHypergraph& g, Partition& p,
                                const BalanceConstraint& balance,
                                const RestreamConfig& cfg) {
+  HP_SPAN("restream");
   RestreamResult result;
   const NodeId n = g.num_nodes();
   const NodeId chunk = std::max<NodeId>(1, cfg.chunk_size);
@@ -172,9 +175,12 @@ RestreamResult restream_refine(const MappedHypergraph& g, Partition& p,
       cfg.threads == 0 ? default_threads() : cfg.threads;
 
   std::vector<Weight> part_weights(balance.k(), 0);
-  for (NodeId v = 0; v < n; ++v) part_weights[p[v]] += g.node_weight(v);
+  for (NodeId v = 0; v < n; ++v) {
+    part_weights[p[v]] = sat_add(part_weights[p[v]], g.node_weight(v));
+  }
 
   for (int pass = 0; pass < cfg.max_passes; ++pass) {
+    HP_SPAN("pass", pass);
     result.passes_run = pass + 1;
     std::uint64_t applied_this_pass = 0;
     for (NodeId wave_begin = 0; wave_begin < n;
@@ -206,7 +212,7 @@ RestreamResult restream_refine(const MappedHypergraph& g, Partition& p,
           const PartId from = p[m.v];
           if (from == m.to) continue;
           const Weight wv = g.node_weight(m.v);
-          if (part_weights[m.to] + wv > balance.capacity()) continue;
+          if (sat_add(part_weights[m.to], wv) > balance.capacity()) continue;
           if (exact_gain(g, p, m.v, m.to, cfg.metric) <= 0) continue;
           p.assign(m.v, m.to);
           part_weights[from] -= wv;
@@ -219,6 +225,11 @@ RestreamResult restream_refine(const MappedHypergraph& g, Partition& p,
     if (applied_this_pass == 0) break;
   }
 
+  HP_COUNTER_ADD("restream.passes", result.passes_run);
+  HP_COUNTER_ADD("restream.moves_proposed",
+                 static_cast<std::int64_t>(result.moves_proposed));
+  HP_COUNTER_ADD("restream.moves_applied",
+                 static_cast<std::int64_t>(result.moves_applied));
   result.cost = cost_of(g, p, cfg.metric);
   return result;
 }

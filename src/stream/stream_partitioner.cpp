@@ -4,6 +4,8 @@
 #include <bit>
 #include <cmath>
 
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/rng.hpp"
 
 namespace hp::stream {
@@ -24,6 +26,7 @@ namespace {
 std::optional<StreamResult> stream_partition(const MappedHypergraph& g,
                                              const BalanceConstraint& balance,
                                              const StreamConfig& cfg) {
+  HP_SPAN("stream");
   const NodeId n = g.num_nodes();
   const PartId k = balance.k();
   const Weight capacity = balance.capacity();
@@ -44,6 +47,8 @@ std::optional<StreamResult> stream_partition(const MappedHypergraph& g,
   order.reserve(buffer);
 
   for (NodeId begin = 0; begin < n; begin += buffer) {
+    HP_SPAN("window", begin / buffer);
+    HP_COUNTER_ADD("stream.windows", 1);
     const NodeId end = std::min<std::uint64_t>(n, std::uint64_t{begin} + buffer);
     order.resize(end - begin);
     for (NodeId i = begin; i < end; ++i) order[i - begin] = i;
@@ -68,14 +73,14 @@ std::optional<StreamResult> stream_partition(const MappedHypergraph& g,
             const PartId q = static_cast<PartId>(std::countr_zero(mask));
             mask &= mask - 1;
             if (benefit[q] == 0) touched.push_back(q);
-            benefit[q] += we;
+            benefit[q] = sat_add(benefit[q], we);
           }
         } else {
           // Hashed sketch: every part sharing a set bit may be present.
           for (PartId q = 0; q < k; ++q) {
             if ((mask >> (q % 64)) & 1u) {
               if (benefit[q] == 0) touched.push_back(q);
-              benefit[q] += we;
+              benefit[q] = sat_add(benefit[q], we);
             }
           }
         }
@@ -91,7 +96,7 @@ std::optional<StreamResult> stream_partition(const MappedHypergraph& g,
       std::uint64_t best_hash = 0;
       for (PartId q = 0; q < k; ++q) {
         const Weight wq = result.part_weights[q];
-        if (wq + wv > capacity) continue;
+        if (sat_add(wq, wv) > capacity) continue;
         const double fill = capacity > 0
                                 ? static_cast<double>(wq) /
                                       static_cast<double>(capacity)
@@ -117,21 +122,26 @@ std::optional<StreamResult> stream_partition(const MappedHypergraph& g,
 
       // Place and update sketches + incremental cost.
       result.partition.assign(v, best);
-      result.part_weights[best] += wv;
+      result.part_weights[best] = sat_add(result.part_weights[best], wv);
       const std::uint64_t bit = std::uint64_t{1} << (best % 64);
       for (const EdgeId e : incident) {
         const std::uint64_t mask = sketch[e];
         if ((mask & bit) != 0) continue;  // part already present (or collides)
         if (mask != 0) {
           const Weight we = g.edge_weight(e);
-          conn_cost += we;  // λ_e grows by one
-          if (std::popcount(mask) == 1) cut_cost += we;  // λ_e: 1 → 2
+          conn_cost = sat_add(conn_cost, we);  // λ_e grows by one
+          if (std::popcount(mask) == 1) {
+            cut_cost = sat_add(cut_cost, we);  // λ_e: 1 → 2
+          }
         }
         sketch[e] = mask | bit;
       }
     }
   }
 
+  HP_COUNTER_ADD("stream.nodes_placed", n);
+  HP_GAUGE_MAX("stream.sketch_bytes",
+               static_cast<std::int64_t>(sketch.size() * sizeof(sketch[0])));
   result.streamed_cost =
       cfg.metric == CostMetric::kConnectivity ? conn_cost : cut_cost;
   result.offline_cost = cost_of(g, result.partition, cfg.metric);

@@ -1,0 +1,60 @@
+#include "hyperpart/util/parse.hpp"
+
+#include <cerrno>
+#include <charconv>
+#include <cmath>
+#include <cstdlib>
+#include <string>
+
+namespace hp {
+
+std::optional<std::uint64_t> parse_u64(std::string_view token,
+                                       std::uint64_t min_value,
+                                       std::uint64_t max_value) {
+  if (token.empty() || token.front() == '+' || token.front() == '-') {
+    return std::nullopt;
+  }
+  std::uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) return std::nullopt;
+  return value;
+}
+
+std::optional<std::int64_t> parse_i64(std::string_view token,
+                                      std::int64_t min_value,
+                                      std::int64_t max_value) {
+  if (token.empty() || token.front() == '+') return std::nullopt;
+  std::int64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(token.data(), token.data() + token.size(), value);
+  if (ec != std::errc() || ptr != token.data() + token.size()) {
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_f64(std::string_view token, double min_value,
+                                double max_value) {
+  if (token.empty()) return std::nullopt;
+  // strtod accepts leading whitespace, "nan", "inf", and hex floats; filter
+  // the surprising ones up front so flag values stay plain decimals.
+  const char c = token.front();
+  if (!(c == '-' || c == '.' || (c >= '0' && c <= '9'))) return std::nullopt;
+  const std::string buf(token);  // ensure NUL termination for strtod
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(buf.c_str(), &end);
+  if (end != buf.c_str() + buf.size() || errno == ERANGE ||
+      !std::isfinite(value)) {
+    return std::nullopt;
+  }
+  if (value < min_value || value > max_value) return std::nullopt;
+  return value;
+}
+
+}  // namespace hp

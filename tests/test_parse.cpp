@@ -1,0 +1,82 @@
+// Checked numeric parsing used by the CLI entry points. The properties
+// under test are exactly the CLI acceptance rules: full-token consumption,
+// range enforcement, and no sign acceptance for unsigned targets.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "hyperpart/util/parse.hpp"
+
+namespace hp {
+namespace {
+
+TEST(ParseU64, AcceptsPlainDecimals) {
+  EXPECT_EQ(parse_u64("0"), 0u);
+  EXPECT_EQ(parse_u64("42"), 42u);
+  EXPECT_EQ(parse_u64("18446744073709551615"), UINT64_MAX);
+}
+
+TEST(ParseU64, RejectsGarbageAndPartialTokens) {
+  EXPECT_FALSE(parse_u64(""));
+  EXPECT_FALSE(parse_u64("zebra"));
+  EXPECT_FALSE(parse_u64("12x"));
+  EXPECT_FALSE(parse_u64("1 2"));
+  EXPECT_FALSE(parse_u64("0x10"));
+  EXPECT_FALSE(parse_u64("1e5"));
+  EXPECT_FALSE(parse_u64(" 7"));
+}
+
+TEST(ParseU64, RejectsSigns) {
+  // stoul would accept "-1" and wrap to 2^64-1; the checked parser must not.
+  EXPECT_FALSE(parse_u64("-1"));
+  EXPECT_FALSE(parse_u64("+1"));
+}
+
+TEST(ParseU64, EnforcesRange) {
+  EXPECT_FALSE(parse_u64("18446744073709551616"));  // UINT64_MAX + 1
+  EXPECT_FALSE(parse_u64("99999999999999999999"));
+  EXPECT_FALSE(parse_u64("1", 2, 100));
+  EXPECT_FALSE(parse_u64("101", 2, 100));
+  EXPECT_EQ(parse_u64("2", 2, 100), 2u);
+  EXPECT_EQ(parse_u64("100", 2, 100), 100u);
+}
+
+TEST(ParseI64, AcceptsNegatives) {
+  EXPECT_EQ(parse_i64("-5"), -5);
+  EXPECT_EQ(parse_i64("-9223372036854775808"), INT64_MIN);
+  EXPECT_EQ(parse_i64("9223372036854775807"), INT64_MAX);
+}
+
+TEST(ParseI64, RejectsOverflowAndGarbage) {
+  EXPECT_FALSE(parse_i64("9223372036854775808"));
+  EXPECT_FALSE(parse_i64("-9223372036854775809"));
+  EXPECT_FALSE(parse_i64("five"));
+  EXPECT_FALSE(parse_i64("5.0"));
+  EXPECT_FALSE(parse_i64("", 0, 10));
+  EXPECT_FALSE(parse_i64("-1", 0, 10));
+}
+
+TEST(ParseF64, AcceptsFiniteDoubles) {
+  EXPECT_DOUBLE_EQ(parse_f64("0.05").value(), 0.05);
+  EXPECT_DOUBLE_EQ(parse_f64("-2.5").value(), -2.5);
+  EXPECT_DOUBLE_EQ(parse_f64("1e3").value(), 1000.0);
+}
+
+TEST(ParseF64, RejectsNonFiniteAndPartialTokens) {
+  EXPECT_FALSE(parse_f64("five"));
+  EXPECT_FALSE(parse_f64("1.5x"));
+  EXPECT_FALSE(parse_f64(""));
+  EXPECT_FALSE(parse_f64("nan"));
+  EXPECT_FALSE(parse_f64("inf"));
+  EXPECT_FALSE(parse_f64("1e400"));  // overflows to +inf
+}
+
+TEST(ParseF64, EnforcesRange) {
+  EXPECT_FALSE(parse_f64("-0.1", 0.0, 1.0));
+  EXPECT_FALSE(parse_f64("1.1", 0.0, 1.0));
+  EXPECT_TRUE(parse_f64("0.5", 0.0, 1.0));
+}
+
+}  // namespace
+}  // namespace hp

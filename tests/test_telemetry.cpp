@@ -1,0 +1,216 @@
+// Tentpole tests for the phase-tracing telemetry layer: span-tree shape is
+// a deterministic function of control flow (thread-count independent),
+// counters match independently observable facts, and the JSON export
+// round-trips through the shared parser. With HP_TELEMETRY=OFF the file
+// must still compile — the macros expand to nothing — and the runtime
+// tests skip.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/io/generators.hpp"
+#include "hyperpart/obs/json.hpp"
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/stream/restream_refiner.hpp"
+#include "hyperpart/stream/stream_partitioner.hpp"
+
+namespace hp {
+namespace {
+
+#if defined(HP_TELEMETRY_OFF)
+constexpr bool kCompiledIn = false;
+#else
+constexpr bool kCompiledIn = true;
+#endif
+
+/// Enables collection for one test body and always restores the disabled
+/// default, so tests cannot leak an enabled registry into each other.
+struct ScopedTelemetry {
+  ScopedTelemetry() {
+    obs::reset();
+    obs::set_enabled(true);
+  }
+  ~ScopedTelemetry() {
+    obs::set_enabled(false);
+    obs::reset();
+  }
+};
+
+TEST(Telemetry, MacrosCompileInBothModes) {
+  // Exercises every macro form; with HP_TELEMETRY=OFF they are no-ops and
+  // this test only asserts that the disabled state holds.
+  HP_SPAN("test");
+  HP_COUNTER_ADD("test.counter", 1);
+  HP_GAUGE_SET("test.gauge", 2);
+  HP_GAUGE_MAX("test.gauge", 3);
+  HP_TELEMETRY_ONLY(int only = 1; (void)only;)
+  if (!kCompiledIn) {
+    EXPECT_FALSE(obs::enabled());
+  }
+}
+
+TEST(Telemetry, SpanNameFormatting) {
+  EXPECT_EQ(obs::span_name("fm"), "fm");
+  EXPECT_EQ(obs::span_name("pass", 3), "pass[3]");
+  EXPECT_EQ(obs::span_name("coarsen", "level", 7), "coarsen[level=7]");
+  EXPECT_EQ(obs::span_name("leg", std::string("stream")), "leg[stream]");
+}
+
+TEST(Telemetry, CountersAndGaugesAggregate) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  ScopedTelemetry scope;
+  obs::counter_add("c", 2);
+  obs::counter_add("c", 3);
+  obs::gauge_set("g", 10);
+  obs::gauge_set("g", 4);
+  obs::gauge_max("hw", 5);
+  obs::gauge_max("hw", 2);
+  EXPECT_EQ(obs::counter("c"), 5);
+  EXPECT_EQ(obs::gauge("g"), 4);       // last write wins
+  EXPECT_EQ(obs::gauge("hw"), 5);      // high-water mark
+  EXPECT_EQ(obs::counter("absent"), 0);
+}
+
+TEST(Telemetry, SpansMergeByNameUnderTheSameParent) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  ScopedTelemetry scope;
+  for (int pass = 0; pass < 3; ++pass) {
+    HP_SPAN("phase");
+    HP_SPAN("inner");
+  }
+  EXPECT_EQ(obs::span_paths(), "phase x3\nphase/inner x3\n");
+}
+
+TEST(Telemetry, SpanTreeDeterministicAcrossThreadCounts) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  const Hypergraph g = random_hypergraph(600, 900, 2, 6, 42);
+  const auto balance = BalanceConstraint::for_graph(g, 4, 0.1, true);
+
+  const auto run = [&](unsigned threads) {
+    ScopedTelemetry scope;
+    MultilevelConfig cfg;
+    cfg.seed = 7;
+    cfg.fm.threads = threads;
+    const auto p = multilevel_partition(g, balance, cfg);
+    EXPECT_TRUE(p.has_value());
+    return obs::span_paths();
+  };
+
+  const std::string one = run(1);
+  const std::string four = run(4);
+  EXPECT_FALSE(one.empty());
+  EXPECT_EQ(one, four)
+      << "span-tree shape must depend only on control flow, not threads";
+}
+
+TEST(Telemetry, StreamCountersMatchObservableFacts) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  const Hypergraph g = random_hypergraph(300, 400, 2, 5, 99);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hp_telemetry_test.hpb")
+          .string();
+  stream::write_binary_file(path, g);
+  {
+    // Enable before mapping: stream.bytes_mapped is recorded by the
+    // MappedHypergraph constructor itself.
+    ScopedTelemetry scope;
+    const stream::MappedHypergraph mapped(path);
+    const auto balance = BalanceConstraint::for_total_weight(
+        mapped.total_node_weight(), 4, 0.2, true);
+
+    stream::StreamConfig scfg;
+    scfg.buffer_size = 64;
+    const auto streamed = stream::stream_partition(mapped, balance, scfg);
+    ASSERT_TRUE(streamed.has_value());
+
+    // stream.windows is exactly ceil(n / buffer).
+    EXPECT_EQ(obs::counter("stream.windows"), (300 + 64 - 1) / 64);
+    EXPECT_EQ(obs::counter("stream.nodes_placed"), 300);
+    EXPECT_EQ(obs::gauge("stream.bytes_mapped"),
+              static_cast<std::int64_t>(
+                  std::filesystem::file_size(path)));
+
+    // Restream counters must equal the result's own bookkeeping.
+    stream::RestreamConfig rcfg;
+    rcfg.chunk_size = 32;
+    Partition p = streamed->partition;
+    const auto r = stream::restream_refine(mapped, p, balance, rcfg);
+    EXPECT_EQ(obs::counter("restream.passes"), r.passes_run);
+    EXPECT_EQ(obs::counter("restream.moves_proposed"),
+              static_cast<std::int64_t>(r.moves_proposed));
+    EXPECT_EQ(obs::counter("restream.moves_applied"),
+              static_cast<std::int64_t>(r.moves_applied));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Telemetry, JsonExportRoundTripsAndIsSchemaVersioned) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  ScopedTelemetry scope;
+  {
+    HP_SPAN("outer");
+    HP_SPAN("inner", 0);
+  }
+  obs::counter_add("c", 7);
+  obs::gauge_set("g", -3);
+
+  const obs::json::Value doc = obs::to_json();
+  const obs::json::Value* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->as_string(), obs::kSchemaName);
+  ASSERT_NE(doc.find("version"), nullptr);
+  EXPECT_EQ(doc.find("version")->as_int(), obs::kSchemaVersion);
+  ASSERT_NE(doc.find("wall_ms"), nullptr);
+  ASSERT_NE(doc.find("peak_rss_bytes"), nullptr);
+  EXPECT_GT(doc.find("peak_rss_bytes")->as_int(), 0);
+
+  const obs::json::Value reparsed = obs::json::parse(obs::json::dump(doc));
+  EXPECT_TRUE(reparsed == doc) << "dump/parse must round-trip exactly";
+
+  const obs::json::Value* counters = doc.find("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->find("c"), nullptr);
+  EXPECT_EQ(counters->find("c")->as_int(), 7);
+  const obs::json::Value* spans = doc.find("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_EQ(spans->as_array().size(), 1u);
+  EXPECT_EQ(spans->as_array()[0].find("name")->as_string(), "outer");
+}
+
+TEST(Telemetry, WriteJsonCreatesAParseableFile) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  ScopedTelemetry scope;
+  obs::counter_add("c", 1);
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "hp_telemetry_test.json")
+          .string();
+  ASSERT_TRUE(obs::write_json(path));
+  const obs::json::Value doc = obs::json::parse_file(path);
+  EXPECT_EQ(doc.find("schema")->as_string(), obs::kSchemaName);
+  std::remove(path.c_str());
+
+  EXPECT_FALSE(obs::write_json("/nonexistent-dir/nope/t.json"));
+}
+
+TEST(Telemetry, DisabledCollectionCostsNothingAndRecordsNothing) {
+  if (!kCompiledIn) GTEST_SKIP() << "built with HP_TELEMETRY=OFF";
+  obs::reset();
+  ASSERT_FALSE(obs::enabled());
+  {
+    HP_SPAN("ghost");
+    HP_COUNTER_ADD("ghost.counter", 5);
+  }
+  obs::set_enabled(true);
+  EXPECT_EQ(obs::counter("ghost.counter"), 0);
+  EXPECT_EQ(obs::span_paths(), "");
+  obs::set_enabled(false);
+}
+
+}  // namespace
+}  // namespace hp

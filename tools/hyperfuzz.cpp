@@ -33,7 +33,9 @@
 #include "hyperpart/fuzz/oracle.hpp"
 #include "hyperpart/fuzz/shrinker.hpp"
 #include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/util/parse.hpp"
 #include "hyperpart/util/rng.hpp"
 #include "hyperpart/util/timer.hpp"
 
@@ -45,11 +47,27 @@ namespace {
          "[--max-edges M]\n"
          "         [--families f1,f2,...] [--exact-limit N] [--threads T]\n"
          "         [--out-dir DIR] [--max-failures F] [--inject-bug gain]\n"
-         "         [--no-anneal] [--no-stream] [--quiet]\n"
+         "         [--no-anneal] [--no-stream] [--quiet] "
+         "[--telemetry t.json]\n"
          "       hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]\n"
          "         [--metric cut|conn] [--seed S] [--inject-bug gain]\n"
          "families: random skewed hyperdag grid spes degenerate\n";
   std::exit(2);
+}
+
+[[noreturn]] void bad_flag(const std::string& flag, const std::string& token,
+                           const char* expected) {
+  std::cerr << "error: invalid value '" << token << "' for " << flag << " ("
+            << expected << ")\n";
+  usage();
+}
+
+std::uint64_t flag_u64(const std::string& flag, const std::string& token,
+                       std::uint64_t min_value, std::uint64_t max_value,
+                       const char* expected) {
+  const auto v = hp::parse_u64(token, min_value, max_value);
+  if (!v) bad_flag(flag, token, expected);
+  return *v;
 }
 
 std::vector<hp::fuzz::Family> parse_families(const std::string& csv) {
@@ -91,38 +109,49 @@ int main(int argc, char** argv) {
   hp::fuzz::OracleOptions oopts;
   std::string out_dir = "hyperfuzz-repros";
   std::string replay_path;
+  std::string telemetry_path;
   int max_failures = 5;
   bool quiet = false;
   hp::PartId replay_k = 2;
   double replay_eps = 0.1;
   hp::CostMetric replay_metric = hp::CostMetric::kConnectivity;
 
+  constexpr std::uint64_t kMaxId = UINT32_MAX;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        usage();
+      }
       return argv[++i];
     };
     if (arg == "--seed") {
-      seed = std::stoull(value());
+      seed = flag_u64(arg, value(), 0, UINT64_MAX, "unsigned integer");
     } else if (arg == "--runs") {
-      runs = std::stoull(value());
+      runs = flag_u64(arg, value(), 0, UINT64_MAX, "unsigned integer");
     } else if (arg == "--max-nodes") {
-      gen.max_nodes = static_cast<hp::NodeId>(std::stoul(value()));
+      gen.max_nodes = static_cast<hp::NodeId>(
+          flag_u64(arg, value(), 1, kMaxId, "integer >= 1"));
     } else if (arg == "--max-edges") {
-      gen.max_edges = static_cast<hp::EdgeId>(std::stoul(value()));
+      gen.max_edges = static_cast<hp::EdgeId>(
+          flag_u64(arg, value(), 1, kMaxId, "integer >= 1"));
     } else if (arg == "--families") {
       gen.families = parse_families(value());
     } else if (arg == "--exact-limit") {
-      oopts.exact_node_limit = static_cast<hp::NodeId>(std::stoul(value()));
+      oopts.exact_node_limit = static_cast<hp::NodeId>(
+          flag_u64(arg, value(), 0, kMaxId, "integer >= 0"));
     } else if (arg == "--threads") {
-      oopts.alt_threads = static_cast<unsigned>(std::stoul(value()));
+      oopts.alt_threads = static_cast<unsigned>(
+          flag_u64(arg, value(), 1, 1024, "integer in [1, 1024]"));
     } else if (arg == "--out-dir") {
       out_dir = value();
     } else if (arg == "--max-failures") {
-      max_failures = std::stoi(value());
+      max_failures = static_cast<int>(
+          flag_u64(arg, value(), 1, INT32_MAX, "integer >= 1"));
     } else if (arg == "--inject-bug") {
-      if (value() != "gain") usage();
+      const std::string bug = value();
+      if (bug != "gain") bad_flag(arg, bug, "gain");
       oopts.fault = hp::fuzz::FaultInjection::kGainRule;
     } else if (arg == "--no-anneal") {
       oopts.run_annealing = false;
@@ -130,12 +159,18 @@ int main(int argc, char** argv) {
       oopts.run_stream = false;
     } else if (arg == "--quiet") {
       quiet = true;
+    } else if (arg == "--telemetry") {
+      telemetry_path = value();
     } else if (arg == "--replay") {
       replay_path = value();
     } else if (arg == "--k") {
-      replay_k = static_cast<hp::PartId>(std::stoul(value()));
+      replay_k = static_cast<hp::PartId>(
+          flag_u64(arg, value(), 2, kMaxId, "integer >= 2"));
     } else if (arg == "--eps") {
-      replay_eps = std::stod(value());
+      const std::string tok = value();
+      const auto e = hp::parse_f64(tok, 0.0, 1e9);
+      if (!e) bad_flag(arg, tok, "finite number >= 0");
+      replay_eps = *e;
     } else if (arg == "--metric") {
       const std::string m = value();
       if (m == "cut") {
@@ -143,16 +178,33 @@ int main(int argc, char** argv) {
       } else if (m == "conn") {
         replay_metric = hp::CostMetric::kConnectivity;
       } else {
-        usage();
+        bad_flag(arg, m, "cut or conn");
       }
     } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
       usage();
     }
   }
 
+  if (!telemetry_path.empty()) {
+    hp::obs::reset();
+    hp::obs::set_enabled(true);
+  }
+  const auto flush_telemetry = [&] {
+    if (telemetry_path.empty()) return;
+    if (hp::obs::write_json(telemetry_path)) {
+      std::cout << "telemetry written to " << telemetry_path << "\n";
+    } else {
+      std::cerr << "error: cannot write telemetry to " << telemetry_path
+                << "\n";
+    }
+  };
+
   if (!replay_path.empty()) {
-    return replay(replay_path, replay_k, replay_eps, replay_metric, seed,
-                  oopts);
+    const int rc = replay(replay_path, replay_k, replay_eps, replay_metric,
+                          seed, oopts);
+    flush_telemetry();
+    return rc;
   }
 
   hp::Timer timer;
@@ -210,5 +262,6 @@ int main(int argc, char** argv) {
   for (const auto& [family, count] : per_family) {
     std::cout << "  " << family << ": " << count << "\n";
   }
+  flush_telemetry();
   return failures == 0 ? 0 : 1;
 }

@@ -19,6 +19,7 @@
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <limits>
 #include <optional>
 #include <string>
 
@@ -29,9 +30,12 @@
 #include "hyperpart/core/metrics.hpp"
 #include "hyperpart/hier/two_step.hpp"
 #include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/stream/binary_format.hpp"
 #include "hyperpart/stream/restream_refiner.hpp"
 #include "hyperpart/stream/stream_partitioner.hpp"
+#include "hyperpart/util/overflow.hpp"
+#include "hyperpart/util/parse.hpp"
 #include "hyperpart/util/timer.hpp"
 
 namespace {
@@ -43,9 +47,47 @@ namespace {
          "[--algo multilevel|rb|greedy|random|bnb|stream]\n"
          "         [--seed S] [--restream N] [--buffer B]\n"
          "         [--hier B1xB2[:G1]] [--out partition.txt] "
-         "[--convert out.hpb]\n";
+         "[--convert out.hpb] [--telemetry t.json]\n";
   std::exit(2);
 }
+
+/// Checked flag parsing: one-line diagnostic + usage (exit 2) instead of an
+/// uncaught std::invalid_argument from bare std::stoul.
+[[noreturn]] void bad_flag(const std::string& flag, const std::string& token,
+                           const char* expected) {
+  std::cerr << "error: invalid value '" << token << "' for " << flag << " ("
+            << expected << ")\n";
+  usage();
+}
+
+std::uint64_t flag_u64(const std::string& flag, const std::string& token,
+                       std::uint64_t min_value, std::uint64_t max_value,
+                       const char* expected) {
+  const auto v = hp::parse_u64(token, min_value, max_value);
+  if (!v) bad_flag(flag, token, expected);
+  return *v;
+}
+
+double flag_f64(const std::string& flag, const std::string& token,
+                double min_value, double max_value, const char* expected) {
+  const auto v = hp::parse_f64(token, min_value, max_value);
+  if (!v) bad_flag(flag, token, expected);
+  return *v;
+}
+
+/// Writes the telemetry session to `path` on scope exit (normal returns of
+/// main and run_stream both pass through it).
+struct TelemetryFlush {
+  std::string path;
+  ~TelemetryFlush() {
+    if (path.empty()) return;
+    if (hp::obs::write_json(path)) {
+      std::cout << "telemetry written to " << path << "\n";
+    } else {
+      std::cerr << "error: cannot write telemetry to " << path << "\n";
+    }
+  }
+};
 
 void write_partition(const std::string& out_path, const hp::Partition& p,
                      hp::NodeId n) {
@@ -107,7 +149,7 @@ int run_stream(const std::string& path, hp::PartId k, double eps,
             << "\n";
   std::vector<hp::Weight> pw(k, 0);
   for (hp::NodeId v = 0; v < mapped.num_nodes(); ++v) {
-    pw[partition[v]] += mapped.node_weight(v);
+    pw[partition[v]] = hp::sat_add(pw[partition[v]], mapped.node_weight(v));
   }
   std::cout << "part weights     =";
   for (const hp::Weight w : pw) std::cout << ' ' << w;
@@ -132,48 +174,79 @@ int main(int argc, char** argv) {
   std::optional<std::string> out_path;
   std::optional<std::string> convert_path;
   std::optional<hp::HierTopology> hier;
+  TelemetryFlush telemetry;
 
+  constexpr std::uint64_t kMaxPart = std::numeric_limits<hp::PartId>::max();
   for (int i = 2; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
-      if (i + 1 >= argc) usage();
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        usage();
+      }
       return argv[++i];
     };
     if (arg == "--k") {
-      k = static_cast<hp::PartId>(std::stoul(value()));
+      k = static_cast<hp::PartId>(
+          flag_u64(arg, value(), 2, kMaxPart, "integer >= 2"));
     } else if (arg == "--eps") {
-      eps = std::stod(value());
+      eps = flag_f64(arg, value(), 0.0, 1e9, "finite number >= 0");
     } else if (arg == "--metric") {
       const std::string m = value();
-      metric = m == "cut" ? hp::CostMetric::kCutNet
-                          : hp::CostMetric::kConnectivity;
+      if (m == "cut") {
+        metric = hp::CostMetric::kCutNet;
+      } else if (m == "conn") {
+        metric = hp::CostMetric::kConnectivity;
+      } else {
+        bad_flag(arg, m, "cut or conn");
+      }
     } else if (arg == "--algo") {
       algo = value();
     } else if (arg == "--seed") {
-      seed = std::stoull(value());
+      seed = flag_u64(arg, value(), 0, UINT64_MAX, "unsigned integer");
     } else if (arg == "--restream") {
-      restream_passes = std::stoi(value());
+      restream_passes = static_cast<int>(
+          flag_u64(arg, value(), 0, INT32_MAX, "integer >= 0"));
     } else if (arg == "--buffer") {
-      buffer = static_cast<hp::NodeId>(std::stoul(value()));
+      buffer = static_cast<hp::NodeId>(
+          flag_u64(arg, value(), 1, kMaxPart, "integer >= 1"));
     } else if (arg == "--out") {
       out_path = value();
     } else if (arg == "--convert") {
       convert_path = value();
+    } else if (arg == "--telemetry") {
+      telemetry.path = value();
     } else if (arg == "--hier") {
       const std::string spec = value();
       const auto x = spec.find('x');
-      if (x == std::string::npos) usage();
+      if (x == std::string::npos) {
+        bad_flag(arg, spec, "B1xB2[:G1], e.g. 4x2:4");
+      }
       const auto colon = spec.find(':');
-      const auto b1 = static_cast<hp::PartId>(std::stoul(spec.substr(0, x)));
-      const auto b2 = static_cast<hp::PartId>(
-          std::stoul(spec.substr(x + 1, colon - x - 1)));
-      const double g1 =
-          colon == std::string::npos ? 4.0 : std::stod(spec.substr(colon + 1));
-      hier = hp::HierTopology{{b1, b2}, {g1, 1.0}};
-      k = b1 * b2;
+      const std::uint64_t b1 = flag_u64(arg, spec.substr(0, x), 1, kMaxPart,
+                                        "B1 must be an integer >= 1");
+      const std::uint64_t b2 =
+          flag_u64(arg, spec.substr(x + 1, colon - x - 1), 1, kMaxPart,
+                   "B2 must be an integer >= 1");
+      const double g1 = colon == std::string::npos
+                            ? 4.0
+                            : flag_f64(arg, spec.substr(colon + 1), 0.0, 1e9,
+                                       "G1 must be a finite number >= 0");
+      if (b1 * b2 < 2 || b1 * b2 > kMaxPart) {
+        bad_flag(arg, spec, "B1*B2 must be in [2, 2^32)");
+      }
+      hier = hp::HierTopology{{static_cast<hp::PartId>(b1),
+                               static_cast<hp::PartId>(b2)},
+                              {g1, 1.0}};
+      k = static_cast<hp::PartId>(b1 * b2);
     } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
       usage();
     }
+  }
+  if (!telemetry.path.empty()) {
+    hp::obs::reset();
+    hp::obs::set_enabled(true);
   }
 
   if (convert_path) {
@@ -241,6 +314,7 @@ int main(int argc, char** argv) {
                 << " after " << res->nodes_explored << " nodes\n";
     }
   } else {
+    std::cerr << "error: unknown algorithm '" << algo << "'\n";
     usage();
   }
   const double ms = timer.millis();
