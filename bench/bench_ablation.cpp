@@ -24,11 +24,14 @@ struct Row {
   int starts = 1;
 };
 
-void ablate(const char* workload, const Hypergraph& g, PartId k) {
+void ablate(hp::bench::CaseContext& ctx, const char* workload,
+            const Hypergraph& g, PartId k) {
   bench::banner(std::string(workload) + " — " + g.summary() +
                 ", k = " + std::to_string(k));
   const auto balance = BalanceConstraint::for_graph(g, k, 0.05, true);
-  bench::Table table({"variant", "connectivity", "time ms"});
+  auto table = ctx.table({{"variant", "variant"},
+                          {"connectivity", "connectivity"},
+                          {"wall_ms", "time ms"}});
 
   std::vector<Row> rows;
   {
@@ -48,6 +51,7 @@ void ablate(const char* workload, const Hypergraph& g, PartId k) {
     rows.push_back({"+ 4-way multi-start", base, 0, 4});
   }
 
+  Weight baseline_cost = -1;
   for (const Row& row : rows) {
     Timer timer;
     std::optional<Partition> p;
@@ -60,25 +64,35 @@ void ablate(const char* workload, const Hypergraph& g, PartId k) {
     if (p && row.vcycles > 0) {
       vcycle_refine(g, *p, balance, row.cfg, row.vcycles);
     }
-    if (!p) {
+    if (!ctx.check(p.has_value(), std::string(row.name) +
+                                      " produces a partition on " +
+                                      workload)) {
       table.row(row.name, -1, timer.millis());
       continue;
     }
-    table.row(row.name, cost(g, *p, CostMetric::kConnectivity),
-              timer.millis());
+    ctx.check(balance.satisfied(g, *p),
+              std::string(row.name) + " output balanced on " + workload);
+    const Weight c = cost(g, *p, CostMetric::kConnectivity);
+    if (baseline_cost < 0) baseline_cost = c;
+    table.row(row.name, c, timer.millis());
   }
   table.print();
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "bench_ablation — contribution of each multilevel design "
-               "choice\n";
-  ablate("SpMV 2-regular", spmv_hypergraph(150, 150, 2500, 8), 4);
-  ablate("random hypergraph", random_hypergraph(1200, 1800, 2, 5, 21), 4);
+HP_BENCH_CASE(spmv_ablation,
+              "Multilevel ablation on a 2-regular SpMV hypergraph, k = 4") {
+  ablate(ctx, "SpMV 2-regular", spmv_hypergraph(150, 150, 2500, 8), 4);
+}
+
+HP_BENCH_CASE(random_ablation,
+              "Multilevel ablation on a general random hypergraph, k = 4") {
+  ablate(ctx, "random hypergraph",
+         random_hypergraph(1200, 1800, 2, 5, 21), 4);
   std::cout << "\nCoarsening carries most of the quality; extra initial "
                "tries and FM passes buy the rest; V-cycles and multi-start "
                "trade time for further gains.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("ablation")

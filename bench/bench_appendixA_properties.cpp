@@ -16,13 +16,16 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_appendixA_properties — Appendix A: partitioning "
-               "fundamentals\n";
-
+HP_BENCH_CASE(lemma_a1_padding,
+              "Lemma A.1: OPT(eps-balanced) equals OPT(k-section) on the "
+              "isolated-node padded instance") {
   bench::banner("Lemma A.1: OPT(eps-balanced) == OPT(k-section on padded)");
-  bench::Table a1({"seed", "n", "eps", "OPT eps-balanced",
-                   "OPT padded k-section", "agree"});
+  auto a1 = ctx.table({{"seed", "seed"},
+                       {"n", "n"},
+                       {"eps", "eps"},
+                       {"opt_balanced", "OPT eps-balanced"},
+                       {"opt_section", "OPT padded k-section"},
+                       {"agree", "agree"}});
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     const NodeId n = 9;
     const Hypergraph g = random_hypergraph(n, 8, 2, 3, seed);
@@ -33,21 +36,36 @@ int main() {
         pad_with_isolated_nodes(g, static_cast<NodeId>(eps * n + 1e-9));
     const auto sec = brute_force_partition(
         padded, BalanceConstraint::for_graph(padded, 2, 0.0), {});
+    const bool agree = orig && sec && orig->cost == sec->cost;
+    ctx.check(agree, "padded k-section OPT equals eps-balanced OPT at "
+                     "seed=" +
+                         std::to_string(seed));
     a1.row(seed, n, eps, orig ? orig->cost : -1, sec ? sec->cost : -1,
-           (orig && sec && orig->cost == sec->cost) ? "yes" : "NO");
+           agree ? "yes" : "NO");
   }
   a1.print();
+}
 
+HP_BENCH_CASE(lemma_a3_a4_parts,
+              "Lemmas A.3/A.4: some optimum uses fewer than 2k/(1+eps) "
+              "non-empty parts") {
   bench::banner(
       "Lemma A.3 / A.4: non-empty parts in exact optima (k = 4, n = 12)");
-  bench::Table a34({"eps", "bound", "non-empty parts in OPT", "within"});
+  auto a34 = ctx.table({{"eps", "eps"},
+                        {"bound", "bound"},
+                        {"nonempty", "non-empty parts in OPT"},
+                        {"within", "within"}});
   for (const double eps : {0.2, 1.0, 2.0}) {
     const Hypergraph g = random_hypergraph(12, 10, 2, 4, 77);
     const auto balance = BalanceConstraint::for_graph(g, 4, eps, true);
     BruteForceOptions opts;
     opts.break_symmetry = true;
     const auto best = brute_force_partition(g, balance, opts);
-    if (!best) continue;
+    if (!ctx.check(best.has_value(),
+                   "brute force solves the instance at eps=" +
+                       std::to_string(eps))) {
+      continue;
+    }
     // Lemma A.3: some optimum with < 2k/(1+eps) non-empty parts exists —
     // greedily merge smallest parts while feasible and cost non-increasing.
     Partition p = best->partition;
@@ -78,13 +96,21 @@ int main() {
       }
     }
     const double bound = 2.0 * 4 / (1.0 + eps);
-    a34.row(eps, bound, p.num_nonempty_parts(),
-            p.num_nonempty_parts() < bound ? "yes" : "NO");
+    const bool within = p.num_nonempty_parts() < bound;
+    ctx.check(within, "merged optimum within the Lemma A.3 bound at eps=" +
+                          std::to_string(eps));
+    a34.row(eps, bound, p.num_nonempty_parts(), within ? "yes" : "NO");
   }
   a34.print();
+}
 
+HP_BENCH_CASE(lemma_a5_blocks,
+              "Lemma A.5: the cheapest non-monochromatic 2-coloring of a "
+              "size-b block costs exactly b-1") {
   bench::banner("Lemma A.5: minimum split cost of a block of size b");
-  bench::Table a5({"b", "min cost over all non-mono 2-colorings", "b-1"});
+  auto a5 = ctx.table({{"b", "b"},
+                       {"min_cost", "min cost over all non-mono 2-colorings"},
+                       {"bound", "b-1"}});
   for (const NodeId b : {3u, 5u, 8u, 11u}) {
     HypergraphBuilder builder;
     const auto nodes = add_block(builder, b);
@@ -96,10 +122,14 @@ int main() {
       const Weight c = cost(g, p, CostMetric::kCutNet);
       if (best < 0 || c < best) best = c;
     }
+    ctx.check(best == static_cast<Weight>(b - 1),
+              "cheapest block split costs exactly b-1 at b=" +
+                  std::to_string(b));
     a5.row(b, best, b - 1);
   }
   a5.print();
   std::cout << "Blocks behave exactly as Lemma A.5 states: the cheapest "
                "split costs precisely b-1.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("appendixA_properties")

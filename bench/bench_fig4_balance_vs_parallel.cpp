@@ -13,14 +13,17 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_fig4_balance_vs_parallel — Figure 4: balanced does "
-               "not mean parallel\n";
+HP_BENCH_CASE(half_split_serial,
+              "Fig 4: the perfectly balanced half split of the serial "
+              "concatenation has zero parallelism (slowdown exactly 2)") {
   bench::banner(
       "Serial concatenation of two layered DAGs, k = 2 (makespans via "
       "list scheduling; the half-split's value is exact — it is serial)");
-  bench::Table table({"n", "cut cost of half split", "makespan(half split)",
-                      "makespan(best found)", "slowdown"});
+  auto table = ctx.table({{"n", "n"},
+                          {"half_split_cost", "cut cost of half split"},
+                          {"half_split_makespan", "makespan(half split)"},
+                          {"best_makespan", "makespan(best found)"},
+                          {"slowdown", "slowdown"}});
   for (const std::uint32_t width : {4u, 8u, 16u, 32u}) {
     const Dag dag = fig4_serial_concatenation(4, width, 1);
     const HyperDag h = to_hyperdag(dag);
@@ -28,9 +31,14 @@ int main() {
     const std::uint32_t serial =
         list_schedule_fixed(dag, half).makespan();
     const std::uint32_t best = list_schedule(dag, 2).makespan();
+    const double slowdown =
+        static_cast<double>(serial) / static_cast<double>(best);
+    ctx.check(slowdown == 2.0,
+              "half-split slowdown exactly 2.0 at width=" +
+                  std::to_string(width));
     table.row(dag.num_nodes(),
               cost(h.graph, half, CostMetric::kConnectivity), serial, best,
-              static_cast<double>(serial) / static_cast<double>(best));
+              slowdown);
   }
   table.print();
   std::cout
@@ -38,5 +46,6 @@ int main() {
          "global balance constraint, yet gives no parallelism (slowdown "
          "-> 2). This motivates the layer-wise and schedule-based "
          "constraints of Section 5.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("fig4_balance_vs_parallel")

@@ -16,15 +16,18 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_fig6_layer_limits — Figure 6: the cost of layer-wise "
-               "constraints\n";
+HP_BENCH_CASE(layerwise_vs_branch,
+              "Fig 6: layer-wise balance forces cost >= b/2 while the "
+              "branch coloring pays 2 and parallelizes") {
   bench::banner(
       "Two-branch DAG, k = 2, eps = 0: layer-feasible best-found vs the "
       "branch coloring");
-  bench::Table table({"b", "layer-wise cost (FM best of 4)",
-                      "analytic floor (b/2)", "branch coloring cost",
-                      "branch makespan", "optimal makespan"});
+  auto table = ctx.table({{"b", "b"},
+                          {"layerwise_cost", "layer-wise cost (FM best of 4)"},
+                          {"floor", "analytic floor (b/2)"},
+                          {"branch_cost", "branch coloring cost"},
+                          {"branch_makespan", "branch makespan"},
+                          {"opt_makespan", "optimal makespan"}});
   for (const std::uint32_t b : {4u, 8u, 16u, 32u, 64u}) {
     const Fig6Construction fig = build_fig6(b);
     const HyperDag h = to_hyperdag(fig.dag);
@@ -55,6 +58,10 @@ int main() {
     const std::uint32_t branch_span =
         list_schedule_fixed(fig.dag, fig.branch_partition).makespan();
     const std::uint32_t opt_span = list_schedule(fig.dag, 2).makespan();
+    ctx.check(best >= static_cast<Weight>(b / 2),
+              "layer-feasible cost >= b/2 at b=" + std::to_string(b));
+    ctx.check(branch_cost == 2,
+              "branch coloring cost exactly 2 at b=" + std::to_string(b));
     table.row(b, best, b / 2, branch_cost, branch_span, opt_span);
   }
   table.print();
@@ -62,5 +69,6 @@ int main() {
       << "Layer-wise balance forces a Θ(b) cut (both widened sets split "
          "half/half), while the branch coloring pays 2 and still "
          "parallelizes nearly perfectly — Figure 6's message.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("fig6_layer_limits")

@@ -18,19 +18,24 @@
 
 using namespace hp;
 
-namespace {
-
-void lemma_c3_bound() {
+HP_BENCH_CASE(lemma_c3_bound,
+              "Lemma C.3: any coloring with t0 minority nodes cuts >= "
+              "sqrt(t0) grid edges (exhaustive at l=3, adversarial above)") {
   bench::banner(
       "Lemma C.3: min cut edges over colorings with t0 minority nodes "
       "(>= sqrt(t0))");
-  bench::Table table({"grid", "t0", "min cut found", "sqrt(t0)", "holds"});
+  auto table = ctx.table({{"grid", "grid"},
+                          {"t0", "t0"},
+                          {"min_cut", "min cut found"},
+                          {"bound", "sqrt(t0)"},
+                          {"holds", "holds"}});
   // Exhaustive for 3x3.
   {
     HypergraphBuilder b;
     const GridGadget grid = add_grid_gadget(b, 3, 0);
     const Hypergraph g = b.build();
-    std::vector<std::uint32_t> best(5, std::numeric_limits<std::uint32_t>::max());
+    std::vector<std::uint32_t> best(
+        5, std::numeric_limits<std::uint32_t>::max());
     for (std::uint32_t mask = 0; mask < (1u << 9); ++mask) {
       Partition p(9, 2);
       for (NodeId i = 0; i < 9; ++i) p.assign(grid.body[i], (mask >> i) & 1);
@@ -39,8 +44,10 @@ void lemma_c3_bound() {
     }
     for (std::uint32_t t0 = 1; t0 <= 4; ++t0) {
       const double bound = std::sqrt(static_cast<double>(t0));
+      const bool holds = best[t0] + 1e-9 >= bound;
+      ctx.check(holds, "exhaustive 3x3 bound at t0=" + std::to_string(t0));
       table.row("3x3 (exhaustive)", t0, best[t0], bound,
-                best[t0] + 1e-9 >= bound ? "yes" : "NO");
+                holds ? "yes" : "NO");
     }
   }
   // Adversarial square patches on larger grids (the minimizer shape from
@@ -60,8 +67,11 @@ void lemma_c3_bound() {
       const auto t0 = grid_minority_count(grid, g, p);
       const auto cut = grid_cut_edges(grid, g, p);
       const double bound = std::sqrt(static_cast<double>(t0));
+      const bool holds = cut + 1e-9 >= bound;
+      ctx.check(holds, "patch bound at l=" + std::to_string(ell) +
+                           " side=" + std::to_string(side));
       table.row(std::to_string(ell) + "x" + std::to_string(ell) + " patch",
-                t0, cut, bound, cut + 1e-9 >= bound ? "yes" : "NO");
+                t0, cut, bound, holds ? "yes" : "NO");
     }
   }
   table.print();
@@ -69,12 +79,19 @@ void lemma_c3_bound() {
                "minimizer shape from the proof.\n";
 }
 
-void delta2_construction_series() {
+HP_BENCH_CASE(delta2_construction,
+              "Lemma C.6 / App C.3: the full Delta=2 construction stays a "
+              "degree-<=2 hyperDAG as the SpES instance grows") {
   bench::banner(
       "Lemma C.6 / Appendix C.3: the full Delta=2 construction stays a "
       "hyperDAG with degree <= 2 as the SpES instance grows");
-  bench::Table table({"|V|", "|E|", "nodes n'", "pins", "max degree",
-                      "hyperDAG", "build+recognize ms"});
+  auto table = ctx.table({{"v", "|V|"},
+                          {"e", "|E|"},
+                          {"nodes", "nodes n'"},
+                          {"pins", "pins"},
+                          {"max_degree", "max degree"},
+                          {"hyperdag", "hyperDAG"},
+                          {"build_ms", "build+recognize ms"}});
   struct Case {
     NodeId v;
     std::uint32_t e;
@@ -84,6 +101,10 @@ void delta2_construction_series() {
     const SpesInstance inst = random_spes(c.v, c.e, 2, c.v);
     const SpesDelta2Reduction red = build_spes_delta2(inst);
     const bool hyperdag = is_hyperdag(red.graph);
+    ctx.check(hyperdag, "construction recognized as hyperDAG at |V|=" +
+                            std::to_string(c.v));
+    ctx.check(red.graph.max_degree() <= 2,
+              "max degree <= 2 at |V|=" + std::to_string(c.v));
     table.row(c.v, c.e, red.graph.num_nodes(), red.graph.num_pins(),
               red.graph.max_degree(), hyperdag ? "yes" : "NO",
               timer.millis());
@@ -91,32 +112,34 @@ void delta2_construction_series() {
   table.print();
 }
 
-void canonical_cost_series() {
+HP_BENCH_CASE(canonical_cost,
+              "Lemmas C.4-C.5: canonical solutions of the Delta=2 "
+              "construction cost exactly the SpES coverage, balanced") {
   bench::banner(
       "Canonical solutions on the Delta=2 construction: cost equals SpES "
       "coverage, red side exactly (1-eps)n'/2");
-  bench::Table table({"|V|", "|E|", "p", "SpES OPT", "partition cost",
-                      "balanced"});
+  auto table = ctx.table({{"v", "|V|"},
+                          {"e", "|E|"},
+                          {"p", "p"},
+                          {"spes_opt", "SpES OPT"},
+                          {"partition_cost", "partition cost"},
+                          {"balanced", "balanced"}});
   for (const std::uint32_t e : {4u, 7u, 10u}) {
     const SpesInstance inst = random_spes(5, e, 2, e);
     const auto chosen = spes_optimal_edges(inst);
-    if (!chosen) continue;
+    if (!ctx.check(chosen.has_value(), "SpES optimum computable")) continue;
     const SpesDelta2Reduction red = build_spes_delta2(inst);
     const Partition p = red.partition_from_edges(*chosen);
-    table.row(5, e, 2, vertices_covered(inst, *chosen),
-              cost(red.graph, p, CostMetric::kCutNet),
-              red.balance.satisfied(red.graph, p) ? "yes" : "NO");
+    const auto covered = vertices_covered(inst, *chosen);
+    const Weight part_cost = cost(red.graph, p, CostMetric::kCutNet);
+    const bool balanced = red.balance.satisfied(red.graph, p);
+    ctx.check(part_cost == static_cast<Weight>(covered),
+              "canonical cost == SpES coverage at |E|=" + std::to_string(e));
+    ctx.check(balanced, "canonical partition balanced at |E|=" +
+                            std::to_string(e));
+    table.row(5u, e, 2u, covered, part_cost, balanced ? "yes" : "NO");
   }
   table.print();
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "bench_grid_gadgets — Lemmas C.3-C.6: grid gadgets and the "
-               "Delta=2 hyperDAG construction\n";
-  lemma_c3_bound();
-  delta2_construction_series();
-  canonical_cost_series();
-  return 0;
-}
+HP_BENCH_MAIN("grid_gadgets")

@@ -17,14 +17,17 @@
 
 using namespace hp;
 
-namespace {
-
-void sources_to_sinks_series() {
+HP_BENCH_CASE(sources_to_sinks,
+              "Fig 1 / App B: hyperDAG cost is exactly k-1 on the worked "
+              "example while the HK model charges >= m(k-1)") {
   bench::banner(
       "Appendix B worked example: (k-1) sources x m sinks, sinks on one "
       "processor (true cost = k-1 transfers)");
-  bench::Table table({"k", "m", "hyperDAG cost", "HK-model cost",
-                      "overestimation"});
+  auto table = ctx.table({{"k", "k"},
+                          {"m", "m"},
+                          {"hyperdag_cost", "hyperDAG cost"},
+                          {"hk_cost", "HK-model cost"},
+                          {"overestimation", "overestimation"}});
   for (const PartId k : {3u, 4u, 8u}) {
     for (const std::uint32_t m : {5u, 20u, 80u}) {
       const Dag dag = sources_to_sinks_dag(k - 1, m);
@@ -36,6 +39,12 @@ void sources_to_sinks_series() {
           cost(to_hyperdag(dag).graph, p, CostMetric::kConnectivity);
       const Weight hk = cost(hendrickson_kolda_hypergraph(dag), p,
                              CostMetric::kConnectivity);
+      ctx.check(accurate == static_cast<Weight>(k - 1),
+                "hyperDAG cost == k-1 at k=" + std::to_string(k) +
+                    " m=" + std::to_string(m));
+      ctx.check(hk >= static_cast<Weight>(m) * (k - 1),
+                "HK cost >= m(k-1) at k=" + std::to_string(k) +
+                    " m=" + std::to_string(m));
       table.row(k, m, accurate, hk,
                 static_cast<double>(hk) / static_cast<double>(accurate));
     }
@@ -43,12 +52,18 @@ void sources_to_sinks_series() {
   table.print();
 }
 
-void random_dag_series() {
+HP_BENCH_CASE(random_dags,
+              "App B: on random DAGs the HK hyperization never undercounts "
+              "the exact I/O cost, overcounting up to the fan-out") {
   bench::banner(
       "Random DAGs, random k-way placements: hyperDAG (exact I/O) vs "
       "HK-model connectivity");
-  bench::Table table({"n", "edge prob", "k", "hyperDAG cost", "HK cost",
-                      "HK / exact"});
+  auto table = ctx.table({{"n", "n"},
+                          {"edge_prob", "edge prob"},
+                          {"k", "k"},
+                          {"hyperdag_cost", "hyperDAG cost"},
+                          {"hk_cost", "HK cost"},
+                          {"ratio", "HK / exact"}});
   Rng rng{123};
   for (const NodeId n : {50u, 150u}) {
     for (const double prob : {0.05, 0.2}) {
@@ -61,6 +76,10 @@ void random_dag_series() {
         const Partition p(std::move(assign), k);
         const Weight exact = cost(h.graph, p, CostMetric::kConnectivity);
         const Weight hk_cost = cost(hk, p, CostMetric::kConnectivity);
+        ctx.check(hk_cost >= exact,
+                  "HK never undercounts at n=" + std::to_string(n) +
+                      " prob=" + std::to_string(prob) +
+                      " k=" + std::to_string(k));
         table.row(n, prob, k, exact, hk_cost,
                   exact == 0 ? 0.0
                              : static_cast<double>(hk_cost) /
@@ -73,12 +92,4 @@ void random_dag_series() {
                "a factor up to the fan-out (Appendix B).\n";
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "bench_hyperdag_model — Figure 1 / Appendix B: accuracy of "
-               "the hyperDAG I/O model\n";
-  sources_to_sinks_series();
-  random_dag_series();
-  return 0;
-}
+HP_BENCH_MAIN("hyperdag_model")

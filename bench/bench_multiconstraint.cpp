@@ -15,15 +15,18 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_multiconstraint — Section 6: multi-constraint "
-               "partitioning\n";
-
+HP_BENCH_CASE(xp_dp_exact,
+              "Lemma 6.2: the multi-constraint XP DP matches brute force "
+              "exactly for c = O(1)") {
   bench::banner(
       "Lemma 6.2 (c = O(1)): the multi-constraint XP DP is exact "
       "(cross-checked with brute force)");
-  bench::Table xp_table({"seed", "c", "brute OPT", "XP OPT", "agree",
-                         "XP ms"});
+  auto xp_table = ctx.table({{"seed", "seed"},
+                             {"c", "c"},
+                             {"brute_opt", "brute OPT"},
+                             {"xp_opt", "XP OPT"},
+                             {"agree", "agree"},
+                             {"xp_ms", "XP ms"}});
   for (std::uint64_t seed = 0; seed < 5; ++seed) {
     const Hypergraph g = random_hypergraph(10, 8, 2, 3, seed + 60);
     const auto balance = BalanceConstraint::for_graph(g, 2, 0.6, true);
@@ -38,21 +41,34 @@ int main() {
     const XpResult xp = xp_partition(g, balance, 50.0, xopts);
     const double ms = timer.millis();
     if (!brute) {
-      xp_table.row(seed, 2, -1, -1,
-                   xp.status != XpStatus::kSolved ? "yes" : "NO", ms);
+      const bool agree = xp.status != XpStatus::kSolved;
+      ctx.check(agree, "XP agrees instance is infeasible at seed=" +
+                           std::to_string(seed));
+      xp_table.row(seed, 2, -1.0, -1.0, agree ? "yes" : "NO", ms);
     } else {
-      xp_table.row(seed, 2, brute->cost, xp.cost,
-                   xp.cost == static_cast<double>(brute->cost) ? "yes" : "NO",
-                   ms);
+      const bool agree = xp.cost == static_cast<double>(brute->cost);
+      ctx.check(agree,
+                "XP OPT matches brute force at seed=" + std::to_string(seed));
+      xp_table.row(seed, 2, brute->cost, xp.cost, agree ? "yes" : "NO", ms);
     }
   }
   xp_table.print();
+}
 
+HP_BENCH_CASE(cost0_coloring,
+              "Lemma 6.3: with c ~ poly(n) groups, cost-0 feasibility "
+              "agrees with 3-colorability on every instance") {
   bench::banner(
       "Lemma 6.3 (c ~ poly(n)): cost-0 decision == 3-coloring; decision "
       "cost grows with the instance");
-  bench::Table col({"|V|", "|E|", "nodes", "groups c", "3-colorable",
-                    "cost-0 feasible", "agree", "decide ms"});
+  auto col = ctx.table({{"v", "|V|"},
+                        {"e", "|E|"},
+                        {"nodes", "nodes"},
+                        {"groups", "groups c"},
+                        {"colorable", "3-colorable"},
+                        {"cost0", "cost-0 feasible"},
+                        {"agree", "agree"},
+                        {"decide_ms", "decide ms"}});
   for (std::uint64_t seed = 0; seed < 4; ++seed) {
     const ColoringInstance g =
         random_coloring_instance(4 + seed, 5 + 2 * seed, seed);
@@ -64,6 +80,9 @@ int main() {
     const bool feasible =
         xp_partition(red.graph, red.balance, 0.0, opts).status ==
         XpStatus::kSolved;
+    ctx.check(colorable == feasible,
+              "cost-0 feasibility agrees with 3-colorability at seed=" +
+                  std::to_string(seed));
     col.row(g.num_vertices, g.edges.size(), red.graph.num_nodes(),
             red.constraints.num_constraints(), colorable ? "yes" : "no",
             feasible ? "yes" : "no", colorable == feasible ? "yes" : "NO",
@@ -73,5 +92,6 @@ int main() {
   std::cout << "With c growing polynomially in n, even the cost-0 decision "
                "inherits NP-hardness (Lemma 6.3) — no finite-factor "
                "approximation is possible.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("multiconstraint")

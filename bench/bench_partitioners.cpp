@@ -25,22 +25,33 @@ using namespace hp;
 
 namespace {
 
-void run_workload(const char* name, const Hypergraph& g, PartId k) {
+void run_workload(hp::bench::CaseContext& ctx, const char* name,
+                  const Hypergraph& g, PartId k) {
   bench::banner(std::string(name) + " — " + g.summary() +
                 ", k = " + std::to_string(k) + ", eps = 0.05");
   const auto balance = BalanceConstraint::for_graph(g, k, 0.05, true);
-  bench::Table table({"algorithm", "connectivity", "cut-net", "time ms",
-                      "balanced"});
+  auto table = ctx.table({{"algorithm", "algorithm"},
+                          {"connectivity", "connectivity"},
+                          {"cutnet", "cut-net"},
+                          {"wall_ms", "time ms"},
+                          {"balanced", "balanced"}});
 
+  Weight random_cost = -1;
+  Weight multilevel_cost = -1;
   const auto report = [&](const char* algo,
                           const std::optional<Partition>& p, double ms) {
-    if (!p) {
+    if (!ctx.check(p.has_value(),
+                   std::string(algo) + " produces a partition on " + name)) {
       table.row(algo, -1, -1, ms, "FAILED");
       return;
     }
-    table.row(algo, cost(g, *p, CostMetric::kConnectivity),
-              cost(g, *p, CostMetric::kCutNet), ms,
-              balance.satisfied(g, *p) ? "yes" : "NO");
+    const Weight conn = cost(g, *p, CostMetric::kConnectivity);
+    const bool balanced = balance.satisfied(g, *p);
+    ctx.check(balanced, std::string(algo) + " output balanced on " + name);
+    table.row(algo, conn, cost(g, *p, CostMetric::kCutNet), ms,
+              balanced ? "yes" : "NO");
+    if (std::string(algo) == "random balanced") random_cost = conn;
+    if (std::string(algo) == "multilevel") multilevel_cost = conn;
   };
 
   {
@@ -90,29 +101,52 @@ void run_workload(const char* name, const Hypergraph& g, PartId k) {
     const auto p = recursive_bisection(g, k, 0.05, cfg);
     report("recursive bisection", p, t.millis());
   }
+  if (random_cost >= 0 && multilevel_cost >= 0) {
+    ctx.check(multilevel_cost <= random_cost,
+              std::string("multilevel no worse than random on ") + name);
+  }
   table.print();
 }
 
 }  // namespace
 
-int main() {
-  std::cout << "bench_partitioners — heuristic quality/time on the paper's "
-               "workload families\n";
-
-  run_workload("random hypergraph", random_hypergraph(2000, 3000, 2, 6, 11),
-               4);
-  run_workload("SpMV 2-regular [30]", spmv_hypergraph(250, 250, 4000, 12),
-               4);
-  {
-    const Dag dag = random_binary_dag(1500, 13);
-    run_workload("hyperDAG of binary computational DAG (Δ<=3)",
-                 to_hyperdag(dag).graph, 4);
-  }
-  run_workload("random hypergraph, k = 8",
-               random_hypergraph(1500, 2200, 2, 5, 14), 8);
-  run_workload("hyperDAG of 2D stencil (16x16, 8 sweeps)",
-               to_hyperdag(stencil2d_dag(16, 16, 8)).graph, 4);
-  run_workload("hyperDAG of FFT butterfly (2^8 points)",
-               to_hyperdag(butterfly_dag(8)).graph, 4);
-  return 0;
+HP_BENCH_CASE(random_hypergraph_k4,
+              "Heuristic sweep on a general random hypergraph, k = 4") {
+  run_workload(ctx, "random hypergraph",
+               random_hypergraph(2000, 3000, 2, 6, 11), 4);
 }
+
+HP_BENCH_CASE(spmv_k4,
+              "Heuristic sweep on a 2-regular SpMV hypergraph [30], k = 4") {
+  run_workload(ctx, "SpMV 2-regular [30]",
+               spmv_hypergraph(250, 250, 4000, 12), 4);
+}
+
+HP_BENCH_CASE(binary_hyperdag_k4,
+              "Heuristic sweep on the hyperDAG of a bounded-indegree "
+              "computational DAG, k = 4") {
+  const Dag dag = random_binary_dag(1500, 13);
+  run_workload(ctx, "hyperDAG of binary computational DAG (Δ<=3)",
+               to_hyperdag(dag).graph, 4);
+}
+
+HP_BENCH_CASE(random_hypergraph_k8,
+              "Heuristic sweep on a general random hypergraph, k = 8") {
+  run_workload(ctx, "random hypergraph, k = 8",
+               random_hypergraph(1500, 2200, 2, 5, 14), 8);
+}
+
+HP_BENCH_CASE(stencil_hyperdag_k4,
+              "Heuristic sweep on the hyperDAG of a 2D stencil DAG, k = 4") {
+  run_workload(ctx, "hyperDAG of 2D stencil (16x16, 8 sweeps)",
+               to_hyperdag(stencil2d_dag(16, 16, 8)).graph, 4);
+}
+
+HP_BENCH_CASE(butterfly_hyperdag_k4,
+              "Heuristic sweep on the hyperDAG of an FFT butterfly DAG, "
+              "k = 4") {
+  run_workload(ctx, "hyperDAG of FFT butterfly (2^8 points)",
+               to_hyperdag(butterfly_dag(8)).graph, 4);
+}
+
+HP_BENCH_MAIN("partitioners")

@@ -3,14 +3,12 @@
 // cache) construction, and FM refinement — across instance sizes and part
 // counts, for the boundary-driven gain-cache engine against the legacy
 // recompute-every-gain engine. Establishes the perf trajectory the ROADMAP
-// asks for and writes machine-readable BENCH_refine.json.
+// asks for; JSON rows go through the harness (--json).
 //
-// Usage: bench_refine_scaling [--quick|--gate] [output.json]
-//   --quick caps n at 10k (CI-friendly); default sweeps n up to 200k.
-//   --gate runs only the n=100k, k=8 acceptance-gate configuration.
+// Smoke mode caps n at 10k (CI-friendly); the full run sweeps n up to 200k
+// and enforces the ≥5× acceptance gate at n = 100k, k = 8.
 
-#include <cstring>
-#include <fstream>
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -25,89 +23,32 @@
 
 #include "bench_util.hpp"
 
-namespace {
-
 using namespace hp;
 
-struct Row {
-  NodeId n;
-  EdgeId m;
-  std::uint64_t pins;
-  PartId k;
-  double coarsen_ms;
-  double tracker_ms;
-  double cache_ms;
-  double fm_cached_ms;
-  double fm_legacy_ms;
-  Weight start_cost;
-  Weight cached_cost;
-  Weight legacy_cost;
-  double speedup;
-};
-
-double json_safe(double x) { return x < 0 ? 0.0 : x; }
-
-void write_json(const std::vector<Row>& rows, const std::string& path,
-                unsigned threads) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"refine_scaling\",\n  \"threads\": " << threads
-      << ",\n  \"metric\": \"connectivity\",\n  \"peak_rss_kb\": "
-      << hp::bench::peak_rss_bytes() / 1024 << ",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"n\": " << r.n << ", \"m\": " << r.m
-        << ", \"pins\": " << r.pins << ", \"k\": " << r.k
-        << ", \"coarsen_ms\": " << json_safe(r.coarsen_ms)
-        << ", \"tracker_ms\": " << json_safe(r.tracker_ms)
-        << ", \"gain_cache_ms\": " << json_safe(r.cache_ms)
-        << ", \"fm_cached_ms\": " << json_safe(r.fm_cached_ms)
-        << ", \"fm_legacy_ms\": " << json_safe(r.fm_legacy_ms)
-        << ", \"start_cost\": " << r.start_cost
-        << ", \"fm_cached_cost\": " << r.cached_cost
-        << ", \"fm_legacy_cost\": " << r.legacy_cost
-        << ", \"fm_speedup\": " << json_safe(r.speedup) << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-}
-
-}  // namespace
-
-int main(int argc, char** argv) {
-  bool quick = false;
-  bool gate = false;
-  std::string out_path = "BENCH_refine.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--quick") == 0) {
-      quick = true;
-    } else if (std::strcmp(argv[i], "--gate") == 0) {
-      gate = true;
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      std::cerr << "usage: bench_refine_scaling [--quick|--gate] "
-                   "[output.json]\n";
-      return 2;
-    } else {
-      out_path = argv[i];
-    }
-  }
-
+HP_BENCH_CASE(engine_scaling,
+              "Gain-cache FM vs legacy FM across sizes and part counts; "
+              "full mode enforces the >=5x gate at n=100k, k=8") {
   const unsigned threads = default_threads();
   std::vector<NodeId> sizes{1000, 10000};
-  if (!quick) {
+  if (!ctx.smoke()) {
     sizes.push_back(100000);
     sizes.push_back(200000);
   }
-  std::vector<PartId> ks{2, 8, 32};
-  if (gate) {
-    sizes = {100000};
-    ks = {8};
-  }
+  const std::vector<PartId> ks{2, 8, 32};
 
-  hp::bench::banner("Refinement engine scaling (gain cache vs legacy FM)");
-  hp::bench::Table table({"n", "m", "k", "coarsen ms", "tracker ms",
-                          "cache ms", "FM cached ms", "FM legacy ms",
-                          "speedup", "cost cached", "cost legacy"});
-  std::vector<Row> rows;
+  bench::banner("Refinement engine scaling (gain cache vs legacy FM)");
+  auto table = ctx.table({{"n", "n"},
+                          {"m", "m"},
+                          {"pins", "pins"},
+                          {"k", "k"},
+                          {"coarsen_ms", "coarsen ms"},
+                          {"tracker_ms", "tracker ms"},
+                          {"gain_cache_ms", "cache ms"},
+                          {"fm_cached_ms", "FM cached ms"},
+                          {"fm_legacy_ms", "FM legacy ms"},
+                          {"speedup_ratio", "speedup"},
+                          {"fm_cached_cost", "cost cached"},
+                          {"fm_legacy_cost", "cost legacy"}});
 
   for (const NodeId n : sizes) {
     // m = n edges of size 2..8 keeps pin density realistic (ρ ≈ 5n) while
@@ -122,19 +63,18 @@ int main(int argc, char** argv) {
       // is what the boundary-driven engine exploits.
       const auto start = greedy_growing_partition(
           g, balance, CostMetric::kConnectivity, 7);
-      if (!start) continue;
-      Row row{};
-      row.n = n;
-      row.m = g.num_edges();
-      row.pins = g.num_pins();
-      row.k = k;
-      row.start_cost = cost(g, *start, CostMetric::kConnectivity);
+      if (!ctx.check(start.has_value(),
+                     "greedy start exists at n=" + std::to_string(n) +
+                         " k=" + std::to_string(k))) {
+        continue;
+      }
+      const Weight start_cost = cost(g, *start, CostMetric::kConnectivity);
 
       Timer t;
       const CoarseLevel level =
           coarsen_once(g, std::max<Weight>(1, balance.capacity() / 3),
                        99, nullptr, threads);
-      row.coarsen_ms = t.millis();
+      const double coarsen_ms = t.millis();
       (void)level;
 
       // Per-stage timings: tracker construction and gain-cache fill are
@@ -143,23 +83,29 @@ int main(int argc, char** argv) {
       // caller-owned-tracker overload — for both engines alike.
       t.reset();
       ConnectivityTracker tracker(g, *start, threads);
-      row.tracker_ms = t.millis();
+      const double tracker_ms = t.millis();
       t.reset();
       tracker.enable_gain_cache(CostMetric::kConnectivity, threads);
-      row.cache_ms = t.millis();
+      const double cache_ms = t.millis();
 
       FmConfig cached;
       cached.threads = threads;
       Partition pc = *start;
       t.reset();
-      row.cached_cost = fm_refine(g, tracker, pc, balance, cached);
-      row.fm_cached_ms = t.millis();
+      const Weight cached_cost = fm_refine(g, tracker, pc, balance, cached);
+      const double fm_cached_ms = t.millis();
+      ctx.check(cached_cost <= start_cost,
+                "gain-cache FM never worsens the start cost at n=" +
+                    std::to_string(n) + " k=" + std::to_string(k));
 
       // The legacy engine seeds all n·(k−1) moves and rescans incident
       // edges per pop; above 100k nodes at large k a full sweep takes
       // minutes, which is the point — but cap the largest size to keep the
       // bench runnable end-to-end.
       const bool run_legacy = n <= 100000 || k <= 8;
+      Weight legacy_cost = -1;
+      double fm_legacy_ms = -1;
+      double speedup = -1;
       if (run_legacy) {
         FmConfig legacy;
         legacy.use_gain_cache = false;
@@ -167,39 +113,33 @@ int main(int argc, char** argv) {
         ConnectivityTracker legacy_tracker(g, *start, threads);
         Partition pl = *start;
         t.reset();
-        row.legacy_cost = fm_refine(g, legacy_tracker, pl, balance, legacy);
-        row.fm_legacy_ms = t.millis();
-        row.speedup = row.fm_legacy_ms / std::max(1e-9, row.fm_cached_ms);
-      } else {
-        row.legacy_cost = -1;
-        row.fm_legacy_ms = -1;
-        row.speedup = -1;
+        legacy_cost = fm_refine(g, legacy_tracker, pl, balance, legacy);
+        fm_legacy_ms = t.millis();
+        speedup = fm_legacy_ms / std::max(1e-9, fm_cached_ms);
+        ctx.check(legacy_cost <= start_cost,
+                  "legacy FM never worsens the start cost at n=" +
+                      std::to_string(n) + " k=" + std::to_string(k));
       }
 
-      table.row(row.n, row.m, static_cast<unsigned>(row.k), row.coarsen_ms,
-                row.tracker_ms, row.cache_ms, row.fm_cached_ms,
-                row.fm_legacy_ms, row.speedup, row.cached_cost,
-                row.legacy_cost);
-      rows.push_back(row);
+      // Acceptance gate: ≥5× FM speedup at n = 100k, k = 8 with
+      // equal-or-better cost (full mode only — the row is absent in smoke).
+      if (n == 100000 && k == 8 && speedup > 0) {
+        const bool pass = speedup >= 5.0 && cached_cost <= legacy_cost;
+        ctx.check(pass, "acceptance gate at n=100k k=8: speedup >= 5x with "
+                        "equal-or-better cost");
+        std::cout << "n=100k k=8: speedup " << speedup << "×, cost "
+                  << cached_cost << " (legacy " << legacy_cost << ") — "
+                  << (pass ? "PASS" : "FAIL") << "\n";
+      }
+
+      table.row(n, g.num_edges(), g.num_pins(), static_cast<unsigned>(k),
+                coarsen_ms, tracker_ms, cache_ms, fm_cached_ms,
+                fm_legacy_ms, speedup, cached_cost, legacy_cost);
     }
   }
-
   table.print();
-  write_json(rows, out_path, threads);
-  std::cout << "\nwrote " << out_path << " (peak RSS "
-            << hp::bench::peak_rss_bytes() / (1024 * 1024) << " MB)\n";
-
-  // Acceptance gate: ≥5× FM speedup at n = 100k, k = 8 with
-  // equal-or-better cost.
-  for (const Row& r : rows) {
-    if (r.n == 100000 && r.k == 8 && r.speedup > 0) {
-      std::cout << "n=100k k=8: speedup " << r.speedup << "×, cost "
-                << r.cached_cost << " (legacy " << r.legacy_cost << ") — "
-                << (r.speedup >= 5.0 && r.cached_cost <= r.legacy_cost
-                        ? "PASS"
-                        : "FAIL")
-                << "\n";
-    }
-  }
-  return 0;
+  std::cout << "\npeak RSS " << hp::bench::peak_rss_bytes() / (1024 * 1024)
+            << " MB\n";
 }
+
+HP_BENCH_MAIN("refine_scaling")

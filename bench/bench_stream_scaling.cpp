@@ -1,7 +1,6 @@
 // Streaming-partitioner scaling: quality, wall time, and peak RSS of the
 // one-pass streaming placer (and its re-streaming refinement) against the
 // in-memory greedy and multilevel partitioners on the same instances.
-// Writes machine-readable BENCH_stream.json.
 //
 // Peak RSS (VmHWM) is a monotone per-process high-water mark, so each
 // algorithm runs in its own forked child (re-exec of this binary with
@@ -10,12 +9,9 @@
 // never materialize the hypergraph — they work off the mmap'd file — which
 // is exactly the footprint gap this bench measures.
 //
-// Usage: bench_stream_scaling [--smoke|--gate] [output.json]
-//   --smoke runs a small n=20k instance (CI-friendly).
-//   --gate runs only the n=1M, k=8 acceptance-gate configuration
-//     (stream/restream/multilevel — the algorithms the gate compares).
-//   default sweeps n in {250k, 1M, 2M}; greedy (O(n²)) stops at 250k and
-//   multilevel at 1M.
+// Smoke mode runs a small n=20k instance (CI-friendly); the full sweep
+// runs n in {250k, 1M, 2M} (greedy, O(n²), stops at 250k and multilevel
+// at 1M) and enforces the RSS/cost acceptance gate at n = 1M.
 
 #include <sys/wait.h>
 #include <unistd.h>
@@ -56,21 +52,6 @@ struct Row {
   double ms;
   std::uint64_t rss_kb;
 };
-
-void write_json(const std::vector<Row>& rows, const std::string& path) {
-  std::ofstream out(path);
-  out << "{\n  \"bench\": \"stream_scaling\",\n  \"metric\": "
-         "\"connectivity\",\n  \"rows\": [\n";
-  for (std::size_t i = 0; i < rows.size(); ++i) {
-    const Row& r = rows[i];
-    out << "    {\"n\": " << r.n << ", \"m\": " << r.m
-        << ", \"pins\": " << r.pins << ", \"k\": " << r.k << ", \"algo\": \""
-        << r.algo << "\", \"cost\": " << r.cost << ", \"ms\": " << r.ms
-        << ", \"peak_rss_kb\": " << r.rss_kb << "}"
-        << (i + 1 < rows.size() ? "," : "") << "\n";
-  }
-  out << "  ]\n}\n";
-}
 
 /// Child mode: run one algorithm on the binary file and report
 /// "cost=<C> ms=<T> rss_kb=<R>" to the result file. Runs in its own
@@ -166,38 +147,21 @@ int run_child(const std::string& algo, const std::string& bin_path, PartId k,
 
 }  // namespace
 
-int main(int argc, char** argv) {
-  if (argc >= 2 && std::strcmp(argv[1], "--child") == 0) {
-    if (argc != 8) return 2;
-    return run_child(argv[2], argv[3],
-                     static_cast<hp::PartId>(std::stoul(argv[4])),
-                     std::stod(argv[5]), std::stoi(argv[6]), argv[7]);
-  }
-
-  bool smoke = false;
-  bool gate = false;
-  std::string out_path = "BENCH_stream.json";
-  for (int i = 1; i < argc; ++i) {
-    if (std::strcmp(argv[i], "--smoke") == 0) {
-      smoke = true;
-    } else if (std::strcmp(argv[i], "--gate") == 0) {
-      gate = true;
-    } else if (std::strncmp(argv[i], "--", 2) == 0) {
-      std::cerr << "usage: bench_stream_scaling [--smoke|--gate] "
-                   "[output.json]\n";
-      return 2;
-    } else {
-      out_path = argv[i];
-    }
-  }
-
+HP_BENCH_CASE(scaling_sweep,
+              "Streaming vs in-memory partitioners: per-algorithm cost, "
+              "wall time, and forked-child peak RSS; full mode gates n=1M") {
   std::vector<NodeId> sizes{250000, 1000000, 2000000};
-  if (smoke) sizes = {20000};
-  if (gate) sizes = {1000000};
+  if (ctx.smoke()) sizes = {20000};
 
-  hp::bench::banner("Streaming partitioner scaling (k=8, connectivity)");
-  hp::bench::Table table(
-      {"n", "m", "algo", "cost", "ms", "peak RSS MB", "vs multilevel"});
+  bench::banner("Streaming partitioner scaling (k=8, connectivity)");
+  auto table = ctx.table({{"n", "n"},
+                          {"m", "m"},
+                          {"pins", "pins"},
+                          {"k", "k"},
+                          {"algo", "algo"},
+                          {"cost", "cost"},
+                          {"wall_ms", "ms"},
+                          {"peak_rss_kb", "peak RSS kB"}});
   std::vector<Row> rows;
 
   for (const NodeId n : sizes) {
@@ -215,37 +179,39 @@ int main(int argc, char** argv) {
 
     // The in-memory baselines scale poorly on one core: greedy growing is
     // O(n²) (hours at n = 1M), and both it and multilevel are hopeless at
-    // n = 2M. Greedy stops at 250k, multilevel at 1M; the gate mode runs
-    // only the algorithms its criteria compare.
+    // n = 2M. Greedy stops at 250k, multilevel at 1M.
     std::vector<std::string> algos{"stream", "restream"};
-    if (n <= 250000 && !gate) algos.push_back("greedy");
+    if (n <= 250000) algos.push_back("greedy");
     if (n <= 1000000) algos.push_back("multilevel");
 
-    double multilevel_cost = 0;
+    Weight stream_cost = -1;
     for (const std::string& algo : algos) {
       Row row{};
       row.n = n;
       row.m = m;
       row.pins = pins;
       row.k = kParts;
-      if (!run_algo(algo, bin_path, row)) continue;
-      if (algo == "multilevel") multilevel_cost = double(row.cost);
-      table.row(row.n, row.m, row.algo, row.cost, row.ms,
-                double(row.rss_kb) / 1024.0,
-                multilevel_cost > 0
-                    ? std::to_string(double(row.cost) / multilevel_cost)
-                    : std::string("-"));
+      if (!ctx.check(run_algo(algo, bin_path, row),
+                     algo + " child succeeds at n=" + std::to_string(n))) {
+        continue;
+      }
+      if (algo == "stream") stream_cost = row.cost;
+      if (algo == "restream" && stream_cost >= 0) {
+        ctx.check(row.cost <= stream_cost,
+                  "restream never worsens the one-pass cost at n=" +
+                      std::to_string(n));
+      }
+      table.row(row.n, row.m, row.pins, static_cast<unsigned>(row.k),
+                row.algo, row.cost, row.ms, row.rss_kb);
       rows.push_back(row);
     }
     std::remove(bin_path.c_str());
   }
-
   table.print();
-  write_json(rows, out_path);
-  std::cout << "\nwrote " << out_path << "\n";
 
   // Acceptance gate at n = 1M, k = 8: streaming + re-stream must finish
-  // within 25% of multilevel's peak RSS and 2.5× its cost.
+  // within 25% of multilevel's peak RSS and 2.5× its cost (full mode only
+  // — the n = 1M rows are absent in smoke).
   const Row* restream = nullptr;
   const Row* multilevel = nullptr;
   for (const Row& r : rows) {
@@ -258,12 +224,24 @@ int main(int argc, char** argv) {
         double(restream->rss_kb) / double(multilevel->rss_kb);
     const double cost_ratio =
         double(restream->cost) / double(multilevel->cost);
+    const bool pass = rss_ratio < 0.25 && cost_ratio <= 2.5;
+    ctx.check(pass, "acceptance gate at n=1M k=8: RSS ratio < 0.25 and "
+                    "cost ratio <= 2.5");
     std::cout << "n=1M k=8: restream RSS " << restream->rss_kb / 1024
               << " MB vs multilevel " << multilevel->rss_kb / 1024
               << " MB (ratio " << rss_ratio << "), cost ratio " << cost_ratio
-              << " — "
-              << (rss_ratio < 0.25 && cost_ratio <= 2.5 ? "PASS" : "FAIL")
-              << "\n";
+              << " — " << (pass ? "PASS" : "FAIL") << "\n";
   }
-  return 0;
+}
+
+int main(int argc, char** argv) {
+  // The --child protocol must bypass the harness: children are re-execs of
+  // this binary doing exactly one algorithm run for RSS attribution.
+  if (argc >= 2 && std::strcmp(argv[1], "--child") == 0) {
+    if (argc != 8) return 2;
+    return run_child(argv[2], argv[3],
+                     static_cast<hp::PartId>(std::stoul(argv[4])),
+                     std::stod(argv[5]), std::stoi(argv[6]), argv[7]);
+  }
+  return hp::bench::bench_main(argc, argv, "stream_scaling");
 }

@@ -19,14 +19,20 @@
 
 using namespace hp;
 
-namespace {
-
-void exact_correspondence() {
+HP_BENCH_CASE(exact_correspondence,
+              "Thm 4.1: partition OPT of the SpES construction equals the "
+              "SpES optimum, XP-certified (budget OPT solvable, OPT-1 not)") {
   bench::banner(
       "OPT correspondence, certified exactly by the XP algorithm "
       "(budget OPT solvable, OPT-1 not)");
-  bench::Table table({"|V|", "|E|", "p", "SpES OPT", "partition OPT",
-                      "certified", "XP configs", "time ms"});
+  auto table = ctx.table({{"v", "|V|"},
+                          {"e", "|E|"},
+                          {"p", "p"},
+                          {"spes_opt", "SpES OPT"},
+                          {"partition_opt", "partition OPT"},
+                          {"certified", "certified"},
+                          {"xp_configs", "XP configs"},
+                          {"wall_ms", "time ms"}});
   struct Case {
     NodeId v;
     std::uint32_t e;
@@ -37,7 +43,7 @@ void exact_correspondence() {
                        Case{4, 4, 2, 5}}) {
     const SpesInstance inst = random_spes(c.v, c.e, c.p, c.seed);
     const auto opt = spes_optimum(inst);
-    if (!opt) continue;
+    if (!ctx.check(opt.has_value(), "SpES optimum computable")) continue;
     const SpesReduction red = build_spes_reduction(inst);
     XpOptions opts;
     opts.metric = CostMetric::kCutNet;
@@ -52,6 +58,9 @@ void exact_correspondence() {
                                       static_cast<double>(*opt) - 1.0, opts);
       certified = below.status == XpStatus::kNoSolution;
     }
+    ctx.check(certified, "XP certification at |V|=" + std::to_string(c.v) +
+                             " |E|=" + std::to_string(c.e) +
+                             " p=" + std::to_string(c.p));
     table.row(c.v, c.e, c.p, *opt, solved.cost,
               certified ? "yes" : "NO", solved.configurations_checked,
               timer.millis());
@@ -59,12 +68,19 @@ void exact_correspondence() {
   table.print();
 }
 
-void canonical_series() {
+HP_BENCH_CASE(canonical_series,
+              "Thm 4.1: canonical partitions realize exactly the SpES "
+              "coverage; approximation transfers 1:1") {
   bench::banner(
       "Larger instances: canonical partitions realize exactly the SpES "
       "coverage; greedy SpES as the heuristic upper bound");
-  bench::Table table({"|V|", "|E|", "p", "n' (nodes)", "SpES OPT",
-                      "canonical partition cost", "greedy SpES"});
+  auto table = ctx.table({{"v", "|V|"},
+                          {"e", "|E|"},
+                          {"p", "p"},
+                          {"nodes", "n' (nodes)"},
+                          {"spes_opt", "SpES OPT"},
+                          {"partition_cost", "canonical partition cost"},
+                          {"greedy_spes", "greedy SpES"}});
   struct Case {
     NodeId v;
     std::uint32_t e;
@@ -74,12 +90,17 @@ void canonical_series() {
                        Case{12, 26, 6}}) {
     const SpesInstance inst = random_spes(c.v, c.e, c.p, c.v + c.e);
     const auto opt_edges = spes_optimal_edges(inst);
-    if (!opt_edges) continue;
+    if (!ctx.check(opt_edges.has_value(), "SpES optimal edges computable")) {
+      continue;
+    }
     const SpesReduction red = build_spes_reduction(inst);
     const Partition p = red.partition_from_edges(*opt_edges);
     const Weight part_cost = cost(red.graph, p, CostMetric::kCutNet);
-    table.row(c.v, c.e, c.p, red.graph.num_nodes(),
-              vertices_covered(inst, *opt_edges), part_cost,
+    const auto covered = vertices_covered(inst, *opt_edges);
+    ctx.check(part_cost == static_cast<Weight>(covered),
+              "canonical cost == SpES coverage at |V|=" +
+                  std::to_string(c.v) + " |E|=" + std::to_string(c.e));
+    table.row(c.v, c.e, c.p, red.graph.num_nodes(), covered, part_cost,
               *spes_greedy(inst));
   }
   table.print();
@@ -87,14 +108,18 @@ void canonical_series() {
                "(the reduction transfers approximation factors 1:1).\n";
 }
 
-}  // namespace
-
-void mpu_series() {
+HP_BENCH_CASE(mpu_series,
+              "Cor 4.2 / App C.5: the Minimum p-Union generalization — "
+              "canonical partition cost equals the chosen sets' union size") {
   bench::banner(
       "Appendix C.5 / Corollary 4.2: the Minimum p-Union generalization — "
       "canonical partition cost equals the chosen sets' union size");
-  bench::Table table({"elements", "sets", "p", "MpU OPT",
-                      "partition cost", "balanced"});
+  auto table = ctx.table({{"elements", "elements"},
+                          {"sets", "sets"},
+                          {"p", "p"},
+                          {"mpu_opt", "MpU OPT"},
+                          {"partition_cost", "partition cost"},
+                          {"balanced", "balanced"}});
   struct Case {
     NodeId elements;
     std::uint32_t sets;
@@ -104,23 +129,23 @@ void mpu_series() {
     const MpuInstance inst =
         random_mpu(c.elements, c.sets, 2, 4, c.p, c.elements + c.sets);
     const auto chosen = mpu_optimal_sets(inst);
-    if (!chosen) continue;
+    if (!ctx.check(chosen.has_value(), "MpU optimum computable")) continue;
     const MpuReduction red = build_mpu_reduction(inst);
     const Partition p = red.partition_from_sets(*chosen);
-    table.row(c.elements, c.sets, c.p, union_size(inst, *chosen),
-              cost(red.graph, p, CostMetric::kCutNet),
-              red.balance.satisfied(red.graph, p) ? "yes" : "NO");
+    const auto union_sz = union_size(inst, *chosen);
+    const Weight part_cost = cost(red.graph, p, CostMetric::kCutNet);
+    const bool balanced = red.balance.satisfied(red.graph, p);
+    ctx.check(part_cost == static_cast<Weight>(union_sz),
+              "MpU canonical cost == union size at elements=" +
+                  std::to_string(c.elements));
+    ctx.check(balanced, "MpU canonical partition balanced at elements=" +
+                            std::to_string(c.elements));
+    table.row(c.elements, c.sets, c.p, union_sz, part_cost,
+              balanced ? "yes" : "NO");
   }
   table.print();
   std::cout << "MpU transfers the stronger n^delta / n^(1/4-delta) bounds "
                "of [3] and [12] to partitioning (Corollary 4.2).\n";
 }
 
-int main() {
-  std::cout << "bench_thm41_spes — Theorem 4.1 / Figure 3: SpES -> balanced "
-               "partitioning reduction\n";
-  exact_correspondence();
-  canonical_series();
-  mpu_series();
-  return 0;
-}
+HP_BENCH_MAIN("thm41_spes")

@@ -15,13 +15,17 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_thm52_layerwise — Theorem 5.2: 3-coloring -> "
-               "layer-wise balanced hyperDAG partitioning\n";
-
+HP_BENCH_CASE(colorability_sweep,
+              "Thm 5.2: cost-0 layer-wise feasibility <=> 3-colorability "
+              "on every instance") {
   bench::banner("Correctness sweep: cost-0 feasible <=> 3-colorable");
-  bench::Table sweep({"graph", "|V|", "|E|", "3-colorable",
-                      "layer-wise cost-0", "agree", "decide ms"});
+  auto sweep = ctx.table({{"graph", "graph"},
+                          {"v", "|V|"},
+                          {"e", "|E|"},
+                          {"colorable", "3-colorable"},
+                          {"cost0", "layer-wise cost-0"},
+                          {"agree", "agree"},
+                          {"decide_ms", "decide ms"}});
   struct Named {
     const char* name;
     ColoringInstance g;
@@ -49,76 +53,125 @@ int main() {
     const LayerwiseReduction red = build_layerwise_reduction(g);
     Timer timer;
     const bool feasible = red.cost0_feasible();
+    ctx.check(colorable == feasible,
+              std::string("cost-0 feasibility agrees with 3-colorability "
+                          "on ") +
+                  name);
     sweep.row(name, g.num_vertices, g.edges.size(),
               colorable ? "yes" : "no", feasible ? "yes" : "no",
               colorable == feasible ? "yes" : "NO", timer.millis());
   }
   sweep.print();
+}
 
+HP_BENCH_CASE(coloring_witness,
+              "Thm 5.2: a 3-coloring maps to a cost-0, layer-wise "
+              "feasible partition end to end") {
   bench::banner("Witness check: a 3-coloring realizes cost 0 end to end");
-  bench::Table witness({"|V|", "|E|", "DAG nodes", "layers", "cut cost",
-                        "all layer groups ok"});
+  auto witness = ctx.table({{"v", "|V|"},
+                            {"e", "|E|"},
+                            {"dag_nodes", "DAG nodes"},
+                            {"layers", "layers"},
+                            {"cut_cost", "cut cost"},
+                            {"layer_groups_ok", "all layer groups ok"}});
   for (std::uint64_t seed = 0; seed < 3; ++seed) {
     const ColoringInstance g = planted_3colorable(5, 6, seed + 40);
     const auto coloring = three_color(g);
-    if (!coloring) continue;
+    if (!ctx.check(coloring.has_value(),
+                   "planted instance 3-colorable at seed=" +
+                       std::to_string(seed))) {
+      continue;
+    }
     const LayerwiseReduction red = build_layerwise_reduction(g);
     const Partition p = red.partition_from_coloring(*coloring);
+    const Weight c = cost(red.hyperdag.graph, p, CostMetric::kCutNet);
+    const bool groups_ok =
+        red.layer_constraints.satisfied(red.hyperdag.graph, p);
+    ctx.check(c == 0,
+              "witness partition has cost 0 at seed=" + std::to_string(seed));
+    ctx.check(groups_ok, "witness partition satisfies every layer group at "
+                         "seed=" +
+                             std::to_string(seed));
     witness.row(g.num_vertices, g.edges.size(), red.dag.num_nodes(),
-                red.num_layers,
-                cost(red.hyperdag.graph, p, CostMetric::kCutNet),
-                red.layer_constraints.satisfied(red.hyperdag.graph, p)
-                    ? "yes"
-                    : "NO");
+                red.num_layers, c, groups_ok ? "yes" : "NO");
   }
   witness.print();
+}
 
+HP_BENCH_CASE(construction_size,
+              "Thm 5.2: the construction is polynomial-size with a unique "
+              "layering (zero flexible nodes)") {
   bench::banner("Construction size (polynomial in |V|+|E|)");
-  bench::Table size({"|V|", "|E|", "DAG nodes", "DAG edges", "layers",
-                     "flexible nodes", "build ms"});
+  auto size = ctx.table({{"v", "|V|"},
+                         {"e", "|E|"},
+                         {"dag_nodes", "DAG nodes"},
+                         {"dag_edges", "DAG edges"},
+                         {"layers", "layers"},
+                         {"flexible_nodes", "flexible nodes"},
+                         {"build_ms", "build ms"}});
   for (const NodeId v : {6u, 12u, 24u, 48u}) {
     const ColoringInstance g = random_coloring_instance(v, 2 * v, v);
     Timer timer;
     const LayerwiseReduction red = build_layerwise_reduction(g);
+    const auto flexible = num_flexible_nodes(red.dag);
+    ctx.check(flexible == 0,
+              "layering unique (no flexible nodes) at |V|=" +
+                  std::to_string(v));
     size.row(v, g.edges.size(), red.dag.num_nodes(), red.dag.num_edges(),
-             red.num_layers, num_flexible_nodes(red.dag), timer.millis());
+             red.num_layers, flexible, timer.millis());
   }
   size.print();
   std::cout << "Zero flexible nodes: the layering is unique, so the "
                "hardness covers the fixed AND flexible variants.\n";
+}
 
+HP_BENCH_CASE(flexible_layering_hardness,
+              "Thm E.1: a good flexible layering exists iff the embedded "
+              "3-partition instance is solvable") {
   bench::banner(
       "Theorem E.1: choosing the best flexible layering is itself hard "
       "(3-partition group gadgets)");
-  bench::Table e1({"instance", "t", "b", "3-partition solvable",
-                   "good layering exists", "agree", "DAG nodes"});
-  {
-    ThreePartitionInstance yes;
-    yes.target = 10;
-    yes.numbers = {3, 3, 4, 3, 3, 4};
-    ThreePartitionInstance no;
-    no.target = 13;
-    no.numbers = {4, 4, 4, 4, 4, 6};
-    for (const auto& [name, inst] :
-         {std::pair<const char*, ThreePartitionInstance>{"solvable", yes},
-          {"unsolvable", no}}) {
-      const LayeringHardnessReduction red = build_layering_hardness(inst);
-      const bool solvable = solve_three_partition(inst).has_value();
-      const bool feasible = red.feasible_layering_exists();
-      e1.row(name, red.phases, inst.target, solvable ? "yes" : "no",
-             feasible ? "yes" : "no", solvable == feasible ? "yes" : "NO",
-             red.dag.num_nodes());
-    }
-    for (std::uint64_t seed = 0; seed < 3; ++seed) {
-      const auto inst = random_solvable_three_partition(3, 16, seed);
-      const LayeringHardnessReduction red = build_layering_hardness(inst);
-      e1.row("random solvable", red.phases, inst.target, "yes",
-             red.feasible_layering_exists() ? "yes" : "no", "yes",
-             red.dag.num_nodes());
-    }
+  auto e1 = ctx.table({{"instance", "instance"},
+                       {"t", "t"},
+                       {"b", "b"},
+                       {"solvable", "3-partition solvable"},
+                       {"layering_exists", "good layering exists"},
+                       {"agree", "agree"},
+                       {"dag_nodes", "DAG nodes"}});
+  ThreePartitionInstance yes;
+  yes.target = 10;
+  yes.numbers = {3, 3, 4, 3, 3, 4};
+  ThreePartitionInstance no;
+  no.target = 13;
+  no.numbers = {4, 4, 4, 4, 4, 6};
+  for (const auto& [name, inst] :
+       {std::pair<const char*, ThreePartitionInstance>{"solvable", yes},
+        {"unsolvable", no}}) {
+    const LayeringHardnessReduction red = build_layering_hardness(inst);
+    const bool solvable = solve_three_partition(inst).has_value();
+    const bool feasible = red.feasible_layering_exists();
+    ctx.check(solvable == feasible,
+              std::string("layering feasibility agrees with 3-partition "
+                          "on the ") +
+                  name + " instance");
+    e1.row(name, red.phases, inst.target, solvable ? "yes" : "no",
+           feasible ? "yes" : "no", solvable == feasible ? "yes" : "NO",
+           red.dag.num_nodes());
+  }
+  for (std::uint64_t seed = 0; seed < 3; ++seed) {
+    const auto inst = random_solvable_three_partition(3, 16, seed);
+    const LayeringHardnessReduction red = build_layering_hardness(inst);
+    const bool feasible = red.feasible_layering_exists();
+    ctx.check(feasible, "random solvable instance admits a good layering "
+                        "at seed=" +
+                            std::to_string(seed));
+    e1.row("random solvable", red.phases, inst.target, "yes",
+           feasible ? "yes" : "no", feasible ? "yes" : "NO",
+           red.dag.num_nodes());
   }
   e1.print();
   std::cout << "Even with an oracle for fixed layerings, picking the "
                "layering is NP-hard (Theorem E.1).\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("thm52_layerwise")

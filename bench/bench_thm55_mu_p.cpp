@@ -3,6 +3,7 @@
 // the exact μ_p search expands a rapidly growing state space — and list
 // scheduling (the natural heuristic) misjudges feasibility.
 
+#include <cstring>
 #include <iostream>
 
 #include "bench_util.hpp"
@@ -16,16 +17,21 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_thm55_mu_p — Theorem 5.5: computing mu_p is hard even "
-               "where mu is polynomial\n";
-
+HP_BENCH_CASE(level_order_reduction,
+              "Thm 5.5: mu_p hits the target exactly on solvable "
+              "3-partition instances and exceeds it on unsolvable ones") {
   bench::banner(
       "3-partition construction (level-order DAG): mu via Coffman-Graham "
       "vs exact mu_p search");
-  bench::Table table({"instance", "n", "target", "mu (CG)", "CG ms",
-                      "mu_p exact", "states expanded", "mu_p ms",
-                      "list-sched mu_p"});
+  auto table = ctx.table({{"instance", "instance"},
+                          {"n", "n"},
+                          {"target", "target"},
+                          {"mu", "mu (CG)"},
+                          {"cg_ms", "CG ms"},
+                          {"mu_p", "mu_p exact"},
+                          {"states", "states expanded"},
+                          {"mu_p_ms", "mu_p ms"},
+                          {"list_mu_p", "list-sched mu_p"}});
   struct Case {
     const char* name;
     ThreePartitionInstance inst;
@@ -57,6 +63,17 @@ int main() {
     Timer mu_p_timer;
     const auto mu_p = exact_fixed_makespan(mp.dag, mp.partition);
     const double mu_p_ms = mu_p_timer.millis();
+    if (ctx.check(mu_p.has_value(),
+                  std::string("mu_p search completes on ") + name)) {
+      const bool solvable = std::strncmp(name, "solvable", 8) == 0;
+      if (solvable) {
+        ctx.check(mu_p->makespan == mp.target_makespan,
+                  std::string("mu_p meets the target on ") + name);
+      } else {
+        ctx.check(mu_p->makespan > mp.target_makespan,
+                  std::string("mu_p exceeds the target on ") + name);
+      }
+    }
     table.row(name, mp.dag.num_nodes(), mp.target_makespan, mu, cg_ms,
               mu_p ? mu_p->makespan : 0,
               mu_p ? mu_p->states_expanded : 0, mu_p_ms,
@@ -65,27 +82,48 @@ int main() {
   table.print();
   std::cout << "mu always meets the trivial bound; mu_p hits the target "
                "exactly when the 3-partition instance is solvable.\n";
+}
 
+HP_BENCH_CASE(out_tree_variant,
+              "Thm 5.5: the out-tree variant keeps mu polynomial (Hu) "
+              "while mu_p still encodes 3-partition") {
   bench::banner("Out-tree variant (mu polynomial by Hu's algorithm)");
-  bench::Table tree({"instance", "out-forest", "mu (Hu)", "mu_p exact",
-                     "target"});
-  {
-    ThreePartitionInstance s1;
-    s1.target = 7;
-    s1.numbers = {2, 2, 3};
-    const MuPInstance mp = out_tree_mu_p_instance(s1);
-    const auto mu_p = exact_fixed_makespan(mp.dag, mp.partition);
-    tree.row("solvable t=1 b=7", is_out_forest(mp.dag) ? "yes" : "NO",
-             hu_makespan(mp.dag, 2), mu_p ? mu_p->makespan : 0,
-             mp.target_makespan);
+  auto tree = ctx.table({{"instance", "instance"},
+                         {"out_forest", "out-forest"},
+                         {"mu", "mu (Hu)"},
+                         {"mu_p", "mu_p exact"},
+                         {"target", "target"}});
+  ThreePartitionInstance s1;
+  s1.target = 7;
+  s1.numbers = {2, 2, 3};
+  const MuPInstance mp = out_tree_mu_p_instance(s1);
+  const bool forest = is_out_forest(mp.dag);
+  ctx.check(forest, "construction is an out-forest");
+  const auto mu_p = exact_fixed_makespan(mp.dag, mp.partition);
+  if (ctx.check(mu_p.has_value(), "mu_p search completes on the out-tree")) {
+    ctx.check(mu_p->makespan == mp.target_makespan,
+              "mu_p meets the target on the solvable out-tree instance");
   }
+  tree.row("solvable t=1 b=7", forest ? "yes" : "NO",
+           hu_makespan(mp.dag, 2), mu_p ? mu_p->makespan : 0,
+           mp.target_makespan);
   tree.print();
+}
 
+HP_BENCH_CASE(bounded_height,
+              "Thm 5.5: bounded-height (clique) construction — mu_p meets "
+              "the target iff the graph has the clique") {
   bench::banner(
       "Bounded-height construction (clique): search effort grows with the "
       "graph while the DAG height stays 4");
-  bench::Table clique({"graph", "clique size L", "has clique", "n",
-                       "mu_p exact", "target", "states", "ms"});
+  auto clique = ctx.table({{"graph", "graph"},
+                           {"clique_size", "clique size L"},
+                           {"has_clique", "has clique"},
+                           {"n", "n"},
+                           {"mu_p", "mu_p exact"},
+                           {"target", "target"},
+                           {"states", "states"},
+                           {"wall_ms", "ms"}});
   struct G {
     const char* name;
     ColoringInstance g;
@@ -106,13 +144,22 @@ int main() {
   }
   for (const auto& [name, g, size] : graphs) {
     const MuPInstance mp = bounded_height_mu_p_instance(g, size);
+    const bool clique_present = has_clique(g, size);
     Timer timer;
     const auto mu_p = exact_fixed_makespan(mp.dag, mp.partition);
-    clique.row(name, size, has_clique(g, size) ? "yes" : "no",
+    if (ctx.check(mu_p.has_value(),
+                  std::string("mu_p search completes on ") + name)) {
+      ctx.check((mu_p->makespan <= mp.target_makespan) == clique_present,
+                std::string("mu_p feasibility agrees with clique "
+                            "existence on ") +
+                    name);
+    }
+    clique.row(name, size, clique_present ? "yes" : "no",
                mp.dag.num_nodes(), mu_p ? mu_p->makespan : 0,
                mp.target_makespan, mu_p ? mu_p->states_expanded : 0,
                timer.millis());
   }
   clique.print();
-  return 0;
 }
+
+HP_BENCH_MAIN("thm55_mu_p")

@@ -14,13 +14,17 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_thm64_ovp — Theorem 6.4: OVP -> multi-constraint "
-               "partitioning\n";
-
+HP_BENCH_CASE(correctness_sweep,
+              "Thm 6.4: cost-0 feasibility of the OVP construction agrees "
+              "with orthogonal-pair existence") {
   bench::banner("Correctness sweep: cost-0 feasible <=> orthogonal pair");
-  bench::Table sweep({"m", "D", "density", "orthogonal pair",
-                      "cost-0 feasible", "agree", "decide ms"});
+  auto sweep = ctx.table({{"m", "m"},
+                          {"dims", "D"},
+                          {"density", "density"},
+                          {"has_pair", "orthogonal pair"},
+                          {"cost0", "cost-0 feasible"},
+                          {"agree", "agree"},
+                          {"decide_ms", "decide ms"}});
   for (std::uint64_t seed = 0; seed < 6; ++seed) {
     const std::uint32_t m = 4 + static_cast<std::uint32_t>(seed % 3);
     const OvpInstance inst = random_ovp(m, 5, 0.45, seed);
@@ -32,29 +36,49 @@ int main() {
     const bool feasible =
         xp_partition(red.graph, red.balance, 0.0, opts).status ==
         XpStatus::kSolved;
+    ctx.check(has_pair == feasible,
+              "cost-0 feasibility agrees with OVP at seed=" +
+                  std::to_string(seed));
     sweep.row(m, 5, 0.45, has_pair ? "yes" : "no", feasible ? "yes" : "no",
               has_pair == feasible ? "yes" : "NO", timer.millis());
   }
   sweep.print();
+}
 
+HP_BENCH_CASE(construction_size,
+              "Thm 6.4: the construction has n = Theta(m*D) nodes and only "
+              "c = D + O(1) constraint groups") {
   bench::banner(
       "Construction size: n = Θ(m·D), c = D + O(1) — the constraint count "
       "needed is only ω(log n)");
-  bench::Table size({"m", "D", "nodes n", "groups c", "build ms"});
+  auto size = ctx.table({{"m", "m"},
+                         {"dims", "D"},
+                         {"nodes", "nodes n"},
+                         {"groups", "groups c"},
+                         {"build_ms", "build ms"}});
   for (const std::uint32_t m : {8u, 16u, 32u, 64u}) {
     const std::uint32_t dims = 8;
     const OvpInstance inst = random_ovp(m, dims, 0.5, m);
     Timer timer;
     const OvpReduction red = build_ovp_reduction(inst);
+    ctx.check(red.constraints.num_constraints() <= dims + 4,
+              "constraint count stays D + O(1) at m=" + std::to_string(m));
     size.row(m, dims, red.graph.num_nodes(),
              red.constraints.num_constraints(), timer.millis());
   }
   size.print();
+}
 
+HP_BENCH_CASE(quadratic_barrier,
+              "Thm 6.4: the direct OVP check runs Theta(m^2 * D) pair "
+              "checks — the SETH barrier the reduction transfers") {
   bench::banner(
       "Direct OVP check is Θ(m²·D): the quadratic barrier any "
       "finite-factor subquadratic partitioning algorithm would break");
-  bench::Table quad({"m", "D", "pair checks ~ m²/2", "solve ms"});
+  auto quad = ctx.table({{"m", "m"},
+                         {"dims", "D"},
+                         {"pair_checks", "pair checks ~ m²/2"},
+                         {"solve_ms", "solve ms"}});
   for (const std::uint32_t m : {200u, 400u, 800u, 1600u}) {
     const std::uint32_t dims = 24;
     const OvpInstance inst = random_ovp(m, dims, 0.65, m);
@@ -66,5 +90,6 @@ int main() {
   std::cout << "Time roughly quadruples as m doubles — the SETH-hard "
                "quadratic shape the reduction transfers to partitioning "
                "with c = omega(log n) groups.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("thm64_ovp")

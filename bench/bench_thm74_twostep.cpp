@@ -19,8 +19,8 @@ using namespace hp;
 
 namespace {
 
-void figure9_row(bench::Table& table, PartId b1, PartId b2, double g1,
-                 std::uint32_t m) {
+void figure9_row(hp::bench::CaseContext& ctx, hp::bench::CaseTable& table,
+                 PartId b1, PartId b2, double g1, std::uint32_t m) {
   const PartId k = b1 * b2;
   const std::uint32_t unit = 3 * (k - 1);
   const Fig9Construction fig = build_fig9(b1, b2, g1, unit, m);
@@ -31,6 +31,12 @@ void figure9_row(bench::Table& table, PartId b1, PartId b2, double g1,
                                     fig.topology);
   const double ratio = two_step.hierarchical_cost / hier_opt;
   const double predicted = g1 * static_cast<double>(b1 - 1) / b1;
+  ctx.check(ratio <= g1 + 1e-9,
+            "two-step ratio within the g1 cap (Lemma 7.3) at b1=" +
+                std::to_string(b1) + " g1=" + std::to_string(g1));
+  ctx.check(ratio + 1e-9 >= predicted * 0.9,
+            "two-step ratio tracks (b1-1)/b1*g1 (Thm 7.4) at b1=" +
+                std::to_string(b1) + " g1=" + std::to_string(g1));
   table.row(b1, b2, g1, m,
             cost(fig.graph, fig.standard_optimal,
                  CostMetric::kConnectivity),
@@ -39,30 +45,48 @@ void figure9_row(bench::Table& table, PartId b1, PartId b2, double g1,
 
 }  // namespace
 
-int main() {
-  std::cout << "bench_thm74_twostep — Theorem 7.4 / Figure 9: the price of "
-               "ignoring the hierarchy\n";
-
+HP_BENCH_CASE(g1_sweep,
+              "Thm 7.4 / Lemma 7.3: two-step ratio tracks (b1-1)/b1*g1 and "
+              "never exceeds g1 as g1 grows") {
   bench::banner("Sweep over g1 (b1 = b2 = 2, m = 200)");
-  bench::Table g1_table({"b1", "b2", "g1", "m", "std cut", "two-step hier",
-                         "hier OPT", "ratio", "(b1-1)/b1*g1 predicted",
-                         "g1 cap (Lemma 7.3)"});
+  auto g1_table = ctx.table({{"b1", "b1"},
+                             {"b2", "b2"},
+                             {"g1", "g1"},
+                             {"m", "m"},
+                             {"std_cut", "std cut"},
+                             {"twostep_hier", "two-step hier"},
+                             {"hier_opt", "hier OPT"},
+                             {"ratio", "ratio"},
+                             {"predicted", "(b1-1)/b1*g1 predicted"},
+                             {"g1_cap", "g1 cap (Lemma 7.3)"}});
   for (const double g1 : {2.0, 4.0, 8.0, 16.0, 32.0}) {
-    figure9_row(g1_table, 2, 2, g1, 200);
+    figure9_row(ctx, g1_table, 2, 2, g1, 200);
   }
   g1_table.print();
+}
 
+HP_BENCH_CASE(b1_sweep,
+              "Thm 7.4: as b1 grows the lower-bound construction closes in "
+              "on the g1 upper bound") {
   bench::banner("Sweep over b1 (g1 = 12, m = 200)");
-  bench::Table b1_table({"b1", "b2", "g1", "m", "std cut", "two-step hier",
-                         "hier OPT", "ratio", "(b1-1)/b1*g1 predicted",
-                         "g1 cap (Lemma 7.3)"});
+  auto b1_table = ctx.table({{"b1", "b1"},
+                             {"b2", "b2"},
+                             {"g1", "g1"},
+                             {"m", "m"},
+                             {"std_cut", "std cut"},
+                             {"twostep_hier", "two-step hier"},
+                             {"hier_opt", "hier OPT"},
+                             {"ratio", "ratio"},
+                             {"predicted", "(b1-1)/b1*g1 predicted"},
+                             {"g1_cap", "g1 cap (Lemma 7.3)"}});
   for (const PartId b1 : {2u, 3u, 4u}) {
-    figure9_row(b1_table, b1, 2, 12.0, 200);
+    figure9_row(ctx, b1_table, b1, 2, 12.0, 200);
   }
   b1_table.print();
   std::cout
       << "The measured ratio tracks (b1-1)/b1 * g1 (the Theorem 7.4 lower "
          "bound construction) and never exceeds g1 (the Lemma 7.3 upper "
          "bound); as b1 grows, the two bounds meet.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("thm74_twostep")

@@ -16,13 +16,14 @@
 
 using namespace hp;
 
-int main() {
-  std::cout << "bench_thm75_assignment — Theorem 7.5 / Appendix H: "
-               "hierarchy assignment\n";
-
+HP_BENCH_CASE(assignment_count,
+              "App H.1: f(k), the count of non-equivalent assignments, "
+              "grows exponentially in k") {
   bench::banner("f(k): non-equivalent assignments (Appendix H.1)");
-  bench::Table fk({"topology", "k", "f(k)"});
-  fk.row("2x2", 4, count_nonequivalent_assignments({{2, 2}, {2.0, 1.0}}));
+  auto fk = ctx.table({{"topology", "topology"}, {"k", "k"}, {"fk", "f(k)"}});
+  const auto f22 = count_nonequivalent_assignments({{2, 2}, {2.0, 1.0}});
+  fk.row("2x2", 4, f22);
+  ctx.check(f22 == 3, "f(2x2) == 3 (the hand-countable base case)");
   fk.row("3x2", 6, count_nonequivalent_assignments({{3, 2}, {2.0, 1.0}}));
   fk.row("4x2", 8, count_nonequivalent_assignments({{4, 2}, {2.0, 1.0}}));
   fk.row("2x2x2", 8,
@@ -30,12 +31,20 @@ int main() {
   fk.row("5x2", 10, count_nonequivalent_assignments({{5, 2}, {2.0, 1.0}}));
   fk.row("3x3", 9, count_nonequivalent_assignments({{3, 3}, {2.0, 1.0}}));
   fk.print();
+}
 
+HP_BENCH_CASE(matching_exact,
+              "Lemma H.1 (b2 = 2): the matching assignment equals the "
+              "exact enumeration on every instance") {
   bench::banner(
       "Lemma H.1 (b2 = 2): matching is exact, enumeration-free (random "
       "contracted multi-hypergraphs)");
-  bench::Table b2_table({"k", "exact cost", "matching cost", "agree",
-                         "exact ms", "matching ms"});
+  auto b2_table = ctx.table({{"k", "k"},
+                             {"exact_cost", "exact cost"},
+                             {"matching_cost", "matching cost"},
+                             {"agree", "agree"},
+                             {"exact_ms", "exact ms"},
+                             {"matching_ms", "matching ms"}});
   for (const PartId b1 : {2u, 3u, 4u, 5u}) {
     const HierTopology topo{{b1, 2}, {6.0, 1.0}};
     const PartId k = topo.num_leaves();
@@ -47,16 +56,24 @@ int main() {
     Timer match_timer;
     const AssignmentResult matched = matching_assignment(contracted, topo);
     const double match_ms = match_timer.millis();
-    b2_table.row(k, exact.cost, matched.cost,
-                 std::abs(exact.cost - matched.cost) < 1e-9 ? "yes" : "NO",
+    const bool agree = std::abs(exact.cost - matched.cost) < 1e-9;
+    ctx.check(agree, "matching cost equals exact enumeration at k=" +
+                         std::to_string(k));
+    b2_table.row(k, exact.cost, matched.cost, agree ? "yes" : "NO",
                  exact_ms, match_ms);
   }
   b2_table.print();
+}
 
+HP_BENCH_CASE(matching_scaling,
+              "Lemma H.1: blossom matching scales polynomially where "
+              "enumeration (f(k) ~ k!/2^(k/2)) explodes") {
   bench::banner(
       "Blossom matching scales polynomially where enumeration explodes "
       "(f(k) ~ k!/2^(k/2))");
-  bench::Table scale({"k", "f(k) assignments", "blossom ms"});
+  auto scale = ctx.table({{"k", "k"},
+                          {"fk", "f(k) assignments"},
+                          {"blossom_ms", "blossom ms"}});
   for (const PartId b1 : {8u, 16u, 32u, 64u}) {
     const HierTopology topo{{b1, 2}, {6.0, 1.0}};
     const PartId k = topo.num_leaves();
@@ -70,12 +87,21 @@ int main() {
               timer.millis());
   }
   scale.print();
+}
 
+HP_BENCH_CASE(three_dm_hardness,
+              "Lemma H.2 (b2 = 3): the exact assignment decides perfect "
+              "3D matchings through the reduction") {
   bench::banner(
       "Lemma H.2 (b2 = 3): the 3DM reduction — exact assignment decides "
       "perfect matchings; local search can miss");
-  bench::Table b3_table({"q", "triples", "perfect 3DM", "exact <= thr",
-                         "agree", "LS gap (best of 3 seeds)", "exact ms"});
+  auto b3_table = ctx.table({{"q", "q"},
+                             {"triples", "triples"},
+                             {"perfect_3dm", "perfect 3DM"},
+                             {"exact_below", "exact <= thr"},
+                             {"agree", "agree"},
+                             {"ls_gap", "LS gap (best of 3 seeds)"},
+                             {"exact_ms", "exact ms"}});
   for (std::uint64_t seed = 0; seed < 4; ++seed) {
     const bool plant = seed % 2 == 0;
     const ThreeDMInstance inst =
@@ -93,6 +119,11 @@ int main() {
     }
     const bool matching = has_perfect_matching(inst);
     const bool decided = exact.cost <= red.cost_threshold;
+    ctx.check(matching == decided,
+              "exact assignment decides 3DM at seed=" + std::to_string(seed));
+    ctx.check(best_ls + 1e-9 >= exact.cost,
+              "local search never beats the exact optimum at seed=" +
+                  std::to_string(seed));
     b3_table.row(inst.q, inst.triples.size(), matching ? "yes" : "no",
                  decided ? "yes" : "no", matching == decided ? "yes" : "NO",
                  best_ls - exact.cost, exact_ms);
@@ -100,5 +131,6 @@ int main() {
   b3_table.print();
   std::cout << "b2 = 2 stays polynomial (Edmonds-style matching); b2 = 3 "
                "already encodes 3-dimensional matching.\n";
-  return 0;
 }
+
+HP_BENCH_MAIN("thm75_assignment")

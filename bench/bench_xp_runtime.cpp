@@ -12,17 +12,37 @@
 
 using namespace hp;
 
-namespace {
-
-void sweep_budget() {
+HP_BENCH_CASE(budget_sweep,
+              "Lemma 4.3: configurations checked grow exponentially in the "
+              "cost budget L (W[1]-hardness shape)") {
   bench::banner("Fixed instance (n=14, m=12, k=2): runtime vs budget L");
   const Hypergraph g = random_hypergraph(14, 12, 2, 4, 3);
   const auto balance = BalanceConstraint::for_graph(g, 2, 0.3, true);
-  bench::Table table({"L", "status", "best cost", "configurations",
-                      "time ms"});
+  auto table = ctx.table({{"budget", "L"},
+                          {"status", "status"},
+                          {"best_cost", "best cost"},
+                          {"configurations", "configurations"},
+                          {"wall_ms", "time ms"}});
+  std::uint64_t prev_configs = 0;
+  bool prev_solved = false;
   for (const double budget : {0.0, 1.0, 2.0, 3.0, 4.0, 5.0, 6.0}) {
     Timer timer;
     const XpResult res = xp_partition(g, balance, budget);
+    ctx.check(res.status != XpStatus::kBudgetExceeded,
+              "XP search completes at L=" + std::to_string(budget));
+    // Once a budget admits a solution, every larger budget must too; the
+    // raw configuration count is only monotone while unsolved (after a
+    // solve, the incumbent prunes the search).
+    if (prev_solved) {
+      ctx.check(res.status == XpStatus::kSolved,
+                "solvability monotone in L at L=" + std::to_string(budget));
+    } else {
+      ctx.check(res.configurations_checked >= prev_configs,
+                "configurations grow while unsolved at L=" +
+                    std::to_string(budget));
+    }
+    prev_solved = prev_solved || res.status == XpStatus::kSolved;
+    prev_configs = res.configurations_checked;
     table.row(budget,
               res.status == XpStatus::kSolved
                   ? "solved"
@@ -36,14 +56,21 @@ void sweep_budget() {
                "the W[1]-hardness (Lemma 4.3) predicts.\n";
 }
 
-void sweep_size() {
+HP_BENCH_CASE(size_sweep,
+              "Lemma 4.3: for fixed L the XP work is polynomial in the "
+              "instance size (~ m^L configurations)") {
   bench::banner("Fixed budget L = 2, k = 2: runtime vs instance size");
-  bench::Table table({"n", "m", "configurations", "time ms"});
+  auto table = ctx.table({{"n", "n"},
+                          {"m", "m"},
+                          {"configurations", "configurations"},
+                          {"wall_ms", "time ms"}});
   for (const NodeId n : {10u, 20u, 40u, 80u, 160u}) {
     const Hypergraph g = random_hypergraph(n, n, 2, 4, n);
     const auto balance = BalanceConstraint::for_graph(g, 2, 0.3, true);
     Timer timer;
     const XpResult res = xp_partition(g, balance, 2.0);
+    ctx.check(res.status != XpStatus::kBudgetExceeded,
+              "XP search completes at n=" + std::to_string(n));
     table.row(n, g.num_edges(), res.configurations_checked, timer.millis());
   }
   table.print();
@@ -51,11 +78,16 @@ void sweep_size() {
                "configurations, each a linear-time contraction + DP).\n";
 }
 
-void multiconstraint_dimension() {
+HP_BENCH_CASE(multiconstraint_dimension,
+              "App D.2: the multi-constraint DP stays XP as the number of "
+              "constraint groups c grows for fixed n and L") {
   bench::banner(
       "Appendix D.2: multi-constraint DP — runtime vs number of groups c "
       "(fixed n = 16, L = 1)");
-  bench::Table table({"c (groups)", "configurations", "time ms", "status"});
+  auto table = ctx.table({{"groups", "c (groups)"},
+                          {"configurations", "configurations"},
+                          {"wall_ms", "time ms"},
+                          {"status", "status"}});
   const Hypergraph g = random_hypergraph(16, 10, 2, 3, 9);
   const auto balance = BalanceConstraint::for_graph(g, 2, 1.0, true);
   for (const std::uint32_t c : {1u, 2u, 4u, 8u}) {
@@ -67,19 +99,12 @@ void multiconstraint_dimension() {
     opts.extra_constraints = &cs;
     Timer timer;
     const XpResult res = xp_partition(g, balance, 1.0, opts);
+    ctx.check(res.status != XpStatus::kBudgetExceeded,
+              "DP completes at c=" + std::to_string(c));
     table.row(c, res.configurations_checked, timer.millis(),
               res.status == XpStatus::kSolved ? "solved" : "no solution");
   }
   table.print();
 }
 
-}  // namespace
-
-int main() {
-  std::cout << "bench_xp_runtime — Lemma 4.3: the XP algorithm's n^f(L) "
-               "scaling\n";
-  sweep_budget();
-  sweep_size();
-  multiconstraint_dimension();
-  return 0;
-}
+HP_BENCH_MAIN("xp_runtime")

@@ -1,0 +1,74 @@
+// Fault-injection bench for the hyperexp orchestrator tests. Speaks the
+// full bench-harness protocol (--list / --case / --json / --smoke) via
+// bench_util, but its cases misbehave on purpose:
+//
+//   ok           succeeds immediately
+//   count_runs   succeeds and appends one byte to $HYPEREXP_FIXTURE_STATE/
+//                count_runs — the resume test asserts the file stops growing
+//   crash_once   SIGABRTs on the first attempt (state file marks the
+//                attempt), succeeds on the retry
+//   always_crash SIGABRTs on every attempt
+//   clean_fail   fails a check and exits 1 without crashing — must NOT be
+//                retried by the orchestrator
+//   hang         sleeps far past any test timeout — must be killed
+//
+// Stateful cases keep their marker files under $HYPEREXP_FIXTURE_STATE
+// (falling back to the working directory, which hyperexp sets to the
+// output directory).
+
+#include <chrono>
+#include <cstdlib>
+#include <fstream>
+#include <string>
+#include <thread>
+
+#include "bench_util.hpp"
+
+namespace {
+
+std::string state_path(const std::string& leaf) {
+  const char* dir = std::getenv("HYPEREXP_FIXTURE_STATE");
+  return (dir != nullptr ? std::string(dir) + "/" : std::string()) + leaf;
+}
+
+bool exists(const std::string& path) {
+  return std::ifstream(path).good();
+}
+
+void append_byte(const std::string& path) {
+  std::ofstream(path, std::ios::app) << "x";
+}
+
+}  // namespace
+
+HP_BENCH_CASE(ok, "fixture: succeeds immediately") {
+  ctx.check(true, "trivial check");
+}
+
+HP_BENCH_CASE(count_runs, "fixture: counts its executions in a state file") {
+  append_byte(state_path("count_runs"));
+  ctx.check(true, "counted one execution");
+}
+
+HP_BENCH_CASE(crash_once, "fixture: crashes on the first attempt only") {
+  const std::string marker = state_path("crash_once.attempted");
+  if (!exists(marker)) {
+    append_byte(marker);
+    std::abort();
+  }
+  ctx.check(true, "survived the retry");
+}
+
+HP_BENCH_CASE(always_crash, "fixture: crashes on every attempt") {
+  std::abort();
+}
+
+HP_BENCH_CASE(clean_fail, "fixture: deterministic check failure, exit 1") {
+  ctx.check(false, "intentional failure");
+}
+
+HP_BENCH_CASE(hang, "fixture: sleeps past any reasonable timeout") {
+  std::this_thread::sleep_for(std::chrono::seconds(600));
+}
+
+HP_BENCH_MAIN("fixture")

@@ -61,7 +61,9 @@ TEST(Bnb, NodeBudgetFlagsNonOptimal) {
   BnbOptions opts;
   opts.max_nodes = 50;
   const auto res = branch_and_bound_partition(g, balance, opts);
-  if (res) EXPECT_FALSE(res->proven_optimal);
+  if (res) {
+    EXPECT_FALSE(res->proven_optimal);
+  }
 }
 
 TEST(Bnb, WeightedNodesRespectCapacity) {

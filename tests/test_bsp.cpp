@@ -66,7 +66,7 @@ TEST(Bsp, TotalValuesEqualConnectivityCost) {
 TEST(Bsp, InvalidScheduleRejected) {
   const Dag d = chain_dag(3);
   Schedule bad{{0, 0, 0}, {1, 1, 2}};
-  EXPECT_THROW(bsp_cost(d, bad, 2, {}), std::invalid_argument);
+  EXPECT_THROW((void)bsp_cost(d, bad, 2, {}), std::invalid_argument);
 }
 
 TEST(Bsp, LatencyCountsSupersteps) {

@@ -1,0 +1,137 @@
+// End-to-end tests for the hyperexp orchestrator against the
+// fault-injection fixture bench (hyperexp_fixture.cpp): timeouts are
+// killed and retried, crashes are retried and logged, deterministic
+// failures are not retried, and a rerun resumes every job from its
+// checkpoint without re-executing anything.
+//
+// HYPEREXP_BIN / HYPEREXP_FIXTURE_BIN are injected by CMake as the built
+// binaries' paths.
+
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "hyperpart/obs/json.hpp"
+
+namespace fs = std::filesystem;
+namespace json = hp::obs::json;
+
+namespace {
+
+/// Scratch layout shared by all tests in the suite: a fake bench dir
+/// holding the fixture as bench_fixture, a state dir for the fixture's
+/// attempt markers, and hyperexp's output dir.
+class HyperexpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = fs::temp_directory_path() /
+            ("hyperexp_test_" + std::to_string(::getpid()) + "_" +
+             ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::remove_all(root_);
+    fs::create_directories(root_ / "bench");
+    fs::create_directories(root_ / "state");
+    fs::create_symlink(HYPEREXP_FIXTURE_BIN, root_ / "bench" / "bench_fixture");
+    ::setenv("HYPEREXP_FIXTURE_STATE", (root_ / "state").c_str(), 1);
+  }
+
+  void TearDown() override { fs::remove_all(root_); }
+
+  /// Run hyperexp over the fixture bench dir; returns its exit code.
+  int run_hyperexp() {
+    const std::string cmd = std::string(HYPEREXP_BIN) + " --bench-dir " +
+                            (root_ / "bench").string() + " --out " +
+                            (root_ / "out").string() +
+                            " --timeout 1 --retries 1 --jobs 1 > " +
+                            (root_ / "hyperexp.log").string() + " 2>&1";
+    const int status = std::system(cmd.c_str());
+    return WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  }
+
+  json::Value merged_report() const {
+    return json::parse_file((root_ / "out" / "BENCH_theorems.json").string());
+  }
+
+  /// The jobs[] entry for one fixture case.
+  static json::Value job_entry(const json::Value& report,
+                               const std::string& kase) {
+    const json::Value* jobs = report.find("jobs");
+    EXPECT_NE(jobs, nullptr);
+    for (const auto& job : jobs->as_array()) {
+      if (job.find("case")->as_string() == kase) return job;
+    }
+    ADD_FAILURE() << "no job entry for case " << kase;
+    return json::Value();
+  }
+
+  static std::int64_t num(const json::Value& job, const char* key) {
+    const json::Value* v = job.find(key);
+    EXPECT_NE(v, nullptr) << key;
+    return v == nullptr ? -1 : v->as_int();
+  }
+
+  std::uintmax_t count_runs_bytes() const {
+    std::error_code ec;
+    const auto size = fs::file_size(root_ / "state" / "count_runs", ec);
+    return ec ? 0 : size;
+  }
+
+  fs::path root_;
+};
+
+TEST_F(HyperexpTest, FaultMatrixAndResume) {
+  // First run: three of the six cases fail, so hyperexp exits 1.
+  ASSERT_EQ(run_hyperexp(), 1);
+  const json::Value report = merged_report();
+  EXPECT_EQ(report.find("schema")->as_string(), "hyperpart-bench-report");
+  EXPECT_EQ(report.find("total_jobs")->as_int(), 6);
+  EXPECT_EQ(report.find("failed_jobs")->as_int(), 3);
+
+  // The hanging case is killed at the 1 s timeout and retried once.
+  const json::Value hang = job_entry(report, "hang");
+  EXPECT_FALSE(hang.find("pass")->as_bool());
+  EXPECT_EQ(num(hang, "attempts"), 2);
+  EXPECT_EQ(num(hang, "timeouts"), 2);
+
+  // The crashing case is retried, then recorded with a failure log.
+  const json::Value crash = job_entry(report, "always_crash");
+  EXPECT_FALSE(crash.find("pass")->as_bool());
+  EXPECT_EQ(num(crash, "attempts"), 2);
+  const json::Value* log = crash.find("failure_log");
+  ASSERT_NE(log, nullptr);
+  EXPECT_TRUE(fs::exists(root_ / "out" / log->as_string()));
+
+  // A crash on the first attempt is recovered by the retry.
+  const json::Value flaky = job_entry(report, "crash_once");
+  EXPECT_TRUE(flaky.find("pass")->as_bool());
+  EXPECT_EQ(num(flaky, "attempts"), 2);
+
+  // A clean nonzero exit is a deterministic verdict: no retry.
+  const json::Value failed = job_entry(report, "clean_fail");
+  EXPECT_FALSE(failed.find("pass")->as_bool());
+  EXPECT_EQ(num(failed, "attempts"), 1);
+  EXPECT_EQ(num(failed, "timeouts"), 0);
+
+  EXPECT_TRUE(job_entry(report, "ok").find("pass")->as_bool());
+  EXPECT_TRUE(job_entry(report, "count_runs").find("pass")->as_bool());
+  ASSERT_EQ(count_runs_bytes(), 1u);
+
+  // Second run against the same output dir: every job — passed or failed —
+  // resumes from its checkpoint and nothing is re-executed.
+  ASSERT_EQ(run_hyperexp(), 1);
+  const json::Value rerun = merged_report();
+  EXPECT_EQ(rerun.find("failed_jobs")->as_int(), 3);
+  for (const char* kase :
+       {"ok", "count_runs", "crash_once", "always_crash", "clean_fail",
+        "hang"}) {
+    EXPECT_TRUE(job_entry(rerun, kase).find("resumed")->as_bool()) << kase;
+  }
+  EXPECT_EQ(count_runs_bytes(), 1u);
+}
+
+}  // namespace

@@ -4,6 +4,7 @@
 //   hyperbench_diff <baseline.json> <candidate.json>
 //       [--default-tol V] [--tol name=V] [--ignore name]
 //       [--ignore-suffix sfx] [--require-rows N] [--list]
+//       [--fail-nonzero field]
 //
 // Two input shapes are understood, sniffed from the document itself:
 //
@@ -24,6 +25,10 @@
 // (for CI gates that run only the quick/smoke subset of a full committed
 // baseline); --require-rows N additionally fails the run when fewer than
 // N metrics were compared, so an accidentally-empty join cannot pass.
+// --fail-nonzero F (repeatable) makes any candidate metric whose field name
+// is F and whose value is > 0 a regression on its own, independent of the
+// baseline — the gate for hard-failure counters (verdict "failures", job
+// "failed") that must be zero even on rows the baseline has never seen.
 //
 // Exit codes: 0 within tolerance, 1 regression (or empty join), 2 usage or
 // parse error.
@@ -51,7 +56,7 @@ namespace json = hp::obs::json;
       << "usage: hyperbench_diff <baseline.json> <candidate.json>\n"
          "         [--default-tol V] [--tol name=V] [--ignore name]\n"
          "         [--ignore-suffix sfx] [--require-rows N]\n"
-         "         [--allow-missing] [--list]\n";
+         "         [--allow-missing] [--list] [--fail-nonzero field]\n";
   std::exit(2);
 }
 
@@ -157,6 +162,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> files;
   std::map<std::string, double> tol;
   std::set<std::string> ignore;
+  std::set<std::string> fail_nonzero;
   std::vector<std::string> ignore_suffix;
   double default_tol = 0.0;
   std::uint64_t require_rows = 0;
@@ -194,6 +200,8 @@ int main(int argc, char** argv) {
       tol[spec.substr(0, eq)] = *v;
     } else if (arg == "--ignore") {
       ignore.insert(value());
+    } else if (arg == "--fail-nonzero") {
+      fail_nonzero.insert(value());
     } else if (arg == "--ignore-suffix") {
       ignore_suffix.push_back(value());
     } else if (arg == "--require-rows") {
@@ -264,6 +272,18 @@ int main(int argc, char** argv) {
       std::cout << "REGRESSION " << metric << ": " << base_value << " -> "
                 << cand_value << " (allowed <= " << base_value + slack
                 << ")\n";
+      ++regressions;
+    }
+  }
+
+  // --fail-nonzero scans the candidate side so rows absent from the
+  // baseline (new cases, new jobs) are still gated.
+  for (const auto& [metric, cand_value] : cand) {
+    if (fail_nonzero.count(field_of(metric)) == 0) continue;
+    ++compared;
+    if (cand_value > 0) {
+      std::cout << "NONZERO " << metric << ": " << cand_value
+                << " (must be 0)\n";
       ++regressions;
     }
   }

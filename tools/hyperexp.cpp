@@ -1,0 +1,741 @@
+// hyperexp — the experiment orchestrator.
+//
+// Discovers every harness bench (bench_* executables speaking the
+// bench_util protocol), expands each into its registered cases via
+// `--list`, and runs every (bench, case) pair as an isolated subprocess
+// job: own process group, stdout/stderr captured to a per-job log, a
+// wall-clock timeout enforced by SIGKILL on the whole group, and bounded
+// kill-and-retry on timeout or crash (a clean nonzero exit is a definitive
+// case failure and is not retried). Jobs are scheduled onto the repo's
+// persistent thread pool; each finished job writes a checkpoint
+// (<id>.done.json) so a rerun with the same output directory resumes and
+// re-executes nothing that already completed.
+//
+// Afterwards the per-job JSON reports merge into one schema-versioned
+// document (BENCH_theorems.json by default) containing every bench row,
+// the per-case verdict rows, and one per-job status row — the file the CI
+// theorem gate diffs against its committed baseline with hyperbench_diff.
+// `--emit-table` additionally regenerates the paper-vs-measured status
+// table in EXPERIMENTS.md between the hyperexp markers.
+//
+// Usage: hyperexp [options]
+//   --bench-dir DIR   directory to scan for bench_* executables
+//                     (default: <exe dir>/../bench)
+//   --out DIR         output/checkpoint directory (default: hyperexp-out)
+//   --merged PATH     merged report path (default: <out>/BENCH_theorems.json)
+//   --smoke           pass --smoke to every bench case
+//   --telemetry       capture per-job telemetry (<id>.telemetry.json)
+//   --jobs N          concurrent jobs (default: hardware threads)
+//   --timeout SEC     per-attempt wall-clock timeout (default: 900)
+//   --retries N       extra attempts after a timeout/crash (default: 2)
+//   --bench NAME      run only this bench (repeatable; with or without
+//                     the bench_ prefix)
+//   --list            print the discovered jobs and exit
+//   --emit-table FILE rewrite the status table between the
+//                     "<!-- hyperexp:begin -->" / "<!-- hyperexp:end -->"
+//                     markers in FILE from the merged report
+//
+// Exit codes: 0 all jobs passed, 1 at least one job failed, 2 usage or
+// I/O error.
+
+#include <fcntl.h>
+#include <signal.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstdint>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hyperpart/obs/json.hpp"
+#include "hyperpart/util/thread_pool.hpp"
+#include "hyperpart/util/timer.hpp"
+
+namespace fs = std::filesystem;
+namespace json = hp::obs::json;
+
+namespace {
+
+constexpr const char* kReportSchema = "hyperpart-bench-report";
+constexpr int kReportSchemaVersion = 1;
+constexpr const char* kTableBegin = "<!-- hyperexp:begin -->";
+constexpr const char* kTableEnd = "<!-- hyperexp:end -->";
+
+struct Options {
+  std::string bench_dir;
+  std::string out_dir = "hyperexp-out";
+  std::string merged_path;  // default <out>/BENCH_theorems.json
+  bool smoke = false;
+  bool telemetry = false;
+  bool list_only = false;
+  unsigned jobs = hp::default_threads();
+  double timeout_sec = 900.0;
+  int retries = 2;
+  std::vector<std::string> bench_filter;
+  std::string emit_table;
+};
+
+[[noreturn]] void usage(int code) {
+  std::cerr
+      << "usage: hyperexp [--bench-dir DIR] [--out DIR] [--merged PATH]\n"
+         "                [--smoke] [--telemetry] [--jobs N] [--timeout "
+         "SEC]\n"
+         "                [--retries N] [--bench NAME]... [--list]\n"
+         "                [--emit-table FILE]\n";
+  std::exit(code);
+}
+
+/// A single schedulable unit: one registered case of one bench binary.
+struct Job {
+  std::string bench;  // bench name without the bench_ prefix
+  std::string kase;   // registered case name
+  std::string claim;  // one-line paper claim from --list
+  fs::path exe;       // bench executable
+
+  [[nodiscard]] std::string id() const { return bench + "." + kase; }
+};
+
+/// Outcome of one job after its attempt loop (or loaded from checkpoint).
+struct JobResult {
+  Job job;
+  int attempts = 0;
+  int timeouts = 0;
+  int exit_code = -1;  // last attempt's exit code; -1 = killed by signal
+  bool failed = true;
+  bool resumed = false;  // true when loaded from a checkpoint
+  double wall_ms = 0.0;  // last attempt's wall time
+  std::vector<std::string> failure_log;  // one line per failed attempt
+};
+
+std::mutex g_print_mutex;
+
+void say(const std::string& line) {
+  const std::lock_guard<std::mutex> lock(g_print_mutex);
+  std::cout << line << "\n";
+}
+
+fs::path self_exe_dir() {
+  std::error_code ec;
+  const fs::path p = fs::read_symlink("/proc/self/exe", ec);
+  if (ec) return fs::current_path();
+  return p.parent_path();
+}
+
+/// Run `exe args...` capturing stdout, with a hard timeout. Used for the
+/// cheap discovery calls (--list), not for jobs.
+std::optional<std::string> run_capture(const fs::path& exe,
+                                       const std::vector<std::string>& args,
+                                       double timeout_sec) {
+  int pipefd[2];
+  if (pipe(pipefd) != 0) return std::nullopt;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(pipefd[0]);
+    close(pipefd[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    setpgid(0, 0);
+    close(pipefd[0]);
+    dup2(pipefd[1], STDOUT_FILENO);
+    close(pipefd[1]);
+    std::vector<char*> argv;
+    std::string exe_s = exe.string();
+    argv.push_back(exe_s.data());
+    std::vector<std::string> copy = args;
+    for (auto& a : copy) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(exe_s.c_str(), argv.data());
+    _exit(127);
+  }
+  close(pipefd[1]);
+  std::string out;
+  char buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_sec);
+  // The pipe read naturally ends when the child exits; the deadline guards
+  // a child that hangs without closing stdout.
+  const int fd = pipefd[0];
+  fcntl(fd, F_SETFL, O_NONBLOCK);
+  bool timed_out = false;
+  for (;;) {
+    const ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      out.append(buf, static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n == 0) break;  // EOF
+    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
+    if (std::chrono::steady_clock::now() > deadline) {
+      timed_out = true;
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  close(fd);
+  if (timed_out) kill(-pid, SIGKILL);
+  int status = 0;
+  waitpid(pid, &status, 0);
+  if (timed_out || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+    return std::nullopt;
+  }
+  return out;
+}
+
+/// Scan bench_dir for bench_* executables and expand each into its cases.
+std::vector<Job> discover_jobs(const Options& opt, const fs::path& bench_dir) {
+  std::vector<Job> jobs;
+  std::vector<fs::path> exes;
+  std::error_code ec;
+  for (const auto& entry : fs::directory_iterator(bench_dir, ec)) {
+    if (!entry.is_regular_file()) continue;
+    const std::string name = entry.path().filename().string();
+    if (name.rfind("bench_", 0) != 0) continue;
+    if (name.find('.') != std::string::npos) continue;  // skip foo.json etc.
+    if (access(entry.path().c_str(), X_OK) != 0) continue;
+    exes.push_back(entry.path());
+  }
+  if (ec) {
+    std::cerr << "error: cannot scan bench dir " << bench_dir << ": "
+              << ec.message() << "\n";
+    std::exit(2);
+  }
+  std::sort(exes.begin(), exes.end());
+
+  for (const fs::path& exe : exes) {
+    const std::string file = exe.filename().string();
+    const std::string bench = file.substr(std::strlen("bench_"));
+    if (!opt.bench_filter.empty()) {
+      const bool wanted =
+          std::any_of(opt.bench_filter.begin(), opt.bench_filter.end(),
+                      [&](const std::string& f) {
+                        return f == bench || f == file;
+                      });
+      if (!wanted) continue;
+    }
+    const auto listing = run_capture(exe, {"--list"}, 60.0);
+    if (!listing) {
+      std::cerr << "error: " << file << " does not answer --list "
+                << "(not a harness bench?)\n";
+      std::exit(2);
+    }
+    std::istringstream lines(*listing);
+    std::string line;
+    while (std::getline(lines, line)) {
+      if (line.empty()) continue;
+      const auto tab = line.find('\t');
+      Job job;
+      job.bench = bench;
+      job.kase = line.substr(0, tab);
+      job.claim = tab == std::string::npos ? "" : line.substr(tab + 1);
+      job.exe = exe;
+      jobs.push_back(std::move(job));
+    }
+  }
+  return jobs;
+}
+
+/// One attempt: fork the bench into its own process group with output
+/// redirected to log_path, enforce the timeout by killing the group.
+/// Returns {exit_code or -1 if signaled, timed_out}.
+struct Attempt {
+  int exit_code = -1;
+  bool timed_out = false;
+  int term_signal = 0;
+  double wall_ms = 0.0;
+};
+
+Attempt run_attempt(const Job& job, const Options& opt,
+                    const fs::path& out_dir, const fs::path& json_path,
+                    const fs::path& log_path) {
+  Attempt att;
+  hp::Timer timer;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    att.exit_code = 126;
+    return att;
+  }
+  if (pid == 0) {
+    // Child: own process group (so a SIGKILL reaches grandchildren, e.g.
+    // bench_stream_scaling's --child forks), logs instead of the parent's
+    // stdout, scratch files under the output directory.
+    setpgid(0, 0);
+    const int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+    if (fd >= 0) {
+      dup2(fd, STDOUT_FILENO);
+      dup2(fd, STDERR_FILENO);
+      close(fd);
+    }
+    if (chdir(out_dir.c_str()) != 0) _exit(125);
+    std::string exe_s = job.exe.string();
+    std::string json_s = json_path.string();
+    std::string telemetry_s =
+        (out_dir / (job.id() + ".telemetry.json")).string();
+    std::vector<std::string> args{"--case", job.kase, "--json", json_s};
+    if (opt.smoke) args.emplace_back("--smoke");
+    if (opt.telemetry) {
+      args.emplace_back("--telemetry");
+      args.push_back(telemetry_s);
+    }
+    std::vector<char*> argv;
+    argv.push_back(exe_s.data());
+    for (auto& a : args) argv.push_back(a.data());
+    argv.push_back(nullptr);
+    execv(exe_s.c_str(), argv.data());
+    _exit(127);
+  }
+
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(opt.timeout_sec);
+  int status = 0;
+  for (;;) {
+    const pid_t done = waitpid(pid, &status, WNOHANG);
+    if (done == pid) break;
+    if (done < 0) {  // should not happen; treat as a crash
+      status = 0;
+      break;
+    }
+    if (std::chrono::steady_clock::now() > deadline) {
+      att.timed_out = true;
+      kill(-pid, SIGKILL);
+      waitpid(pid, &status, 0);
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+  att.wall_ms = timer.millis();
+  if (WIFEXITED(status)) {
+    att.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    att.exit_code = -1;
+    att.term_signal = WTERMSIG(status);
+  }
+  return att;
+}
+
+json::Value job_checkpoint(const JobResult& r) {
+  json::Object doc;
+  doc.emplace_back("schema", std::string("hyperexp-job"));
+  doc.emplace_back("version", 1);
+  doc.emplace_back("bench", r.job.bench);
+  doc.emplace_back("case", r.job.kase);
+  doc.emplace_back("claim", r.job.claim);
+  doc.emplace_back("attempts", r.attempts);
+  doc.emplace_back("timeouts", r.timeouts);
+  doc.emplace_back("exit_code", r.exit_code);
+  doc.emplace_back("failed", r.failed);
+  doc.emplace_back("wall_ms", r.wall_ms);
+  if (!r.failure_log.empty()) {
+    json::Array log;
+    for (const std::string& line : r.failure_log) {
+      log.push_back(json::Value(line));
+    }
+    doc.emplace_back("failure_log", std::move(log));
+  }
+  return json::Value(std::move(doc));
+}
+
+/// Execute one job's attempt loop: retry on timeout or crash (signal),
+/// never on a clean nonzero exit — a failed check is deterministic.
+JobResult run_job(const Job& job, const Options& opt,
+                  const fs::path& out_dir) {
+  JobResult r;
+  r.job = job;
+  const fs::path json_path = out_dir / (job.id() + ".json");
+  const fs::path log_path = out_dir / (job.id() + ".log");
+
+  const int max_attempts = 1 + std::max(0, opt.retries);
+  for (int attempt = 1; attempt <= max_attempts; ++attempt) {
+    ++r.attempts;
+    const Attempt att = run_attempt(job, opt, out_dir, json_path, log_path);
+    r.exit_code = att.exit_code;
+    r.wall_ms = att.wall_ms;
+    if (att.timed_out) {
+      ++r.timeouts;
+      r.failure_log.push_back(
+          "attempt " + std::to_string(attempt) + ": timed out after " +
+          std::to_string(opt.timeout_sec) + "s, process group killed");
+      say("  " + job.id() + ": TIMEOUT (attempt " + std::to_string(attempt) +
+          "/" + std::to_string(max_attempts) + ")");
+      continue;  // retry
+    }
+    if (att.exit_code == -1) {
+      r.failure_log.push_back("attempt " + std::to_string(attempt) +
+                              ": killed by signal " +
+                              std::to_string(att.term_signal));
+      say("  " + job.id() + ": CRASH signal " +
+          std::to_string(att.term_signal) + " (attempt " +
+          std::to_string(attempt) + "/" + std::to_string(max_attempts) + ")");
+      continue;  // retry
+    }
+    if (att.exit_code == 0) {
+      // Success also requires a parseable JSON report.
+      try {
+        (void)json::parse_file(json_path.string());
+        r.failed = false;
+      } catch (const std::exception& e) {
+        r.failure_log.push_back("attempt " + std::to_string(attempt) +
+                                ": exit 0 but unreadable report: " +
+                                e.what());
+        continue;  // retry — the kill may have left a torn file behind
+      }
+      break;
+    }
+    // Clean nonzero exit: the case genuinely failed (or usage error).
+    r.failure_log.push_back("attempt " + std::to_string(attempt) +
+                            ": exited " + std::to_string(att.exit_code) +
+                            " (case failure; not retried)");
+    break;
+  }
+
+  if (r.failed) {
+    std::ofstream fail(out_dir / (job.id() + ".fail.log"));
+    for (const std::string& line : r.failure_log) fail << line << "\n";
+    fail << "see " << log_path.filename().string()
+         << " for the captured output\n";
+  }
+
+  std::ofstream done(out_dir / (job.id() + ".done.json"));
+  done << json::dump(job_checkpoint(r));
+  return r;
+}
+
+std::optional<JobResult> load_checkpoint(const Job& job,
+                                         const fs::path& out_dir) {
+  const fs::path done_path = out_dir / (job.id() + ".done.json");
+  std::error_code ec;
+  if (!fs::exists(done_path, ec)) return std::nullopt;
+  try {
+    const json::Value doc = json::parse_file(done_path.string());
+    JobResult r;
+    r.job = job;
+    r.resumed = true;
+    if (const auto* v = doc.find("attempts")) {
+      r.attempts = static_cast<int>(v->as_int());
+    }
+    if (const auto* v = doc.find("timeouts")) {
+      r.timeouts = static_cast<int>(v->as_int());
+    }
+    if (const auto* v = doc.find("exit_code")) {
+      r.exit_code = static_cast<int>(v->as_int());
+    }
+    if (const auto* v = doc.find("failed")) r.failed = v->as_bool();
+    if (const auto* v = doc.find("wall_ms")) r.wall_ms = v->as_double();
+    if (const auto* v = doc.find("failure_log"); v && v->is_array()) {
+      for (const json::Value& line : v->as_array()) {
+        r.failure_log.push_back(line.as_string());
+      }
+    }
+    // A successful checkpoint must still have its report on disk.
+    if (!r.failed && !fs::exists(out_dir / (job.id() + ".json"), ec)) {
+      return std::nullopt;
+    }
+    return r;
+  } catch (const std::exception&) {
+    return std::nullopt;  // torn checkpoint: re-run the job
+  }
+}
+
+/// Merge every per-job report into the single gated document.
+json::Value merge_reports(const std::vector<JobResult>& results,
+                          const Options& opt, const fs::path& out_dir) {
+  json::Array rows;
+  json::Array job_docs;
+  json::Array telemetry_files;
+  std::uint64_t failed = 0;
+  for (const JobResult& r : results) {
+    if (r.failed) ++failed;
+    // Rows from the bench's own report (verdict rows included).
+    if (!r.failed) {
+      try {
+        const json::Value doc =
+            json::parse_file((out_dir / (r.job.id() + ".json")).string());
+        if (const auto* doc_rows = doc.find("rows");
+            doc_rows && doc_rows->is_array()) {
+          for (const json::Value& row : doc_rows->as_array()) {
+            rows.push_back(row);
+          }
+        }
+      } catch (const std::exception& e) {
+        std::cerr << "warning: unreadable report for " << r.job.id() << ": "
+                  << e.what() << "\n";
+      }
+    }
+    // Per-job status row: joins baselines on (bench, case, i="job"); the
+    // "failed" field is the machine gate for jobs that never produced a
+    // verdict row (timeout / crash after retries).
+    json::Object status;
+    status.emplace_back("bench", r.job.bench);
+    status.emplace_back("case", r.job.kase);
+    status.emplace_back("i", std::string("job"));
+    status.emplace_back("attempts", r.attempts);
+    status.emplace_back("timeouts", r.timeouts);
+    status.emplace_back("failed", r.failed ? 1 : 0);
+    status.emplace_back("exit_code", r.exit_code);
+    status.emplace_back("wall_ms", r.wall_ms);
+    rows.push_back(json::Value(std::move(status)));
+
+    json::Object jd;
+    jd.emplace_back("bench", r.job.bench);
+    jd.emplace_back("case", r.job.kase);
+    jd.emplace_back("claim", r.job.claim);
+    jd.emplace_back("pass", !r.failed);
+    jd.emplace_back("attempts", r.attempts);
+    jd.emplace_back("timeouts", r.timeouts);
+    jd.emplace_back("resumed", r.resumed);
+    jd.emplace_back("wall_ms", r.wall_ms);
+    if (!r.failure_log.empty()) {
+      json::Array log;
+      for (const std::string& line : r.failure_log) {
+        log.push_back(json::Value(line));
+      }
+      jd.emplace_back("failure_log", std::move(log));
+    }
+    job_docs.push_back(json::Value(std::move(jd)));
+
+    const fs::path tel = out_dir / (r.job.id() + ".telemetry.json");
+    std::error_code ec;
+    if (opt.telemetry && fs::exists(tel, ec)) {
+      telemetry_files.push_back(json::Value(tel.filename().string()));
+    }
+  }
+
+  json::Object doc;
+  doc.emplace_back("schema", std::string(kReportSchema));
+  doc.emplace_back("version", kReportSchemaVersion);
+  doc.emplace_back("bench", std::string("theorems"));
+  doc.emplace_back("smoke", opt.smoke);
+  doc.emplace_back("total_jobs", static_cast<std::int64_t>(results.size()));
+  doc.emplace_back("failed_jobs", static_cast<std::int64_t>(failed));
+  if (!telemetry_files.empty()) {
+    doc.emplace_back("telemetry", std::move(telemetry_files));
+  }
+  doc.emplace_back("jobs", std::move(job_docs));
+  doc.emplace_back("rows", std::move(rows));
+  return json::Value(std::move(doc));
+}
+
+std::string json_str(const json::Value& obj, const char* key) {
+  if (const auto* v = obj.find(key); v && v->is_string()) {
+    return v->as_string();
+  }
+  return "";
+}
+
+/// Rewrite the status table between the hyperexp markers in `path` from
+/// the merged report. Everything outside the markers is preserved.
+int emit_table(const std::string& path, const json::Value& report) {
+  std::ifstream in(path);
+  if (!in) {
+    std::cerr << "error: cannot read " << path << "\n";
+    return 2;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+  const auto begin = text.find(kTableBegin);
+  const auto end = text.find(kTableEnd);
+  if (begin == std::string::npos || end == std::string::npos || end < begin) {
+    std::cerr << "error: " << path << " lacks the " << kTableBegin << " / "
+              << kTableEnd << " markers\n";
+    return 2;
+  }
+
+  std::ostringstream table;
+  table << kTableBegin << "\n";
+  table << "| Bench | Case | Paper claim | Status |\n";
+  table << "|-------|------|-------------|--------|\n";
+  const auto* jobs = report.find("jobs");
+  if (jobs != nullptr && jobs->is_array()) {
+    for (const json::Value& jd : jobs->as_array()) {
+      const auto* pass = jd.find("pass");
+      table << "| `" << json_str(jd, "bench") << "` | `"
+            << json_str(jd, "case") << "` | " << json_str(jd, "claim")
+            << " | " << (pass != nullptr && pass->as_bool() ? "pass" : "FAIL")
+            << " |\n";
+    }
+  }
+  table << kTableEnd;
+
+  const std::string updated = text.substr(0, begin) + table.str() +
+                              text.substr(end + std::strlen(kTableEnd));
+  std::ofstream out(path);
+  out << updated;
+  if (!out) {
+    std::cerr << "error: cannot write " << path << "\n";
+    return 2;
+  }
+  std::cout << "rewrote the status table in " << path << "\n";
+  return 0;
+}
+
+int parse_int(const std::string& arg, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const int v = std::stoi(value, &pos);
+    if (pos != value.size() || v < 0) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << "error: " << arg << " expects a non-negative integer, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+}
+
+double parse_double(const std::string& arg, const std::string& value) {
+  try {
+    std::size_t pos = 0;
+    const double v = std::stod(value, &pos);
+    if (pos != value.size() || v <= 0) throw std::invalid_argument(value);
+    return v;
+  } catch (const std::exception&) {
+    std::cerr << "error: " << arg << " expects a positive number, got '"
+              << value << "'\n";
+    std::exit(2);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        usage(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--bench-dir") {
+      opt.bench_dir = value();
+    } else if (arg == "--out") {
+      opt.out_dir = value();
+    } else if (arg == "--merged") {
+      opt.merged_path = value();
+    } else if (arg == "--smoke") {
+      opt.smoke = true;
+    } else if (arg == "--telemetry") {
+      opt.telemetry = true;
+    } else if (arg == "--list") {
+      opt.list_only = true;
+    } else if (arg == "--jobs") {
+      opt.jobs = static_cast<unsigned>(
+          std::max(1, parse_int(arg, value())));
+    } else if (arg == "--timeout") {
+      opt.timeout_sec = parse_double(arg, value());
+    } else if (arg == "--retries") {
+      opt.retries = parse_int(arg, value());
+    } else if (arg == "--bench") {
+      opt.bench_filter.push_back(value());
+    } else if (arg == "--emit-table") {
+      opt.emit_table = value();
+    } else if (arg == "--help" || arg == "-h") {
+      usage(0);
+    } else {
+      std::cerr << "error: unknown argument '" << arg << "'\n";
+      usage(2);
+    }
+  }
+
+  const fs::path bench_dir = opt.bench_dir.empty()
+                                 ? self_exe_dir() / ".." / "bench"
+                                 : fs::path(opt.bench_dir);
+  const std::vector<Job> jobs = discover_jobs(opt, bench_dir);
+  if (jobs.empty()) {
+    std::cerr << "error: no harness benches found under " << bench_dir
+              << "\n";
+    return 2;
+  }
+
+  if (opt.list_only) {
+    for (const Job& job : jobs) {
+      std::cout << job.id() << "\t" << job.claim << "\n";
+    }
+    return 0;
+  }
+
+  std::error_code ec;
+  fs::create_directories(opt.out_dir, ec);
+  if (ec) {
+    std::cerr << "error: cannot create output dir " << opt.out_dir << ": "
+              << ec.message() << "\n";
+    return 2;
+  }
+  const fs::path out_dir = fs::absolute(opt.out_dir);
+
+  std::cout << "hyperexp: " << jobs.size() << " job(s) from " << bench_dir
+            << (opt.smoke ? ", smoke mode" : "") << ", " << opt.jobs
+            << " worker(s), timeout " << opt.timeout_sec << "s, retries "
+            << opt.retries << "\n";
+
+  // Resume: load checkpoints first so the schedule only contains real work.
+  std::vector<JobResult> results(jobs.size());
+  std::vector<std::size_t> pending;
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (auto done = load_checkpoint(jobs[i], out_dir)) {
+      results[i] = std::move(*done);
+      say("  " + jobs[i].id() + ": resumed from checkpoint (" +
+          (results[i].failed ? "FAIL" : "pass") + ")");
+    } else {
+      pending.push_back(i);
+    }
+  }
+
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(pending.size());
+  for (const std::size_t i : pending) {
+    tasks.push_back([&, i] {
+      say("  " + jobs[i].id() + ": start");
+      results[i] = run_job(jobs[i], opt, out_dir);
+      say("  " + jobs[i].id() + ": " +
+          (results[i].failed ? "FAIL" : "pass") + " (" +
+          std::to_string(results[i].attempts) + " attempt(s), " +
+          std::to_string(static_cast<std::int64_t>(results[i].wall_ms)) +
+          " ms)");
+    });
+  }
+  hp::run_parallel(tasks, opt.jobs);
+
+  const json::Value report = merge_reports(results, opt, out_dir);
+  const fs::path merged = opt.merged_path.empty()
+                              ? out_dir / "BENCH_theorems.json"
+                              : fs::path(opt.merged_path);
+  {
+    std::ofstream out(merged);
+    out << json::dump(report);
+    if (!out) {
+      std::cerr << "error: cannot write " << merged << "\n";
+      return 2;
+    }
+  }
+
+  std::uint64_t failed = 0;
+  for (const JobResult& r : results) failed += r.failed ? 1 : 0;
+  const std::uint64_t executed = pending.size();
+  std::cout << "\nhyperexp: " << (jobs.size() - failed) << "/" << jobs.size()
+            << " job(s) passed (" << executed << " executed, "
+            << (jobs.size() - executed) << " resumed)\n"
+            << "wrote " << merged.string() << "\n";
+
+  if (!opt.emit_table.empty()) {
+    const int rc = emit_table(opt.emit_table, report);
+    if (rc != 0) return rc;
+  }
+
+  return failed == 0 ? 0 : 1;
+}
