@@ -5,7 +5,7 @@
 #include <unordered_map>
 
 #include "hyperpart/obs/telemetry.hpp"
-#include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
@@ -33,100 +33,248 @@ struct PendingEdge {
 // within each shard — is identical for every thread count.
 constexpr std::size_t kDedupShards = 32;
 
+// Proposal rounds per level. Round 1 mostly forms pairs (one winner per
+// target); later rounds attach the losers to the young clusters, so a few
+// rounds reach the ~0.5 shrink a full sequential matching pass gets.
+constexpr int kProposalRounds = 2;
+// Stop the rounds early once the level shrank to this fraction — coarser
+// does not help the V-shape and the extra round costs a full edge scan.
+constexpr double kTargetShrink = 0.5;
+
+/// Per-executor scratch for the propose phase: a dense rating array reset
+/// sparsely after every node (the touched list). Thread-local so each pool
+/// thread allocates it once per process, not once per chunk — the propose
+/// phase itself never reads stale entries, because every write is undone
+/// before the node finishes.
+struct ProposeScratch {
+  std::vector<double> rating;
+  std::vector<NodeId> touched;
+};
+
+ProposeScratch& propose_scratch(NodeId n) {
+  static thread_local ProposeScratch scratch;
+  if (scratch.rating.size() < n) scratch.rating.assign(n, 0.0);
+  return scratch;
+}
+
+/// Seed-salted hash used as the second tie-break key of target selection
+/// (after the rating, before the raw id): equal-rated targets spread by
+/// seed instead of always favouring low ids, which keeps multi-start
+/// coarsening hierarchies diverse without sacrificing determinism.
+[[nodiscard]] std::uint64_t target_salt(std::uint64_t seed,
+                                        NodeId leader) noexcept {
+  std::uint64_t x = seed ^ (0x9E3779B97F4A7C15ull * (leader + 1));
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
 }  // namespace
 
 CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
                          std::uint64_t seed,
                          const Partition* restrict_parts, unsigned threads) {
   const NodeId n = g.num_nodes();
-  Rng rng{seed};
-  std::vector<NodeId> order(n);
-  std::iota(order.begin(), order.end(), NodeId{0});
-  rng.shuffle(order);
+  const unsigned workers = threads == 0 ? 1 : threads;
 
-  std::vector<NodeId> match(n, kInvalidNode);
-  {
-    HP_SPAN("match");
-    // Scratch ratings, reset sparsely between nodes.
-    std::vector<double> rating(n, 0.0);
-    std::vector<NodeId> touched;
-    for (const NodeId v : order) {
-      if (match[v] != kInvalidNode) continue;
-      touched.clear();
-      for (const EdgeId e : g.incident_edges(v)) {
-        const auto pins = g.pins(e);
-        if (pins.size() < 2) continue;
-        // Heavy-edge rating w(e)/(|e|−1), the standard multilevel score.
-        const double score = static_cast<double>(g.edge_weight(e)) /
-                             static_cast<double>(pins.size() - 1);
-        for (const NodeId u : pins) {
-          if (u == v || match[u] != kInvalidNode) continue;
-          if (g.node_weight(u) + g.node_weight(v) > max_cluster_weight) {
-            continue;
-          }
-          if (restrict_parts != nullptr &&
-              (*restrict_parts)[u] != (*restrict_parts)[v]) {
-            continue;
-          }
-          if (rating[u] == 0.0) touched.push_back(u);
-          rating[u] += score;
-        }
-      }
-      NodeId best = kInvalidNode;
-      double best_rating = 0.0;
-      for (const NodeId u : touched) {
-        if (rating[u] > best_rating) {
-          best_rating = rating[u];
-          best = u;
-        }
-        rating[u] = 0.0;
-      }
-      if (best != kInvalidNode) {
-        match[v] = best;
-        match[best] = v;
-      }
+  // --- Parallel clustering rounds ------------------------------------------
+  // cluster[v] is the id of the leader node of v's cluster (flat: members
+  // point directly at their leader, and a leader that has accepted members
+  // never merges away, so no path compression is needed). cweight/csize are
+  // maintained for leaders.
+  std::vector<NodeId> cluster(n);
+  std::iota(cluster.begin(), cluster.end(), NodeId{0});
+  std::vector<Weight> cweight(n);
+  std::vector<NodeId> csize(n, 1);
+  for (NodeId v = 0; v < n; ++v) cweight[v] = g.node_weight(v);
+
+  std::vector<NodeId> proposal(n, kInvalidNode);
+  std::vector<double> prio(n, 0.0);
+  std::vector<NodeId> winner(n, kInvalidNode);
+  NodeId clusters = n;
+
+  for (int round = 0; round < kProposalRounds; ++round) {
+    if (static_cast<double>(clusters) <=
+        kTargetShrink * static_cast<double>(n)) {
+      break;
     }
+    HP_SPAN("round", round);
+
+    // Propose phase: every node that is still a singleton rates the
+    // clusters it shares hyperedges with (heavy-edge rating w(e)/(|e|−1),
+    // aggregated per cluster) against the state FROZEN at round start, and
+    // proposes to join the best one that fits the weight cap. The chunk
+    // grain is fixed — never thread-derived — and each proposal is a pure
+    // function of the frozen state, so proposal[] is bit-identical at any
+    // thread count.
+    parallel_for_grain(
+        n, kStableGrain, workers,
+        [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+          ProposeScratch& scratch = propose_scratch(n);
+          for (NodeId v = static_cast<NodeId>(begin);
+               v < static_cast<NodeId>(end); ++v) {
+            proposal[v] = kInvalidNode;
+            if (cluster[v] != v || csize[v] != 1) continue;  // not a singleton
+            scratch.touched.clear();
+            for (const EdgeId e : g.incident_edges(v)) {
+              const auto pins = g.pins(e);
+              if (pins.size() < 2) continue;
+              const double score = static_cast<double>(g.edge_weight(e)) /
+                                   static_cast<double>(pins.size() - 1);
+              for (const NodeId u : pins) {
+                if (u == v) continue;
+                if (restrict_parts != nullptr &&
+                    (*restrict_parts)[u] != (*restrict_parts)[v]) {
+                  continue;
+                }
+                const NodeId l = cluster[u];
+                if (l == v) continue;
+                if (scratch.rating[l] == 0.0) scratch.touched.push_back(l);
+                scratch.rating[l] += score;
+              }
+            }
+            NodeId best = kInvalidNode;
+            double best_rating = 0.0;
+            std::uint64_t best_salt = 0;
+            for (const NodeId l : scratch.touched) {
+              const double r = scratch.rating[l];
+              scratch.rating[l] = 0.0;
+              if (sat_add(cweight[l], cweight[v]) > max_cluster_weight) {
+                continue;
+              }
+              // Target tie-break: rating desc, then seed-salted hash asc,
+              // then leader id asc — total order, independent of the
+              // touched-list visit order.
+              if (best != kInvalidNode && r < best_rating) continue;
+              const std::uint64_t s = target_salt(seed, l);
+              if (best != kInvalidNode && r == best_rating &&
+                  (s > best_salt || (s == best_salt && l > best))) {
+                continue;
+              }
+              best = l;
+              best_rating = r;
+              best_salt = s;
+            }
+            proposal[v] = best;
+            prio[v] = best_rating;
+          }
+        });
+
+    // Resolve phase: at most one joiner per target cluster and round,
+    // chosen by the fixed priority key (rating desc, then node id asc).
+    // A cheap sequential O(n) scan — ascending ids with a strict "better
+    // rating" comparison implement the key exactly.
+    std::fill(winner.begin(), winner.end(), kInvalidNode);
+    std::uint64_t proposed = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId l = proposal[v];
+      if (l == kInvalidNode) continue;
+      ++proposed;
+      NodeId& w = winner[l];
+      if (w == kInvalidNode || prio[v] > prio[w]) w = v;
+    }
+
+    // Commit phase: apply the winning proposals in node-id order,
+    // revalidating against the live cluster state (the target may have
+    // grown past the cap, merged away, or the winner itself may have
+    // accepted a member earlier in this very loop).
+    NodeId merged = 0;
+    for (NodeId v = 0; v < n; ++v) {
+      const NodeId l = proposal[v];
+      if (l == kInvalidNode || winner[l] != v) continue;
+      if (cluster[v] != v || csize[v] != 1) continue;  // v accepted a member
+      if (cluster[l] != l) continue;  // target merged away this round
+      if (sat_add(cweight[l], cweight[v]) > max_cluster_weight) continue;
+      cluster[v] = l;
+      cweight[l] += cweight[v];
+      csize[l] += csize[v];
+      ++merged;
+    }
+    clusters -= merged;
+    HP_COUNTER_ADD("coarsen.rounds", 1);
+    HP_COUNTER_ADD("coarsen.proposals", static_cast<std::int64_t>(proposed));
+    HP_COUNTER_ADD("coarsen.merged", merged);
+    HP_COUNTER_ADD("coarsen.conflicts",
+                   static_cast<std::int64_t>(proposed - merged));
+    if (merged == 0) break;
   }
 
-  // Assign cluster ids.
+  // --- Parallel contraction -------------------------------------------------
+  // Number the surviving leaders in node-id order: per-chunk leader counts
+  // (fixed grain), a sequential exclusive scan over the chunk totals, then
+  // a parallel fill. Chunk boundaries are a pure function of n, so the
+  // numbering is the same for every thread count.
   CoarseLevel level;
-  level.fine_to_coarse.assign(n, kInvalidNode);
-  NodeId clusters = 0;
-  for (NodeId v = 0; v < n; ++v) {
-    if (level.fine_to_coarse[v] != kInvalidNode) continue;
-    level.fine_to_coarse[v] = clusters;
-    if (match[v] != kInvalidNode) level.fine_to_coarse[match[v]] = clusters;
-    ++clusters;
-  }
+  std::vector<NodeId> coarse_id(n, kInvalidNode);
+  std::vector<Weight> coarse_node_weight;
+  {
+    HP_SPAN("contract");
+    const std::size_t chunks = num_grain_chunks(n, kStableGrain);
+    std::vector<NodeId> chunk_leaders(chunks, 0);
+    parallel_for_grain(n, kStableGrain, workers,
+                       [&](std::size_t c, std::uint64_t begin,
+                           std::uint64_t end) {
+                         NodeId count = 0;
+                         for (NodeId v = static_cast<NodeId>(begin);
+                              v < static_cast<NodeId>(end); ++v) {
+                           if (cluster[v] == v) ++count;
+                         }
+                         chunk_leaders[c] = count;
+                       });
+    NodeId total = 0;
+    for (std::size_t c = 0; c < chunks; ++c) {
+      const NodeId count = chunk_leaders[c];
+      chunk_leaders[c] = total;
+      total += count;
+    }
+    clusters = total;
+    parallel_for_grain(n, kStableGrain, workers,
+                       [&](std::size_t c, std::uint64_t begin,
+                           std::uint64_t end) {
+                         NodeId next = chunk_leaders[c];
+                         for (NodeId v = static_cast<NodeId>(begin);
+                              v < static_cast<NodeId>(end); ++v) {
+                           if (cluster[v] == v) coarse_id[v] = next++;
+                         }
+                       });
 
-  std::vector<Weight> coarse_node_weight(clusters, 0);
-  for (NodeId v = 0; v < n; ++v) {
-    coarse_node_weight[level.fine_to_coarse[v]] += g.node_weight(v);
+    level.fine_to_coarse.assign(n, kInvalidNode);
+    coarse_node_weight.assign(clusters, 0);
+    parallel_for_grain(n, kStableGrain, workers,
+                       [&](std::size_t, std::uint64_t begin,
+                           std::uint64_t end) {
+                         for (NodeId v = static_cast<NodeId>(begin);
+                              v < static_cast<NodeId>(end); ++v) {
+                           level.fine_to_coarse[v] = coarse_id[cluster[v]];
+                           if (cluster[v] == v) {
+                             // Cluster weights were maintained through the
+                             // commits; leaders just copy them out (disjoint
+                             // slots — no merge needed).
+                             coarse_node_weight[coarse_id[v]] = cweight[v];
+                           }
+                         }
+                       });
   }
 
   HP_SPAN("dedup");
-  HP_COUNTER_ADD("coarsen.rounds", 1);
   // Build coarse edges and merge duplicates with sharded hash maps: edge
   // chunks project their pin lists and scatter them into per-chunk shard
   // buckets (by pin-list hash), then each shard merges its buckets
   // independently. Shards only ever see disjoint key sets, so the merge
-  // phase is embarrassingly parallel.
+  // phase is embarrassingly parallel; within a shard the buckets are
+  // visited in chunk order, which preserves first-occurrence edge order
+  // for every chunking.
   const EdgeId m = g.num_edges();
-  const unsigned workers = std::max<unsigned>(
-      1, static_cast<unsigned>(std::min<std::uint64_t>(
-             threads == 0 ? 1 : threads, m == 0 ? 1 : m)));
-  const EdgeId chunk = m == 0 ? 1 : (m + workers - 1) / workers;
+  const std::size_t edge_chunks = num_grain_chunks(m, kStableGrain);
   std::vector<std::vector<std::vector<PendingEdge>>> buckets(
-      workers, std::vector<std::vector<PendingEdge>>(kDedupShards));
-  {
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(workers);
-    for (unsigned c = 0; c < workers; ++c) {
-      const EdgeId begin = std::min<EdgeId>(m, c * chunk);
-      const EdgeId end = std::min<EdgeId>(m, begin + chunk);
-      tasks.push_back([&, c, begin, end]() {
+      edge_chunks, std::vector<std::vector<PendingEdge>>(kDedupShards));
+  parallel_for_grain(
+      m, kStableGrain, workers,
+      [&](std::size_t c, std::uint64_t begin, std::uint64_t end) {
         VectorHash hasher;
-        for (EdgeId e = begin; e < end; ++e) {
+        for (EdgeId e = static_cast<EdgeId>(begin);
+             e < static_cast<EdgeId>(end); ++e) {
           std::vector<NodeId> pins;
           pins.reserve(g.edge_size(e));
           for (const NodeId v : g.pins(e)) {
@@ -139,13 +287,10 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
           buckets[c][shard].push_back({std::move(pins), g.edge_weight(e)});
         }
       });
-    }
-    run_parallel(tasks, workers);
-  }
 
   std::vector<std::vector<std::vector<NodeId>>> shard_edges(kDedupShards);
   std::vector<std::vector<Weight>> shard_weights(kDedupShards);
-  {
+  if (m > 0) {  // schedule nothing for edgeless graphs — not no-op tasks
     std::vector<std::function<void()>> tasks;
     tasks.reserve(kDedupShards);
     for (std::size_t s = 0; s < kDedupShards; ++s) {
@@ -153,9 +298,7 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
         std::unordered_map<std::vector<NodeId>, std::size_t, VectorHash> index;
         auto& edges = shard_edges[s];
         auto& weights = shard_weights[s];
-        // Chunks visited in order keep items in original edge order, which
-        // fixes the first-occurrence order independent of the chunking.
-        for (unsigned c = 0; c < workers; ++c) {
+        for (std::size_t c = 0; c < edge_chunks; ++c) {
           for (auto& item : buckets[c][s]) {
             const auto [it, inserted] =
                 index.try_emplace(std::move(item.pins), edges.size());

@@ -82,6 +82,110 @@ struct AppliedMove {
   PartId to;
 };
 
+// Equal-gain ties resolve by a deterministic (node, part) hash: unlike
+// picking the lowest part id, this spreads plateau moves across parts
+// instead of piling them onto one, without the longer improvement runs a
+// lighter-part-first rule provokes. Shared by both engines so they pick
+// the same target for the same gain row.
+[[nodiscard]] std::uint64_t tie_rank(NodeId v, PartId q) noexcept {
+  std::uint64_t x =
+      (static_cast<std::uint64_t>(v) << 32) | static_cast<std::uint64_t>(q);
+  x *= 0x9E3779B97F4A7C15ull;
+  x ^= x >> 33;
+  x *= 0xFF51AFD7ED558CCDull;
+  x ^= x >> 33;
+  return x;
+}
+
+// Fixed chunk grain for the synchronous propose phase. Boundary snapshots
+// are much smaller than the node count, so a finer grain than kStableGrain
+// keeps mid-size levels from collapsing into a single chunk. Never derived
+// from the thread count — chunk boundaries must be a pure function of the
+// snapshot size.
+constexpr std::uint64_t kSyncProposeGrain = 1024;
+
+/// Synchronous-round parallel engine: propose in parallel against frozen
+/// state, commit sequentially in (gain desc, node id asc) order through
+/// the tracker's revalidating batch API. See the header for the contract.
+Weight sync_fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
+                      Partition& p, const BalanceConstraint& balance,
+                      const FmConfig& cfg, unsigned threads) {
+  HP_SPAN("fm");
+  const PartId k = p.k();
+  const Weight capacity = balance.capacity();
+  std::uint64_t total_moved = 0;
+
+  std::vector<NodeId> snapshot;
+  std::vector<std::vector<BatchMove>> chunk_out;
+  std::vector<BatchMove> candidates;
+  for (int round = 0; round < cfg.max_sync_rounds; ++round) {
+    const auto& boundary = tracker.boundary_nodes();
+    if (boundary.empty()) break;
+    HP_SPAN("sync_round", round);
+    HP_GAUGE_MAX("fm.boundary_peak",
+                 static_cast<std::int64_t>(boundary.size()));
+    // The boundary set mutates under commits; propose against a snapshot.
+    // Its order is deterministic (node-id seeded, then shaped only by the
+    // committed move sequence), so the chunking is too.
+    snapshot.assign(boundary.begin(), boundary.end());
+    const std::size_t chunks =
+        num_grain_chunks(snapshot.size(), kSyncProposeGrain);
+    chunk_out.assign(chunks, {});
+    parallel_for_grain(
+        snapshot.size(), kSyncProposeGrain, threads,
+        [&](std::size_t c, std::uint64_t begin, std::uint64_t end) {
+          auto& out = chunk_out[c];
+          for (std::uint64_t i = begin; i < end; ++i) {
+            if (i + 8 < end) tracker.prefetch_gain_row(snapshot[i + 8]);
+            const NodeId v = snapshot[i];
+            const Weight gain = tracker.cached_best_gain(v);
+            if (gain <= 0) continue;  // only strict improvements move
+            // Deterministic target among the parts attaining the best
+            // gain, pre-filtered against the FROZEN part weights under the
+            // hard capacity (no transient slack: nothing rolls back here).
+            const PartId from = tracker.part_of(v);
+            const Weight vw = g.node_weight(v);
+            PartId best_q = k;
+            std::uint64_t best_r = 0;
+            for (PartId q = 0; q < k; ++q) {
+              if (q == from || tracker.cached_gain(v, q) != gain) continue;
+              const std::uint64_t rq = tie_rank(v, q);
+              if (best_q != k && rq >= best_r) continue;
+              if (sat_add(tracker.part_weight(q), vw) > capacity) continue;
+              best_q = q;
+              best_r = rq;
+            }
+            if (best_q == k) continue;
+            out.push_back({v, best_q, gain});
+          }
+        });
+    candidates.clear();
+    for (auto& out : chunk_out) {
+      candidates.insert(candidates.end(), out.begin(), out.end());
+    }
+    if (candidates.empty()) break;
+    // Commit order is the engine's priority key: gain desc, node id asc.
+    // Nodes appear at most once (one best move per boundary node), so the
+    // key is total and the sort needs no stability.
+    std::sort(candidates.begin(), candidates.end(),
+              [](const BatchMove& a, const BatchMove& b) noexcept {
+                return a.gain != b.gain ? a.gain > b.gain : a.node < b.node;
+              });
+    const BatchCommitResult res =
+        tracker.apply_batch(candidates, capacity, /*min_gain=*/1);
+    HP_COUNTER_ADD("fm.sync_rounds", 1);
+    HP_COUNTER_ADD("fm.sync_moved", static_cast<std::int64_t>(res.applied));
+    HP_COUNTER_ADD("fm.sync_conflicted",
+                   static_cast<std::int64_t>(res.conflicted));
+    total_moved += res.applied;
+    if (res.applied == 0) break;  // every survivor went stale: converged
+  }
+
+  HP_COUNTER_ADD("fm.moves_applied", static_cast<std::int64_t>(total_moved));
+  p = tracker.to_partition();
+  return tracker.cost(cfg.metric);
+}
+
 }  // namespace
 
 Weight fm_refine(const Hypergraph& g, Partition& p,
@@ -94,7 +198,6 @@ Weight fm_refine(const Hypergraph& g, Partition& p,
 Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
                  Partition& p, const BalanceConstraint& balance,
                  const FmConfig& cfg) {
-  HP_SPAN("fm");
   const PartId k = p.k();
   const unsigned threads = cfg.threads == 0 ? default_threads() : cfg.threads;
   const bool cached = cfg.use_gain_cache;
@@ -102,6 +205,10 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
                  tracker.gain_cache_metric() != cfg.metric)) {
     tracker.enable_gain_cache(cfg.metric, threads);
   }
+  if (cfg.sync_rounds && cached && cfg.extra_constraints == nullptr) {
+    return sync_fm_refine(g, tracker, p, balance, cfg, threads);
+  }
+  HP_SPAN("fm");
 
   // Pass-invariant state, hoisted and reused across passes: the heaviest
   // node weight (for the transient-imbalance slack), the constraint-group
@@ -131,19 +238,6 @@ Weight fm_refine(const Hypergraph& g, ConnectivityTracker& tracker,
       heap.push({tracker.gain(v, q, cfg.metric), v, q});
       HP_TELEMETRY_ONLY(++obs_pushes;)
     }
-  };
-  // Equal-gain ties resolve by a deterministic (node, part) hash: unlike
-  // picking the lowest part id, this spreads plateau moves across parts
-  // instead of piling them onto one, without the longer improvement runs a
-  // lighter-part-first rule provokes.
-  const auto tie_rank = [](NodeId v, PartId q) noexcept {
-    std::uint64_t x = (static_cast<std::uint64_t>(v) << 32) |
-                      static_cast<std::uint64_t>(q);
-    x *= 0x9E3779B97F4A7C15ull;
-    x ^= x >> 33;
-    x *= 0xFF51AFD7ED558CCDull;
-    x ^= x >> 33;
-    return x;
   };
   // Feasible target of v among the parts attaining its cached best gain
   // (the popped heap key). The only O(k) row scan of the cached engine —

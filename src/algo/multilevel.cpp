@@ -7,6 +7,7 @@
 #include "hyperpart/algo/greedy.hpp"
 #include "hyperpart/obs/telemetry.hpp"
 #include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
 
@@ -18,6 +19,14 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
   Rng rng{cfg.seed};
   FmConfig fm = cfg.fm;
   fm.metric = cfg.metric;
+  const unsigned threads = fm.threads == 0 ? default_threads() : fm.threads;
+  // Engine choice per level: a pure function of the level's node count (see
+  // sync_fm_min_nodes) — thread count must never influence it.
+  const auto fm_for = [&](NodeId n) {
+    FmConfig level_fm = fm;
+    level_fm.sync_rounds = n >= cfg.sync_fm_min_nodes;
+    return level_fm;
+  };
 
   // --- Coarsening phase ---------------------------------------------------
   // Clusters are capped so the coarsest level still admits a balanced
@@ -29,7 +38,8 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
   const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
   while (current->num_nodes() > stop_at) {
     HP_SPAN("coarsen", "level", levels.size());
-    CoarseLevel next = coarsen_once(*current, max_cluster, rng());
+    CoarseLevel next =
+        coarsen_once(*current, max_cluster, rng(), nullptr, threads);
     // Insufficient shrinkage means matching is saturated; stop.
     if (next.graph.num_nodes() >
         static_cast<NodeId>(0.95 * current->num_nodes())) {
@@ -55,7 +65,8 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
               ? greedy_growing_partition(coarsest, balance, cfg.metric, rng())
               : random_balanced_partition(coarsest, balance, rng());
       if (!candidate) continue;
-      const Weight c = fm_refine(coarsest, *candidate, balance, fm);
+      const Weight c =
+          fm_refine(coarsest, *candidate, balance, fm_for(coarsest.num_nodes()));
       if (!best || c < best_cost) {
         best = std::move(candidate);
         best_cost = c;
@@ -71,7 +82,7 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
     p = project_partition(p, it->fine_to_coarse);
     const Hypergraph& fine =
         (it + 1 == levels.rend()) ? g : (it + 1)->graph;
-    fm_refine(fine, p, balance, fm);
+    fm_refine(fine, p, balance, fm_for(fine.num_nodes()));
   }
   return p;
 }

@@ -5,6 +5,7 @@
 #include "hyperpart/algo/coarsening.hpp"
 #include "hyperpart/algo/fm_refiner.hpp"
 #include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
 
@@ -28,7 +29,15 @@ Weight vcycle_refine(const Hypergraph& g, Partition& p,
   Rng rng{cfg.seed ^ 0x5ec7c1e5ULL};
   FmConfig fm = cfg.fm;
   fm.metric = cfg.metric;
-  Weight result = fm_refine(g, p, balance, fm);
+  const unsigned threads = fm.threads == 0 ? default_threads() : fm.threads;
+  // Same size-gated engine choice as multilevel_partition: a pure function
+  // of the level's node count, never of the thread count.
+  const auto fm_for = [&](NodeId n) {
+    FmConfig level_fm = fm;
+    level_fm.sync_rounds = n >= cfg.sync_fm_min_nodes;
+    return level_fm;
+  };
+  Weight result = fm_refine(g, p, balance, fm_for(g.num_nodes()));
 
   for (int cycle = 0; cycle < cycles; ++cycle) {
     // Partition-aware coarsening hierarchy.
@@ -40,7 +49,7 @@ Weight vcycle_refine(const Hypergraph& g, Partition& p,
     const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * p.k());
     while (current->num_nodes() > stop_at) {
       CoarseLevel next = coarsen_once(*current, max_cluster, rng(),
-                                      current_p);
+                                      current_p, threads);
       if (next.graph.num_nodes() >
           static_cast<NodeId>(0.95 * current->num_nodes())) {
         break;
@@ -54,11 +63,12 @@ Weight vcycle_refine(const Hypergraph& g, Partition& p,
 
     // Refine bottom-up.
     Partition coarse = partitions.back();
-    fm_refine(levels.back().graph, coarse, balance, fm);
+    fm_refine(levels.back().graph, coarse, balance,
+              fm_for(levels.back().graph.num_nodes()));
     for (std::size_t i = levels.size(); i-- > 0;) {
       Partition fine = project_partition(coarse, levels[i].fine_to_coarse);
       const Hypergraph& fine_graph = i == 0 ? g : levels[i - 1].graph;
-      fm_refine(fine_graph, fine, balance, fm);
+      fm_refine(fine_graph, fine, balance, fm_for(fine_graph.num_nodes()));
       coarse = std::move(fine);
     }
     const Weight refined = cost(g, coarse, cfg.metric);

@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <atomic>
+#include <bit>
 #include <cassert>
 #include <limits>
 #include <stdexcept>
 
+#include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 
 namespace hp {
@@ -23,6 +25,7 @@ ConnectivityTracker::ConnectivityTracker(const Hypergraph& g,
   }
   part_.assign(p.raw().begin(), p.raw().end());
   counts_.assign(static_cast<std::size_t>(g.num_edges()) * k_, 0);
+  if (k_ <= 64) present_.assign(g.num_edges(), 0);
   lambda_.assign(g.num_edges(), 0);
   part_weight_.assign(k_, 0);
   for (NodeId v = 0; v < g.num_nodes(); ++v) {
@@ -40,11 +43,16 @@ ConnectivityTracker::ConnectivityTracker(const Hypergraph& g,
         for (EdgeId e = static_cast<EdgeId>(begin);
              e < static_cast<EdgeId>(end); ++e) {
           PartId l = 0;
+          std::uint64_t mask = 0;
           for (const NodeId v : g_.pins(e)) {
             auto& c = counts_[static_cast<std::size_t>(e) * k_ + part_[v]];
-            if (c == 0) ++l;
+            if (c == 0) {
+              ++l;
+              mask |= std::uint64_t{1} << (part_[v] & 63);
+            }
             ++c;
           }
+          if (!present_.empty()) present_[e] = mask;
           lambda_[e] = l;
           if (l > 1) {
             local_cut += g_.edge_weight(e);
@@ -95,8 +103,14 @@ void ConnectivityTracker::move(NodeId v, PartId to) {
     assert(cf > 0);
     --cf;
     PartId l = l_before;
-    if (cf == 0) --l;
-    if (ct == 0) ++l;
+    if (cf == 0) {
+      --l;
+      if (!present_.empty()) present_[e] &= ~(std::uint64_t{1} << from);
+    }
+    if (ct == 0) {
+      ++l;
+      if (!present_.empty()) present_[e] |= std::uint64_t{1} << to;
+    }
     ++ct;
     lambda_[e] = l;
     if (l != l_before) {
@@ -213,8 +227,18 @@ void ConnectivityTracker::fill_cache_tables(CostMetric m, unsigned threads) {
           const PartId l = lambda_[e];
           if (m == CostMetric::kConnectivity) {
             present.clear();
-            for (PartId q = 0; q < k_; ++q) {
-              if (counts_[base + q] > 0) present.push_back(q);
+            if (!present_.empty()) {
+              // Bit iteration over the per-net present-parts word replaces
+              // the O(k) count scan; order (ascending part id) matches.
+              for (std::uint64_t mask = present_[e]; mask != 0;
+                   mask &= mask - 1) {
+                present.push_back(
+                    static_cast<PartId>(std::countr_zero(mask)));
+              }
+            } else {
+              for (PartId q = 0; q < k_; ++q) {
+                if (counts_[base + q] > 0) present.push_back(q);
+              }
             }
             for (const NodeId u : g_.pins(e)) {
               add(weighted_degree_[u], w);
@@ -231,17 +255,7 @@ void ConnectivityTracker::fill_cache_tables(CostMetric m, unsigned threads) {
             } else if (l == 2) {
               // Exactly two present parts a < b: a lone pin in one side
               // benefits toward the other.
-              PartId a = k_, b = k_;
-              for (PartId q = 0; q < k_; ++q) {
-                if (counts_[base + q] > 0) {
-                  if (a == k_) {
-                    a = q;
-                  } else {
-                    b = q;
-                    break;
-                  }
-                }
-              }
+              const auto [a, b] = two_present_parts(e);
               for (const NodeId u : g_.pins(e)) {
                 const PartId pu = part_[u];
                 if (counts_[base + pu] == 1) {
@@ -337,18 +351,7 @@ void ConnectivityTracker::remove_cut_contributions(EdgeId e, NodeId u) {
       touch(x);
     }
   } else if (l == 2) {
-    PartId a = kInvalidPart;
-    PartId b = kInvalidPart;
-    for (PartId q = 0; q < k_; ++q) {
-      if (counts_[base + q] > 0) {
-        if (a == kInvalidPart) {
-          a = q;
-        } else {
-          b = q;
-          break;
-        }
-      }
-    }
+    const auto [a, b] = two_present_parts(e);
     for (const NodeId x : g_.pins(e)) {
       if (x == u) continue;
       const PartId px = part_[x];
@@ -372,18 +375,7 @@ void ConnectivityTracker::add_cut_contributions(EdgeId e, NodeId u) {
       touch(x);
     }
   } else if (l == 2) {
-    PartId a = kInvalidPart;
-    PartId b = kInvalidPart;
-    for (PartId q = 0; q < k_; ++q) {
-      if (counts_[base + q] > 0) {
-        if (a == kInvalidPart) {
-          a = q;
-        } else {
-          b = q;
-          break;
-        }
-      }
-    }
+    const auto [a, b] = two_present_parts(e);
     for (const NodeId x : g_.pins(e)) {
       if (x == u) continue;
       const PartId px = part_[x];
@@ -421,12 +413,8 @@ void ConnectivityTracker::rebuild_mover_cache_row(NodeId u) {
     if (l == 1) {
       if (g_.edge_size(e) >= 2) p += w;
     } else if (l == 2 && counts_[base + pu] == 1) {
-      for (PartId q = 0; q < k_; ++q) {
-        if (q != pu && counts_[base + q] > 0) {
-          row[q] += w;
-          break;
-        }
-      }
+      const auto [a, b] = two_present_parts(e);
+      row[a == pu ? b : a] += w;
     }
   }
   penalty_[u] = p;
@@ -450,8 +438,10 @@ void ConnectivityTracker::update_boundary_after_lambda_change(EdgeId e,
 
 void ConnectivityTracker::move_with_cache(NodeId u, PartId to) {
   const PartId from = part_[u];
-  ++epoch_;
-  touched_.clear();
+  if (!batch_active_) {  // apply_batch owns the epoch for the whole batch
+    ++epoch_;
+    touched_.clear();
+  }
   touch(u);
   const bool conn = cache_metric_ == CostMetric::kConnectivity;
   // The delta rules below write scattered benefit rows of this move's
@@ -476,6 +466,10 @@ void ConnectivityTracker::move_with_cache(NodeId u, PartId to) {
     } else if (cut_relevant) {
       remove_cut_contributions(e, u);
     }
+    if (!present_.empty()) {
+      if (cf == 1) present_[e] &= ~(std::uint64_t{1} << from);
+      if (ct == 0) present_[e] |= std::uint64_t{1} << to;
+    }
     --cf;
     ++ct;
     lambda_[e] = l_after;
@@ -492,6 +486,60 @@ void ConnectivityTracker::move_with_cache(NodeId u, PartId to) {
   part_weight_[to] += g_.node_weight(u);
   part_[u] = to;
   rebuild_mover_cache_row(u);
+}
+
+std::pair<PartId, PartId> ConnectivityTracker::two_present_parts(
+    EdgeId e) const noexcept {
+  if (!present_.empty()) {
+    const std::uint64_t m = present_[e];
+    return {static_cast<PartId>(std::countr_zero(m)),
+            static_cast<PartId>(std::countr_zero(m & (m - 1)))};
+  }
+  const std::size_t base = static_cast<std::size_t>(e) * k_;
+  PartId a = kInvalidPart;
+  for (PartId q = 0; q < k_; ++q) {
+    if (counts_[base + q] > 0) {
+      if (a == kInvalidPart) {
+        a = q;
+      } else {
+        return {a, q};
+      }
+    }
+  }
+  return {a, kInvalidPart};
+}
+
+BatchCommitResult ConnectivityTracker::apply_batch(
+    std::span<const BatchMove> moves, Weight capacity, Weight min_gain) {
+  if (!cache_enabled_) {
+    throw std::logic_error(
+        "ConnectivityTracker::apply_batch requires an enabled gain cache");
+  }
+  BatchCommitResult result;
+  ++epoch_;
+  touched_.clear();
+  batch_active_ = true;
+  for (const BatchMove& m : moves) {
+    // Revalidate against the CURRENT state: earlier commits in this batch
+    // may have changed the gain or the balance headroom. The cached gain is
+    // exact, so this is the same accept/reject decision a sequential pass
+    // re-examining the node right now would make.
+    if (part_[m.node] == m.to) {
+      ++result.conflicted;
+      continue;
+    }
+    const Weight fresh = cached_gain(m.node, m.to);
+    if (fresh < min_gain ||
+        sat_add(part_weight_[m.to], g_.node_weight(m.node)) > capacity) {
+      ++result.conflicted;
+      continue;
+    }
+    move_with_cache(m.node, m.to);
+    ++result.applied;
+    result.total_gain += fresh;
+  }
+  batch_active_ = false;
+  return result;
 }
 
 }  // namespace hp

@@ -1,10 +1,18 @@
 #pragma once
-// Heavy-edge coarsening for multilevel partitioning [28, 45].
+// Deterministic parallel clustering coarsening for multilevel partitioning
+// [28, 45], in the synchronous-round style of BiPart / deterministic
+// Mt-KaHyPar.
 //
-// Pairs of nodes with the strongest hyperedge affinity are contracted; the
-// coarse hypergraph aggregates node weights, restricts pins to clusters,
-// and merges identical hyperedges by summing weights. Single-pin coarse
-// edges are dropped (they can never be cut).
+// Each round, every singleton node rates neighbouring clusters by the
+// heavy-edge score w(e)/(|e|−1) against the state frozen at round start
+// and proposes to join the best feasible one; conflicting proposals on the
+// same target are resolved by a fixed priority key (rating desc, then node
+// id asc) and the winners commit sequentially in node-id order. Because
+// proposals are pure functions of frozen state over fixed-grain chunks,
+// the contraction hierarchy is bit-identical at 1 or N threads. The coarse
+// hypergraph aggregates node weights, restricts pins to clusters, and
+// merges identical hyperedges by summing weights (sharded parallel dedup).
+// Single-pin coarse edges are dropped (they can never be cut).
 
 #include <vector>
 
@@ -19,13 +27,13 @@ struct CoarseLevel {
   std::vector<NodeId> fine_to_coarse;
 };
 
-/// One round of heavy-edge pair matching. Clusters never exceed
-/// `max_cluster_weight`. When `restrict_parts` is given, only nodes of the
-/// same part are matched (the partition-aware coarsening of V-cycles).
-/// The coarse-edge dedup runs on `threads` executors over sharded hash
-/// maps; the result is deterministic for a fixed seed and identical for
-/// every thread count (items are sharded by pin-list hash and merged in
-/// original edge order within each shard).
+/// One level of parallel clustering coarsening (a few proposal rounds, see
+/// the file header). Clusters never exceed `max_cluster_weight`. When
+/// `restrict_parts` is given, only nodes of the same part cluster together
+/// (the partition-aware coarsening of V-cycles). The propose phase, the
+/// leader numbering, and the coarse-edge dedup all run on `threads`
+/// executors over fixed-grain chunks / sharded hash maps; the result is
+/// deterministic for a fixed seed and identical for every thread count.
 [[nodiscard]] CoarseLevel coarsen_once(const Hypergraph& g,
                                        Weight max_cluster_weight,
                                        std::uint64_t seed,

@@ -19,6 +19,17 @@
 // The legacy engine (use_gain_cache = false) recomputes gains by
 // rescanning incident edges and seeds all n·(k−1) moves; it is kept as
 // the reference baseline measured by bench_refine_scaling.
+//
+// A third engine (sync_rounds = true) trades the sequential pass for
+// deterministic synchronous move rounds in the BiPart / deterministic
+// Mt-KaHyPar style: each round snapshots the boundary, computes best-gain
+// proposals in parallel over fixed-grain chunks of the snapshot (pure
+// functions of the frozen tracker state), orders the surviving proposals
+// by (gain desc, node id asc), and commits them sequentially through
+// ConnectivityTracker::apply_batch, which revalidates every proposal
+// against the live state. Only strictly positive revalidated gains within
+// the hard capacity apply, so rounds are monotone, never unbalance the
+// partition, and produce a bit-identical result at any thread count.
 
 #include <cstdint>
 
@@ -49,6 +60,18 @@ struct FmConfig {
   /// Threads for tracker/gain-cache construction (0 = default_threads()).
   /// The refined partition is identical for every thread count.
   unsigned threads = 1;
+  /// Use the synchronous-round parallel engine (see the file header)
+  /// instead of the sequential pass. Requires the gain cache; falls back
+  /// to the sequential engine when extra_constraints are set (group
+  /// feasibility is stateful across moves and is not revalidated by the
+  /// batch commit) or use_gain_cache is false. The choice of engine must
+  /// never depend on the thread count — callers gate it on instance size
+  /// (e.g. MultilevelConfig::sync_fm_min_nodes) so results stay identical
+  /// across thread counts.
+  bool sync_rounds = false;
+  /// Round cap for the synchronous engine; rounds also stop as soon as one
+  /// of them applies no move.
+  int max_sync_rounds = 32;
 };
 
 /// Refine `p` in place; returns the final cost under cfg.metric.

@@ -25,6 +25,8 @@
 // 0/1/2 thresholds (boundary edges) trigger pin rescans; interior moves on
 // large edges cost O(1) per edge.
 
+#include <span>
+#include <utility>
 #include <vector>
 
 #include "hyperpart/core/hypergraph.hpp"
@@ -32,6 +34,21 @@
 #include "hyperpart/core/partition.hpp"
 
 namespace hp {
+
+/// One proposed move of a synchronous refinement round, carrying the gain
+/// it was computed with (against the round's frozen snapshot).
+struct BatchMove {
+  NodeId node;
+  PartId to;
+  Weight gain;
+};
+
+/// Outcome of ConnectivityTracker::apply_batch.
+struct BatchCommitResult {
+  std::uint64_t applied = 0;     ///< moves that survived revalidation
+  std::uint64_t conflicted = 0;  ///< skipped: stale gain or infeasible now
+  Weight total_gain = 0;         ///< exact cost decrease of applied moves
+};
 
 class ConnectivityTracker {
  public:
@@ -78,6 +95,18 @@ class ConnectivityTracker {
 
   /// Export the current assignment.
   [[nodiscard]] Partition to_partition() const;
+
+  /// Deterministic commit phase of a synchronous move round. Applies the
+  /// proposals in the given (already prioritized) order; each is
+  /// revalidated against the tracker's CURRENT state right before it
+  /// applies: the exact cached gain must still be ≥ `min_gain` and the
+  /// target part must stay within `capacity` — otherwise the proposal is
+  /// counted as conflicted and skipped, exactly as a sequential pass
+  /// re-examining the node would have rejected it. Requires an enabled
+  /// gain cache. last_move_touched() afterwards holds the union of nodes
+  /// whose cached gains changed across the whole batch (deduplicated).
+  BatchCommitResult apply_batch(std::span<const BatchMove> moves,
+                                Weight capacity, Weight min_gain = 1);
 
   // --- Gain cache & boundary set -----------------------------------------
 
@@ -166,11 +195,20 @@ class ConnectivityTracker {
   void touch(NodeId v);
   void boundary_insert(NodeId v);
   void boundary_erase(NodeId v);
+  /// The two present parts (a < b) of an edge with λ_e == 2, via the
+  /// present-parts bitset when k ≤ 64 and a count scan otherwise.
+  [[nodiscard]] std::pair<PartId, PartId> two_present_parts(
+      EdgeId e) const noexcept;
 
   const Hypergraph& g_;
   PartId k_;
   std::vector<PartId> part_;
   std::vector<std::uint32_t> counts_;  // m × k pin counts
+  // For k ≤ 64: per-net bitset of parts with at least one pin, kept in
+  // lock-step with counts_. Turns the hot "which parts are present in e"
+  // scans (gain-cache fill, the λ == 2 two-part lookups, the mover-row
+  // rebuild) from O(k) count reads into one word load + bit tricks.
+  std::vector<std::uint64_t> present_;
   std::vector<PartId> lambda_;
   std::vector<Weight> part_weight_;
   Weight cut_net_ = 0;
@@ -189,6 +227,7 @@ class ConnectivityTracker {
   std::vector<NodeId> touched_;              // gains changed by last move
   std::vector<std::uint64_t> touched_stamp_;  // n: dedup epoch per node
   std::uint64_t epoch_ = 0;
+  bool batch_active_ = false;  // apply_batch: accumulate touched_ over moves
 };
 
 }  // namespace hp

@@ -198,6 +198,36 @@ void parallel_for_chunks(
   run_parallel(tasks, workers);
 }
 
+void parallel_for_grain(
+    std::uint64_t count, std::uint64_t grain, unsigned threads,
+    const std::function<void(std::size_t, std::uint64_t, std::uint64_t)>&
+        fn) {
+  if (count == 0) return;  // no chunks — schedule nothing, not no-op tasks
+  const std::uint64_t g = grain == 0 ? kStableGrain : grain;
+  const std::size_t chunks = num_grain_chunks(count, g);
+  const unsigned workers = std::max<unsigned>(
+      1, static_cast<unsigned>(std::min<std::uint64_t>(
+             threads == 0 ? 1 : threads, chunks)));
+  if (workers == 1 || chunks == 1) {
+    for (std::size_t c = 0; c < chunks; ++c) {
+      fn(c, c * g, std::min<std::uint64_t>(count, (c + 1) * g));
+    }
+    return;
+  }
+  // One task per chunk; run_parallel caps concurrency at `workers` with its
+  // own drivers, so a fine grain never floods the pool. Which executor runs
+  // which chunk is scheduling noise — the (chunk, begin, end) triples are
+  // fixed by count and g alone.
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(chunks);
+  for (std::size_t c = 0; c < chunks; ++c) {
+    const std::uint64_t begin = c * g;
+    const std::uint64_t end = std::min<std::uint64_t>(count, begin + g);
+    tasks.push_back([c, begin, end, &fn]() { fn(c, begin, end); });
+  }
+  run_parallel(tasks, workers);
+}
+
 unsigned default_threads() noexcept {
   const unsigned hw = std::thread::hardware_concurrency();
   return hw == 0 ? 1 : hw;

@@ -3,7 +3,7 @@
 //   hyperpart_cli <graph.hgr|graph.hpb> [--k K] [--eps E]
 //                 [--metric cut|conn]
 //                 [--algo multilevel|rb|greedy|random|bnb|stream] [--seed S]
-//                 [--restream N] [--buffer B]
+//                 [--threads T] [--restream N] [--buffer B]
 //                 [--hier B1xB2[:G1]] [--out partition.txt]
 //                 [--convert out.hpb]
 //
@@ -45,7 +45,7 @@ namespace {
       << "usage: hyperpart_cli <graph.hgr|graph.hpb> [--k K] [--eps E]\n"
          "         [--metric cut|conn] "
          "[--algo multilevel|rb|greedy|random|bnb|stream]\n"
-         "         [--seed S] [--restream N] [--buffer B]\n"
+         "         [--seed S] [--threads T] [--restream N] [--buffer B]\n"
          "         [--hier B1xB2[:G1]] [--out partition.txt] "
          "[--convert out.hpb] [--telemetry t.json]\n";
   std::exit(2);
@@ -169,6 +169,7 @@ int main(int argc, char** argv) {
   hp::CostMetric metric = hp::CostMetric::kConnectivity;
   std::string algo = "multilevel";
   std::uint64_t seed = 1;
+  unsigned threads = 1;
   int restream_passes = 0;
   hp::NodeId buffer = 0;
   std::optional<std::string> out_path;
@@ -204,6 +205,12 @@ int main(int argc, char** argv) {
       algo = value();
     } else if (arg == "--seed") {
       seed = flag_u64(arg, value(), 0, UINT64_MAX, "unsigned integer");
+    } else if (arg == "--threads") {
+      // 0 = hardware concurrency. The partition is identical for every
+      // thread count (deterministic parallel engine); threads only change
+      // wall-clock time.
+      threads = static_cast<unsigned>(
+          flag_u64(arg, value(), 0, 1024, "integer in [0, 1024]"));
     } else if (arg == "--restream") {
       restream_passes = static_cast<int>(
           flag_u64(arg, value(), 0, INT32_MAX, "integer >= 0"));
@@ -292,6 +299,7 @@ int main(int argc, char** argv) {
   hp::MultilevelConfig cfg;
   cfg.metric = metric;
   cfg.seed = seed;
+  cfg.fm.threads = threads;
 
   hp::Timer timer;
   std::optional<hp::Partition> partition;
