@@ -13,9 +13,6 @@
 // runs n in {250k, 1M, 2M} (greedy, O(n²), stops at 250k and multilevel
 // at 1M) and enforces the RSS/cost acceptance gate at n = 1M.
 
-#include <sys/wait.h>
-#include <unistd.h>
-
 #include <cstdio>
 #include <cstring>
 #include <fstream>
@@ -30,6 +27,7 @@
 #include "hyperpart/stream/binary_format.hpp"
 #include "hyperpart/stream/restream_refiner.hpp"
 #include "hyperpart/stream/stream_partitioner.hpp"
+#include "hyperpart/util/subprocess.hpp"
 #include "hyperpart/util/timer.hpp"
 
 #include "bench_util.hpp"
@@ -107,20 +105,11 @@ int run_child(const std::string& algo, const std::string& bin_path, PartId k,
 [[nodiscard]] bool run_algo(const std::string& algo,
                             const std::string& bin_path, Row& row) {
   const std::string result_path = bin_path + "." + algo + ".result";
-  const std::string k_s = std::to_string(kParts);
-  const std::string eps_s = std::to_string(kEps);
-  const std::string restream_s = std::to_string(kRestreamPasses);
-  const pid_t pid = fork();
-  if (pid < 0) return false;
-  if (pid == 0) {
-    execl("/proc/self/exe", "bench_stream_scaling", "--child", algo.c_str(),
-          bin_path.c_str(), k_s.c_str(), eps_s.c_str(), restream_s.c_str(),
-          result_path.c_str(), static_cast<char*>(nullptr));
-    _exit(127);
-  }
-  int status = 0;
-  if (waitpid(pid, &status, 0) != pid || !WIFEXITED(status) ||
-      WEXITSTATUS(status) != 0) {
+  const auto status = hp::subprocess::run(
+      "/proc/self/exe",
+      {"--child", algo, bin_path, std::to_string(kParts),
+       std::to_string(kEps), std::to_string(kRestreamPasses), result_path});
+  if (!status.ok()) {
     std::cerr << "child for algo " << algo << " failed\n";
     return false;
   }

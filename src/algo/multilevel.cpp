@@ -11,9 +11,9 @@
 
 namespace hp {
 
-std::optional<Partition> multilevel_partition(const Hypergraph& g,
-                                              const BalanceConstraint& balance,
-                                              const MultilevelConfig& cfg) {
+std::optional<Partition> multilevel_partition_cached(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const MultilevelConfig& cfg, MultilevelHierarchy* hierarchy) {
   HP_SPAN("multilevel");
   const PartId k = balance.k();
   Rng rng{cfg.seed};
@@ -31,23 +31,36 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
   // --- Coarsening phase ---------------------------------------------------
   // Clusters are capped so the coarsest level still admits a balanced
   // partition: never above a third of the per-part capacity.
-  const Weight max_cluster =
-      std::max<Weight>(1, balance.capacity() / 3);
-  std::vector<CoarseLevel> levels;
-  const Hypergraph* current = &g;
-  const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
-  while (current->num_nodes() > stop_at) {
-    HP_SPAN("coarsen", "level", levels.size());
-    CoarseLevel next =
-        coarsen_once(*current, max_cluster, rng(), nullptr, threads);
-    // Insufficient shrinkage means matching is saturated; stop.
-    if (next.graph.num_nodes() >
-        static_cast<NodeId>(0.95 * current->num_nodes())) {
-      break;
+  MultilevelHierarchy local;
+  MultilevelHierarchy& hier = hierarchy ? *hierarchy : local;
+  if (hier.empty()) {
+    const Weight max_cluster = std::max<Weight>(1, balance.capacity() / 3);
+    const Hypergraph* current = &g;
+    const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
+    while (current->num_nodes() > stop_at) {
+      HP_SPAN("coarsen", "level", hier.levels.size());
+      ++hier.rng_draws;
+      CoarseLevel next =
+          coarsen_once(*current, max_cluster, rng(), nullptr, threads);
+      // Insufficient shrinkage means matching is saturated; stop.
+      if (next.graph.num_nodes() >
+          static_cast<NodeId>(0.95 * current->num_nodes())) {
+        break;
+      }
+      hier.levels.push_back(std::move(next));
+      current = &hier.levels.back().graph;
     }
-    levels.push_back(std::move(next));
-    current = &levels.back().graph;
+  } else {
+    // Reuse: the cached levels ARE the coarsening a fresh run would have
+    // produced (callers guarantee graph + capacity + seed match). Replay
+    // the recorded number of rng draws so every downstream random choice —
+    // initial partitioning, FM tie-breaks — sees the same stream as an
+    // uncached run, keeping the partition bit-identical.
+    for (std::uint32_t i = 0; i < hier.rng_draws; ++i) (void)rng();
+    HP_COUNTER_ADD("multilevel.hierarchy_reuses", 1);
   }
+  const std::vector<CoarseLevel>& levels = hier.levels;
+  const Hypergraph* current = levels.empty() ? &g : &levels.back().graph;
   HP_COUNTER_ADD("multilevel.runs", 1);
   HP_COUNTER_ADD("multilevel.levels",
                  static_cast<std::int64_t>(levels.size()));
@@ -85,6 +98,12 @@ std::optional<Partition> multilevel_partition(const Hypergraph& g,
     fm_refine(fine, p, balance, fm_for(fine.num_nodes()));
   }
   return p;
+}
+
+std::optional<Partition> multilevel_partition(const Hypergraph& g,
+                                              const BalanceConstraint& balance,
+                                              const MultilevelConfig& cfg) {
+  return multilevel_partition_cached(g, balance, cfg, nullptr);
 }
 
 }  // namespace hp

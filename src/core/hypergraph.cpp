@@ -84,6 +84,64 @@ void Hypergraph::set_edge_weights(std::vector<Weight> w) {
   edge_weights_ = std::move(w);
 }
 
+void Hypergraph::update_node_weight(NodeId v, Weight w) {
+  if (v >= num_nodes()) {
+    throw std::invalid_argument("update_node_weight: node out of range");
+  }
+  if (w < 0) throw std::invalid_argument("update_node_weight: negative weight");
+  if (node_weights_.empty()) node_weights_.assign(num_nodes(), 1);
+  node_weights_[v] = w;
+}
+
+void Hypergraph::update_edge_weight(EdgeId e, Weight w) {
+  if (e >= num_edges()) {
+    throw std::invalid_argument("update_edge_weight: edge out of range");
+  }
+  if (w < 0) throw std::invalid_argument("update_edge_weight: negative weight");
+  if (edge_weights_.empty()) edge_weights_.assign(num_edges(), 1);
+  edge_weights_[e] = w;
+}
+
+namespace {
+
+inline void fnv_mix(std::uint64_t& h, std::uint64_t x) noexcept {
+  // FNV-1a over the 8 bytes of x.
+  for (int i = 0; i < 8; ++i) {
+    h ^= (x >> (8 * i)) & 0xff;
+    h *= 0x100000001b3ULL;
+  }
+}
+
+}  // namespace
+
+std::uint64_t Hypergraph::content_hash() const noexcept {
+  std::uint64_t h = 0xcbf29ce484222325ULL;
+  fnv_mix(h, num_nodes());
+  fnv_mix(h, num_edges());
+  for (const std::uint64_t o : edge_offsets_) fnv_mix(h, o);
+  for (const NodeId p : pins_) fnv_mix(h, p);
+  // Unit weights hash like an explicit all-ones vector, so materializing
+  // the lazy vector (update_node_weight on a unit graph) never moves the
+  // hash by itself.
+  fnv_mix(h, 0x9e3779b97f4a7c15ULL);
+  if (node_weights_.empty()) {
+    for (NodeId v = 0; v < num_nodes(); ++v) fnv_mix(h, 1);
+  } else {
+    for (const Weight w : node_weights_) {
+      fnv_mix(h, static_cast<std::uint64_t>(w));
+    }
+  }
+  fnv_mix(h, 0x9e3779b97f4a7c15ULL);
+  if (edge_weights_.empty()) {
+    for (EdgeId e = 0; e < num_edges(); ++e) fnv_mix(h, 1);
+  } else {
+    for (const Weight w : edge_weights_) {
+      fnv_mix(h, static_cast<std::uint64_t>(w));
+    }
+  }
+  return h;
+}
+
 bool Hypergraph::validate() const noexcept {
   if (edge_offsets_.empty() || node_offsets_.empty()) return false;
   if (edge_offsets_.front() != 0 || node_offsets_.front() != 0) return false;

@@ -25,6 +25,7 @@
 #include "hyperpart/core/metrics.hpp"
 #include "hyperpart/dag/recognition.hpp"
 #include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/server/session.hpp"
 #include "hyperpart/stream/binary_format.hpp"
 #include "hyperpart/stream/restream_refiner.hpp"
 #include "hyperpart/stream/stream_partitioner.hpp"
@@ -393,6 +394,141 @@ void exact_leg(Checker& c, const BalanceConstraint& balance,
   }
 }
 
+/// Random update/repartition interleavings through a GraphSession — the
+/// partitioning service's incremental ladder (ΔFM → V-cycle → full). After
+/// every repartition the result must be balanced on the *current* graph,
+/// its reported cost must match an offline recomputation on an
+/// independently mirrored graph, every cached tracker must equal one
+/// rebuilt from scratch, and the cost must stay within the documented
+/// quality bound against a from-scratch multilevel run:
+/// incremental ≤ 3 · scratch + 4. The whole interleaving replays to a
+/// bit-identical cost trace (determinism).
+void incremental_leg(Checker& c) {
+  const Hypergraph& g0 = c.inst.graph;
+  if (g0.num_nodes() == 0) return;
+  server::SessionConfig cfg;
+  cfg.k = c.inst.k;
+  cfg.epsilon = c.inst.epsilon;
+  cfg.metric = c.inst.metric;
+  cfg.seed = c.inst.seed ^ 0x1c7eULL;
+  cfg.threads = 1;
+  MultilevelConfig scratch_cfg;
+  scratch_cfg.metric = cfg.metric;
+  scratch_cfg.seed = cfg.seed;
+  scratch_cfg.fm.threads = 1;
+
+  // verify=true runs the full invariant battery; verify=false replays the
+  // identical interleaving and only records the cost trace.
+  const auto run_once = [&](bool verify, std::vector<Weight>& cost_trace) {
+    Rng rng(c.inst.seed ^ 0xdE17aULL);
+    Hypergraph shadow = g0;  // mirrored updates; never touches the session
+    auto session = server::GraphSession::from_graph(g0, "fuzz");
+    if (!session->try_acquire_mutator()) {
+      c.fail("incremental-admission", "fresh session refused mutator slot");
+      return;
+    }
+    if (!session->partition(cfg, false).ok) {
+      // Capacity too tight for this instance: the scratch solver must agree
+      // that no feasible partition exists.
+      if (verify) {
+        const auto balance = BalanceConstraint::for_graph(
+            shadow, cfg.k, cfg.epsilon, /*relaxed=*/true);
+        c.check(!multilevel_partition(shadow, balance, scratch_cfg),
+                "incremental-infeasible",
+                "session found no partition but scratch multilevel did");
+      }
+      return;
+    }
+    for (int round = 0; round < c.opts.incremental_rounds; ++round) {
+      std::vector<server::WeightUpdate> nodes;
+      std::vector<server::WeightUpdate> edges;
+      const int n_nodes = 1 + static_cast<int>(rng.next_below(3));
+      for (int i = 0; i < n_nodes; ++i) {
+        const auto v = static_cast<NodeId>(rng.next_below(g0.num_nodes()));
+        const auto w = static_cast<Weight>(rng.next_in(1, 4));
+        nodes.push_back({v, w});
+        shadow.update_node_weight(v, w);
+      }
+      if (g0.num_edges() > 0 && rng.next_bool(0.4)) {
+        const auto e = static_cast<EdgeId>(rng.next_below(g0.num_edges()));
+        const auto w = static_cast<Weight>(rng.next_in(1, 3));
+        edges.push_back({e, w});
+        shadow.update_edge_weight(e, w);
+      }
+      const auto up = session->update(nodes, edges);
+      if (!up.ok || up.applied != nodes.size() + edges.size()) {
+        c.fail("incremental-update",
+               "in-range weight update rejected: " + up.error);
+        return;
+      }
+      // Quality baseline the ladder guards against: the cached partition's
+      // cost on the post-update graph (what `evaluate` reports).
+      const auto before = session->evaluate(cfg, false);
+      const auto out = session->repartition(cfg, /*include_parts=*/true);
+      const auto balance = BalanceConstraint::for_graph(
+          shadow, cfg.k, cfg.epsilon, /*relaxed=*/true);
+      if (!out.ok) {
+        if (verify) {
+          c.check(!multilevel_partition(shadow, balance, scratch_cfg),
+                  "incremental-infeasible",
+                  "repartition failed but scratch multilevel succeeded: " +
+                      out.error);
+        }
+        return;  // dead end either way; the replay stops here too
+      }
+      cost_trace.push_back(out.cost);
+      if (!verify) continue;
+      const Partition p(std::vector<PartId>(out.parts.begin(),
+                                            out.parts.end()),
+                        cfg.k);
+      // check_feasible() weighs against the pristine instance graph; here
+      // the parts must fit the *updated* weights, so check on the mirror.
+      c.check(p.complete() && p.k() == cfg.k, "incremental-balance",
+              out.method + " returned an incomplete partition");
+      const auto mirrored_weights = p.part_weights(shadow);
+      for (PartId q = 0; q < cfg.k; ++q) {
+        c.check(mirrored_weights[q] <= balance.capacity(),
+                "incremental-balance",
+                out.method + " overfills part " + std::to_string(q) + ": " +
+                    std::to_string(mirrored_weights[q]) + " > " +
+                    std::to_string(balance.capacity()));
+      }
+      c.check(out.balanced, "incremental-balance",
+              out.method + " reported balanced=false for a returned result");
+      const Weight recomputed = cost(shadow, p, cfg.metric);
+      c.check(recomputed == out.cost, "incremental-cost",
+              out.method + " reported cost " + std::to_string(out.cost) +
+                  " but mirrored recomputation gives " +
+                  std::to_string(recomputed));
+      std::string why;
+      c.check(session->verify_cache_integrity(&why), "incremental-cache",
+              "tracker state diverged after " + out.method + ": " + why);
+      if (const auto scratch =
+              multilevel_partition(shadow, balance, scratch_cfg)) {
+        // The ladder's documented bound: every rung either stays within
+        // 3 · before + 4 of the cached partition's current cost or
+        // escalates, bottoming out at a full run — which is the same
+        // deterministic multilevel as this scratch run.
+        const Weight scratch_cost = cost(shadow, *scratch, cfg.metric);
+        const Weight bound =
+            std::max(3 * scratch_cost + 4,
+                     before.ok ? 3 * before.cost + 4 : Weight{0});
+        c.check(out.cost <= bound, "incremental-quality",
+                out.method + " cost " + std::to_string(out.cost) +
+                    " exceeds max(3 * scratch, 3 * before) + 4 = " +
+                    std::to_string(bound));
+      }
+    }
+  };
+
+  std::vector<Weight> first;
+  std::vector<Weight> replay;
+  run_once(/*verify=*/true, first);
+  run_once(/*verify=*/false, replay);
+  c.check(first == replay, "determinism",
+          "update/repartition interleaving cost trace differs on replay");
+}
+
 }  // namespace
 
 std::string describe(const FuzzInstance& inst) {
@@ -556,6 +692,10 @@ OracleReport run_oracle(const FuzzInstance& inst, const OracleOptions& opts) {
 
   if (opts.run_stream) {
     c.leg("stream", [&] { stream_leg(c, balance, heuristics, costs); });
+  }
+
+  if (opts.run_incremental) {
+    c.leg("incremental", [&] { incremental_leg(c); });
   }
 
   const bool exact_ok =

@@ -4,7 +4,9 @@
 // the practical heuristic the paper's hardness results motivate.
 
 #include <optional>
+#include <vector>
 
+#include "hyperpart/algo/coarsening.hpp"
 #include "hyperpart/algo/fm_refiner.hpp"
 #include "hyperpart/core/balance.hpp"
 #include "hyperpart/core/metrics.hpp"
@@ -36,5 +38,31 @@ struct MultilevelConfig {
 [[nodiscard]] std::optional<Partition> multilevel_partition(
     const Hypergraph& g, const BalanceConstraint& balance,
     const MultilevelConfig& cfg = {});
+
+/// A reusable coarsening hierarchy: the per-level coarse graphs and
+/// fine→coarse maps produced by the coarsening phase. Valid only for the
+/// exact graph contents (and balance capacity / seed) it was built from —
+/// the partitioning service keys cached hierarchies by
+/// Hypergraph::content_hash() plus the request config.
+struct MultilevelHierarchy {
+  std::vector<CoarseLevel> levels;
+  /// Rng draws the coarsening phase consumed when this hierarchy was built
+  /// (one per coarsen_once call, including a final saturated attempt that
+  /// produced no level). Reuse replays exactly this many draws so the rest
+  /// of the pipeline sees the same rng stream as the original run.
+  std::uint32_t rng_draws = 0;
+  [[nodiscard]] bool empty() const noexcept { return levels.empty(); }
+};
+
+/// multilevel_partition with an explicit hierarchy slot. When `hierarchy`
+/// is non-null and non-empty, the coarsening phase is skipped entirely and
+/// the cached levels are reused (no coarsen spans open; the per-level rng
+/// draws are still consumed so the result is bit-identical to a fresh
+/// run). When non-null and empty, the freshly built hierarchy is stored
+/// into it for future reuse. nullptr behaves exactly like
+/// multilevel_partition above.
+[[nodiscard]] std::optional<Partition> multilevel_partition_cached(
+    const Hypergraph& g, const BalanceConstraint& balance,
+    const MultilevelConfig& cfg, MultilevelHierarchy* hierarchy);
 
 }  // namespace hp

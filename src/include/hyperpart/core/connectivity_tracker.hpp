@@ -96,6 +96,17 @@ class ConnectivityTracker {
   /// Export the current assignment.
   [[nodiscard]] Partition to_partition() const;
 
+  /// Adjust the cached part weight after node v's weight in the underlying
+  /// graph changed by `delta` (via Hypergraph::update_node_weight on the
+  /// same graph object this tracker references). Pin counts, λ, both cost
+  /// totals, and the gain cache are independent of node weights, so the
+  /// tracker stays exact — this is what lets the partitioning service run
+  /// ΔFM on a cached tracker after a weight-only update instead of
+  /// rebuilding it.
+  void apply_node_weight_delta(NodeId v, Weight delta) noexcept {
+    part_weight_[part_[v]] = sat_add(part_weight_[part_[v]], delta);
+  }
+
   /// Deterministic commit phase of a synchronous move round. Applies the
   /// proposals in the given (already prioritized) order; each is
   /// revalidated against the tracker's CURRENT state right before it

@@ -84,6 +84,20 @@ class Hypergraph {
   /// Attach edge weights (size must equal num_edges(); all weights >= 0).
   void set_edge_weights(std::vector<Weight> w);
 
+  /// In-place single-weight updates (w >= 0; throws std::invalid_argument
+  /// otherwise). Materialize the lazy unit-weight vector on first use. The
+  /// partitioning service uses these for dynamic updates so that the graph
+  /// object — and every ConnectivityTracker referencing it — keeps its
+  /// address and CSR structure; only the weight changes.
+  void update_node_weight(NodeId v, Weight w);
+  void update_edge_weight(EdgeId e, Weight w);
+
+  /// 64-bit FNV-1a content hash over the full structure and weights
+  /// (n, m, pin lists, incidence offsets, weight vectors). Two graphs with
+  /// equal hash are byte-identical for every accessor above; the
+  /// partitioning service keys its hierarchy/tracker caches on it.
+  [[nodiscard]] std::uint64_t content_hash() const noexcept;
+
   /// Internal consistency check (offsets sorted, pins in range, mirror
   /// structure matches). Used by tests and after deserialization.
   [[nodiscard]] bool validate() const noexcept;

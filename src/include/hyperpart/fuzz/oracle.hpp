@@ -28,6 +28,12 @@
 //                    all costs; the streamed (k ≤ 64) incremental cost and
 //                    the offline recomputation agree; restream only ever
 //                    lowers the cost and stays balanced
+//   incremental      random update/repartition interleavings through a
+//                    GraphSession stay balanced, report exactly the cost an
+//                    independent mirror recomputes, keep every cached
+//                    tracker equal to one rebuilt from scratch, and stay
+//                    within the documented quality bound against a
+//                    from-scratch run (incremental ≤ 3 · scratch + 4)
 //   determinism      repeated runs of the same seed, and runs at different
 //                    thread counts, produce bit-identical partitions
 //
@@ -63,6 +69,10 @@ struct OracleOptions {
   bool run_annealing = true;
   /// Stream/restream leg (writes a temporary HPBH file per call).
   bool run_stream = true;
+  /// GraphSession update/repartition interleaving leg.
+  bool run_incremental = true;
+  /// Update/repartition rounds per incremental-leg interleaving.
+  int incremental_rounds = 6;
   FaultInjection fault = FaultInjection::kNone;
   /// Directory for temporary binary files ("" = system temp dir).
   std::string scratch_dir;

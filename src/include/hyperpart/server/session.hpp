@@ -1,0 +1,236 @@
+#pragma once
+// Per-graph session state of the hyperpartd partitioning service.
+//
+// A GraphSession owns one loaded hypergraph (materialized once — HPBH files
+// are mmapped via stream::MappedHypergraph and copied into an in-memory
+// Hypergraph so weights can mutate in place while the object keeps its
+// address) plus a cache of partitioning results keyed by the request config
+// (k, ε, metric, seed). Each cache entry stores the coarsening hierarchy,
+// the final partition + cost, and a live ConnectivityTracker reflecting
+// that partition — the state that makes `repartition` after an `update`
+// cheap.
+//
+// Concurrency model (enforced by the Server, asserted here):
+//   * at most ONE mutator (partition / repartition / update) per session at
+//     a time, admitted through try_acquire_mutator() — a second concurrent
+//     mutator is rejected with a "busy" error, never queued;
+//   * any number of readers (evaluate / stats) run concurrently with the
+//     mutator: readers hold the shared lock and only ever touch the graph,
+//     and the committed (partition, cost) snapshots;
+//   * the mutator computes under the *shared* lock — cached trackers and
+//     hierarchies are touched exclusively by the single admitted mutator,
+//     so readers never observe them — and commits results under a brief
+//     unique lock. `update` takes the unique lock for its whole (short)
+//     critical section since it writes the graph itself.
+//
+// Repartition fallback ladder (documented in DESIGN.md):
+//   1. ΔFM      — change fraction ≤ kDeltaFmMaxFraction and a cached
+//                 tracker exists: patch/rebuild the tracker, restore
+//                 balance, boundary-FM. No coarsening at all.
+//   2. V-cycle  — change fraction ≤ kVcycleMaxFraction: partition-aware
+//                 V-cycles seeded from the cached partition.
+//   3. full     — fresh multilevel run (also the fallback whenever a rung
+//                 fails to produce a feasible partition).
+// Quality guard: rungs 1 and 2 escalate rather than commit a result worse
+// than 3 · before + 4, where `before` is the cached partition's cost on the
+// current graph. Combined with rung 3 being a deterministic from-scratch
+// run, every repartition satisfies
+//   cost ≤ max(3 · before + 4, cost of a fresh multilevel run)
+// — the bound the fuzz oracle's `incremental` leg enforces.
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hyperpart/algo/multilevel.hpp"
+#include "hyperpart/core/balance.hpp"
+#include "hyperpart/core/connectivity_tracker.hpp"
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/core/partition.hpp"
+#include "hyperpart/util/shared_mutex.hpp"
+
+namespace hp::server {
+
+/// Change-fraction thresholds of the repartition ladder.
+inline constexpr double kDeltaFmMaxFraction = 0.05;
+inline constexpr double kVcycleMaxFraction = 0.5;
+
+/// Request-side partitioning config. (k, epsilon, metric, seed) key the
+/// session cache; `threads` deliberately does not — every algorithm in this
+/// repo produces thread-count-invariant results.
+struct SessionConfig {
+  PartId k = 2;
+  double epsilon = 0.05;
+  CostMetric metric = CostMetric::kConnectivity;
+  std::uint64_t seed = 1;
+  unsigned threads = 1;
+};
+
+/// One node- or edge-weight change of an `update` request.
+struct WeightUpdate {
+  std::uint32_t id = 0;
+  Weight weight = 0;
+};
+
+/// Result of partition / repartition / evaluate.
+struct PartitionOutcome {
+  bool ok = false;
+  std::string error;
+  /// "cached" | "delta_fm" | "vcycle" | "full" | "hierarchy" — which rung
+  /// produced the result.
+  std::string method;
+  bool cache_hit = false;
+  Weight cost = 0;
+  std::vector<Weight> part_weights;
+  bool balanced = false;
+  double change_fraction = 0.0;
+  /// Final assignment (copy; empty for evaluate unless requested).
+  std::vector<PartId> parts;
+};
+
+struct UpdateOutcome {
+  bool ok = false;
+  std::string error;
+  std::uint64_t applied = 0;
+  double change_fraction = 0.0;  ///< accumulated units / (n + m), max entry
+};
+
+class GraphSession {
+ public:
+  /// Load from an HPBH binary file (mmapped once, then materialized) or an
+  /// hMETIS text file. Throws std::runtime_error / std::invalid_argument on
+  /// unreadable or malformed input.
+  static std::unique_ptr<GraphSession> from_file(const std::string& path);
+
+  /// Wrap an in-memory graph (tests, benches).
+  static std::unique_ptr<GraphSession> from_graph(Hypergraph g,
+                                                  std::string name);
+
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+  [[nodiscard]] NodeId num_nodes() const noexcept { return g_.num_nodes(); }
+  [[nodiscard]] EdgeId num_edges() const noexcept { return g_.num_edges(); }
+  /// Current content hash (maintained across updates).
+  [[nodiscard]] std::uint64_t graph_hash() const noexcept {
+    return graph_hash_;
+  }
+
+  // --- Mutator admission ---------------------------------------------------
+
+  /// Claim the session's single mutator slot; false = someone else holds it
+  /// (callers answer "busy", they never block).
+  [[nodiscard]] bool try_acquire_mutator() noexcept {
+    return !mutating_.exchange(true, std::memory_order_acquire);
+  }
+  void release_mutator() noexcept {
+    mutating_.store(false, std::memory_order_release);
+  }
+
+  // --- Operations ----------------------------------------------------------
+
+  /// Full-service partition: cache hit when this exact graph content was
+  /// already partitioned under cfg; after a small weight-only change, the
+  /// cached hierarchy is reused (no coarsening) with a feasibility
+  /// post-check; otherwise a fresh multilevel run. Requires the mutator
+  /// slot. `include_parts` controls whether the assignment is copied into
+  /// the outcome.
+  [[nodiscard]] PartitionOutcome partition(const SessionConfig& cfg,
+                                           bool include_parts = true);
+
+  /// Incremental repartition via the ΔFM → V-cycle → full ladder (see file
+  /// header). Requires the mutator slot.
+  [[nodiscard]] PartitionOutcome repartition(const SessionConfig& cfg,
+                                             bool include_parts = true);
+
+  /// Apply weight updates in place. Patches every cached tracker's part
+  /// weights (node updates) or marks trackers stale (edge updates — costs
+  /// and gain caches depend on edge weights). Requires the mutator slot.
+  [[nodiscard]] UpdateOutcome update(std::span<const WeightUpdate> node_updates,
+                                     std::span<const WeightUpdate> edge_updates);
+
+  /// Reader: cost/balance of the cached partition for cfg against the
+  /// *current* graph (recomputed when the graph changed since commit).
+  [[nodiscard]] PartitionOutcome evaluate(const SessionConfig& cfg,
+                                          bool include_parts = false);
+
+  /// Reader: per-entry cache facts — key, method of last production, cost,
+  /// staleness — serialized by the Server into the stats response.
+  struct EntryStats {
+    PartId k = 0;
+    double epsilon = 0.0;
+    CostMetric metric = CostMetric::kConnectivity;
+    std::uint64_t seed = 0;
+    Weight cost = 0;
+    std::string method;
+    bool tracker_cached = false;
+    bool tracker_stale = false;
+    std::size_t hierarchy_levels = 0;
+    bool current = false;  ///< built against the current graph content
+  };
+  [[nodiscard]] std::vector<EntryStats> entry_stats() const;
+
+  /// Test/fuzz hook: rebuild every fresh cached tracker from scratch and
+  /// compare costs, part weights, and λ values against the incremental
+  /// state. Returns false (with a reason) on the first mismatch.
+  [[nodiscard]] bool verify_cache_integrity(std::string* why) const;
+
+ private:
+  GraphSession(Hypergraph g, std::string name);
+
+  struct CacheKey {
+    PartId k;
+    std::uint64_t eps_bits;  // bit pattern of epsilon (exact match)
+    CostMetric metric;
+    std::uint64_t seed;
+    bool operator<(const CacheKey& o) const noexcept {
+      if (k != o.k) return k < o.k;
+      if (eps_bits != o.eps_bits) return eps_bits < o.eps_bits;
+      if (metric != o.metric) return metric < o.metric;
+      return seed < o.seed;
+    }
+  };
+  static CacheKey key_of(const SessionConfig& cfg);
+
+  struct Entry {
+    MultilevelHierarchy hierarchy;
+    std::unique_ptr<ConnectivityTracker> tracker;
+    bool tracker_stale = false;  ///< edge weights changed since tracker built
+    Partition partition;
+    Weight cost = 0;
+    std::string method;            ///< rung that produced `partition`
+    std::uint64_t built_hash = 0;  ///< graph_hash_ at commit time
+    std::uint64_t built_units = 0;  ///< change_units_ at commit time
+  };
+
+  [[nodiscard]] double fraction_since(const Entry& e) const noexcept {
+    const double denom =
+        static_cast<double>(g_.num_nodes()) + static_cast<double>(g_.num_edges());
+    if (denom == 0) return 0.0;
+    return static_cast<double>(change_units_ - e.built_units) / denom;
+  }
+  [[nodiscard]] MultilevelConfig ml_config(const SessionConfig& cfg) const;
+  PartitionOutcome run_full(const SessionConfig& cfg, const CacheKey& key,
+                            bool include_parts);
+  void commit_entry(const CacheKey& key, Entry entry);
+  PartitionOutcome outcome_from(const Entry& e, const SessionConfig& cfg,
+                                std::string method, bool cache_hit,
+                                double fraction, bool include_parts) const;
+
+  std::string name_;
+  Hypergraph g_;  // address-stable: trackers hold references into it
+  std::uint64_t graph_hash_ = 0;
+  std::uint64_t change_units_ = 0;  ///< weight changes applied since load
+
+  // Writer-priority: evaluate/stats readers in a tight loop must not
+  // starve the mutator's brief commit lock (see util/shared_mutex.hpp).
+  mutable WriterPrioritySharedMutex mu_;
+  std::atomic<bool> mutating_{false};
+  std::map<CacheKey, Entry> cache_;
+};
+
+}  // namespace hp::server

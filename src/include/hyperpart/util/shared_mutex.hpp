@@ -1,0 +1,52 @@
+#pragma once
+// Writer-priority shared mutex.
+//
+// glibc's std::shared_mutex maps to a reader-preferring pthread rwlock: as
+// long as readers keep arriving, a waiting writer is never admitted. The
+// partitioning service commits mutation results under a brief unique lock
+// while clients may hammer `evaluate` (shared lock) in a tight loop — with
+// the default policy that commit can starve forever (observed as a hung
+// repartition in the concurrency tests). This wrapper requests
+// PTHREAD_RWLOCK_PREFER_WRITER_NONRECURSIVE_NP, under which new readers
+// queue behind a waiting writer, bounding writer latency by the in-flight
+// readers. Satisfies SharedLockable, so std::shared_lock/std::unique_lock
+// work unchanged. Linux/glibc-only, like the rest of the process tooling;
+// on other platforms the attribute is simply absent and the default policy
+// applies.
+
+#include <pthread.h>
+
+namespace hp {
+
+class WriterPrioritySharedMutex {
+ public:
+  WriterPrioritySharedMutex() {
+    pthread_rwlockattr_t attr;
+    pthread_rwlockattr_init(&attr);
+#if defined(__GLIBC__)
+    // NB: the kind constants are enumerators, not macros — a
+    // defined(PTHREAD_RWLOCK_...) guard would silently compile this out.
+    pthread_rwlockattr_setkind_np(
+        &attr, PTHREAD_RWLOCK_PREFER_WRITER_NONRECURSIVE_NP);
+#endif
+    pthread_rwlock_init(&lock_, &attr);
+    pthread_rwlockattr_destroy(&attr);
+  }
+  ~WriterPrioritySharedMutex() { pthread_rwlock_destroy(&lock_); }
+  WriterPrioritySharedMutex(const WriterPrioritySharedMutex&) = delete;
+  WriterPrioritySharedMutex& operator=(const WriterPrioritySharedMutex&) =
+      delete;
+
+  void lock() { pthread_rwlock_wrlock(&lock_); }
+  bool try_lock() { return pthread_rwlock_trywrlock(&lock_) == 0; }
+  void unlock() { pthread_rwlock_unlock(&lock_); }
+
+  void lock_shared() { pthread_rwlock_rdlock(&lock_); }
+  bool try_lock_shared() { return pthread_rwlock_tryrdlock(&lock_) == 0; }
+  void unlock_shared() { pthread_rwlock_unlock(&lock_); }
+
+ private:
+  pthread_rwlock_t lock_;
+};
+
+}  // namespace hp

@@ -1,0 +1,447 @@
+#include "hyperpart/server/session.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <mutex>
+#include <sstream>
+#include <stdexcept>
+
+#include "hyperpart/algo/incremental.hpp"
+#include "hyperpart/algo/vcycle.hpp"
+#include "hyperpart/io/hmetis_io.hpp"
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+
+namespace hp::server {
+
+namespace {
+
+[[nodiscard]] BalanceConstraint balance_for(const Hypergraph& g,
+                                            const SessionConfig& cfg) {
+  // Relaxed (ceiling) capacity: a long-lived service should never reject a
+  // graph whose exact threshold is a hair below an integer.
+  return BalanceConstraint::for_graph(g, cfg.k, cfg.epsilon, /*relaxed=*/true);
+}
+
+[[nodiscard]] FmConfig fm_for(const SessionConfig& cfg) {
+  FmConfig fm;
+  fm.metric = cfg.metric;
+  fm.threads = cfg.threads;
+  return fm;
+}
+
+}  // namespace
+
+GraphSession::GraphSession(Hypergraph g, std::string name)
+    : name_(std::move(name)), g_(std::move(g)) {
+  graph_hash_ = g_.content_hash();
+}
+
+std::unique_ptr<GraphSession> GraphSession::from_file(const std::string& path) {
+  Hypergraph g;
+  if (stream::is_binary_file(path)) {
+    // mmap once, copy the sections into mutable storage, drop the mapping.
+    stream::MappedHypergraph mapped(path);
+    g = mapped.materialize();
+  } else {
+    g = read_hmetis_file(path);
+  }
+  return std::unique_ptr<GraphSession>(new GraphSession(std::move(g), path));
+}
+
+std::unique_ptr<GraphSession> GraphSession::from_graph(Hypergraph g,
+                                                       std::string name) {
+  return std::unique_ptr<GraphSession>(
+      new GraphSession(std::move(g), std::move(name)));
+}
+
+GraphSession::CacheKey GraphSession::key_of(const SessionConfig& cfg) {
+  std::uint64_t bits = 0;
+  static_assert(sizeof bits == sizeof cfg.epsilon);
+  std::memcpy(&bits, &cfg.epsilon, sizeof bits);
+  return CacheKey{cfg.k, bits, cfg.metric, cfg.seed};
+}
+
+MultilevelConfig GraphSession::ml_config(const SessionConfig& cfg) const {
+  MultilevelConfig ml;
+  ml.metric = cfg.metric;
+  ml.seed = cfg.seed;
+  ml.fm.threads = cfg.threads;
+  return ml;
+}
+
+PartitionOutcome GraphSession::outcome_from(const Entry& e,
+                                            const SessionConfig& cfg,
+                                            std::string method, bool cache_hit,
+                                            double fraction,
+                                            bool include_parts) const {
+  PartitionOutcome out;
+  out.ok = true;
+  out.method = std::move(method);
+  out.cache_hit = cache_hit;
+  out.cost = e.cost;
+  out.part_weights = e.partition.part_weights(g_);
+  out.balanced = balance_for(g_, cfg).satisfied(out.part_weights);
+  out.change_fraction = fraction;
+  if (include_parts) {
+    out.parts.assign(e.partition.raw().begin(), e.partition.raw().end());
+  }
+  return out;
+}
+
+void GraphSession::commit_entry(const CacheKey& key, Entry entry) {
+  std::unique_lock lock(mu_);
+  cache_[key] = std::move(entry);
+}
+
+PartitionOutcome GraphSession::run_full(const SessionConfig& cfg,
+                                        const CacheKey& key,
+                                        bool include_parts) {
+  // The admitted mutator reads g_ without a lock: update() is the only
+  // writer and it needs the mutator slot we hold.
+  const BalanceConstraint balance = balance_for(g_, cfg);
+  Entry entry;
+  std::optional<Partition> p =
+      multilevel_partition_cached(g_, balance, ml_config(cfg), &entry.hierarchy);
+  if (!p) {
+    PartitionOutcome out;
+    out.error = "no feasible partition (capacity too tight for node weights)";
+    return out;
+  }
+  entry.tracker = std::make_unique<ConnectivityTracker>(g_, *p, cfg.threads);
+  entry.tracker->enable_gain_cache(cfg.metric, cfg.threads);
+  entry.cost = entry.tracker->cost(cfg.metric);
+  entry.partition = std::move(*p);
+  entry.method = "full";
+  entry.built_hash = graph_hash_;
+  entry.built_units = change_units_;
+  HP_COUNTER_ADD("server.cache_misses", 1);
+  PartitionOutcome out =
+      outcome_from(entry, cfg, "full", false, 0.0, include_parts);
+  commit_entry(key, std::move(entry));
+  return out;
+}
+
+PartitionOutcome GraphSession::partition(const SessionConfig& cfg,
+                                         bool include_parts) {
+  HP_SPAN("session.partition");
+  const CacheKey key = key_of(cfg);
+  auto it = cache_.find(key);
+  if (it != cache_.end() && it->second.built_hash == graph_hash_) {
+    HP_COUNTER_ADD("server.cache_hits", 1);
+    return outcome_from(it->second, cfg, "cached", true, 0.0, include_parts);
+  }
+  if (it != cache_.end() && !it->second.hierarchy.empty() &&
+      fraction_since(it->second) <= kDeltaFmMaxFraction) {
+    // Weight-only drift small enough that the cached hierarchy is still a
+    // faithful coarsening: re-run initial + uncoarsen phases only. The
+    // coarse levels carry pre-update weights, so the result is feasibility-
+    // checked against the *current* graph before being accepted.
+    // multilevel_partition_cached only READS a non-empty hierarchy, so no
+    // lock is needed around the compute; every entry WRITE below happens
+    // under the unique lock so readers never see a torn entry.
+    Entry& e = it->second;
+    const double frac = fraction_since(e);
+    const BalanceConstraint balance = balance_for(g_, cfg);
+    std::optional<Partition> p =
+        multilevel_partition_cached(g_, balance, ml_config(cfg), &e.hierarchy);
+    std::unique_ptr<ConnectivityTracker> tracker;
+    if (p) {
+      tracker = std::make_unique<ConnectivityTracker>(g_, *p, cfg.threads);
+      tracker->enable_gain_cache(cfg.metric, cfg.threads);
+      if (!balance.satisfied(p->part_weights(g_)) &&
+          rebalance_with_tracker(g_, *tracker, balance, cfg.metric,
+                                 cfg.threads)) {
+        // The coarse levels carried pre-drift weights, so the reused result
+        // can overshoot a part capacity by the drift amount; a gain-guided
+        // rebalance repairs that without touching the hierarchy.
+        *p = tracker->to_partition();
+      }
+    }
+    if (p && balance.satisfied(p->part_weights(g_))) {
+      const Weight cost = tracker->cost(cfg.metric);
+      {
+        std::unique_lock lock(mu_);
+        e.tracker = std::move(tracker);
+        e.tracker_stale = false;
+        e.cost = cost;
+        e.partition = std::move(*p);
+        e.method = "hierarchy";
+        e.built_hash = graph_hash_;
+        e.built_units = change_units_;
+      }
+      HP_COUNTER_ADD("server.cache_hits", 1);
+      return outcome_from(e, cfg, "hierarchy", true, frac, include_parts);
+    }
+    std::unique_lock lock(mu_);
+    e.hierarchy = MultilevelHierarchy{};  // proven stale; drop it
+  }
+  return run_full(cfg, key, include_parts);
+}
+
+PartitionOutcome GraphSession::repartition(const SessionConfig& cfg,
+                                           bool include_parts) {
+  HP_SPAN("session.repartition");
+  const CacheKey key = key_of(cfg);
+  auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    HP_COUNTER_ADD("server.repartition.full", 1);
+    return run_full(cfg, key, include_parts);
+  }
+  Entry& e = it->second;
+  if (e.built_hash == graph_hash_) {
+    HP_COUNTER_ADD("server.cache_hits", 1);
+    return outcome_from(e, cfg, "cached", true, 0.0, include_parts);
+  }
+  const double frac = fraction_since(e);
+  const BalanceConstraint balance = balance_for(g_, cfg);
+
+  // Rung 1: ΔFM on the cached tracker.
+  if (frac <= kDeltaFmMaxFraction && e.tracker) {
+    if (e.tracker_stale) {
+      // Edge weights changed: pin counts and λ are still exact, but the
+      // cost totals and gain cache are not — rebuild from the cached
+      // partition (O(pins), no coarsening).
+      auto fresh =
+          std::make_unique<ConnectivityTracker>(g_, e.partition, cfg.threads);
+      std::unique_lock lock(mu_);
+      e.tracker = std::move(fresh);
+      e.tracker_stale = false;
+      HP_COUNTER_ADD("server.tracker_rebuilds", 1);
+    }
+    // Quality-guard baseline: the cached partition's cost on the *current*
+    // graph. The tracker is exact here (just rebuilt, or node-only drift
+    // which never touches edge-based costs), so this is O(1).
+    const Weight before = e.tracker->cost(cfg.metric);
+    // ΔFM mutates the tracker's *contents* without a lock — readers never
+    // dereference trackers, only the committed (partition, cost) fields.
+    Partition p;
+    std::optional<Weight> cost =
+        delta_fm_refine(g_, *e.tracker, p, balance, fm_for(cfg));
+    if (cost && *cost > 3 * before + 4) {
+      // Rebalancing dug the partition into a hole (documented bound in
+      // DESIGN.md: a rung may cost at most 3 · before + 4). Escalate.
+      HP_COUNTER_ADD("server.repartition.quality_fallbacks", 1);
+      cost.reset();
+    }
+    if (cost) {
+      {
+        std::unique_lock lock(mu_);
+        e.cost = *cost;
+        e.partition = std::move(p);
+        e.method = "delta_fm";
+        e.built_hash = graph_hash_;
+        e.built_units = change_units_;
+      }
+      HP_COUNTER_ADD("server.cache_hits", 1);
+      HP_COUNTER_ADD("server.repartition.delta_fm", 1);
+      return outcome_from(e, cfg, "delta_fm", true, frac, include_parts);
+    }
+    // Rebalance failed; the tracker was left in a perturbed state — it no
+    // longer matches e.partition, so it must not be reused below.
+    std::unique_lock lock(mu_);
+    e.tracker.reset();
+  }
+
+  // Rung 2: partition-aware V-cycles seeded from the cached partition.
+  if (frac <= kVcycleMaxFraction && e.partition.complete() &&
+      e.partition.k() == cfg.k) {
+    Partition p = e.partition;
+    bool feasible = balance.satisfied(p.part_weights(g_));
+    auto tracker = std::make_unique<ConnectivityTracker>(g_, p, cfg.threads);
+    const Weight before = tracker->cost(cfg.metric);
+    if (!feasible) {
+      feasible = rebalance_with_tracker(g_, *tracker, balance, cfg.metric,
+                                        cfg.threads);
+      if (feasible) p = tracker->to_partition();
+    }
+    if (feasible) {
+      const Weight cost = vcycle_refine(g_, p, balance, ml_config(cfg));
+      if (cost > 3 * before + 4) {
+        // Same quality guard as the ΔFM rung: never commit a result more
+        // than 3 · before + 4 worse than what the cache already had.
+        HP_COUNTER_ADD("server.repartition.quality_fallbacks", 1);
+        HP_COUNTER_ADD("server.repartition.full", 1);
+        return run_full(cfg, key, include_parts);
+      }
+      // The refined partition differs from the one the tracker mirrors;
+      // rebuild so the next ΔFM starts exact.
+      auto fresh = std::make_unique<ConnectivityTracker>(g_, p, cfg.threads);
+      fresh->enable_gain_cache(cfg.metric, cfg.threads);
+      {
+        std::unique_lock lock(mu_);
+        e.tracker = std::move(fresh);
+        e.tracker_stale = false;
+        e.cost = cost;
+        e.partition = std::move(p);
+        e.method = "vcycle";
+        e.built_hash = graph_hash_;
+        e.built_units = change_units_;
+      }
+      HP_COUNTER_ADD("server.cache_hits", 1);
+      HP_COUNTER_ADD("server.repartition.vcycle", 1);
+      return outcome_from(e, cfg, "vcycle", true, frac, include_parts);
+    }
+  }
+
+  // Rung 3: full multilevel.
+  HP_COUNTER_ADD("server.repartition.full", 1);
+  return run_full(cfg, key, include_parts);
+}
+
+UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
+                                   std::span<const WeightUpdate> edge_updates) {
+  HP_SPAN("session.update");
+  UpdateOutcome out;
+  // Validate everything before touching any state: an update either applies
+  // in full or not at all.
+  for (const WeightUpdate& u : node_updates) {
+    if (u.id >= g_.num_nodes()) {
+      out.error = "node id out of range: " + std::to_string(u.id);
+      return out;
+    }
+    if (u.weight < 0) {
+      out.error = "negative node weight for id " + std::to_string(u.id);
+      return out;
+    }
+  }
+  for (const WeightUpdate& u : edge_updates) {
+    if (u.id >= g_.num_edges()) {
+      out.error = "edge id out of range: " + std::to_string(u.id);
+      return out;
+    }
+    if (u.weight < 0) {
+      out.error = "negative edge weight for id " + std::to_string(u.id);
+      return out;
+    }
+  }
+
+  std::unique_lock lock(mu_);
+  for (const WeightUpdate& u : node_updates) {
+    const Weight delta = u.weight - g_.node_weight(u.id);
+    g_.update_node_weight(u.id, u.weight);
+    if (delta == 0) continue;
+    // Node weights never enter pin counts, λ, costs, or the gain cache —
+    // patching the part weights keeps every fresh tracker exact.
+    for (auto& [key, entry] : cache_) {
+      if (entry.tracker && !entry.tracker_stale) {
+        entry.tracker->apply_node_weight_delta(u.id, delta);
+      }
+    }
+  }
+  for (const WeightUpdate& u : edge_updates) {
+    g_.update_edge_weight(u.id, u.weight);
+    for (auto& [key, entry] : cache_) {
+      if (entry.tracker) entry.tracker_stale = true;
+    }
+  }
+  change_units_ += node_updates.size() + edge_updates.size();
+  graph_hash_ = g_.content_hash();
+  out.ok = true;
+  out.applied = node_updates.size() + edge_updates.size();
+  for (const auto& [key, entry] : cache_) {
+    out.change_fraction = std::max(out.change_fraction, fraction_since(entry));
+  }
+  HP_COUNTER_ADD("server.updates", 1);
+  return out;
+}
+
+PartitionOutcome GraphSession::evaluate(const SessionConfig& cfg,
+                                        bool include_parts) {
+  HP_SPAN("session.evaluate");
+  std::shared_lock lock(mu_);
+  const CacheKey key = key_of(cfg);
+  const auto it = cache_.find(key);
+  if (it == cache_.end()) {
+    PartitionOutcome out;
+    out.error = "no cached partition for this config; call partition first";
+    return out;
+  }
+  const Entry& e = it->second;
+  PartitionOutcome out;
+  out.ok = true;
+  out.method = "cached";
+  out.cache_hit = true;
+  out.cost = e.built_hash == graph_hash_
+                 ? e.cost
+                 : cost_of(g_, e.partition, cfg.metric);
+  out.part_weights = e.partition.part_weights(g_);
+  out.balanced = balance_for(g_, cfg).satisfied(out.part_weights);
+  out.change_fraction = fraction_since(e);
+  if (include_parts) {
+    out.parts.assign(e.partition.raw().begin(), e.partition.raw().end());
+  }
+  return out;
+}
+
+std::vector<GraphSession::EntryStats> GraphSession::entry_stats() const {
+  std::shared_lock lock(mu_);
+  std::vector<EntryStats> stats;
+  stats.reserve(cache_.size());
+  for (const auto& [key, e] : cache_) {
+    EntryStats s;
+    s.k = key.k;
+    std::memcpy(&s.epsilon, &key.eps_bits, sizeof s.epsilon);
+    s.metric = key.metric;
+    s.seed = key.seed;
+    s.cost = e.cost;
+    s.method = e.method;
+    s.tracker_cached = e.tracker != nullptr;
+    s.tracker_stale = e.tracker_stale;
+    s.hierarchy_levels = e.hierarchy.levels.size();
+    s.current = e.built_hash == graph_hash_;
+    stats.push_back(std::move(s));
+  }
+  return stats;
+}
+
+bool GraphSession::verify_cache_integrity(std::string* why) const {
+  // Test/fuzz hook; callers guarantee quiescence (no concurrent mutator).
+  std::shared_lock lock(mu_);
+  for (const auto& [key, e] : cache_) {
+    if (!e.tracker || e.tracker_stale) continue;
+    std::ostringstream tag;
+    tag << "entry(k=" << key.k << ", seed=" << key.seed << "): ";
+    if (!e.partition.complete()) {
+      if (why) *why = tag.str() + "cached partition incomplete";
+      return false;
+    }
+    const ConnectivityTracker fresh(g_, e.partition);
+    for (PartId q = 0; q < fresh.k(); ++q) {
+      if (fresh.part_weight(q) != e.tracker->part_weight(q)) {
+        if (why) {
+          *why = tag.str() + "part " + std::to_string(q) + " weight " +
+                 std::to_string(e.tracker->part_weight(q)) + " != rebuilt " +
+                 std::to_string(fresh.part_weight(q));
+        }
+        return false;
+      }
+    }
+    if (fresh.connectivity_cost() != e.tracker->connectivity_cost() ||
+        fresh.cut_net_cost() != e.tracker->cut_net_cost()) {
+      if (why) *why = tag.str() + "tracker costs diverge from rebuilt";
+      return false;
+    }
+    for (EdgeId edge = 0; edge < g_.num_edges(); ++edge) {
+      if (fresh.lambda(edge) != e.tracker->lambda(edge)) {
+        if (why) {
+          *why = tag.str() + "lambda mismatch at edge " + std::to_string(edge);
+        }
+        return false;
+      }
+    }
+    if (e.built_hash == graph_hash_) {
+      const Weight expect = cost_of(g_, e.partition, key.metric);
+      if (e.cost != expect) {
+        if (why) {
+          *why = tag.str() + "stored cost " + std::to_string(e.cost) +
+                 " != recomputed " + std::to_string(expect);
+        }
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace hp::server

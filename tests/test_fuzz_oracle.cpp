@@ -95,6 +95,9 @@ TEST(FuzzOracle, ReportsLegsRun) {
   EXPECT_NE(std::find(report.legs_run.begin(), report.legs_run.end(),
                       "tracker"),
             report.legs_run.end());
+  EXPECT_NE(std::find(report.legs_run.begin(), report.legs_run.end(),
+                      "incremental"),
+            report.legs_run.end());
 }
 
 // Acceptance criterion: a deliberately injected gain-rule bug is caught and

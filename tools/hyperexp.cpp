@@ -38,11 +38,8 @@
 // Exit codes: 0 all jobs passed, 1 at least one job failed, 2 usage or
 // I/O error.
 
-#include <fcntl.h>
-#include <signal.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <sys/wait.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -61,6 +58,7 @@
 #include <vector>
 
 #include "hyperpart/obs/json.hpp"
+#include "hyperpart/util/subprocess.hpp"
 #include "hyperpart/util/thread_pool.hpp"
 #include "hyperpart/util/timer.hpp"
 
@@ -139,60 +137,7 @@ fs::path self_exe_dir() {
 std::optional<std::string> run_capture(const fs::path& exe,
                                        const std::vector<std::string>& args,
                                        double timeout_sec) {
-  int pipefd[2];
-  if (pipe(pipefd) != 0) return std::nullopt;
-  const pid_t pid = fork();
-  if (pid < 0) {
-    close(pipefd[0]);
-    close(pipefd[1]);
-    return std::nullopt;
-  }
-  if (pid == 0) {
-    setpgid(0, 0);
-    close(pipefd[0]);
-    dup2(pipefd[1], STDOUT_FILENO);
-    close(pipefd[1]);
-    std::vector<char*> argv;
-    std::string exe_s = exe.string();
-    argv.push_back(exe_s.data());
-    std::vector<std::string> copy = args;
-    for (auto& a : copy) argv.push_back(a.data());
-    argv.push_back(nullptr);
-    execv(exe_s.c_str(), argv.data());
-    _exit(127);
-  }
-  close(pipefd[1]);
-  std::string out;
-  char buf[4096];
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(timeout_sec);
-  // The pipe read naturally ends when the child exits; the deadline guards
-  // a child that hangs without closing stdout.
-  const int fd = pipefd[0];
-  fcntl(fd, F_SETFL, O_NONBLOCK);
-  bool timed_out = false;
-  for (;;) {
-    const ssize_t n = read(fd, buf, sizeof(buf));
-    if (n > 0) {
-      out.append(buf, static_cast<std::size_t>(n));
-      continue;
-    }
-    if (n == 0) break;  // EOF
-    if (errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) break;
-    if (std::chrono::steady_clock::now() > deadline) {
-      timed_out = true;
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  close(fd);
-  if (timed_out) kill(-pid, SIGKILL);
-  int status = 0;
-  waitpid(pid, &status, 0);
-  if (timed_out || !WIFEXITED(status) || WEXITSTATUS(status) != 0) {
-    return std::nullopt;
-  }
-  return out;
+  return hp::subprocess::run_capture(exe.string(), args, timeout_sec);
 }
 
 /// Scan bench_dir for bench_* executables and expand each into its cases.
@@ -263,66 +208,25 @@ Attempt run_attempt(const Job& job, const Options& opt,
                     const fs::path& log_path) {
   Attempt att;
   hp::Timer timer;
-  const pid_t pid = fork();
-  if (pid < 0) {
-    att.exit_code = 126;
-    return att;
+  // Own process group (so a timeout SIGKILL reaches grandchildren, e.g.
+  // bench_stream_scaling's --child forks), logs instead of the parent's
+  // stdout, scratch files under the output directory.
+  hp::subprocess::SpawnOptions sp;
+  sp.stdout_to_file = log_path.string();
+  sp.chdir_to = out_dir.string();
+  std::vector<std::string> args{"--case", job.kase, "--json",
+                                json_path.string()};
+  if (opt.smoke) args.emplace_back("--smoke");
+  if (opt.telemetry) {
+    args.emplace_back("--telemetry");
+    args.push_back((out_dir / (job.id() + ".telemetry.json")).string());
   }
-  if (pid == 0) {
-    // Child: own process group (so a SIGKILL reaches grandchildren, e.g.
-    // bench_stream_scaling's --child forks), logs instead of the parent's
-    // stdout, scratch files under the output directory.
-    setpgid(0, 0);
-    const int fd = open(log_path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-    if (fd >= 0) {
-      dup2(fd, STDOUT_FILENO);
-      dup2(fd, STDERR_FILENO);
-      close(fd);
-    }
-    if (chdir(out_dir.c_str()) != 0) _exit(125);
-    std::string exe_s = job.exe.string();
-    std::string json_s = json_path.string();
-    std::string telemetry_s =
-        (out_dir / (job.id() + ".telemetry.json")).string();
-    std::vector<std::string> args{"--case", job.kase, "--json", json_s};
-    if (opt.smoke) args.emplace_back("--smoke");
-    if (opt.telemetry) {
-      args.emplace_back("--telemetry");
-      args.push_back(telemetry_s);
-    }
-    std::vector<char*> argv;
-    argv.push_back(exe_s.data());
-    for (auto& a : args) argv.push_back(a.data());
-    argv.push_back(nullptr);
-    execv(exe_s.c_str(), argv.data());
-    _exit(127);
-  }
-
-  const auto deadline = std::chrono::steady_clock::now() +
-                        std::chrono::duration<double>(opt.timeout_sec);
-  int status = 0;
-  for (;;) {
-    const pid_t done = waitpid(pid, &status, WNOHANG);
-    if (done == pid) break;
-    if (done < 0) {  // should not happen; treat as a crash
-      status = 0;
-      break;
-    }
-    if (std::chrono::steady_clock::now() > deadline) {
-      att.timed_out = true;
-      kill(-pid, SIGKILL);
-      waitpid(pid, &status, 0);
-      break;
-    }
-    std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  }
+  const hp::subprocess::ExitStatus st =
+      hp::subprocess::run(job.exe.string(), args, sp, opt.timeout_sec);
   att.wall_ms = timer.millis();
-  if (WIFEXITED(status)) {
-    att.exit_code = WEXITSTATUS(status);
-  } else if (WIFSIGNALED(status)) {
-    att.exit_code = -1;
-    att.term_signal = WTERMSIG(status);
-  }
+  att.exit_code = st.exit_code;
+  att.term_signal = st.term_signal;
+  att.timed_out = st.timed_out;
   return att;
 }
 

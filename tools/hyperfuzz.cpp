@@ -4,7 +4,7 @@
 //   hyperfuzz [--seed S] [--runs N] [--max-nodes N] [--max-edges M]
 //             [--families f1,f2,...] [--exact-limit N] [--threads T]
 //             [--out-dir DIR] [--max-failures F] [--inject-bug gain]
-//             [--no-anneal] [--no-stream] [--quiet]
+//             [--no-anneal] [--no-stream] [--no-incremental] [--quiet]
 //   hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]
 //             [--metric cut|conn] [--seed S] [--inject-bug gain]
 //
@@ -47,8 +47,8 @@ namespace {
          "[--max-edges M]\n"
          "         [--families f1,f2,...] [--exact-limit N] [--threads T]\n"
          "         [--out-dir DIR] [--max-failures F] [--inject-bug gain]\n"
-         "         [--no-anneal] [--no-stream] [--quiet] "
-         "[--telemetry t.json]\n"
+         "         [--no-anneal] [--no-stream] [--no-incremental] "
+         "[--quiet] [--telemetry t.json]\n"
          "       hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]\n"
          "         [--metric cut|conn] [--seed S] [--inject-bug gain]\n"
          "families: random skewed hyperdag grid spes degenerate\n";
@@ -157,6 +157,8 @@ int main(int argc, char** argv) {
       oopts.run_annealing = false;
     } else if (arg == "--no-stream") {
       oopts.run_stream = false;
+    } else if (arg == "--no-incremental") {
+      oopts.run_incremental = false;
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--telemetry") {

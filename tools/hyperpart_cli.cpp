@@ -105,7 +105,17 @@ int run_stream(const std::string& path, hp::PartId k, double eps,
   std::string bin_path = path;
   if (!hp::stream::is_binary_file(path)) {
     bin_path = path + ".hpb";
-    hp::stream::convert_hmetis_file(path, bin_path);
+    try {
+      hp::stream::convert_hmetis_file(path, bin_path);
+    } catch (const std::exception& e) {
+      // A usage error, not a runtime failure: the input is neither of the
+      // two formats --algo stream accepts. Diagnose here instead of letting
+      // the mmap reader fail later on a half-written conversion.
+      std::cerr << "error: --algo stream needs a binary .hpb or hMETIS text "
+                   "input; "
+                << path << " is neither (" << e.what() << ")\n";
+      usage();
+    }
     std::cout << "converted " << path << " -> " << bin_path << "\n";
   }
   hp::stream::MappedHypergraph mapped(bin_path);

@@ -1,0 +1,120 @@
+// hyperpartd — partitioning-as-a-service daemon.
+//
+//   hyperpartd --socket /path/to.sock [--tcp PORT] [--threads T]
+//              [--telemetry t.json]
+//
+// Listens on the unix socket (and optionally loopback TCP; PORT 0 picks an
+// ephemeral port printed on stdout) speaking the HPF1 length-prefixed JSON
+// protocol (see DESIGN.md "Partitioning service"). Graphs are loaded once
+// per path and kept resident with their partitioning caches — hierarchies
+// and connectivity trackers — so repartition requests after small updates
+// run the incremental ΔFM ladder instead of full multilevel runs. Stops
+// gracefully on SIGINT/SIGTERM or a client shutdown op, draining in-flight
+// requests. Prints "ready" once accepting; test drivers wait for it.
+
+#include <signal.h>
+
+#include <chrono>
+#include <csignal>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "hyperpart/obs/telemetry.hpp"
+#include "hyperpart/server/server.hpp"
+#include "hyperpart/util/parse.hpp"
+
+namespace {
+
+[[noreturn]] void usage() {
+  std::cerr << "usage: hyperpartd --socket /path/to.sock [--tcp PORT]\n"
+               "         [--threads T] [--telemetry t.json]\n";
+  std::exit(2);
+}
+
+[[noreturn]] void bad_flag(const std::string& flag, const std::string& token,
+                           const char* expected) {
+  std::cerr << "error: invalid value '" << token << "' for " << flag << " ("
+            << expected << ")\n";
+  usage();
+}
+
+volatile std::sig_atomic_t g_signal = 0;
+
+void on_signal(int sig) { g_signal = sig; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  hp::server::ServerConfig cfg;
+  std::string telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const auto value = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " expects a value\n";
+        usage();
+      }
+      return argv[++i];
+    };
+    if (arg == "--socket") {
+      cfg.unix_socket = value();
+    } else if (arg == "--tcp") {
+      const auto v = hp::parse_u64(value(), 0, 65535);
+      if (!v) bad_flag(arg, argv[i], "port in [0, 65535]");
+      cfg.tcp_port = static_cast<int>(*v);
+    } else if (arg == "--threads") {
+      const auto v = hp::parse_u64(value(), 0, 1024);
+      if (!v) bad_flag(arg, argv[i], "integer in [0, 1024]");
+      cfg.threads = static_cast<unsigned>(*v);
+    } else if (arg == "--telemetry") {
+      telemetry_path = value();
+    } else {
+      std::cerr << "error: unknown flag '" << arg << "'\n";
+      usage();
+    }
+  }
+  if (cfg.unix_socket.empty()) {
+    std::cerr << "error: --socket is required\n";
+    usage();
+  }
+  if (!telemetry_path.empty()) {
+    hp::obs::reset();
+    hp::obs::set_enabled(true);
+  }
+
+  hp::server::Server server(std::move(cfg));
+  try {
+    server.start();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  std::cout << "listening on " << server.unix_path() << "\n";
+  if (server.tcp_port() >= 0) {
+    std::cout << "tcp port " << server.tcp_port() << "\n";
+  }
+  // Handlers must be live before "ready" is announced — a driver that sees
+  // the banner may signal immediately, and a default-action SIGTERM in that
+  // window would kill the daemon instead of draining it.
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::cout << "ready" << std::endl;  // flushed: drivers block on this line
+
+  while (server.running() && g_signal == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.shutdown();
+  server.wait();
+  std::cout << "served " << server.requests_served() << " requests\n";
+  if (!telemetry_path.empty()) {
+    if (hp::obs::write_json(telemetry_path)) {
+      std::cout << "telemetry written to " << telemetry_path << "\n";
+    } else {
+      std::cerr << "error: cannot write telemetry to " << telemetry_path
+                << "\n";
+    }
+  }
+  return 0;
+}
