@@ -12,6 +12,7 @@
 #include "hyperpart/reduction/spes.hpp"
 #include "hyperpart/reduction/spes_reduction.hpp"
 #include "hyperpart/util/rng.hpp"
+#include "hyperpart/workload/workload.hpp"
 
 namespace hp::fuzz {
 
@@ -23,6 +24,10 @@ const char* to_string(Family f) noexcept {
     case Family::kGridGadget: return "grid";
     case Family::kSpesGadget: return "spes";
     case Family::kDegenerate: return "degenerate";
+    case Family::kSpmv: return "spmv";
+    case Family::kNetlist: return "netlist";
+    case Family::kDataflow: return "dataflow";
+    case Family::kPowerLaw: return "powerlaw";
   }
   return "?";
 }
@@ -35,6 +40,33 @@ Family family_from_string(const std::string& name) {
 }
 
 namespace {
+
+/// Stable per-family stream tags. These key the forked RNG stream each
+/// family generates from (see the header's seeding contract); changing a
+/// value re-rolls that family's entire instance space and breaks replay
+/// seeds, so tags are never renumbered or reused.
+std::uint64_t family_tag(Family f) noexcept {
+  switch (f) {
+    case Family::kRandomUniform: return 0x72616e64'756e6966ULL;
+    case Family::kRandomSkewed: return 0x72616e64'736b6577ULL;
+    case Family::kHyperDag: return 0x68797065'72646167ULL;
+    case Family::kGridGadget: return 0x67726964'67616467ULL;
+    case Family::kSpesGadget: return 0x73706573'67616467ULL;
+    case Family::kDegenerate: return 0x64656765'6e657261ULL;
+    case Family::kSpmv: return 0x73706d76'776f726bULL;
+    case Family::kNetlist: return 0x6e65746c'776f726bULL;
+    case Family::kDataflow: return 0x64617461'776f726bULL;
+    case Family::kPowerLaw: return 0x706f7765'776f726bULL;
+  }
+  return 0;
+}
+
+/// Forked per-family stream: instance generation depends on (seed, family)
+/// only, never on the family-selection draw or the allowed-family set.
+Rng family_rng(std::uint64_t seed, Family f) noexcept {
+  std::uint64_t state = seed + family_tag(f);
+  return Rng(splitmix64(state));
+}
 
 /// Common tail: draw k, ε, metric from the rng so every family exercises
 /// both metrics and a spread of balance regimes.
@@ -125,6 +157,21 @@ Hypergraph spes_graph(Rng& rng) {
   return build_spes_reduction(random_spes(verts, edges, p, rng())).graph;
 }
 
+/// Workload-catalogue legs: the same WorkloadSpec -> Hypergraph path the
+/// CLI and benches use, shrunk to oracle sizes via target_nodes.
+Hypergraph workload_graph(workload::Family wf, Rng& rng,
+                          const GenOptions& opts) {
+  workload::WorkloadSpec spec;
+  spec.family = wf;
+  const auto& ps = workload::presets(wf);
+  spec.preset = ps[rng.next_below(ps.size())];
+  const NodeId span = opts.max_nodes > 6 ? opts.max_nodes - 5 : 1;
+  spec.target_nodes = static_cast<NodeId>(6 + rng.next_below(span));
+  spec.seed = rng();
+  spec.threads = 1;
+  return workload::generate(spec).graph;
+}
+
 FuzzInstance make_degenerate(std::uint64_t which) {
   FuzzInstance inst;
   inst.family = "degenerate";
@@ -188,13 +235,16 @@ std::vector<FuzzInstance> degenerate_catalogue() {
 }
 
 FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opts) {
-  Rng rng(seed);
+  Rng select(seed);
   const std::vector<Family> families =
       opts.families.empty()
           ? std::vector<Family>(std::begin(kAllFamilies),
                                 std::end(kAllFamilies))
           : opts.families;
-  const Family family = families[rng.next_below(families.size())];
+  const Family family = families[select.next_below(families.size())];
+  // The selection rng is never used past this point: everything below draws
+  // from the family's forked stream (header seeding contract).
+  Rng rng = family_rng(seed, family);
 
   FuzzInstance inst;
   inst.seed = seed;
@@ -223,6 +273,18 @@ FuzzInstance generate_instance(std::uint64_t seed, const GenOptions& opts) {
       inst.seed = seed;
       return inst;
     }
+    case Family::kSpmv:
+      inst.graph = workload_graph(workload::Family::kSpmv, rng, opts);
+      break;
+    case Family::kNetlist:
+      inst.graph = workload_graph(workload::Family::kNetlist, rng, opts);
+      break;
+    case Family::kDataflow:
+      inst.graph = workload_graph(workload::Family::kDataflow, rng, opts);
+      break;
+    case Family::kPowerLaw:
+      inst.graph = workload_graph(workload::Family::kPowerLaw, rng, opts);
+      break;
   }
   draw_problem(inst, rng, k_near_n);
   return inst;

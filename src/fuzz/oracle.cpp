@@ -566,8 +566,10 @@ OracleReport run_oracle(const FuzzInstance& inst, const OracleOptions& opts) {
   const auto balance =
       BalanceConstraint::for_graph(g, k, inst.epsilon, /*relaxed=*/true);
 
-  // hyperDAG instances must survive the Lemma B.2 recognition round trip.
-  if (inst.family == "hyperdag") {
+  // hyperDAG instances must survive the Lemma B.2 recognition round trip —
+  // both the random-DAG family and the workload catalogue's dataflow
+  // templates, which promise acyclicity by construction.
+  if (inst.family == "hyperdag" || inst.family == "dataflow") {
     c.leg("recognition", [&] {
       const auto rec = recognize_hyperdag(g);
       c.check(rec.is_hyperdag, "recognition-round-trip",

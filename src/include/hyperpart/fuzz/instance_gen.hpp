@@ -17,7 +17,17 @@
 // the paper's grid and SpES gadgets (structured near-worst-case inputs),
 // and adversarial degenerates: singleton/isolated nodes, parallel edges,
 // empty and size-1 edges, one max-weight node that dominates the balance
-// capacity, and k close to n.
+// capacity, and k close to n. The application-shaped workload catalogue
+// (src/workload) contributes four more legs — spmv, netlist, dataflow,
+// powerlaw — generated at fuzz sizes through the same WorkloadSpec path the
+// CLI and benches use.
+//
+// Seeding contract: the seed Rng only SELECTS the family; each family then
+// generates from its own forked stream keyed (seed, family tag). An
+// instance is therefore a pure function of (seed, family) — adding or
+// reordering generator legs never perturbs the instances other legs produce
+// for a given seed, which is what keeps corpus/replay seeds stable across
+// versions (verified by the cross-version replay test).
 
 #include <cstdint>
 #include <string>
@@ -35,16 +45,23 @@ enum class Family : std::uint8_t {
   kGridGadget,      ///< ℓ×ℓ grid gadget with outsiders (Definition C.2)
   kSpesGadget,      ///< Lemma C.1 SpES reduction on a random SpES instance
   kDegenerate,      ///< adversarial corner cases, cycled by seed
+  kSpmv,            ///< workload catalogue: row-net sparse matrices
+  kNetlist,         ///< workload catalogue: VLSI-style netlists
+  kDataflow,        ///< workload catalogue: DNN hyperDAGs (recognition leg)
+  kPowerLaw,        ///< workload catalogue: skewed power-law streams
 };
 
 inline constexpr Family kAllFamilies[] = {
     Family::kRandomUniform, Family::kRandomSkewed, Family::kHyperDag,
     Family::kGridGadget,    Family::kSpesGadget,   Family::kDegenerate,
+    Family::kSpmv,          Family::kNetlist,      Family::kDataflow,
+    Family::kPowerLaw,
 };
 
 [[nodiscard]] const char* to_string(Family f) noexcept;
 /// Parse a family name ("random", "skewed", "hyperdag", "grid", "spes",
-/// "degenerate"); throws std::invalid_argument on unknown names.
+/// "degenerate", "spmv", "netlist", "dataflow", "powerlaw"); throws
+/// std::invalid_argument on unknown names.
 [[nodiscard]] Family family_from_string(const std::string& name);
 
 /// One complete fuzz problem: the graph plus everything a solver needs.

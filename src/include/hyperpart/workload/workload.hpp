@@ -1,0 +1,106 @@
+#pragma once
+// Application-shaped workload catalogue.
+//
+// Every solver stack in this repo is correctness-gated on theorem gadgets
+// and uniform random hypergraphs; real partitioning traffic looks nothing
+// like either. This catalogue generates the classic application shapes the
+// paper's cost models were built for, as seeded deterministic functions
+// WorkloadSpec -> Hypergraph:
+//
+//   spmv      sparse-matrix instances through the row-net model (one node
+//             per column, one net per matrix row; node weight = nonzeros of
+//             the column, i.e. the work its owner performs). Patterns:
+//             banded, block-diagonal with coupling, and Kronecker/R-MAT
+//             style skewed row structure.
+//   netlist   VLSI-style netlists: mostly 2-4 pin nets drawn inside a
+//             placement-locality window (Rent's-rule flavour), a geometric
+//             tail of larger nets, and a few very high degree power/clock
+//             nets spanning a fixed fraction of all cells.
+//   dataflow  DNN/dataflow hyperDAGs from layered block templates (MLP,
+//             1-D conv stack with downsampling, sparse-attention blocks).
+//             Emitted through the Definition 3.2 DAG -> hyperDAG round
+//             trip, so acyclicity — and Lemma B.2 recognition — hold by
+//             construction; the underlying Dag rides along for
+//             schedule/BSP evaluation.
+//   powerlaw  skewed power-law degree streams in arrival order for the
+//             streaming partitioner: pin popularity follows a truncated
+//             Pareto law, with presets controlling where the hubs sit in
+//             the arrival sequence.
+//
+// Determinism contract: a Workload is a pure function of (family, preset,
+// target size, seed). Generators draw every item's randomness from an
+// independent stream keyed (seed, family tag, item index), and parallel
+// fill uses the fixed-grain pool primitives, so the result is bit-identical
+// at any thread count — the same contract the partitioners themselves obey,
+// and what lets the fuzz oracle replay workload instances from two
+// integers.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hyperpart/core/hypergraph.hpp"
+#include "hyperpart/dag/dag.hpp"
+
+namespace hp::workload {
+
+enum class Family : std::uint8_t {
+  kSpmv,      ///< row-net sparse-matrix instances
+  kNetlist,   ///< VLSI-style netlists
+  kDataflow,  ///< DNN/dataflow hyperDAGs (DAG rides along)
+  kPowerLaw,  ///< skewed power-law arrival streams
+};
+
+inline constexpr Family kAllFamilies[] = {
+    Family::kSpmv, Family::kNetlist, Family::kDataflow, Family::kPowerLaw};
+
+[[nodiscard]] const char* to_string(Family f) noexcept;
+/// Parse "spmv" / "netlist" / "dataflow" / "powerlaw"; throws
+/// std::invalid_argument on unknown names.
+[[nodiscard]] Family family_from_string(const std::string& name);
+
+/// Presets of a family, in catalogue order (first = default).
+[[nodiscard]] const std::vector<std::string>& presets(Family f);
+
+/// Complete problem statement of one catalogue instance.
+struct WorkloadSpec {
+  Family family = Family::kSpmv;
+  /// Family-specific pattern; "" selects the family's first preset.
+  std::string preset;
+  /// Multiplies the preset's base node count (ignored when target_nodes
+  /// is set). Must be >= 1.
+  std::uint32_t scale = 1;
+  /// Approximate node count override; 0 = preset base x scale. The fuzz
+  /// generators use this to shrink families to oracle-sized instances.
+  NodeId target_nodes = 0;
+  std::uint64_t seed = 1;
+  /// Generation parallelism (0 = default_threads()). Never changes the
+  /// result — see the determinism contract above.
+  unsigned threads = 1;
+};
+
+/// A generated instance: the hypergraph plus the family's extras.
+struct Workload {
+  std::string name;  ///< "family:preset" of the generating spec
+  Hypergraph graph;
+  /// Dataflow family only: the computational DAG whose hyperDAG `graph`
+  /// is (same node ids), for schedule construction and BSP costing.
+  std::optional<Dag> dag;
+  PartId suggested_k = 8;
+  double suggested_eps = 0.05;
+};
+
+/// Parse "family:preset" or "family:preset@scale" (e.g. "spmv:banded",
+/// "netlist:rent@4"). Throws std::invalid_argument with a one-line message
+/// on an unknown family, unknown preset, missing ':' or scale < 1.
+[[nodiscard]] WorkloadSpec parse_spec(const std::string& text);
+
+/// Generate the instance for `spec`. Throws std::invalid_argument on an
+/// unknown preset (parse_spec-produced specs are always valid).
+[[nodiscard]] Workload generate(const WorkloadSpec& spec);
+
+/// Every "family:preset" pair, families in declaration order.
+[[nodiscard]] std::vector<std::string> catalogue();
+
+}  // namespace hp::workload

@@ -1,0 +1,154 @@
+// DNN/dataflow hyperDAGs (the paper's own Section 7 motivation). Each preset
+// is a layered block template — MLP stacks, 1-D conv pyramids with
+// downsampling and residual skips, sparse-attention blocks — built as a
+// plain edge list over layer-major node ids where every edge points from a
+// lower layer to a higher one. The list goes through Dag::from_edges (which
+// verifies acyclicity) and then the Definition 3.2 to_hyperdag() round trip,
+// so the emitted hypergraph is a hyperDAG by construction and Lemma B.2
+// recognition accepts it. The Dag itself rides along in Workload::dag for
+// schedule construction and BSP costing.
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+#include <vector>
+
+#include "hyperpart/dag/hyperdag.hpp"
+#include "workload/family_impl.hpp"
+
+namespace hp::workload::detail {
+namespace {
+
+using EdgeList = std::vector<std::pair<NodeId, NodeId>>;
+
+// Fully-layered MLP: L layers of width w; each node draws 2-4 distinct
+// predecessors from the previous layer (a contiguous window, so fan-in pins
+// are distinct without retry loops).
+NodeId build_mlp(NodeId target, std::uint64_t seed, EdgeList& edges) {
+  const std::uint32_t layers =
+      target >= 12 ? 6 : std::max<std::uint32_t>(2, target / 2);
+  const NodeId width = std::max<NodeId>(1, target / layers);
+  for (std::uint32_t t = 1; t < layers; ++t) {
+    for (NodeId x = 0; x < width; ++x) {
+      const NodeId id = t * width + x;
+      Rng rng = item_rng(seed, kTagDataflowNode, id);
+      const NodeId fanin = std::min<NodeId>(
+          width, 2 + static_cast<NodeId>(rng.next_below(3)));
+      const NodeId start = static_cast<NodeId>(rng.next_below(width));
+      for (NodeId f = 0; f < fanin; ++f) {
+        const NodeId px = (start + f) % width;
+        edges.emplace_back((t - 1) * width + px, id);
+      }
+    }
+  }
+  return layers * width;
+}
+
+// 1-D conv stack: kernel 3 / stride 1 layers, width halved every third
+// layer, plus p=0.1 residual skips two layers back.
+NodeId build_conv(NodeId target, std::uint64_t seed, EdgeList& edges) {
+  NodeId width = std::max<NodeId>(2, target / 6);
+  std::vector<NodeId> layer_base{0};
+  std::vector<NodeId> layer_width{width};
+  NodeId total = width;
+  while (total < target && width >= 2) {
+    const std::uint32_t t = static_cast<std::uint32_t>(layer_width.size());
+    const bool downsample = t % 3 == 0;
+    const NodeId prev_width = width;
+    if (downsample) width = std::max<NodeId>(1, width / 2);
+    const NodeId base = total;
+    for (NodeId x = 0; x < width; ++x) {
+      const NodeId id = base + x;
+      const NodeId cx = downsample ? std::min<NodeId>(2 * x, prev_width - 1)
+                                   : x;
+      const NodeId lo = cx > 0 ? cx - 1 : 0;
+      const NodeId hi = std::min<NodeId>(prev_width - 1, cx + 1);
+      const NodeId prev_base = layer_base.back();
+      for (NodeId px = lo; px <= hi; ++px) {
+        edges.emplace_back(prev_base + px, id);
+      }
+      if (layer_base.size() >= 2) {
+        Rng rng = item_rng(seed, kTagDataflowNode, id);
+        if (rng.next_bool(0.1)) {
+          const NodeId skip_base = layer_base[layer_base.size() - 2];
+          const NodeId skip_width = layer_width[layer_width.size() - 2];
+          edges.emplace_back(skip_base + std::min<NodeId>(x, skip_width - 1),
+                             id);
+        }
+      }
+    }
+    layer_base.push_back(base);
+    layer_width.push_back(width);
+    total += width;
+    if (width == 1) break;
+  }
+  return total;
+}
+
+// Sparse-attention blocks over s tokens: per block and token, a QKV node
+// (from the token's block input), an attention node (its own QKV plus a
+// random window of other tokens' QKVs), and an output node with a residual
+// edge from the block input. Block b+1's inputs are block b's outputs.
+NodeId build_attention(NodeId target, std::uint64_t seed, EdgeList& edges) {
+  const NodeId s = std::clamp<NodeId>(
+      static_cast<NodeId>(std::sqrt(static_cast<double>(target))), 2, 64);
+  const NodeId blocks = std::max<NodeId>(1, (target - s) / (3 * s));
+  NodeId total = s;  // token source nodes 0..s-1
+  std::vector<NodeId> inputs(s);
+  for (NodeId t = 0; t < s; ++t) inputs[t] = t;
+  for (NodeId b = 0; b < blocks; ++b) {
+    const NodeId qkv_base = total;
+    const NodeId attn_base = total + s;
+    const NodeId out_base = total + 2 * s;
+    for (NodeId t = 0; t < s; ++t) {
+      edges.emplace_back(inputs[t], qkv_base + t);
+    }
+    for (NodeId t = 0; t < s; ++t) {
+      const NodeId attn = attn_base + t;
+      edges.emplace_back(qkv_base + t, attn);
+      Rng rng = item_rng(seed, kTagDataflowNode, attn);
+      const NodeId h = std::min<NodeId>(s - 1, 4);
+      const NodeId start = static_cast<NodeId>(rng.next_below(s));
+      for (NodeId j = 0; j < h; ++j) {
+        const NodeId other = (start + j) % s;
+        if (other != t) edges.emplace_back(qkv_base + other, attn);
+      }
+    }
+    for (NodeId t = 0; t < s; ++t) {
+      edges.emplace_back(attn_base + t, out_base + t);
+      edges.emplace_back(inputs[t], out_base + t);  // residual
+      inputs[t] = out_base + t;
+    }
+    total += 3 * s;
+  }
+  return total;
+}
+
+}  // namespace
+
+Workload build_dataflow(const WorkloadSpec& spec) {
+  const NodeId target = resolve_nodes(spec, 2048);
+  EdgeList edges;
+  NodeId n = 0;
+  if (spec.preset == "mlp" || spec.preset.empty()) {
+    n = build_mlp(target, spec.seed, edges);
+  } else if (spec.preset == "conv") {
+    n = build_conv(target, spec.seed, edges);
+  } else if (spec.preset == "attention") {
+    n = build_attention(target, spec.seed, edges);
+  } else {
+    throw_unknown_preset(Family::kDataflow, spec.preset);
+  }
+
+  Dag dag = Dag::from_edges(n, std::move(edges));
+  HyperDag hd = to_hyperdag(dag);
+
+  Workload out;
+  out.graph = std::move(hd.graph);
+  out.dag = std::move(dag);
+  out.suggested_k = 8;
+  out.suggested_eps = 0.1;
+  return out;
+}
+
+}  // namespace hp::workload::detail

@@ -1,0 +1,67 @@
+#pragma once
+// Internal helpers shared by the workload family generators.
+//
+// The determinism scheme: every per-item decision (a matrix row's nonzeros,
+// a net's pins, a node's fan-in) draws from an Rng seeded by
+// mix64(mix64(seed + family tag) + item). Item streams are therefore
+// independent of each other and of how items are chunked across threads,
+// which is what makes parallel_for_grain fills bit-identical at any thread
+// count, and what keeps an instance a pure function of (spec.seed, item).
+
+#include <algorithm>
+#include <cstdint>
+
+#include "hyperpart/util/rng.hpp"
+#include "hyperpart/util/thread_pool.hpp"
+#include "hyperpart/workload/workload.hpp"
+
+namespace hp::workload::detail {
+
+// Distinct stream tags per generator aspect. Stable constants: changing one
+// re-rolls that family's instances and invalidates replay seeds, so they are
+// never reused or renumbered.
+inline constexpr std::uint64_t kTagSpmvRow = 0x73706d76'726f7721ULL;
+inline constexpr std::uint64_t kTagNetlistNet = 0x6e65746c'6e657421ULL;
+inline constexpr std::uint64_t kTagNetlistGlobal = 0x6e65746c'676c6f21ULL;
+inline constexpr std::uint64_t kTagNetlistCell = 0x6e65746c'63656c21ULL;
+inline constexpr std::uint64_t kTagDataflowNode = 0x64617461'666c6f21ULL;
+inline constexpr std::uint64_t kTagPowerEdge = 0x706f7765'72707721ULL;
+inline constexpr std::uint64_t kTagPowerPerm = 0x706f7765'727021ULL;
+
+/// SplitMix64 finalizer as a pure function (splitmix64() advances a stream;
+/// this hashes one value).
+[[nodiscard]] inline std::uint64_t mix64(std::uint64_t x) noexcept {
+  std::uint64_t state = x;
+  return splitmix64(state);
+}
+
+/// The independent per-item stream described in the file header.
+[[nodiscard]] inline Rng item_rng(std::uint64_t seed, std::uint64_t tag,
+                                  std::uint64_t item) noexcept {
+  return Rng(mix64(mix64(seed + tag) + item));
+}
+
+/// target_nodes override, else preset base x scale; floor of 4 so every
+/// family template stays well-formed at fuzz sizes.
+[[nodiscard]] inline NodeId resolve_nodes(const WorkloadSpec& spec,
+                                          NodeId base) noexcept {
+  const std::uint64_t raw =
+      spec.target_nodes != 0
+          ? static_cast<std::uint64_t>(spec.target_nodes)
+          : static_cast<std::uint64_t>(base) *
+                std::max<std::uint32_t>(spec.scale, 1);
+  return static_cast<NodeId>(std::clamp<std::uint64_t>(raw, 4, 1u << 30));
+}
+
+[[nodiscard]] inline unsigned resolve_threads(const WorkloadSpec& spec) {
+  return spec.threads == 0 ? default_threads() : spec.threads;
+}
+
+Workload build_spmv(const WorkloadSpec& spec);
+Workload build_netlist(const WorkloadSpec& spec);
+Workload build_dataflow(const WorkloadSpec& spec);
+Workload build_powerlaw(const WorkloadSpec& spec);
+
+[[noreturn]] void throw_unknown_preset(Family f, const std::string& preset);
+
+}  // namespace hp::workload::detail

@@ -1,0 +1,101 @@
+// VLSI-style netlists. Cells are nodes; signal nets follow the empirical
+// shape of placed circuits (cf. the hMETIS benchmarks and Rent's rule):
+// ~55% 2-pin, ~25% 3-pin, a geometric tail up to 12 pins, with pins drawn
+// inside a placement-locality window around a random center cell. On top, a
+// small number of very high degree power/clock nets each span a fixed
+// fraction of all cells. Cell weights (areas) are skewed in [1, 8].
+//
+// Edge order contract (tests rely on it): the n signal nets come first
+// (ids [0, n)), the global nets last.
+
+#include <algorithm>
+#include <vector>
+
+#include "hyperpart/core/builder.hpp"
+#include "workload/family_impl.hpp"
+
+namespace hp::workload::detail {
+namespace {
+
+std::uint32_t draw_net_size(Rng& rng) {
+  const double r = rng.next_double();
+  if (r < 0.55) return 2;
+  if (r < 0.80) return 3;
+  std::uint32_t size = 4;
+  while (size < 12 && rng.next_bool(0.45)) ++size;
+  return size;
+}
+
+void fill_signal_net(NodeId n, NodeId window, Rng& rng,
+                     std::vector<NodeId>& pins) {
+  const std::uint32_t size = draw_net_size(rng);
+  const NodeId center = static_cast<NodeId>(rng.next_below(n));
+  const NodeId lo = center > window ? center - window : 0;
+  const NodeId hi = std::min<NodeId>(n - 1, center + window);
+  for (std::uint32_t t = 0; t < size; ++t) {
+    pins.push_back(lo + static_cast<NodeId>(rng.next_below(hi - lo + 1)));
+  }
+  std::sort(pins.begin(), pins.end());
+  pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+}
+
+}  // namespace
+
+Workload build_netlist(const WorkloadSpec& spec) {
+  bool local = true;
+  if (spec.preset == "rent" || spec.preset.empty()) {
+    local = true;  // placement-locality windows
+  } else if (spec.preset == "flat") {
+    local = false;  // pins uniform over all cells
+  } else {
+    throw_unknown_preset(Family::kNetlist, spec.preset);
+  }
+
+  const NodeId n = resolve_nodes(spec, 4096);
+  const NodeId window = local ? std::max<NodeId>(8, n / 64) : n;
+
+  std::vector<std::vector<NodeId>> nets(n);
+  std::vector<Weight> areas(n, 1);
+  parallel_for_grain(
+      n, 256, resolve_threads(spec),
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          Rng net_rng = item_rng(spec.seed, kTagNetlistNet, i);
+          fill_signal_net(n, window, net_rng, nets[i]);
+          Rng cell_rng = item_rng(spec.seed, kTagNetlistCell, i);
+          Weight area = 1;
+          while (area < 8 && cell_rng.next_bool(0.3)) ++area;
+          areas[i] = area;
+        }
+      });
+
+  HypergraphBuilder b(n);
+  for (auto& pins : nets) b.add_edge(std::move(pins));
+
+  // Power/clock globals: each hits ~1/20 of all cells via a per-net hash, so
+  // membership is a pure function of (seed, net, cell).
+  const EdgeId globals = std::max<EdgeId>(1, n / 1024);
+  const NodeId desired = std::max<NodeId>(2, n / 20);
+  const std::uint64_t stride = std::max<std::uint64_t>(1, n / desired);
+  for (EdgeId gi = 0; gi < globals; ++gi) {
+    const std::uint64_t net_key = mix64(spec.seed + kTagNetlistGlobal + gi);
+    std::vector<NodeId> pins;
+    for (NodeId j = 0; j < n; ++j) {
+      if (mix64(net_key + j) % stride == 0) pins.push_back(j);
+    }
+    if (pins.size() < 2) {  // tiny fuzz sizes: pin the rails to the corners
+      pins.push_back(0);
+      pins.push_back(n - 1);
+    }
+    b.add_edge(std::move(pins));
+  }
+
+  Workload out;
+  out.graph = b.build();
+  out.graph.set_node_weights(areas);
+  out.suggested_k = 8;
+  out.suggested_eps = 0.1;
+  return out;
+}
+
+}  // namespace hp::workload::detail

@@ -1,0 +1,83 @@
+// Skewed power-law streams for the streaming partitioner. Pin popularity
+// follows a truncated Pareto law: pins are drawn by inverse-CDF sampling of
+// the density f(x) ∝ (x+1)^{-α} on [0, n), α = 0.8, so the degree of the
+// node at popularity rank r decays like (r+1)^{-α} — the log-log degree
+// tail the property test regresses. Node ids are a permutation of the
+// popularity ranks, chosen by the preset to control where the hubs land in
+// the arrival sequence (streaming partitioners are sensitive to exactly
+// this):
+//   zipf       hubs spread through the stream by a seeded shuffle
+//   hubs_last  the hottest nodes arrive last — the adversarial order, every
+//              hub placed after all its neighbourhoods are committed
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "hyperpart/core/builder.hpp"
+#include "workload/family_impl.hpp"
+
+namespace hp::workload::detail {
+namespace {
+
+constexpr double kAlpha = 0.8;
+
+// Inverse CDF of f(x) ∝ (x+1)^{-α} on [0, n): exact for the continuous
+// density, floored to a rank in [0, n).
+NodeId pareto_rank(NodeId n, Rng& rng) {
+  const double u = rng.next_double();
+  const double one_minus_a = 1.0 - kAlpha;
+  const double top = std::pow(static_cast<double>(n) + 1.0, one_minus_a);
+  const double x = std::pow((top - 1.0) * u + 1.0, 1.0 / one_minus_a) - 1.0;
+  const auto r = static_cast<std::uint64_t>(x);
+  return static_cast<NodeId>(std::min<std::uint64_t>(r, n - 1));
+}
+
+}  // namespace
+
+Workload build_powerlaw(const WorkloadSpec& spec) {
+  const NodeId n = resolve_nodes(spec, 4096);
+
+  // perm[rank] = node id of the rank-th hottest node.
+  std::vector<NodeId> perm(n);
+  std::iota(perm.begin(), perm.end(), NodeId{0});
+  if (spec.preset == "zipf" || spec.preset.empty()) {
+    Rng perm_rng = item_rng(spec.seed, kTagPowerPerm, 0);
+    perm_rng.shuffle(perm);
+  } else if (spec.preset == "hubs_last") {
+    std::reverse(perm.begin(), perm.end());
+  } else {
+    throw_unknown_preset(Family::kPowerLaw, spec.preset);
+  }
+
+  const EdgeId m = 2 * static_cast<EdgeId>(n);
+  const std::uint32_t max_size = std::min<std::uint32_t>(16, n);
+  std::vector<std::vector<NodeId>> edges(m);
+  parallel_for_grain(
+      m, 512, resolve_threads(spec),
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t i = begin; i < end; ++i) {
+          Rng rng = item_rng(spec.seed, kTagPowerEdge, i);
+          std::uint32_t size = 2;
+          while (size < max_size && rng.next_bool(0.3)) ++size;
+          auto& pins = edges[i];
+          for (std::uint32_t t = 0; t < size; ++t) {
+            pins.push_back(perm[pareto_rank(n, rng)]);
+          }
+          std::sort(pins.begin(), pins.end());
+          pins.erase(std::unique(pins.begin(), pins.end()), pins.end());
+        }
+      });
+
+  HypergraphBuilder b(n);
+  for (auto& pins : edges) b.add_edge(std::move(pins));
+
+  Workload out;
+  out.graph = b.build();
+  out.suggested_k = 8;
+  out.suggested_eps = 0.1;
+  return out;
+}
+
+}  // namespace hp::workload::detail

@@ -1,0 +1,131 @@
+// SpMV workloads: synthetic sparse-matrix patterns through the row-net model
+// (Çatalyürek–Aykanat): one node per matrix column, one net per matrix row
+// whose pins are the columns with a nonzero in that row. A k-way partition of
+// the columns is a distribution of the input vector x; the connectivity cost
+// Σ (λ_e − 1) is exactly the communication volume of the parallel y = A·x.
+// Column weight = nonzero count, i.e. the multiply-adds its owner performs.
+
+#include <algorithm>
+#include <vector>
+
+#include "hyperpart/core/builder.hpp"
+#include "workload/family_impl.hpp"
+
+namespace hp::workload::detail {
+namespace {
+
+enum class Pattern { kBanded, kBlockDiag, kRmat };
+
+// R-MAT-style column pick: binary descent over [0, dim) favouring the low
+// half with probability 0.75 per level — the 1-D marginal of a Kronecker
+// (0.57, 0.19, 0.19, 0.05) initiator, giving the skewed column popularity of
+// R-MAT row structure.
+NodeId rmat_column(NodeId dim, Rng& rng) {
+  NodeId lo = 0;
+  NodeId hi = dim;
+  while (hi - lo > 1) {
+    const NodeId mid = lo + (hi - lo) / 2;
+    if (rng.next_bool(0.75)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return lo;
+}
+
+void fill_row(Pattern pat, NodeId dim, NodeId row, Rng& rng,
+              std::vector<NodeId>& cols) {
+  switch (pat) {
+    case Pattern::kBanded: {
+      const NodeId band = std::min<NodeId>(8, dim - 1);
+      const NodeId lo = row > band ? row - band : 0;
+      const NodeId hi = std::min<NodeId>(dim - 1, row + band);
+      for (NodeId j = lo; j <= hi; ++j) {
+        if (j == row || rng.next_bool(0.5)) cols.push_back(j);
+      }
+      break;
+    }
+    case Pattern::kBlockDiag: {
+      const NodeId bs = std::clamp<NodeId>(dim / 16, 4, 64);
+      const NodeId block = row / bs;
+      const NodeId base = block * bs;
+      const NodeId end = std::min<NodeId>(dim, base + bs);
+      cols.push_back(row);
+      for (NodeId j = base; j < end; ++j) {
+        if (j != row && rng.next_bool(0.35)) cols.push_back(j);
+      }
+      // sparse off-diagonal coupling into a neighbouring block
+      if (rng.next_bool(0.15)) {
+        const NodeId last_block = (dim - 1) / bs;
+        NodeId nb = block;
+        if (block < last_block && (block == 0 || rng.next_bool(0.5))) {
+          nb = block + 1;
+        } else if (block > 0) {
+          nb = block - 1;
+        }
+        if (nb != block) {
+          const NodeId nbase = nb * bs;
+          const NodeId nend = std::min<NodeId>(dim, nbase + bs);
+          cols.push_back(nbase + static_cast<NodeId>(
+                                     rng.next_below(nend - nbase)));
+        }
+      }
+      break;
+    }
+    case Pattern::kRmat: {
+      std::uint32_t nnz = 1;
+      while (nnz < 32 && rng.next_bool(0.55)) ++nnz;
+      cols.push_back(row);  // nonzero diagonal keeps every row/column live
+      for (std::uint32_t t = 0; t < nnz; ++t) {
+        cols.push_back(rmat_column(dim, rng));
+      }
+      break;
+    }
+  }
+  std::sort(cols.begin(), cols.end());
+  cols.erase(std::unique(cols.begin(), cols.end()), cols.end());
+}
+
+}  // namespace
+
+Workload build_spmv(const WorkloadSpec& spec) {
+  Pattern pat = Pattern::kBanded;
+  if (spec.preset == "banded" || spec.preset.empty()) {
+    pat = Pattern::kBanded;
+  } else if (spec.preset == "blockdiag") {
+    pat = Pattern::kBlockDiag;
+  } else if (spec.preset == "rmat") {
+    pat = Pattern::kRmat;
+  } else {
+    throw_unknown_preset(Family::kSpmv, spec.preset);
+  }
+
+  const NodeId dim = resolve_nodes(spec, 4096);  // square matrix, n = dim
+  std::vector<std::vector<NodeId>> rows(dim);
+  parallel_for_grain(
+      dim, 256, resolve_threads(spec),
+      [&](std::size_t, std::uint64_t begin, std::uint64_t end) {
+        for (std::uint64_t r = begin; r < end; ++r) {
+          Rng rng = item_rng(spec.seed, kTagSpmvRow, r);
+          fill_row(pat, dim, static_cast<NodeId>(r), rng, rows[r]);
+        }
+      });
+
+  std::vector<Weight> col_nnz(dim, 0);
+  HypergraphBuilder b(dim);
+  for (auto& cols : rows) {
+    for (const NodeId c : cols) ++col_nnz[c];
+    b.add_edge(std::move(cols));
+  }
+  for (Weight& w : col_nnz) w = std::max<Weight>(w, 1);
+
+  Workload out;
+  out.graph = b.build();
+  out.graph.set_node_weights(col_nnz);
+  out.suggested_k = 8;
+  out.suggested_eps = 0.05;
+  return out;
+}
+
+}  // namespace hp::workload::detail

@@ -1,0 +1,131 @@
+// Catalogue front end: family/preset names, spec parsing, and dispatch to
+// the per-family builders. See workload.hpp for the determinism contract.
+
+#include "hyperpart/workload/workload.hpp"
+
+#include <stdexcept>
+#include <string>
+
+#include "hyperpart/util/parse.hpp"
+#include "workload/family_impl.hpp"
+
+namespace hp::workload {
+
+const char* to_string(Family f) noexcept {
+  switch (f) {
+    case Family::kSpmv:
+      return "spmv";
+    case Family::kNetlist:
+      return "netlist";
+    case Family::kDataflow:
+      return "dataflow";
+    case Family::kPowerLaw:
+      return "powerlaw";
+  }
+  return "?";
+}
+
+Family family_from_string(const std::string& name) {
+  for (const Family f : kAllFamilies) {
+    if (name == to_string(f)) return f;
+  }
+  throw std::invalid_argument("unknown workload family '" + name +
+                              "' (families: spmv netlist dataflow powerlaw)");
+}
+
+const std::vector<std::string>& presets(Family f) {
+  static const std::vector<std::string> spmv{"banded", "blockdiag", "rmat"};
+  static const std::vector<std::string> netlist{"rent", "flat"};
+  static const std::vector<std::string> dataflow{"mlp", "conv", "attention"};
+  static const std::vector<std::string> powerlaw{"zipf", "hubs_last"};
+  switch (f) {
+    case Family::kSpmv:
+      return spmv;
+    case Family::kNetlist:
+      return netlist;
+    case Family::kDataflow:
+      return dataflow;
+    case Family::kPowerLaw:
+      return powerlaw;
+  }
+  return spmv;
+}
+
+namespace detail {
+
+void throw_unknown_preset(Family f, const std::string& preset) {
+  std::string known;
+  for (const auto& p : presets(f)) {
+    if (!known.empty()) known += ' ';
+    known += p;
+  }
+  throw std::invalid_argument("unknown " + std::string(to_string(f)) +
+                              " preset '" + preset + "' (presets: " + known +
+                              ")");
+}
+
+}  // namespace detail
+
+WorkloadSpec parse_spec(const std::string& text) {
+  const auto colon = text.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    throw std::invalid_argument(
+        "workload spec must be family:preset[@scale], got '" + text + "'");
+  }
+  WorkloadSpec spec;
+  spec.family = family_from_string(text.substr(0, colon));
+  std::string rest = text.substr(colon + 1);
+  const auto at = rest.find('@');
+  if (at != std::string::npos) {
+    const std::string scale_text = rest.substr(at + 1);
+    const auto scale = parse_u64(scale_text);
+    if (!scale || *scale == 0 || *scale > (1u << 20)) {
+      throw std::invalid_argument("workload scale must be an integer in [1, " +
+                                  std::to_string(1u << 20) + "], got '" +
+                                  scale_text + "'");
+    }
+    spec.scale = static_cast<std::uint32_t>(*scale);
+    rest = rest.substr(0, at);
+  }
+  spec.preset = rest;
+  // validate the preset eagerly so callers get the one-line error up front
+  bool known = false;
+  for (const auto& p : presets(spec.family)) {
+    if (p == spec.preset) known = true;
+  }
+  if (!known) detail::throw_unknown_preset(spec.family, spec.preset);
+  return spec;
+}
+
+Workload generate(const WorkloadSpec& spec) {
+  Workload out;
+  switch (spec.family) {
+    case Family::kSpmv:
+      out = detail::build_spmv(spec);
+      break;
+    case Family::kNetlist:
+      out = detail::build_netlist(spec);
+      break;
+    case Family::kDataflow:
+      out = detail::build_dataflow(spec);
+      break;
+    case Family::kPowerLaw:
+      out = detail::build_powerlaw(spec);
+      break;
+  }
+  out.name = std::string(to_string(spec.family)) + ":" +
+             (spec.preset.empty() ? presets(spec.family).front() : spec.preset);
+  return out;
+}
+
+std::vector<std::string> catalogue() {
+  std::vector<std::string> out;
+  for (const Family f : kAllFamilies) {
+    for (const auto& p : presets(f)) {
+      out.push_back(std::string(to_string(f)) + ":" + p);
+    }
+  }
+  return out;
+}
+
+}  // namespace hp::workload

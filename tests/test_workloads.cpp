@@ -1,0 +1,254 @@
+// Property tests for the application-shaped workload catalogue
+// (src/workload): spec parsing, per-family structural invariants,
+// thread-count/seed determinism, the HPBH round trip with streamed ==
+// offline cost agreement, and the fuzz generator's forked per-family RNG
+// streams (cross-version replay stability).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "hyperpart/core/metrics.hpp"
+#include "hyperpart/dag/recognition.hpp"
+#include "hyperpart/fuzz/instance_gen.hpp"
+#include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/stream/stream_partitioner.hpp"
+#include "hyperpart/workload/workload.hpp"
+
+namespace hp::workload {
+namespace {
+
+TEST(WorkloadSpec, ParsesFamilyPresetAndScale) {
+  const WorkloadSpec a = parse_spec("spmv:banded");
+  EXPECT_EQ(a.family, Family::kSpmv);
+  EXPECT_EQ(a.preset, "banded");
+  EXPECT_EQ(a.scale, 1u);
+
+  const WorkloadSpec b = parse_spec("netlist:rent@4");
+  EXPECT_EQ(b.family, Family::kNetlist);
+  EXPECT_EQ(b.preset, "rent");
+  EXPECT_EQ(b.scale, 4u);
+
+  EXPECT_THROW((void)parse_spec("spmv"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("bogus:x"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("spmv:nope"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec("spmv:banded@0"), std::invalid_argument);
+  EXPECT_THROW((void)parse_spec(":banded"), std::invalid_argument);
+}
+
+TEST(WorkloadCatalogue, EveryPresetGeneratesAndValidates) {
+  const auto names = catalogue();
+  ASSERT_EQ(names.size(), 10u);  // 3 + 2 + 3 + 2
+  for (const std::string& name : names) {
+    WorkloadSpec spec = parse_spec(name);
+    spec.target_nodes = 64;
+    spec.seed = 7;
+    const Workload w = generate(spec);
+    EXPECT_TRUE(w.graph.validate()) << name;
+    EXPECT_GT(w.graph.num_nodes(), 0u) << name;
+    EXPECT_GT(w.graph.num_edges(), 0u) << name;
+    EXPECT_EQ(w.name, name);
+    EXPECT_GE(w.suggested_k, 2u) << name;
+  }
+}
+
+TEST(WorkloadCatalogue, BitIdenticalAcrossThreadCountsAndSeedSensitive) {
+  for (const Family f : kAllFamilies) {
+    WorkloadSpec spec;
+    spec.family = f;
+    spec.target_nodes = 3000;
+    spec.seed = 99;
+    spec.threads = 1;
+    const std::uint64_t base = generate(spec).graph.content_hash();
+    for (const unsigned threads : {2u, 4u, 8u}) {
+      spec.threads = threads;
+      EXPECT_EQ(generate(spec).graph.content_hash(), base)
+          << to_string(f) << " at threads=" << threads;
+    }
+    spec.threads = 4;
+    const std::uint64_t again = generate(spec).graph.content_hash();
+    EXPECT_EQ(again, base) << to_string(f) << " repeat";
+    spec.seed = 100;
+    EXPECT_NE(generate(spec).graph.content_hash(), base)
+        << to_string(f) << " must depend on the seed";
+  }
+}
+
+TEST(SpmvWorkload, BandedRowNetStructure) {
+  WorkloadSpec spec = parse_spec("spmv:banded");
+  spec.target_nodes = 1000;
+  spec.seed = 3;
+  const Workload w = generate(spec);
+  const Hypergraph& g = w.graph;
+  ASSERT_EQ(g.num_nodes(), 1000u);  // one node per column
+  ASSERT_EQ(g.num_edges(), 1000u);  // one net per row
+  std::vector<Weight> col_nnz(g.num_nodes(), 0);
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    const auto pins = g.pins(e);
+    EXPECT_GE(pins.size(), 1u) << "row " << e << " has no nonzeros";
+    EXPECT_LE(pins.size(), 17u) << "bandwidth 8 allows at most 17 pins";
+    for (const NodeId v : pins) {
+      // banded: |row - col| <= 8
+      const auto diff = v > e ? v - e : e - v;
+      EXPECT_LE(diff, 8u);
+      ++col_nnz[v];
+    }
+  }
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    EXPECT_EQ(g.node_weight(v), std::max<Weight>(col_nnz[v], 1))
+        << "column weight must equal its nonzero count";
+  }
+}
+
+TEST(NetlistWorkload, PinDistributionMatchesSpecBounds) {
+  WorkloadSpec spec = parse_spec("netlist:rent");
+  spec.target_nodes = 4096;
+  spec.seed = 11;
+  const Workload w = generate(spec);
+  const Hypergraph& g = w.graph;
+  const NodeId n = g.num_nodes();
+  ASSERT_EQ(n, 4096u);
+  const EdgeId globals = std::max<EdgeId>(1, n / 1024);
+  ASSERT_EQ(g.num_edges(), n + globals);
+
+  // Signal nets (ids [0, n)): mostly 2-4 pins, never more than 12.
+  EdgeId small = 0;
+  for (EdgeId e = 0; e < n; ++e) {
+    const auto size = g.pins(e).size();
+    EXPECT_GE(size, 1u);
+    EXPECT_LE(size, 12u);
+    if (size <= 4) ++small;
+  }
+  EXPECT_GE(small, (n * 3) / 4) << "at least 75% of signal nets are 2-4 pin";
+
+  // Global power/clock nets span a constant fraction of all cells.
+  for (EdgeId e = n; e < g.num_edges(); ++e) {
+    const auto size = g.pins(e).size();
+    EXPECT_GE(size, n / 40) << "global net too small";
+    EXPECT_LE(size, n / 10) << "global net too large";
+  }
+
+  for (NodeId v = 0; v < n; ++v) {
+    EXPECT_GE(g.node_weight(v), 1);
+    EXPECT_LE(g.node_weight(v), 8);
+  }
+}
+
+TEST(DataflowWorkload, EveryPresetIsARecognizedHyperDag) {
+  for (const std::string& preset : presets(Family::kDataflow)) {
+    WorkloadSpec spec;
+    spec.family = Family::kDataflow;
+    spec.preset = preset;
+    spec.target_nodes = 600;
+    spec.seed = 5;
+    const Workload w = generate(spec);
+    ASSERT_TRUE(w.dag.has_value()) << preset;
+    EXPECT_EQ(w.dag->num_nodes(), w.graph.num_nodes()) << preset;
+    const auto rec = recognize_hyperdag(w.graph);
+    EXPECT_TRUE(rec.is_hyperdag) << preset;
+    EXPECT_TRUE(valid_generator_assignment(w.graph, rec.generator)) << preset;
+    // Definition 3.2: one hyperedge per non-sink node.
+    EXPECT_EQ(w.graph.num_edges(),
+              w.dag->num_nodes() - w.dag->sinks().size())
+        << preset;
+  }
+}
+
+TEST(PowerlawWorkload, DegreeTailExponentWithinTolerance) {
+  WorkloadSpec spec = parse_spec("powerlaw:zipf");
+  spec.target_nodes = 8192;
+  spec.seed = 13;
+  const Workload w = generate(spec);
+  const Hypergraph& g = w.graph;
+  std::vector<double> degree(g.num_nodes());
+  for (NodeId v = 0; v < g.num_nodes(); ++v) {
+    degree[v] = static_cast<double>(g.incident_edges(v).size());
+  }
+  std::sort(degree.begin(), degree.end(), std::greater<>());
+  // Log-log regression of degree against popularity rank over the head of
+  // the distribution; the generator draws pins from f(x) ∝ (x+1)^{-0.8},
+  // so the slope must sit near -0.8.
+  double sx = 0, sy = 0, sxx = 0, sxy = 0;
+  int count = 0;
+  for (std::size_t r = 1; r <= 512; ++r) {
+    if (degree[r] < 1.0) break;
+    const double x = std::log(static_cast<double>(r + 1));
+    const double y = std::log(degree[r]);
+    sx += x, sy += y, sxx += x * x, sxy += x * y;
+    ++count;
+  }
+  ASSERT_GE(count, 100);
+  const double slope = (count * sxy - sx * sy) / (count * sxx - sx * sx);
+  EXPECT_LT(slope, -0.5) << "tail too flat (slope " << slope << ")";
+  EXPECT_GT(slope, -1.2) << "tail too steep (slope " << slope << ")";
+}
+
+TEST(WorkloadStream, RoundTripAndStreamedEqualsOffline) {
+  for (const Family f : kAllFamilies) {
+    WorkloadSpec spec;
+    spec.family = f;
+    spec.target_nodes = 400;
+    spec.seed = 21;
+    const Workload w = generate(spec);
+    const std::string path =
+        "workload_roundtrip_" + std::string(to_string(f)) + ".hpb";
+    stream::write_binary_file(path, w.graph);
+    stream::MappedHypergraph mapped(path);
+    EXPECT_EQ(mapped.materialize().content_hash(), w.graph.content_hash())
+        << to_string(f) << " HPBH round trip";
+
+    const auto balance = BalanceConstraint::for_total_weight(
+        mapped.total_node_weight(), 4, 0.3, /*relaxed=*/true);
+    stream::StreamConfig scfg;
+    const auto res = stream::stream_partition(mapped, balance, scfg);
+    ASSERT_TRUE(res.has_value()) << to_string(f);
+    // k = 4 <= 64: the streamed running cost is exact.
+    EXPECT_EQ(res->streamed_cost, res->offline_cost) << to_string(f);
+    EXPECT_EQ(res->offline_cost,
+              cost_of(mapped, res->partition, CostMetric::kConnectivity))
+        << to_string(f);
+    std::remove(path.c_str());
+  }
+}
+
+// Satellite fix: family generators draw from a forked per-family RNG
+// stream, so an instance is a pure function of (seed, family). Generating
+// with a restricted family set must yield byte-identical instances to
+// generating with the full set whenever the same family gets selected —
+// i.e. adding generator legs (as this PR does) never perturbs existing
+// legs' instances, and corpus replay seeds stay valid across versions.
+TEST(FuzzWorkloadFamilies, ReplayStableAcrossFamilySetChanges) {
+  using fuzz::GenOptions;
+  for (const fuzz::Family f :
+       {fuzz::Family::kRandomUniform, fuzz::Family::kHyperDag,
+        fuzz::Family::kSpmv, fuzz::Family::kNetlist, fuzz::Family::kDataflow,
+        fuzz::Family::kPowerLaw}) {
+    GenOptions only;
+    only.families = {f};
+    GenOptions all;  // empty = every family, the "newer version" set
+    int matched = 0;
+    for (std::uint64_t seed = 1; seed <= 64; ++seed) {
+      const auto wide = fuzz::generate_instance(seed, all);
+      if (wide.family != fuzz::to_string(f)) continue;
+      ++matched;
+      const auto narrow = fuzz::generate_instance(seed, only);
+      EXPECT_EQ(narrow.family, wide.family);
+      EXPECT_EQ(narrow.k, wide.k) << fuzz::to_string(f) << " seed " << seed;
+      EXPECT_EQ(narrow.epsilon, wide.epsilon)
+          << fuzz::to_string(f) << " seed " << seed;
+      EXPECT_EQ(narrow.metric, wide.metric)
+          << fuzz::to_string(f) << " seed " << seed;
+      EXPECT_EQ(narrow.graph.content_hash(), wide.graph.content_hash())
+          << fuzz::to_string(f) << " seed " << seed;
+    }
+    EXPECT_GT(matched, 0) << "no seed in 1..64 selected "
+                          << fuzz::to_string(f);
+  }
+}
+
+}  // namespace
+}  // namespace hp::workload

@@ -9,7 +9,8 @@
 //             [--metric cut|conn] [--seed S] [--inject-bug gain]
 //
 // Fuzz mode generates one seeded instance per run (families: random,
-// skewed, hyperdag, grid, spes, degenerate) and runs the full differential
+// skewed, hyperdag, grid, spes, degenerate, plus the workload-catalogue
+// legs spmv, netlist, dataflow, powerlaw) and runs the full differential
 // oracle on it — every heuristic, the streaming round trip, and on small
 // instances the three exact solvers — checking the cross-solver invariants
 // documented in fuzz/oracle.hpp. A failing instance is ddmin-shrunk to a
@@ -51,7 +52,8 @@ namespace {
          "[--quiet] [--telemetry t.json]\n"
          "       hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]\n"
          "         [--metric cut|conn] [--seed S] [--inject-bug gain]\n"
-         "families: random skewed hyperdag grid spes degenerate\n";
+         "families: random skewed hyperdag grid spes degenerate\n"
+         "          spmv netlist dataflow powerlaw\n";
   std::exit(2);
 }
 

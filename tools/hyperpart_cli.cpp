@@ -1,22 +1,35 @@
-// Command-line partitioner for hMETIS and binary (.hpb) hypergraph files.
+// Command-line partitioner for hMETIS and binary (.hpb) hypergraph files,
+// and for generated catalogue workloads.
 //
-//   hyperpart_cli <graph.hgr|graph.hpb> [--k K] [--eps E]
-//                 [--metric cut|conn]
-//                 [--algo multilevel|rb|greedy|random|bnb|stream] [--seed S]
-//                 [--threads T] [--restream N] [--buffer B]
-//                 [--hier B1xB2[:G1]] [--out partition.txt]
-//                 [--convert out.hpb]
+//   hyperpart_cli <graph.hgr|graph.hpb> [options]
+//   hyperpart_cli --workload fam:preset[@scale] [--workload-nodes N]
+//                 [options]
+//   options: [--k K] [--eps E] [--metric cut|conn]
+//            [--algo multilevel|rb|greedy|random|bnb|stream] [--seed S]
+//            [--threads T] [--restream N] [--buffer B]
+//            [--hier B1xB2[:G1]] [--out partition.txt]
+//            [--convert out.hpb] [--write-hgr out.hgr]
 //
 // The input format is sniffed from the file's magic bytes, so .hpb files
 // produced by --convert load zero-copy via mmap regardless of extension.
+// `--workload` generates an application-shaped instance from the seeded
+// catalogue (src/workload) instead of reading a file; `--seed` doubles as
+// the generator seed, `--workload-nodes` overrides the preset's size, and
+// `--write-hgr` dumps the instance as hMETIS text and exits (how the fuzz
+// seed corpus instances were produced). An unknown family or preset is a
+// usage error: one-line `error:` + usage, exit 2.
 // `--algo stream` runs the one-pass streaming placer over the binary file
-// (an hMETIS input is first converted to `<input>.hpb`); `--restream N`
-// follows it with N buffered re-streaming refinement passes. Prints the
-// cost under both metrics and the part weights; with --hier, also
-// evaluates the hierarchical cost (Definition 7.1) after an optimal
-// hierarchy assignment. With --out, writes one part id per line.
+// (an hMETIS input is first converted to `<input>.hpb`; a workload is
+// written to a temporary .hpb); `--restream N` follows it with N buffered
+// re-streaming refinement passes. Prints the cost under both metrics and
+// the part weights; with --hier, also evaluates the hierarchical cost
+// (Definition 7.1) after an optimal hierarchy assignment. With --out,
+// writes one part id per line.
+
+#include <unistd.h>
 
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <limits>
@@ -37,6 +50,7 @@
 #include "hyperpart/util/overflow.hpp"
 #include "hyperpart/util/parse.hpp"
 #include "hyperpart/util/timer.hpp"
+#include "hyperpart/workload/workload.hpp"
 
 namespace {
 
@@ -47,7 +61,12 @@ namespace {
          "[--algo multilevel|rb|greedy|random|bnb|stream]\n"
          "         [--seed S] [--threads T] [--restream N] [--buffer B]\n"
          "         [--hier B1xB2[:G1]] [--out partition.txt] "
-         "[--convert out.hpb] [--telemetry t.json]\n";
+         "[--convert out.hpb]\n"
+         "         [--write-hgr out.hgr] [--telemetry t.json]\n"
+         "       hyperpart_cli --workload fam:preset[@scale] "
+         "[--workload-nodes N] [options]\n"
+         "workloads: spmv:{banded,blockdiag,rmat} netlist:{rent,flat}\n"
+         "           dataflow:{mlp,conv,attention} powerlaw:{zipf,hubs_last}\n";
   std::exit(2);
 }
 
@@ -173,9 +192,14 @@ int run_stream(const std::string& path, hp::PartId k, double eps,
 
 int main(int argc, char** argv) {
   if (argc < 2) usage();
-  const std::string path = argv[1];
+  std::optional<std::string> path;
+  std::optional<std::string> workload_text;
+  hp::NodeId workload_nodes = 0;
+  std::optional<std::string> write_hgr_path;
   hp::PartId k = 2;
+  bool k_set = false;
   double eps = 0.05;
+  bool eps_set = false;
   hp::CostMetric metric = hp::CostMetric::kConnectivity;
   std::string algo = "multilevel";
   std::uint64_t seed = 1;
@@ -188,7 +212,7 @@ int main(int argc, char** argv) {
   TelemetryFlush telemetry;
 
   constexpr std::uint64_t kMaxPart = std::numeric_limits<hp::PartId>::max();
-  for (int i = 2; i < argc; ++i) {
+  for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     const auto value = [&]() -> std::string {
       if (i + 1 >= argc) {
@@ -197,11 +221,27 @@ int main(int argc, char** argv) {
       }
       return argv[++i];
     };
-    if (arg == "--k") {
+    if (arg.rfind("--", 0) != 0) {
+      if (path) {
+        std::cerr << "error: more than one input file ('" << *path << "', '"
+                  << arg << "')\n";
+        usage();
+      }
+      path = arg;
+    } else if (arg == "--workload") {
+      workload_text = value();
+    } else if (arg == "--workload-nodes") {
+      workload_nodes = static_cast<hp::NodeId>(
+          flag_u64(arg, value(), 1, kMaxPart, "integer >= 1"));
+    } else if (arg == "--write-hgr") {
+      write_hgr_path = value();
+    } else if (arg == "--k") {
       k = static_cast<hp::PartId>(
           flag_u64(arg, value(), 2, kMaxPart, "integer >= 2"));
+      k_set = true;
     } else if (arg == "--eps") {
       eps = flag_f64(arg, value(), 0.0, 1e9, "finite number >= 0");
+      eps_set = true;
     } else if (arg == "--metric") {
       const std::string m = value();
       if (m == "cut") {
@@ -261,18 +301,67 @@ int main(int argc, char** argv) {
       usage();
     }
   }
+  if (path && workload_text) {
+    std::cerr << "error: give either an input file or --workload, not both\n";
+    usage();
+  }
+  if (!path && !workload_text) {
+    std::cerr << "error: no input file and no --workload\n";
+    usage();
+  }
   if (!telemetry.path.empty()) {
     hp::obs::reset();
     hp::obs::set_enabled(true);
   }
 
+  // Generate the workload up front: its suggested (k, ε) become the
+  // defaults, and every downstream mode (partition, stream, convert,
+  // write-hgr) consumes the same graph.
+  std::optional<hp::workload::Workload> workload;
+  if (workload_text) {
+    try {
+      auto spec = hp::workload::parse_spec(*workload_text);
+      spec.seed = seed;
+      spec.threads = threads;
+      if (workload_nodes > 0) spec.target_nodes = workload_nodes;
+      workload = hp::workload::generate(spec);
+    } catch (const std::invalid_argument& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      usage();
+    }
+    if (!k_set) k = workload->suggested_k;
+    if (!eps_set) eps = workload->suggested_eps;
+    std::cout << "workload         = " << workload->name << "\n";
+  }
+
+  if (write_hgr_path) {
+    try {
+      const hp::Hypergraph g =
+          workload ? std::move(workload->graph)
+          : hp::stream::is_binary_file(*path)
+              ? hp::stream::MappedHypergraph(*path).materialize()
+              : hp::read_hmetis_file(*path);
+      hp::write_hmetis_file(*write_hgr_path, g);
+      std::cout << g.summary() << "\n"
+                << "hgr written to " << *write_hgr_path << "\n";
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 1;
+    }
+    return 0;
+  }
+
   if (convert_path) {
     try {
-      if (hp::stream::is_binary_file(path)) {
-        std::cerr << "error: " << path << " is already binary\n";
-        return 1;
+      if (workload) {
+        hp::stream::write_binary_file(*convert_path, workload->graph);
+      } else {
+        if (hp::stream::is_binary_file(*path)) {
+          std::cerr << "error: " << *path << " is already binary\n";
+          return 1;
+        }
+        hp::stream::convert_hmetis_file(*path, *convert_path);
       }
-      hp::stream::convert_hmetis_file(path, *convert_path);
       const hp::stream::MappedHypergraph mapped(*convert_path);
       std::cout << mapped.summary() << "\n"
                 << "binary written to " << *convert_path << "\n";
@@ -285,8 +374,18 @@ int main(int argc, char** argv) {
 
   if (algo == "stream") {
     try {
-      return run_stream(path, k, eps, metric, seed, buffer, restream_passes,
-                        out_path);
+      std::string stream_path;
+      if (workload) {
+        stream_path = (std::filesystem::temp_directory_path() /
+                       ("hyperpart_cli_" + std::to_string(getpid()) + ".hpb"))
+                          .string();
+        hp::stream::write_binary_file(stream_path, workload->graph);
+        std::cout << "workload written to " << stream_path << "\n";
+      } else {
+        stream_path = *path;
+      }
+      return run_stream(stream_path, k, eps, metric, seed, buffer,
+                        restream_passes, out_path);
     } catch (const std::exception& e) {
       std::cerr << "error: " << e.what() << "\n";
       return 1;
@@ -295,9 +394,10 @@ int main(int argc, char** argv) {
 
   hp::Hypergraph graph;
   try {
-    graph = hp::stream::is_binary_file(path)
-                ? hp::stream::MappedHypergraph(path).materialize()
-                : hp::read_hmetis_file(path);
+    graph = workload ? std::move(workload->graph)
+            : hp::stream::is_binary_file(*path)
+                ? hp::stream::MappedHypergraph(*path).materialize()
+                : hp::read_hmetis_file(*path);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
