@@ -36,6 +36,7 @@
 #include "hyperpart/server/server.hpp"
 #include "hyperpart/server/session.hpp"
 #include "hyperpart/stream/binary_format.hpp"
+#include "hyperpart/util/rng.hpp"
 #include "hyperpart/util/timer.hpp"
 
 #include "bench_util.hpp"
@@ -219,6 +220,154 @@ HP_BENCH_CASE(incremental_repartition,
             << scratch_ms << " ms (speedup "
             << (incremental_ms > 0 ? scratch_ms / incremental_ms : 0)
             << "x), cost " << incremental.cost << " vs " << fresh.cost
+            << "\n";
+}
+
+HP_BENCH_CASE(structural_churn,
+              "Structural-delta hard gate: after 2% net churn (tombstones + "
+              "appends in one batch) repartition patches trackers, stays "
+              "within the ladder quality bound, and beats a reload+scratch "
+              "run by a wide margin") {
+  const NodeId n = ctx.smoke() ? 10000 : 200000;
+  const EdgeId m = n;
+  const Hypergraph g = random_hypergraph(n, m, 2, 8, 31337 + n);
+
+  auto session = server::GraphSession::from_graph(g, "bench");
+  server::SessionConfig cfg;
+  cfg.k = kParts;
+  cfg.seed = 7;
+
+  ctx.check(session->try_acquire_mutator(), "mutator slot starts free");
+  Timer timer;
+  const auto full = session->partition(cfg, false);
+  const double full_ms = timer.millis();
+  ctx.check(full.ok && full.method == "full",
+            "initial partition runs the full pipeline");
+
+  // Mirror pin lists so the post-churn graph can be rebuilt independently
+  // for the reload baseline (tombstone = empty pins + weight 0).
+  std::vector<std::vector<NodeId>> mirror(m);
+  for (EdgeId e = 0; e < m; ++e) {
+    const auto p = g.pins(e);
+    mirror[e].assign(p.begin(), p.end());
+  }
+
+  // One batched update: tombstone 1% of the nets, append 1% new ones —
+  // 2% structural churn, well inside both the patchability threshold and
+  // the ΔFM rung (change fraction 0.01 of n + m).
+  const EdgeId churn = m / 100;
+  Rng rng(4242);
+  std::vector<server::StructuralDelta> deltas;
+  std::vector<std::uint8_t> removed(m, 0);
+  for (EdgeId i = 0; i < churn; ++i) {
+    EdgeId e;
+    do {
+      e = static_cast<EdgeId>(rng.next_below(m));
+    } while (removed[e]);
+    removed[e] = 1;
+    server::StructuralDelta d;
+    d.kind = server::StructuralDelta::Kind::kRemoveNet;
+    d.net = e;
+    deltas.push_back(std::move(d));
+    mirror[e].clear();
+  }
+  for (EdgeId i = 0; i < churn; ++i) {
+    server::StructuralDelta d;
+    d.kind = server::StructuralDelta::Kind::kAddNet;
+    const std::uint64_t want = 2 + rng.next_below(7);
+    while (d.pins.size() < want) {
+      const auto v = static_cast<NodeId>(rng.next_below(n));
+      const auto it = std::lower_bound(d.pins.begin(), d.pins.end(), v);
+      if (it == d.pins.end() || *it != v) d.pins.insert(it, v);
+    }
+    deltas.push_back(d);
+    mirror.push_back(std::move(d.pins));
+  }
+
+  timer = Timer();
+  const auto up = session->update({}, {}, deltas);
+  const double update_ms = timer.millis();
+  ctx.check(up.ok, "structural batch applies (" + up.error + ")");
+  ctx.check(up.structural == deltas.size(), "all deltas counted structural");
+  ctx.check(up.trackers_patched == 1 && up.trackers_staled == 0,
+            "2% churn stays under the patch threshold: tracker repaired "
+            "per net, not staled");
+  ctx.check(up.version == 1, "update bumped the graph version");
+
+  // The patched CSR must equal a from-scratch rebuild of the same state.
+  Hypergraph churned = Hypergraph::from_edges(n, mirror);
+  for (EdgeId e = 0; e < m; ++e) {
+    if (removed[e]) churned.update_edge_weight(e, 0);
+  }
+  ctx.check(session->graph_hash() == churned.content_hash(),
+            "patched session hash equals an independent from_edges rebuild");
+
+  // Quality baseline the ladder guards against: the cached partition's
+  // cost on the churned graph.
+  const auto before = session->evaluate(cfg, false);
+  ctx.check(before.ok, "evaluate on the churned graph answers");
+
+  timer = Timer();
+  const auto incremental = session->repartition(cfg, false);
+  const double incremental_ms = timer.millis();
+  session->release_mutator();
+  ctx.check(incremental.ok, "incremental repartition succeeds");
+  ctx.check(incremental.method == "delta_fm",
+            "repartition chose the ΔFM rung (got '" + incremental.method +
+                "')");
+  ctx.check(incremental.balanced, "incremental result is balanced");
+  std::string why;
+  ctx.check(session->verify_cache_integrity(&why),
+            "patched tracker state matches a from-scratch rebuild (" + why +
+                ")");
+
+  // Reload baseline: what a cache-less client must do after structural
+  // churn — ship the whole updated graph and partition from scratch.
+  const std::string bin_path =
+      "bench_churn_" + std::to_string(::getpid()) + ".hpb";
+  hp::stream::write_binary_file(bin_path, churned);
+  timer = Timer();
+  auto reloaded = server::GraphSession::from_file(bin_path);
+  ctx.check(reloaded->try_acquire_mutator(), "reload mutator slot free");
+  const auto fresh = reloaded->partition(cfg, false);
+  const double reload_ms = timer.millis();
+  reloaded->release_mutator();
+  std::remove(bin_path.c_str());
+  ctx.check(fresh.ok && fresh.method == "full", "reload+scratch succeeds");
+
+  auto table = ctx.table({{"n", "n"},
+                          {"m", "m"},
+                          {"k", "k"},
+                          {"method", "method"},
+                          {"cost", "cost"},
+                          {"wall_ms", "ms"}});
+  table.row(n, m, static_cast<unsigned>(kParts), full.method, full.cost,
+            full_ms);
+  table.row(n, m, static_cast<unsigned>(kParts), "update", up.structural,
+            update_ms);
+  table.row(n, m, static_cast<unsigned>(kParts), incremental.method,
+            incremental.cost, incremental_ms);
+  table.row(n, m, static_cast<unsigned>(kParts), "reload_scratch", fresh.cost,
+            reload_ms);
+  table.print();
+
+  // The hard gates. Quality: the documented ladder bound against the
+  // cached partition's post-churn cost, with the scratch run as an escape
+  // hatch (a fresh multilevel result is always acceptable). Speed: at the
+  // full n=200k size the patched ΔFM path must beat shipping the graph
+  // again by >= 10x; the smoke size only demands it wins outright.
+  const Weight bound = std::max(3 * before.cost + 4, fresh.cost);
+  ctx.check(incremental.cost <= bound,
+            "incremental cost within max(3*before+4, scratch)");
+  const double required_speedup = ctx.smoke() ? 1.0 : 10.0;
+  ctx.check(incremental_ms * required_speedup <= reload_ms,
+            "incremental repartition beats reload+scratch by the required "
+            "factor");
+  std::cout << "structural churn " << deltas.size() << " deltas, update "
+            << update_ms << " ms, repartition " << incremental_ms
+            << " ms vs reload+scratch " << reload_ms << " ms (speedup "
+            << (incremental_ms > 0 ? reload_ms / incremental_ms : 0)
+            << "x), cost " << incremental.cost << " vs scratch " << fresh.cost
             << "\n";
 }
 

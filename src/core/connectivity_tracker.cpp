@@ -129,6 +129,78 @@ Partition ConnectivityTracker::to_partition() const {
   return Partition{std::vector<PartId>(part_.begin(), part_.end()), k_};
 }
 
+void ConnectivityTracker::begin_structural_patch(
+    std::span<const EdgeId> touched) {
+  if (patch_edges_before_ != kInvalidEdge) {
+    throw std::logic_error("begin_structural_patch: patch already active");
+  }
+  patch_edges_before_ = g_.num_edges();
+  for (const EdgeId e : touched) {
+    if (e >= patch_edges_before_) {
+      patch_edges_before_ = kInvalidEdge;
+      throw std::invalid_argument("begin_structural_patch: edge out of range");
+    }
+  }
+  for (const EdgeId e : touched) {
+    const PartId l = lambda_[e];
+    if (l > 1) {
+      const Weight w = g_.edge_weight(e);
+      cut_net_ -= w;
+      connectivity_ -= w * static_cast<Weight>(l - 1);
+    }
+  }
+  // Gain cache and boundary set are repaired by refilling, not patching.
+  cache_enabled_ = false;
+  benefit_.clear();
+  penalty_.clear();
+  weighted_degree_.clear();
+  best_to_.clear();
+  cut_incident_.clear();
+  boundary_.clear();
+  boundary_pos_.clear();
+  touched_.clear();
+  touched_stamp_.clear();
+}
+
+void ConnectivityTracker::finish_structural_patch(
+    std::span<const EdgeId> touched) {
+  if (patch_edges_before_ == kInvalidEdge) {
+    throw std::logic_error("finish_structural_patch: no active patch");
+  }
+  const EdgeId m_before = patch_edges_before_;
+  patch_edges_before_ = kInvalidEdge;
+  const EdgeId m_after = g_.num_edges();
+  if (m_after < m_before) {
+    throw std::logic_error("finish_structural_patch: edge count shrank");
+  }
+  counts_.resize(static_cast<std::size_t>(m_after) * k_, 0);
+  lambda_.resize(m_after, 0);
+  if (k_ <= 64) present_.resize(m_after, 0);
+  const auto recount = [&](EdgeId e) {
+    const std::size_t base = static_cast<std::size_t>(e) * k_;
+    std::fill(counts_.begin() + base, counts_.begin() + base + k_, 0);
+    PartId l = 0;
+    std::uint64_t mask = 0;
+    for (const NodeId v : g_.pins(e)) {
+      auto& c = counts_[base + part_[v]];
+      if (c == 0) {
+        ++l;
+        mask |= std::uint64_t{1} << (part_[v] & 63);
+      }
+      ++c;
+    }
+    if (!present_.empty()) present_[e] = mask;
+    lambda_[e] = l;
+    if (l > 1) {
+      const Weight w = g_.edge_weight(e);
+      cut_net_ += w;
+      connectivity_ += w * static_cast<Weight>(l - 1);
+    }
+  };
+  for (const EdgeId e : touched) recount(e);
+  for (EdgeId e = m_before; e < m_after; ++e) recount(e);
+}
+
 // --- Gain cache ------------------------------------------------------------
 
 void ConnectivityTracker::enable_gain_cache(CostMetric m, unsigned threads) {

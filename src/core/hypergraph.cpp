@@ -102,6 +102,87 @@ void Hypergraph::update_edge_weight(EdgeId e, Weight w) {
   edge_weights_[e] = w;
 }
 
+void Hypergraph::apply_structural_batch(std::vector<EdgeRewrite> rewrites,
+                                        std::vector<NewEdge> appended) {
+  const NodeId n = num_nodes();
+  const EdgeId m = num_edges();
+  for (auto& r : rewrites) {
+    if (r.edge >= m) {
+      throw std::invalid_argument(
+          "apply_structural_batch: rewrite edge out of range");
+    }
+    std::sort(r.pins.begin(), r.pins.end());
+    r.pins.erase(std::unique(r.pins.begin(), r.pins.end()), r.pins.end());
+    if (!r.pins.empty() && r.pins.back() >= n) {
+      throw std::invalid_argument("apply_structural_batch: pin out of range");
+    }
+  }
+  bool nonunit_new = false;
+  for (auto& a : appended) {
+    if (a.weight < 0) {
+      throw std::invalid_argument(
+          "apply_structural_batch: negative edge weight");
+    }
+    if (a.weight != 1) nonunit_new = true;
+    std::sort(a.pins.begin(), a.pins.end());
+    a.pins.erase(std::unique(a.pins.begin(), a.pins.end()), a.pins.end());
+    if (!a.pins.empty() && a.pins.back() >= n) {
+      throw std::invalid_argument("apply_structural_batch: pin out of range");
+    }
+  }
+
+  // Later rewrites of the same edge win.
+  std::vector<const std::vector<NodeId>*> rewrite_of(m, nullptr);
+  for (const auto& r : rewrites) rewrite_of[r.edge] = &r.pins;
+
+  const EdgeId m_after = m + static_cast<EdgeId>(appended.size());
+  std::vector<std::uint64_t> edge_offsets;
+  edge_offsets.reserve(static_cast<std::size_t>(m_after) + 1);
+  edge_offsets.push_back(0);
+  std::vector<NodeId> pins;
+  pins.reserve(pins_.size());
+  for (EdgeId e = 0; e < m; ++e) {
+    if (rewrite_of[e]) {
+      pins.insert(pins.end(), rewrite_of[e]->begin(), rewrite_of[e]->end());
+    } else {
+      const auto old = this->pins(e);
+      pins.insert(pins.end(), old.begin(), old.end());
+    }
+    edge_offsets.push_back(pins.size());
+  }
+  for (const auto& a : appended) {
+    pins.insert(pins.end(), a.pins.begin(), a.pins.end());
+    edge_offsets.push_back(pins.size());
+  }
+
+  std::vector<Weight> edge_weights;
+  if (nonunit_new || !edge_weights_.empty()) {
+    edge_weights.reserve(m_after);
+    if (edge_weights_.empty()) {
+      edge_weights.assign(m, 1);
+    } else {
+      edge_weights = edge_weights_;
+    }
+    for (const auto& a : appended) edge_weights.push_back(a.weight);
+    edge_weights_ = std::move(edge_weights);
+  }
+
+  edge_offsets_ = std::move(edge_offsets);
+  pins_ = std::move(pins);
+
+  // Rebuild the incidence mirror exactly as from_edges does.
+  node_offsets_.assign(static_cast<std::size_t>(n) + 1, 0);
+  for (const NodeId v : pins_) ++node_offsets_[v + 1];
+  std::partial_sum(node_offsets_.begin(), node_offsets_.end(),
+                   node_offsets_.begin());
+  incident_.assign(pins_.size(), 0);
+  std::vector<std::uint64_t> cursor(node_offsets_.begin(),
+                                    node_offsets_.end() - 1);
+  for (EdgeId e = 0; e < m_after; ++e) {
+    for (const NodeId v : this->pins(e)) incident_[cursor[v]++] = e;
+  }
+}
+
 namespace {
 
 inline void fnv_mix(std::uint64_t& h, std::uint64_t x) noexcept {

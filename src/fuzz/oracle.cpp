@@ -403,6 +403,18 @@ void exact_leg(Checker& c, const BalanceConstraint& balance,
 /// quality bound against a from-scratch multilevel run:
 /// incremental ≤ 3 · scratch + 4. The whole interleaving replays to a
 /// bit-identical cost trace (determinism).
+///
+/// After opts.incremental_rounds weight-only rounds, opts.structural_rounds
+/// structural rounds follow: each sends a batch of add_net / remove_net /
+/// add_pins / remove_pins deltas (the first always strips some net bare —
+/// an empty-but-live net is the edge case a tombstone is NOT, and both must
+/// cost nothing). The mirror is kept as mutable pin lists + weights and
+/// rebuilt from scratch via from_edges after every batch, so its content
+/// hash agreeing with the session's in-place apply_structural_batch is a
+/// differential check, not a tautology. Each structural round additionally
+/// probes atomicity (a batch with one invalid delta must leave hash,
+/// version, and tracker state untouched) and version pinning (evaluate at
+/// the current version answers; at any other version it refuses).
 void incremental_leg(Checker& c) {
   const Hypergraph& g0 = c.inst.graph;
   if (g0.num_nodes() == 0) return;
@@ -421,6 +433,29 @@ void incremental_leg(Checker& c) {
   // identical interleaving and only records the cost trace.
   const auto run_once = [&](bool verify, std::vector<Weight>& cost_trace) {
     Rng rng(c.inst.seed ^ 0xdE17aULL);
+    // The mirror's source of truth is mutable pin lists + weight vectors;
+    // `shadow` is re-materialized from them (via from_edges, the reference
+    // constructor) after every structural batch. It never touches the
+    // session.
+    const NodeId n0 = g0.num_nodes();
+    std::vector<std::vector<NodeId>> mirror_pins(g0.num_edges());
+    std::vector<Weight> mirror_ew(g0.num_edges());
+    std::vector<Weight> mirror_nw(n0);
+    std::vector<std::uint8_t> mirror_dead(g0.num_edges(), 0);
+    for (EdgeId e = 0; e < g0.num_edges(); ++e) {
+      const auto p = g0.pins(e);
+      mirror_pins[e].assign(p.begin(), p.end());
+      mirror_ew[e] = g0.edge_weight(e);
+    }
+    for (NodeId v = 0; v < n0; ++v) mirror_nw[v] = g0.node_weight(v);
+    const auto rebuild_mirror = [&] {
+      Hypergraph h = Hypergraph::from_edges(n0, mirror_pins);
+      for (NodeId v = 0; v < n0; ++v) h.update_node_weight(v, mirror_nw[v]);
+      for (EdgeId e = 0; e < h.num_edges(); ++e) {
+        h.update_edge_weight(e, mirror_ew[e]);
+      }
+      return h;
+    };
     Hypergraph shadow = g0;  // mirrored updates; never touches the session
     auto session = server::GraphSession::from_graph(g0, "fuzz");
     if (!session->try_acquire_mutator()) {
@@ -439,27 +474,206 @@ void incremental_leg(Checker& c) {
       }
       return;
     }
-    for (int round = 0; round < c.opts.incremental_rounds; ++round) {
+    std::uint64_t ver = 0;  // expected session version: one bump per update
+    const int total_rounds =
+        c.opts.incremental_rounds + c.opts.structural_rounds;
+    for (int round = 0; round < total_rounds; ++round) {
+      const bool structural_round = round >= c.opts.incremental_rounds;
       std::vector<server::WeightUpdate> nodes;
       std::vector<server::WeightUpdate> edges;
+      std::vector<server::StructuralDelta> deltas;
       const int n_nodes = 1 + static_cast<int>(rng.next_below(3));
       for (int i = 0; i < n_nodes; ++i) {
         const auto v = static_cast<NodeId>(rng.next_below(g0.num_nodes()));
         const auto w = static_cast<Weight>(rng.next_in(1, 4));
         nodes.push_back({v, w});
-        shadow.update_node_weight(v, w);
+        mirror_nw[v] = w;
       }
-      if (g0.num_edges() > 0 && rng.next_bool(0.4)) {
-        const auto e = static_cast<EdgeId>(rng.next_below(g0.num_edges()));
+      // Nets live before this round's batch: weight updates and structural
+      // targets both come from here (appended nets take ids at or past the
+      // old m, which the session rejects as targets within the same batch).
+      const auto m_before = static_cast<EdgeId>(mirror_pins.size());
+      if (structural_round) {
+        const auto live_nets = [&] {
+          std::vector<EdgeId> live;
+          for (EdgeId e = 0; e < m_before; ++e) {
+            if (!mirror_dead[e]) live.push_back(e);
+          }
+          return live;
+        };
+        const int n_deltas = 2 + static_cast<int>(rng.next_below(3));
+        for (int i = 0; i < n_deltas; ++i) {
+          server::StructuralDelta d;
+          const auto live = live_nets();
+          // Deltas are generated against the evolving mirror state, which
+          // is exactly the session's prospective-validation semantics: a
+          // batch built this way is valid by construction.
+          const auto gen_add_net = [&] {
+            d.kind = server::StructuralDelta::Kind::kAddNet;
+            const std::uint64_t want =
+                std::min<std::uint64_t>(1 + rng.next_below(3), g0.num_nodes());
+            while (d.pins.size() < want) {
+              const auto v =
+                  static_cast<NodeId>(rng.next_below(g0.num_nodes()));
+              const auto it = std::lower_bound(d.pins.begin(), d.pins.end(), v);
+              if (it == d.pins.end() || *it != v) d.pins.insert(it, v);
+            }
+            d.weight = static_cast<Weight>(rng.next_in(1, 3));
+            mirror_pins.push_back(d.pins);
+            mirror_ew.push_back(d.weight);
+            mirror_dead.push_back(0);
+          };
+          // The first delta of the first structural round always strips a
+          // net bare: an empty-but-live net (λ = 0, weight kept) is the
+          // edge case a tombstone is NOT, and both must cost nothing.
+          const bool force_empty =
+              round == c.opts.incremental_rounds && i == 0;
+          std::uint64_t kind = force_empty ? 3 : rng.next_below(4);
+          if (kind != 0 && live.empty()) kind = 0;
+          switch (kind) {
+            case 0:
+              gen_add_net();
+              break;
+            case 1: {  // remove_net: tombstone
+              d.kind = server::StructuralDelta::Kind::kRemoveNet;
+              d.net = live[rng.next_below(live.size())];
+              mirror_pins[d.net].clear();
+              mirror_ew[d.net] = 0;
+              mirror_dead[d.net] = 1;
+              break;
+            }
+            case 2: {  // add_pins: pins currently absent from a live net
+              const EdgeId e = live[rng.next_below(live.size())];
+              std::vector<NodeId> absent;
+              for (NodeId v = 0; v < n0; ++v) {
+                if (!std::binary_search(mirror_pins[e].begin(),
+                                        mirror_pins[e].end(), v)) {
+                  absent.push_back(v);
+                }
+              }
+              if (absent.empty()) {
+                gen_add_net();
+                break;
+              }
+              d.kind = server::StructuralDelta::Kind::kAddPins;
+              d.net = e;
+              const std::uint64_t want =
+                  1 + rng.next_below(std::min<std::uint64_t>(2, absent.size()));
+              for (std::uint64_t t = 0; t < want; ++t) {
+                const auto idx =
+                    static_cast<std::size_t>(rng.next_below(absent.size()));
+                d.pins.push_back(absent[idx]);
+                absent.erase(absent.begin() +
+                             static_cast<std::ptrdiff_t>(idx));
+              }
+              std::sort(d.pins.begin(), d.pins.end());
+              for (const NodeId v : d.pins) {
+                auto& pins = mirror_pins[e];
+                pins.insert(std::lower_bound(pins.begin(), pins.end(), v), v);
+              }
+              break;
+            }
+            default: {  // remove_pins, sometimes all of them
+              std::vector<EdgeId> nonempty;
+              for (const EdgeId e : live) {
+                if (!mirror_pins[e].empty()) nonempty.push_back(e);
+              }
+              if (nonempty.empty()) {
+                gen_add_net();
+                break;
+              }
+              d.kind = server::StructuralDelta::Kind::kRemovePins;
+              d.net = nonempty[rng.next_below(nonempty.size())];
+              std::vector<NodeId> pool = mirror_pins[d.net];
+              const std::uint64_t want =
+                  force_empty || rng.next_bool(0.25)
+                      ? pool.size()
+                      : 1 + rng.next_below(pool.size());
+              for (std::uint64_t t = 0; t < want; ++t) {
+                const auto idx =
+                    static_cast<std::size_t>(rng.next_below(pool.size()));
+                d.pins.push_back(pool[idx]);
+                pool.erase(pool.begin() + static_cast<std::ptrdiff_t>(idx));
+              }
+              std::sort(d.pins.begin(), d.pins.end());
+              auto& pins = mirror_pins[d.net];
+              for (const NodeId v : d.pins) {
+                pins.erase(std::lower_bound(pins.begin(), pins.end(), v));
+              }
+              break;
+            }
+          }
+          deltas.push_back(std::move(d));
+        }
+      }
+      // Edge-weight target: live after the batch (the session rejects a
+      // weight update on a net the same batch removes).
+      std::vector<EdgeId> wtargets;
+      for (EdgeId e = 0; e < m_before; ++e) {
+        if (!mirror_dead[e]) wtargets.push_back(e);
+      }
+      if (!wtargets.empty() && rng.next_bool(0.4)) {
+        const EdgeId e = wtargets[rng.next_below(wtargets.size())];
         const auto w = static_cast<Weight>(rng.next_in(1, 3));
         edges.push_back({e, w});
-        shadow.update_edge_weight(e, w);
+        mirror_ew[e] = w;
       }
-      const auto up = session->update(nodes, edges);
-      if (!up.ok || up.applied != nodes.size() + edges.size()) {
+      const auto up = session->update(nodes, edges, deltas);
+      if (!up.ok ||
+          up.applied != nodes.size() + edges.size() + deltas.size()) {
         c.fail("incremental-update",
-               "in-range weight update rejected: " + up.error);
+               "valid-by-construction update rejected: " + up.error);
         return;
+      }
+      ++ver;
+      shadow = rebuild_mirror();
+      if (verify) {
+        c.check(up.version == ver && session->version() == ver,
+                "incremental-version",
+                "update did not bump the version by exactly one");
+        c.check(up.structural == deltas.size(), "incremental-structural",
+                "update reported " + std::to_string(up.structural) +
+                    " structural deltas, batch sent " +
+                    std::to_string(deltas.size()));
+        c.check(session->graph_hash() == shadow.content_hash(),
+                "incremental-structural",
+                "patched session hash diverges from a from_edges rebuild");
+        std::string why0;
+        c.check(session->verify_cache_integrity(&why0), "incremental-cache",
+                "tracker state diverged after update: " + why0);
+        if (structural_round) {
+          // Atomicity probe: one invalid delta anywhere in a batch must
+          // reject the whole frame with zero effect. Probe the target kinds
+          // the bugfix pins down — already-tombstoned if one exists,
+          // out-of-range otherwise.
+          std::vector<server::StructuralDelta> bad(2);
+          bad[0].kind = server::StructuralDelta::Kind::kAddNet;
+          bad[0].pins = {0};
+          std::size_t dead_net = mirror_dead.size();
+          for (std::size_t e = 0; e < mirror_dead.size(); ++e) {
+            if (mirror_dead[e]) {
+              dead_net = e;
+              break;
+            }
+          }
+          bad[1].kind = server::StructuralDelta::Kind::kRemoveNet;
+          bad[1].net = dead_net < mirror_dead.size()
+                           ? static_cast<EdgeId>(dead_net)
+                           : session->num_edges() + 7;
+          const auto rejected = session->update({}, {}, bad);
+          c.check(!rejected.ok, "incremental-atomicity",
+                  "batch with an invalid remove_net was accepted");
+          c.check(session->graph_hash() == shadow.content_hash() &&
+                      session->version() == ver,
+                  "incremental-atomicity",
+                  "rejected batch left a mutation behind");
+          const auto pinned = session->evaluate(cfg, false, ver);
+          c.check(pinned.ok && pinned.version == ver, "incremental-version",
+                  "evaluate at the current version refused: " + pinned.error);
+          const auto outdated = session->evaluate(cfg, false, ver - 1);
+          c.check(!outdated.ok, "incremental-version",
+                  "evaluate accepted an outdated expected version");
+        }
       }
       // Quality baseline the ladder guards against: the cached partition's
       // cost on the post-update graph (what `evaluate` reports).

@@ -107,6 +107,24 @@ class ConnectivityTracker {
     part_weight_[part_[v]] = sat_add(part_weight_[part_[v]], delta);
   }
 
+  /// Structural patch, phase 1 of 2. Called BEFORE the underlying graph
+  /// mutates (via Hypergraph::apply_structural_batch on the same object
+  /// this tracker references), with the DISTINCT ids of every EXISTING net
+  /// whose pin list is about to change. Subtracts those nets' contributions
+  /// from both cost totals and drops the gain cache — per-net repair of the
+  /// n×k gain tables costs as much as refilling them, so refiners simply
+  /// re-enable the cache on their next run (rebalance_with_tracker /
+  /// delta_fm_refine already do). Part weights are untouched: structural
+  /// deltas never change the node set.
+  void begin_structural_patch(std::span<const EdgeId> touched);
+
+  /// Phase 2, called AFTER the graph mutated. Resizes the per-net tables to
+  /// the new edge count, recomputes pin counts / λ / present-parts rows for
+  /// the touched nets and for every net appended since phase 1, and adds
+  /// their contributions back. The tracker is exact again afterwards
+  /// (modulo the dropped gain cache), which verify_cache_integrity checks.
+  void finish_structural_patch(std::span<const EdgeId> touched);
+
   /// Deterministic commit phase of a synchronous move round. Applies the
   /// proposals in the given (already prioritized) order; each is
   /// revalidated against the tracker's CURRENT state right before it
@@ -239,6 +257,9 @@ class ConnectivityTracker {
   std::vector<std::uint64_t> touched_stamp_;  // n: dedup epoch per node
   std::uint64_t epoch_ = 0;
   bool batch_active_ = false;  // apply_batch: accumulate touched_ over moves
+  // begin_structural_patch .. finish_structural_patch bracket: the edge
+  // count at phase 1, so phase 2 knows which nets were appended in between.
+  EdgeId patch_edges_before_ = kInvalidEdge;
 };
 
 }  // namespace hp

@@ -26,6 +26,20 @@ inline constexpr NodeId kInvalidNode = static_cast<NodeId>(-1);
 inline constexpr EdgeId kInvalidEdge = static_cast<EdgeId>(-1);
 inline constexpr PartId kInvalidPart = static_cast<PartId>(-1);
 
+/// One pin-list rewrite of a structural edit batch: edge `edge` gets the
+/// full new pin list `pins` (empty = tombstoned net; empty edges are never
+/// cut and cost nothing under either metric).
+struct EdgeRewrite {
+  EdgeId edge = kInvalidEdge;
+  std::vector<NodeId> pins;
+};
+
+/// One appended hyperedge of a structural edit batch.
+struct NewEdge {
+  std::vector<NodeId> pins;
+  Weight weight = 1;
+};
+
 class Hypergraph {
  public:
   Hypergraph() = default;
@@ -91,6 +105,19 @@ class Hypergraph {
   /// address and CSR structure; only the weight changes.
   void update_node_weight(NodeId v, Weight w);
   void update_edge_weight(EdgeId e, Weight w);
+
+  /// Structural edit batch over a fixed node set: `rewrites` replace the
+  /// full pin lists of existing edges (later rewrites of the same edge win),
+  /// `appended` adds new edges at ids m, m+1, … in order. Pins are sorted
+  /// and deduplicated here, mirroring from_edges. Both CSR sides are rebuilt
+  /// in one pass — O(n + m + ρ) — and the object keeps its address, so
+  /// ConnectivityTrackers referencing this graph stay valid and can be
+  /// patched per touched net (the partitioning service's structural-delta
+  /// path). Throws std::invalid_argument on out-of-range edges/pins or
+  /// negative weights, in which case the graph is untouched (strong
+  /// guarantee: all inputs are validated before any member mutates).
+  void apply_structural_batch(std::vector<EdgeRewrite> rewrites,
+                              std::vector<NewEdge> appended);
 
   /// 64-bit FNV-1a content hash over the full structure and weights
   /// (n, m, pin lists, incidence offsets, weight vectors). Two graphs with

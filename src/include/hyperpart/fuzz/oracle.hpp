@@ -33,7 +33,14 @@
 //                    independent mirror recomputes, keep every cached
 //                    tracker equal to one rebuilt from scratch, and stay
 //                    within the documented quality bound against a
-//                    from-scratch run (incremental ≤ 3 · scratch + 4)
+//                    from-scratch run (incremental ≤ 3 · scratch + 4).
+//                    Later rounds add structural deltas (add/remove nets,
+//                    add/remove pins): the mirror is rebuilt from scratch
+//                    via from_edges after every batch and must agree with
+//                    the session's in-place CSR rebuild bit-for-bit
+//                    (content hash), invalid batches must be rejected with
+//                    zero effect (atomicity), and version pinning through
+//                    evaluate must detect every intervening mutation
 //   determinism      repeated runs of the same seed, and runs at different
 //                    thread counts, produce bit-identical partitions
 //
@@ -71,8 +78,14 @@ struct OracleOptions {
   bool run_stream = true;
   /// GraphSession update/repartition interleaving leg.
   bool run_incremental = true;
-  /// Update/repartition rounds per incremental-leg interleaving.
+  /// Weight-only update/repartition rounds per incremental-leg
+  /// interleaving.
   int incremental_rounds = 6;
+  /// Structural rounds appended after the weight-only ones: each sends a
+  /// batch of add_net / remove_net / add_pins / remove_pins deltas and
+  /// checks the patched session against a mirror rebuilt from scratch.
+  /// 0 disables structural churn.
+  int structural_rounds = 4;
   FaultInjection fault = FaultInjection::kNone;
   /// Directory for temporary binary files ("" = system temp dir).
   std::string scratch_dir;

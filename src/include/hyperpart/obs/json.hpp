@@ -6,9 +6,12 @@
 // telemetry files are stable and diffable), numbers remember whether they
 // were written as integers (so round-tripping a counters map does not turn
 // 42 into 42.0), and the parser reports line/column on malformed input.
-// This is not a general-purpose JSON library — no unicode escapes beyond
-// pass-through, no streaming — but it round-trips everything this repo
-// writes (BENCH_*.json and telemetry files).
+// \uXXXX escapes (including surrogate pairs) decode to UTF-8 — hyperpartd
+// feeds this parser untrusted client JSON — and malformed escapes are
+// parse errors. This is still not a general-purpose JSON library (no
+// streaming, emitted non-ASCII bytes pass through raw), but it round-trips
+// everything this repo writes (BENCH_*.json and telemetry files) and
+// everything a well-formed client sends.
 
 #include <cstdint>
 #include <memory>

@@ -13,16 +13,24 @@
 //   load         {op, path}                         → create/reuse a session
 //   partition    {op, graph, k, epsilon?, metric?, seed?, include_parts?}
 //   repartition  same fields — incremental ladder (ΔFM → V-cycle → full)
-//   evaluate     {op, graph, k, ...}                → reader, never blocks
-//   update       {op, graph, node_weights?: [[id,w]...], edge_weights?: [...]}
+//   evaluate     {op, graph, k, ..., version?}      → reader, never blocks;
+//                `version` pins the expected snapshot (mismatch = error)
+//   update       {op, graph, node_weights?: [[id,w]...], edge_weights?: [...],
+//                 remove_nets?: [id...], remove_pins?: [{net,pins}...],
+//                 add_pins?: [{net,pins}...], add_nets?: [{pins,weight?}...]}
+//                one frame = one atomic batch, validated wholly before any
+//                mutation; structural deltas apply in the field order above
 //   stats        {op, graph?}                       → counters + cache facts
 //   shutdown     {op}                               → ack, then stop serving
 //
-// Every response carries {ok: bool}; failures add {error}. Per-graph
-// admission control: partition/repartition/update need the session's single
-// mutator slot and answer {ok:false, error:"busy: ..."} when a second
-// mutator arrives; evaluate/stats run concurrently with a mutator. Full
-// schemas are documented in DESIGN.md ("Partitioning service").
+// Every response carries {ok: bool}; failures add {error}. Responses that
+// address a loaded graph also echo {version}: the session's monotone graph
+// version (bumped by every successful update), identifying the snapshot the
+// answer was computed against. Per-graph admission control:
+// partition/repartition/update need the session's single mutator slot and
+// answer {ok:false, error:"busy: ..."} when a second mutator arrives;
+// evaluate/stats run concurrently with a mutator. Full schemas are
+// documented in DESIGN.md ("Partitioning service").
 
 #include <atomic>
 #include <cstdint>
@@ -30,6 +38,7 @@
 #include <memory>
 #include <mutex>
 #include <set>
+#include <stdexcept>
 #include <string>
 #include <thread>
 #include <vector>
@@ -39,9 +48,19 @@
 
 namespace hp::server {
 
+/// Thrown by Server::start() when the configured unix-socket path already
+/// exists and is NOT a socket: a mistyped `--socket /some/file` must refuse
+/// to start rather than delete a user's file. hyperpartd maps this to a
+/// one-line `error:` and exit code 2.
+class SocketPathError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
 struct ServerConfig {
-  /// Path of the unix-domain listening socket (required; an existing file
-  /// at the path is unlinked first).
+  /// Path of the unix-domain listening socket (required; a stale *socket*
+  /// left by a previous run is unlinked first, but any other kind of file
+  /// at the path makes start() throw SocketPathError).
   std::string unix_socket;
   /// Loopback TCP listener: -1 = disabled, 0 = ephemeral (read the actual
   /// port back via tcp_port()).

@@ -37,6 +37,18 @@
 // run, every repartition satisfies
 //   cost ≤ max(3 · before + 4, cost of a fresh multilevel run)
 // — the bound the fuzz oracle's `incremental` leg enforces.
+//
+// Structural deltas (add_net / remove_net / add_pins / remove_pins) keep
+// the node set fixed: removed nets are tombstoned (empty pins, weight 0,
+// id preserved), new nets append at ids m, m+1, …. Cached partitions
+// therefore stay complete across structural updates, and fresh trackers
+// are patched per touched net (begin/finish_structural_patch) rather than
+// rebuilt — unless the batch's pin volume exceeds
+// kStructuralPatchMaxFraction of ρ, in which case trackers are marked
+// stale and the ladder's existing rebuild path takes over. Every
+// successful update bumps the session's monotone version(), echoed in all
+// responses; evaluate can pin an expected version (optimistic snapshot
+// read).
 
 #include <atomic>
 #include <cstdint>
@@ -61,6 +73,14 @@ namespace hp::server {
 inline constexpr double kDeltaFmMaxFraction = 0.05;
 inline constexpr double kVcycleMaxFraction = 0.5;
 
+/// Patchability threshold of structural updates: when the pin volume a
+/// batch touches (old pins + new pins of rewritten nets, plus appended
+/// pins) exceeds this fraction of the graph's total pins, cached trackers
+/// are marked stale instead of patched per net — past that point the
+/// O(touched-pins · k) repair approaches the O(ρ) from-partition rebuild
+/// that staleness already buys, with none of the rebuild's simplicity.
+inline constexpr double kStructuralPatchMaxFraction = 0.2;
+
 /// Request-side partitioning config. (k, epsilon, metric, seed) key the
 /// session cache; `threads` deliberately does not — every algorithm in this
 /// repo produces thread-count-invariant results.
@@ -78,6 +98,23 @@ struct WeightUpdate {
   Weight weight = 0;
 };
 
+/// One structural change of an `update` request. A batch of these is
+/// validated as a whole against the prospective final state (see
+/// GraphSession::update) and applied atomically: any invalid delta rejects
+/// the entire batch before a single mutation lands.
+struct StructuralDelta {
+  enum class Kind {
+    kAddNet,      ///< append a new net with `pins` (ids m, m+1, … in order)
+    kRemoveNet,   ///< tombstone net `net` (empty pin list, weight 0)
+    kAddPins,     ///< add `pins` to net `net`; each must be absent
+    kRemovePins,  ///< remove `pins` from net `net`; each must be present
+  };
+  Kind kind = Kind::kAddNet;
+  EdgeId net = kInvalidEdge;   ///< target net (all kinds except kAddNet)
+  std::vector<NodeId> pins;
+  Weight weight = 1;           ///< kAddNet only
+};
+
 /// Result of partition / repartition / evaluate.
 struct PartitionOutcome {
   bool ok = false;
@@ -90,6 +127,9 @@ struct PartitionOutcome {
   std::vector<Weight> part_weights;
   bool balanced = false;
   double change_fraction = 0.0;
+  /// Graph version the result was computed against (monotone, bumped by
+  /// every successful update).
+  std::uint64_t version = 0;
   /// Final assignment (copy; empty for evaluate unless requested).
   std::vector<PartId> parts;
 };
@@ -97,8 +137,14 @@ struct PartitionOutcome {
 struct UpdateOutcome {
   bool ok = false;
   std::string error;
-  std::uint64_t applied = 0;
+  std::uint64_t applied = 0;     ///< weight + structural deltas applied
+  std::uint64_t structural = 0;  ///< structural deltas among them
   double change_fraction = 0.0;  ///< accumulated units / (n + m), max entry
+  std::uint64_t version = 0;     ///< graph version after the update
+  /// How cached trackers absorbed the structural part: per-net patch or
+  /// staleness fallback (batch exceeded kStructuralPatchMaxFraction).
+  std::uint64_t trackers_patched = 0;
+  std::uint64_t trackers_staled = 0;
 };
 
 class GraphSession {
@@ -118,6 +164,16 @@ class GraphSession {
   /// Current content hash (maintained across updates).
   [[nodiscard]] std::uint64_t graph_hash() const noexcept {
     return graph_hash_;
+  }
+  /// Monotone graph version: 0 at load, +1 per successful update (weight or
+  /// structural). Echoed in every response frame so clients can correlate
+  /// results with the snapshot they were computed against.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return version_.load(std::memory_order_acquire);
+  }
+  /// True when net e has been tombstoned by a remove_net delta.
+  [[nodiscard]] bool net_removed(EdgeId e) const noexcept {
+    return e < net_removed_.size() && net_removed_[e] != 0;
   }
 
   // --- Mutator admission ---------------------------------------------------
@@ -147,16 +203,32 @@ class GraphSession {
   [[nodiscard]] PartitionOutcome repartition(const SessionConfig& cfg,
                                              bool include_parts = true);
 
-  /// Apply weight updates in place. Patches every cached tracker's part
-  /// weights (node updates) or marks trackers stale (edge updates — costs
-  /// and gain caches depend on edge weights). Requires the mutator slot.
-  [[nodiscard]] UpdateOutcome update(std::span<const WeightUpdate> node_updates,
-                                     std::span<const WeightUpdate> edge_updates);
+  /// Apply one update batch — weight changes plus structural deltas — in
+  /// place. The whole batch is validated against the prospective final
+  /// state before any mutation (atomicity: an invalid delta, including
+  /// remove_net / remove_pins on an already-removed net, rejects the batch
+  /// with no effect). Node-weight changes patch cached trackers' part
+  /// weights; edge-weight changes mark trackers stale. Structural deltas
+  /// patch each fresh tracker per touched net (begin/finish_structural_patch)
+  /// while the graph rebuilds its CSR in place, falling back to staleness
+  /// when the batch's pin volume exceeds kStructuralPatchMaxFraction of ρ.
+  /// Structural deltas are applied in the order given; appended nets take
+  /// ids m, m+1, … and cannot be targeted by other deltas of the same
+  /// batch. Bumps version() on success. Requires the mutator slot.
+  [[nodiscard]] UpdateOutcome update(
+      std::span<const WeightUpdate> node_updates,
+      std::span<const WeightUpdate> edge_updates,
+      std::span<const StructuralDelta> structural = {});
 
   /// Reader: cost/balance of the cached partition for cfg against the
   /// *current* graph (recomputed when the graph changed since commit).
-  [[nodiscard]] PartitionOutcome evaluate(const SessionConfig& cfg,
-                                          bool include_parts = false);
+  /// `expected_version`, when set, makes the read conditional: if a
+  /// mutation has moved version() past it, the call fails with a version
+  /// mismatch instead of silently answering against the newer snapshot —
+  /// optimistic snapshot pinning at single-update granularity.
+  [[nodiscard]] PartitionOutcome evaluate(
+      const SessionConfig& cfg, bool include_parts = false,
+      std::optional<std::uint64_t> expected_version = std::nullopt);
 
   /// Reader: per-entry cache facts — key, method of last production, cost,
   /// staleness — serialized by the Server into the stats response.
@@ -224,7 +296,15 @@ class GraphSession {
   std::string name_;
   Hypergraph g_;  // address-stable: trackers hold references into it
   std::uint64_t graph_hash_ = 0;
-  std::uint64_t change_units_ = 0;  ///< weight changes applied since load
+  std::uint64_t change_units_ = 0;  ///< update entries applied since load
+  /// Monotone snapshot counter; written under the unique lock, read by
+  /// anyone (responses echo it without taking the session lock).
+  std::atomic<std::uint64_t> version_{0};
+  /// Tombstone flags for remove_net'd nets (indexed by net id, lazily
+  /// grown). A tombstoned net keeps its id — with an empty pin list and
+  /// weight 0 it contributes nothing to either metric — so later deltas
+  /// can be validated against it and ids stay stable for clients.
+  std::vector<std::uint8_t> net_removed_;
 
   // Writer-priority: evaluate/stats readers in a tight loop must not
   // starve the mutator's brief commit lock (see util/shared_mutex.hpp).

@@ -179,6 +179,44 @@ class Parser {
     }
   }
 
+  /// Four hex digits of a \uXXXX escape (cursor just past the 'u').
+  std::uint32_t parse_hex4() {
+    if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
+    std::uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char c = text_[pos_++];
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<std::uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<std::uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<std::uint32_t>(c - 'A' + 10);
+      } else {
+        fail("non-hex digit in \\u escape");
+      }
+    }
+    return value;
+  }
+
+  static void append_utf8(std::string& out, std::uint32_t cp) {
+    if (cp < 0x80) {
+      out.push_back(static_cast<char>(cp));
+    } else if (cp < 0x800) {
+      out.push_back(static_cast<char>(0xC0 | (cp >> 6)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else if (cp < 0x10000) {
+      out.push_back(static_cast<char>(0xE0 | (cp >> 12)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    } else {
+      out.push_back(static_cast<char>(0xF0 | (cp >> 18)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 12) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | ((cp >> 6) & 0x3F)));
+      out.push_back(static_cast<char>(0x80 | (cp & 0x3F)));
+    }
+  }
+
   std::string parse_string() {
     expect('"');
     std::string out;
@@ -218,11 +256,28 @@ class Parser {
           out.push_back('\t');
           break;
         case 'u': {
-          // Pass \uXXXX through literally; this repo never emits them.
-          if (pos_ + 4 > text_.size()) fail("truncated \\u escape");
-          out += "\\u";
-          out += text_.substr(pos_, 4);
-          pos_ += 4;
+          // Decode \uXXXX (and surrogate pairs) to UTF-8. hyperpartd parses
+          // untrusted client JSON, so passing escapes through literally
+          // would silently corrupt strings; malformed escapes are parse
+          // errors instead.
+          const std::uint32_t unit = parse_hex4();
+          std::uint32_t cp = unit;
+          if (unit >= 0xDC00 && unit <= 0xDFFF) {
+            fail("unpaired low surrogate in \\u escape");
+          }
+          if (unit >= 0xD800 && unit <= 0xDBFF) {
+            if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                text_[pos_ + 1] != 'u') {
+              fail("high surrogate not followed by \\u escape");
+            }
+            pos_ += 2;
+            const std::uint32_t low = parse_hex4();
+            if (low < 0xDC00 || low > 0xDFFF) {
+              fail("high surrogate not followed by low surrogate");
+            }
+            cp = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+          }
+          append_utf8(out, cp);
           break;
         }
         default:

@@ -4,6 +4,7 @@
 #include <signal.h>
 #include <stdlib.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -69,6 +70,7 @@ struct MutatorSlot {
 
 void outcome_to_json(const PartitionOutcome& o, json::Value& out) {
   out.set("ok", o.ok);
+  out.set("version", static_cast<std::int64_t>(o.version));
   if (!o.ok) {
     out.set("error", o.error);
     return;
@@ -120,6 +122,101 @@ bool parse_weight_updates(const json::Value& req, const char* key,
   return true;
 }
 
+/// Parse a JSON array of node ids.
+bool parse_pin_array(const json::Value& v, const char* ctx,
+                     std::vector<NodeId>& pins, std::string& err) {
+  if (!v.is_array()) {
+    err = std::string(ctx) + ": pins must be an array of node ids";
+    return false;
+  }
+  for (const json::Value& p : v.as_array()) {
+    if (!p.is_number() || !p.is_integral() || p.as_int() < 0) {
+      err = std::string(ctx) + ": pins must be non-negative integers";
+      return false;
+    }
+    pins.push_back(static_cast<NodeId>(p.as_int()));
+  }
+  return true;
+}
+
+/// Parse the structural arrays of an update frame into one delta batch, in
+/// the documented application order: remove_nets → remove_pins → add_pins →
+/// add_nets (only add_nets appends, so new nets take ids m, m+1, … in their
+/// array order regardless).
+bool parse_structural(const json::Value& req, std::vector<StructuralDelta>& out,
+                      std::string& err) {
+  if (const json::Value* v = field(req, "remove_nets")) {
+    if (!v->is_array()) {
+      err = "remove_nets must be an array of net ids";
+      return false;
+    }
+    for (const json::Value& id : v->as_array()) {
+      if (!id.is_number() || !id.is_integral() || id.as_int() < 0) {
+        err = "remove_nets entries must be non-negative net ids";
+        return false;
+      }
+      StructuralDelta d;
+      d.kind = StructuralDelta::Kind::kRemoveNet;
+      d.net = static_cast<EdgeId>(id.as_int());
+      out.push_back(std::move(d));
+    }
+  }
+  const auto pin_deltas = [&](const char* key,
+                              StructuralDelta::Kind kind) -> bool {
+    const json::Value* v = field(req, key);
+    if (!v) return true;
+    if (!v->is_array()) {
+      err = std::string(key) + " must be an array of {net, pins} objects";
+      return false;
+    }
+    for (const json::Value& o : v->as_array()) {
+      const json::Value* net = o.is_object() ? o.find("net") : nullptr;
+      const json::Value* pins = o.is_object() ? o.find("pins") : nullptr;
+      if (!net || !net->is_number() || !net->is_integral() ||
+          net->as_int() < 0 || !pins) {
+        err = std::string(key) +
+              " entries need a non-negative net id and a pins array";
+        return false;
+      }
+      StructuralDelta d;
+      d.kind = kind;
+      d.net = static_cast<EdgeId>(net->as_int());
+      if (!parse_pin_array(*pins, key, d.pins, err)) return false;
+      out.push_back(std::move(d));
+    }
+    return true;
+  };
+  if (!pin_deltas("remove_pins", StructuralDelta::Kind::kRemovePins)) {
+    return false;
+  }
+  if (!pin_deltas("add_pins", StructuralDelta::Kind::kAddPins)) return false;
+  if (const json::Value* v = field(req, "add_nets")) {
+    if (!v->is_array()) {
+      err = "add_nets must be an array of {pins, weight?} objects";
+      return false;
+    }
+    for (const json::Value& o : v->as_array()) {
+      const json::Value* pins = o.is_object() ? o.find("pins") : nullptr;
+      if (!pins) {
+        err = "add_nets entries need a pins array";
+        return false;
+      }
+      StructuralDelta d;
+      d.kind = StructuralDelta::Kind::kAddNet;
+      if (!parse_pin_array(*pins, "add_nets", d.pins, err)) return false;
+      if (const json::Value* w = o.find("weight")) {
+        if (!w->is_number() || !w->is_integral()) {
+          err = "add_nets weight must be an integer";
+          return false;
+        }
+        d.weight = w->as_int();
+      }
+      out.push_back(std::move(d));
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Server::Server(ServerConfig cfg) : cfg_(std::move(cfg)) {}
@@ -145,6 +242,16 @@ void Server::start() {
   }
   std::memcpy(addr.sun_path, cfg_.unix_socket.c_str(),
               cfg_.unix_socket.size() + 1);
+  // Only a stale *socket* from a previous run may be swept aside; anything
+  // else at the path (a regular file, a directory, even a symlink) means
+  // the operator mistyped --socket, and unlinking it would destroy their
+  // data. lstat, not stat: a symlink pointing at a socket is still not a
+  // socket at this path.
+  struct stat st{};
+  if (::lstat(cfg_.unix_socket.c_str(), &st) == 0 && !S_ISSOCK(st.st_mode)) {
+    throw SocketPathError("refusing to start: " + cfg_.unix_socket +
+                          " exists and is not a socket");
+  }
   unix_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
   if (unix_fd_ < 0) throw std::runtime_error("server: socket() failed");
   ::unlink(cfg_.unix_socket.c_str());  // stale socket from a previous run
@@ -276,6 +383,7 @@ std::string Server::handle_request(const std::string& payload,
           s.set("nodes", static_cast<std::int64_t>(session->num_nodes()));
           s.set("edges", static_cast<std::int64_t>(session->num_edges()));
           s.set("hash", static_cast<std::int64_t>(session->graph_hash()));
+          s.set("version", static_cast<std::int64_t>(session->version()));
           json::Array entries;
           for (const GraphSession::EntryStats& e : session->entry_stats()) {
             json::Value ev{json::Object{}};
@@ -302,7 +410,8 @@ std::string Server::handle_request(const std::string& payload,
            {"server.cache_hits", "server.cache_misses",
             "server.repartition.delta_fm", "server.repartition.vcycle",
             "server.repartition.full", "server.tracker_rebuilds",
-            "server.updates"}) {
+            "server.updates", "server.structural_updates",
+            "server.tracker_patches"}) {
         counters.set(name, hp::obs::counter(name));
       }
       out.set("counters", std::move(counters));
@@ -335,6 +444,7 @@ std::string Server::handle_request(const std::string& payload,
       out.set("nodes", static_cast<std::int64_t>(session->num_nodes()));
       out.set("edges", static_cast<std::int64_t>(session->num_edges()));
       out.set("hash", static_cast<std::int64_t>(session->graph_hash()));
+      out.set("version", static_cast<std::int64_t>(session->version()));
       return json::dump(out);
     }
 
@@ -362,9 +472,11 @@ std::string Server::handle_request(const std::string& payload,
     if (op == "update") {
       std::vector<WeightUpdate> nodes;
       std::vector<WeightUpdate> edges;
+      std::vector<StructuralDelta> structural;
       std::string err;
       if (!parse_weight_updates(req, "node_weights", nodes, err) ||
-          !parse_weight_updates(req, "edge_weights", edges, err)) {
+          !parse_weight_updates(req, "edge_weights", edges, err) ||
+          !parse_structural(req, structural, err)) {
         return json::dump(error_response(err));
       }
       MutatorSlot slot;
@@ -373,14 +485,23 @@ std::string Server::handle_request(const std::string& payload,
             "busy: another mutation is in progress on this graph"));
       }
       slot.session = session;
-      const UpdateOutcome result = session->update(nodes, edges);
+      const UpdateOutcome result = session->update(nodes, edges, structural);
       out.set("ok", result.ok);
       if (!result.ok) {
         out.set("error", result.error);
+        out.set("version", static_cast<std::int64_t>(result.version));
       } else {
         out.set("applied", static_cast<std::int64_t>(result.applied));
+        out.set("structural", static_cast<std::int64_t>(result.structural));
         out.set("change_fraction", result.change_fraction);
         out.set("hash", static_cast<std::int64_t>(session->graph_hash()));
+        out.set("version", static_cast<std::int64_t>(result.version));
+        out.set("nodes", static_cast<std::int64_t>(session->num_nodes()));
+        out.set("edges", static_cast<std::int64_t>(session->num_edges()));
+        out.set("trackers_patched",
+                static_cast<std::int64_t>(result.trackers_patched));
+        out.set("trackers_staled",
+                static_cast<std::int64_t>(result.trackers_staled));
       }
       return json::dump(out);
     }
@@ -423,7 +544,15 @@ std::string Server::handle_request(const std::string& payload,
     }
 
     if (op == "evaluate") {
-      PartitionOutcome result = session->evaluate(cfg, include_parts);
+      std::optional<std::uint64_t> expected;
+      if (const json::Value* v = req.find("version")) {
+        if (!v->is_number() || !v->is_integral() || v->as_int() < 0) {
+          return json::dump(
+              error_response("version must be a non-negative integer"));
+        }
+        expected = static_cast<std::uint64_t>(v->as_int());
+      }
+      PartitionOutcome result = session->evaluate(cfg, include_parts, expected);
       outcome_to_json(result, out);
       return json::dump(out);
     }
@@ -460,7 +589,11 @@ void Server::shutdown() {
   // response (the write side stays open) before the loop exits.
   std::lock_guard lock(threads_mu_);
   for (const int fd : open_conns_) ::shutdown(fd, SHUT_RD);
-  if (!cfg_.unix_socket.empty()) ::unlink(cfg_.unix_socket.c_str());
+  // Unlink only a socket this server actually bound: a start() that refused
+  // (non-socket file at the path) must leave the operator's file alone.
+  if (unix_fd_ >= 0 && !cfg_.unix_socket.empty()) {
+    ::unlink(cfg_.unix_socket.c_str());
+  }
 }
 
 void Server::wait() {

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstring>
 #include <mutex>
+#include <set>
 #include <sstream>
 #include <stdexcept>
 
@@ -83,6 +84,7 @@ PartitionOutcome GraphSession::outcome_from(const Entry& e,
   out.part_weights = e.partition.part_weights(g_);
   out.balanced = balance_for(g_, cfg).satisfied(out.part_weights);
   out.change_fraction = fraction;
+  out.version = version();
   if (include_parts) {
     out.parts.assign(e.partition.raw().begin(), e.partition.raw().end());
   }
@@ -105,6 +107,7 @@ PartitionOutcome GraphSession::run_full(const SessionConfig& cfg,
       multilevel_partition_cached(g_, balance, ml_config(cfg), &entry.hierarchy);
   if (!p) {
     PartitionOutcome out;
+    out.version = version();
     out.error = "no feasible partition (capacity too tight for node weights)";
     return out;
   }
@@ -199,9 +202,10 @@ PartitionOutcome GraphSession::repartition(const SessionConfig& cfg,
   // Rung 1: ΔFM on the cached tracker.
   if (frac <= kDeltaFmMaxFraction && e.tracker) {
     if (e.tracker_stale) {
-      // Edge weights changed: pin counts and λ are still exact, but the
-      // cost totals and gain cache are not — rebuild from the cached
-      // partition (O(pins), no coarsening).
+      // Edge weights (or, past the patchability threshold, net structure)
+      // changed under this tracker — rebuild from the cached partition
+      // (O(pins), no coarsening). The partition itself stays valid: the
+      // node set never changes.
       auto fresh =
           std::make_unique<ConnectivityTracker>(g_, e.partition, cfg.threads);
       std::unique_lock lock(mu_);
@@ -290,11 +294,17 @@ PartitionOutcome GraphSession::repartition(const SessionConfig& cfg,
 }
 
 UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
-                                   std::span<const WeightUpdate> edge_updates) {
+                                   std::span<const WeightUpdate> edge_updates,
+                                   std::span<const StructuralDelta> structural) {
   HP_SPAN("session.update");
   UpdateOutcome out;
+  out.version = version();
   // Validate everything before touching any state: an update either applies
-  // in full or not at all.
+  // in full or not at all. Structural deltas are validated against the
+  // prospective final pin sets (each delta applied in order to an in-memory
+  // copy of the touched nets), so an invalid delta anywhere in the batch —
+  // including remove_net / remove_pins on an already-removed net — rejects
+  // the whole frame before a single mutation lands.
   for (const WeightUpdate& u : node_updates) {
     if (u.id >= g_.num_nodes()) {
       out.error = "node id out of range: " + std::to_string(u.id);
@@ -305,6 +315,104 @@ UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
       return out;
     }
   }
+
+  // touched: prospective (sorted) pin list per existing net the batch
+  // rewrites; removed_now: nets tombstoned by this batch.
+  std::map<EdgeId, std::vector<NodeId>> touched;
+  std::set<EdgeId> removed_now;
+  std::vector<NewEdge> appended;
+  const auto prospective = [&](EdgeId e) -> std::vector<NodeId>& {
+    auto it = touched.find(e);
+    if (it == touched.end()) {
+      const auto p = g_.pins(e);
+      it = touched.emplace(e, std::vector<NodeId>(p.begin(), p.end())).first;
+    }
+    return it->second;
+  };
+  const auto dead = [&](EdgeId e) {
+    return net_removed(e) || removed_now.count(e) != 0;
+  };
+  for (const StructuralDelta& d : structural) {
+    switch (d.kind) {
+      case StructuralDelta::Kind::kAddNet: {
+        if (d.weight < 0) {
+          out.error = "add_net: negative weight";
+          return out;
+        }
+        if (d.pins.empty()) {
+          out.error = "add_net: needs at least one pin";
+          return out;
+        }
+        for (const NodeId v : d.pins) {
+          if (v >= g_.num_nodes()) {
+            out.error = "add_net: pin out of range: " + std::to_string(v);
+            return out;
+          }
+        }
+        NewEdge ne;
+        ne.pins.assign(d.pins.begin(), d.pins.end());
+        ne.weight = d.weight;
+        appended.push_back(std::move(ne));
+        break;
+      }
+      case StructuralDelta::Kind::kRemoveNet: {
+        if (d.net >= g_.num_edges()) {
+          out.error = "remove_net: net out of range: " + std::to_string(d.net);
+          return out;
+        }
+        if (dead(d.net)) {
+          out.error = "remove_net: net " + std::to_string(d.net) +
+                      " is already removed";
+          return out;
+        }
+        removed_now.insert(d.net);
+        prospective(d.net).clear();
+        break;
+      }
+      case StructuralDelta::Kind::kAddPins:
+      case StructuralDelta::Kind::kRemovePins: {
+        const bool adding = d.kind == StructuralDelta::Kind::kAddPins;
+        const char* verb = adding ? "add_pins" : "remove_pins";
+        if (d.net >= g_.num_edges()) {
+          out.error =
+              std::string(verb) + ": net out of range: " + std::to_string(d.net);
+          return out;
+        }
+        if (dead(d.net)) {
+          out.error = std::string(verb) + ": net " + std::to_string(d.net) +
+                      " is removed";
+          return out;
+        }
+        std::vector<NodeId>& pins = prospective(d.net);
+        for (const NodeId v : d.pins) {
+          if (v >= g_.num_nodes()) {
+            out.error =
+                std::string(verb) + ": pin out of range: " + std::to_string(v);
+            return out;
+          }
+          const auto it = std::lower_bound(pins.begin(), pins.end(), v);
+          const bool present = it != pins.end() && *it == v;
+          if (adding) {
+            if (present) {
+              out.error = "add_pins: pin " + std::to_string(v) +
+                          " already in net " + std::to_string(d.net);
+              return out;
+            }
+            pins.insert(it, v);
+          } else {
+            if (!present) {
+              out.error = "remove_pins: pin " + std::to_string(v) +
+                          " not in net " + std::to_string(d.net);
+              return out;
+            }
+            pins.erase(it);
+          }
+        }
+        break;
+      }
+    }
+  }
+
   for (const WeightUpdate& u : edge_updates) {
     if (u.id >= g_.num_edges()) {
       out.error = "edge id out of range: " + std::to_string(u.id);
@@ -314,7 +422,25 @@ UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
       out.error = "negative edge weight for id " + std::to_string(u.id);
       return out;
     }
+    if (dead(u.id)) {
+      out.error = "edge " + std::to_string(u.id) + " is removed";
+      return out;
+    }
   }
+
+  // Patchability: per-net tracker repair costs O(touched pins · k); once the
+  // batch rewrites a sizable share of all pins, marking trackers stale (and
+  // letting repartition rebuild from the cached partition in O(ρ)) is both
+  // cheaper and simpler. Threshold argument in DESIGN.md.
+  std::uint64_t touched_volume = 0;
+  for (const auto& [e, pins] : touched) {
+    touched_volume += g_.edge_size(e) + pins.size();
+  }
+  for (const auto& a : appended) touched_volume += a.pins.size();
+  const bool patchable =
+      static_cast<double>(touched_volume) <=
+      kStructuralPatchMaxFraction *
+          std::max<double>(1.0, static_cast<double>(g_.num_pins()));
 
   std::unique_lock lock(mu_);
   for (const WeightUpdate& u : node_updates) {
@@ -329,16 +455,66 @@ UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
       }
     }
   }
+
+  if (!structural.empty()) {
+    std::vector<EdgeId> touched_ids;
+    touched_ids.reserve(touched.size());
+    std::vector<EdgeRewrite> rewrites;
+    rewrites.reserve(touched.size());
+    for (auto& [e, pins] : touched) {
+      touched_ids.push_back(e);
+      rewrites.push_back(EdgeRewrite{e, std::move(pins)});
+    }
+    // Phase 1 on every fresh tracker BEFORE the graph mutates: the old pin
+    // lists and λ values are still live, so each touched net's cost
+    // contribution can be subtracted exactly.
+    std::vector<ConnectivityTracker*> patching;
+    for (auto& [key, entry] : cache_) {
+      if (!entry.tracker) continue;
+      if (patchable && !entry.tracker_stale) {
+        entry.tracker->begin_structural_patch(touched_ids);
+        patching.push_back(entry.tracker.get());
+        ++out.trackers_patched;
+      } else if (!entry.tracker_stale) {
+        entry.tracker_stale = true;
+        ++out.trackers_staled;
+      }
+    }
+    g_.apply_structural_batch(std::move(rewrites), std::move(appended));
+    if (g_.num_edges() > net_removed_.size()) {
+      net_removed_.resize(g_.num_edges(), 0);
+    }
+    for (const EdgeId e : removed_now) {
+      // Tombstone: empty pin list (already applied) + weight 0, so the net
+      // contributes nothing anywhere while its id stays allocated.
+      g_.update_edge_weight(e, 0);
+      net_removed_[e] = 1;
+    }
+    // Phase 2 AFTER the tombstone weights land: a removed net re-enters
+    // the totals with λ = 0, i.e. not at all, whatever its weight.
+    for (ConnectivityTracker* t : patching) {
+      t->finish_structural_patch(touched_ids);
+    }
+    HP_COUNTER_ADD("server.structural_updates", 1);
+    HP_COUNTER_ADD("server.tracker_patches",
+                   static_cast<std::int64_t>(out.trackers_patched));
+  }
+
   for (const WeightUpdate& u : edge_updates) {
     g_.update_edge_weight(u.id, u.weight);
     for (auto& [key, entry] : cache_) {
       if (entry.tracker) entry.tracker_stale = true;
     }
   }
-  change_units_ += node_updates.size() + edge_updates.size();
+  change_units_ +=
+      node_updates.size() + edge_updates.size() + structural.size();
   graph_hash_ = g_.content_hash();
+  version_.fetch_add(1, std::memory_order_acq_rel);
   out.ok = true;
-  out.applied = node_updates.size() + edge_updates.size();
+  out.applied =
+      node_updates.size() + edge_updates.size() + structural.size();
+  out.structural = structural.size();
+  out.version = version();
   for (const auto& [key, entry] : cache_) {
     out.change_fraction = std::max(out.change_fraction, fraction_since(entry));
   }
@@ -346,20 +522,34 @@ UpdateOutcome GraphSession::update(std::span<const WeightUpdate> node_updates,
   return out;
 }
 
-PartitionOutcome GraphSession::evaluate(const SessionConfig& cfg,
-                                        bool include_parts) {
+PartitionOutcome GraphSession::evaluate(
+    const SessionConfig& cfg, bool include_parts,
+    std::optional<std::uint64_t> expected_version) {
   HP_SPAN("session.evaluate");
+  // The shared lock makes the whole read atomic with respect to mutation
+  // commits, so version() is stable for the duration of the call and names
+  // exactly the snapshot this answer describes.
   std::shared_lock lock(mu_);
+  if (expected_version && *expected_version != version()) {
+    PartitionOutcome out;
+    out.version = version();
+    out.error = "version mismatch: expected " +
+                std::to_string(*expected_version) + ", current " +
+                std::to_string(version());
+    return out;
+  }
   const CacheKey key = key_of(cfg);
   const auto it = cache_.find(key);
   if (it == cache_.end()) {
     PartitionOutcome out;
+    out.version = version();
     out.error = "no cached partition for this config; call partition first";
     return out;
   }
   const Entry& e = it->second;
   PartitionOutcome out;
   out.ok = true;
+  out.version = version();
   out.method = "cached";
   out.cache_hit = true;
   out.cost = e.built_hash == graph_hash_

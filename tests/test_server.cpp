@@ -17,6 +17,7 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <optional>
 #include <string>
 #include <thread>
@@ -398,6 +399,212 @@ TEST(SessionTest, EvaluateTracksGraphChanges) {
   EXPECT_GE(ev.cost, p.cost);  // weight 1000 on a (possibly cut) edge
 }
 
+// --- Structural deltas ------------------------------------------------------
+
+TEST(SessionTest, StructuralAddNetPatchesTrackerAndDeltaFmRecovers) {
+  auto s = session_of(1000, 53);
+  const SessionConfig cfg = small_cfg();
+  ASSERT_TRUE(s->try_acquire_mutator());
+  ASSERT_TRUE(s->partition(cfg, false).ok);
+  EXPECT_EQ(s->version(), 0u);
+
+  std::vector<StructuralDelta> deltas(2);
+  deltas[0].kind = StructuralDelta::Kind::kAddNet;
+  deltas[0].pins = {0, 1, 2};
+  deltas[0].weight = 2;
+  deltas[1].kind = StructuralDelta::Kind::kAddNet;
+  deltas[1].pins = {3, 4};
+  const auto up = s->update({}, {}, deltas);
+  ASSERT_TRUE(up.ok) << up.error;
+  EXPECT_EQ(up.applied, 2u);
+  EXPECT_EQ(up.structural, 2u);
+  EXPECT_EQ(up.version, 1u);
+  EXPECT_EQ(s->num_edges(), 1002u);
+  // A 5-pin batch is far below the patch threshold: the cached tracker is
+  // repaired per net, never marked stale.
+  EXPECT_EQ(up.trackers_patched, 1u);
+  EXPECT_EQ(up.trackers_staled, 0u);
+  const auto stats = s->entry_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].tracker_stale);
+  std::string why;
+  EXPECT_TRUE(s->verify_cache_integrity(&why)) << why;
+
+  const auto re = s->repartition(cfg);
+  EXPECT_TRUE(re.ok);
+  EXPECT_EQ(re.method, "delta_fm");
+  EXPECT_EQ(re.version, 1u);
+  EXPECT_TRUE(re.balanced);
+  s->release_mutator();
+}
+
+TEST(SessionTest, StructuralPinEditsAndTombstonesMatchRebuild) {
+  // Known pins so the final state can be rebuilt independently:
+  //   net0 {0,1}  net1 {1,2}  net2 {2,3,4}  net3 {4,5}
+  auto s = GraphSession::from_graph(
+      Hypergraph::from_edges(6, {{0, 1}, {1, 2}, {2, 3, 4}, {4, 5}}), "tiny");
+  SessionConfig cfg;
+  cfg.k = 2;
+  cfg.epsilon = 1.0;
+  cfg.seed = 7;
+  ASSERT_TRUE(s->try_acquire_mutator());
+  const auto first = s->partition(cfg, true);
+  ASSERT_TRUE(first.ok) << first.error;
+
+  std::vector<StructuralDelta> deltas(3);
+  deltas[0].kind = StructuralDelta::Kind::kRemoveNet;  // tombstone net 0
+  deltas[0].net = 0;
+  deltas[1].kind = StructuralDelta::Kind::kRemovePins;  // empty net 2
+  deltas[1].net = 2;
+  deltas[1].pins = {2, 3, 4};
+  deltas[2].kind = StructuralDelta::Kind::kAddPins;  // net1 -> {0,1,2,5}
+  deltas[2].net = 1;
+  deltas[2].pins = {0, 5};
+  const auto up = s->update({}, {}, deltas);
+  ASSERT_TRUE(up.ok) << up.error;
+  EXPECT_EQ(up.applied, 3u);
+  EXPECT_TRUE(s->net_removed(0));
+  EXPECT_FALSE(s->net_removed(2));  // stripped bare, but still live
+  EXPECT_EQ(s->num_edges(), 4u);    // tombstones keep their id
+
+  // The patched CSR must be indistinguishable from a from_edges rebuild of
+  // the same final state (tombstone = empty pins + weight 0).
+  Hypergraph rebuilt =
+      Hypergraph::from_edges(6, {{}, {0, 1, 2, 5}, {}, {4, 5}});
+  rebuilt.update_edge_weight(0, 0);
+  EXPECT_EQ(s->graph_hash(), rebuilt.content_hash());
+
+  // evaluate answers with exactly the rebuilt graph's cost for the cached
+  // partition — the emptied net and the tombstone both contribute zero.
+  const auto ev = s->evaluate(cfg);
+  ASSERT_TRUE(ev.ok) << ev.error;
+  const Partition p(std::vector<PartId>(first.parts.begin(),
+                                        first.parts.end()),
+                    cfg.k);
+  EXPECT_EQ(ev.cost, cost(rebuilt, p, cfg.metric));
+
+  // Every structural verb aimed at a tombstoned net is a validated error.
+  const std::uint64_t ver = s->version();
+  {
+    std::vector<StructuralDelta> again(1);
+    again[0].kind = StructuralDelta::Kind::kRemoveNet;
+    again[0].net = 0;
+    const auto r = s->update({}, {}, again);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("already removed"), std::string::npos) << r.error;
+  }
+  {
+    std::vector<StructuralDelta> add(1);
+    add[0].kind = StructuralDelta::Kind::kAddPins;
+    add[0].net = 0;
+    add[0].pins = {3};
+    const auto r = s->update({}, {}, add);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("is removed"), std::string::npos) << r.error;
+  }
+  {
+    std::vector<WeightUpdate> w{{0, 3}};
+    const auto r = s->update({}, w);
+    EXPECT_FALSE(r.ok);
+    EXPECT_NE(r.error.find("is removed"), std::string::npos) << r.error;
+  }
+  EXPECT_EQ(s->version(), ver);  // rejected updates never bump the version
+  s->release_mutator();
+}
+
+TEST(SessionTest, InvalidDeltaRollsBackTheWholeBatch) {
+  auto s = session_of(400, 54);
+  const SessionConfig cfg = small_cfg();
+  ASSERT_TRUE(s->try_acquire_mutator());
+  ASSERT_TRUE(s->partition(cfg, false).ok);
+  const std::uint64_t hash0 = s->graph_hash();
+  const std::uint64_t ver0 = s->version();
+  const EdgeId m0 = s->num_edges();
+
+  // Two valid deltas followed by one invalid (net 0 is removed earlier in
+  // the same batch): the whole frame must be rejected before any mutation.
+  std::vector<StructuralDelta> deltas(3);
+  deltas[0].kind = StructuralDelta::Kind::kAddNet;
+  deltas[0].pins = {0, 1};
+  deltas[1].kind = StructuralDelta::Kind::kRemoveNet;
+  deltas[1].net = 0;
+  deltas[2].kind = StructuralDelta::Kind::kRemoveNet;
+  deltas[2].net = 0;
+  const auto up = s->update({}, {}, deltas);
+  EXPECT_FALSE(up.ok);
+  EXPECT_EQ(up.applied, 0u);
+  EXPECT_NE(up.error.find("already removed"), std::string::npos) << up.error;
+
+  EXPECT_EQ(s->graph_hash(), hash0);
+  EXPECT_EQ(s->version(), ver0);
+  EXPECT_EQ(s->num_edges(), m0);
+  EXPECT_FALSE(s->net_removed(0));
+  const auto stats = s->entry_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_FALSE(stats[0].tracker_stale);
+  std::string why;
+  EXPECT_TRUE(s->verify_cache_integrity(&why)) << why;
+  // The cache entry is still a clean hit for the unchanged graph.
+  EXPECT_EQ(s->partition(cfg, false).method, "cached");
+  s->release_mutator();
+}
+
+TEST(SessionTest, OversizeStructuralBatchMarksTrackersStale) {
+  auto s = session_of(300, 55);
+  const SessionConfig cfg = small_cfg();
+  ASSERT_TRUE(s->try_acquire_mutator());
+  ASSERT_TRUE(s->partition(cfg, false).ok);
+
+  // Tombstone a third of all nets: the touched pin volume blows through
+  // kStructuralPatchMaxFraction, so the tracker falls back to staleness
+  // instead of per-net patching.
+  std::vector<StructuralDelta> deltas(100);
+  for (EdgeId e = 0; e < 100; ++e) {
+    deltas[e].kind = StructuralDelta::Kind::kRemoveNet;
+    deltas[e].net = e;
+  }
+  const auto up = s->update({}, {}, deltas);
+  ASSERT_TRUE(up.ok) << up.error;
+  EXPECT_EQ(up.trackers_patched, 0u);
+  EXPECT_EQ(up.trackers_staled, 1u);
+  const auto stats = s->entry_stats();
+  ASSERT_EQ(stats.size(), 1u);
+  EXPECT_TRUE(stats[0].tracker_stale);
+
+  // Repartition rebuilds from the cached partition and recovers.
+  const auto re = s->repartition(cfg);
+  EXPECT_TRUE(re.ok) << re.error;
+  EXPECT_TRUE(re.balanced);
+  s->release_mutator();
+  std::string why;
+  EXPECT_TRUE(s->verify_cache_integrity(&why)) << why;
+}
+
+TEST(SessionTest, EvaluatePinsASnapshotVersion) {
+  auto s = session_of(300, 56);
+  const SessionConfig cfg = small_cfg();
+  ASSERT_TRUE(s->try_acquire_mutator());
+  ASSERT_TRUE(s->partition(cfg, false).ok);
+
+  const auto at0 = s->evaluate(cfg, false, 0);
+  EXPECT_TRUE(at0.ok) << at0.error;
+  EXPECT_EQ(at0.version, 0u);
+
+  std::vector<WeightUpdate> w{{0, 5}};
+  ASSERT_TRUE(s->update(w, {}).ok);
+  s->release_mutator();
+
+  const auto outdated = s->evaluate(cfg, false, 0);
+  EXPECT_FALSE(outdated.ok);
+  EXPECT_NE(outdated.error.find("version mismatch"), std::string::npos)
+      << outdated.error;
+  EXPECT_EQ(outdated.version, 1u);
+
+  const auto current = s->evaluate(cfg, false, 1);
+  EXPECT_TRUE(current.ok) << current.error;
+  EXPECT_EQ(current.version, 1u);
+}
+
 TEST(SessionTest, HierarchyReuseIsBitIdenticalToFreshRun) {
   const Hypergraph g = random_hypergraph(2000, 2000, 2, 6, 50);
   const auto balance = BalanceConstraint::for_graph(g, 4, 0.1, true);
@@ -552,6 +759,156 @@ TEST(ServerTest, LoadPartitionUpdateRepartitionOverSocket) {
   ASSERT_TRUE(ok_of(stats)) << error_of(stats);
   EXPECT_GE(stats->find("requests_served")->as_int(), 5);
   ::close(fd);
+}
+
+TEST(ServerTest, StructuralUpdateAndVersionPinningOverSocket) {
+  RunningServer rs;
+  const std::string graph_path = rs.write_graph();
+  const int fd = connect_unix(rs.sock);
+  ASSERT_GE(fd, 0);
+
+  json::Value load = req("load");
+  load.set("path", json::Value(graph_path));
+  const auto loaded = rpc(fd, load);
+  ASSERT_TRUE(ok_of(loaded)) << error_of(loaded);
+  const std::string graph = loaded->find("graph")->as_string();
+  ASSERT_NE(loaded->find("version"), nullptr);
+  EXPECT_EQ(loaded->find("version")->as_int(), 0);
+
+  json::Value part = req("partition");
+  part.set("graph", json::Value(graph));
+  part.set("k", json::Value(std::int64_t{4}));
+  part.set("epsilon", json::Value(0.1));
+  const auto first = rpc(fd, part);
+  ASSERT_TRUE(ok_of(first)) << error_of(first);
+  EXPECT_EQ(first->find("version")->as_int(), 0);
+
+  // One batched frame carrying several structural deltas: tombstone two
+  // nets and append two new ones.
+  json::Value update = req("update");
+  update.set("graph", json::Value(graph));
+  json::Array removes;
+  removes.push_back(json::Value(std::int64_t{5}));
+  removes.push_back(json::Value(std::int64_t{6}));
+  update.set("remove_nets", json::Value(std::move(removes)));
+  json::Array adds;
+  {
+    json::Value net0;
+    json::Array pins;
+    pins.push_back(json::Value(std::int64_t{0}));
+    pins.push_back(json::Value(std::int64_t{1}));
+    pins.push_back(json::Value(std::int64_t{2}));
+    net0.set("pins", json::Value(std::move(pins)));
+    net0.set("weight", json::Value(std::int64_t{2}));
+    adds.push_back(std::move(net0));
+    json::Value net1;
+    json::Array pins1;
+    pins1.push_back(json::Value(std::int64_t{3}));
+    pins1.push_back(json::Value(std::int64_t{4}));
+    net1.set("pins", json::Value(std::move(pins1)));
+    adds.push_back(std::move(net1));
+  }
+  update.set("add_nets", json::Value(std::move(adds)));
+  const auto updated = rpc(fd, update);
+  ASSERT_TRUE(ok_of(updated)) << error_of(updated);
+  EXPECT_EQ(updated->find("applied")->as_int(), 4);
+  EXPECT_EQ(updated->find("structural")->as_int(), 4);
+  EXPECT_EQ(updated->find("version")->as_int(), 1);
+  EXPECT_EQ(updated->find("edges")->as_int(), 302);
+  EXPECT_EQ(updated->find("trackers_patched")->as_int(), 1);
+  EXPECT_EQ(updated->find("trackers_staled")->as_int(), 0);
+
+  // Pinned evaluate: the stale version is refused with the current one
+  // echoed; the current version answers.
+  json::Value eval = req("evaluate");
+  eval.set("graph", json::Value(graph));
+  eval.set("k", json::Value(std::int64_t{4}));
+  eval.set("epsilon", json::Value(0.1));
+  eval.set("version", json::Value(std::int64_t{0}));
+  const auto stale = rpc(fd, eval);
+  ASSERT_TRUE(stale.has_value());
+  EXPECT_FALSE(ok_of(stale));
+  EXPECT_NE(error_of(stale).find("version mismatch"), std::string::npos);
+  EXPECT_EQ(stale->find("version")->as_int(), 1);
+  eval.set("version", json::Value(std::int64_t{1}));
+  const auto pinned = rpc(fd, eval);
+  ASSERT_TRUE(ok_of(pinned)) << error_of(pinned);
+
+  // A batch with one invalid delta (net 5 is already tombstoned) is
+  // rejected whole: the next update still sees version 1.
+  json::Value bad = req("update");
+  bad.set("graph", json::Value(graph));
+  json::Array bad_removes;
+  bad_removes.push_back(json::Value(std::int64_t{7}));
+  bad_removes.push_back(json::Value(std::int64_t{5}));
+  bad.set("remove_nets", json::Value(std::move(bad_removes)));
+  const auto rejected = rpc(fd, bad);
+  ASSERT_TRUE(rejected.has_value());
+  EXPECT_FALSE(ok_of(rejected));
+  EXPECT_NE(error_of(rejected).find("already removed"), std::string::npos);
+  EXPECT_EQ(rejected->find("version")->as_int(), 1);
+
+  json::Value repart = req("repartition");
+  repart.set("graph", json::Value(graph));
+  repart.set("k", json::Value(std::int64_t{4}));
+  repart.set("epsilon", json::Value(0.1));
+  const auto re = rpc(fd, repart);
+  ASSERT_TRUE(ok_of(re)) << error_of(re);
+  EXPECT_EQ(re->find("method")->as_string(), "delta_fm");
+  EXPECT_EQ(re->find("version")->as_int(), 1);
+  ::close(fd);
+}
+
+TEST(ServerTest, RefusesToStartWhenSocketPathIsNotASocket) {
+  TempDir dir;
+  const fs::path path = dir.path / "not_a.sock";
+  {
+    std::ofstream f(path);
+    f << "precious data\n";
+  }
+  ServerConfig cfg;
+  cfg.unix_socket = path.string();
+  Server server(std::move(cfg));
+  EXPECT_THROW(server.start(), SocketPathError);
+  // The refusal must not have deleted the file.
+  ASSERT_TRUE(fs::exists(path));
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "precious data");
+}
+
+TEST(ServerTest, StaleSocketFileIsReplacedOnStart) {
+  // The flip side: a leftover *socket* file from a crashed daemon is still
+  // cleaned up and rebound, as before.
+  TempDir dir;
+  const std::string path = (dir.path / "stale.sock").string();
+  {
+    ServerConfig cfg;
+    cfg.unix_socket = path;
+    Server first(std::move(cfg));
+    first.start();
+    first.shutdown();
+    first.wait();
+  }
+  // Recreate a dead socket file (shutdown unlinks; bind a raw one).
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  ASSERT_EQ(::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)),
+            0);
+  ::close(fd);
+  ASSERT_TRUE(fs::exists(path));
+
+  ServerConfig cfg;
+  cfg.unix_socket = path;
+  Server second(std::move(cfg));
+  second.start();  // must not throw
+  EXPECT_TRUE(second.running());
+  second.shutdown();
+  second.wait();
 }
 
 TEST(ServerTest, UnknownGraphAndUnknownOpAreCleanErrors) {
@@ -768,10 +1125,42 @@ TEST(DaemonE2eTest, FullClientSessionAgainstExecdDaemon) {
   ASSERT_TRUE(repart.has_value());
   EXPECT_NE(repart->find("\"method\": \"delta_fm\""), std::string::npos);
 
+  // Structural verbs: one batched frame appending a weighted net and
+  // tombstoning another; the response carries the bumped version.
+  const auto churned =
+      client({"update", "--graph", graph, "--add-net", "0,1,2@2",
+              "--remove-net", "5"});
+  ASSERT_TRUE(churned.has_value());
+  EXPECT_NE(churned->find("\"structural\": 2"), std::string::npos) << *churned;
+  EXPECT_NE(churned->find("\"version\": 2"), std::string::npos) << *churned;
+
   const auto evaluated =
       client({"evaluate", "--graph", graph, "--k", "4", "--eps", "0.1"});
   ASSERT_TRUE(evaluated.has_value());
   EXPECT_NE(evaluated->find("\"balanced\": true"), std::string::npos);
+
+  // Snapshot pinning through the client: the pre-churn version is refused
+  // (client exit 1, run via spawn because run_capture hides failing runs),
+  // the current one answers.
+  {
+    hp::subprocess::SpawnOptions copts;
+    copts.capture_stdout = true;
+    auto stale = hp::subprocess::spawn(
+        HYPERPARTC_BIN,
+        {"--socket", sock, "evaluate", "--graph", graph, "--k", "4", "--eps",
+         "0.1", "--version", "1"},
+        copts);
+    ASSERT_TRUE(stale.has_value());
+    std::string out;
+    ASSERT_TRUE(stale->read_stdout(out, 60.0));
+    const auto st = stale->wait(60.0);
+    EXPECT_EQ(st.exit_code, 1);
+    EXPECT_NE(out.find("version mismatch"), std::string::npos) << out;
+  }
+  const auto pinned = client({"evaluate", "--graph", graph, "--k", "4",
+                              "--eps", "0.1", "--version", "2"});
+  ASSERT_TRUE(pinned.has_value());
+  EXPECT_NE(pinned->find("\"ok\": true"), std::string::npos) << *pinned;
 
   const auto stats = client({"stats"});
   ASSERT_TRUE(stats.has_value());
@@ -784,6 +1173,35 @@ TEST(DaemonE2eTest, FullClientSessionAgainstExecdDaemon) {
   EXPECT_TRUE(status.ok()) << "exit=" << status.exit_code
                            << " signal=" << status.term_signal
                            << " timed_out=" << status.timed_out;
+}
+
+TEST(DaemonE2eTest, NonSocketFileAtSocketPathExitsTwo) {
+  // Satellite regression: a mistyped --socket pointing at a real file must
+  // never delete it — the daemon prints one error line and exits 2.
+  TempDir dir;
+  const fs::path path = dir.path / "oops.sock";
+  {
+    std::ofstream f(path);
+    f << "not a socket\n";
+  }
+  hp::subprocess::SpawnOptions opts;
+  opts.stdout_to_file = (dir.path / "daemon.log").string();  // + stderr
+  auto daemon = hp::subprocess::spawn(HYPERPARTD_BIN,
+                                      {"--socket", path.string()}, opts);
+  ASSERT_TRUE(daemon.has_value() && daemon->valid());
+  const auto status = daemon->wait(30.0);
+  EXPECT_FALSE(status.timed_out);
+  EXPECT_EQ(status.exit_code, 2);
+  std::ifstream log(dir.path / "daemon.log");
+  std::string collected((std::istreambuf_iterator<char>(log)),
+                        std::istreambuf_iterator<char>());
+  EXPECT_NE(collected.find("error:"), std::string::npos) << collected;
+  EXPECT_NE(collected.find("not a socket"), std::string::npos) << collected;
+  // The file survived, contents intact.
+  std::ifstream f(path);
+  std::string line;
+  std::getline(f, line);
+  EXPECT_EQ(line, "not a socket");
 }
 
 TEST(DaemonE2eTest, SigtermStopsTheDaemonGracefully) {

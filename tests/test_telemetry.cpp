@@ -9,6 +9,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <stdexcept>
 #include <string>
 
 #include "hyperpart/algo/multilevel.hpp"
@@ -196,6 +197,47 @@ TEST(Telemetry, WriteJsonCreatesAParseableFile) {
   std::remove(path.c_str());
 
   EXPECT_FALSE(obs::write_json("/nonexistent-dir/nope/t.json"));
+}
+
+// --- \uXXXX escape decoding (the parser reads untrusted client JSON) --------
+
+TEST(JsonUnicode, BmpEscapesDecodeToUtf8) {
+  EXPECT_EQ(obs::json::parse("\"\\u0041\"").as_string(), "A");
+  EXPECT_EQ(obs::json::parse("\"\\u00e9\"").as_string(), "\xC3\xA9");  // é
+  EXPECT_EQ(obs::json::parse("\"\\u20AC\"").as_string(),
+            "\xE2\x82\xAC");  // €
+  EXPECT_EQ(obs::json::parse("\"\\u0009\"").as_string(), "\t");
+  EXPECT_EQ(obs::json::parse("\"a\\u00e9b\"").as_string(), "a\xC3\xA9"
+                                                           "b");
+}
+
+TEST(JsonUnicode, SurrogatePairsDecodeToFourByteUtf8) {
+  // U+1F600 = \ud83d\ude00 → F0 9F 98 80
+  EXPECT_EQ(obs::json::parse("\"\\ud83d\\ude00\"").as_string(),
+            "\xF0\x9F\x98\x80");
+  // U+10000, the first supplementary code point.
+  EXPECT_EQ(obs::json::parse("\"\\uD800\\uDC00\"").as_string(),
+            "\xF0\x90\x80\x80");
+}
+
+TEST(JsonUnicode, DecodedEscapesRoundTripThroughDump) {
+  const obs::json::Value v = obs::json::parse(
+      "{\"name\": \"caf\\u00e9 \\ud83d\\ude00\", \"plain\": \"ok\"}");
+  const obs::json::Value again = obs::json::parse(obs::json::dump(v));
+  EXPECT_TRUE(v == again);
+  EXPECT_EQ(again.find("name")->as_string(), "caf\xC3\xA9 \xF0\x9F\x98\x80");
+}
+
+TEST(JsonUnicode, MalformedEscapesAreParseErrors) {
+  const auto rejects = [](const std::string& doc) {
+    EXPECT_THROW((void)obs::json::parse(doc), std::runtime_error) << doc;
+  };
+  rejects("\"\\u00\"");          // truncated
+  rejects("\"\\u00zz\"");        // non-hex digit
+  rejects("\"\\ud800\"");        // high surrogate at end of string
+  rejects("\"\\ud800x\"");       // high surrogate not followed by \u
+  rejects("\"\\ud800\\u0041\"");  // high surrogate + non-surrogate
+  rejects("\"\\udc00\"");        // unpaired low surrogate
 }
 
 TEST(Telemetry, DisabledCollectionCostsNothingAndRecordsNothing) {

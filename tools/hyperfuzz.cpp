@@ -4,7 +4,8 @@
 //   hyperfuzz [--seed S] [--runs N] [--max-nodes N] [--max-edges M]
 //             [--families f1,f2,...] [--exact-limit N] [--threads T]
 //             [--out-dir DIR] [--max-failures F] [--inject-bug gain]
-//             [--no-anneal] [--no-stream] [--no-incremental] [--quiet]
+//             [--no-anneal] [--no-stream] [--no-incremental]
+//             [--structural-rounds N] [--quiet]
 //   hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]
 //             [--metric cut|conn] [--seed S] [--inject-bug gain]
 //
@@ -48,8 +49,8 @@ namespace {
          "[--max-edges M]\n"
          "         [--families f1,f2,...] [--exact-limit N] [--threads T]\n"
          "         [--out-dir DIR] [--max-failures F] [--inject-bug gain]\n"
-         "         [--no-anneal] [--no-stream] [--no-incremental] "
-         "[--quiet] [--telemetry t.json]\n"
+         "         [--no-anneal] [--no-stream] [--no-incremental]\n"
+         "         [--structural-rounds N] [--quiet] [--telemetry t.json]\n"
          "       hyperfuzz --replay file.hgr|file.hpb [--k K] [--eps E]\n"
          "         [--metric cut|conn] [--seed S] [--inject-bug gain]\n"
          "families: random skewed hyperdag grid spes degenerate\n"
@@ -161,6 +162,9 @@ int main(int argc, char** argv) {
       oopts.run_stream = false;
     } else if (arg == "--no-incremental") {
       oopts.run_incremental = false;
+    } else if (arg == "--structural-rounds") {
+      oopts.structural_rounds = static_cast<int>(
+          flag_u64(arg, value(), 0, 1024, "integer in [0, 1024]"));
     } else if (arg == "--quiet") {
       quiet = true;
     } else if (arg == "--telemetry") {

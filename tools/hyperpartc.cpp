@@ -7,18 +7,29 @@
 //     partition   --graph G --k K [--eps E] [--metric conn|cut] [--seed S]
 //                 [--parts]
 //     repartition same flags (incremental ΔFM ladder server-side)
-//     evaluate    same flags (reader; runs concurrently with a mutator)
+//     evaluate    same flags plus [--version V] (reader; runs concurrently
+//                 with a mutator; --version pins a graph snapshot — a
+//                 mismatch is an error, not a stale answer)
 //     update      --graph G [--node-weight ID=W]... [--edge-weight ID=W]...
+//                 [--remove-net ID]... [--remove-pins NET:P1,P2,...]...
+//                 [--add-pins NET:P1,P2,...]... [--add-net P1,P2,...[@W]]...
+//                 (all deltas of one invocation ship in ONE frame = one
+//                 atomic batch, applied server-side in the order
+//                 remove_nets → remove_pins → add_pins → add_nets)
 //     stats
 //     shutdown
 //     raw         --json '{"op": ...}'   (verbatim passthrough)
-//     loadgen     --graph G --k K [--op evaluate|partition|repartition]
-//                 [--repeat N] [--clients C]
+//     loadgen     --graph G --k K [--op evaluate|partition|repartition|churn]
+//                 [--repeat N] [--clients C] [--nodes N]
 //
 // Every op sends one HPF1 frame and prints the JSON response on stdout;
 // exit 0 when the server answered {ok: true}, 1 on {ok: false} or transport
 // errors, 2 on usage errors. loadgen opens C connections, fires N requests
-// round-robin across them, and reports req/sec with p50/p99 latency.
+// round-robin across them, and reports req/sec with p50/p99 latency. The
+// churn loadgen op sends per-request-distinct structural updates (one
+// add_net each, pins drawn below --nodes); "busy" rejections — expected
+// under concurrent mutators, the slot admits one at a time — are counted
+// separately from failures.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -48,11 +59,15 @@ namespace {
       << "usage: hyperpartc (--socket /path.sock | --tcp PORT) <op> [flags]\n"
          "  ops: load --path F | partition|repartition|evaluate --graph G\n"
          "       --k K [--eps E] [--metric conn|cut] [--seed S] [--parts]\n"
+         "       [--version V]\n"
          "       | update --graph G [--node-weight ID=W]... "
          "[--edge-weight ID=W]...\n"
+         "         [--remove-net ID]... [--remove-pins NET:P,..]... "
+         "[--add-pins NET:P,..]...\n"
+         "         [--add-net P,P,..[@W]]...\n"
          "       | stats | shutdown | raw --json J\n"
-         "       | loadgen --graph G --k K [--op OP] [--repeat N] "
-         "[--clients C]\n";
+         "       | loadgen --graph G --k K [--op OP|churn] [--repeat N] "
+         "[--clients C] [--nodes N]\n";
   std::exit(2);
 }
 
@@ -124,9 +139,54 @@ json::Value weight_pair(const std::string& flag, const std::string& spec) {
   return json::Value(std::move(pair));
 }
 
+/// Parse "P1,P2,..." into a JSON array of node ids.
+json::Array pin_list(const std::string& flag, const std::string& spec) {
+  json::Array pins;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    const std::size_t comma = spec.find(',', start);
+    const std::string tok =
+        spec.substr(start, comma == std::string::npos ? comma : comma - start);
+    const auto id = hp::parse_u64(tok, 0, UINT32_MAX);
+    if (!id) bad_flag(flag, spec, "comma-separated node ids");
+    pins.emplace_back(static_cast<std::int64_t>(*id));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (pins.empty()) bad_flag(flag, spec, "comma-separated node ids");
+  return pins;
+}
+
+/// Parse "NET:P1,P2,..." into a {net, pins} object.
+json::Value net_pins(const std::string& flag, const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos) bad_flag(flag, spec, "NET:P1,P2,...");
+  const auto net = hp::parse_u64(spec.substr(0, colon), 0, UINT32_MAX);
+  if (!net) bad_flag(flag, spec, "NET:P1,P2,...");
+  json::Value o{json::Object{}};
+  o.set("net", static_cast<std::int64_t>(*net));
+  o.set("pins", json::Value(pin_list(flag, spec.substr(colon + 1))));
+  return o;
+}
+
+/// Parse "P1,P2,...[@W]" into a {pins, weight?} object.
+json::Value new_net(const std::string& flag, const std::string& spec) {
+  const auto at = spec.find('@');
+  json::Value o{json::Object{}};
+  o.set("pins", json::Value(pin_list(
+                    flag, at == std::string::npos ? spec : spec.substr(0, at))));
+  if (at != std::string::npos) {
+    const auto w = hp::parse_i64(spec.substr(at + 1), 0, INT64_MAX);
+    if (!w) bad_flag(flag, spec, "P1,P2,...@WEIGHT with non-negative weight");
+    o.set("weight", *w);
+  }
+  return o;
+}
+
 struct LoadgenStats {
   std::vector<double> latencies_ms;
   std::uint64_t failures = 0;
+  std::uint64_t busy = 0;  ///< mutator-slot rejections (churn op)
 };
 
 }  // namespace
@@ -144,10 +204,16 @@ int main(int argc, char** argv) {
   std::string metric;
   std::uint64_t seed = 1;
   bool include_parts = false;
+  std::optional<std::uint64_t> pin_version;
   std::uint64_t repeat = 100;
   std::uint64_t clients = 4;
+  std::uint64_t churn_nodes = 2;
   json::Array node_weights;
   json::Array edge_weights;
+  json::Array remove_nets;
+  json::Array remove_pins;
+  json::Array add_pins;
+  json::Array add_nets;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -189,10 +255,28 @@ int main(int argc, char** argv) {
       seed = *v;
     } else if (arg == "--parts") {
       include_parts = true;
+    } else if (arg == "--version") {
+      const auto v = hp::parse_u64(value());
+      if (!v) bad_flag(arg, argv[i], "unsigned integer");
+      pin_version = *v;
     } else if (arg == "--node-weight") {
       node_weights.push_back(weight_pair(arg, value()));
     } else if (arg == "--edge-weight") {
       edge_weights.push_back(weight_pair(arg, value()));
+    } else if (arg == "--remove-net") {
+      const auto id = hp::parse_u64(value(), 0, UINT32_MAX);
+      if (!id) bad_flag(arg, argv[i], "net id");
+      remove_nets.emplace_back(static_cast<std::int64_t>(*id));
+    } else if (arg == "--remove-pins") {
+      remove_pins.push_back(net_pins(arg, value()));
+    } else if (arg == "--add-pins") {
+      add_pins.push_back(net_pins(arg, value()));
+    } else if (arg == "--add-net") {
+      add_nets.push_back(new_net(arg, value()));
+    } else if (arg == "--nodes") {
+      const auto v = hp::parse_u64(value(), 2, UINT32_MAX);
+      if (!v) bad_flag(arg, argv[i], "integer >= 2");
+      churn_nodes = *v;
     } else if (arg == "--repeat") {
       const auto v = hp::parse_u64(value(), 1, 100000000);
       if (!v) bad_flag(arg, argv[i], "integer >= 1");
@@ -204,8 +288,10 @@ int main(int argc, char** argv) {
     } else if (arg == "--op") {
       loadgen_op = value();
       if (loadgen_op != "evaluate" && loadgen_op != "partition" &&
-          loadgen_op != "repartition" && loadgen_op != "stats") {
-        bad_flag(arg, loadgen_op, "evaluate, partition, repartition, or stats");
+          loadgen_op != "repartition" && loadgen_op != "stats" &&
+          loadgen_op != "churn") {
+        bad_flag(arg, loadgen_op,
+                 "evaluate, partition, repartition, stats, or churn");
       }
     } else if (!arg.empty() && arg[0] != '-' && op.empty()) {
       op = arg;
@@ -235,6 +321,11 @@ int main(int argc, char** argv) {
     }
     req.set("seed", static_cast<std::int64_t>(seed));
     if (include_parts) req.set("include_parts", true);
+    if (pin_version) {
+      // Snapshot pinning: the server answers "version mismatch" instead of
+      // silently evaluating a graph the client has not seen yet.
+      req.set("version", static_cast<std::int64_t>(*pin_version));
+    }
     return req;
   };
 
@@ -272,6 +363,14 @@ int main(int argc, char** argv) {
     if (!edge_weights.empty()) {
       req.set("edge_weights", json::Value(edge_weights));
     }
+    if (!remove_nets.empty()) {
+      req.set("remove_nets", json::Value(remove_nets));
+    }
+    if (!remove_pins.empty()) {
+      req.set("remove_pins", json::Value(remove_pins));
+    }
+    if (!add_pins.empty()) req.set("add_pins", json::Value(add_pins));
+    if (!add_nets.empty()) req.set("add_nets", json::Value(add_nets));
     request = json::dump(req);
   } else if (op == "partition" || op == "repartition" || op == "evaluate") {
     if (graph.empty()) {
@@ -284,13 +383,14 @@ int main(int argc, char** argv) {
       std::cerr << "error: loadgen needs --graph\n";
       usage();
     }
-    request = loadgen_op == "stats"
-                  ? json::dump([] {
-                      json::Value req{json::Object{}};
-                      req.set("op", "stats");
-                      return req;
-                    }())
-                  : json::dump(config_request(loadgen_op));
+    if (loadgen_op == "stats") {
+      json::Value req{json::Object{}};
+      req.set("op", "stats");
+      request = json::dump(req);
+    } else if (loadgen_op != "churn") {
+      request = json::dump(config_request(loadgen_op));
+    }
+    // churn builds a distinct frame per request inside the worker loop.
   } else {
     std::cerr << "error: unknown op '" << op << "'\n";
     usage();
@@ -313,11 +413,40 @@ int main(int argc, char** argv) {
         }
         stats.latencies_ms.reserve(share);
         for (std::uint64_t r = 0; r < share; ++r) {
+          std::string payload = request;
+          if (loadgen_op == "churn") {
+            // Per-request-distinct structural delta: one new 2-pin net,
+            // pins rolling through [0, --nodes) so every frame differs.
+            const std::uint64_t tick = c * 1000003ULL + r;
+            json::Value req{json::Object{}};
+            req.set("op", "update");
+            req.set("graph", graph);
+            json::Value net{json::Object{}};
+            json::Array pins;
+            pins.emplace_back(static_cast<std::int64_t>(tick % churn_nodes));
+            pins.emplace_back(
+                static_cast<std::int64_t>((tick + 1) % churn_nodes));
+            net.set("pins", json::Value(std::move(pins)));
+            json::Array nets;
+            nets.push_back(std::move(net));
+            req.set("add_nets", json::Value(std::move(nets)));
+            payload = json::dump(req);
+          }
           const auto t0 = std::chrono::steady_clock::now();
-          const auto response = round_trip(fd, request);
+          const auto response = round_trip(fd, payload);
           const auto t1 = std::chrono::steady_clock::now();
-          if (!response || response->find("\"ok\": true") == std::string::npos) {
+          if (!response) {
             ++stats.failures;
+            continue;
+          }
+          if (response->find("\"ok\": true") == std::string::npos) {
+            // The single mutator slot rejects concurrent churn with "busy";
+            // that is admission control working, not a failure.
+            if (response->find("busy:") != std::string::npos) {
+              ++stats.busy;
+            } else {
+              ++stats.failures;
+            }
             continue;
           }
           stats.latencies_ms.push_back(
@@ -332,9 +461,11 @@ int main(int argc, char** argv) {
                               .count();
     std::vector<double> all;
     std::uint64_t failures = 0;
+    std::uint64_t busy = 0;
     for (const LoadgenStats& s : per_client) {
       all.insert(all.end(), s.latencies_ms.begin(), s.latencies_ms.end());
       failures += s.failures;
+      busy += s.busy;
     }
     std::sort(all.begin(), all.end());
     const auto pct = [&](double q) {
@@ -343,7 +474,7 @@ int main(int argc, char** argv) {
       return all[idx];
     };
     std::cout << "requests   = " << all.size() << " ok, " << failures
-              << " failed\n"
+              << " failed, " << busy << " busy\n"
               << "clients    = " << clients << "\n"
               << "wall       = " << wall_s << " s\n"
               << "throughput = " << (wall_s > 0 ? all.size() / wall_s : 0.0)

@@ -87,6 +87,11 @@ int main(int argc, char** argv) {
   hp::server::Server server(std::move(cfg));
   try {
     server.start();
+  } catch (const hp::server::SocketPathError& e) {
+    // A mistyped --socket pointing at a real file must never delete it;
+    // exit 2 distinguishes operator error from transient bind failures.
+    std::cerr << "error: " << e.what() << "\n";
+    return 2;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
