@@ -9,6 +9,7 @@
 // and enforces the ≥5× acceptance gate at n = 100k, k = 8.
 
 #include <algorithm>
+#include <cstdint>
 #include <iostream>
 #include <string>
 #include <vector>
@@ -138,6 +139,177 @@ HP_BENCH_CASE(engine_scaling,
     }
   }
   table.print();
+  std::cout << "\npeak RSS " << hp::bench::peak_rss_bytes() / (1024 * 1024)
+            << " MB\n";
+}
+
+namespace {
+
+/// FNV-1a over the block assignment, folded to 32 bits so the value stays a
+/// small positive JSON integer. Pinned in the committed baseline: any change
+/// to the partition a kernel produces — not just its cost — fails the diff.
+[[nodiscard]] std::uint64_t partition_hash(const Partition& p) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (const PartId q : p.raw()) {
+    h ^= static_cast<std::uint64_t>(q);
+    h *= 1099511628211ULL;
+  }
+  return (h >> 32) ^ (h & 0xFFFFFFFFULL);
+}
+
+}  // namespace
+
+HP_BENCH_CASE(kernel_microbench,
+              "Hot-kernel microbench at fixed n=100k (same instance in smoke "
+              "and full runs): tracker build, gain-cache fill, sequential and "
+              "sync FM, and arena-backed coarsening; costs, moved counts, and "
+              "partition hashes are hard-gated bit-identical at 1/2/4/8 "
+              "threads and pinned against the committed baseline") {
+  // Deliberately NOT reduced under --smoke: the CI perf ratchet diffs these
+  // rows against BENCH_theorems.json, so the instance must be the one the
+  // committed baseline was generated from.
+  const NodeId n = 100000;
+  const EdgeId m = n;
+  const Hypergraph g = random_hypergraph(n, m, 2, 8, 12345 + n);
+  const std::vector<unsigned> thread_counts{1, 2, 4, 8};
+
+  bench::banner("Hot-kernel microbench (refinement kernels)");
+  auto kernels = ctx.table({{"k", "k"},
+                            {"threads", "threads"},
+                            {"tracker_ms", "tracker ms"},
+                            {"cache_ms", "cache ms"},
+                            {"fm_seq_ms", "seq FM ms"},
+                            {"fm_sync_ms", "sync FM ms"},
+                            {"fm_seq_cost", "seq cost"},
+                            {"fm_sync_cost", "sync cost"},
+                            {"sync_moved", "moved"},
+                            {"fm_seq_hash", "seq hash"},
+                            {"fm_sync_hash", "sync hash"}});
+
+  for (const PartId k : {PartId{8}, PartId{128}}) {
+    const auto balance = BalanceConstraint::for_graph(g, k, 0.1, true);
+    const auto start =
+        greedy_growing_partition(g, balance, CostMetric::kConnectivity, 7);
+    if (!ctx.check(start.has_value(),
+                   "greedy start exists at k=" + std::to_string(k))) {
+      continue;
+    }
+
+    Weight base_seq_cost = -1;
+    Weight base_sync_cost = -1;
+    std::uint64_t base_seq_hash = 0;
+    std::uint64_t base_sync_hash = 0;
+    std::int64_t base_moved = -1;
+    for (const unsigned t : thread_counts) {
+      Timer timer;
+      ConnectivityTracker tracker(g, *start, t);
+      const double tracker_ms = timer.millis();
+      timer.reset();
+      tracker.enable_gain_cache(CostMetric::kConnectivity, t);
+      const double cache_ms = timer.millis();
+
+      FmConfig seq;
+      seq.threads = t;
+      Partition ps = *start;
+      timer.reset();
+      const Weight seq_cost = fm_refine(g, tracker, ps, balance, seq);
+      const double fm_seq_ms = timer.millis();
+      const std::uint64_t seq_hash = partition_hash(ps);
+
+      const bool obs_was_enabled = obs::enabled();
+      obs::set_enabled(true);
+      const std::int64_t moved0 = obs::counter("fm.sync_moved");
+      FmConfig sync;
+      sync.sync_rounds = true;
+      sync.threads = t;
+      ConnectivityTracker sync_tracker(g, *start, t);
+      sync_tracker.enable_gain_cache(CostMetric::kConnectivity, t);
+      Partition py = *start;
+      timer.reset();
+      const Weight sync_cost = fm_refine(g, sync_tracker, py, balance, sync);
+      const double fm_sync_ms = timer.millis();
+      const std::int64_t moved = obs::counter("fm.sync_moved") - moved0;
+      obs::set_enabled(obs_was_enabled);
+      const std::uint64_t sync_hash = partition_hash(py);
+
+      if (t == thread_counts.front()) {
+        base_seq_cost = seq_cost;
+        base_sync_cost = sync_cost;
+        base_seq_hash = seq_hash;
+        base_sync_hash = sync_hash;
+        base_moved = moved;
+      } else {
+        // The determinism hard gate: every kernel output is bit-identical
+        // at any thread count, partitions included.
+        const std::string at =
+            " at k=" + std::to_string(k) + " threads=" + std::to_string(t);
+        ctx.check(seq_cost == base_seq_cost, "seq FM cost identical" + at);
+        ctx.check(sync_cost == base_sync_cost, "sync FM cost identical" + at);
+        ctx.check(seq_hash == base_seq_hash,
+                  "seq FM partition identical" + at);
+        ctx.check(sync_hash == base_sync_hash,
+                  "sync FM partition identical" + at);
+        ctx.check(moved == base_moved, "sync FM move count identical" + at);
+      }
+
+      kernels.row(static_cast<unsigned>(k), t, tracker_ms, cache_ms,
+                  fm_seq_ms, fm_sync_ms, seq_cost, sync_cost, moved,
+                  seq_hash, sync_hash);
+    }
+  }
+  kernels.print();
+
+  // Coarsening with the reusable scratch pool: the cold run pays the block
+  // fetches, the warm run (same seed, after reset()) must fetch none — that
+  // reuse is the hard gate. Arena stats land as per-case _kb telemetry
+  // (bench_util's VmHWM is process-global and useless per phase).
+  bench::banner("Hot-kernel microbench (arena-backed coarsening)");
+  auto coarsen = ctx.table({{"threads", "threads"},
+                            {"coarsen_cold_ms", "cold ms"},
+                            {"coarsen_warm_ms", "warm ms"},
+                            {"coarse_nodes", "coarse n"},
+                            {"coarse_pins", "coarse pins"},
+                            {"arena_reserved_kb", "reserved kb"},
+                            {"arena_peak_used_kb", "peak kb"},
+                            {"arena_blocks", "blocks"},
+                            {"arena_oversize", "oversize"},
+                            {"arena_oversize_kb", "oversize kb"}});
+  const auto coarse_balance = BalanceConstraint::for_graph(g, 8, 0.1, true);
+  const Weight max_cluster =
+      std::max<Weight>(1, coarse_balance.capacity() / 3);
+  NodeId base_coarse_nodes = 0;
+  for (const unsigned t : thread_counts) {
+    CoarsenMemory mem;
+    Timer timer;
+    const CoarseLevel cold = coarsen_once(g, max_cluster, 99, nullptr, t, &mem);
+    const double cold_ms = timer.millis();
+    const std::uint64_t blocks_cold = mem.block_allocations();
+    const std::uint64_t oversize_cold = mem.oversize_allocations();
+    timer.reset();
+    const CoarseLevel warm = coarsen_once(g, max_cluster, 99, nullptr, t, &mem);
+    const double warm_ms = timer.millis();
+
+    const std::string at = " at threads=" + std::to_string(t);
+    ctx.check(mem.block_allocations() == blocks_cold,
+              "warm coarsening fetches no new arena blocks" + at);
+    ctx.check(mem.oversize_allocations() == oversize_cold,
+              "warm coarsening makes no new oversize allocations" + at);
+    ctx.check(warm.graph.num_nodes() == cold.graph.num_nodes() &&
+                  warm.graph.num_pins() == cold.graph.num_pins(),
+              "warm rerun reproduces the cold coarsening" + at);
+    if (t == thread_counts.front()) {
+      base_coarse_nodes = cold.graph.num_nodes();
+    } else {
+      ctx.check(cold.graph.num_nodes() == base_coarse_nodes,
+                "coarse node count identical" + at);
+    }
+
+    coarsen.row(t, cold_ms, warm_ms, cold.graph.num_nodes(),
+                cold.graph.num_pins(), mem.reserved_bytes() / 1024,
+                mem.peak_used_bytes() / 1024, mem.block_allocations(),
+                mem.oversize_allocations(), mem.oversize_bytes() / 1024);
+  }
+  coarsen.print();
   std::cout << "\npeak RSS " << hp::bench::peak_rss_bytes() / (1024 * 1024)
             << " MB\n";
 }

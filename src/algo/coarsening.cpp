@@ -13,7 +13,8 @@ namespace hp {
 namespace {
 
 struct VectorHash {
-  std::size_t operator()(const std::vector<NodeId>& v) const noexcept {
+  template <typename PinVec>
+  std::size_t operator()(const PinVec& v) const noexcept {
     std::size_t h = v.size();
     for (const NodeId x : v) {
       h ^= x + 0x9e3779b9 + (h << 6) + (h >> 2);
@@ -22,9 +23,14 @@ struct VectorHash {
   }
 };
 
+/// Projected coarse pin lists live in the per-chunk dedup arenas: built,
+/// sorted, and deduplicated in place, then the surviving ones are handed to
+/// the shard merge by pointer (the arenas outlive the merge).
+using ArenaPins = ArenaVector<NodeId>;
+
 /// A coarse pin list awaiting dedup, tagged with its weight.
 struct PendingEdge {
-  std::vector<NodeId> pins;
+  ArenaPins pins;
   Weight weight;
 };
 
@@ -74,24 +80,34 @@ ProposeScratch& propose_scratch(NodeId n) {
 
 CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
                          std::uint64_t seed,
-                         const Partition* restrict_parts, unsigned threads) {
+                         const Partition* restrict_parts, unsigned threads,
+                         CoarsenMemory* mem) {
   const NodeId n = g.num_nodes();
   const unsigned workers = threads == 0 ? 1 : threads;
+  // Callers that don't hold scratch across levels get a call-local arena —
+  // the bump allocation still collapses this level's many small heap
+  // round-trips into a few block fetches.
+  CoarsenMemory local_mem;
+  CoarsenMemory& scratch_mem = mem != nullptr ? *mem : local_mem;
+  scratch_mem.reset();
+  Arena& seq_arena = scratch_mem.seq();
 
   // --- Parallel clustering rounds ------------------------------------------
   // cluster[v] is the id of the leader node of v's cluster (flat: members
   // point directly at their leader, and a leader that has accepted members
   // never merges away, so no path compression is needed). cweight/csize are
   // maintained for leaders.
-  std::vector<NodeId> cluster(n);
+  ArenaVector<NodeId> cluster(n, ArenaAllocator<NodeId>(seq_arena));
   std::iota(cluster.begin(), cluster.end(), NodeId{0});
-  std::vector<Weight> cweight(n);
-  std::vector<NodeId> csize(n, 1);
+  ArenaVector<Weight> cweight(n, ArenaAllocator<Weight>(seq_arena));
+  ArenaVector<NodeId> csize(n, 1, ArenaAllocator<NodeId>(seq_arena));
   for (NodeId v = 0; v < n; ++v) cweight[v] = g.node_weight(v);
 
-  std::vector<NodeId> proposal(n, kInvalidNode);
-  std::vector<double> prio(n, 0.0);
-  std::vector<NodeId> winner(n, kInvalidNode);
+  ArenaVector<NodeId> proposal(n, kInvalidNode,
+                               ArenaAllocator<NodeId>(seq_arena));
+  ArenaVector<double> prio(n, 0.0, ArenaAllocator<double>(seq_arena));
+  ArenaVector<NodeId> winner(n, kInvalidNode,
+                             ArenaAllocator<NodeId>(seq_arena));
   NodeId clusters = n;
 
   for (int round = 0; round < kProposalRounds; ++round) {
@@ -206,12 +222,14 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
   // a parallel fill. Chunk boundaries are a pure function of n, so the
   // numbering is the same for every thread count.
   CoarseLevel level;
-  std::vector<NodeId> coarse_id(n, kInvalidNode);
-  std::vector<Weight> coarse_node_weight;
+  ArenaVector<NodeId> coarse_id(n, kInvalidNode,
+                                ArenaAllocator<NodeId>(seq_arena));
+  std::vector<Weight> coarse_node_weight;  // escapes into the coarse graph
   {
     HP_SPAN("contract");
     const std::size_t chunks = num_grain_chunks(n, kStableGrain);
-    std::vector<NodeId> chunk_leaders(chunks, 0);
+    ArenaVector<NodeId> chunk_leaders(chunks, 0,
+                                      ArenaAllocator<NodeId>(seq_arena));
     parallel_for_grain(n, kStableGrain, workers,
                        [&](std::size_t c, std::uint64_t begin,
                            std::uint64_t end) {
@@ -267,15 +285,34 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
   // for every chunking.
   const EdgeId m = g.num_edges();
   const std::size_t edge_chunks = num_grain_chunks(m, kStableGrain);
-  std::vector<std::vector<std::vector<PendingEdge>>> buckets(
-      edge_chunks, std::vector<std::vector<PendingEdge>>(kDedupShards));
+  scratch_mem.ensure_chunks(edge_chunks);
+  using ChunkBuckets = ArenaVector<ArenaVector<PendingEdge>>;
+  std::vector<ChunkBuckets> buckets;
+  buckets.reserve(edge_chunks);
+  for (std::size_t c = 0; c < edge_chunks; ++c) {
+    Arena& a = scratch_mem.chunk(c);
+    ChunkBuckets shard_vec{ArenaAllocator<ArenaVector<PendingEdge>>(a)};
+    shard_vec.reserve(kDedupShards);
+    for (std::size_t s = 0; s < kDedupShards; ++s) {
+      ArenaVector<PendingEdge> bucket{ArenaAllocator<PendingEdge>(a)};
+      // A chunk holds kStableGrain edges spread over kDedupShards buckets;
+      // reserving the expected share avoids growth churn (the bump arena
+      // never reclaims a grown-out-of allocation).
+      bucket.reserve(kStableGrain / kDedupShards);
+      shard_vec.push_back(std::move(bucket));
+    }
+    buckets.push_back(std::move(shard_vec));
+  }
   parallel_for_grain(
       m, kStableGrain, workers,
       [&](std::size_t c, std::uint64_t begin, std::uint64_t end) {
+        // Chunk c scatters exclusively into its own arena: zero contention,
+        // and the allocation pattern is independent of the thread count.
+        Arena& chunk_arena = scratch_mem.chunk(c);
         VectorHash hasher;
         for (EdgeId e = static_cast<EdgeId>(begin);
              e < static_cast<EdgeId>(end); ++e) {
-          std::vector<NodeId> pins;
+          ArenaPins pins{ArenaAllocator<NodeId>(chunk_arena)};
           pins.reserve(g.edge_size(e));
           for (const NodeId v : g.pins(e)) {
             pins.push_back(level.fine_to_coarse[v]);
@@ -295,7 +332,7 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
     tasks.reserve(kDedupShards);
     for (std::size_t s = 0; s < kDedupShards; ++s) {
       tasks.push_back([&, s]() {
-        std::unordered_map<std::vector<NodeId>, std::size_t, VectorHash> index;
+        std::unordered_map<ArenaPins, std::size_t, VectorHash> index;
         auto& edges = shard_edges[s];
         auto& weights = shard_weights[s];
         for (std::size_t c = 0; c < edge_chunks; ++c) {
@@ -303,7 +340,9 @@ CoarseLevel coarsen_once(const Hypergraph& g, Weight max_cluster_weight,
             const auto [it, inserted] =
                 index.try_emplace(std::move(item.pins), edges.size());
             if (inserted) {
-              edges.push_back(it->first);
+              // The output pin list escapes this function; copy it out of
+              // the arena-backed key.
+              edges.emplace_back(it->first.begin(), it->first.end());
               weights.push_back(item.weight);
             } else {
               weights[it->second] += item.weight;

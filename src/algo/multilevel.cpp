@@ -37,11 +37,14 @@ std::optional<Partition> multilevel_partition_cached(
     const Weight max_cluster = std::max<Weight>(1, balance.capacity() / 3);
     const Hypergraph* current = &g;
     const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * k);
+    // One scratch pool for the whole descent: every level below the first
+    // bump-allocates into the blocks the level above already fetched.
+    CoarsenMemory coarsen_mem;
     while (current->num_nodes() > stop_at) {
       HP_SPAN("coarsen", "level", hier.levels.size());
       ++hier.rng_draws;
-      CoarseLevel next =
-          coarsen_once(*current, max_cluster, rng(), nullptr, threads);
+      CoarseLevel next = coarsen_once(*current, max_cluster, rng(), nullptr,
+                                      threads, &coarsen_mem);
       // Insufficient shrinkage means matching is saturated; stop.
       if (next.graph.num_nodes() >
           static_cast<NodeId>(0.95 * current->num_nodes())) {

@@ -39,6 +39,8 @@ Weight vcycle_refine(const Hypergraph& g, Partition& p,
   };
   Weight result = fm_refine(g, p, balance, fm_for(g.num_nodes()));
 
+  // Scratch pool shared by every coarsening level of every cycle.
+  CoarsenMemory coarsen_mem;
   for (int cycle = 0; cycle < cycles; ++cycle) {
     // Partition-aware coarsening hierarchy.
     const Weight max_cluster = std::max<Weight>(1, balance.capacity() / 3);
@@ -49,7 +51,7 @@ Weight vcycle_refine(const Hypergraph& g, Partition& p,
     const NodeId stop_at = std::max<NodeId>(cfg.coarsen_limit, 4 * p.k());
     while (current->num_nodes() > stop_at) {
       CoarseLevel next = coarsen_once(*current, max_cluster, rng(),
-                                      current_p, threads);
+                                      current_p, threads, &coarsen_mem);
       if (next.graph.num_nodes() >
           static_cast<NodeId>(0.95 * current->num_nodes())) {
         break;

@@ -26,6 +26,7 @@
 // large edges cost O(1) per edge.
 
 #include <span>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -61,10 +62,17 @@ class ConnectivityTracker {
 
   [[nodiscard]] PartId k() const noexcept { return k_; }
 
-  /// Pins of edge e currently in part q.
+  /// Pins of edge e currently in part q. The table is flat (net × part) in
+  /// both widths; the narrow uint16 layout is selected whenever every net
+  /// fits (see narrow_counts()).
   [[nodiscard]] std::uint32_t pins_in_part(EdgeId e, PartId q) const noexcept {
-    return counts_[static_cast<std::size_t>(e) * k_ + q];
+    const std::size_t i = static_cast<std::size_t>(e) * k_ + q;
+    return narrow_ ? counts16_[i] : counts32_[i];
   }
+  /// True while the pin counts live in the half-width uint16 table (every
+  /// net has at most 65535 pins — the common case; a structural patch that
+  /// grows a net past that widens the table in place).
+  [[nodiscard]] bool narrow_counts() const noexcept { return narrow_; }
   /// λ_e under the current assignment.
   [[nodiscard]] PartId lambda(EdgeId e) const noexcept { return lambda_[e]; }
 
@@ -157,9 +165,10 @@ class ConnectivityTracker {
     const PartId from = part_[v];
     if (from == to) return 0;
     const std::size_t idx = static_cast<std::size_t>(v) * k_ + to;
+    const NodeAux& a = aux_[v];
     return cache_metric_ == CostMetric::kConnectivity
-               ? penalty_[v] + benefit_[idx] - weighted_degree_[v]
-               : benefit_[idx] - penalty_[v];
+               ? a.penalty + benefit_[idx] - a.degw
+               : benefit_[idx] - a.penalty;
   }
 
   /// O(1) best cached move of v: the part maximizing cached_gain(v, ·) and
@@ -180,7 +189,7 @@ class ConnectivityTracker {
   /// True when v has at least one incident edge with λ_e > 1. Only
   /// maintained while the gain cache is enabled.
   [[nodiscard]] bool is_boundary(NodeId v) const noexcept {
-    return cut_incident_[v] > 0;
+    return aux_[v].cut_incident > 0;
   }
   /// Current boundary nodes, in insertion order (deterministic for a fixed
   /// move sequence). Only maintained while the gain cache is enabled.
@@ -202,37 +211,79 @@ class ConnectivityTracker {
   void prefetch_gain_row(NodeId v) const noexcept {
 #if defined(__GNUC__) || defined(__clang__)
     __builtin_prefetch(benefit_.data() + static_cast<std::size_t>(v) * k_);
-    __builtin_prefetch(penalty_.data() + v);
+    __builtin_prefetch(aux_.data() + v);
 #else
     (void)v;
 #endif
   }
 
  private:
-  template <bool Atomic>
-  void fill_cache_tables(CostMetric m, unsigned threads);
+  // The hot kernels are compiled twice, once per count width; every public
+  // entry point dispatches ONCE on narrow_ and stays branch-free on the
+  // width inside its loops. Both instantiations compute identical integer
+  // sums, so results never depend on the selected width.
+  template <typename C>
+  [[nodiscard]] C* counts_data() noexcept {
+    if constexpr (std::is_same_v<C, std::uint16_t>) {
+      return counts16_.data();
+    } else {
+      return counts32_.data();
+    }
+  }
+  template <typename C>
+  [[nodiscard]] const C* counts_data() const noexcept {
+    if constexpr (std::is_same_v<C, std::uint16_t>) {
+      return counts16_.data();
+    } else {
+      return counts32_.data();
+    }
+  }
+  template <typename C>
+  void build_counts(unsigned threads);
+  template <typename C>
+  [[nodiscard]] Weight gain_impl(NodeId v, PartId to, CostMetric m) const;
+  template <typename C>
+  void move_plain(NodeId v, PartId to);
+  template <typename C>
   void move_with_cache(NodeId v, PartId to);
+  template <typename C>
+  void recount_net(EdgeId e);
+  template <bool Atomic, typename C>
+  void fill_cache_tables(CostMetric m, unsigned threads);
   void rescan_best(NodeId v) noexcept;
   void benefit_add(NodeId v, PartId q, Weight w) noexcept;
   void benefit_sub(NodeId v, PartId q, Weight w) noexcept;
+  template <typename C>
   void apply_connectivity_deltas(EdgeId e, NodeId u, PartId from, PartId to);
+  template <typename C>
   void remove_cut_contributions(EdgeId e, NodeId u);
+  template <typename C>
   void add_cut_contributions(EdgeId e, NodeId u);
+  template <typename C>
   void rebuild_mover_cache_row(NodeId u);
   void update_boundary_after_lambda_change(EdgeId e, PartId l_before,
                                            PartId l_after);
   void touch(NodeId v);
   void boundary_insert(NodeId v);
   void boundary_erase(NodeId v);
+  /// Copy the uint16 table into the wide one and drop the narrow layout;
+  /// called when a structural patch grows some net past 65535 pins.
+  void widen_counts();
   /// The two present parts (a < b) of an edge with λ_e == 2, via the
   /// present-parts bitset when k ≤ 64 and a count scan otherwise.
+  template <typename C>
   [[nodiscard]] std::pair<PartId, PartId> two_present_parts(
       EdgeId e) const noexcept;
 
   const Hypergraph& g_;
   PartId k_;
   std::vector<PartId> part_;
-  std::vector<std::uint32_t> counts_;  // m × k pin counts
+  // m × k pins-in-part, exactly one of the two active (see narrow_counts()):
+  // the narrow table halves the footprint and memory traffic of every
+  // per-net row scan — the hot walk of gain-cache fill and FM moves.
+  bool narrow_ = false;
+  std::vector<std::uint16_t> counts16_;
+  std::vector<std::uint32_t> counts32_;
   // For k ≤ 64: per-net bitset of parts with at least one pin, kept in
   // lock-step with counts_. Turns the hot "which parts are present in e"
   // scans (gain-cache fill, the λ == 2 two-part lookups, the mover-row
@@ -243,18 +294,27 @@ class ConnectivityTracker {
   Weight cut_net_ = 0;
   Weight connectivity_ = 0;
 
+  // All per-node scalar cache state, interleaved into one 32-byte record so
+  // the threshold rules of a move (penalty bump, boundary counter, touch
+  // stamp) and every cached_gain() read hit ONE cache line per node instead
+  // of 4–5 scattered ones. alignas(32) keeps a record from straddling lines.
+  struct alignas(32) NodeAux {
+    Weight penalty = 0;   // p / int term of the cached metric
+    Weight degw = 0;      // degw (connectivity metric only)
+    std::uint64_t stamp = 0;         // touched_ dedup epoch
+    std::uint32_t cut_incident = 0;  // #incident edges with λ > 1
+    std::uint32_t boundary_pos = 0;  // index into boundary_, or kNotInBoundary
+  };
+  static_assert(sizeof(NodeAux) == 32);
+
   // Gain-cache state (empty until enable_gain_cache()).
   bool cache_enabled_ = false;
   CostMetric cache_metric_ = CostMetric::kConnectivity;
-  std::vector<Weight> benefit_;          // n × k: ben / ben₂ term
-  std::vector<Weight> penalty_;          // n: p / int term
-  std::vector<Weight> weighted_degree_;  // n: degw (connectivity only)
-  std::vector<PartId> best_to_;          // n: argmax_q≠part cached_gain(·,q)
-  std::vector<std::uint32_t> cut_incident_;  // n: #incident edges with λ>1
-  std::vector<NodeId> boundary_;             // sparse set of boundary nodes
-  std::vector<std::uint32_t> boundary_pos_;  // n: index into boundary_
-  std::vector<NodeId> touched_;              // gains changed by last move
-  std::vector<std::uint64_t> touched_stamp_;  // n: dedup epoch per node
+  std::vector<Weight> benefit_;   // n × k: ben / ben₂ term
+  std::vector<NodeAux> aux_;      // n: interleaved per-node scalars
+  std::vector<PartId> best_to_;   // n: argmax_q≠part cached_gain(·,q)
+  std::vector<NodeId> boundary_;  // sparse set of boundary nodes
+  std::vector<NodeId> touched_;   // gains changed by last move
   std::uint64_t epoch_ = 0;
   bool batch_active_ = false;  // apply_batch: accumulate touched_ over moves
   // begin_structural_patch .. finish_structural_patch bracket: the edge

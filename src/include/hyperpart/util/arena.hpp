@@ -1,0 +1,177 @@
+#pragma once
+// Bump-pointer arena for per-level scratch allocations.
+//
+// The multilevel pipeline allocates the same shapes over and over: per-level
+// clustering proposals, coarse-id maps, and the dedup buckets of the
+// coarse-edge merge — each level round-tripping the general-purpose
+// allocator hundreds of thousands of times (one malloc per projected pin
+// list alone). An Arena turns all of that into pointer bumps over a few
+// retained blocks: allocation is an add + bounds check, deallocation is a
+// no-op, and reset() rewinds every block for the next level without
+// returning memory to the OS.
+//
+// Not thread-safe by design — keep one arena per executor. The coarsening
+// code gives every fixed-grain edge chunk its own arena so the parallel
+// bucket scatter never contends and stays deterministic.
+//
+// Exception safety: allocate() either returns properly aligned storage or
+// throws std::bad_alloc with the arena unchanged (strong guarantee); reset()
+// and deallocate() never throw.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <new>
+#include <vector>
+
+namespace hp {
+
+class Arena {
+ public:
+  static constexpr std::size_t kDefaultBlockBytes = std::size_t{1} << 18;
+
+  explicit Arena(std::size_t block_bytes = kDefaultBlockBytes) noexcept
+      : block_bytes_(block_bytes == 0 ? kDefaultBlockBytes : block_bytes) {}
+
+  Arena(Arena&&) noexcept = default;
+  Arena& operator=(Arena&&) noexcept = default;
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Aligned bump allocation. Requests larger than the block size get a
+  /// dedicated "oversize" block (counted, freed on reset); everything else
+  /// bumps within retained blocks. `align` must be a power of two.
+  void* allocate(std::size_t bytes, std::size_t align) {
+    if (bytes == 0) bytes = 1;
+    if (bytes + align > block_bytes_) {
+      // Dedicated block: exactly this request, not retained across resets.
+      oversize_.push_back(std::make_unique<std::byte[]>(bytes + align));
+      ++oversize_allocations_;
+      oversize_bytes_ += bytes;
+      return align_up(oversize_.back().get(), align);
+    }
+    if (active_ < blocks_.size()) {
+      if (void* p = try_bump(blocks_[active_], bytes, align)) {
+        used_bytes_ += bytes;
+        return p;
+      }
+      // The active block is full; later retained blocks are all empty, so
+      // the next one always fits (bytes + align <= block size).
+      ++active_;
+    }
+    if (active_ == blocks_.size()) {
+      blocks_.push_back(Block{std::make_unique<std::byte[]>(block_bytes_), 0});
+      ++block_allocations_;
+    }
+    void* p = try_bump(blocks_[active_], bytes, align);
+    used_bytes_ += bytes;
+    return p;
+  }
+
+  /// Bump arenas reclaim nothing per-object; memory comes back at reset().
+  void deallocate(void*, std::size_t) noexcept {}
+
+  /// Rewind every retained block and free oversize blocks. Pointers handed
+  /// out before the reset are invalidated; capacity (and therefore the
+  /// steady-state allocation count) is retained.
+  void reset() noexcept {
+    for (Block& b : blocks_) b.used = 0;
+    active_ = 0;
+    oversize_.clear();
+    peak_used_bytes_ = used_bytes_ > peak_used_bytes_ ? used_bytes_
+                                                      : peak_used_bytes_;
+    used_bytes_ = 0;
+  }
+
+  /// Bytes handed out since the last reset (excluding oversize requests).
+  [[nodiscard]] std::size_t used_bytes() const noexcept { return used_bytes_; }
+  /// High-water mark of used_bytes() across resets.
+  [[nodiscard]] std::size_t peak_used_bytes() const noexcept {
+    return used_bytes_ > peak_used_bytes_ ? used_bytes_ : peak_used_bytes_;
+  }
+  /// Bytes currently reserved in retained blocks.
+  [[nodiscard]] std::size_t reserved_bytes() const noexcept {
+    return blocks_.size() * block_bytes_;
+  }
+  /// Retained blocks fetched from the general-purpose allocator — the
+  /// number that stops growing once the arena reaches steady state.
+  [[nodiscard]] std::uint64_t block_allocations() const noexcept {
+    return block_allocations_;
+  }
+  /// Lifetime count/bytes of requests too large for the block size; these
+  /// fall back to dedicated heap blocks and signal a mis-sized arena.
+  [[nodiscard]] std::uint64_t oversize_allocations() const noexcept {
+    return oversize_allocations_;
+  }
+  [[nodiscard]] std::uint64_t oversize_bytes() const noexcept {
+    return oversize_bytes_;
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<std::byte[]> data;
+    std::size_t used;
+  };
+
+  static void* align_up(std::byte* p, std::size_t align) noexcept {
+    const auto v = reinterpret_cast<std::uintptr_t>(p);
+    return reinterpret_cast<void*>((v + align - 1) & ~(align - 1));
+  }
+
+  void* try_bump(Block& b, std::size_t bytes, std::size_t align) noexcept {
+    const auto base = reinterpret_cast<std::uintptr_t>(b.data.get());
+    const std::uintptr_t at = (base + b.used + align - 1) & ~(align - 1);
+    if (at + bytes > base + block_bytes_) return nullptr;
+    b.used = static_cast<std::size_t>(at + bytes - base);
+    return reinterpret_cast<void*>(at);
+  }
+
+  std::size_t block_bytes_;
+  std::vector<Block> blocks_;
+  std::size_t active_ = 0;
+  std::vector<std::unique_ptr<std::byte[]>> oversize_;
+  std::size_t used_bytes_ = 0;
+  std::size_t peak_used_bytes_ = 0;
+  std::uint64_t block_allocations_ = 0;
+  std::uint64_t oversize_allocations_ = 0;
+  std::uint64_t oversize_bytes_ = 0;
+};
+
+/// Standard-allocator adaptor over an Arena, for scratch containers whose
+/// lifetime is bracketed by the arena's reset cycle. Deallocation is a
+/// no-op, so geometric vector growth leaves dead space behind — reserve()
+/// to the known size where possible.
+template <typename T>
+class ArenaAllocator {
+ public:
+  using value_type = T;
+  using propagate_on_container_move_assignment = std::true_type;
+  using propagate_on_container_swap = std::true_type;
+
+  explicit ArenaAllocator(Arena& arena) noexcept : arena_(&arena) {}
+  template <typename U>
+  ArenaAllocator(const ArenaAllocator<U>& other) noexcept
+      : arena_(other.arena()) {}
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(arena_->allocate(n * sizeof(T), alignof(T)));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    arena_->deallocate(p, n * sizeof(T));
+  }
+
+  [[nodiscard]] Arena* arena() const noexcept { return arena_; }
+
+  template <typename U>
+  [[nodiscard]] bool operator==(const ArenaAllocator<U>& o) const noexcept {
+    return arena_ == o.arena();
+  }
+
+ private:
+  Arena* arena_;
+};
+
+template <typename T>
+using ArenaVector = std::vector<T, ArenaAllocator<T>>;
+
+}  // namespace hp

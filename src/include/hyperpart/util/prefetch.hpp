@@ -1,0 +1,31 @@
+#pragma once
+// Portable software-prefetch shim for the CSR pin walks of the hot kernels
+// (tracker construction, gain-cache fill, FM proposal sweeps). The walks
+// are latency-bound: each edge touches a scattered m×k count row and each
+// pin a scattered n×k gain row, so issuing the load a few iterations ahead
+// overlaps the misses with useful work. No-ops on compilers without the
+// builtin; never changes results, only timing.
+
+namespace hp {
+
+/// Hint a read of the cache line at `p` a few iterations before it is
+/// needed.
+inline void prefetch(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/0);
+#else
+  (void)p;
+#endif
+}
+
+/// Same, but for a line about to be written (avoids the read-for-ownership
+/// round trip on stores into cold lines).
+inline void prefetch_write(const void* p) noexcept {
+#if defined(__GNUC__) || defined(__clang__)
+  __builtin_prefetch(p, /*rw=*/1);
+#else
+  (void)p;
+#endif
+}
+
+}  // namespace hp
